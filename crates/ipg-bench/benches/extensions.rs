@@ -1,0 +1,76 @@
+//! Benches for the extension subsystems: connectivity, bisection, label
+//! ranking, collectives, and algorithm emulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipg_cluster::collective::greedy_broadcast;
+use ipg_cluster::partition::{nucleus_partition, subcube_partition};
+use ipg_core::connectivity::{edge_connectivity, vertex_connectivity};
+use ipg_core::rank::{multiset_rank, multiset_unrank};
+use ipg_layout::bisection::bisection_width_kl;
+use ipg_layout::grid::recursive_layout;
+use ipg_networks::{classic, hier};
+use ipg_sim::emulate::HostEmulator;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    let q6 = classic::hypercube(6);
+    g.bench_function("connectivity/vertex/Q6", |b| {
+        b.iter(|| black_box(vertex_connectivity(&q6)))
+    });
+    g.bench_function("connectivity/edge/Q6", |b| {
+        b.iter(|| black_box(edge_connectivity(&q6)))
+    });
+
+    let q8 = classic::hypercube(8);
+    g.bench_function("bisection/kl/Q8", |b| {
+        b.iter(|| black_box(bisection_width_kl(&q8, 4, 1)))
+    });
+
+    g.bench_function("rank/multiset_roundtrip", |b| {
+        let counts = [2u32, 2, 2, 2];
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in (0..2520u64).step_by(7) {
+                let label = multiset_unrank(&counts, r).unwrap();
+                acc += multiset_rank(&label);
+            }
+            black_box(acc)
+        })
+    });
+
+    let tn = hier::hsn(3, classic::hypercube(4), "Q4");
+    let tng = tn.build();
+    let tnp = nucleus_partition(&tn);
+    g.bench_function("broadcast/hierarchical/HSN(3,Q4)", |b| {
+        b.iter(|| black_box(greedy_broadcast(&tng, &tnp, 0, true).rounds))
+    });
+    let q12 = classic::hypercube(12);
+    let q12p = subcube_partition(12, 4);
+    g.bench_function("broadcast/hierarchical/Q12", |b| {
+        b.iter(|| black_box(greedy_broadcast(&q12, &q12p, 0, true).rounds))
+    });
+
+    g.bench_function("layout/recursive/HSN(3,Q4)", |b| {
+        b.iter(|| {
+            let l = recursive_layout(&tn);
+            black_box(l.total_wirelength(&tng))
+        })
+    });
+
+    let host = hier::hsn(2, classic::hypercube(3), "Q3").build();
+    let map: Vec<u32> = (0..64).collect();
+    g.bench_function("emulate/bitonic_sort/HSN(2,Q3)", |b| {
+        b.iter(|| {
+            let emu = HostEmulator::new(&host, &map);
+            let mut keys: Vec<u64> = (0..64u64).rev().collect();
+            black_box(emu.bitonic_sort(&mut keys).host_time_lower)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

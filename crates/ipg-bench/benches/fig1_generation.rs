@@ -1,0 +1,43 @@
+//! Figure-1 bench: time to construct the paper's showcase networks
+//! (HSN(2,Q2) = HCN(2,2) w/o diameter links, HSN(3,Q2)) through each of
+//! the three construction paths — label-by-label IP generation (the
+//! ball-arrangement game), the tuple construction, and the direct HCN
+//! constructor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipg_core::superip::{NucleusSpec, SuperIpSpec, TupleNetwork};
+use ipg_networks::{classic, hier};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_generation");
+    for l in [2usize, 3] {
+        let spec = SuperIpSpec::hsn(l, NucleusSpec::hypercube(2));
+        g.bench_function(format!("ip_generate/HSN({l},Q2)"), |b| {
+            b.iter(|| {
+                let ip = spec.to_ip_spec().generate().unwrap();
+                black_box(ip.node_count())
+            })
+        });
+        g.bench_function(format!("tuple_build/HSN({l},Q2)"), |b| {
+            b.iter(|| {
+                let tn = TupleNetwork::from_spec(&spec).unwrap();
+                black_box(tn.build().arc_count())
+            })
+        });
+        g.bench_function(format!("direct/HSN({l},Q2)"), |b| {
+            b.iter(|| {
+                let csr = if l == 2 {
+                    hier::hcn(2, false)
+                } else {
+                    hier::hsn(l, classic::hypercube(2), "Q2").build()
+                };
+                black_box(csr.arc_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

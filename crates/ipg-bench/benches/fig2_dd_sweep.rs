@@ -1,0 +1,46 @@
+//! Figure-2 bench: cost of regenerating the DD-cost series — the analytic
+//! sweep itself (cheap) and the exact BFS verification backing it
+//! (diameter of a mid-size instance per family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipg_cluster::analytic::{self, NUC_FQ4, NUC_Q4};
+use ipg_core::algo;
+use ipg_networks::classic;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_dd");
+
+    g.bench_function("analytic_sweep/all_families", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 6..=22u32 {
+                acc += analytic::hypercube(n, 4).dd_cost();
+                acc += analytic::folded_hypercube(n, 4).dd_cost();
+            }
+            for l in 2..=6u32 {
+                acc += analytic::hsn(l, NUC_Q4).dd_cost();
+                acc += analytic::ring_cn(l, NUC_FQ4).dd_cost();
+                acc += analytic::complete_cn(l, NUC_Q4).dd_cost();
+            }
+            black_box(acc)
+        })
+    });
+
+    let q10 = classic::hypercube(10);
+    g.bench_function("exact_diameter/Q10", |b| {
+        b.iter(|| black_box(algo::diameter(&q10)))
+    });
+    let star7 = classic::star(7);
+    g.bench_function("exact_diameter/star7", |b| {
+        b.iter(|| black_box(algo::diameter(&star7)))
+    });
+    let cn = ipg_networks::hier::ring_cn(3, classic::hypercube(4), "Q4").build();
+    g.bench_function("exact_diameter/ring-CN(3,Q4)", |b| {
+        b.iter(|| black_box(algo::diameter(&cn)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Simulator bench: cycles per second of the packet engine at light and
+//! heavy load on a 1024-node hypercube (the cost of regenerating the
+//! §5 simulation experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipg_networks::classic;
+use ipg_sim::engine::{run_uniform, SimConfig};
+use std::hint::black_box;
+
+fn cfg(rate: f64) -> SimConfig {
+    SimConfig {
+        injection_rate: rate,
+        warmup_cycles: 100,
+        measure_cycles: 400,
+        drain_cycles: 500,
+        on_module_interval: 1,
+        off_module_interval: 1,
+        seed: 1,
+        ..SimConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    let q10 = classic::hypercube(10);
+    g.bench_function("1000_cycles/Q10/light", |b| {
+        b.iter(|| black_box(run_uniform(&q10, &cfg(0.01)).delivered))
+    });
+    g.bench_function("1000_cycles/Q10/heavy", |b| {
+        b.iter(|| black_box(run_uniform(&q10, &cfg(0.3)).delivered))
+    });
+    let tn = ipg_networks::hier::ring_cn(2, classic::hypercube(5), "Q5");
+    let cn = tn.build();
+    g.bench_function("1000_cycles/ring-CN(2,Q5)/light", |b| {
+        b.iter(|| black_box(run_uniform(&cn, &cfg(0.01)).delivered))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

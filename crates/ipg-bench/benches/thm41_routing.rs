@@ -1,0 +1,54 @@
+//! Theorem-4.1 bench: hierarchical routing cost — router construction
+//! (nucleus distance table + schedule search) and per-route latency,
+//! compared against a full BFS per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipg_core::algo;
+use ipg_core::routing::SuperRouter;
+use ipg_core::superip::{NucleusSpec, SuperIpSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm41_routing");
+
+    let spec = SuperIpSpec::hsn(3, NucleusSpec::hypercube(2));
+    let ip = spec.to_ip_spec().generate().unwrap();
+    let csr = ip.to_undirected_csr();
+
+    g.bench_function("router_build/HSN(3,Q2)", |b| {
+        b.iter(|| black_box(SuperRouter::new(&spec).unwrap()))
+    });
+
+    let router = SuperRouter::new(&spec).unwrap();
+    let n = ip.node_count() as u32;
+    g.bench_function("route/HSN(3,Q2)", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(17) % n;
+            let j = (i.wrapping_mul(31) + 7) % n;
+            black_box(router.route(ip.label(i), ip.label(j)).unwrap().len())
+        })
+    });
+    g.bench_function("bfs_route/HSN(3,Q2)", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(17) % n;
+            let j = (i.wrapping_mul(31) + 7) % n;
+            black_box(algo::shortest_path(&csr, i, j).unwrap().len())
+        })
+    });
+
+    // schedule search alone, across families (the t / t_S computation)
+    g.bench_function("schedule/t(HSN l=6)", |b| {
+        let s = SuperIpSpec::hsn(6, NucleusSpec::hypercube(1));
+        b.iter(|| black_box(ipg_core::routing::t_value(&s).unwrap()))
+    });
+    g.bench_function("schedule/t_S(sym ring-CN l=5)", |b| {
+        let s = SuperIpSpec::ring_cn(5, NucleusSpec::hypercube(1)).symmetric();
+        b.iter(|| black_box(ipg_core::routing::t_s_value(&s).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

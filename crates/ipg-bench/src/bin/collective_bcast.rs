@@ -1,0 +1,137 @@
+//! Collective-communication experiment (paper §1: on super-IP graphs
+//! "the required data movements when performing many important algorithms
+//! are largely confined within basic modules").
+//!
+//! Runs single-port broadcast on same-size networks with the naive
+//! any-neighbor policy and the hierarchical (module-aware) policy, and
+//! reports rounds plus on-/off-module transmission counts; also prints
+//! each network's total-exchange off-module volume.
+
+use ipg_bench::{print_table, write_json};
+use ipg_cluster::collective::{greedy_broadcast, total_exchange_off_module_volume};
+use ipg_cluster::partition::{nucleus_partition, subcube_partition, Partition};
+use ipg_core::graph::Csr;
+use ipg_networks::{classic, hier};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BcastRow {
+    network: String,
+    nodes: usize,
+    modules: usize,
+    naive_rounds: u32,
+    naive_off: u64,
+    hier_rounds: u32,
+    hier_off: u64,
+    off_lower_bound: u64,
+    total_exchange_off_volume: f64,
+}
+
+fn main() {
+    let nets: Vec<(String, Csr, Partition)> = vec![
+        {
+            let g = classic::hypercube(12);
+            let p = subcube_partition(12, 4);
+            ("hypercube Q12".into(), g, p)
+        },
+        {
+            let tn = hier::hsn(3, classic::hypercube(4), "Q4");
+            let g = tn.build();
+            let p = nucleus_partition(&tn);
+            (tn.name.clone(), g, p)
+        },
+        {
+            let tn = hier::ring_cn(3, classic::hypercube(4), "Q4");
+            let g = tn.build();
+            let p = nucleus_partition(&tn);
+            (tn.name.clone(), g, p)
+        },
+        {
+            let tn = hier::complete_cn(3, classic::hypercube(4), "Q4");
+            let g = tn.build();
+            let p = nucleus_partition(&tn);
+            (tn.name.clone(), g, p)
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for (name, g, part) in &nets {
+        let naive = greedy_broadcast(g, part, 0, false);
+        let hier_ = greedy_broadcast(g, part, 0, true);
+        assert_eq!(
+            naive.on_module_sends + naive.off_module_sends,
+            g.node_count() as u64 - 1
+        );
+        assert_eq!(
+            hier_.on_module_sends + hier_.off_module_sends,
+            g.node_count() as u64 - 1
+        );
+        rows.push(BcastRow {
+            network: name.clone(),
+            nodes: g.node_count(),
+            modules: part.count,
+            naive_rounds: naive.rounds,
+            naive_off: naive.off_module_sends,
+            hier_rounds: hier_.rounds,
+            hier_off: hier_.off_module_sends,
+            off_lower_bound: part.count as u64 - 1,
+            total_exchange_off_volume: total_exchange_off_module_volume(g, part),
+        });
+    }
+
+    println!("== single-port broadcast, 4096-node networks, 16-node modules ==");
+    print_table(
+        &[
+            "network",
+            "modules",
+            "naive rounds",
+            "naive off-sends",
+            "hier rounds",
+            "hier off-sends",
+            "off bound",
+            "tot-exch off-volume",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    r.modules.to_string(),
+                    r.naive_rounds.to_string(),
+                    r.naive_off.to_string(),
+                    r.hier_rounds.to_string(),
+                    r.hier_off.to_string(),
+                    r.off_lower_bound.to_string(),
+                    format!("{:.2e}", r.total_exchange_off_volume),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    for r in &rows {
+        assert_eq!(
+            r.hier_off, r.off_lower_bound,
+            "{}: hierarchical policy should hit the off-module lower bound",
+            r.network
+        );
+        assert!(r.hier_off <= r.naive_off);
+    }
+    let cube = rows.iter().find(|r| r.network.contains("Q12")).unwrap();
+    let hsn = rows.iter().find(|r| r.network.contains("HSN")).unwrap();
+    assert!(
+        hsn.total_exchange_off_volume < cube.total_exchange_off_volume / 1.5,
+        "super-IP total exchange should need far fewer off-module hops"
+    );
+    println!();
+    println!(
+        "claim check: hierarchical broadcast hits the #modules−1 off-module bound everywhere;"
+    );
+    println!(
+        "total-exchange off-module volume: HSN {:.2e} vs hypercube {:.2e} ({}x)",
+        hsn.total_exchange_off_volume,
+        cube.total_exchange_off_volume,
+        (cube.total_exchange_off_volume / hsn.total_exchange_off_volume).round()
+    );
+
+    write_json("collective_bcast", &rows);
+}

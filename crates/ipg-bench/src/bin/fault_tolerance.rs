@@ -1,0 +1,222 @@
+//! Fault-tolerance experiment (extension; the paper's §1 motivates Cayley
+//! networks partly by their "fault tolerance properties").
+//!
+//! Two parts:
+//!
+//! 1. **Exact connectivity** of small instances: vertex connectivity κ and
+//!    edge connectivity λ, against the maximal-fault-tolerance yardstick
+//!    κ = δ (minimum degree).
+//! 2. **Random-fault degradation** at 4096 nodes: kill a fraction of
+//!    nodes and measure the surviving largest component and its diameter,
+//!    comparing the hypercube with super-IP networks of the same size.
+
+use ipg_bench::{f2, print_table, write_json};
+use ipg_core::algo;
+use ipg_core::connectivity::{edge_connectivity, vertex_connectivity};
+use ipg_core::graph::Csr;
+use ipg_networks::{classic, hier};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ConnRow {
+    network: String,
+    nodes: usize,
+    min_degree: usize,
+    kappa: u32,
+    lambda: u32,
+    maximally_fault_tolerant: bool,
+}
+
+#[derive(Serialize)]
+struct FaultRow {
+    network: String,
+    nodes: usize,
+    failed_fraction: f64,
+    largest_component_fraction: f64,
+    surviving_diameter: u32,
+}
+
+/// Deterministic pseudo-random fault set (splitmix-style hash).
+fn fault_set(n: usize, fraction: f64, seed: u64) -> Vec<bool> {
+    let mut dead = vec![false; n];
+    let mut x = seed;
+    let target = (n as f64 * fraction) as usize;
+    let mut count = 0;
+    while count < target {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let v = ((x >> 33) as usize) % n;
+        if !dead[v] {
+            dead[v] = true;
+            count += 1;
+        }
+    }
+    dead
+}
+
+/// The surviving subgraph after node faults.
+fn survive(g: &Csr, dead: &[bool]) -> Csr {
+    // relabel survivors densely
+    let mut id = vec![u32::MAX; g.node_count()];
+    let mut next = 0u32;
+    for v in 0..g.node_count() {
+        if !dead[v] {
+            id[v] = next;
+            next += 1;
+        }
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); next as usize];
+    for (u, v) in g.arcs() {
+        if !dead[u as usize] && !dead[v as usize] {
+            adj[id[u as usize] as usize].push(id[v as usize]);
+        }
+    }
+    Csr::from_adj(adj)
+}
+
+fn largest_component(g: &Csr) -> (usize, u32) {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut best_size = 0usize;
+    let mut best_rep = 0u32;
+    for s in 0..n as u32 {
+        if seen[s as usize] {
+            continue;
+        }
+        let d = algo::bfs(g, s);
+        let members: Vec<u32> = (0..n as u32)
+            .filter(|&v| d[v as usize] != algo::UNREACHABLE)
+            .collect();
+        for &m in &members {
+            seen[m as usize] = true;
+        }
+        if members.len() > best_size {
+            best_size = members.len();
+            best_rep = s;
+        }
+    }
+    // eccentricity from the representative as a diameter proxy (cheap and
+    // within 2x; good enough for the degradation trend)
+    let ecc = algo::bfs(g, best_rep)
+        .into_iter()
+        .filter(|&d| d != algo::UNREACHABLE)
+        .max()
+        .unwrap_or(0);
+    (best_size, ecc)
+}
+
+fn main() {
+    // Part 1: exact connectivities
+    let mut conn_rows = Vec::new();
+    let cases: Vec<(String, Csr)> = vec![
+        ("Q4".into(), classic::hypercube(4)),
+        ("Q6".into(), classic::hypercube(6)),
+        ("star-5".into(), classic::star(5)),
+        ("Petersen".into(), classic::petersen()),
+        ("CCC(3)".into(), classic::ccc(3)),
+        ("HSN(2,Q2)".into(), hier::hcn(2, false)),
+        ("HSN(2,Q3)".into(), hier::hcn(3, false)),
+        (
+            "ring-CN(3,Q2)".into(),
+            hier::ring_cn(3, classic::hypercube(2), "Q2").build(),
+        ),
+        (
+            "CN(3,Q2)".into(),
+            hier::complete_cn(3, classic::hypercube(2), "Q2").build(),
+        ),
+        ("CPN(2)".into(), hier::cyclic_petersen(2).build()),
+    ];
+    for (name, g) in &cases {
+        let kappa = vertex_connectivity(g);
+        let lambda = edge_connectivity(g);
+        conn_rows.push(ConnRow {
+            network: name.clone(),
+            nodes: g.node_count(),
+            min_degree: g.min_degree(),
+            kappa,
+            lambda,
+            maximally_fault_tolerant: kappa as usize == g.min_degree(),
+        });
+    }
+    println!("== connectivity (κ = vertex, λ = edge; max fault tolerance ⇔ κ = δ) ==");
+    print_table(
+        &["network", "N", "δ", "κ", "λ", "κ=δ"],
+        &conn_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    r.nodes.to_string(),
+                    r.min_degree.to_string(),
+                    r.kappa.to_string(),
+                    r.lambda.to_string(),
+                    if r.maximally_fault_tolerant { "yes" } else { "no" }.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // sanity: Menger consistency and the classic values
+    assert!(conn_rows.iter().all(|r| r.kappa <= r.lambda));
+    assert!(conn_rows
+        .iter()
+        .all(|r| r.lambda as usize <= r.min_degree));
+    assert_eq!(
+        conn_rows.iter().find(|r| r.network == "Q6").unwrap().kappa,
+        6
+    );
+
+    // Part 2: random-fault degradation at 4096 nodes
+    let mut fault_rows = Vec::new();
+    let nets: Vec<(String, Csr)> = vec![
+        ("hypercube Q12".into(), classic::hypercube(12)),
+        (
+            "ring-CN(3,Q4)".into(),
+            hier::ring_cn(3, classic::hypercube(4), "Q4").build(),
+        ),
+        (
+            "HSN(3,Q4)".into(),
+            hier::hsn(3, classic::hypercube(4), "Q4").build(),
+        ),
+    ];
+    for (name, g) in &nets {
+        for fraction in [0.01, 0.05, 0.10, 0.20] {
+            let dead = fault_set(g.node_count(), fraction, 0xfau64 + (fraction * 100.0) as u64);
+            let s = survive(g, &dead);
+            let (size, diam) = largest_component(&s);
+            fault_rows.push(FaultRow {
+                network: name.clone(),
+                nodes: g.node_count(),
+                failed_fraction: fraction,
+                largest_component_fraction: size as f64 / s.node_count() as f64,
+                surviving_diameter: diam,
+            });
+        }
+    }
+    println!();
+    println!("== random node faults, 4096-node networks ==");
+    print_table(
+        &["network", "failed", "largest comp", "diam (ecc proxy)"],
+        &fault_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    format!("{:.0}%", r.failed_fraction * 100.0),
+                    f2(r.largest_component_fraction),
+                    r.surviving_diameter.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // claim: all three stay essentially connected at 10% faults
+    for r in fault_rows.iter().filter(|r| r.failed_fraction <= 0.10) {
+        assert!(
+            r.largest_component_fraction > 0.98,
+            "{} fell apart at {}",
+            r.network,
+            r.failed_fraction
+        );
+    }
+
+    write_json("fault_tolerance_conn", &conn_rows);
+    write_json("fault_tolerance_faults", &fault_rows);
+}

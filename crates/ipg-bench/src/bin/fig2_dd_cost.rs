@@ -1,0 +1,154 @@
+//! Figure 2: DD-cost (node degree × network diameter) versus network size
+//! for the paper's cast: ring, 2-D torus, hypercube, folded hypercube,
+//! star graph, CCC, de Bruijn, shuffle-exchange, HCN(n,n), HSN(l,Q4),
+//! complete-CN(l,Q4), ring-CN(l,Q4), ring-CN(l,FQ4), ring-CN(l,P) and
+//! super-flip(l,Q4).
+//!
+//! Series are generated from the closed-form models of
+//! `ipg_cluster::analytic` (each cross-checked against exact BFS values in
+//! the test suites); this binary additionally re-verifies a few points
+//! exactly before printing.
+
+use ipg_bench::{f2, print_table, write_json};
+use ipg_cluster::analytic::{self, AnalyticPoint, NUC_FQ4, NUC_PETERSEN, NUC_Q4};
+use ipg_core::algo;
+use ipg_networks::classic;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig2Point {
+    family: String,
+    param: String,
+    nodes: u64,
+    log2_nodes: f64,
+    degree: u32,
+    diameter: u64,
+    dd_cost: f64,
+}
+
+fn out(p: &AnalyticPoint) -> Fig2Point {
+    Fig2Point {
+        family: p.family.clone(),
+        param: p.param.clone(),
+        nodes: p.nodes,
+        log2_nodes: (p.nodes as f64).log2(),
+        degree: p.degree,
+        diameter: p.diameter,
+        dd_cost: p.dd_cost(),
+    }
+}
+
+fn exact_check() {
+    // a few exact spot checks so the analytic series can be trusted
+    let cases: Vec<(&str, ipg_core::graph::Csr, AnalyticPoint)> = vec![
+        ("Q8", classic::hypercube(8), analytic::hypercube(8, 3)),
+        ("FQ6", classic::folded_hypercube(6), analytic::folded_hypercube(6, 3)),
+        ("torus 16x16", classic::torus2d(16), analytic::torus2d(16, 4)),
+        ("star-6", classic::star(6), analytic::star(6, 3)),
+        ("CCC(4)", classic::ccc(4), analytic::ccc(4)),
+    ];
+    for (name, g, a) in cases {
+        let d = algo::diameter(&g);
+        assert_eq!(d as u64, a.diameter, "{name} diameter");
+        assert_eq!(g.max_degree() as u32, a.degree, "{name} degree");
+    }
+    let tn = ipg_networks::hier::ring_cn(3, classic::hypercube(4), "Q4");
+    let g = tn.build();
+    let a = analytic::ring_cn(3, NUC_Q4);
+    assert_eq!(algo::diameter(&g) as u64, a.diameter, "ring-CN(3,Q4) diameter");
+    assert_eq!(g.max_degree() as u32, a.degree, "ring-CN(3,Q4) degree");
+    eprintln!("exact spot checks passed");
+}
+
+fn main() {
+    exact_check();
+
+    let mut pts: Vec<Fig2Point> = Vec::new();
+
+    for n in [64u64, 256, 1024, 4096, 16384, 65536, 1 << 20] {
+        pts.push(out(&analytic::ring(n, 4)));
+    }
+    for k in [8u64, 16, 32, 64, 128, 256, 1024] {
+        pts.push(out(&analytic::torus2d(k, 4)));
+    }
+    for n in 6..=22u32 {
+        pts.push(out(&analytic::hypercube(n, 4)));
+        pts.push(out(&analytic::folded_hypercube(n, 4)));
+    }
+    for n in 5..=10u32 {
+        pts.push(out(&analytic::star(n, 3)));
+    }
+    for n in 4..=16u32 {
+        pts.push(out(&analytic::ccc(n)));
+        pts.push(out(&analytic::debruijn(n + 4, 4)));
+        pts.push(out(&analytic::shuffle_exchange(n + 4)));
+    }
+    for n in 3..=11u32 {
+        pts.push(out(&analytic::hcn(n)));
+    }
+    for l in 2..=6u32 {
+        pts.push(out(&analytic::hsn(l, NUC_Q4)));
+        pts.push(out(&analytic::complete_cn(l, NUC_Q4)));
+        pts.push(out(&analytic::ring_cn(l, NUC_Q4)));
+        pts.push(out(&analytic::ring_cn(l, NUC_FQ4)));
+        pts.push(out(&analytic::ring_cn(l, NUC_PETERSEN)));
+        pts.push(out(&analytic::superflip(l, NUC_Q4)));
+    }
+
+    pts.sort_by(|a, b| {
+        a.family
+            .cmp(&b.family)
+            .then(a.nodes.cmp(&b.nodes))
+    });
+
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.family.clone(),
+                p.param.clone(),
+                p.nodes.to_string(),
+                f2(p.log2_nodes),
+                p.degree.to_string(),
+                p.diameter.to_string(),
+                f2(p.dd_cost),
+            ]
+        })
+        .collect();
+    println!("== Fig 2: DD-cost (degree × diameter) vs network size ==");
+    print_table(
+        &["family", "param", "N", "log2 N", "deg", "diam", "DD-cost"],
+        &rows,
+    );
+
+    // The paper's qualitative claims, asserted on the generated series.
+    let dd_at = |family: &str, lo: f64, hi: f64| -> f64 {
+        pts.iter()
+            .filter(|p| p.family == family && p.log2_nodes >= lo && p.log2_nodes <= hi)
+            .map(|p| p.dd_cost)
+            .fold(f64::INFINITY, f64::min)
+    };
+    // around 2^20 nodes: CNs and the star graph are comparable and beat
+    // hypercube / torus / ring decisively
+    // best cyclic-shift variant in the size band (the paper plots several;
+    // ring-CN over the dense FQ4 nucleus is the strongest)
+    let cn = ["CN(l,Q4)", "ring-CN(l,Q4)", "ring-CN(l,FQ4)"]
+        .iter()
+        .map(|f| dd_at(f, 19.0, 21.0))
+        .fold(f64::INFINITY, f64::min);
+    let star = dd_at("star", 18.0, 22.0);
+    let cube = dd_at("hypercube", 19.0, 21.0);
+    let torus = dd_at("2D-torus", 19.0, 21.0);
+    assert!(cn < cube, "CN ({cn}) should beat hypercube ({cube})");
+    assert!(cn < torus, "CN ({cn}) should beat torus ({torus})");
+    assert!(
+        cn < star * 1.5 && star < cn * 1.5,
+        "CN ({cn}) and star ({star}) should be comparable"
+    );
+    println!();
+    println!(
+        "claim check @ ~2^20 nodes: DD(CN)={cn:.0} DD(star)={star:.0} DD(hypercube)={cube:.0} DD(torus)={torus:.0}"
+    );
+
+    write_json("fig2_dd_cost", &pts);
+}

@@ -1,0 +1,61 @@
+//! Figure 4: ID-cost (inter-cluster degree × diameter) versus network
+//! size, with at most 16 nodes per module.
+//!
+//! When per-module off-module capacity is fixed, light-traffic
+//! packet-switched latency is proportional to ID-cost (§5.4); the figure
+//! shows cyclic-shift networks beating hypercubes, tori and the star
+//! graph.
+
+use ipg_bench::sweep45::{sweep, MODULE_CAP};
+use ipg_bench::{f2, print_table, write_json};
+
+fn main() {
+    let pts = sweep();
+
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.family.clone(),
+                p.param.clone(),
+                p.nodes.to_string(),
+                f2(p.log2_nodes),
+                f2(p.i_degree),
+                p.diameter.to_string(),
+                f2(p.id_cost),
+                p.mode.into(),
+            ]
+        })
+        .collect();
+    println!("== Fig 4: ID-cost (I-degree × diameter), ≤ {MODULE_CAP} nodes/module ==");
+    print_table(
+        &["family", "param", "N", "log2 N", "I-deg", "diam", "ID-cost", "mode"],
+        &rows,
+    );
+
+    // Claim: at ~2^16 nodes, CNs have considerably smaller ID-cost than
+    // the other topologies.
+    let best = |family: &str| {
+        pts.iter()
+            .filter(|p| p.family == family && p.log2_nodes >= 15.0 && p.log2_nodes <= 17.0)
+            .map(|p| p.id_cost)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let rcn = best("ring-CN(l,Q4)");
+    let rcnf = best("ring-CN(l,FQ4)");
+    let cube = best("hypercube");
+    let star = pts
+        .iter()
+        .filter(|p| p.family == "star" && p.log2_nodes >= 15.0)
+        .map(|p| p.id_cost)
+        .fold(f64::INFINITY, f64::min); // S8 = 40320 ≈ 2^15.3
+    assert!(rcn < cube, "ring-CN {rcn} vs hypercube {cube}");
+    assert!(rcnf <= rcn, "FQ4 nucleus should not be worse: {rcnf} vs {rcn}");
+    assert!(rcn < star, "ring-CN {rcn} vs star {star}");
+    println!();
+    println!(
+        "claim check @ ~2^16: ID ring-CN(Q4)={rcn:.1} ring-CN(FQ4)={rcnf:.1} hypercube={cube:.1} star={star:.1}"
+    );
+
+    write_json("fig4_id_cost", &pts);
+}

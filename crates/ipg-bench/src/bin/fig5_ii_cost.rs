@@ -1,0 +1,58 @@
+//! Figure 5: II-cost (inter-cluster degree × inter-cluster diameter)
+//! versus network size, with at most 16 nodes per module.
+//!
+//! When off-module links are the bottleneck (slower clocks, pin limits),
+//! packet latency is proportional to II-cost (§5.4); cyclic-shift networks
+//! dominate every baseline, and the margin grows with module size.
+
+use ipg_bench::sweep45::{sweep, MODULE_CAP};
+use ipg_bench::{f2, print_table, write_json};
+
+fn main() {
+    let pts = sweep();
+
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.family.clone(),
+                p.param.clone(),
+                p.nodes.to_string(),
+                f2(p.log2_nodes),
+                f2(p.i_degree),
+                p.i_diameter.to_string(),
+                f2(p.ii_cost),
+                p.mode.into(),
+            ]
+        })
+        .collect();
+    println!("== Fig 5: II-cost (I-degree × I-diameter), ≤ {MODULE_CAP} nodes/module ==");
+    print_table(
+        &[
+            "family", "param", "N", "log2 N", "I-deg", "I-diam", "II-cost", "mode",
+        ],
+        &rows,
+    );
+
+    // Claim: CN II-cost beats hypercube, torus and star by a wide margin
+    // at comparable sizes.
+    let best = |family: &str, lo: f64, hi: f64| {
+        pts.iter()
+            .filter(|p| p.family == family && p.log2_nodes >= lo && p.log2_nodes <= hi)
+            .map(|p| p.ii_cost)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let rcn = best("ring-CN(l,Q4)", 15.0, 17.0);
+    let cube = best("hypercube", 15.0, 17.0);
+    let torus = best("2D-torus", 15.0, 17.0);
+    let star = best("star", 15.0, 16.0);
+    assert!(rcn * 3.0 <= cube, "ring-CN {rcn} vs hypercube {cube}");
+    assert!(rcn * 3.0 <= torus, "ring-CN {rcn} vs torus {torus}");
+    assert!(rcn * 3.0 <= star, "ring-CN {rcn} vs star {star}");
+    println!();
+    println!(
+        "claim check @ ~2^16: II ring-CN(Q4)={rcn:.1} hypercube={cube:.1} torus={torus:.1} star={star:.1}"
+    );
+
+    write_json("fig5_ii_cost", &pts);
+}

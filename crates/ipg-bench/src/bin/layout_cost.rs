@@ -1,0 +1,120 @@
+//! VLSI layout experiment (extension; paper §5.1 discusses the
+//! bisection-bandwidth constraint and cites the recursive grid layout
+//! scheme \[31\] for hierarchical networks).
+//!
+//! For same-size networks, reports the Kernighan–Lin bisection width
+//! (cross-checked against closed forms), the Thompson-model area lower
+//! bound, and the wirelength of naive row-major vs recursive tile
+//! layouts.
+
+use ipg_bench::{print_table, write_json};
+use ipg_core::graph::Csr;
+use ipg_core::superip::TupleNetwork;
+use ipg_layout::bisection::{bisection_width_kl, known};
+use ipg_layout::grid::{recursive_layout, row_major_layout, thompson_area_lower_bound};
+use ipg_networks::{classic, hier};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct LayoutRow {
+    network: String,
+    nodes: usize,
+    bisection_kl: u32,
+    thompson_area_lb: u64,
+    naive_wirelength: u64,
+    recursive_wirelength: Option<u64>,
+    improvement: Option<f64>,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let nets: Vec<(String, Csr, Option<TupleNetwork>)> = vec![
+        ("hypercube Q8".into(), classic::hypercube(8), None),
+        ("2D torus 16x16".into(), classic::torus2d(16), None),
+        {
+            let tn = hier::hsn(2, classic::hypercube(4), "Q4");
+            (tn.name.clone(), tn.build(), Some(tn))
+        },
+        {
+            let tn = hier::ring_cn(2, classic::hypercube(4), "Q4");
+            (tn.name.clone(), tn.build(), Some(tn))
+        },
+        {
+            let tn = hier::superflip(2, classic::hypercube(4), "Q4");
+            (tn.name.clone(), tn.build(), Some(tn))
+        },
+    ];
+
+    for (name, g, tn) in &nets {
+        let b = bisection_width_kl(g, 24, 0xb15ec);
+        let naive = row_major_layout(g.node_count());
+        let rec = tn.as_ref().map(recursive_layout);
+        let naive_wl = naive.total_wirelength(g);
+        let rec_wl = rec.as_ref().map(|l| l.total_wirelength(g));
+        rows.push(LayoutRow {
+            network: name.clone(),
+            nodes: g.node_count(),
+            bisection_kl: b,
+            thompson_area_lb: thompson_area_lower_bound(b as u64),
+            naive_wirelength: naive_wl,
+            recursive_wirelength: rec_wl,
+            improvement: rec_wl.map(|r| naive_wl as f64 / r as f64),
+        });
+    }
+
+    println!("== layout costs, 256-node networks ==");
+    print_table(
+        &[
+            "network",
+            "N",
+            "bisection (KL)",
+            "Thompson area ≥",
+            "naive WL",
+            "recursive WL",
+            "gain",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    r.nodes.to_string(),
+                    r.bisection_kl.to_string(),
+                    r.thompson_area_lb.to_string(),
+                    r.naive_wirelength.to_string(),
+                    r.recursive_wirelength
+                        .map(|w| w.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    r.improvement
+                        .map(|i| format!("{i:.2}x"))
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // cross-checks
+    let cube = rows.iter().find(|r| r.network.contains("Q8")).unwrap();
+    assert_eq!(cube.bisection_kl as u64, known::hypercube(8));
+    let torus = rows.iter().find(|r| r.network.contains("torus")).unwrap();
+    assert_eq!(torus.bisection_kl as u64, known::torus2d(16));
+    // super-IP bisection is far smaller than the hypercube's (that is the
+    // §5.1 trade-off: CNs win under pin constraints, lose under constant
+    // bisection bandwidth)
+    for r in rows.iter().filter(|r| r.recursive_wirelength.is_some()) {
+        assert!(r.bisection_kl < cube.bisection_kl);
+        assert!(
+            r.improvement.unwrap() > 1.0,
+            "{}: recursive layout should shorten wires",
+            r.network
+        );
+    }
+    println!();
+    println!(
+        "claim check: super-IP bisections < hypercube's {} (the §5.1 trade-off), and the",
+        cube.bisection_kl
+    );
+    println!("recursive tile layout shortens total wirelength on every super-IP network.");
+
+    write_json("layout_cost", &rows);
+}

@@ -1,0 +1,238 @@
+//! Theorem table: machine-checks the paper's quantitative statements on a
+//! grid of concrete instances and prints paper-vs-measured for each.
+//!
+//! - Theorem 3.1: degree ≤ #generators; I-degree ≤ #super-generators.
+//! - Theorem 3.2 (+ §3.5): N = M^l (repeated seed), N = |H|·M^l
+//!   (symmetric seed; l!·M^l for HSN, l·M^l for CN).
+//! - Theorem 4.1 / Corollary 4.2: diameter = l·D_G + t = (D_G + 1)·l − 1,
+//!   attained by the constructive routing algorithm.
+//! - Theorem 4.3: symmetric diameter = l·D_G + t_S.
+//! - §5.3 off-module link counts per node.
+//! - §3.2: HSN embeds the same-size hypercube with dilation 3.
+
+use ipg_bench::{print_table, write_json};
+use ipg_cluster::imetrics;
+use ipg_cluster::partition::nucleus_partition;
+use ipg_core::algo;
+use ipg_core::routing;
+use ipg_core::superip::{NucleusSpec, SuperIpSpec, TupleNetwork};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ThmRow {
+    network: String,
+    check: String,
+    predicted: String,
+    measured: String,
+    ok: bool,
+}
+
+fn check(rows: &mut Vec<ThmRow>, network: &str, check_name: &str, predicted: impl ToString, measured: impl ToString) {
+    let p = predicted.to_string();
+    let m = measured.to_string();
+    let ok = p == m;
+    rows.push(ThmRow {
+        network: network.into(),
+        check: check_name.into(),
+        predicted: p,
+        measured: m,
+        ok,
+    });
+}
+
+fn main() {
+    let mut rows: Vec<ThmRow> = Vec::new();
+
+    let specs: Vec<SuperIpSpec> = vec![
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)),
+        SuperIpSpec::hsn(3, NucleusSpec::hypercube(2)),
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(3)),
+        SuperIpSpec::hsn(2, NucleusSpec::star(4)),
+        SuperIpSpec::ring_cn(2, NucleusSpec::hypercube(2)),
+        SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(2)),
+        SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)),
+        SuperIpSpec::complete_cn(3, NucleusSpec::hypercube(2)),
+        SuperIpSpec::complete_cn(4, NucleusSpec::hypercube(1)),
+        SuperIpSpec::superflip(3, NucleusSpec::hypercube(2)),
+        SuperIpSpec::superflip(4, NucleusSpec::hypercube(1)),
+        SuperIpSpec::hsn(2, NucleusSpec::complete(4)),
+        SuperIpSpec::ring_cn(3, NucleusSpec::complete(4)),
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::hsn(3, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)).symmetric(),
+    ];
+
+    for spec in &specs {
+        let ip = spec.to_ip_spec().generate().expect("generate");
+        let g = ip.to_undirected_csr();
+
+        // Theorem 3.2 / §3.5 size
+        check(
+            &mut rows,
+            &spec.name,
+            "Thm 3.2: N",
+            spec.expected_size().expect("size"),
+            ip.node_count(),
+        );
+
+        // Theorem 3.1 degree bound
+        let bound = spec.nucleus_generator_count() + spec.super_generator_count();
+        check(
+            &mut rows,
+            &spec.name,
+            "Thm 3.1: deg ≤ gens",
+            format!("≤ {bound}"),
+            format!("≤ {bound}"),
+        );
+        assert!(g.max_degree() <= bound, "{}: degree bound violated", spec.name);
+
+        // Theorem 4.1/4.3 diameter
+        let predicted = routing::predicted_diameter(spec).expect("diameter");
+        check(
+            &mut rows,
+            &spec.name,
+            "Thm 4.1/4.3: diameter",
+            predicted,
+            algo::diameter(&g),
+        );
+
+        // Theorem 3.1 I-degree bound
+        let tn = TupleNetwork::from_spec(spec).expect("tuple");
+        let tg = tn.build();
+        let part = nucleus_partition(&tn);
+        let i_deg = imetrics::i_degree(&tg, &part);
+        check(
+            &mut rows,
+            &spec.name,
+            "Thm 3.1: I-deg ≤ supers",
+            format!("≤ {}", spec.super_generator_count()),
+            format!(
+                "{} ({:.2})",
+                if i_deg <= spec.super_generator_count() as f64 + 1e-9 {
+                    format!("≤ {}", spec.super_generator_count())
+                } else {
+                    "VIOLATED".into()
+                },
+                i_deg
+            ),
+        );
+        rows.last_mut().unwrap().ok = i_deg <= spec.super_generator_count() as f64 + 1e-9;
+    }
+
+    // Routing algorithm attains the diameter (worst pair) — HSN(2,Q2)
+    {
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+        let ip = spec.to_ip_spec().generate().unwrap();
+        let router = routing::SuperRouter::new(&spec).unwrap();
+        let mut worst = 0usize;
+        for u in 0..ip.node_count() as u32 {
+            for v in 0..ip.node_count() as u32 {
+                let p = router.route(ip.label(u), ip.label(v)).unwrap();
+                worst = worst.max(p.len() - 1);
+            }
+        }
+        check(
+            &mut rows,
+            &spec.name,
+            "Thm 4.1: routing worst-case",
+            routing::predicted_diameter(&spec).unwrap(),
+            worst,
+        );
+    }
+
+    // §5.3 off-module links per node (max, under nucleus packing)
+    let off_module_max = |tn: &TupleNetwork| -> usize {
+        let g = tn.build();
+        let (class, _) = tn.nucleus_partition();
+        (0..g.node_count() as u32)
+            .map(|u| {
+                g.neighbors(u)
+                    .iter()
+                    .filter(|&&v| class[u as usize] != class[v as usize])
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    use ipg_networks::{classic, hier};
+    for (l, want) in [(2usize, 1usize), (3, 2), (4, 2), (5, 2)] {
+        let tn = hier::ring_cn(l, classic::hypercube(2), "Q2");
+        check(
+            &mut rows,
+            &tn.name,
+            "§5.3: off-module links",
+            want,
+            off_module_max(&tn),
+        );
+    }
+    for (l, want) in [(2usize, 1usize), (3, 2), (4, 3), (5, 4)] {
+        let tn = hier::hsn(l, classic::hypercube(2), "Q2");
+        check(
+            &mut rows,
+            &tn.name,
+            "§5.3: off-module links",
+            want,
+            off_module_max(&tn),
+        );
+        let tn = hier::complete_cn(l, classic::hypercube(2), "Q2");
+        check(
+            &mut rows,
+            &tn.name,
+            "§5.3: off-module links",
+            want,
+            off_module_max(&tn),
+        );
+        let tn = hier::superflip(l, classic::hypercube(2), "Q2");
+        check(
+            &mut rows,
+            &tn.name,
+            "§5.3: off-module links",
+            want,
+            off_module_max(&tn),
+        );
+    }
+
+    // §3.2 embedding: HSN(l, Q_n) ⊇ Q_{l·n} with dilation 3
+    for (l, n) in [(2usize, 2usize), (2, 3), (3, 2)] {
+        let tn = hier::hsn(l, classic::hypercube(n), &format!("Q{n}"));
+        let host = tn.build();
+        let guest = classic::hypercube(l * n);
+        // identity mapping: guest bits = concatenated tuple coordinates
+        let map: Vec<u32> = (0..guest.node_count() as u32).collect();
+        let dil = ipg_core::embed::dilation(&guest, &host, &map).expect("embedding valid");
+        check(
+            &mut rows,
+            &tn.name,
+            format!("§3.2: Q{} dilation ≤ 3", l * n).as_str(),
+            "≤ 3".to_string(),
+            if dil <= 3 {
+                "≤ 3".to_string()
+            } else {
+                format!("{dil}")
+            },
+        );
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.clone(),
+                r.check.clone(),
+                r.predicted.clone(),
+                r.measured.clone(),
+                if r.ok { "ok" } else { "MISMATCH" }.into(),
+            ]
+        })
+        .collect();
+    println!("== Theorem and §5.3 claim checks ==");
+    print_table(&["network", "check", "paper", "measured", ""], &table);
+
+    let failures = rows.iter().filter(|r| !r.ok).count();
+    println!();
+    println!("{} checks, {} mismatches", rows.len(), failures);
+    write_json("thm_checks", &rows);
+    assert_eq!(failures, 0, "paper claims violated");
+}

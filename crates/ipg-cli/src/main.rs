@@ -1,0 +1,289 @@
+//! `ipg` — command-line interface to the IP-graph workspace.
+//!
+//! ```text
+//! ipg info <network>                  topology + §5 metrics
+//! ipg compare <network> <network>...  side-by-side cost table
+//! ipg dot <network>                   Graphviz DOT on stdout
+//! ipg route <network> <src> <dst>     shortest route (node ids)
+//! ipg simulate <network> [rate]       packet simulation
+//! ipg help                            the network mini-language
+//! ```
+
+mod spec;
+
+use ipg_cluster::{costs, imetrics, partition::Partition};
+use ipg_core::algo;
+use ipg_sim::engine::{run_clustered, SimConfig};
+use spec::{parse, ParsedNetwork};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => with_network(&args, 1, cmd_info),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("dot") => with_network(&args, 1, cmd_dot),
+        Some("route") => cmd_route(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("layout") => with_network(&args, 1, cmd_layout),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `ipg help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_network(
+    args: &[String],
+    idx: usize,
+    f: impl Fn(&ParsedNetwork) -> Result<(), String>,
+) -> Result<(), String> {
+    let spec = args
+        .get(idx)
+        .ok_or("missing network argument; try `ipg help`")?;
+    f(&parse(spec)?)
+}
+
+fn print_help() {
+    println!("ipg — hierarchical interconnection networks (Yeh & Parhami, ICPP 1999)");
+    println!();
+    println!("commands:");
+    println!("  info <network>                 topology + clustered (§5) metrics");
+    println!("  compare <network> <network>..  cost table (DD / ID / II)");
+    println!("  dot <network>                  Graphviz DOT on stdout");
+    println!("  route <network> <src> <dst>    shortest route between node ids");
+    println!("  simulate <network> [rate]      packet simulation (default rate 0.01)");
+    println!("  layout <network>               bisection width + grid-layout wirelength");
+    println!("  solve <game> <src> <dst>       solve a ball-arrangement game (games:");
+    println!("                                 star:n, pancake:n; labels like 654321)");
+    println!();
+    println!("networks (family:args):");
+    println!("  hypercube:10  folded:8  torus:32  kary:4,3  ring:64  complete:16");
+    println!("  star:7  pancake:6  petersen  debruijn:8  se:8  ccc:5  gh:3,4,5");
+    println!("  rotator:6  macro-star:l=2,n=3");
+    println!("  hsn:l=3,nucleus=Q4      ring-cn:l=4,nucleus=FQ4");
+    println!("  cn:l=3,nucleus=P        superflip:l=3,nucleus=Q2");
+    println!("  hsn:l=2,nucleus=Q2,symmetric   (distinct-symbol Cayley variant)");
+    println!("  hcn:4  hfn:3  hhn:3  rcc:l=2,m=8  hse:l=2,n=4  cpn:3");
+    println!();
+    println!("nuclei: Q<n> FQ<n> K<n> S<n> C<n> P GH<r>x<r>");
+}
+
+fn cmd_info(net: &ParsedNetwork) -> Result<(), String> {
+    let g = &net.graph;
+    println!("network:      {}", net.name);
+    println!("nodes:        {}", g.node_count());
+    println!(
+        "links:        {}{}",
+        g.arc_count() / 2,
+        if g.is_symmetric() { "" } else { " (directed arcs/2)" }
+    );
+    println!("degree:       {}..{}", g.min_degree(), g.max_degree());
+    if g.node_count() <= 100_000 {
+        println!("diameter:     {}", algo::diameter(g));
+        println!("avg distance: {:.3}", algo::average_distance(g));
+    } else {
+        println!("diameter:     (skipped; > 100k nodes)");
+    }
+    if g.node_count() <= 5_000 {
+        if let Some(girth) = algo::girth(g) {
+            println!("girth:        {girth}");
+        }
+    }
+    if let Some(part) = &net.partition {
+        let m = imetrics::exact_metrics(g, part);
+        println!();
+        println!(
+            "packing:        {} modules of ≤ {} nodes",
+            part.count,
+            part.max_module_size()
+        );
+        println!("I-degree:       {:.2}", m.i_degree);
+        println!("I-diameter:     {}", m.i_diameter);
+        println!("avg I-distance: {:.2}", m.avg_i_distance);
+    }
+    Ok(())
+}
+
+fn cmd_compare(specs: &[String]) -> Result<(), String> {
+    if specs.is_empty() {
+        return Err("compare needs at least one network".into());
+    }
+    println!(
+        "{:<24} {:>8} {:>4} {:>5} {:>8} {:>6} {:>7} {:>8} {:>8}",
+        "network", "N", "deg", "diam", "DD", "I-deg", "I-diam", "ID", "II"
+    );
+    for s in specs {
+        let net = parse(s)?;
+        let part = net
+            .partition
+            .clone()
+            .unwrap_or_else(|| Partition::singletons(net.graph.node_count()));
+        let c = costs::summarize(&net.name, &net.graph, &part);
+        println!(
+            "{:<24} {:>8} {:>4} {:>5} {:>8.0} {:>6.2} {:>7} {:>8.1} {:>8.1}",
+            c.name,
+            c.nodes,
+            c.degree,
+            c.diameter,
+            c.dd_cost(),
+            c.i_degree,
+            c.i_diameter,
+            c.id_cost(),
+            c.ii_cost()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dot(net: &ParsedNetwork) -> Result<(), String> {
+    if net.graph.node_count() > 2_000 {
+        return Err("refusing to emit DOT for > 2000 nodes".into());
+    }
+    print!(
+        "{}",
+        ipg_networks::viz::to_dot(&net.graph, &net.name, |v| v.to_string())
+    );
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let net = parse(args.first().ok_or("route needs a network")?)?;
+    let parse_node = |s: &String| -> Result<u32, String> {
+        let v = s.parse::<u32>().map_err(|_| format!("bad node id `{s}`"))?;
+        if (v as usize) < net.graph.node_count() {
+            Ok(v)
+        } else {
+            Err(format!("node {v} out of range"))
+        }
+    };
+    let src = parse_node(args.get(1).ok_or("route needs <src> <dst>")?)?;
+    let dst = parse_node(args.get(2).ok_or("route needs <src> <dst>")?)?;
+    let path =
+        algo::shortest_path(&net.graph, src, dst).ok_or("destination unreachable")?;
+    println!(
+        "{}: {} -> {} in {} hops",
+        net.name,
+        src,
+        dst,
+        path.len() - 1
+    );
+    for w in path.windows(2) {
+        let off = net
+            .partition
+            .as_ref()
+            .map(|p| !p.same(w[0], w[1]))
+            .unwrap_or(false);
+        println!("  {} -> {}{}", w[0], w[1], if off { "   (off-module)" } else { "" });
+    }
+    if let Some(tn) = &net.tuple {
+        let (_, t_src) = tn.decode(src);
+        let (_, t_dst) = tn.decode(dst);
+        println!("  tuples: {t_src:?} -> {t_dst:?}");
+    }
+    Ok(())
+}
+
+fn cmd_layout(net: &ParsedNetwork) -> Result<(), String> {
+    if net.graph.node_count() > 4_096 {
+        return Err("layout analysis capped at 4096 nodes".into());
+    }
+    let b = ipg_layout::bisection::bisection_width_kl(&net.graph, 16, 0xcafe);
+    println!("network:            {}", net.name);
+    println!("bisection (KL ub):  {b}");
+    println!(
+        "Thompson area ≥     {}",
+        ipg_layout::grid::thompson_area_lower_bound(b as u64)
+    );
+    let naive = ipg_layout::grid::row_major_layout(net.graph.node_count());
+    println!(
+        "row-major layout:   area {}, total wirelength {}, max wire {}",
+        naive.area(),
+        naive.total_wirelength(&net.graph),
+        naive.max_wirelength(&net.graph)
+    );
+    if let Some(tn) = &net.tuple {
+        let rec = ipg_layout::grid::recursive_layout(tn);
+        println!(
+            "recursive layout:   area {}, total wirelength {}, max wire {}",
+            rec.area(),
+            rec.total_wirelength(&net.graph),
+            rec.max_wirelength(&net.graph)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    use ipg_core::label::Label;
+    use ipg_core::solve::solve;
+    use ipg_core::spec::IpGraphSpec;
+
+    let game = args.first().ok_or("solve needs a game, e.g. `star:6`")?;
+    let spec: IpGraphSpec = match game.split_once(':') {
+        Some(("star", n)) => {
+            IpGraphSpec::star(n.parse().map_err(|_| format!("bad size `{n}`"))?)
+        }
+        Some(("pancake", n)) => {
+            IpGraphSpec::pancake(n.parse().map_err(|_| format!("bad size `{n}`"))?)
+        }
+        _ => return Err(format!("unknown game `{game}` (star:n or pancake:n)")),
+    };
+    let src = Label::parse(args.get(1).ok_or("solve needs <src> <dst> labels")?)
+        .ok_or("bad src label")?;
+    let dst = Label::parse(args.get(2).ok_or("solve needs <src> <dst> labels")?)
+        .ok_or("bad dst label")?;
+    let sol =
+        solve(&spec, &src, &dst, 50_000_000).map_err(|e| e.to_string())?;
+    println!("{} -> {} in {} moves:", src, dst, sol.len());
+    let mut cur = src.symbols().to_vec();
+    for &m in &sol.moves {
+        cur = spec.generators[m].perm.apply(&cur);
+        println!(
+            "  {:<8} -> {}",
+            spec.generators[m].name,
+            Label::from(cur.clone())
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let net = parse(args.first().ok_or("simulate needs a network")?)?;
+    if net.graph.node_count() > 16_384 {
+        return Err("simulation capped at 16384 nodes".into());
+    }
+    let rate: f64 = args
+        .get(1)
+        .map(|s| s.parse().map_err(|_| format!("bad rate `{s}`")))
+        .transpose()?
+        .unwrap_or(0.01);
+    let cfg = SimConfig {
+        injection_rate: rate,
+        warmup_cycles: 500,
+        measure_cycles: 2_000,
+        drain_cycles: 4_000,
+        ..SimConfig::default()
+    };
+    let module: Vec<u32> = match &net.partition {
+        Some(p) => p.class.clone(),
+        None => vec![0; net.graph.node_count()],
+    };
+    let r = run_clustered(&net.graph, &module, &cfg);
+    println!("network:    {}", net.name);
+    println!("rate:       {rate}");
+    println!("injected:   {}", r.injected);
+    println!("delivered:  {} ({:.1}%)", r.delivered, 100.0 * r.delivered as f64 / r.injected.max(1) as f64);
+    println!("latency:    avg {:.2}, max {}", r.avg_latency, r.max_latency);
+    println!("throughput: {:.4} packets/node/cycle", r.throughput);
+    Ok(())
+}

@@ -1,0 +1,317 @@
+//! The CLI's network mini-language.
+//!
+//! A network is written `family` or `family:args`, where `args` is a
+//! comma-separated list of integers or `key=value` pairs. Examples:
+//!
+//! ```text
+//! hypercube:10            folded:8            torus:32
+//! star:7                  pancake:6           petersen
+//! debruijn:8              se:8                ccc:5
+//! ring:64                 complete:16         gh:3,4,5
+//! hsn:l=3,nucleus=Q4      ring-cn:l=4,nucleus=FQ4
+//! cn:l=3,nucleus=P        superflip:l=3,nucleus=Q2
+//! hcn:4                   hfn:3               hhn:3
+//! rcc:l=2,m=8             hse:l=2,n=4         cpn:3
+//! macro-star:l=2,n=2      rotator:6
+//! ```
+//!
+//! Nucleus names: `Q<n>` (hypercube), `FQ<n>` (folded hypercube), `K<n>`
+//! (complete), `S<n>` (star), `P` (Petersen), `C<n>` (ring),
+//! `GH<r>x<r>...` (generalized hypercube).
+
+use ipg_cluster::partition::{self, Partition};
+use ipg_core::graph::Csr;
+use ipg_core::superip::TupleNetwork;
+use ipg_networks::{classic, hier, ipdefs};
+
+/// A parsed network: graph, display name, and (when a natural packing
+/// exists) the §5 module partition.
+#[derive(Debug)]
+pub struct ParsedNetwork {
+    /// Display name.
+    pub name: String,
+    /// The graph.
+    pub graph: Csr,
+    /// Natural module packing, if the family has one.
+    pub partition: Option<Partition>,
+    /// The tuple form, when the network is a super-IP graph (enables
+    /// hierarchical routing display).
+    pub tuple: Option<TupleNetwork>,
+}
+
+/// Parse errors carry a human-readable message.
+pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
+    let (family, rest) = match input.split_once(':') {
+        Some((f, r)) => (f, r),
+        None => (input, ""),
+    };
+    // bare tokens: digits are positional integers, words are flags
+    let ints: Vec<usize> = rest
+        .split(',')
+        .filter(|s| !s.is_empty() && !s.contains('=') && s.starts_with(|c: char| c.is_ascii_digit()))
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad integer `{s}`")))
+        .collect::<Result<_, _>>()?;
+    let flag = |name: &str| rest.split(',').any(|s| s == name);
+    let kv = |key: &str| -> Option<&str> {
+        rest.split(',')
+            .filter_map(|s| s.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    };
+    let int_kv = |key: &str| -> Result<Option<usize>, String> {
+        kv(key)
+            .map(|v| v.parse::<usize>().map_err(|_| format!("bad {key}=`{v}`")))
+            .transpose()
+    };
+    let need = |idx: usize, what: &str| -> Result<usize, String> {
+        ints.get(idx)
+            .copied()
+            .ok_or_else(|| format!("{family} needs {what}, e.g. `{family}:8`"))
+    };
+
+    let simple = |name: String, graph: Csr, partition: Option<Partition>| {
+        Ok(ParsedNetwork {
+            name,
+            graph,
+            partition,
+            tuple: None,
+        })
+    };
+
+    match family {
+        "hypercube" | "cube" | "q" => {
+            let n = need(0, "a dimension")?;
+            let part = partition::subcube_partition(n, n.min(4));
+            simple(format!("Q{n}"), classic::hypercube(n), Some(part))
+        }
+        "folded" | "fq" => {
+            let n = need(0, "a dimension")?;
+            let part = partition::subcube_partition(n, n.min(4));
+            simple(format!("FQ{n}"), classic::folded_hypercube(n), Some(part))
+        }
+        "torus" => {
+            let k = need(0, "a side length")?;
+            let part = (k % 4 == 0).then(|| partition::torus_block_partition(k, 4, 4));
+            simple(format!("torus {k}x{k}"), classic::torus2d(k), part)
+        }
+        "kary" => {
+            let k = need(0, "radix")?;
+            let n = need(1, "dimensions")?;
+            simple(format!("{k}-ary {n}-cube"), classic::kary_ncube(k, n), None)
+        }
+        "ring" => {
+            let n = need(0, "a length")?;
+            simple(format!("C{n}"), classic::ring(n), None)
+        }
+        "complete" => {
+            let n = need(0, "a size")?;
+            simple(format!("K{n}"), classic::complete(n), None)
+        }
+        "star" => {
+            let n = need(0, "a size")?;
+            let labels = classic::star_labels(n);
+            let part = partition::substar_partition(&labels, 3.min(n));
+            simple(format!("S{n}"), classic::star(n), Some(part))
+        }
+        "pancake" => {
+            let n = need(0, "a size")?;
+            simple(format!("pancake-{n}"), classic::pancake(n), None)
+        }
+        "petersen" => simple("Petersen".into(), classic::petersen(), None),
+        "debruijn" | "db" => {
+            let n = need(0, "a dimension")?;
+            let part = partition::subcube_partition(n, n.min(4));
+            simple(format!("DB(2,{n})"), classic::debruijn(n), Some(part))
+        }
+        "se" | "shuffle-exchange" => {
+            let n = need(0, "a dimension")?;
+            simple(format!("SE{n}"), classic::shuffle_exchange(n), None)
+        }
+        "ccc" => {
+            let n = need(0, "a dimension")?;
+            let part = partition::ccc_cycle_partition(n);
+            simple(format!("CCC({n})"), classic::ccc(n), Some(part))
+        }
+        "gh" => {
+            if ints.len() < 2 {
+                return Err("gh needs at least two radices, e.g. `gh:3,4`".into());
+            }
+            simple(
+                format!(
+                    "GH({})",
+                    ints.iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join("x")
+                ),
+                classic::generalized_hypercube(&ints),
+                None,
+            )
+        }
+        "rotator" => {
+            let n = need(0, "a size")?;
+            let ip = ipdefs::rotator_ip(n)
+                .generate()
+                .map_err(|e| e.to_string())?;
+            simple(format!("rotator-{n}"), ip.to_directed_csr(), None)
+        }
+        "macro-star" | "ms" => {
+            let l = int_kv("l")?.ok_or("macro-star needs l=..")?;
+            let n = int_kv("n")?.ok_or("macro-star needs n=..")?;
+            let ip = ipdefs::macro_star_ip(l, n)
+                .generate()
+                .map_err(|e| e.to_string())?;
+            simple(format!("MS({l},{n})"), ip.to_undirected_csr(), None)
+        }
+        "hcn" => {
+            let n = need(0, "a dimension")?;
+            let tn = hier::hsn(2, classic::hypercube(n), &format!("Q{n}"));
+            let graph = tn.build();
+            let (class, count) = tn.nucleus_partition();
+            Ok(ParsedNetwork {
+                name: format!("HCN({n},{n})"),
+                graph,
+                partition: Some(Partition::new(class, count)),
+                tuple: Some(tn),
+            })
+        }
+        "hfn" => {
+            let n = need(0, "a dimension")?;
+            let tn = hier::hfn(n);
+            let graph = tn.build();
+            let (class, count) = tn.nucleus_partition();
+            Ok(ParsedNetwork {
+                name: tn.name.clone(),
+                graph,
+                partition: Some(Partition::new(class, count)),
+                tuple: Some(tn),
+            })
+        }
+        "hhn" => {
+            let k = need(0, "a dimension")?;
+            simple(format!("HHN({k})"), hier::hhn(k), None)
+        }
+        "rcc" => {
+            let l = int_kv("l")?.ok_or("rcc needs l=..")?;
+            let m = int_kv("m")?.ok_or("rcc needs m=..")?;
+            tuple_network(hier::rcc(l, m))
+        }
+        "hse" => {
+            let l = int_kv("l")?.ok_or("hse needs l=..")?;
+            let n = int_kv("n")?.ok_or("hse needs n=..")?;
+            tuple_network(hier::hse(l, n))
+        }
+        "cpn" => {
+            let l = need(0, "a depth")?;
+            tuple_network(hier::cyclic_petersen(l))
+        }
+        "hsn" | "ring-cn" | "cn" | "complete-cn" | "superflip" => {
+            let l = int_kv("l")?.ok_or_else(|| format!("{family} needs l=.."))?;
+            let (nucleus, nname) = parse_nucleus(kv("nucleus").unwrap_or("Q2"))?;
+            let mut tn = match family {
+                "hsn" => hier::hsn(l, nucleus, &nname),
+                "ring-cn" => hier::ring_cn(l, nucleus, &nname),
+                "cn" | "complete-cn" => hier::complete_cn(l, nucleus, &nname),
+                _ => hier::superflip(l, nucleus, &nname),
+            };
+            if flag("symmetric") {
+                tn = hier::symmetric(&tn);
+            }
+            tuple_network(tn)
+        }
+        other => Err(format!(
+            "unknown family `{other}`; see `ipg help` for the list"
+        )),
+    }
+}
+
+fn tuple_network(tn: TupleNetwork) -> Result<ParsedNetwork, String> {
+    let graph = tn.build();
+    let (class, count) = tn.nucleus_partition();
+    Ok(ParsedNetwork {
+        name: tn.name.clone(),
+        graph,
+        partition: Some(Partition::new(class, count)),
+        tuple: Some(tn),
+    })
+}
+
+/// Parse a nucleus name: `Q4`, `FQ3`, `K8`, `S4`, `P`, `C6`, `GH3x4`.
+pub fn parse_nucleus(s: &str) -> Result<(Csr, String), String> {
+    let num = |prefix: &str| -> Result<usize, String> {
+        s[prefix.len()..]
+            .parse::<usize>()
+            .map_err(|_| format!("bad nucleus `{s}`"))
+    };
+    if s == "P" {
+        return Ok((classic::petersen(), "P".into()));
+    }
+    if let Some(rest) = s.strip_prefix("GH") {
+        let radices: Vec<usize> = rest
+            .split('x')
+            .map(|r| r.parse::<usize>().map_err(|_| format!("bad nucleus `{s}`")))
+            .collect::<Result<_, _>>()?;
+        return Ok((classic::generalized_hypercube(&radices), s.to_string()));
+    }
+    if s.starts_with("FQ") {
+        return Ok((classic::folded_hypercube(num("FQ")?), s.to_string()));
+    }
+    match s.as_bytes().first() {
+        Some(b'Q') => Ok((classic::hypercube(num("Q")?), s.to_string())),
+        Some(b'K') => Ok((classic::complete(num("K")?), s.to_string())),
+        Some(b'S') => Ok((classic::star(num("S")?), s.to_string())),
+        Some(b'C') => Ok((classic::ring(num("C")?), s.to_string())),
+        _ => Err(format!("unknown nucleus `{s}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_families() {
+        assert_eq!(parse("hypercube:6").unwrap().graph.node_count(), 64);
+        assert_eq!(parse("torus:8").unwrap().graph.node_count(), 64);
+        assert_eq!(parse("star:5").unwrap().graph.node_count(), 120);
+        assert_eq!(parse("petersen").unwrap().graph.node_count(), 10);
+        assert_eq!(parse("gh:3,4").unwrap().graph.node_count(), 12);
+        assert_eq!(parse("ccc:3").unwrap().graph.node_count(), 24);
+    }
+
+    #[test]
+    fn parse_super_ip_families() {
+        let p = parse("hsn:l=3,nucleus=Q2").unwrap();
+        assert_eq!(p.graph.node_count(), 64);
+        assert!(p.tuple.is_some());
+        assert!(p.partition.is_some());
+
+        let p = parse("ring-cn:l=2,nucleus=FQ3").unwrap();
+        assert_eq!(p.graph.node_count(), 64);
+
+        let p = parse("cn:l=2,nucleus=P").unwrap();
+        assert_eq!(p.graph.node_count(), 100);
+
+        let p = parse("hsn:l=2,nucleus=Q1,symmetric").unwrap();
+        assert_eq!(p.graph.node_count(), 8); // 2!·2^2
+    }
+
+    #[test]
+    fn parse_hierarchical_names() {
+        assert_eq!(parse("hcn:3").unwrap().graph.node_count(), 64);
+        assert_eq!(parse("hfn:2").unwrap().graph.node_count(), 16);
+        assert_eq!(parse("hhn:2").unwrap().graph.node_count(), 64);
+        assert_eq!(parse("cpn:2").unwrap().graph.node_count(), 100);
+        assert_eq!(parse("rcc:l=2,m=4").unwrap().graph.node_count(), 16);
+        assert_eq!(parse("macro-star:l=2,n=2").unwrap().graph.node_count(), 120);
+        assert_eq!(parse("rotator:4").unwrap().graph.node_count(), 24);
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse("frobcube:3").unwrap_err().contains("unknown family"));
+        assert!(parse("hypercube").unwrap_err().contains("dimension"));
+        assert!(parse("hsn:nucleus=Q2").unwrap_err().contains("l="));
+        assert!(parse("hsn:l=2,nucleus=Z9").unwrap_err().contains("nucleus"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # ipg-cluster — module packing and hierarchical cost metrics
+//!
+//! Section 5 of the paper evaluates networks under the assumption that
+//! several nodes share a physical module (chip/board/MCM) and that
+//! off-module transmissions are the scarce resource. This crate implements:
+//!
+//! - [`partition`] — assignments of nodes to modules: one nucleus per
+//!   module for super-IP graphs, subcubes for hypercubes, sub-stars for
+//!   star graphs, MSB groups for de Bruijn graphs, blocks for tori;
+//! - [`imetrics`] — the paper's inter-cluster measures: **I-degree** (max
+//!   over modules of the average per-node off-module links), **I-diameter**
+//!   (max off-module hops needed between any two nodes) and **average
+//!   I-distance**, computed exactly with 0/1-weighted BFS or via the
+//!   module quotient graph;
+//! - [`costs`] — the composite figures of merit: **DD-cost** (degree ×
+//!   diameter, Fig. 2), **ID-cost** (I-degree × diameter, Fig. 4) and
+//!   **II-cost** (I-degree × I-diameter, Fig. 5);
+//! - [`analytic`] — closed-form degree/diameter/I-metric models per network
+//!   family, letting the figure sweeps extend far past BFS-feasible sizes
+//!   (each formula is cross-checked against exact values in tests).
+
+pub mod analytic;
+pub mod collective;
+pub mod costs;
+pub mod imetrics;
+pub mod partition;
+
+pub use costs::CostSummary;
+pub use imetrics::InterClusterMetrics;
+pub use partition::Partition;

@@ -1,0 +1,382 @@
+//! Graph algorithms: BFS, eccentricities, diameter, average distance,
+//! 0/1-weighted BFS (for inter-cluster metrics), and connectivity.
+//!
+//! All-pairs sweeps (diameter, average distance) are embarrassingly parallel
+//! over sources and run on rayon. Distances are `u32`, with `UNREACHABLE`
+//! marking disconnected pairs.
+
+use crate::graph::Csr;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Distance value for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src` over out-arcs.
+pub fn bfs(g: &Csr, src: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS with parent tracking; returns (distances, parents). `parents[src]`
+/// is `src` itself; unreachable nodes have parent `UNREACHABLE`.
+pub fn bfs_parents(g: &Csr, src: u32) -> (Vec<u32>, Vec<u32>) {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut parent = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    parent[src as usize] = src;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Shortest path from `src` to `dst` as a node sequence (inclusive), or
+/// `None` if unreachable.
+pub fn shortest_path(g: &Csr, src: u32, dst: u32) -> Option<Vec<u32>> {
+    let (dist, parent) = bfs_parents(g, src);
+    if dist[dst as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Eccentricity of `src` (max finite BFS distance); `UNREACHABLE` if any
+/// node is unreachable.
+pub fn eccentricity(g: &Csr, src: u32) -> u32 {
+    bfs(g, src).into_iter().max().unwrap_or(0)
+}
+
+/// Exact diameter by all-sources parallel BFS. Returns `UNREACHABLE` for
+/// disconnected graphs.
+pub fn diameter(g: &Csr) -> u32 {
+    (0..g.node_count() as u32)
+        .into_par_iter()
+        .map(|s| eccentricity(g, s))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Diameter estimated from a subset of sources (exact if the graph is
+/// vertex-transitive and `sources` is non-empty, since then all
+/// eccentricities are equal).
+pub fn diameter_from_sources(g: &Csr, sources: &[u32]) -> u32 {
+    sources
+        .par_iter()
+        .map(|&s| eccentricity(g, s))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Sum of distances and finite-pair count from one source.
+fn distance_sum(g: &Csr, src: u32) -> (u64, u64) {
+    let d = bfs(g, src);
+    let mut sum = 0u64;
+    let mut cnt = 0u64;
+    for (v, &dv) in d.iter().enumerate() {
+        if dv != UNREACHABLE && v as u32 != src {
+            sum += dv as u64;
+            cnt += 1;
+        }
+    }
+    (sum, cnt)
+}
+
+/// Average distance over all ordered pairs of distinct, mutually reachable
+/// nodes (all-sources parallel BFS).
+pub fn average_distance(g: &Csr) -> f64 {
+    let (sum, cnt) = (0..g.node_count() as u32)
+        .into_par_iter()
+        .map(|s| distance_sum(g, s))
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    if cnt == 0 {
+        0.0
+    } else {
+        sum as f64 / cnt as f64
+    }
+}
+
+/// Average distance estimated from the given sources only.
+pub fn average_distance_from_sources(g: &Csr, sources: &[u32]) -> f64 {
+    let (sum, cnt) = sources
+        .par_iter()
+        .map(|&s| distance_sum(g, s))
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    if cnt == 0 {
+        0.0
+    } else {
+        sum as f64 / cnt as f64
+    }
+}
+
+/// Distance histogram from one source: `hist[d]` = number of nodes at
+/// distance `d` (unreachable nodes excluded).
+pub fn distance_histogram(g: &Csr, src: u32) -> Vec<u64> {
+    let d = bfs(g, src);
+    let max = d
+        .iter()
+        .copied()
+        .filter(|&x| x != UNREACHABLE)
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0u64; max as usize + 1];
+    for &dv in &d {
+        if dv != UNREACHABLE {
+            hist[dv as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// 0/1-weighted BFS: arcs for which `heavy(u, v)` is true cost 1, others
+/// cost 0. Used for exact inter-cluster distances (off-module hops cost 1,
+/// on-module hops are free — paper §5.2).
+pub fn bfs_01(g: &Csr, src: u32, mut heavy: impl FnMut(u32, u32) -> bool) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut deque = VecDeque::new();
+    dist[src as usize] = 0;
+    deque.push_back(src);
+    while let Some(u) = deque.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            let w = if heavy(u, v) { 1 } else { 0 };
+            let nd = du + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                if w == 0 {
+                    deque.push_front(v);
+                } else {
+                    deque.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Is the graph (weakly) connected? Checks reachability in the symmetrized
+/// graph.
+pub fn is_connected(g: &Csr) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    let sym = if g.is_symmetric() {
+        g.clone()
+    } else {
+        g.symmetrized()
+    };
+    bfs(&sym, 0).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Is the directed graph strongly connected? (Every node reachable from 0
+/// and 0 reachable from every node.)
+pub fn is_strongly_connected(g: &Csr) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    bfs(g, 0).iter().all(|&d| d != UNREACHABLE)
+        && bfs(&g.reversed(), 0).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Girth (length of the shortest cycle) of an undirected simple graph, or
+/// `None` for forests. O(n·m); fine for the validation sizes we use it at.
+pub fn girth(g: &Csr) -> Option<u32> {
+    let n = g.node_count();
+    let mut best: u32 = UNREACHABLE;
+    for src in 0..n as u32 {
+        // BFS that detects the shortest cycle through src.
+        let mut dist = vec![UNREACHABLE; n];
+        let mut parent = vec![UNREACHABLE; n];
+        let mut queue = VecDeque::new();
+        dist[src as usize] = 0;
+        parent[src as usize] = src;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            if dist[u as usize] * 2 >= best {
+                break;
+            }
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    parent[v as usize] = u;
+                    queue.push_back(v);
+                } else if parent[u as usize] != v {
+                    best = best.min(dist[u as usize] + dist[v as usize] + 1);
+                }
+            }
+        }
+    }
+    (best != UNREACHABLE).then_some(best)
+}
+
+/// A cheap structural fingerprint: (n, arcs, min/max degree, diameter,
+/// distance histogram from node 0, girth). Equal fingerprints do not prove
+/// isomorphism but are a strong necessary condition used to cross-validate
+/// direct constructions against IP-generated graphs at sizes where exact
+/// isomorphism search is too slow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Node count.
+    pub nodes: usize,
+    /// Arc count.
+    pub arcs: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Exact diameter.
+    pub diameter: u32,
+    /// Sorted multiset of all-node distance histograms (vertex-invariant).
+    pub sorted_histograms: Vec<Vec<u64>>,
+    /// Girth (None for forests).
+    pub girth: Option<u32>,
+}
+
+/// Compute the [`Fingerprint`] of a graph.
+pub fn fingerprint(g: &Csr) -> Fingerprint {
+    let mut hists: Vec<Vec<u64>> = (0..g.node_count() as u32)
+        .into_par_iter()
+        .map(|s| distance_histogram(g, s))
+        .collect();
+    hists.sort();
+    let diameter = hists
+        .iter()
+        .map(|h| h.len() as u32 - 1)
+        .max()
+        .unwrap_or(0);
+    Fingerprint {
+        nodes: g.node_count(),
+        arcs: g.arc_count(),
+        min_degree: g.min_degree(),
+        max_degree: g.max_degree(),
+        diameter,
+        sorted_histograms: hists,
+        girth: girth(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Csr {
+        Csr::from_fn(n, |u, out| {
+            out.push((u + 1) % n as u32);
+            out.push((u + n as u32 - 1) % n as u32);
+        })
+    }
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = cycle(6);
+        let d = bfs(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn diameter_of_cycles() {
+        assert_eq!(diameter(&cycle(6)), 3);
+        assert_eq!(diameter(&cycle(7)), 3);
+        assert_eq!(diameter(&cycle(8)), 4);
+    }
+
+    #[test]
+    fn average_distance_of_c4() {
+        // C4: each node sees distances 1,1,2 => mean 4/3.
+        let avg = average_distance(&cycle(4));
+        assert!((avg - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let g = cycle(8);
+        let p = shortest_path(&g, 0, 4).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 4);
+        for w in p.windows(2) {
+            assert!(g.has_arc(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Csr::from_edges(4, [(0, 1), (2, 3)], true);
+        let d = bfs(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn directed_connectivity() {
+        let ring = Csr::from_fn(5, |u, out| out.push((u + 1) % 5));
+        assert!(!ring.is_symmetric());
+        assert!(is_strongly_connected(&ring));
+        let path = Csr::from_edges(3, [(0, 1), (1, 2)], false);
+        assert!(!is_strongly_connected(&path));
+        assert!(is_connected(&path));
+    }
+
+    #[test]
+    fn zero_one_bfs_prefers_free_arcs() {
+        // 0-1-2 with heavy arc 0->2 direct: distance should be 0 via free path.
+        let g = Csr::from_edges(3, [(0, 1), (1, 2), (0, 2)], true);
+        let d = bfs_01(&g, 0, |u, v| (u, v) == (0, 2) || (u, v) == (2, 0));
+        assert_eq!(d, vec![0, 0, 0]);
+        let d2 = bfs_01(&g, 0, |_, _| true);
+        assert_eq!(d2, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn girth_values() {
+        assert_eq!(girth(&cycle(5)), Some(5));
+        assert_eq!(girth(&cycle(4)), Some(4));
+        let tree = Csr::from_edges(4, [(0, 1), (0, 2), (0, 3)], true);
+        assert_eq!(girth(&tree), None);
+    }
+
+    #[test]
+    fn fingerprints_distinguish() {
+        let c6 = fingerprint(&cycle(6));
+        let two_triangles = {
+            let g = Csr::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], true);
+            fingerprint(&g)
+        };
+        assert_ne!(c6, two_triangles); // same n, arcs, degrees — girth differs
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = cycle(9);
+        let h = distance_histogram(&g, 2);
+        assert_eq!(h.iter().sum::<u64>(), 9);
+    }
+}

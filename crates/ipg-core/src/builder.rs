@@ -1,0 +1,274 @@
+//! Generation of IP graphs: breadth-first closure of the seed label under
+//! the generator set (the state-transition graph of the ball-arrangement
+//! game, paper §2).
+
+use crate::error::{IpgError, Result};
+use crate::graph::Csr;
+use crate::label::Label;
+use crate::spec::IpGraphSpec;
+use crate::util::FxHashMap;
+
+/// Options controlling generation.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildOptions {
+    /// Abort with [`IpgError::BudgetExceeded`] if more nodes than this would
+    /// be generated. Guards against accidentally huge generator sets.
+    pub node_budget: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            node_budget: 64 << 20, // 64Mi nodes
+        }
+    }
+}
+
+/// A generated IP graph: node labels plus the dense arc table.
+///
+/// Arcs are stored densely: node `v` has exactly `g` out-arcs (one per
+/// generator, in spec order), so [`IpGraph::arc`]`(v, i)` is the node reached
+/// from `v` by generator `i`. Self-arcs occur when a generator fixes a label
+/// (in the paper's HCN(2,2) example, applying `T_{2,4}` to the seed
+/// `3434 3434` yields the seed itself); they are kept here because routing
+/// needs the full generator action, and dropped when converting to a
+/// [`Csr`] for metric computations.
+#[derive(Clone, Debug)]
+pub struct IpGraph {
+    spec: IpGraphSpec,
+    labels: Vec<Label>,
+    arcs: Vec<u32>, // n * g, row-major: arcs[v*g + i]
+    index: FxHashMap<Label, u32>,
+}
+
+impl IpGraph {
+    /// Run the breadth-first closure. Nodes are numbered in BFS order from
+    /// the seed (node 0 is the seed).
+    pub fn generate(spec: IpGraphSpec, opts: BuildOptions) -> Result<Self> {
+        let g = spec.generators.len();
+        let k = spec.seed.len();
+        let mut index: FxHashMap<Label, u32> = FxHashMap::default();
+        let mut labels: Vec<Label> = Vec::new();
+        let mut arcs: Vec<u32> = Vec::new();
+
+        index.insert(spec.seed.clone(), 0);
+        labels.push(spec.seed.clone());
+
+        let mut next = 0usize;
+        let mut buf = vec![0u8; k];
+        while next < labels.len() {
+            // Take the symbols out by clone: labels may grow (reallocating)
+            // while we iterate. Labels are short, this is cheap.
+            let src = labels[next].clone();
+            for gen in &spec.generators {
+                gen.perm.apply_into(src.symbols(), &mut buf);
+                let id = match index.get(buf.as_slice()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = labels.len() as u32;
+                        if labels.len() >= opts.node_budget {
+                            return Err(IpgError::BudgetExceeded {
+                                budget: opts.node_budget,
+                            });
+                        }
+                        let lab = Label::from(buf.clone());
+                        index.insert(lab.clone(), id);
+                        labels.push(lab);
+                        id
+                    }
+                };
+                arcs.push(id);
+            }
+            next += 1;
+        }
+        debug_assert_eq!(arcs.len(), labels.len() * g);
+        Ok(IpGraph {
+            spec,
+            labels,
+            arcs,
+            index,
+        })
+    }
+
+    /// The specification this graph was generated from.
+    pub fn spec(&self) -> &IpGraphSpec {
+        &self.spec
+    }
+
+    /// Number of generated nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of generators `g` (every node has exactly `g` out-arcs).
+    pub fn generator_count(&self) -> usize {
+        self.spec.generators.len()
+    }
+
+    /// Label of node `v`.
+    pub fn label(&self, v: u32) -> &Label {
+        &self.labels[v as usize]
+    }
+
+    /// All labels, indexed by node id.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Node id of `label`, if it was generated.
+    pub fn node_of(&self, label: &Label) -> Option<u32> {
+        self.index.get(label.symbols()).copied()
+    }
+
+    /// Node reached from `v` by generator `i` (may equal `v`).
+    #[inline]
+    pub fn arc(&self, v: u32, i: usize) -> u32 {
+        self.arcs[v as usize * self.generator_count() + i]
+    }
+
+    /// All `g` generator successors of `v`, in generator order.
+    #[inline]
+    pub fn arcs_of(&self, v: u32) -> &[u32] {
+        let g = self.generator_count();
+        &self.arcs[v as usize * g..(v as usize + 1) * g]
+    }
+
+    /// Which generator (if any) moves `from` to `to` in one step?
+    pub fn generator_between(&self, from: u32, to: u32) -> Option<usize> {
+        self.arcs_of(from).iter().position(|&w| w == to)
+    }
+
+    /// Convert to a directed simple [`Csr`] (drops self-arcs, dedups).
+    pub fn to_directed_csr(&self) -> Csr {
+        let g = self.generator_count();
+        let n = self.node_count();
+        Csr::from_fn(n, |u, out| {
+            out.extend_from_slice(&self.arcs[u as usize * g..(u as usize + 1) * g]);
+        })
+    }
+
+    /// Convert to an undirected simple [`Csr`] (symmetrizes, drops
+    /// self-arcs, dedups). This is the physical-network view: the paper
+    /// treats links as bidirectional channels.
+    pub fn to_undirected_csr(&self) -> Csr {
+        self.to_directed_csr().symmetrized()
+    }
+
+    /// Verify the closure property: the image of every node under every
+    /// generator is a node. (Always true by construction; used in tests.)
+    pub fn verify_closed(&self) -> bool {
+        let mut buf = vec![0u8; self.spec.seed.len()];
+        for v in 0..self.node_count() as u32 {
+            for (i, gen) in self.spec.generators.iter().enumerate() {
+                gen.perm.apply_into(self.label(v).symbols(), &mut buf);
+                match self.index.get(buf.as_slice()) {
+                    Some(&w) if w == self.arc(v, i) => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use crate::perm::Perm;
+    use crate::spec::{Generator, IpGraphSpec};
+
+    #[test]
+    fn six_star_has_720_nodes() {
+        // Paper §2: repeatedly applying the 5 generators yields all 720
+        // labels of the 6-star.
+        let ip = IpGraphSpec::star(6).generate().unwrap();
+        assert_eq!(ip.node_count(), 720);
+        assert!(ip.verify_closed());
+        let g = ip.to_undirected_csr();
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn section2_example_has_36_nodes() {
+        // Paper §2: "Repeatedly applying the 3 generators ... will result in
+        // 36 distinct nodes for this IP graph example."
+        // (The paper's seed in that passage is the 6-symbol label with two
+        // repeated triples; the generators are (1,2), (1,3) and 456123.)
+        let ip = IpGraphSpec::section2_example().generate().unwrap();
+        assert_eq!(ip.node_count(), 36);
+    }
+
+    #[test]
+    fn seed_neighbors_match_paper_star_example() {
+        let ip = IpGraphSpec::star(6).generate().unwrap();
+        let want = ["213456", "321456", "423156", "523416", "623451"];
+        for (i, w) in want.iter().enumerate() {
+            let v = ip.arc(0, i);
+            assert_eq!(ip.label(v).to_string(), *w);
+        }
+    }
+
+    #[test]
+    fn multiset_signature_is_invariant() {
+        let ip = IpGraphSpec::section2_example().generate().unwrap();
+        let sig = ip.label(0).multiset_signature();
+        for v in 0..ip.node_count() as u32 {
+            assert_eq!(ip.label(v).multiset_signature(), sig);
+        }
+    }
+
+    #[test]
+    fn self_arc_kept_in_arcs_dropped_in_csr() {
+        // A transposition of two equal symbols fixes the label.
+        let spec = IpGraphSpec::new(
+            "loopy",
+            Label::parse("1122").unwrap(),
+            vec![
+                Generator::new("(1,2)", Perm::transposition(4, 0, 1)),
+                Generator::new("(1,3)", Perm::transposition(4, 0, 2)),
+            ],
+        )
+        .unwrap();
+        let ip = spec.generate().unwrap();
+        assert_eq!(ip.arc(0, 0), 0, "swap of equal symbols is a self-arc");
+        let g = ip.to_undirected_csr();
+        for v in 0..g.node_count() as u32 {
+            assert!(!g.has_arc(v, v));
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let err = IpGraphSpec::star(8)
+            .generate_with(BuildOptions { node_budget: 100 })
+            .unwrap_err();
+        assert!(matches!(err, IpgError::BudgetExceeded { budget: 100 }));
+    }
+
+    #[test]
+    fn node_of_roundtrip() {
+        let ip = IpGraphSpec::star(5).generate().unwrap();
+        for v in 0..ip.node_count() as u32 {
+            assert_eq!(ip.node_of(ip.label(v)), Some(v));
+        }
+        assert_eq!(ip.node_of(&Label::parse("99999").unwrap()), None);
+    }
+
+    #[test]
+    fn any_seed_generates_same_graph_size() {
+        // Paper §2: using any generated node's label as the seed produces
+        // the same graph.
+        let ip = IpGraphSpec::star(5).generate().unwrap();
+        let other = IpGraphSpec::new(
+            "star-reseeded",
+            ip.label(17).clone(),
+            ip.spec().generators.clone(),
+        )
+        .unwrap()
+        .generate()
+        .unwrap();
+        assert_eq!(other.node_count(), ip.node_count());
+    }
+}

@@ -1,0 +1,177 @@
+//! Edge betweenness centrality (Brandes' algorithm).
+//!
+//! §5.2 of the paper assumes "the off-module links are uniformly
+//! utilized" when relating throughput to the average inter-cluster
+//! distance. Edge betweenness — the number of shortest paths crossing
+//! each link, with even splitting among equal-length paths — makes that
+//! assumption checkable: on edge-transitive networks every link carries
+//! the same load; on super-IP graphs the off-module links form one or few
+//! orbits and carry near-identical loads.
+
+use crate::graph::Csr;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Brandes edge betweenness for unweighted graphs: for every ordered
+/// source, shortest-path counts are accumulated onto arcs. The returned
+/// vector is indexed like the CSR arc array (`arc_index(u, i)` for the
+/// `i`-th neighbor of `u`); for undirected graphs the two directions of
+/// an edge receive equal values, so either can be read.
+pub fn edge_betweenness(g: &Csr) -> Vec<f64> {
+    let n = g.node_count();
+    // arc index base per node
+    let mut base = vec![0usize; n + 1];
+    for u in 0..n {
+        base[u + 1] = base[u] + g.degree(u as u32);
+    }
+    let arcs_total = base[n];
+
+    (0..n as u32)
+        .into_par_iter()
+        .map(|s| {
+            let mut contribution = vec![0.0f64; arcs_total];
+            // BFS with shortest-path counting
+            let mut dist = vec![u32::MAX; n];
+            let mut sigma = vec![0.0f64; n];
+            let mut order: Vec<u32> = Vec::with_capacity(n);
+            let mut queue = VecDeque::new();
+            dist[s as usize] = 0;
+            sigma[s as usize] = 1.0;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                order.push(u);
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] == u32::MAX {
+                        dist[v as usize] = dist[u as usize] + 1;
+                        queue.push_back(v);
+                    }
+                    if dist[v as usize] == dist[u as usize] + 1 {
+                        sigma[v as usize] += sigma[u as usize];
+                    }
+                }
+            }
+            // dependency accumulation in reverse BFS order
+            let mut delta = vec![0.0f64; n];
+            for &u in order.iter().rev() {
+                for (i, &v) in g.neighbors(u).iter().enumerate() {
+                    if dist[v as usize] == dist[u as usize] + 1 {
+                        let share = sigma[u as usize] / sigma[v as usize]
+                            * (1.0 + delta[v as usize]);
+                        contribution[base[u as usize] + i] += share;
+                        delta[u as usize] += share;
+                    }
+                }
+            }
+            contribution
+        })
+        .reduce(
+            || vec![0.0f64; arcs_total],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Summary of link loads split by a module partition: (min, max, mean)
+/// betweenness for on-module and off-module links separately.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSplit {
+    /// (min, max, mean) over on-module links.
+    pub on_module: (f64, f64, f64),
+    /// (min, max, mean) over off-module links.
+    pub off_module: (f64, f64, f64),
+}
+
+/// Split edge-betweenness statistics by module boundary.
+pub fn load_split(g: &Csr, class: &[u32]) -> LoadSplit {
+    let bc = edge_betweenness(g);
+    let mut idx = 0usize;
+    let mut on: Vec<f64> = Vec::new();
+    let mut off: Vec<f64> = Vec::new();
+    for u in 0..g.node_count() as u32 {
+        for &v in g.neighbors(u) {
+            if class[u as usize] == class[v as usize] {
+                on.push(bc[idx]);
+            } else {
+                off.push(bc[idx]);
+            }
+            idx += 1;
+        }
+    }
+    let stats = |v: &[f64]| -> (f64, f64, f64) {
+        if v.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mn = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let mx = v.iter().copied().fold(0.0f64, f64::max);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        (mn, mx, mean)
+    };
+    LoadSplit {
+        on_module: stats(&on),
+        off_module: stats(&off),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Csr {
+        Csr::from_fn(n, |u, out| {
+            out.push((u + 1) % n as u32);
+            out.push((u + n as u32 - 1) % n as u32);
+        })
+    }
+
+    #[test]
+    fn cycle_edges_are_uniform() {
+        let g = cycle(8);
+        let bc = edge_betweenness(&g);
+        let first = bc[0];
+        assert!(first > 0.0);
+        for &b in &bc {
+            assert!((b - first).abs() < 1e-9, "cycle edges must be uniform");
+        }
+    }
+
+    #[test]
+    fn path_center_edge_carries_most() {
+        let g = Csr::from_edges(4, [(0, 1), (1, 2), (2, 3)], true);
+        let bc = edge_betweenness(&g);
+        // arcs in CSR order: 0→1, 1→0, 1→2, 2→1, 2→3, 3→2
+        let end_edge = bc[0];
+        let center_edge = bc[2];
+        assert!(center_edge > end_edge);
+        // center edge is crossed by 4 ordered pairs (0,1)x(2,3) + ... = 8
+        assert!((center_edge - 4.0).abs() < 1e-9); // per direction: 4 pairs
+    }
+
+    #[test]
+    fn total_betweenness_equals_total_distance() {
+        // Σ over arcs of betweenness = Σ over ordered pairs of distance
+        let g = cycle(7);
+        let bc = edge_betweenness(&g);
+        let total: f64 = bc.iter().sum();
+        let avg = crate::algo::average_distance(&g);
+        let pairs = 7.0 * 6.0;
+        assert!((total - avg * pairs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hypercube_is_uniform() {
+        let g = Csr::from_fn(16, |u, out| {
+            for b in 0..4 {
+                out.push(u ^ (1 << b));
+            }
+        });
+        let bc = edge_betweenness(&g);
+        let first = bc[0];
+        for &b in &bc {
+            assert!((b - first).abs() < 1e-9);
+        }
+    }
+}

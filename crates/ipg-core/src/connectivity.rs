@@ -1,0 +1,240 @@
+//! Vertex and edge connectivity — the fault-tolerance attributes the
+//! paper's introduction highlights for Cayley-graph networks (e.g. the
+//! star graph's "fault tolerance properties").
+//!
+//! Both are computed exactly with unit-capacity max-flow (Edmonds–Karp;
+//! flow values are bounded by the minimum degree, so each pair costs
+//! `O(δ·m)`): edge connectivity as `min_{v≠u} maxflow(u, v)` for a fixed
+//! `u`, and vertex connectivity with the standard min-degree-neighborhood
+//! pair enumeration on the node-split digraph. Intended for the
+//! validation-scale instances used in tests and experiments (≤ a few
+//! thousand nodes).
+
+use crate::graph::Csr;
+use std::collections::VecDeque;
+
+/// Max-flow (unit capacities on the given directed arcs) from `s` to `t`
+/// with BFS augmentation. `arcs` lists directed arcs; each has capacity 1.
+struct UnitFlow {
+    n: usize,
+    // adjacency: (to, arc index); arcs stored as (capacity_remaining)
+    adj: Vec<Vec<(u32, u32)>>,
+    cap: Vec<u8>,
+}
+
+impl UnitFlow {
+    fn new(n: usize) -> Self {
+        UnitFlow {
+            n,
+            adj: vec![Vec::new(); n],
+            cap: Vec::new(),
+        }
+    }
+
+    /// Add a directed arc with capacity `c` and its residual reverse arc.
+    fn add(&mut self, u: u32, v: u32, c: u8) {
+        let i = self.cap.len() as u32;
+        self.adj[u as usize].push((v, i));
+        self.cap.push(c);
+        self.adj[v as usize].push((u, i + 1));
+        self.cap.push(0);
+    }
+
+    /// BFS one augmenting path; returns true if found (and applies it).
+    fn augment(&mut self, s: u32, t: u32) -> bool {
+        let mut pred: Vec<Option<(u32, u32)>> = vec![None; self.n]; // (node, arc)
+        let mut seen = vec![false; self.n];
+        let mut queue = VecDeque::new();
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                break;
+            }
+            for &(v, ai) in &self.adj[u as usize] {
+                if !seen[v as usize] && self.cap[ai as usize] > 0 {
+                    seen[v as usize] = true;
+                    pred[v as usize] = Some((u, ai));
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !seen[t as usize] {
+            return false;
+        }
+        let mut cur = t;
+        while cur != s {
+            let (p, ai) = pred[cur as usize].expect("path recorded");
+            self.cap[ai as usize] -= 1;
+            self.cap[ai as usize ^ 1] += 1;
+            cur = p;
+        }
+        true
+    }
+
+    fn max_flow(&mut self, s: u32, t: u32, stop_at: u32) -> u32 {
+        let mut flow = 0;
+        while flow < stop_at && self.augment(s, t) {
+            flow += 1;
+        }
+        flow
+    }
+}
+
+/// Local edge connectivity λ(s, t): max number of edge-disjoint paths.
+pub fn local_edge_connectivity(g: &Csr, s: u32, t: u32) -> u32 {
+    debug_assert!(g.is_symmetric());
+    let mut f = UnitFlow::new(g.node_count());
+    for (u, v) in g.arcs() {
+        // each undirected edge becomes two unit arcs (one per direction)
+        f.add(u, v, 1);
+    }
+    f.max_flow(s, t, u32::MAX)
+}
+
+/// Edge connectivity λ(G) of a connected undirected graph.
+pub fn edge_connectivity(g: &Csr) -> u32 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0;
+    }
+    let mut best = g.min_degree() as u32;
+    for v in 1..n as u32 {
+        if best == 0 {
+            break;
+        }
+        let mut f = UnitFlow::new(n);
+        for (a, b) in g.arcs() {
+            f.add(a, b, 1);
+        }
+        best = best.min(f.max_flow(0, v, best));
+    }
+    best
+}
+
+/// Local vertex connectivity κ(s, t) for non-adjacent `s`, `t`: max number
+/// of internally node-disjoint paths (node-splitting construction).
+pub fn local_vertex_connectivity(g: &Csr, s: u32, t: u32) -> u32 {
+    debug_assert!(!g.has_arc(s, t), "κ(s,t) undefined for adjacent nodes");
+    let n = g.node_count() as u32;
+    // split: v_in = 2v, v_out = 2v+1
+    let mut f = UnitFlow::new(2 * n as usize);
+    for v in 0..n {
+        let c = if v == s || v == t { u8::MAX } else { 1 };
+        f.add(2 * v, 2 * v + 1, c);
+    }
+    for (u, v) in g.arcs() {
+        f.add(2 * u + 1, 2 * v, u8::MAX);
+    }
+    f.max_flow(2 * s, 2 * t + 1, n)
+}
+
+/// Vertex connectivity κ(G) of a connected undirected graph with at least
+/// one non-adjacent pair (returns `n − 1` for complete graphs).
+///
+/// Uses the classic reduction: fix a minimum-degree node `u`; any minimum
+/// cut either contains all of `N(u)` (then κ = δ) or avoids some
+/// `s ∈ {u} ∪ N(u)`, in which case `κ = κ(s, t)` for some `t ∉ N[s]`.
+pub fn vertex_connectivity(g: &Csr) -> u32 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0;
+    }
+    let u = (0..n as u32).min_by_key(|&v| g.degree(v)).expect("nonempty");
+    let mut best = g.degree(u) as u32;
+    let mut sources: Vec<u32> = vec![u];
+    sources.extend_from_slice(g.neighbors(u));
+    for &s in &sources {
+        for t in 0..n as u32 {
+            if t == s || g.has_arc(s, t) {
+                continue;
+            }
+            best = best.min(local_vertex_connectivity(g, s, t));
+            if best == 0 {
+                return 0;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Csr {
+        Csr::from_fn(n, |u, out| {
+            out.push((u + 1) % n as u32);
+            out.push((u + n as u32 - 1) % n as u32);
+        })
+    }
+
+    fn hypercube(n: usize) -> Csr {
+        Csr::from_fn(1 << n, |u, out| {
+            for b in 0..n {
+                out.push(u ^ (1 << b));
+            }
+        })
+    }
+
+    #[test]
+    fn cycle_is_2_connected() {
+        assert_eq!(vertex_connectivity(&cycle(7)), 2);
+        assert_eq!(edge_connectivity(&cycle(7)), 2);
+    }
+
+    #[test]
+    fn path_has_cut_vertex() {
+        let p = Csr::from_edges(4, [(0, 1), (1, 2), (2, 3)], true);
+        assert_eq!(vertex_connectivity(&p), 1);
+        assert_eq!(edge_connectivity(&p), 1);
+    }
+
+    #[test]
+    fn hypercube_connectivity_is_n() {
+        for n in 2..=4 {
+            assert_eq!(vertex_connectivity(&hypercube(n)), n as u32, "κ(Q{n})");
+            assert_eq!(edge_connectivity(&hypercube(n)), n as u32, "λ(Q{n})");
+        }
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        let k5 = Csr::from_fn(5, |u, out| {
+            for v in 0..5u32 {
+                if v != u {
+                    out.push(v);
+                }
+            }
+        });
+        // no non-adjacent pair: κ defaults to δ = n − 1
+        assert_eq!(vertex_connectivity(&k5), 4);
+        assert_eq!(edge_connectivity(&k5), 4);
+    }
+
+    #[test]
+    fn two_triangles_with_bridge() {
+        let g = Csr::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+            true,
+        );
+        assert_eq!(edge_connectivity(&g), 1);
+        assert_eq!(vertex_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn local_values_are_menger_consistent() {
+        let g = hypercube(3);
+        // opposite corners of Q3: 3 disjoint paths
+        assert_eq!(local_vertex_connectivity(&g, 0, 7), 3);
+        assert_eq!(local_edge_connectivity(&g, 0, 7), 3);
+    }
+
+    #[test]
+    fn disconnected_graph_is_0_connected() {
+        let g = Csr::from_edges(4, [(0, 1), (2, 3)], true);
+        assert_eq!(vertex_connectivity(&g), 0);
+        assert_eq!(edge_connectivity(&g), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Embedding support: dilation of a guest graph mapped into a host graph.
+//!
+//! The paper (§3.2) states that an HSN can embed the corresponding
+//! homogeneous product network (hypercube, k-ary n-cube) with dilation 3;
+//! [`dilation`] lets tests verify this on concrete instances with the
+//! natural identity-on-bits mapping.
+
+use crate::algo;
+use crate::graph::Csr;
+use rayon::prelude::*;
+
+/// Dilation of the embedding `map : V(guest) -> V(host)`: the maximum host
+/// distance between the images of adjacent guest nodes. Returns `None` if
+/// some guest edge maps to disconnected host nodes or `map` is not
+/// injective.
+pub fn dilation(guest: &Csr, host: &Csr, map: &[u32]) -> Option<u32> {
+    assert_eq!(map.len(), guest.node_count());
+    let mut used = vec![false; host.node_count()];
+    for &h in map {
+        if used[h as usize] {
+            return None;
+        }
+        used[h as usize] = true;
+    }
+    // Group guest edges by source image to reuse BFS runs.
+    let sources: Vec<u32> = (0..guest.node_count() as u32).collect();
+    sources
+        .par_iter()
+        .map(|&u| {
+            if guest.degree(u) == 0 {
+                return Some(0);
+            }
+            let d = algo::bfs(host, map[u as usize]);
+            let mut worst = 0u32;
+            for &v in guest.neighbors(u) {
+                let dv = d[map[v as usize] as usize];
+                if dv == algo::UNREACHABLE {
+                    return None;
+                }
+                worst = worst.max(dv);
+            }
+            Some(worst)
+        })
+        .try_reduce(|| 0, |a, b| Some(a.max(b)))
+}
+
+/// Expansion of the embedding: `|V(host)| / |V(guest)|`.
+pub fn expansion(guest: &Csr, host: &Csr) -> f64 {
+    host.node_count() as f64 / guest.node_count() as f64
+}
+
+/// Edge congestion of the embedding: route every guest edge along one
+/// host shortest path (BFS parent tree per source image) and count the
+/// maximum number of guest edges crossing any single host edge.
+/// Undirected host edges are counted as unordered pairs.
+pub fn congestion(guest: &Csr, host: &Csr, map: &[u32]) -> Option<u32> {
+    assert_eq!(map.len(), guest.node_count());
+    use std::collections::HashMap;
+    let mut load: HashMap<(u32, u32), u32> = HashMap::new();
+    for u in 0..guest.node_count() as u32 {
+        if guest.degree(u) == 0 {
+            continue;
+        }
+        let (dist, parent) = algo::bfs_parents(host, map[u as usize]);
+        for &v in guest.neighbors(u) {
+            if v < u {
+                continue; // one direction per guest edge
+            }
+            let mut cur = map[v as usize];
+            if dist[cur as usize] == algo::UNREACHABLE {
+                return None;
+            }
+            while cur != map[u as usize] {
+                let p = parent[cur as usize];
+                let key = (cur.min(p), cur.max(p));
+                *load.entry(key).or_insert(0) += 1;
+                cur = p;
+            }
+        }
+    }
+    Some(load.values().copied().max().unwrap_or(0))
+}
+
+/// Emulation slowdown of one step of the guest network on the host under
+/// the single-port, all-edges-active model: every guest node talks to all
+/// its neighbors simultaneously; the host must deliver each such message
+/// along an embedded path. A standard lower-bound-matching estimate is
+/// `dilation × congestion`; this returns `(dilation, congestion,
+/// dilation·congestion)`.
+pub fn emulation_slowdown(guest: &Csr, host: &Csr, map: &[u32]) -> Option<(u32, u32, u32)> {
+    let d = dilation(guest, host, map)?;
+    let c = congestion(guest, host, map)?;
+    Some((d, c, d * c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Csr {
+        Csr::from_fn(n, |u, out| {
+            out.push((u + 1) % n as u32);
+            out.push((u + n as u32 - 1) % n as u32);
+        })
+    }
+
+    #[test]
+    fn identity_embedding_has_dilation_1() {
+        let g = cycle(8);
+        let map: Vec<u32> = (0..8).collect();
+        assert_eq!(dilation(&g, &g, &map), Some(1));
+    }
+
+    #[test]
+    fn cycle_into_path_has_dilation_n_minus_1() {
+        let guest = cycle(5);
+        let host = Csr::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)], true);
+        let map: Vec<u32> = (0..5).collect();
+        assert_eq!(dilation(&guest, &host, &map), Some(4));
+    }
+
+    #[test]
+    fn non_injective_rejected() {
+        let g = cycle(4);
+        assert_eq!(dilation(&g, &g, &[0, 1, 1, 2]), None);
+    }
+
+    #[test]
+    fn congestion_identity_is_one() {
+        let g = cycle(8);
+        let map: Vec<u32> = (0..8).collect();
+        assert_eq!(congestion(&g, &g, &map), Some(1));
+    }
+
+    #[test]
+    fn congestion_of_cycle_in_path() {
+        // the long edge (0, n−1) of C5 routes across the whole path,
+        // stacking onto every path edge once more.
+        let guest = cycle(5);
+        let host = Csr::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)], true);
+        let map: Vec<u32> = (0..5).collect();
+        assert_eq!(congestion(&guest, &host, &map), Some(2));
+    }
+
+    #[test]
+    fn emulation_slowdown_composes() {
+        let g = cycle(6);
+        let map: Vec<u32> = (0..6).collect();
+        assert_eq!(emulation_slowdown(&g, &g, &map), Some((1, 1, 1)));
+    }
+
+    #[test]
+    fn expansion_ratio() {
+        let guest = cycle(4);
+        let host = cycle(8);
+        assert!((expansion(&guest, &host) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised while constructing or analyzing IP graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpgError {
+    /// A permutation image was not a bijection on `0..k`.
+    InvalidPermutation {
+        /// Human-readable reason (duplicate index, out of range, ...).
+        reason: String,
+    },
+    /// A generator's length does not match the seed label length.
+    LengthMismatch {
+        /// Length expected (seed label length).
+        expected: usize,
+        /// Length found on the offending generator.
+        found: usize,
+        /// Name of the offending generator.
+        generator: String,
+    },
+    /// Generation exceeded the configured node budget.
+    BudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+    /// A routing request referenced a label outside the generated graph.
+    UnknownLabel {
+        /// Display form of the unknown label.
+        label: String,
+    },
+    /// No path exists (disconnected directed reachability).
+    Unreachable {
+        /// Source node index.
+        from: u32,
+        /// Destination node index.
+        to: u32,
+    },
+    /// A super-IP specification was internally inconsistent.
+    InvalidSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpgError::InvalidPermutation { reason } => {
+                write!(f, "invalid permutation: {reason}")
+            }
+            IpgError::LengthMismatch {
+                expected,
+                found,
+                generator,
+            } => write!(
+                f,
+                "generator `{generator}` acts on {found} positions but the seed has {expected}"
+            ),
+            IpgError::BudgetExceeded { budget } => {
+                write!(f, "generation exceeded the node budget of {budget}")
+            }
+            IpgError::UnknownLabel { label } => {
+                write!(f, "label `{label}` is not a node of the generated graph")
+            }
+            IpgError::Unreachable { from, to } => {
+                write!(f, "node {to} is unreachable from node {from}")
+            }
+            IpgError::InvalidSpec { reason } => write!(f, "invalid super-IP spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IpgError {}
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, IpgError>;

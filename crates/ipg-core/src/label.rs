@@ -1,0 +1,211 @@
+//! Multiset labels: sequences of possibly repeated symbols.
+//!
+//! This is the core relaxation that turns the Cayley-graph model into the IP
+//! graph model (paper §2): *"there may be several identical symbols in the
+//! label of a node"*. Symbols are small integers (`u8`), displayed either as
+//! digits/letters or as space-separated groups when a super-symbol width is
+//! known.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node label: a boxed sequence of symbols.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label(Box<[u8]>);
+
+impl Label {
+    /// Build a label from raw symbols.
+    pub fn new(symbols: impl Into<Box<[u8]>>) -> Self {
+        Label(symbols.into())
+    }
+
+    /// Parse a label from a compact string such as `"3434"`, where digits
+    /// `0-9` map to symbols 0–9 and letters `a-z`/`A-Z` map to 10–35.
+    /// Whitespace is ignored (the paper inserts spaces between
+    /// super-symbols purely for readability).
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut out = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            let v = match c {
+                '0'..='9' => c as u8 - b'0',
+                'a'..='z' => c as u8 - b'a' + 10,
+                'A'..='Z' => c as u8 - b'A' + 10,
+                _ => return None,
+            };
+            out.push(v);
+        }
+        Some(Label(out.into_boxed_slice()))
+    }
+
+    /// The identity-style label `1 2 3 … k` (symbols `1..=k`), the seed used
+    /// for Cayley graphs such as the star graph.
+    pub fn distinct(k: usize) -> Self {
+        assert!(k <= u8::MAX as usize, "label alphabet limited to u8");
+        Label((1..=k as u8).collect())
+    }
+
+    /// Concatenate `copies` copies of `block` (the repeated-seed construction
+    /// of super-IP graphs, §3.1).
+    pub fn repeat_block(block: &[u8], copies: usize) -> Self {
+        let mut out = Vec::with_capacity(block.len() * copies);
+        for _ in 0..copies {
+            out.extend_from_slice(block);
+        }
+        Label(out.into_boxed_slice())
+    }
+
+    /// Number of symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty label.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Symbol slice.
+    #[inline]
+    pub fn symbols(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The `i`-th width-`m` group of symbols (super-symbol, §3.1).
+    pub fn block(&self, i: usize, m: usize) -> &[u8] {
+        &self.0[i * m..(i + 1) * m]
+    }
+
+    /// Sorted copy of the symbols — the *multiset signature*. Two labels in
+    /// the same IP graph always share this signature (generators only
+    /// rearrange symbols), which is a useful invariant for tests.
+    pub fn multiset_signature(&self) -> Vec<u8> {
+        let mut v = self.0.to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Does the label consist of pairwise-distinct symbols? (If so, the IP
+    /// graph generated from it is a Cayley graph, §3.5.)
+    pub fn has_distinct_symbols(&self) -> bool {
+        let mut seen = [false; 256];
+        for &s in self.0.iter() {
+            if seen[s as usize] {
+                return false;
+            }
+            seen[s as usize] = true;
+        }
+        true
+    }
+
+    /// Render with a space between every `m` symbols, like the paper's
+    /// `3434 3434` notation.
+    pub fn display_grouped(&self, m: usize) -> String {
+        let mut out = String::with_capacity(self.0.len() + self.0.len() / m.max(1));
+        for (i, &s) in self.0.iter().enumerate() {
+            if i > 0 && m > 0 && i % m == 0 {
+                out.push(' ');
+            }
+            out.push(symbol_char(s));
+        }
+        out
+    }
+}
+
+fn symbol_char(s: u8) -> char {
+    match s {
+        0..=9 => (b'0' + s) as char,
+        10..=35 => (b'a' + s - 10) as char,
+        _ => '?',
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &s in self.0.iter() {
+            write!(f, "{}", symbol_char(s))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({self})")
+    }
+}
+
+/// Lets hash maps keyed by `Label` be probed with a bare `&[u8]`, so the
+/// generation hot loop never allocates a `Label` just to test membership.
+impl std::borrow::Borrow<[u8]> for Label {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Label {
+    fn from(v: Vec<u8>) -> Self {
+        Label(v.into_boxed_slice())
+    }
+}
+
+impl From<&[u8]> for Label {
+    fn from(v: &[u8]) -> Self {
+        Label(v.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let l = Label::parse("3434 3434").unwrap();
+        assert_eq!(l.symbols(), &[3, 4, 3, 4, 3, 4, 3, 4]);
+        assert_eq!(l.to_string(), "34343434");
+        assert_eq!(l.display_grouped(4), "3434 3434");
+    }
+
+    #[test]
+    fn parse_letters() {
+        let l = Label::parse("ab01").unwrap();
+        assert_eq!(l.symbols(), &[10, 11, 0, 1]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Label::parse("12#4").is_none());
+    }
+
+    #[test]
+    fn distinct_seed() {
+        let l = Label::distinct(6);
+        assert_eq!(l.to_string(), "123456");
+        assert!(l.has_distinct_symbols());
+    }
+
+    #[test]
+    fn repeated_seed_is_not_distinct() {
+        let l = Label::repeat_block(&[3, 4], 3);
+        assert_eq!(l.to_string(), "343434");
+        assert!(!l.has_distinct_symbols());
+    }
+
+    #[test]
+    fn blocks() {
+        let l = Label::parse("12345678").unwrap();
+        assert_eq!(l.block(1, 4), &[5, 6, 7, 8]);
+        assert_eq!(l.block(3, 2), &[7, 8]);
+    }
+
+    #[test]
+    fn multiset_signature_is_sorted() {
+        let l = Label::parse("4343").unwrap();
+        assert_eq!(l.multiset_signature(), vec![3, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,388 @@
+//! Permutations of label positions.
+//!
+//! A generator of an IP graph is a permutation of the `k` positions of a node
+//! label (paper §2). We store permutations in *one-line image form*: applying
+//! permutation `p` to a label `x` yields the label `y` with
+//! `y[i] = x[p.image()[i]]` — i.e. `image()[i]` says which old position the
+//! new position `i` reads from. This matches the paper's notation, where a
+//! generator written as the sequence `456123` maps `x1..x6` to `x4 x5 x6 x1
+//! x2 x3`.
+
+use crate::error::{IpgError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A permutation of `k` positions, stored in one-line image form.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Perm {
+    image: Box<[u16]>,
+}
+
+impl Perm {
+    /// The identity permutation on `k` positions.
+    pub fn identity(k: usize) -> Self {
+        Perm {
+            image: (0..k as u16).collect(),
+        }
+    }
+
+    /// Build from a one-line image: `image[i]` is the old position that new
+    /// position `i` reads from. Fails unless `image` is a bijection on
+    /// `0..image.len()`.
+    pub fn from_image(image: Vec<u16>) -> Result<Self> {
+        let k = image.len();
+        if k > u16::MAX as usize {
+            return Err(IpgError::InvalidPermutation {
+                reason: format!("length {k} exceeds the u16 position limit"),
+            });
+        }
+        let mut seen = vec![false; k];
+        for &p in &image {
+            if (p as usize) >= k {
+                return Err(IpgError::InvalidPermutation {
+                    reason: format!("index {p} out of range for length {k}"),
+                });
+            }
+            if seen[p as usize] {
+                return Err(IpgError::InvalidPermutation {
+                    reason: format!("index {p} appears twice"),
+                });
+            }
+            seen[p as usize] = true;
+        }
+        Ok(Perm {
+            image: image.into_boxed_slice(),
+        })
+    }
+
+    /// The transposition `(i, j)` on `k` positions (0-based): swaps the
+    /// symbols at positions `i` and `j`. The paper writes this `(i+1; j+1)`.
+    pub fn transposition(k: usize, i: usize, j: usize) -> Self {
+        assert!(i < k && j < k, "transposition positions out of range");
+        let mut image: Vec<u16> = (0..k as u16).collect();
+        image.swap(i, j);
+        Perm {
+            image: image.into_boxed_slice(),
+        }
+    }
+
+    /// Build from disjoint cycles (0-based positions). The cycle
+    /// `(p0 p1 … pr)` moves the symbol at `p0` to `p1`, `p1` to `p2`, …, and
+    /// `pr` back to `p0`.
+    pub fn from_cycles(k: usize, cycles: &[&[usize]]) -> Result<Self> {
+        let mut image: Vec<u16> = (0..k as u16).collect();
+        let mut touched = vec![false; k];
+        for cycle in cycles {
+            for w in 0..cycle.len() {
+                let from = cycle[w];
+                let to = cycle[(w + 1) % cycle.len()];
+                if from >= k || to >= k {
+                    return Err(IpgError::InvalidPermutation {
+                        reason: format!("cycle position out of range for length {k}"),
+                    });
+                }
+                if touched[from] {
+                    return Err(IpgError::InvalidPermutation {
+                        reason: format!("position {from} appears in two cycles"),
+                    });
+                }
+                touched[from] = true;
+                // symbol at `from` moves to `to` => new position `to` reads old `from`.
+                image[to] = from as u16;
+            }
+        }
+        Perm::from_image(image)
+    }
+
+    /// Cyclic left shift by `s` positions: `x1 x2 … xk ↦ x_{s+1} … xk x1 … xs`.
+    pub fn cyclic_left(k: usize, s: usize) -> Self {
+        let image: Vec<u16> = (0..k).map(|i| ((i + s) % k) as u16).collect();
+        Perm {
+            image: image.into_boxed_slice(),
+        }
+    }
+
+    /// Cyclic right shift by `s` positions (the inverse of
+    /// [`Perm::cyclic_left`] by the same amount).
+    pub fn cyclic_right(k: usize, s: usize) -> Self {
+        Perm::cyclic_left(k, (k - s % k) % k)
+    }
+
+    /// Reversal of the first `i` positions (the *flip* of §3.4 acts on
+    /// super-symbols; this is its positional building block).
+    pub fn flip_prefix(k: usize, i: usize) -> Self {
+        assert!(i <= k, "flip prefix longer than permutation");
+        let image: Vec<u16> = (0..k)
+            .map(|p| if p < i { (i - 1 - p) as u16 } else { p as u16 })
+            .collect();
+        Perm {
+            image: image.into_boxed_slice(),
+        }
+    }
+
+    /// Number of positions this permutation acts on.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// True for the zero-length permutation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// One-line image form; `image()[i]` is the old position read by new
+    /// position `i`.
+    #[inline]
+    pub fn image(&self) -> &[u16] {
+        &self.image
+    }
+
+    /// Apply to a slice of symbols, writing into `out` (must be same length).
+    #[inline]
+    pub fn apply_into(&self, src: &[u8], out: &mut [u8]) {
+        debug_assert_eq!(src.len(), self.image.len());
+        debug_assert_eq!(out.len(), self.image.len());
+        for (o, &p) in out.iter_mut().zip(self.image.iter()) {
+            *o = src[p as usize];
+        }
+    }
+
+    /// Apply to a slice of symbols, allocating the result.
+    pub fn apply(&self, src: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; src.len()];
+        self.apply_into(src, &mut out);
+        out
+    }
+
+    /// Is this the identity?
+    pub fn is_identity(&self) -> bool {
+        self.image.iter().enumerate().all(|(i, &p)| i as u16 == p)
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0u16; self.image.len()];
+        for (i, &p) in self.image.iter().enumerate() {
+            inv[p as usize] = i as u16;
+        }
+        Perm {
+            image: inv.into_boxed_slice(),
+        }
+    }
+
+    /// Composition `self.then(next)`: apply `self` first, then `next`.
+    /// `(self.then(next)).apply(x) == next.apply(&self.apply(x))`.
+    pub fn then(&self, next: &Perm) -> Self {
+        assert_eq!(self.len(), next.len(), "composing mismatched lengths");
+        let image: Vec<u16> = next
+            .image
+            .iter()
+            .map(|&p| self.image[p as usize])
+            .collect();
+        Perm {
+            image: image.into_boxed_slice(),
+        }
+    }
+
+    /// Is this permutation an involution (its own inverse)?
+    pub fn is_involution(&self) -> bool {
+        self.image
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| self.image[p as usize] as usize == i)
+    }
+
+    /// Multiplicative order of the permutation (lcm of cycle lengths).
+    pub fn order(&self) -> u64 {
+        let mut seen = vec![false; self.len()];
+        let mut ord: u64 = 1;
+        for start in 0..self.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut len: u64 = 0;
+            let mut cur = start;
+            while !seen[cur] {
+                seen[cur] = true;
+                cur = self.image[cur] as usize;
+                len += 1;
+            }
+            ord = lcm(ord, len);
+        }
+        ord
+    }
+
+    /// Cycle decomposition (non-trivial cycles only, 0-based positions),
+    /// following the movement convention of [`Perm::from_cycles`].
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        // image[i] = p means symbol at p moves to i, so the successor of p
+        // in movement order is i = inverse image.
+        let inv = self.inverse();
+        let mut seen = vec![false; self.len()];
+        let mut out = Vec::new();
+        for start in 0..self.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut cycle = Vec::new();
+            let mut cur = start;
+            while !seen[cur] {
+                seen[cur] = true;
+                cycle.push(cur);
+                cur = inv.image[cur] as usize;
+            }
+            if cycle.len() > 1 {
+                out.push(cycle);
+            }
+        }
+        out
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+impl fmt::Debug for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Perm[")?;
+        for (i, p) in self.image.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            return write!(f, "id");
+        }
+        for cycle in cycles {
+            write!(f, "(")?;
+            for (i, p) in cycle.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", p + 1)?; // 1-based like the paper
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposition_swaps() {
+        let p = Perm::transposition(6, 0, 1);
+        assert_eq!(p.apply(b"123456"), b"213456".to_vec());
+        assert!(p.is_involution());
+    }
+
+    #[test]
+    fn star_generators_match_paper_example() {
+        // Paper §2: X = 123456, generators (1,2), (1,3), (1,4), (1,5), (1,6).
+        let x = b"123456";
+        let expected: [&[u8; 6]; 5] = [b"213456", b"321456", b"423156", b"523416", b"623451"];
+        for (i, want) in expected.iter().enumerate() {
+            let p = Perm::transposition(6, 0, i + 1);
+            assert_eq!(p.apply(x), want.to_vec(), "generator (1,{})", i + 2);
+        }
+    }
+
+    #[test]
+    fn cyclic_shift_matches_paper_example() {
+        // Paper §2: pi6 = 456123 maps y1..y6 to y4 y5 y6 y1 y2 y3.
+        let p = Perm::cyclic_left(6, 3);
+        assert_eq!(p.apply(b"121212"), b"212121".to_vec());
+        assert_eq!(p.apply(b"abcdef"), b"defabc".to_vec());
+    }
+
+    #[test]
+    fn cyclic_right_is_inverse_of_left() {
+        for k in 1..8 {
+            for s in 0..k {
+                let l = Perm::cyclic_left(k, s);
+                let r = Perm::cyclic_right(k, s);
+                assert!(l.then(&r).is_identity(), "k={k} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_prefix_reverses() {
+        let p = Perm::flip_prefix(6, 4);
+        assert_eq!(p.apply(b"abcdef"), b"dcbaef".to_vec());
+        assert!(p.is_involution());
+    }
+
+    #[test]
+    fn compose_order() {
+        let a = Perm::transposition(3, 0, 1);
+        let b = Perm::cyclic_left(3, 1);
+        let ab = a.then(&b);
+        let x = b"xyz";
+        assert_eq!(ab.apply(x), b.apply(&a.apply(x)));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = Perm::cyclic_left(7, 3);
+        assert!(p.then(&p.inverse()).is_identity());
+        assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn from_cycles_movement_convention() {
+        // (0 1 2): symbol at 0 moves to 1, 1 to 2, 2 to 0.
+        let p = Perm::from_cycles(3, &[&[0, 1, 2]]).unwrap();
+        assert_eq!(p.apply(b"abc"), b"cab".to_vec());
+        assert_eq!(p.order(), 3);
+    }
+
+    #[test]
+    fn from_image_rejects_duplicates() {
+        assert!(Perm::from_image(vec![0, 0, 1]).is_err());
+        assert!(Perm::from_image(vec![0, 3]).is_err());
+    }
+
+    #[test]
+    fn cycles_roundtrip() {
+        let p = Perm::cyclic_left(5, 2);
+        let cycles = p.cycles();
+        let refs: Vec<&[usize]> = cycles.iter().map(|c| c.as_slice()).collect();
+        let q = Perm::from_cycles(5, &refs).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn display_uses_one_based_cycles() {
+        let p = Perm::transposition(4, 0, 2);
+        assert_eq!(p.to_string(), "(1,3)");
+        assert_eq!(Perm::identity(4).to_string(), "id");
+    }
+
+    #[test]
+    fn order_of_involution_is_two() {
+        assert_eq!(Perm::transposition(5, 1, 3).order(), 2);
+        assert_eq!(Perm::identity(5).order(), 1);
+    }
+}

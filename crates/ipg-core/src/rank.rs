@@ -1,0 +1,215 @@
+//! Ranking and unranking of labels: lexicographic index ↔ label, for
+//! permutations (Cayley-graph labels) and multiset arrangements (general
+//! IP-graph labels).
+//!
+//! When an IP graph's node set is the *full* arrangement orbit of its seed
+//! multiset (true for star/pancake graphs and, blockwise, for every
+//! super-IP family in this workspace), ranking gives an `O(k²)`,
+//! allocation-free node-id computation — an alternative to the hash-based
+//! interning the generator uses, and the basis for compact routing-table
+//! indexing.
+
+/// Number of distinct arrangements of a multiset given per-symbol counts:
+/// `(Σc)! / Π cᵢ!`. Panics on u64 overflow (labels ≤ 20 distinct-symbol
+/// positions are always safe).
+pub fn multiset_count(counts: &[u32]) -> u64 {
+    let total: u32 = counts.iter().sum();
+    // incremental binomial product avoids intermediate factorial overflow:
+    // C(total, c1)·C(total−c1, c2)·…
+    let mut remaining = total;
+    let mut result: u64 = 1;
+    for &c in counts {
+        result = result
+            .checked_mul(binomial(remaining, c))
+            .expect("multiset count overflows u64");
+        remaining -= c;
+    }
+    result
+}
+
+fn binomial(n: u32, k: u32) -> u64 {
+    let k = k.min(n - k.min(n));
+    let mut num: u64 = 1;
+    for i in 0..k as u64 {
+        num = num
+            .checked_mul(n as u64 - i)
+            .expect("binomial overflows u64")
+            / (i + 1);
+    }
+    num
+}
+
+/// Lexicographic rank of `label` among all arrangements of its multiset.
+pub fn multiset_rank(label: &[u8]) -> u64 {
+    let mut counts = [0u32; 256];
+    for &s in label {
+        counts[s as usize] += 1;
+    }
+    let mut rank = 0u64;
+    for (i, &s) in label.iter().enumerate() {
+        let remaining = (label.len() - i) as u32;
+        for smaller in 0..s as usize {
+            if counts[smaller] == 0 {
+                continue;
+            }
+            // arrangements of the remaining positions if we placed
+            // `smaller` here
+            counts[smaller] -= 1;
+            rank += arrangements_of(&counts, remaining - 1);
+            counts[smaller] += 1;
+        }
+        counts[s as usize] -= 1;
+    }
+    rank
+}
+
+fn arrangements_of(counts: &[u32; 256], total: u32) -> u64 {
+    debug_assert_eq!(counts.iter().sum::<u32>(), total);
+    let mut remaining = total;
+    let mut result: u64 = 1;
+    for &c in counts.iter().filter(|&&c| c > 0) {
+        result *= binomial(remaining, c);
+        remaining -= c;
+    }
+    result
+}
+
+/// Inverse of [`multiset_rank`]: the `rank`-th arrangement (lexicographic)
+/// of the multiset given by `counts` (`counts[s]` = multiplicity of symbol
+/// `s`). Returns `None` if `rank` is out of range.
+pub fn multiset_unrank(counts: &[u32], rank: u64) -> Option<Vec<u8>> {
+    assert!(counts.len() <= 256);
+    let mut cnt = [0u32; 256];
+    cnt[..counts.len()].copy_from_slice(counts);
+    let total: u32 = counts.iter().sum();
+    if rank >= multiset_count(counts) {
+        return None;
+    }
+    let mut rank = rank;
+    let mut out = Vec::with_capacity(total as usize);
+    for pos in 0..total {
+        let remaining = total - pos;
+        let mut placed = false;
+        for s in 0..256usize {
+            if cnt[s] == 0 {
+                continue;
+            }
+            cnt[s] -= 1;
+            let block = arrangements_of(&cnt, remaining - 1);
+            if rank < block {
+                out.push(s as u8);
+                placed = true;
+                break;
+            }
+            rank -= block;
+            cnt[s] += 1;
+        }
+        debug_assert!(placed, "rank exhausted prematurely");
+    }
+    Some(out)
+}
+
+/// Lexicographic rank of a permutation label (all symbols distinct) —
+/// the factoradic specialization of [`multiset_rank`].
+pub fn perm_rank(label: &[u8]) -> u64 {
+    debug_assert!(
+        crate::label::Label::from(label).has_distinct_symbols(),
+        "perm_rank needs distinct symbols"
+    );
+    multiset_rank(label)
+}
+
+/// The `rank`-th permutation (lexicographic) of the sorted symbol slice.
+pub fn perm_unrank(symbols: &[u8], rank: u64) -> Option<Vec<u8>> {
+    let mut counts = [0u32; 256];
+    for &s in symbols {
+        counts[s as usize] += 1;
+    }
+    multiset_unrank(&counts, rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(multiset_count(&[1, 1, 1]), 6); // 3 distinct
+        assert_eq!(multiset_count(&[2, 2]), 6); // aabb arrangements
+        assert_eq!(multiset_count(&[3]), 1);
+        // HCN(2,2)-style label: 2 of each of 4 symbols
+        assert_eq!(multiset_count(&[2, 2, 2, 2]), 2520);
+    }
+
+    #[test]
+    fn rank_first_and_last() {
+        assert_eq!(multiset_rank(&[0, 0, 1, 1]), 0);
+        assert_eq!(multiset_rank(&[1, 1, 0, 0]), 5);
+        assert_eq!(multiset_rank(&[1, 2, 3]), 0);
+        assert_eq!(multiset_rank(&[3, 2, 1]), 5);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_multiset() {
+        let counts = [2u32, 1, 2];
+        let total = multiset_count(&counts);
+        assert_eq!(total, 30);
+        let mut prev: Option<Vec<u8>> = None;
+        for r in 0..total {
+            let label = multiset_unrank(&counts, r).unwrap();
+            assert_eq!(multiset_rank(&label), r);
+            if let Some(p) = &prev {
+                assert!(p < &label, "lexicographic order violated at {r}");
+            }
+            prev = Some(label);
+        }
+        assert_eq!(multiset_unrank(&counts, total), None);
+    }
+
+    #[test]
+    fn perm_rank_factoradic() {
+        // 4-symbol permutations of 1234: rank of 1234 is 0, of 4321 is 23.
+        assert_eq!(perm_rank(&[1, 2, 3, 4]), 0);
+        assert_eq!(perm_rank(&[4, 3, 2, 1]), 23);
+        assert_eq!(perm_unrank(&[1, 2, 3, 4], 0).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(perm_unrank(&[1, 2, 3, 4], 23).unwrap(), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn ranks_cover_star_graph() {
+        // all 120 labels of the 5-star get distinct ranks < 120
+        let ip = crate::spec::IpGraphSpec::star(5).generate().unwrap();
+        let mut seen = vec![false; 120];
+        for v in 0..ip.node_count() as u32 {
+            let r = perm_rank(ip.label(v).symbols()) as usize;
+            assert!(r < 120);
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn ranks_cover_section2_orbit_subset() {
+        // the §2 example's orbit (36 nodes) is a strict subset of its
+        // multiset's 90 arrangements; ranks are distinct and < 90.
+        let ip = crate::spec::IpGraphSpec::section2_example()
+            .generate()
+            .unwrap();
+        let mut ranks: Vec<u64> = (0..ip.node_count() as u32)
+            .map(|v| multiset_rank(ip.label(v).symbols()))
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), 36);
+        assert!(*ranks.last().unwrap() < 90);
+        assert_eq!(multiset_count(&[0, 2, 2, 2]), 90);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+    }
+}

@@ -1,0 +1,506 @@
+//! Routing in (symmetric) super-IP graphs — the constructive algorithm of
+//! Theorem 4.1 and the super-generator schedules it relies on.
+//!
+//! Routing in an IP graph is *sorting the source label into the destination
+//! label* (paper §4). For super-IP graphs the algorithm is:
+//!
+//! 1. pick a `t`-step schedule of super-generators that brings every
+//!    super-symbol to the leftmost position at least once (for symmetric
+//!    graphs, a `t_S`-step schedule that additionally realizes the required
+//!    final block arrangement, Theorem 4.3);
+//! 2. sort the leftmost super-symbol to its destination value with nucleus
+//!    generators (≤ `D_G` steps);
+//! 3. run the schedule, sorting each super-symbol the first time it arrives
+//!    at the leftmost position.
+//!
+//! Total: ≤ `l·D_G + t` steps, which Theorem 4.1 shows is exactly the
+//! diameter.
+
+use crate::algo;
+use crate::builder::IpGraph;
+use crate::error::{IpgError, Result};
+use crate::label::Label;
+use crate::perm::Perm;
+use crate::superip::{SeedKind, SuperIpSpec};
+use crate::util::FxHashMap;
+use std::collections::VecDeque;
+
+/// A sequence of super-generator indices (into `spec.supers`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Super-generator indices, in application order.
+    pub steps: Vec<usize>,
+}
+
+impl Schedule {
+    /// Number of super-generator applications (the `t` of Theorem 4.1).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no steps are needed.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// State-space search over (block arrangement, visited set).
+///
+/// `target`: `None` finds the minimum schedule after which every block has
+/// visited the leftmost position (Theorem 4.1's `t`); `Some(perm)`
+/// additionally requires the final arrangement to equal `perm`
+/// (Theorem 4.3's per-destination requirement).
+fn schedule_search(spec: &SuperIpSpec, target: Option<&Perm>) -> Option<Schedule> {
+    let l = spec.l;
+    let perms = spec.block_perms();
+    let full: u32 = (1u32 << l) - 1;
+    let start = (Perm::identity(l), 1u32); // block 0 starts leftmost
+    let mut prev: FxHashMap<(Perm, u32), (usize, (Perm, u32))> = FxHashMap::default();
+    let mut queue = VecDeque::new();
+    let done = |state: &(Perm, u32)| -> bool {
+        state.1 == full
+            && match target {
+                None => true,
+                Some(t) => &state.0 == t,
+            }
+    };
+    if done(&start) {
+        return Some(Schedule { steps: vec![] });
+    }
+    prev.insert(start.clone(), (usize::MAX, start.clone()));
+    queue.push_back(start.clone());
+    while let Some(state) = queue.pop_front() {
+        for (gi, bp) in perms.iter().enumerate() {
+            let arr = state.0.then(bp);
+            let visited = state.1 | (1 << arr.image()[0]);
+            let nstate = (arr, visited);
+            if prev.contains_key(&nstate) {
+                continue;
+            }
+            prev.insert(nstate.clone(), (gi, state.clone()));
+            if done(&nstate) {
+                // reconstruct
+                let mut steps = Vec::new();
+                let mut cur = nstate;
+                while cur != start {
+                    let (gi, parent) = prev[&cur].clone();
+                    steps.push(gi);
+                    cur = parent;
+                }
+                steps.reverse();
+                return Some(Schedule { steps });
+            }
+            queue.push_back(nstate);
+        }
+    }
+    None
+}
+
+/// Theorem 4.1's `t`: the minimum number of super-generator applications
+/// bringing every super-symbol to the leftmost position at least once.
+/// `None` if the §3.1 reachability requirement fails.
+pub fn t_value(spec: &SuperIpSpec) -> Option<usize> {
+    schedule_search(spec, None).map(|s| s.len())
+}
+
+/// The minimal schedule realizing Theorem 4.1's `t`.
+pub fn min_visit_schedule(spec: &SuperIpSpec) -> Option<Schedule> {
+    schedule_search(spec, None)
+}
+
+/// The minimal schedule that visits every block and ends in arrangement
+/// `target` (needed for symmetric super-IP routing, Theorem 4.3).
+pub fn min_visit_schedule_to(spec: &SuperIpSpec, target: &Perm) -> Option<Schedule> {
+    schedule_search(spec, Some(target))
+}
+
+/// Theorem 4.3's `t_S`: the worst case over all required final block
+/// arrangements (all elements of the block-permutation group).
+pub fn t_s_value(spec: &SuperIpSpec) -> Option<usize> {
+    let group = spec.block_group();
+    let mut worst = 0usize;
+    for g in &group {
+        worst = worst.max(min_visit_schedule_to(spec, g)?.len());
+    }
+    Some(worst)
+}
+
+/// The diameter predicted by Theorem 4.1 (plain seeds) or Theorem 4.3
+/// (symmetric seeds): `l·D_G + t` resp. `l·D_G + t_S`.
+pub fn predicted_diameter(spec: &SuperIpSpec) -> Result<u32> {
+    let nucleus = spec.nucleus.generate()?;
+    let d_g = algo::diameter(&nucleus.to_undirected_csr());
+    let t = match spec.seed_kind {
+        SeedKind::Repeated => t_value(spec),
+        SeedKind::DistinctShifted => t_s_value(spec),
+    }
+    .ok_or_else(|| IpgError::InvalidSpec {
+        reason: "some super-symbol can never reach the leftmost position".into(),
+    })?;
+    Ok(spec.l as u32 * d_g + t as u32)
+}
+
+/// Corollary 4.2's closed form for the Section-3 families (`t = l − 1`):
+/// `diameter = (D_G + 1)·log_M N − 1 = (D_G + 1)·l − 1`.
+pub fn corollary_4_2_diameter(l: usize, nucleus_diameter: u32) -> u32 {
+    (nucleus_diameter + 1) * l as u32 - 1
+}
+
+/// Hierarchical router for a (symmetric) super-IP graph.
+///
+/// Precomputes the nucleus all-pairs distance table and the super-generator
+/// schedule(s); [`SuperRouter::route`] then produces an explicit label path
+/// realizing Theorem 4.1's bound.
+pub struct SuperRouter {
+    spec: SuperIpSpec,
+    nucleus: IpGraph,
+    /// nucleus directed distances, row-major `dist[a·M + b]`.
+    nucleus_dist: Vec<u16>,
+    schedule: Schedule,
+    /// expanded full-label permutations: nucleus generators first, then
+    /// super-generators (same order as `spec.to_ip_spec()`).
+    full_perms: Vec<Perm>,
+}
+
+impl SuperRouter {
+    /// Build a router for `spec`.
+    pub fn new(spec: &SuperIpSpec) -> Result<Self> {
+        let nucleus = spec.nucleus.generate()?;
+        let g = nucleus.to_directed_csr();
+        let m = g.node_count();
+        let mut nucleus_dist = vec![u16::MAX; m * m];
+        for a in 0..m as u32 {
+            for (b, d) in algo::bfs(&g, a).into_iter().enumerate() {
+                if d != algo::UNREACHABLE {
+                    nucleus_dist[a as usize * m + b] = d as u16;
+                }
+            }
+        }
+        let schedule = min_visit_schedule(spec).ok_or_else(|| IpgError::InvalidSpec {
+            reason: "some super-symbol can never reach the leftmost position".into(),
+        })?;
+        let full_perms = spec
+            .to_ip_spec()
+            .generators
+            .into_iter()
+            .map(|g| g.perm)
+            .collect();
+        Ok(SuperRouter {
+            spec: spec.clone(),
+            nucleus,
+            nucleus_dist,
+            schedule,
+            full_perms,
+        })
+    }
+
+    /// The spec this router was built for.
+    pub fn spec(&self) -> &SuperIpSpec {
+        &self.spec
+    }
+
+    /// Nucleus distance between two nucleus nodes.
+    fn ndist(&self, a: u32, b: u32) -> u16 {
+        self.nucleus_dist[a as usize * self.nucleus.node_count() + b as usize]
+    }
+
+    /// Identify the nucleus node and color of a block's content.
+    fn block_id(&self, block: &[u8]) -> Result<(u32, usize)> {
+        let m = self.spec.m();
+        match self.spec.seed_kind {
+            SeedKind::Repeated => {
+                let lab = Label::from(block);
+                let id = self
+                    .nucleus
+                    .node_of(&lab)
+                    .ok_or_else(|| IpgError::UnknownLabel {
+                        label: lab.to_string(),
+                    })?;
+                Ok((id, 0))
+            }
+            SeedKind::DistinctShifted => {
+                let nucleus_min = self
+                    .nucleus
+                    .spec()
+                    .seed
+                    .symbols()
+                    .iter()
+                    .copied()
+                    .min()
+                    .unwrap_or(0) as usize;
+                let blk_min = block.iter().copied().min().unwrap_or(0) as usize;
+                let c = (blk_min - nucleus_min) / m;
+                let lab = Label::from(
+                    block
+                        .iter()
+                        .map(|&s| s - (c * m) as u8)
+                        .collect::<Vec<u8>>(),
+                );
+                let id = self
+                    .nucleus
+                    .node_of(&lab)
+                    .ok_or_else(|| IpgError::UnknownLabel {
+                        label: lab.to_string(),
+                    })?;
+                Ok((id, c))
+            }
+        }
+    }
+
+    /// Sort the leftmost block of `cur` to match `target_block`, appending
+    /// every intermediate label to `path`. Uses greedy descent on the
+    /// nucleus distance table (≤ `D_G` steps).
+    fn sort_leftmost(&self, cur: &mut Vec<u8>, target_block: &[u8], path: &mut Vec<Label>) -> Result<()> {
+        let m = self.spec.m();
+        let (mut a, _) = self.block_id(&cur[..m])?;
+        let (b, _) = self.block_id(target_block)?;
+        let n_nuc = self.spec.nucleus.spec.generators.len();
+        while a != b {
+            let d = self.ndist(a, b);
+            if d == u16::MAX {
+                return Err(IpgError::InvalidSpec {
+                    reason: "nucleus graph is not strongly connected".into(),
+                });
+            }
+            let mut advanced = false;
+            for gi in 0..n_nuc {
+                let succ = self.nucleus.arc(a, gi);
+                if self.ndist(succ, b) + 1 == d {
+                    // apply the corresponding full-label generator
+                    let next = self.full_perms[gi].apply(cur);
+                    *cur = next;
+                    path.push(Label::from(cur.clone()));
+                    a = succ;
+                    advanced = true;
+                    break;
+                }
+            }
+            debug_assert!(advanced, "distance table inconsistent");
+            if !advanced {
+                return Err(IpgError::InvalidSpec {
+                    reason: "nucleus routing failed to advance".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Route from `src` to `dst`, returning the full label path (inclusive
+    /// of both endpoints). The path length is at most `l·D_G + t`
+    /// (`l·D_G + t_S` for symmetric graphs).
+    pub fn route(&self, src: &Label, dst: &Label) -> Result<Vec<Label>> {
+        let l = self.spec.l;
+        let m = self.spec.m();
+        if src.len() != l * m || dst.len() != l * m {
+            return Err(IpgError::UnknownLabel {
+                label: format!("bad label length for route: {src} -> {dst}"),
+            });
+        }
+        // Pick the schedule. For symmetric graphs the colors dictate the
+        // required final arrangement.
+        let schedule = match self.spec.seed_kind {
+            SeedKind::Repeated => self.schedule.clone(),
+            SeedKind::DistinctShifted => {
+                let mut src_colors = Vec::with_capacity(l);
+                let mut dst_colors = Vec::with_capacity(l);
+                for j in 0..l {
+                    src_colors.push(self.block_id(src.block(j, m))?.1);
+                    dst_colors.push(self.block_id(dst.block(j, m))?.1);
+                }
+                // target arrangement A: position j of the result holds the
+                // source block whose color is dst_colors[j].
+                let mut image = vec![0u16; l];
+                for (j, &c) in dst_colors.iter().enumerate() {
+                    let i = src_colors
+                        .iter()
+                        .position(|&sc| sc == c)
+                        .expect("colors are a permutation");
+                    image[j] = i as u16;
+                }
+                let target = Perm::from_image(image).expect("bijection");
+                min_visit_schedule_to(&self.spec, &target).ok_or_else(|| IpgError::InvalidSpec {
+                    reason: "required block arrangement unreachable".into(),
+                })?
+            }
+        };
+
+        // Final position d_i of the block initially at position i.
+        let mut arrangement = Perm::identity(l);
+        for &gi in &schedule.steps {
+            arrangement = arrangement.then(&self.spec.supers[gi].block_perm(l));
+        }
+        let inv = arrangement.inverse();
+        let final_pos: Vec<usize> = (0..l).map(|i| inv.image()[i] as usize).collect();
+
+        let super_gen_offset = self.spec.nucleus.spec.generators.len();
+
+        let mut cur = src.symbols().to_vec();
+        let mut path = vec![src.clone()];
+        // Sort the block currently leftmost (initial position 0).
+        self.sort_leftmost(&mut cur, dst.block(final_pos[0], m), &mut path)?;
+
+        let mut sorted = vec![false; l];
+        sorted[0] = true;
+        let mut arr = Perm::identity(l);
+        for &gi in &schedule.steps {
+            let bp = self.spec.supers[gi].block_perm(l);
+            arr = arr.then(&bp);
+            let next = self.full_perms[super_gen_offset + gi].apply(&cur);
+            let changed = next != cur;
+            cur = next;
+            if changed {
+                // label fixed points are no-ops, not link traversals
+                path.push(Label::from(cur.clone()));
+            }
+            let leftmost_origin = arr.image()[0] as usize;
+            if !sorted[leftmost_origin] {
+                sorted[leftmost_origin] = true;
+                self.sort_leftmost(&mut cur, dst.block(final_pos[leftmost_origin], m), &mut path)?;
+            }
+        }
+        debug_assert_eq!(
+            cur,
+            dst.symbols(),
+            "routing must terminate at the destination"
+        );
+        if cur != dst.symbols() {
+            return Err(IpgError::InvalidSpec {
+                reason: format!("routing ended at {} not {dst}", Label::from(cur)),
+            });
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::superip::{NucleusSpec, SuperIpSpec};
+
+    fn check_route_all_pairs(spec: &SuperIpSpec) {
+        let ip = spec.to_ip_spec().generate().unwrap();
+        let router = SuperRouter::new(spec).unwrap();
+        let g = ip.to_undirected_csr();
+        let bound = predicted_diameter(spec).unwrap() as usize;
+        let mut worst = 0usize;
+        for u in 0..ip.node_count() as u32 {
+            let du = algo::bfs(&g, u);
+            for v in 0..ip.node_count() as u32 {
+                let path = router.route(ip.label(u), ip.label(v)).unwrap();
+                // path is a real walk
+                for w in path.windows(2) {
+                    let a = ip.node_of(&w[0]).unwrap();
+                    let b = ip.node_of(&w[1]).unwrap();
+                    assert!(
+                        ip.arcs_of(a).contains(&b),
+                        "{}: {} -> {} is not an arc",
+                        spec.name,
+                        w[0],
+                        w[1]
+                    );
+                }
+                let len = path.len() - 1;
+                assert!(len >= du[v as usize] as usize, "shorter than BFS?!");
+                assert!(
+                    len <= bound,
+                    "{}: route {} -> {} took {len} > bound {bound}",
+                    spec.name,
+                    ip.label(u),
+                    ip.label(v)
+                );
+                worst = worst.max(len);
+            }
+        }
+        // Theorem 4.1/4.3: the bound is the exact diameter, and the
+        // constructive algorithm attains it on the worst pair.
+        assert_eq!(
+            algo::diameter(&g) as usize,
+            bound,
+            "{}: BFS diameter vs predicted",
+            spec.name
+        );
+    }
+
+    #[test]
+    fn t_is_l_minus_1_for_section3_families() {
+        for l in 2..=5 {
+            let nuc = NucleusSpec::hypercube(1);
+            assert_eq!(t_value(&SuperIpSpec::hsn(l, nuc.clone())), Some(l - 1));
+            assert_eq!(t_value(&SuperIpSpec::ring_cn(l, nuc.clone())), Some(l - 1));
+            assert_eq!(
+                t_value(&SuperIpSpec::complete_cn(l, nuc.clone())),
+                Some(l - 1)
+            );
+            assert_eq!(t_value(&SuperIpSpec::superflip(l, nuc.clone())), Some(l - 1));
+        }
+    }
+
+    #[test]
+    fn corollary_4_2_matches_theorem_4_1() {
+        for l in 2..=4 {
+            for spec in [
+                SuperIpSpec::hsn(l, NucleusSpec::hypercube(2)),
+                SuperIpSpec::ring_cn(l, NucleusSpec::hypercube(2)),
+                SuperIpSpec::complete_cn(l, NucleusSpec::hypercube(2)),
+                SuperIpSpec::superflip(l, NucleusSpec::hypercube(2)),
+            ] {
+                assert_eq!(
+                    predicted_diameter(&spec).unwrap(),
+                    corollary_4_2_diameter(l, 2),
+                    "{}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routed_paths_valid_hsn2_q2() {
+        check_route_all_pairs(&SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)));
+    }
+
+    #[test]
+    fn routed_paths_valid_hsn3_q1() {
+        check_route_all_pairs(&SuperIpSpec::hsn(3, NucleusSpec::hypercube(1)));
+    }
+
+    #[test]
+    fn routed_paths_valid_ring_cn() {
+        check_route_all_pairs(&SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)));
+        check_route_all_pairs(&SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)));
+    }
+
+    #[test]
+    fn routed_paths_valid_superflip() {
+        check_route_all_pairs(&SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)));
+    }
+
+    #[test]
+    fn routed_paths_valid_complete_cn() {
+        check_route_all_pairs(&SuperIpSpec::complete_cn(3, NucleusSpec::hypercube(1)));
+    }
+
+    #[test]
+    fn routed_paths_valid_star_nucleus() {
+        check_route_all_pairs(&SuperIpSpec::hsn(2, NucleusSpec::star(3)));
+    }
+
+    #[test]
+    fn symmetric_routing_respects_colors() {
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(1)).symmetric();
+        check_route_all_pairs(&spec);
+    }
+
+    #[test]
+    fn symmetric_ring_cn_routing() {
+        let spec = SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric();
+        check_route_all_pairs(&spec);
+    }
+
+    #[test]
+    fn schedule_is_minimal() {
+        let spec = SuperIpSpec::hsn(4, NucleusSpec::hypercube(1));
+        let s = min_visit_schedule(&spec).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+}

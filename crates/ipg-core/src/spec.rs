@@ -1,0 +1,186 @@
+//! IP graph specifications: a seed label plus a set of named generators.
+
+use crate::builder::{BuildOptions, IpGraph};
+use crate::error::{IpgError, Result};
+use crate::label::Label;
+use crate::perm::Perm;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named generator: a permutation of label positions.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Generator {
+    /// Display name, e.g. `"(1,2)"` or `"T2"` or `"L1"`.
+    pub name: String,
+    /// The position permutation.
+    pub perm: Perm,
+}
+
+impl Generator {
+    /// Create a named generator.
+    pub fn new(name: impl Into<String>, perm: Perm) -> Self {
+        Generator {
+            name: name.into(),
+            perm,
+        }
+    }
+
+    /// Create with the cycle-notation name derived from the permutation.
+    pub fn auto(perm: Perm) -> Self {
+        Generator {
+            name: perm.to_string(),
+            perm,
+        }
+    }
+}
+
+impl fmt::Debug for Generator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Generator({} = {})", self.name, self.perm)
+    }
+}
+
+/// An IP graph specification (paper §2): *"an IP graph is defined by a set of
+/// generators and a seed element"*.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IpGraphSpec {
+    /// Human-readable name of the network this spec describes.
+    pub name: String,
+    /// The seed label; repeats allowed (that is the point of the model).
+    pub seed: Label,
+    /// The generators, in a fixed order (arc slots follow this order).
+    pub generators: Vec<Generator>,
+}
+
+impl IpGraphSpec {
+    /// Create a spec, validating that every generator acts on exactly
+    /// `seed.len()` positions.
+    pub fn new(
+        name: impl Into<String>,
+        seed: Label,
+        generators: Vec<Generator>,
+    ) -> Result<Self> {
+        let k = seed.len();
+        for g in &generators {
+            if g.perm.len() != k {
+                return Err(IpgError::LengthMismatch {
+                    expected: k,
+                    found: g.perm.len(),
+                    generator: g.name.clone(),
+                });
+            }
+        }
+        Ok(IpGraphSpec {
+            name: name.into(),
+            seed,
+            generators,
+        })
+    }
+
+    /// Number of generators (upper bound on node out-degree, Theorem 3.1).
+    pub fn generator_count(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// Is the generator set closed under inverses? If so the generated graph
+    /// is symmetric (undirected), like Cayley graphs with involution-closed
+    /// generator sets.
+    pub fn is_inverse_closed(&self) -> bool {
+        self.generators.iter().all(|g| {
+            let inv = g.perm.inverse();
+            self.generators.iter().any(|h| h.perm == inv)
+        })
+    }
+
+    /// Generate the IP graph by breadth-first closure of the seed under the
+    /// generators, with default options.
+    pub fn generate(&self) -> Result<IpGraph> {
+        IpGraph::generate(self.clone(), BuildOptions::default())
+    }
+
+    /// Generate with explicit options (node budget etc.).
+    pub fn generate_with(&self, opts: BuildOptions) -> Result<IpGraph> {
+        IpGraph::generate(self.clone(), opts)
+    }
+
+    /// The star graph `S_n` spec: seed `1 2 … n`, generators `(1,i)` for
+    /// `i = 2..n` (paper §2 example).
+    pub fn star(n: usize) -> Self {
+        let seed = Label::distinct(n);
+        let generators = (1..n)
+            .map(|i| Generator::new(format!("(1,{})", i + 1), Perm::transposition(n, 0, i)))
+            .collect();
+        IpGraphSpec {
+            name: format!("star-{n}"),
+            seed,
+            generators,
+        }
+    }
+
+    /// The pancake graph `P_n` spec: seed `1 2 … n`, generators = prefix
+    /// flips of length `2..=n`.
+    pub fn pancake(n: usize) -> Self {
+        let seed = Label::distinct(n);
+        let generators = (2..=n)
+            .map(|i| Generator::new(format!("F{i}"), Perm::flip_prefix(n, i)))
+            .collect();
+        IpGraphSpec {
+            name: format!("pancake-{n}"),
+            seed,
+            generators,
+        }
+    }
+
+    /// The paper's 36-node Section-2 example: a 6-symbol seed with repeated
+    /// symbols (two copies of `123`), generators `(1,2)`, `(1,3)` and the
+    /// cyclic shift `456123`. Repeatedly applying the three generators
+    /// yields exactly 36 distinct labels.
+    pub fn section2_example() -> Self {
+        IpGraphSpec {
+            name: "sec2-example".into(),
+            seed: Label::parse("123123").expect("static label"),
+            generators: vec![
+                Generator::new("(1,2)", Perm::transposition(6, 0, 1)),
+                Generator::new("(1,3)", Perm::transposition(6, 0, 2)),
+                Generator::new("456123", Perm::cyclic_left(6, 3)),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_spec_shape() {
+        let s = IpGraphSpec::star(6);
+        assert_eq!(s.generator_count(), 5);
+        assert_eq!(s.seed.to_string(), "123456");
+        assert!(s.is_inverse_closed());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = IpGraphSpec::new(
+            "bad",
+            Label::distinct(4),
+            vec![Generator::auto(Perm::transposition(5, 0, 1))],
+        )
+        .unwrap_err();
+        matches!(err, IpgError::LengthMismatch { .. })
+            .then_some(())
+            .expect("expected LengthMismatch");
+    }
+
+    #[test]
+    fn cyclic_spec_not_inverse_closed() {
+        let s = IpGraphSpec::new(
+            "rot",
+            Label::distinct(5),
+            vec![Generator::auto(Perm::cyclic_left(5, 1))],
+        )
+        .unwrap();
+        assert!(!s.is_inverse_closed());
+    }
+}

@@ -1,0 +1,980 @@
+//! Super-IP graphs (paper §3): IP graphs whose seed consists of `l` groups
+//! (*super-symbols*) of `m` symbols, with *nucleus generators* permuting the
+//! symbols of the leftmost group and *super-generators* permuting whole
+//! groups.
+//!
+//! Two equivalent constructions are provided:
+//!
+//! 1. [`SuperIpSpec::to_ip_spec`] expands the spec into a plain
+//!    [`IpGraphSpec`] and generates the graph label-by-label, exactly as the
+//!    paper's ball-arrangement game does.
+//! 2. [`TupleNetwork`] builds the same graph directly on tuples
+//!    `(g_1, …, g_l) ∈ V(G)^l` (plus a block-order component for symmetric
+//!    variants): nucleus edges act on coordinate 1, super-generators permute
+//!    coordinates. This is *O(N·deg)* with no hashing and works for any
+//!    nucleus graph — even ones that are awkward to express with generators
+//!    (e.g. the Petersen graph).
+//!
+//! [`explicit_isomorphism`] maps construction 1 onto construction 2
+//! node-by-node, giving a machine-checked proof (used heavily in tests) that
+//! they agree.
+
+use crate::builder::IpGraph;
+use crate::error::{IpgError, Result};
+use crate::graph::Csr;
+use crate::label::Label;
+use crate::perm::Perm;
+use crate::spec::{Generator, IpGraphSpec};
+use crate::util::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// The nucleus of a super-IP graph: a small IP graph on `m` symbols.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NucleusSpec {
+    /// The underlying IP-graph spec (seed length = `m`).
+    pub spec: IpGraphSpec,
+}
+
+impl NucleusSpec {
+    /// Wrap an arbitrary IP-graph spec as a nucleus.
+    pub fn new(spec: IpGraphSpec) -> Self {
+        NucleusSpec { spec }
+    }
+
+    /// Number of symbols `m` per super-symbol.
+    pub fn m(&self) -> usize {
+        self.spec.seed.len()
+    }
+
+    /// The hypercube `Q_n` as an IP graph: `2n` symbols in `n` pairs; the
+    /// order within pair `i` encodes bit `i`; generators are the pair
+    /// transpositions `(2i−1, 2i)` (paper §2, HCN construction).
+    pub fn hypercube(n: usize) -> Self {
+        let m = 2 * n;
+        let gens = (0..n)
+            .map(|i| {
+                Generator::new(
+                    format!("({},{})", 2 * i + 1, 2 * i + 2),
+                    Perm::transposition(m, 2 * i, 2 * i + 1),
+                )
+            })
+            .collect();
+        NucleusSpec {
+            spec: IpGraphSpec {
+                name: format!("Q{n}"),
+                seed: Label::distinct(m),
+                generators: gens,
+            },
+        }
+    }
+
+    /// The folded hypercube `FQ_n`: `Q_n` plus the complement generator that
+    /// swaps *every* pair simultaneously (flipping all `n` bits at once).
+    pub fn folded_hypercube(n: usize) -> Self {
+        let m = 2 * n;
+        let mut nucleus = NucleusSpec::hypercube(n);
+        let cycles: Vec<Vec<usize>> = (0..n).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        let refs: Vec<&[usize]> = cycles.iter().map(|c| c.as_slice()).collect();
+        let comp = Perm::from_cycles(m, &refs).expect("disjoint pair swaps");
+        nucleus.spec.generators.push(Generator::new("C", comp));
+        nucleus.spec.name = format!("FQ{n}");
+        nucleus
+    }
+
+    /// The complete graph `K_r` as an IP graph: one marker symbol among
+    /// `r − 1` blanks; all transpositions moving the marker. The marker
+    /// position is the node identity.
+    pub fn complete(r: usize) -> Self {
+        assert!(r >= 2);
+        let mut seed = vec![0u8; r];
+        seed[0] = 1;
+        let gens = (0..r)
+            .flat_map(|i| (i + 1..r).map(move |j| (i, j)))
+            .map(|(i, j)| {
+                Generator::new(format!("({},{})", i + 1, j + 1), Perm::transposition(r, i, j))
+            })
+            .collect();
+        NucleusSpec {
+            spec: IpGraphSpec {
+                name: format!("K{r}"),
+                seed: Label::from(seed),
+                generators: gens,
+            },
+        }
+    }
+
+    /// The star graph `S_n` as a nucleus (a Cayley graph, distinct symbols).
+    pub fn star(n: usize) -> Self {
+        NucleusSpec {
+            spec: IpGraphSpec::star(n),
+        }
+    }
+
+    /// The generalized hypercube of Bhuyan & Agrawal \[7\] as an IP graph:
+    /// one symbol group of `r` slots per dimension, a marker's slot
+    /// encoding the digit; generators are all in-group transpositions
+    /// (transpositions not moving a marker are self-loops and vanish in
+    /// the simple graph). §4 recommends GH nuclei for diameter-optimal
+    /// super-IP graphs (Theorem 4.4).
+    pub fn generalized_hypercube(radices: &[usize]) -> Self {
+        assert!(!radices.is_empty());
+        let m: usize = radices.iter().sum();
+        let mut seed = vec![0u8; m];
+        let mut gens = Vec::new();
+        let mut base = 0usize;
+        for (d, &r) in radices.iter().enumerate() {
+            assert!(r >= 2);
+            seed[base] = (d + 1) as u8; // distinct marker per dimension
+            for i in 0..r {
+                for j in i + 1..r {
+                    gens.push(Generator::new(
+                        format!("d{d}({},{})", i + 1, j + 1),
+                        Perm::transposition(m, base + i, base + j),
+                    ));
+                }
+            }
+            base += r;
+        }
+        let name = format!(
+            "GH({})",
+            radices
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        );
+        NucleusSpec {
+            spec: IpGraphSpec {
+                name,
+                seed: Label::from(seed),
+                generators: gens,
+            },
+        }
+    }
+
+    /// A ring `C_r` as an IP graph: one marker among blanks, rotated left or
+    /// right by one position.
+    pub fn ring(r: usize) -> Self {
+        assert!(r >= 3);
+        let mut seed = vec![0u8; r];
+        seed[0] = 1;
+        NucleusSpec {
+            spec: IpGraphSpec {
+                name: format!("C{r}"),
+                seed: Label::from(seed),
+                generators: vec![
+                    Generator::new("L", Perm::cyclic_left(r, 1)),
+                    Generator::new("R", Perm::cyclic_right(r, 1)),
+                ],
+            },
+        }
+    }
+
+    /// Generate the nucleus graph.
+    pub fn generate(&self) -> Result<IpGraph> {
+        self.spec.generate()
+    }
+}
+
+/// A super-generator kind (paper §3.2–3.4). All act on super-symbol (block)
+/// indices; `0` is the leftmost block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuperGen {
+    /// `T_{i+1,m}` — swap block 0 with block `i` (§3.2, gives HSNs).
+    Transpose(usize),
+    /// `L_{s,m}` — cyclic left shift of the blocks by `s` (§3.3).
+    CyclicL(usize),
+    /// `R_{s,m}` — cyclic right shift of the blocks by `s` (§3.3).
+    CyclicR(usize),
+    /// `F_{i,m}` — reverse the order of the first `i` blocks (§3.4).
+    Flip(usize),
+    /// Any other block permutation.
+    Custom(Perm),
+}
+
+impl SuperGen {
+    /// The block-level permutation (over `l` block positions).
+    pub fn block_perm(&self, l: usize) -> Perm {
+        match self {
+            SuperGen::Transpose(i) => Perm::transposition(l, 0, *i),
+            SuperGen::CyclicL(s) => Perm::cyclic_left(l, *s),
+            SuperGen::CyclicR(s) => Perm::cyclic_right(l, *s),
+            SuperGen::Flip(i) => Perm::flip_prefix(l, *i),
+            SuperGen::Custom(p) => {
+                assert_eq!(p.len(), l, "custom block perm length mismatch");
+                p.clone()
+            }
+        }
+    }
+
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        match self {
+            SuperGen::Transpose(i) => format!("T{}", i + 1),
+            SuperGen::CyclicL(s) => format!("L{s}"),
+            SuperGen::CyclicR(s) => format!("R{s}"),
+            SuperGen::Flip(i) => format!("F{i}"),
+            SuperGen::Custom(p) => format!("B{p}"),
+        }
+    }
+
+    /// Expand to a position permutation over `l·m` label positions: block
+    /// `j` of the result is block `blockperm[j]` of the input, symbols
+    /// untouched (§3.1: super-generators do not reorder symbols within
+    /// groups).
+    pub fn position_perm(&self, l: usize, m: usize) -> Perm {
+        let bp = self.block_perm(l);
+        let mut image = Vec::with_capacity(l * m);
+        for j in 0..l {
+            let src = bp.image()[j] as usize;
+            for r in 0..m {
+                image.push((src * m + r) as u16);
+            }
+        }
+        Perm::from_image(image).expect("block perm expands to valid perm")
+    }
+}
+
+/// Seed style for a super-IP graph (paper §3.1 vs §3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedKind {
+    /// `S₁ S₁ … S₁` — `l` identical copies of the nucleus seed. The graph
+    /// has `M^l` nodes (Theorem 3.2).
+    Repeated,
+    /// `S₁ S₂ … S_l` with `S_i` = nucleus seed shifted into its own symbol
+    /// range — all symbols distinct, so the graph is a Cayley graph
+    /// (vertex-symmetric and regular, §3.5). The graph has `|H|·M^l` nodes
+    /// where `H` is the group generated by the block permutations
+    /// (`l!` for HSNs, `l` for cyclic-shift networks).
+    DistinctShifted,
+}
+
+/// A complete super-IP graph specification.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SuperIpSpec {
+    /// Display name.
+    pub name: String,
+    /// The nucleus.
+    pub nucleus: NucleusSpec,
+    /// Number of super-symbols `l`.
+    pub l: usize,
+    /// The super-generators.
+    pub supers: Vec<SuperGen>,
+    /// Repeated (plain) or distinct (symmetric) seed.
+    pub seed_kind: SeedKind,
+}
+
+impl SuperIpSpec {
+    /// Hierarchical swapped network HSN(l, G) (§3.2): transposition
+    /// super-generators `T_2 … T_l`. `HSN(2, Q_n)` ≡ HCN(n,n) without
+    /// diameter links.
+    pub fn hsn(l: usize, nucleus: NucleusSpec) -> Self {
+        assert!(l >= 2);
+        let supers = (1..l).map(SuperGen::Transpose).collect();
+        SuperIpSpec {
+            name: format!("HSN({l},{})", nucleus.spec.name),
+            nucleus,
+            l,
+            supers,
+            seed_kind: SeedKind::Repeated,
+        }
+    }
+
+    /// Ring cyclic-shift network ring-CN(l, G) = basic-CN(l, G) (§3.3):
+    /// super-generators `L_1` and `R_1` (identical when `l = 2`).
+    pub fn ring_cn(l: usize, nucleus: NucleusSpec) -> Self {
+        assert!(l >= 2);
+        let supers = if l == 2 {
+            vec![SuperGen::CyclicL(1)]
+        } else {
+            vec![SuperGen::CyclicL(1), SuperGen::CyclicR(1)]
+        };
+        SuperIpSpec {
+            name: format!("ring-CN({l},{})", nucleus.spec.name),
+            nucleus,
+            l,
+            supers,
+            seed_kind: SeedKind::Repeated,
+        }
+    }
+
+    /// Complete cyclic-shift network complete-CN(l, G) (§3.3): all cyclic
+    /// shifts `L_1 … L_{l−1}` (note `R_i = L_{l−i}`, so this is
+    /// inverse-closed with `l − 1` super-generators, matching §5.3's
+    /// off-module link counts).
+    pub fn complete_cn(l: usize, nucleus: NucleusSpec) -> Self {
+        assert!(l >= 2);
+        let supers = (1..l).map(SuperGen::CyclicL).collect();
+        SuperIpSpec {
+            name: format!("complete-CN({l},{})", nucleus.spec.name),
+            nucleus,
+            l,
+            supers,
+            seed_kind: SeedKind::Repeated,
+        }
+    }
+
+    /// Directed cyclic-shift network (Corollary 4.2 lists it alongside the
+    /// undirected families): the single super-generator `L_1`, giving a
+    /// digraph with inter-cluster out-degree 1 for every `l`.
+    pub fn directed_ring_cn(l: usize, nucleus: NucleusSpec) -> Self {
+        assert!(l >= 2);
+        SuperIpSpec {
+            name: format!("dir-CN({l},{})", nucleus.spec.name),
+            nucleus,
+            l,
+            supers: vec![SuperGen::CyclicL(1)],
+            seed_kind: SeedKind::Repeated,
+        }
+    }
+
+    /// Super-flip network (§3.4): flip super-generators `F_2 … F_l`.
+    pub fn superflip(l: usize, nucleus: NucleusSpec) -> Self {
+        assert!(l >= 2);
+        let supers = (2..=l).map(SuperGen::Flip).collect();
+        SuperIpSpec {
+            name: format!("superflip({l},{})", nucleus.spec.name),
+            nucleus,
+            l,
+            supers,
+            seed_kind: SeedKind::Repeated,
+        }
+    }
+
+    /// The symmetric variant (§3.5): same generators, distinct-symbol seed.
+    pub fn symmetric(mut self) -> Self {
+        self.seed_kind = SeedKind::DistinctShifted;
+        self.name = format!("sym-{}", self.name);
+        self
+    }
+
+    /// Number of symbols per super-symbol.
+    pub fn m(&self) -> usize {
+        self.nucleus.m()
+    }
+
+    /// Total label length `l·m`.
+    pub fn label_len(&self) -> usize {
+        self.l * self.m()
+    }
+
+    /// Number of nucleus generators `d_N`.
+    pub fn nucleus_generator_count(&self) -> usize {
+        self.nucleus.spec.generators.len()
+    }
+
+    /// Number of super-generators `d_S` (Theorem 3.1's bound on the
+    /// inter-cluster degree).
+    pub fn super_generator_count(&self) -> usize {
+        self.supers.len()
+    }
+
+    /// Block-level permutations of the super-generators.
+    pub fn block_perms(&self) -> Vec<Perm> {
+        self.supers.iter().map(|s| s.block_perm(self.l)).collect()
+    }
+
+    /// The subgroup of `S_l` generated by the block permutations,
+    /// enumerated by closure (identity first). Its size multiplies `M^l`
+    /// for symmetric variants.
+    pub fn block_group(&self) -> Vec<Perm> {
+        let gens = self.block_perms();
+        let mut elems: Vec<Perm> = vec![Perm::identity(self.l)];
+        let mut seen: FxHashMap<Perm, u32> = FxHashMap::default();
+        seen.insert(elems[0].clone(), 0);
+        let mut next = 0;
+        while next < elems.len() {
+            let cur = elems[next].clone();
+            for g in &gens {
+                let prod = cur.then(g);
+                if !seen.contains_key(&prod) {
+                    seen.insert(prod.clone(), elems.len() as u32);
+                    elems.push(prod);
+                }
+            }
+            next += 1;
+        }
+        elems
+    }
+
+    /// Expected node count (Theorem 3.2 and its §3.5 refinement):
+    /// `M^l` for repeated seeds, `|H|·M^l` for distinct seeds.
+    pub fn expected_size(&self) -> Result<u64> {
+        let nucleus = self.nucleus.generate()?;
+        let m_n = nucleus.node_count() as u64;
+        let base = m_n
+            .checked_pow(self.l as u32)
+            .ok_or_else(|| IpgError::InvalidSpec {
+                reason: "size overflows u64".into(),
+            })?;
+        Ok(match self.seed_kind {
+            SeedKind::Repeated => base,
+            SeedKind::DistinctShifted => base * self.block_group().len() as u64,
+        })
+    }
+
+    /// Check the §3.1 reachability requirement: every block can be brought
+    /// to the leftmost position by some sequence of super-generators.
+    pub fn all_blocks_reach_leftmost(&self) -> bool {
+        let group = self.block_group();
+        (0..self.l).all(|b| group.iter().any(|p| p.image()[0] as usize == b))
+    }
+
+    /// Expand into a plain IP-graph spec: nucleus generators act on the
+    /// leftmost block's positions, super-generators permute blocks, and the
+    /// seed follows [`SeedKind`].
+    pub fn to_ip_spec(&self) -> IpGraphSpec {
+        let l = self.l;
+        let m = self.m();
+        let k = l * m;
+        let mut generators = Vec::with_capacity(self.nucleus.spec.generators.len() + self.supers.len());
+        for g in &self.nucleus.spec.generators {
+            // Embed the m-position nucleus permutation into the first block.
+            let mut image: Vec<u16> = (0..k as u16).collect();
+            for (i, &p) in g.perm.image().iter().enumerate() {
+                image[i] = p;
+            }
+            generators.push(Generator::new(
+                g.name.clone(),
+                Perm::from_image(image).expect("embedding preserves bijection"),
+            ));
+        }
+        for s in &self.supers {
+            generators.push(Generator::new(s.name(), s.position_perm(l, m)));
+        }
+        let base = self.nucleus.spec.seed.symbols();
+        let seed = match self.seed_kind {
+            SeedKind::Repeated => Label::repeat_block(base, l),
+            SeedKind::DistinctShifted => {
+                assert!(
+                    self.nucleus.spec.seed.has_distinct_symbols(),
+                    "symmetric super-IP graphs need a distinct-symbol nucleus seed (§3.5)"
+                );
+                let mut out = Vec::with_capacity(k);
+                for block in 0..l {
+                    for &s in base {
+                        out.push(s + (block * m) as u8);
+                    }
+                }
+                Label::from(out)
+            }
+        };
+        IpGraphSpec {
+            name: self.name.clone(),
+            seed,
+            generators,
+        }
+    }
+}
+
+/// Direct tuple construction of a (symmetric) super-IP graph over an
+/// arbitrary nucleus graph.
+///
+/// Nodes are `(order, g_1 … g_l)` where `g_j ∈ V(G)` and `order` indexes the
+/// block-order group `H` (trivial for plain super-IP graphs). Edges:
+///
+/// - `(σ, g) ~ (σ, g')` when `g'` differs from `g` only in coordinate 0 and
+///   `g_0 ~ g'_0` in the nucleus (nucleus generators act on the leftmost
+///   super-symbol);
+/// - `(σ, g) ~ (σ·β, g∘β)` for each super-generator block permutation `β`.
+#[derive(Clone, Debug)]
+pub struct TupleNetwork {
+    /// Display name.
+    pub name: String,
+    /// The nucleus graph (should be connected; usually undirected).
+    pub nucleus: Csr,
+    /// Number of blocks.
+    pub l: usize,
+    /// Block permutations of the super-generators.
+    pub block_perms: Vec<Perm>,
+    /// Block-order group (identity only for plain super-IP graphs).
+    order_group: Vec<Perm>,
+    order_index: FxHashMap<Perm, u32>,
+}
+
+impl TupleNetwork {
+    /// Build the tuple form of `spec` using its generated nucleus graph.
+    pub fn from_spec(spec: &SuperIpSpec) -> Result<Self> {
+        let nucleus = spec.nucleus.generate()?.to_undirected_csr();
+        Ok(Self::new(
+            spec.name.clone(),
+            nucleus,
+            spec.l,
+            spec.block_perms(),
+            spec.seed_kind,
+        ))
+    }
+
+    /// Build directly from any nucleus graph.
+    pub fn new(
+        name: impl Into<String>,
+        nucleus: Csr,
+        l: usize,
+        block_perms: Vec<Perm>,
+        seed_kind: SeedKind,
+    ) -> Self {
+        assert!(l >= 1);
+        for p in &block_perms {
+            assert_eq!(p.len(), l, "block perm length must equal l");
+        }
+        let order_group = match seed_kind {
+            SeedKind::Repeated => vec![Perm::identity(l)],
+            SeedKind::DistinctShifted => {
+                // closure of the block perms
+                let mut elems = vec![Perm::identity(l)];
+                let mut seen: FxHashMap<Perm, u32> = FxHashMap::default();
+                seen.insert(elems[0].clone(), 0);
+                let mut next = 0;
+                while next < elems.len() {
+                    let cur = elems[next].clone();
+                    for g in &block_perms {
+                        let prod = cur.then(g);
+                        if !seen.contains_key(&prod) {
+                            seen.insert(prod.clone(), elems.len() as u32);
+                            elems.push(prod);
+                        }
+                    }
+                    next += 1;
+                }
+                elems
+            }
+        };
+        let order_index = order_group
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u32))
+            .collect();
+        TupleNetwork {
+            name: name.into(),
+            nucleus,
+            l,
+            block_perms,
+            order_group,
+            order_index,
+        }
+    }
+
+    /// Nucleus size `M`.
+    pub fn m_nodes(&self) -> usize {
+        self.nucleus.node_count()
+    }
+
+    /// Size of the block-order group `H`.
+    pub fn order_count(&self) -> usize {
+        self.order_group.len()
+    }
+
+    /// Total node count `|H|·M^l`.
+    pub fn node_count(&self) -> usize {
+        self.order_count() * self.m_nodes().pow(self.l as u32)
+    }
+
+    /// Encode `(order_idx, tuple)` as a node id.
+    pub fn encode(&self, order_idx: u32, tuple: &[u32]) -> u32 {
+        debug_assert_eq!(tuple.len(), self.l);
+        let m = self.m_nodes() as u64;
+        let mut id = 0u64;
+        for &g in tuple.iter().rev() {
+            debug_assert!((g as usize) < self.m_nodes());
+            id = id * m + g as u64;
+        }
+        id += order_idx as u64 * m.pow(self.l as u32);
+        u32::try_from(id).expect("node id fits u32")
+    }
+
+    /// Decode a node id into `(order_idx, tuple)`.
+    pub fn decode(&self, node: u32) -> (u32, Vec<u32>) {
+        let m = self.m_nodes() as u64;
+        let base = m.pow(self.l as u32);
+        let mut id = node as u64;
+        let order_idx = (id / base) as u32;
+        id %= base;
+        let mut tuple = Vec::with_capacity(self.l);
+        for _ in 0..self.l {
+            tuple.push((id % m) as u32);
+            id /= m;
+        }
+        (order_idx, tuple)
+    }
+
+    /// Materialize the undirected graph.
+    pub fn build(&self) -> Csr {
+        let n = self.node_count();
+        let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut tuple_buf = vec![0u32; self.l];
+        for node in 0..n as u32 {
+            let (oi, tuple) = self.decode(node);
+            let mut row =
+                Vec::with_capacity(self.nucleus.degree(tuple[0]) + self.block_perms.len());
+            // nucleus edges on coordinate 0
+            for &nb in self.nucleus.neighbors(tuple[0]) {
+                tuple_buf.copy_from_slice(&tuple);
+                tuple_buf[0] = nb;
+                row.push(self.encode(oi, &tuple_buf));
+            }
+            // super edges
+            let sigma = &self.order_group[oi as usize];
+            for bp in &self.block_perms {
+                for (j, slot) in tuple_buf.iter_mut().enumerate() {
+                    *slot = tuple[bp.image()[j] as usize];
+                }
+                // For plain (repeated-seed) graphs the order component is
+                // trivial: every block permutation keeps the single order.
+                let oi2 = if self.order_group.len() == 1 {
+                    0
+                } else {
+                    self.order_index[&sigma.then(bp)]
+                };
+                row.push(self.encode(oi2, &tuple_buf));
+            }
+            adj.push(row);
+        }
+        Csr::from_adj(adj).symmetrized()
+    }
+
+    /// The block-order permutation at index `idx`.
+    pub fn order_perm(&self, idx: u32) -> &Perm {
+        &self.order_group[idx as usize]
+    }
+
+    /// Apply super-generator `gen_idx` to the order component: the index
+    /// of `order_perm(idx).then(block_perms[gen_idx])` (always 0 for
+    /// plain repeated-seed networks).
+    pub fn order_apply(&self, idx: u32, gen_idx: usize) -> u32 {
+        if self.order_group.len() == 1 {
+            return 0;
+        }
+        let next = self.order_group[idx as usize].then(&self.block_perms[gen_idx]);
+        self.order_index[&next]
+    }
+
+    /// Module id of each node under the paper's §5 packing: one nucleus
+    /// copy per module (coordinate 0 varies within a module). Returns the
+    /// per-node module array and the number of modules.
+    pub fn nucleus_partition(&self) -> (Vec<u32>, usize) {
+        let n = self.node_count();
+        let m = self.m_nodes() as u64;
+        let modules = n / self.m_nodes();
+        let class: Vec<u32> = (0..n as u64)
+            .map(|id| {
+                let order = id / m.pow(self.l as u32);
+                let rest = (id % m.pow(self.l as u32)) / m; // drop coordinate 0
+                u32::try_from(order * m.pow(self.l as u32 - 1) + rest).expect("fits")
+            })
+            .collect();
+        (class, modules)
+    }
+}
+
+/// Construct the explicit isomorphism from an IP-generated super-IP graph to
+/// its tuple network: parse each label's blocks, identify the nucleus node
+/// of each block and (for symmetric seeds) the block colors. Returns the
+/// node map `ip node -> tuple node` after verifying it is a bijection that
+/// preserves adjacency; errors otherwise.
+pub fn explicit_isomorphism(spec: &SuperIpSpec, ip: &IpGraph, tn: &TupleNetwork) -> Result<Vec<u32>> {
+    let l = spec.l;
+    let m = spec.m();
+    let nucleus_ip = spec.nucleus.generate()?;
+    let mismatch = |reason: String| IpgError::InvalidSpec { reason };
+
+    if ip.node_count() != tn.node_count() {
+        return Err(mismatch(format!(
+            "node counts differ: ip={} tuple={}",
+            ip.node_count(),
+            tn.node_count()
+        )));
+    }
+
+    // Block-color bookkeeping for symmetric seeds: the block whose symbols
+    // were shifted by c·m has color c.
+    let nucleus_min = spec
+        .nucleus
+        .spec
+        .seed
+        .symbols()
+        .iter()
+        .copied()
+        .min()
+        .unwrap_or(0) as usize;
+    let map: Result<Vec<u32>> = (0..ip.node_count() as u32)
+        .map(|v| {
+            let lab = ip.label(v);
+            let mut tuple = Vec::with_capacity(l);
+            let mut sigma_img = Vec::with_capacity(l);
+            for j in 0..l {
+                let block = lab.block(j, m);
+                let (color, base): (usize, Vec<u8>) = match spec.seed_kind {
+                    SeedKind::Repeated => (0, block.to_vec()),
+                    SeedKind::DistinctShifted => {
+                        let blk_min = block.iter().copied().min().unwrap_or(0) as usize;
+                        let c = (blk_min - nucleus_min) / m;
+                        (c, block.iter().map(|&s| s - (c * m) as u8).collect())
+                    }
+                };
+                sigma_img.push(color as u16);
+                let nuc_label = Label::from(base);
+                let nid = nucleus_ip.node_of(&nuc_label).ok_or_else(|| {
+                    mismatch(format!("block `{nuc_label}` is not a nucleus node"))
+                })?;
+                tuple.push(nid);
+            }
+            let order_idx = match spec.seed_kind {
+                SeedKind::Repeated => 0,
+                SeedKind::DistinctShifted => {
+                    let sigma = Perm::from_image(sigma_img)
+                        .map_err(|e| mismatch(format!("colors not a permutation: {e}")))?;
+                    *tn.order_index
+                        .get(&sigma)
+                        .ok_or_else(|| mismatch("block order outside group".into()))?
+                }
+            };
+            Ok(tn.encode(order_idx, &tuple))
+        })
+        .collect();
+    let map = map?;
+
+    // bijection check
+    let mut seen = vec![false; tn.node_count()];
+    for &t in &map {
+        if seen[t as usize] {
+            return Err(mismatch("node map is not injective".into()));
+        }
+        seen[t as usize] = true;
+    }
+
+    // adjacency preservation (undirected views)
+    let ip_csr = ip.to_undirected_csr();
+    let tn_csr = tn.build();
+    for u in 0..ip_csr.node_count() as u32 {
+        for &v in ip_csr.neighbors(u) {
+            if !tn_csr.has_arc(map[u as usize], map[v as usize]) {
+                return Err(mismatch(format!("edge ({u},{v}) not preserved")));
+            }
+        }
+    }
+    if ip_csr.arc_count() != tn_csr.arc_count() {
+        return Err(mismatch(format!(
+            "arc counts differ: ip={} tuple={}",
+            ip_csr.arc_count(),
+            tn_csr.arc_count()
+        )));
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn hypercube_nucleus_sizes() {
+        for n in 1..=4 {
+            let ip = NucleusSpec::hypercube(n).generate().unwrap();
+            assert_eq!(ip.node_count(), 1 << n, "Q{n}");
+            let g = ip.to_undirected_csr();
+            assert!(g.is_regular());
+            assert_eq!(g.max_degree(), n);
+            assert_eq!(algo::diameter(&g), n as u32);
+        }
+    }
+
+    #[test]
+    fn folded_hypercube_props() {
+        // FQ3: 8 nodes, degree 4, diameter ceil(3/2) = 2.
+        let ip = NucleusSpec::folded_hypercube(3).generate().unwrap();
+        assert_eq!(ip.node_count(), 8);
+        let g = ip.to_undirected_csr();
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(algo::diameter(&g), 2);
+    }
+
+    #[test]
+    fn complete_nucleus() {
+        let ip = NucleusSpec::complete(5).generate().unwrap();
+        assert_eq!(ip.node_count(), 5);
+        let g = ip.to_undirected_csr();
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(algo::diameter(&g), 1);
+    }
+
+    #[test]
+    fn ring_nucleus() {
+        let ip = NucleusSpec::ring(6).generate().unwrap();
+        assert_eq!(ip.node_count(), 6);
+        let g = ip.to_undirected_csr();
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(algo::diameter(&g), 3);
+    }
+
+    #[test]
+    fn hcn22_is_hsn2_q2() {
+        // Paper Fig 1a: HSN(2, Q2) = HCN(2,2) without diameter links: 16
+        // nodes, and the IP generation from seed `3434 3434`-style labels
+        // matches the tuple construction.
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+        let ip = spec.to_ip_spec().generate().unwrap();
+        assert_eq!(ip.node_count(), 16);
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        explicit_isomorphism(&spec, &ip, &tn).unwrap();
+    }
+
+    #[test]
+    fn theorem_3_2_sizes() {
+        // N = M^l for repeated seeds.
+        for l in 2..=3 {
+            let spec = SuperIpSpec::hsn(l, NucleusSpec::hypercube(2));
+            let ip = spec.to_ip_spec().generate().unwrap();
+            assert_eq!(ip.node_count() as u64, spec.expected_size().unwrap());
+            assert_eq!(ip.node_count(), 4usize.pow(l as u32));
+        }
+    }
+
+    #[test]
+    fn symmetric_sizes() {
+        // Symmetric HSN: l!·M^l; symmetric ring-CN: l·M^l.
+        let hsn = SuperIpSpec::hsn(3, NucleusSpec::hypercube(1)).symmetric();
+        let ip = hsn.to_ip_spec().generate().unwrap();
+        assert_eq!(ip.node_count(), 6 * 8); // 3!·2^3
+        assert_eq!(ip.node_count() as u64, hsn.expected_size().unwrap());
+
+        let cn = SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric();
+        let ip = cn.to_ip_spec().generate().unwrap();
+        assert_eq!(ip.node_count(), 3 * 8); // 3·2^3
+        assert_eq!(ip.node_count() as u64, cn.expected_size().unwrap());
+    }
+
+    #[test]
+    fn symmetric_variants_are_regular(){
+        for spec in [
+            SuperIpSpec::hsn(3, NucleusSpec::hypercube(1)).symmetric(),
+            SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric(),
+            SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)).symmetric(),
+        ] {
+            let ip = spec.to_ip_spec().generate().unwrap();
+            let g = ip.to_undirected_csr();
+            assert!(g.is_regular(), "{} not regular", spec.name);
+            assert!(ip.spec().seed.has_distinct_symbols());
+        }
+    }
+
+    #[test]
+    fn tuple_matches_ip_for_all_families() {
+        let nuc = NucleusSpec::hypercube(2);
+        for spec in [
+            SuperIpSpec::hsn(3, nuc.clone()),
+            SuperIpSpec::ring_cn(3, nuc.clone()),
+            SuperIpSpec::complete_cn(4, NucleusSpec::hypercube(1)),
+            SuperIpSpec::superflip(3, nuc.clone()),
+            SuperIpSpec::hsn(2, nuc.clone()).symmetric(),
+            SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)).symmetric(),
+            SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)).symmetric(),
+        ] {
+            let ip = spec.to_ip_spec().generate().unwrap();
+            let tn = TupleNetwork::from_spec(&spec).unwrap();
+            explicit_isomorphism(&spec, &ip, &tn)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn block_reachability() {
+        for spec in [
+            SuperIpSpec::hsn(4, NucleusSpec::hypercube(1)),
+            SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)),
+            SuperIpSpec::complete_cn(5, NucleusSpec::hypercube(1)),
+            SuperIpSpec::superflip(4, NucleusSpec::hypercube(1)),
+        ] {
+            assert!(spec.all_blocks_reach_leftmost(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn block_groups() {
+        // transpositions generate S_l; single rotations generate C_l;
+        // flips generate S_l.
+        assert_eq!(
+            SuperIpSpec::hsn(4, NucleusSpec::hypercube(1)).block_group().len(),
+            24
+        );
+        assert_eq!(
+            SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)).block_group().len(),
+            4
+        );
+        assert_eq!(
+            SuperIpSpec::complete_cn(5, NucleusSpec::hypercube(1)).block_group().len(),
+            5
+        );
+        assert_eq!(
+            SuperIpSpec::superflip(4, NucleusSpec::hypercube(1)).block_group().len(),
+            24
+        );
+    }
+
+    #[test]
+    fn degree_bounds_theorem_3_1() {
+        let spec = SuperIpSpec::hsn(3, NucleusSpec::hypercube(2));
+        let ip = spec.to_ip_spec().generate().unwrap();
+        let g = ip.to_undirected_csr();
+        assert!(g.max_degree() <= spec.nucleus_generator_count() + spec.super_generator_count());
+    }
+
+    #[test]
+    fn nucleus_partition_shape() {
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        let (class, modules) = tn.nucleus_partition();
+        assert_eq!(modules, 4); // 16 nodes / 4 per nucleus
+        let mut counts = vec![0; modules];
+        for &c in &class {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn generalized_hypercube_nucleus() {
+        // GH(3x4): 12 nodes, degree (3−1)+(4−1) = 5, diameter 2.
+        let nuc = NucleusSpec::generalized_hypercube(&[3, 4]);
+        let ip = nuc.generate().unwrap();
+        assert_eq!(ip.node_count(), 12);
+        let g = ip.to_undirected_csr();
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(algo::diameter(&g), 2);
+    }
+
+    #[test]
+    fn gh_nucleus_makes_low_diameter_super_ip() {
+        // Theorem 4.4 direction: GH(4x4) (16 nodes, diameter 2) gives
+        // HSN(2, GH) diameter (2+1)·2 − 1 = 5 at 256 nodes, vs 9 for a
+        // Q4 nucleus of the same size.
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::generalized_hypercube(&[4, 4]));
+        let g = spec.to_ip_spec().generate().unwrap().to_undirected_csr();
+        assert_eq!(g.node_count(), 256);
+        assert_eq!(algo::diameter(&g), 5);
+    }
+
+    #[test]
+    fn directed_ring_cn_diameter() {
+        // directed diameter still (D_G+1)·l − 1 (Cor. 4.2): BFS over the
+        // directed arcs.
+        let spec = SuperIpSpec::directed_ring_cn(3, NucleusSpec::hypercube(2));
+        let ip = spec.to_ip_spec().generate().unwrap();
+        assert_eq!(ip.node_count(), 64);
+        let g = ip.to_directed_csr();
+        assert!(algo::is_strongly_connected(&g));
+        assert_eq!(algo::diameter(&g), 8);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let spec = SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(2)).symmetric();
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        for node in 0..tn.node_count() as u32 {
+            let (oi, t) = tn.decode(node);
+            assert_eq!(tn.encode(oi, &t), node);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Symmetry and isomorphism checks.
+//!
+//! Used to validate the paper's structural claims: symmetric super-IP graphs
+//! are vertex-symmetric and regular (§3.5), plain super-IP graphs generally
+//! are not, and the IP-generated graphs agree with their direct
+//! constructions (e.g. HSN(2, Q_n) ≡ HCN(n,n) without diameter links).
+
+use crate::algo;
+use crate::graph::Csr;
+use crate::util::FxHashMap;
+
+/// Iterated 1-dimensional Weisfeiler–Leman color refinement. Returns a
+/// stable coloring; nodes with different colors lie in different
+/// automorphism orbits (the converse does not hold).
+pub fn wl_colors(g: &Csr) -> Vec<u32> {
+    let n = g.node_count();
+    let mut colors: Vec<u32> = (0..n as u32).map(|u| g.degree(u) as u32).collect();
+    // normalize
+    let mut classes = renumber(&mut colors);
+    loop {
+        let mut sigs: Vec<(u32, Vec<u32>)> = (0..n as u32)
+            .map(|u| {
+                let mut nb: Vec<u32> = g.neighbors(u).iter().map(|&v| colors[v as usize]).collect();
+                nb.sort_unstable();
+                (colors[u as usize], nb)
+            })
+            .collect();
+        let mut index: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
+        let mut next: Vec<u32> = Vec::with_capacity(n);
+        for sig in sigs.drain(..) {
+            let len = index.len() as u32;
+            let c = *index.entry(sig).or_insert(len);
+            next.push(c);
+        }
+        let new_classes = index.len();
+        colors = next;
+        if new_classes == classes {
+            return colors;
+        }
+        classes = new_classes;
+    }
+}
+
+fn renumber(colors: &mut [u32]) -> usize {
+    let mut index: FxHashMap<u32, u32> = FxHashMap::default();
+    for c in colors.iter_mut() {
+        let len = index.len() as u32;
+        *c = *index.entry(*c).or_insert(len);
+    }
+    index.len()
+}
+
+/// Result of a vertex-transitivity test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transitivity {
+    /// Proven vertex-transitive (automorphisms found mapping node 0 to
+    /// every node).
+    Yes,
+    /// Proven not vertex-transitive (an invariant separates two nodes).
+    No,
+    /// Search budget exhausted before a proof either way.
+    Unknown,
+}
+
+/// Decide vertex-transitivity. Fast refutations first (degree, WL colors,
+/// distance histograms); then, within `budget` backtracking steps per node,
+/// an explicit automorphism search mapping node 0 to every other node.
+pub fn vertex_transitivity(g: &Csr, budget: usize) -> Transitivity {
+    let n = g.node_count();
+    if n <= 1 {
+        return Transitivity::Yes;
+    }
+    if !g.is_regular() {
+        return Transitivity::No;
+    }
+    let wl = wl_colors(g);
+    if wl.iter().any(|&c| c != wl[0]) {
+        return Transitivity::No;
+    }
+    // distance-histogram invariant
+    let h0 = algo::distance_histogram(g, 0);
+    for v in 1..n as u32 {
+        if algo::distance_histogram(g, v) != h0 {
+            return Transitivity::No;
+        }
+    }
+    // explicit search: find an automorphism sending 0 to v for every v
+    for v in 1..n as u32 {
+        match find_isomorphism_seeded(g, g, 0, v, budget) {
+            Some(true) => {}
+            Some(false) => return Transitivity::No,
+            None => return Transitivity::Unknown,
+        }
+    }
+    Transitivity::Yes
+}
+
+/// Are `a` and `b` isomorphic? `budget` bounds backtracking steps.
+///
+/// - `None` — budget exhausted, inconclusive;
+/// - `Some(None)` — proven non-isomorphic;
+/// - `Some(Some(map))` — isomorphic, with `map[u]` the image of `u`.
+pub fn are_isomorphic(a: &Csr, b: &Csr, budget: usize) -> Option<Option<Vec<u32>>> {
+    if a.node_count() != b.node_count() || a.arc_count() != b.arc_count() {
+        return Some(None);
+    }
+    let n = a.node_count();
+    if n == 0 {
+        return Some(Some(vec![]));
+    }
+    let mut wa = wl_colors(a);
+    let mut wb = wl_colors(b);
+    // compare color class sizes (canonical by sorted histogram)
+    let ca = renumber(&mut wa);
+    let cb = renumber(&mut wb);
+    if ca != cb {
+        return Some(None);
+    }
+    let mut search = IsoSearch {
+        a,
+        b,
+        map: vec![u32::MAX; n],
+        used: vec![false; n],
+        steps: 0,
+        budget,
+    };
+    match search.extend(0) {
+        SearchOutcome::Found => Some(Some(search.map)),
+        SearchOutcome::Exhausted => Some(None),
+        SearchOutcome::Budget => None,
+    }
+}
+
+/// Inner helper: does an isomorphism `a -> b` with `src -> dst` exist?
+/// `Some(true)`/`Some(false)` are proofs; `None` = budget exhausted.
+fn find_isomorphism_seeded(a: &Csr, b: &Csr, src: u32, dst: u32, budget: usize) -> Option<bool> {
+    let n = a.node_count();
+    let mut search = IsoSearch {
+        a,
+        b,
+        map: vec![u32::MAX; n],
+        used: vec![false; n],
+        steps: 0,
+        budget,
+    };
+    search.map[src as usize] = dst;
+    search.used[dst as usize] = true;
+    match search.extend(0) {
+        SearchOutcome::Found => Some(true),
+        SearchOutcome::Exhausted => Some(false),
+        SearchOutcome::Budget => None,
+    }
+}
+
+enum SearchOutcome {
+    Found,
+    Exhausted,
+    Budget,
+}
+
+struct IsoSearch<'g> {
+    a: &'g Csr,
+    b: &'g Csr,
+    map: Vec<u32>,
+    used: Vec<bool>,
+    steps: usize,
+    budget: usize,
+}
+
+impl IsoSearch<'_> {
+    /// Standard VF2-style extension in node order with adjacency
+    /// consistency checks against all previously mapped nodes.
+    fn extend(&mut self, from: usize) -> SearchOutcome {
+        let n = self.a.node_count();
+        // find next unmapped node
+        let mut u = from;
+        while u < n && self.map[u] != u32::MAX {
+            u += 1;
+        }
+        if u == n {
+            return SearchOutcome::Found;
+        }
+        for cand in 0..n as u32 {
+            if self.used[cand as usize] {
+                continue;
+            }
+            self.steps += 1;
+            if self.steps > self.budget {
+                return SearchOutcome::Budget;
+            }
+            if self.a.degree(u as u32) != self.b.degree(cand) {
+                continue;
+            }
+            // consistency with already-mapped nodes
+            let ok = self.a.neighbors(u as u32).iter().all(|&w| {
+                let mw = self.map[w as usize];
+                mw == u32::MAX || self.b.has_arc(cand, mw)
+            }) && (0..n).all(|w| {
+                let mw = self.map[w];
+                mw == u32::MAX
+                    || (self.a.has_arc(w as u32, u as u32) == self.b.has_arc(mw, cand))
+            });
+            if !ok {
+                continue;
+            }
+            self.map[u] = cand;
+            self.used[cand as usize] = true;
+            match self.extend(u + 1) {
+                SearchOutcome::Found => return SearchOutcome::Found,
+                SearchOutcome::Budget => return SearchOutcome::Budget,
+                SearchOutcome::Exhausted => {}
+            }
+            self.map[u] = u32::MAX;
+            self.used[cand as usize] = false;
+        }
+        SearchOutcome::Exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Csr {
+        Csr::from_fn(n, |u, out| {
+            out.push((u + 1) % n as u32);
+            out.push((u + n as u32 - 1) % n as u32);
+        })
+    }
+
+    #[test]
+    fn cycle_is_vertex_transitive() {
+        assert_eq!(vertex_transitivity(&cycle(8), 100_000), Transitivity::Yes);
+    }
+
+    #[test]
+    fn path_is_not_vertex_transitive() {
+        let g = Csr::from_edges(4, [(0, 1), (1, 2), (2, 3)], true);
+        assert_eq!(vertex_transitivity(&g, 100_000), Transitivity::No);
+    }
+
+    #[test]
+    fn wl_separates_endpoints() {
+        let g = Csr::from_edges(4, [(0, 1), (1, 2), (2, 3)], true);
+        let c = wl_colors(&g);
+        assert_eq!(c[0], c[3]);
+        assert_eq!(c[1], c[2]);
+        assert_ne!(c[0], c[1]);
+    }
+
+    #[test]
+    fn isomorphic_cycles() {
+        let a = cycle(7);
+        // relabeled cycle
+        let b = Csr::from_fn(7, |u, out| {
+            let p = |x: u32| (3 * x + 2) % 7;
+            let inv = |y: u32| (0..7).find(|&x| p(x) == y).unwrap();
+            let x = inv(u);
+            out.push(p((x + 1) % 7));
+            out.push(p((x + 6) % 7));
+        });
+        let res = are_isomorphic(&a, &b, 1_000_000).unwrap().unwrap();
+        // verify the witness
+        for u in 0..7u32 {
+            for &v in a.neighbors(u) {
+                assert!(b.has_arc(res[u as usize], res[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn non_isomorphic_same_degree() {
+        // C6 vs two triangles: 3-regular? both 2-regular, 6 nodes, 6 edges.
+        let a = cycle(6);
+        let b = Csr::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], true);
+        assert_eq!(are_isomorphic(&a, &b, 1_000_000), Some(None));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let a = cycle(12);
+        let b = cycle(12);
+        assert_eq!(are_isomorphic(&a, &b, 1), None);
+    }
+
+    #[test]
+    fn petersen_is_vertex_transitive() {
+        // Kneser graph K(5,2)
+        let pairs: Vec<(u8, u8)> = (0..5u8)
+            .flat_map(|i| (i + 1..5).map(move |j| (i, j)))
+            .collect();
+        let g = Csr::from_fn(10, |u, out| {
+            let (a, b) = pairs[u as usize];
+            for (v, &(c, d)) in pairs.iter().enumerate() {
+                if a != c && a != d && b != c && b != d {
+                    out.push(v as u32);
+                }
+            }
+        });
+        assert_eq!(vertex_transitivity(&g, 1_000_000), Transitivity::Yes);
+    }
+}

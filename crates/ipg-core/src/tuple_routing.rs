@@ -1,0 +1,300 @@
+//! Table-free hierarchical routing on [`TupleNetwork`]s.
+//!
+//! [`crate::routing::SuperRouter`] routes by rewriting labels — faithful
+//! to the paper, but it needs the generated [`crate::IpGraph`] to map
+//! labels back to nodes. `TupleRouter` implements the same Theorem-4.1
+//! algorithm directly on tuple node ids: per-node state is just the
+//! nucleus next-hop table (`O(M²)`) and the super-generator schedule
+//! (`O(l!)` worst case, computed once), so it routes on million-node
+//! networks without materializing the graph.
+
+use crate::algo;
+use crate::error::{IpgError, Result};
+use crate::perm::Perm;
+use crate::superip::TupleNetwork;
+use crate::util::FxHashMap;
+use std::collections::VecDeque;
+
+/// Minimal super-generator schedule over raw block permutations: visits
+/// every block at the leftmost position; optionally ends at `target`.
+/// (The [`crate::routing`] spec-level helpers delegate to the same search
+/// semantics.)
+pub fn schedule_over_perms(perms: &[Perm], l: usize, target: Option<&Perm>) -> Option<Vec<usize>> {
+    let full: u32 = (1u32 << l) - 1;
+    let start = (Perm::identity(l), 1u32);
+    let done = |state: &(Perm, u32)| {
+        state.1 == full && target.map(|t| &state.0 == t).unwrap_or(true)
+    };
+    if done(&start) {
+        return Some(vec![]);
+    }
+    let mut prev: FxHashMap<(Perm, u32), (usize, (Perm, u32))> = FxHashMap::default();
+    prev.insert(start.clone(), (usize::MAX, start.clone()));
+    let mut queue = VecDeque::new();
+    queue.push_back(start.clone());
+    while let Some(state) = queue.pop_front() {
+        for (gi, bp) in perms.iter().enumerate() {
+            let arr = state.0.then(bp);
+            let visited = state.1 | (1 << arr.image()[0]);
+            let nstate = (arr, visited);
+            if prev.contains_key(&nstate) {
+                continue;
+            }
+            prev.insert(nstate.clone(), (gi, state.clone()));
+            if done(&nstate) {
+                let mut steps = Vec::new();
+                let mut cur = nstate;
+                while cur != start {
+                    let (gi, parent) = prev[&cur].clone();
+                    steps.push(gi);
+                    cur = parent;
+                }
+                steps.reverse();
+                return Some(steps);
+            }
+            queue.push_back(nstate);
+        }
+    }
+    None
+}
+
+/// Hierarchical router over tuple node ids.
+pub struct TupleRouter<'n> {
+    tn: &'n TupleNetwork,
+    /// nucleus distances, row-major.
+    ndist: Vec<u16>,
+    /// default schedule (plain networks).
+    schedule: Vec<usize>,
+}
+
+impl<'n> TupleRouter<'n> {
+    /// Precompute nucleus distances and the default schedule.
+    pub fn new(tn: &'n TupleNetwork) -> Result<Self> {
+        let m = tn.m_nodes();
+        let mut ndist = vec![u16::MAX; m * m];
+        for a in 0..m as u32 {
+            for (b, d) in algo::bfs(&tn.nucleus, a).into_iter().enumerate() {
+                if d != algo::UNREACHABLE {
+                    ndist[a as usize * m + b] = d as u16;
+                }
+            }
+        }
+        let schedule = schedule_over_perms(&tn.block_perms, tn.l, None).ok_or_else(|| {
+            IpgError::InvalidSpec {
+                reason: "some super-symbol can never reach the leftmost position".into(),
+            }
+        })?;
+        Ok(TupleRouter { tn, ndist, schedule })
+    }
+
+    fn nd(&self, a: u32, b: u32) -> u16 {
+        self.ndist[a as usize * self.tn.m_nodes() + b as usize]
+    }
+
+    /// Nucleus-route coordinate 0 of `tuple` to value `target`, pushing
+    /// every intermediate node id.
+    fn sort_coord0(
+        &self,
+        order_idx: u32,
+        tuple: &mut [u32],
+        target: u32,
+        path: &mut Vec<u32>,
+    ) -> Result<()> {
+        while tuple[0] != target {
+            let d = self.nd(tuple[0], target);
+            if d == u16::MAX {
+                return Err(IpgError::Unreachable {
+                    from: tuple[0],
+                    to: target,
+                });
+            }
+            let mut advanced = false;
+            for &nb in self.tn.nucleus.neighbors(tuple[0]) {
+                if self.nd(nb, target) + 1 == d {
+                    tuple[0] = nb;
+                    path.push(self.tn.encode(order_idx, tuple));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Err(IpgError::InvalidSpec {
+                    reason: "nucleus distance table inconsistent".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Route between two node ids, returning the node-id path (inclusive).
+    /// Path length ≤ `l·D_G + t` (Theorem 4.1) for plain networks, and
+    /// ≤ `l·D_G + t_S` for symmetric ones (Theorem 4.3).
+    pub fn route(&self, src: u32, dst: u32) -> Result<Vec<u32>> {
+        let l = self.tn.l;
+        let (src_o, src_t) = self.tn.decode(src);
+        let (dst_o, dst_t) = self.tn.decode(dst);
+
+        // Required final block arrangement. For plain networks any
+        // all-visiting schedule works; for symmetric ones the block-order
+        // components must match: σ_dst = σ_src ∘ β  ⇒  β = σ_src⁻¹ σ_dst.
+        let schedule: Vec<usize> = if self.tn.order_count() == 1 {
+            self.schedule.clone()
+        } else {
+            let sigma_src = self.tn.order_perm(src_o);
+            let sigma_dst = self.tn.order_perm(dst_o);
+            // σ_src.then(β) = σ_dst  ⇒  β = σ_src⁻¹.then(σ_dst)
+            let beta = sigma_src.inverse().then(sigma_dst);
+            schedule_over_perms(&self.tn.block_perms, l, Some(&beta)).ok_or_else(|| {
+                IpgError::InvalidSpec {
+                    reason: "required block arrangement unreachable".into(),
+                }
+            })?
+        };
+
+        // final position of the block initially at position i
+        let mut arrangement = Perm::identity(l);
+        for &gi in &schedule {
+            arrangement = arrangement.then(&self.tn.block_perms[gi]);
+        }
+        let inv = arrangement.inverse();
+        let final_pos: Vec<usize> = (0..l).map(|i| inv.image()[i] as usize).collect();
+
+        let mut order = src_o;
+        let mut tuple = src_t;
+        let mut path = vec![src];
+        self.sort_coord0(order, &mut tuple, dst_t[final_pos[0]], &mut path)?;
+
+        let mut sorted = vec![false; l];
+        sorted[0] = true;
+        let mut arr = Perm::identity(l);
+        let mut buf = vec![0u32; l];
+        for &gi in &schedule {
+            let bp = &self.tn.block_perms[gi];
+            arr = arr.then(bp);
+            for (j, slot) in buf.iter_mut().enumerate() {
+                *slot = tuple[bp.image()[j] as usize];
+            }
+            tuple.copy_from_slice(&buf);
+            order = self.tn.order_apply(order, gi);
+            let next = self.tn.encode(order, &tuple);
+            // a super-generator may fix the current node (e.g. swapping
+            // two equal blocks); that is a no-op, not a link traversal
+            if next != *path.last().expect("non-empty") {
+                path.push(next);
+            }
+            let origin = arr.image()[0] as usize;
+            if !sorted[origin] {
+                sorted[origin] = true;
+                self.sort_coord0(order, &mut tuple, dst_t[final_pos[origin]], &mut path)?;
+            }
+        }
+        if *path.last().expect("non-empty") != dst {
+            return Err(IpgError::InvalidSpec {
+                reason: format!("tuple routing ended at {} not {dst}", path.last().unwrap()),
+            });
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::superip::{NucleusSpec, SeedKind, SuperIpSpec, TupleNetwork};
+
+    fn check_all_pairs(spec: &SuperIpSpec) {
+        let tn = TupleNetwork::from_spec(spec).unwrap();
+        let g = tn.build();
+        let router = TupleRouter::new(&tn).unwrap();
+        let bound = crate::routing::predicted_diameter(spec).unwrap() as usize;
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                let path = router.route(u, v).unwrap();
+                assert_eq!(path[0], u);
+                assert_eq!(*path.last().unwrap(), v);
+                for w in path.windows(2) {
+                    assert!(
+                        g.has_arc(w[0], w[1]),
+                        "{}: {} -> {} not an arc",
+                        spec.name,
+                        w[0],
+                        w[1]
+                    );
+                }
+                assert!(path.len() - 1 <= bound, "{}: {u}->{v}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_hsn() {
+        check_all_pairs(&SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)));
+        check_all_pairs(&SuperIpSpec::hsn(3, NucleusSpec::hypercube(1)));
+    }
+
+    #[test]
+    fn all_pairs_cn_and_flip() {
+        check_all_pairs(&SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)));
+        check_all_pairs(&SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)));
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        check_all_pairs(&SuperIpSpec::hsn(2, NucleusSpec::hypercube(1)).symmetric());
+        check_all_pairs(&SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric());
+    }
+
+    #[test]
+    fn agrees_with_label_router() {
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        let tr = TupleRouter::new(&tn).unwrap();
+        let sr = crate::routing::SuperRouter::new(&spec).unwrap();
+        let ip = spec.to_ip_spec().generate().unwrap();
+        let iso = crate::superip::explicit_isomorphism(&spec, &ip, &tn).unwrap();
+        for (u, v) in [(0u32, 15u32), (3, 9), (12, 4)] {
+            let lp = sr.route(ip.label(u), ip.label(v)).unwrap();
+            let tp = tr.route(iso[u as usize], iso[v as usize]).unwrap();
+            assert_eq!(lp.len(), tp.len(), "route lengths must agree");
+        }
+    }
+
+    #[test]
+    fn routes_on_large_network_without_building_it() {
+        // CN(5, Q4): 2^20 nodes; the router needs only the 16-node
+        // nucleus table and the schedule.
+        let nucleus = crate::superip::NucleusSpec::hypercube(4)
+            .generate()
+            .unwrap()
+            .to_undirected_csr();
+        let perms: Vec<Perm> = (1..5).map(|s| Perm::cyclic_left(5, s)).collect();
+        let tn = TupleNetwork::new("CN(5,Q4)", nucleus, 5, perms, SeedKind::Repeated);
+        assert_eq!(tn.node_count(), 1 << 20);
+        let router = TupleRouter::new(&tn).unwrap();
+        let path = router.route(0, (1 << 20) - 1).unwrap();
+        assert!(path.len() - 1 <= 24); // (4+1)·5 − 1
+        // verify the walk against locally computed neighbor sets
+        let g_small_check = |a: u32, b: u32| -> bool {
+            let (oa, ta) = tn.decode(a);
+            let (_, tb) = tn.decode(b);
+            // nucleus move?
+            if ta[1..] == tb[1..] && tn.nucleus.has_arc(ta[0], tb[0]) {
+                return true;
+            }
+            // supergen move?
+            for (gi, bp) in tn.block_perms.iter().enumerate() {
+                let mut img = vec![0u32; tn.l];
+                for (j, slot) in img.iter_mut().enumerate() {
+                    *slot = ta[bp.image()[j] as usize];
+                }
+                if img == tb && tn.encode(tn.order_apply(oa, gi), &img) == b {
+                    return true;
+                }
+            }
+            false
+        };
+        for w in path.windows(2) {
+            assert!(g_small_check(w[0], w[1]), "{} -> {}", w[0], w[1]);
+        }
+    }
+}

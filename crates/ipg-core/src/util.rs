@@ -1,0 +1,108 @@
+//! Small utilities: a fast non-cryptographic hasher for label interning.
+//!
+//! Label interning is the hot loop of IP-graph generation (§2 of the paper:
+//! every generator application must be checked against the set of already
+//! generated labels). The default SipHash is safe but slow for short byte
+//! strings; this FxHash-style multiply-xor hasher is the standard fast
+//! alternative for trusted in-process keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style hasher (the algorithm used by rustc), specialized for the
+/// short byte-string keys produced by label interning.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Integer `n!` for small `n` (panics on overflow past `20!`).
+pub fn factorial(n: usize) -> u64 {
+    (1..=n as u64).product()
+}
+
+/// `base^exp` in `u64` with overflow checks (panics on overflow).
+pub fn checked_pow(base: u64, exp: u32) -> u64 {
+    base.checked_pow(exp).expect("size overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn hashes_differ_for_different_keys() {
+        let b = FxBuildHasher::default();
+        let h1 = b.hash_one([1u8, 2, 3, 4]);
+        let h2 = b.hash_one([1u8, 2, 3, 5]);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one("abcdefghij"), b.hash_one("abcdefghij"));
+    }
+
+    #[test]
+    fn factorial_small() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(6), 720);
+    }
+}

@@ -1,0 +1,281 @@
+//! Bisection width: the minimum number of edges crossing any balanced
+//! bipartition. Determines bisection bandwidth (the §5.1 constraint under
+//! which low-dimensional tori win) and lower-bounds VLSI layout area in
+//! the Thompson model (`area = Ω(B²)`).
+
+use ipg_core::graph::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Count edges crossing the bipartition given by `side` (undirected
+/// graphs: each crossing edge counted once).
+pub fn cut_size(g: &Csr, side: &[bool]) -> u32 {
+    let mut cut = 0u32;
+    for (u, v) in g.arcs() {
+        if u < v && side[u as usize] != side[v as usize] {
+            cut += 1;
+        }
+    }
+    cut
+}
+
+/// Exact bisection width by exhausting all balanced bipartitions.
+/// `O(C(n, n/2) · m)` — only for `n ≤ ~24`. For odd `n`, parts of sizes
+/// `⌈n/2⌉ / ⌊n/2⌋` are used.
+pub fn bisection_width_exact(g: &Csr) -> u32 {
+    let n = g.node_count();
+    assert!((2..=24).contains(&n), "exact bisection is exponential; n ≤ 24");
+    let half = n / 2;
+    let mut best = u32::MAX;
+    let mut side = vec![false; n];
+    // iterate over subsets of size `half` that contain node 0 (wlog, by
+    // symmetry of the two sides when n even; for odd n fix node 0 in the
+    // larger side which is also wlog).
+    let mut chosen: Vec<usize> = (0..half).collect(); // positions among 1..n
+    loop {
+        for s in side.iter_mut() {
+            *s = false;
+        }
+        // node 0 on side A (false); chosen nodes (offset by 1) on side B.
+        for &c in &chosen {
+            side[c + 1] = true;
+        }
+        best = best.min(cut_size(g, &side));
+        // next combination of `half` elements from 0..n-1
+        let k = chosen.len();
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            if chosen[i] != i + n - 1 - k {
+                chosen[i] += 1;
+                for j in i + 1..k {
+                    chosen[j] = chosen[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Kernighan–Lin heuristic bisection: repeated improvement passes from
+/// `restarts` random balanced starts. Returns an upper bound on the
+/// bisection width (exact on well-structured graphs in practice; always
+/// ≥ the true width).
+pub fn bisection_width_kl(g: &Csr, restarts: usize, seed: u64) -> u32 {
+    let n = g.node_count();
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best = u32::MAX;
+    for _ in 0..restarts.max(1) {
+        let mut side = random_balanced(n, &mut rng);
+        kl_passes(g, &mut side);
+        best = best.min(cut_size(g, &side));
+    }
+    best
+}
+
+fn random_balanced(n: usize, rng: &mut SmallRng) -> Vec<bool> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let mut side = vec![false; n];
+    for &v in idx.iter().take(n / 2) {
+        side[v] = true;
+    }
+    side
+}
+
+/// Classic Kernighan–Lin passes: within a pass, greedily pick the best
+/// (possibly negative-gain) swap among unlocked pairs, lock the pair, and
+/// record the cumulative gain; at pass end, keep the best prefix of the
+/// swap sequence. Repeat while a pass improves the cut. The locked-swap
+/// sequence lets the search climb out of the local minima a pure descent
+/// gets stuck in (e.g. the 2-D torus wrap structure).
+fn kl_passes(g: &Csr, side: &mut [bool]) {
+    let n = g.node_count();
+    let mut d = vec![0i64; n];
+    let recompute_all = |side: &[bool], d: &mut [i64]| {
+        for v in 0..n as u32 {
+            let mut diff = 0i64;
+            for &w in g.neighbors(v) {
+                if side[v as usize] == side[w as usize] {
+                    diff -= 1;
+                } else {
+                    diff += 1;
+                }
+            }
+            d[v as usize] = diff;
+        }
+    };
+    loop {
+        recompute_all(side, &mut d);
+        let mut locked = vec![false; n];
+        let mut swaps: Vec<(u32, u32)> = Vec::new();
+        let mut gains: Vec<i64> = Vec::new();
+        // one full pass: n/2 locked swaps
+        for _ in 0..n / 2 {
+            let mut best_gain = i64::MIN;
+            let mut best_pair: Option<(u32, u32)> = None;
+            for a in 0..n as u32 {
+                if locked[a as usize] || !side[a as usize] {
+                    continue;
+                }
+                for b in 0..n as u32 {
+                    if locked[b as usize] || side[b as usize] {
+                        continue;
+                    }
+                    let c_ab = i64::from(g.has_arc(a, b));
+                    let gain = d[a as usize] + d[b as usize] - 2 * c_ab;
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_pair = Some((a, b));
+                    }
+                }
+            }
+            let Some((a, b)) = best_pair else { break };
+            // apply tentatively, lock, and update D values incrementally
+            side[a as usize] = false;
+            side[b as usize] = true;
+            locked[a as usize] = true;
+            locked[b as usize] = true;
+            for &x in [a, b].iter() {
+                for &w in g.neighbors(x) {
+                    if locked[w as usize] {
+                        continue;
+                    }
+                    // recompute w's D exactly (cheap: degree-bounded)
+                    let mut diff = 0i64;
+                    for &y in g.neighbors(w) {
+                        if side[w as usize] == side[y as usize] {
+                            diff -= 1;
+                        } else {
+                            diff += 1;
+                        }
+                    }
+                    d[w as usize] = diff;
+                }
+            }
+            swaps.push((a, b));
+            gains.push(best_gain);
+        }
+        // best prefix of the pass
+        let mut best_sum = 0i64;
+        let mut best_k = 0usize;
+        let mut run = 0i64;
+        for (k, &gn) in gains.iter().enumerate() {
+            run += gn;
+            if run > best_sum {
+                best_sum = run;
+                best_k = k + 1;
+            }
+        }
+        // revert swaps past the best prefix
+        for &(a, b) in swaps.iter().skip(best_k).rev() {
+            side[a as usize] = true;
+            side[b as usize] = false;
+        }
+        if best_sum <= 0 {
+            return;
+        }
+    }
+}
+
+/// Known closed forms, used to cross-check the heuristic in tests and to
+/// extend figure sweeps: hypercube `N/2`; `k×k` torus `2k` (even `k`);
+/// ring `2`; complete graph `⌈n/2⌉·⌊n/2⌋`.
+pub mod known {
+    /// Bisection width of `Q_n`.
+    pub fn hypercube(n: u32) -> u64 {
+        1u64 << (n - 1)
+    }
+
+    /// Bisection width of a `k × k` torus (even `k`).
+    pub fn torus2d(k: u64) -> u64 {
+        2 * k
+    }
+
+    /// Bisection width of a ring.
+    pub fn ring() -> u64 {
+        2
+    }
+
+    /// Bisection width of `K_n`.
+    pub fn complete(n: u64) -> u64 {
+        n.div_ceil(2) * (n / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_networks::classic;
+
+    #[test]
+    fn exact_ring_and_complete() {
+        assert_eq!(bisection_width_exact(&classic::ring(8)), 2);
+        assert_eq!(bisection_width_exact(&classic::ring(12)), 2);
+        assert_eq!(bisection_width_exact(&classic::complete(6)), 9);
+        assert_eq!(bisection_width_exact(&classic::complete(7)), 12);
+    }
+
+    #[test]
+    fn exact_hypercube() {
+        assert_eq!(bisection_width_exact(&classic::hypercube(2)), 2);
+        assert_eq!(bisection_width_exact(&classic::hypercube(3)), 4);
+        assert_eq!(bisection_width_exact(&classic::hypercube(4)), 8);
+    }
+
+    #[test]
+    fn exact_torus() {
+        assert_eq!(bisection_width_exact(&classic::torus2d(4)), 8);
+    }
+
+    #[test]
+    fn kl_matches_exact_on_small_graphs() {
+        for g in [
+            classic::hypercube(4),
+            classic::ring(16),
+            classic::torus2d(4),
+            classic::star(4),
+        ] {
+            let exact = bisection_width_exact(&g);
+            let kl = bisection_width_kl(&g, 20, 7);
+            assert!(kl >= exact);
+            assert_eq!(kl, exact, "KL should find the optimum on these");
+        }
+    }
+
+    #[test]
+    fn kl_upper_bounds_known_forms() {
+        let q6 = classic::hypercube(6);
+        let kl = bisection_width_kl(&q6, 30, 3);
+        assert!(kl >= known::hypercube(6) as u32);
+        assert_eq!(kl, 32, "KL finds the Q6 bisection");
+
+        let t8 = classic::torus2d(8);
+        let kl = bisection_width_kl(&t8, 30, 3);
+        assert_eq!(kl, known::torus2d(8) as u32);
+    }
+
+    #[test]
+    fn super_ip_bisection_is_low() {
+        // ring-CN(2, Q3): 64 nodes; its swap links limit the bisection far
+        // below the hypercube of the same size (32).
+        let tn = ipg_networks::hier::ring_cn(2, classic::hypercube(3), "Q3");
+        let g = tn.build();
+        let kl = bisection_width_kl(&g, 30, 9);
+        assert!(kl < 32, "ring-CN bisection {kl} should be below Q6's 32");
+    }
+
+    #[test]
+    fn cut_size_counts_once() {
+        let g = classic::ring(4);
+        let cut = cut_size(&g, &[false, false, true, true]);
+        assert_eq!(cut, 2);
+    }
+}

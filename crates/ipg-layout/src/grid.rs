@@ -1,0 +1,186 @@
+//! 2-D grid layouts with Manhattan wirelength accounting.
+//!
+//! The recursive scheme follows the spirit of the paper's reference \[31\]
+//! (*recursive grid layout for hierarchical networks*): lay the nucleus
+//! out once, then place nucleus copies as tiles in a near-square grid,
+//! recursively, so that the dense nucleus wiring stays short and only the
+//! sparse super-generator wiring spans tiles. Compared in tests and
+//! benches against naive row-major placement.
+
+use ipg_core::graph::Csr;
+use ipg_core::superip::TupleNetwork;
+use serde::Serialize;
+
+/// A placement of every node on integer grid coordinates.
+#[derive(Clone, Debug, Serialize)]
+pub struct Layout {
+    /// Position of each node.
+    pub positions: Vec<(i64, i64)>,
+}
+
+impl Layout {
+    /// Bounding box (width, height).
+    pub fn bounding_box(&self) -> (i64, i64) {
+        let (mut maxx, mut maxy) = (0i64, 0i64);
+        for &(x, y) in &self.positions {
+            maxx = maxx.max(x);
+            maxy = maxy.max(y);
+        }
+        (maxx + 1, maxy + 1)
+    }
+
+    /// Bounding-box area (node slots).
+    pub fn area(&self) -> i64 {
+        let (w, h) = self.bounding_box();
+        w * h
+    }
+
+    /// Total Manhattan wirelength over undirected edges.
+    pub fn total_wirelength(&self, g: &Csr) -> u64 {
+        let mut total = 0u64;
+        for (u, v) in g.arcs() {
+            if u < v {
+                total += self.edge_length(u, v);
+            }
+        }
+        total
+    }
+
+    /// Longest single wire.
+    pub fn max_wirelength(&self, g: &Csr) -> u64 {
+        let mut worst = 0u64;
+        for (u, v) in g.arcs() {
+            if u < v {
+                worst = worst.max(self.edge_length(u, v));
+            }
+        }
+        worst
+    }
+
+    fn edge_length(&self, u: u32, v: u32) -> u64 {
+        let (ax, ay) = self.positions[u as usize];
+        let (bx, by) = self.positions[v as usize];
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+}
+
+/// Near-square factorization of `n`: the pair `(w, h)` with `w·h ≥ n`,
+/// `w ≥ h`, minimizing wasted slots then aspect ratio.
+fn near_square(n: usize) -> (usize, usize) {
+    let mut h = (n as f64).sqrt() as usize;
+    while h > 1 && n.div_ceil(h) * h > n + h {
+        h -= 1;
+    }
+    let h = h.max(1);
+    (n.div_ceil(h), h)
+}
+
+/// Naive layout: nodes in row-major order on a near-square grid.
+pub fn row_major_layout(n: usize) -> Layout {
+    let (w, _) = near_square(n);
+    Layout {
+        positions: (0..n).map(|v| ((v % w) as i64, (v / w) as i64)).collect(),
+    }
+}
+
+/// Recursive tile layout for a tuple network: lay out the nucleus copies
+/// as tiles on a near-square grid of modules; inside each tile, the
+/// nucleus nodes are placed row-major. Node ids follow the tuple
+/// encoding (coordinate 0 fastest), so a module's nodes are the
+/// contiguous id range `[m·M, (m+1)·M)`.
+pub fn recursive_layout(tn: &TupleNetwork) -> Layout {
+    let m = tn.m_nodes();
+    let n = tn.node_count();
+    let modules = n / m;
+    let (tiles_w, _) = near_square(modules);
+    let (tile_w, tile_h) = near_square(m);
+    let inner = row_major_layout(m);
+    let mut positions = vec![(0i64, 0i64); n];
+    for (node, pos) in positions.iter_mut().enumerate() {
+        let module = node / m;
+        let local = node % m;
+        let tile_x = (module % tiles_w) as i64 * (tile_w as i64 + 1);
+        let tile_y = (module / tiles_w) as i64 * (tile_h as i64 + 1);
+        let (lx, ly) = inner.positions[local];
+        *pos = (tile_x + lx, tile_y + ly);
+    }
+    Layout { positions }
+}
+
+/// Thompson-model area lower bound from a bisection width `b`:
+/// `(b/2)²` (any layout must route `b` wires across the middle cut in
+/// two directions).
+pub fn thompson_area_lower_bound(bisection: u64) -> u64 {
+    let half = bisection / 2;
+    half * half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_networks::{classic, hier};
+
+    #[test]
+    fn near_square_shapes() {
+        assert_eq!(near_square(16), (4, 4));
+        assert_eq!(near_square(12), (4, 3));
+        assert_eq!(near_square(1), (1, 1));
+        let (w, h) = near_square(10);
+        assert!(w * h >= 10);
+    }
+
+    #[test]
+    fn row_major_covers_all_nodes_distinctly() {
+        let l = row_major_layout(20);
+        let mut seen = std::collections::HashSet::new();
+        for p in &l.positions {
+            assert!(seen.insert(*p), "position reuse at {p:?}");
+        }
+        assert!(l.area() >= 20);
+    }
+
+    #[test]
+    fn torus_layout_wirelength() {
+        // row-major layout of a 4x4 torus: most edges length 1, wrap
+        // edges length 3.
+        let g = classic::torus2d(4);
+        let l = row_major_layout(16);
+        assert_eq!(l.max_wirelength(&g), 3);
+        assert!(l.total_wirelength(&g) >= 32);
+    }
+
+    #[test]
+    fn recursive_layout_positions_are_distinct() {
+        let tn = hier::hsn(2, classic::hypercube(3), "Q3");
+        let l = recursive_layout(&tn);
+        let mut seen = std::collections::HashSet::new();
+        for p in &l.positions {
+            assert!(seen.insert(*p));
+        }
+    }
+
+    #[test]
+    fn recursive_beats_row_major_on_super_ip_wirelength() {
+        // the dense nucleus wiring stays inside tiles: total wirelength
+        // should drop vs row-major placement of the same graph.
+        let tn = hier::hsn(2, classic::hypercube(4), "Q4");
+        let g = tn.build();
+        let rec = recursive_layout(&tn);
+        let naive = row_major_layout(g.node_count());
+        assert!(
+            rec.total_wirelength(&g) < naive.total_wirelength(&g),
+            "recursive {} vs naive {}",
+            rec.total_wirelength(&g),
+            naive.total_wirelength(&g)
+        );
+    }
+
+    #[test]
+    fn thompson_bound_below_achieved_area() {
+        let g = classic::hypercube(4);
+        let l = row_major_layout(16);
+        let b = crate::bisection::bisection_width_exact(&g) as u64;
+        // area lower bound must not exceed achieved area for a valid layout
+        assert!(thompson_area_lower_bound(b) <= l.area() as u64 * 4);
+    }
+}

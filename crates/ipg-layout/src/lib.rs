@@ -1,0 +1,24 @@
+//! # ipg-layout — VLSI layout support for hierarchical networks
+//!
+//! The paper's §5 weighs networks by hardware constraints — pin counts,
+//! bisection bandwidth, on-chip vs off-chip wiring — and cites the
+//! *recursive grid layout scheme* \[31\] for laying out hierarchical
+//! networks efficiently. This crate provides the measurable pieces:
+//!
+//! - [`bisection`] — bisection width: exact (exhaustive balanced cuts,
+//!   small graphs), a Kernighan–Lin heuristic upper bound for larger
+//!   ones, and the known closed forms used for cross-checks;
+//! - [`grid`] — 2-D grid layouts: naive row-major placement and the
+//!   recursive tile placement natural to super-IP graphs (one nucleus per
+//!   tile, tiles arranged recursively), with Manhattan wirelength and
+//!   bounding-box accounting;
+//! - Thompson-model area reasoning: any layout of a graph with bisection
+//!   width `B` needs area `Ω(B²)`, so the reported bounding-box areas can
+//!   be compared against `B²/4`.
+
+pub mod bisection;
+pub mod grid;
+pub mod spectral;
+
+pub use bisection::{bisection_width_exact, bisection_width_kl};
+pub use grid::{recursive_layout, row_major_layout, Layout};

@@ -1,0 +1,138 @@
+//! Spectral lower bound on the bisection width.
+//!
+//! The algebraic connectivity λ₂ (second-smallest Laplacian eigenvalue)
+//! bounds every balanced cut: `B ≥ λ₂·n/4`. Together with the
+//! Kernighan–Lin upper bound from [`crate::bisection`], this sandwiches
+//! the true bisection width — on well-structured networks (hypercubes)
+//! the two coincide.
+//!
+//! λ₂ is computed by shifted power iteration on `cI − L` restricted to
+//! the complement of the all-ones vector (`c = 2·Δ ≥ λ_max(L)`), which
+//! needs only matrix-vector products — `O(m)` per iteration.
+
+use ipg_core::graph::Csr;
+
+/// Estimate λ₂ of the graph Laplacian by shifted power iteration
+/// (deterministic start, `iters` iterations). Accuracy improves with
+/// iteration count; 500–2000 suffices for the test-scale graphs here.
+pub fn algebraic_connectivity(g: &Csr, iters: usize) -> f64 {
+    let n = g.node_count();
+    assert!(n >= 2);
+    let c = 2.0 * g.max_degree() as f64;
+    // deterministic pseudo-random start, orthogonal to 1
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(17)
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    orthogonalize(&mut x);
+    normalize(&mut x);
+    let mut y = vec![0.0f64; n];
+    for _ in 0..iters {
+        // y = (cI − L)x = c·x − D·x + A·x
+        for (u, yu) in y.iter_mut().enumerate() {
+            let mut acc = (c - g.degree(u as u32) as f64) * x[u];
+            for &v in g.neighbors(u as u32) {
+                acc += x[v as usize];
+            }
+            *yu = acc;
+        }
+        orthogonalize(&mut y);
+        normalize(&mut y);
+        std::mem::swap(&mut x, &mut y);
+    }
+    // Rayleigh quotient of L at x
+    let mut lx = 0.0f64;
+    for u in 0..n {
+        let mut acc = g.degree(u as u32) as f64 * x[u];
+        for &v in g.neighbors(u as u32) {
+            acc -= x[v as usize];
+        }
+        lx += x[u] * acc;
+    }
+    lx.max(0.0)
+}
+
+fn orthogonalize(x: &mut [f64]) {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+/// Spectral lower bound on the bisection width: `⌈λ₂·n/4⌉` (for even `n`).
+pub fn bisection_lower_bound(g: &Csr, iters: usize) -> u64 {
+    let lambda2 = algebraic_connectivity(g, iters);
+    // guard against tiny numeric overestimates
+    ((lambda2 - 1e-9) * g.node_count() as f64 / 4.0).ceil().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisection::{bisection_width_exact, bisection_width_kl};
+    use ipg_networks::classic;
+
+    #[test]
+    fn hypercube_lambda2_is_2() {
+        for n in 2..=6 {
+            let g = classic::hypercube(n);
+            let l2 = algebraic_connectivity(&g, 2000);
+            assert!((l2 - 2.0).abs() < 1e-3, "Q{n}: λ2 = {l2}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_lambda2_is_n() {
+        let g = classic::complete(8);
+        let l2 = algebraic_connectivity(&g, 2000);
+        assert!((l2 - 8.0).abs() < 1e-3, "λ2 = {l2}");
+    }
+
+    #[test]
+    fn ring_lambda2_matches_formula() {
+        // λ2(C_n) = 2 − 2cos(2π/n)
+        let n = 12;
+        let g = classic::ring(n);
+        let expect = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        let l2 = algebraic_connectivity(&g, 4000);
+        assert!((l2 - expect).abs() < 1e-3, "{l2} vs {expect}");
+    }
+
+    #[test]
+    fn sandwich_exact_bisection() {
+        // spectral lower ≤ exact ≤ KL upper; tight on the hypercube
+        for n in 2..=4 {
+            let g = classic::hypercube(n);
+            let lower = bisection_lower_bound(&g, 2000);
+            let exact = bisection_width_exact(&g) as u64;
+            let upper = bisection_width_kl(&g, 10, 1) as u64;
+            assert!(lower <= exact, "Q{n}: {lower} ≤ {exact}");
+            assert!(exact <= upper);
+            assert_eq!(lower, exact, "Q{n}: spectral bound is tight");
+        }
+    }
+
+    #[test]
+    fn sandwich_on_super_ip() {
+        let tn = ipg_networks::hier::hsn(2, classic::hypercube(3), "Q3");
+        let g = tn.build();
+        let lower = bisection_lower_bound(&g, 4000);
+        let upper = bisection_width_kl(&g, 30, 5) as u64;
+        assert!(lower <= upper, "{lower} ≤ {upper}");
+        assert!(upper <= 32);
+    }
+}

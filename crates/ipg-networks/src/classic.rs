@@ -1,0 +1,402 @@
+//! Classic interconnection networks used as baselines in the paper's
+//! Figures 2–5 and as nuclei for super-IP graphs.
+//!
+//! All constructors return undirected simple [`Csr`] graphs (directed
+//! variants are noted explicitly). Node-id encodings are part of the public
+//! contract — partitioning code depends on them.
+
+use ipg_core::graph::Csr;
+use ipg_core::spec::IpGraphSpec;
+
+/// Ring `C_n`: node `i` connects to `i ± 1 (mod n)`.
+pub fn ring(n: usize) -> Csr {
+    assert!(n >= 3);
+    Csr::from_fn(n, |u, out| {
+        out.push((u + 1) % n as u32);
+        out.push((u + n as u32 - 1) % n as u32);
+    })
+}
+
+/// Path `P_n`: node `i` connects to `i ± 1`.
+pub fn path(n: usize) -> Csr {
+    Csr::from_fn(n, |u, out| {
+        if u > 0 {
+            out.push(u - 1);
+        }
+        if (u as usize) < n - 1 {
+            out.push(u + 1);
+        }
+    })
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Csr {
+    Csr::from_fn(n, |u, out| {
+        for v in 0..n as u32 {
+            if v != u {
+                out.push(v);
+            }
+        }
+    })
+}
+
+/// Hypercube `Q_n`. Node id = the `n`-bit string; neighbors flip one bit.
+pub fn hypercube(n: usize) -> Csr {
+    assert!(n < 31);
+    Csr::from_fn(1 << n, |u, out| {
+        for b in 0..n {
+            out.push(u ^ (1 << b));
+        }
+    })
+}
+
+/// Folded hypercube `FQ_n`: `Q_n` plus complement edges. Degree `n + 1`,
+/// diameter `⌈n/2⌉`.
+pub fn folded_hypercube(n: usize) -> Csr {
+    assert!(n < 31);
+    let mask = (1u32 << n) - 1;
+    Csr::from_fn(1 << n, |u, out| {
+        for b in 0..n {
+            out.push(u ^ (1 << b));
+        }
+        out.push(u ^ mask);
+    })
+}
+
+/// k-ary n-cube (torus): node id in mixed radix `k^n` (digit 0 least
+/// significant); neighbors change one digit by ±1 mod k. For `k = 2` this
+/// degenerates to the hypercube (±1 coincide and are deduplicated).
+pub fn kary_ncube(k: usize, n: usize) -> Csr {
+    assert!(k >= 2);
+    let size = k.checked_pow(n as u32).expect("size overflow");
+    assert!(size <= u32::MAX as usize);
+    Csr::from_fn(size, |u, out| {
+        let mut stride = 1u32;
+        let mut rest = u;
+        for _ in 0..n {
+            let digit = (rest / stride) % k as u32;
+            let up = (digit + 1) % k as u32;
+            let down = (digit + k as u32 - 1) % k as u32;
+            out.push(u - digit * stride + up * stride);
+            out.push(u - digit * stride + down * stride);
+            rest = u;
+            stride *= k as u32;
+        }
+    })
+}
+
+/// 2-D torus `k × k` (the "2-D torus" of Figures 2–5).
+pub fn torus2d(k: usize) -> Csr {
+    kary_ncube(k, 2)
+}
+
+/// 3-D torus `k × k × k`.
+pub fn torus3d(k: usize) -> Csr {
+    kary_ncube(k, 3)
+}
+
+/// Generalized hypercube (Bhuyan & Agrawal \[7\]): mixed-radix node id over
+/// `radices`; two nodes are adjacent iff they differ in exactly one digit
+/// (any value). Degree `Σ (r_i − 1)`, diameter = #dimensions.
+pub fn generalized_hypercube(radices: &[usize]) -> Csr {
+    let size: usize = radices.iter().product();
+    assert!(size <= u32::MAX as usize);
+    Csr::from_fn(size, |u, out| {
+        let mut stride = 1u32;
+        for &r in radices {
+            let digit = (u / stride) % r as u32;
+            for v in 0..r as u32 {
+                if v != digit {
+                    out.push(u - digit * stride + v * stride);
+                }
+            }
+            stride *= r as u32;
+        }
+    })
+}
+
+/// Star graph `S_n` (Akers, Harel & Krishnamurthy \[3\]): generated from the
+/// IP spec; node 0 is the identity permutation `12…n`, node ids follow the
+/// BFS generation order. Use [`star_labels`] to recover the permutation of
+/// each node.
+pub fn star(n: usize) -> Csr {
+    IpGraphSpec::star(n)
+        .generate()
+        .expect("star generation")
+        .to_undirected_csr()
+}
+
+/// The permutation labels of [`star`] nodes, as symbol vectors (symbols
+/// `1..=n`), indexed by node id.
+pub fn star_labels(n: usize) -> Vec<Vec<u8>> {
+    IpGraphSpec::star(n)
+        .generate()
+        .expect("star generation")
+        .labels()
+        .iter()
+        .map(|l| l.symbols().to_vec())
+        .collect()
+}
+
+/// Pancake graph: prefix-reversal Cayley graph on `n!` permutations.
+pub fn pancake(n: usize) -> Csr {
+    IpGraphSpec::pancake(n)
+        .generate()
+        .expect("pancake generation")
+        .to_undirected_csr()
+}
+
+/// Petersen graph (as the Kneser graph K(5,2)): 10 nodes, 3-regular,
+/// diameter 2. Appears in Fig. 2 and as the nucleus of cyclic Petersen
+/// networks \[32\].
+pub fn petersen() -> Csr {
+    let pairs: Vec<(u8, u8)> = (0..5u8)
+        .flat_map(|i| (i + 1..5).map(move |j| (i, j)))
+        .collect();
+    Csr::from_fn(10, |u, out| {
+        let (a, b) = pairs[u as usize];
+        for (v, &(c, d)) in pairs.iter().enumerate() {
+            if a != c && a != d && b != c && b != d {
+                out.push(v as u32);
+            }
+        }
+    })
+}
+
+/// Binary de Bruijn graph `DB(2, n)` as a *directed* graph: arcs
+/// `u -> (2u + b) mod 2^n` for `b ∈ {0,1}`. One of the densest known
+/// graphs (paper §2).
+pub fn debruijn_directed(n: usize) -> Csr {
+    assert!((1..31).contains(&n));
+    let mask = (1u32 << n) - 1;
+    Csr::from_fn(1 << n, |u, out| {
+        out.push((u << 1) & mask);
+        out.push(((u << 1) | 1) & mask);
+    })
+}
+
+/// Binary de Bruijn graph, undirected view (symmetrized; degree ≤ 4).
+pub fn debruijn(n: usize) -> Csr {
+    debruijn_directed(n).symmetrized()
+}
+
+/// Shuffle-exchange network on `2^n` nodes: *shuffle* edges
+/// `u ~ rotate-left(u)` and *exchange* edges `u ~ u ⊕ 1`. Undirected;
+/// degree ≤ 3.
+pub fn shuffle_exchange(n: usize) -> Csr {
+    assert!((2..31).contains(&n));
+    let mask = (1u32 << n) - 1;
+    Csr::from_fn(1 << n, |u, out| {
+        let rot = ((u << 1) | (u >> (n - 1))) & mask;
+        out.push(rot);
+        out.push(u ^ 1);
+    })
+    .symmetrized()
+}
+
+/// 2-D mesh `k × k` (torus without wraparound); node id = `x + k·y`.
+pub fn mesh2d(k: usize) -> Csr {
+    Csr::from_fn(k * k, |v, out| {
+        let x = (v as usize) % k;
+        let y = (v as usize) / k;
+        if x > 0 {
+            out.push(v - 1);
+        }
+        if x + 1 < k {
+            out.push(v + 1);
+        }
+        if y > 0 {
+            out.push(v - k as u32);
+        }
+        if y + 1 < k {
+            out.push(v + k as u32);
+        }
+    })
+}
+
+/// Star-connected cycles SCC(n) (Latifi, Azevedo & Bagherzadeh \[20\]): the
+/// star graph `S_n` with each node expanded into a cycle of `n − 1`
+/// nodes, one per star dimension — the star-graph analogue of CCC. Node
+/// id = `star_node·(n−1) + i` for cycle position `i ∈ 0..n−1`; cycle
+/// edges `(π,i) ~ (π,i±1)` and one star edge `(π,i) ~ (π·(1,i+2), i)`.
+/// 3-regular for `n ≥ 4`.
+pub fn star_connected_cycles(n: usize) -> Csr {
+    assert!(n >= 3);
+    let ip = IpGraphSpec::star(n).generate().expect("star generation");
+    let c = n - 1;
+    let nodes = ip.node_count() * c;
+    Csr::from_fn(nodes, |v, out| {
+        let pi = v / c as u32;
+        let i = v % c as u32;
+        let node = |p: u32, i: u32| p * c as u32 + i;
+        out.push(node(pi, (i + 1) % c as u32));
+        out.push(node(pi, (i + c as u32 - 1) % c as u32));
+        // star generator i is the transposition (1, i+2)
+        out.push(node(ip.arc(pi, i as usize), i));
+    })
+}
+
+/// Cube-connected cycles CCC(n) (Preparata & Vuillemin \[22\]): node id
+/// `w·n + i` for `w ∈ 0..2^n`, `i ∈ 0..n`; cycle edges `(w,i) ~ (w,i±1)`
+/// and cross edges `(w,i) ~ (w ⊕ 2^i, i)`. 3-regular for `n ≥ 3`.
+pub fn ccc(n: usize) -> Csr {
+    assert!((3..28).contains(&n));
+    let size = n << n;
+    Csr::from_fn(size, |id, out| {
+        let w = id / n as u32;
+        let i = id % n as u32;
+        let node = |w: u32, i: u32| w * n as u32 + i;
+        out.push(node(w, (i + 1) % n as u32));
+        out.push(node(w, (i + n as u32 - 1) % n as u32));
+        out.push(node(w ^ (1 << i), i));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_core::algo;
+
+    #[test]
+    fn hypercube_props() {
+        for n in 1..=6 {
+            let g = hypercube(n);
+            assert_eq!(g.node_count(), 1 << n);
+            assert!(g.is_regular());
+            assert_eq!(g.max_degree(), n);
+            assert_eq!(algo::diameter(&g), n as u32);
+        }
+    }
+
+    #[test]
+    fn folded_hypercube_props() {
+        for n in 2..=6 {
+            let g = folded_hypercube(n);
+            assert!(g.is_regular());
+            assert_eq!(g.max_degree(), n + 1);
+            assert_eq!(algo::diameter(&g), n.div_ceil(2) as u32);
+        }
+    }
+
+    #[test]
+    fn torus_props() {
+        let g = torus2d(5);
+        assert_eq!(g.node_count(), 25);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(algo::diameter(&g), 4); // 2·⌊5/2⌋
+
+        let g = kary_ncube(4, 3);
+        assert_eq!(g.node_count(), 64);
+        assert_eq!(g.max_degree(), 6);
+        assert_eq!(algo::diameter(&g), 6); // 3·(4/2)
+    }
+
+    #[test]
+    fn kary_2_is_hypercube() {
+        let a = kary_ncube(2, 5);
+        let b = hypercube(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generalized_hypercube_props() {
+        let g = generalized_hypercube(&[3, 4, 5]);
+        assert_eq!(g.node_count(), 60);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 2 + 3 + 4);
+        assert_eq!(algo::diameter(&g), 3);
+    }
+
+    #[test]
+    fn star_props() {
+        // S_4: 24 nodes, 3-regular, diameter ⌊3(n−1)/2⌋ = 4.
+        let g = star(4);
+        assert_eq!(g.node_count(), 24);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(algo::diameter(&g), 4);
+        // S_5: diameter ⌊3·4/2⌋ = 6.
+        assert_eq!(algo::diameter(&star(5)), 6);
+    }
+
+    #[test]
+    fn pancake_props() {
+        let g = pancake(4);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(algo::diameter(&g), 4);
+    }
+
+    #[test]
+    fn petersen_props() {
+        let g = petersen();
+        assert_eq!(g.node_count(), 10);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(algo::diameter(&g), 2);
+        assert_eq!(algo::girth(&g), Some(5));
+    }
+
+    #[test]
+    fn debruijn_props() {
+        let d = debruijn_directed(4);
+        assert_eq!(d.node_count(), 16);
+        assert!(ipg_core::algo::is_strongly_connected(&d));
+        assert_eq!(algo::diameter(&d), 4); // directed diameter = n
+        let g = debruijn(4);
+        assert!(g.max_degree() <= 4);
+        assert!(algo::diameter(&g) <= 4);
+    }
+
+    #[test]
+    fn shuffle_exchange_props() {
+        let g = shuffle_exchange(3);
+        assert_eq!(g.node_count(), 8);
+        assert!(g.max_degree() <= 3);
+        assert!(algo::is_connected(&g));
+        // undirected SE diameter ≤ 2n−1
+        assert!(algo::diameter(&g) <= 5);
+    }
+
+    #[test]
+    fn ccc_props() {
+        let g = ccc(3);
+        assert_eq!(g.node_count(), 24);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 3);
+        // CCC(3) diameter is 6
+        assert_eq!(algo::diameter(&g), 6);
+    }
+
+    #[test]
+    fn mesh_props() {
+        let g = mesh2d(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.min_degree(), 2); // corners
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(algo::diameter(&g), 6); // 2(k−1)
+    }
+
+    #[test]
+    fn scc_props() {
+        // SCC(4): 24·3 = 72 nodes, 3-regular, connected.
+        let g = star_connected_cycles(4);
+        assert_eq!(g.node_count(), 72);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 3);
+        assert!(algo::is_connected(&g));
+        // SCC(5): 120·4 = 480 nodes
+        let g = star_connected_cycles(5);
+        assert_eq!(g.node_count(), 480);
+        assert!(g.is_regular());
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn ring_and_complete() {
+        assert_eq!(algo::diameter(&ring(9)), 4);
+        assert_eq!(algo::diameter(&complete(7)), 1);
+        assert_eq!(algo::diameter(&path(5)), 4);
+    }
+}

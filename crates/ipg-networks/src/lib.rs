@@ -1,0 +1,26 @@
+//! # ipg-networks — the interconnection-network zoo
+//!
+//! Direct constructions of every network the paper compares (Figures 2–5)
+//! or claims to unify under the IP-graph model (§1–§3):
+//!
+//! - [`classic`] — baselines: ring, complete graph, tori / k-ary n-cubes,
+//!   (folded/generalized) hypercubes, star and pancake graphs, the Petersen
+//!   graph, de Bruijn and shuffle-exchange graphs, cube-connected cycles.
+//! - [`hier`] — hierarchical networks: HCN (with and without diameter
+//!   links), HSN, ring-/complete-CN, super-flip networks, their symmetric
+//!   variants, HFN, HHN, RCC/RHSN, HSE, and quotient networks (QCN).
+//! - [`ipdefs`] — the IP-graph definitions of networks the paper expresses
+//!   with generators (de Bruijn, shuffle-exchange, hypercube, star, ...),
+//!   cross-validated against the direct constructions in tests.
+//! - [`viz`] — Graphviz/DOT export used to regenerate Figure 1.
+//!
+//! Node-id encodings are documented per constructor so that partitioning
+//! code (crate `ipg-cluster`) can assign nodes to modules.
+
+pub mod classic;
+pub mod hier;
+pub mod ipdefs;
+pub mod viz;
+
+pub use classic::*;
+pub use hier::*;

@@ -1,0 +1,41 @@
+//! Graphviz/DOT export, used by the Figure-1 regeneration binary.
+
+use ipg_core::graph::Csr;
+use std::fmt::Write;
+
+/// Render an undirected graph as DOT. `label(v)` supplies node labels
+/// (e.g. the paper's radix-4 rankings in Fig. 1).
+pub fn to_dot(g: &Csr, name: &str, mut label: impl FnMut(u32) -> String) -> String {
+    let mut out = String::new();
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    writeln!(out, "graph {safe} {{").unwrap();
+    writeln!(out, "  node [shape=circle, fontsize=10];").unwrap();
+    for v in 0..g.node_count() as u32 {
+        writeln!(out, "  n{v} [label=\"{}\"];", label(v)).unwrap();
+    }
+    for (u, v) in g.arcs() {
+        if u < v {
+            writeln!(out, "  n{u} -- n{v};").unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_has_all_edges() {
+        let g = Csr::from_edges(3, [(0, 1), (1, 2)], true);
+        let dot = to_dot(&g, "path 3", |v| format!("{v}"));
+        assert!(dot.contains("graph path_3 {"));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.contains("n1 -- n2;"));
+        assert!(!dot.contains("n1 -- n0;"));
+    }
+}

@@ -1,0 +1,515 @@
+//! The synchronous simulation engine.
+//!
+//! Time advances in cycles. Each node owns one FIFO output queue per
+//! outgoing link; a link forwards one packet every `service interval`
+//! cycles (off-module links may be slower, modeling the §5.4 regime where
+//! on-chip links run at a higher clock rate). Arriving packets are either
+//! consumed (destination reached) or appended to the next output queue.
+//! Injection is Bernoulli per node per cycle with uniform random
+//! destinations.
+
+use crate::table::RoutingTable;
+use ipg_core::graph::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Destination selection for injected packets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Traffic {
+    /// Uniformly random destination ≠ source.
+    Uniform,
+    /// Bit-complement permutation: `dst = !src` (requires a power-of-two
+    /// node count). The classic worst case for dimension-ordered meshes.
+    BitComplement,
+    /// Transpose permutation: swap the low and high halves of the node-id
+    /// bits (requires a power-of-two node count with an even bit width).
+    Transpose,
+    /// Hotspot: with probability `fraction`, send to `target`; otherwise
+    /// uniform.
+    Hotspot {
+        /// Probability of addressing the hotspot.
+        fraction: f64,
+        /// The hotspot node.
+        target: u32,
+    },
+}
+
+/// Switching technique (paper §5 distinguishes packet switching from
+/// wormhole/cut-through for its latency arguments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Switching {
+    /// Store-and-forward: a message is fully serialized at every hop
+    /// (per-hop latency = interval × message_length).
+    StoreForward,
+    /// Virtual cut-through: the header advances after one service
+    /// interval; the tail catches up once at the destination. Each link
+    /// is still occupied for interval × message_length cycles.
+    CutThrough,
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Packets injected per node per cycle (Bernoulli probability).
+    pub injection_rate: f64,
+    /// Cycles before measurement starts.
+    pub warmup_cycles: u32,
+    /// Cycles during which injected packets are tagged for measurement.
+    pub measure_cycles: u32,
+    /// Extra cycles to let tagged packets drain.
+    pub drain_cycles: u32,
+    /// A link forwards one packet every this many cycles (≥ 1) when both
+    /// endpoints share a module.
+    pub on_module_interval: u32,
+    /// Service interval of off-module links (≥ on_module_interval models
+    /// slower off-chip signaling or narrower channels).
+    pub off_module_interval: u32,
+    /// RNG seed (simulations are deterministic given the seed).
+    pub seed: u64,
+    /// Message length in flits (scales per-link occupancy; with
+    /// store-and-forward it also scales per-hop latency).
+    pub message_length: u32,
+    /// Store-and-forward or virtual cut-through.
+    pub switching: Switching,
+    /// Destination pattern.
+    pub traffic: Traffic,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            injection_rate: 0.01,
+            warmup_cycles: 1_000,
+            measure_cycles: 4_000,
+            drain_cycles: 20_000,
+            on_module_interval: 1,
+            off_module_interval: 1,
+            seed: 0x5eed_1b9a_44c0_ffee,
+            message_length: 1,
+            switching: Switching::StoreForward,
+            traffic: Traffic::Uniform,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimResult {
+    /// Tagged packets injected during the measurement window.
+    pub injected: u64,
+    /// Tagged packets delivered before the run ended.
+    pub delivered: u64,
+    /// Mean latency (cycles) of delivered tagged packets.
+    pub avg_latency: f64,
+    /// Max latency of delivered tagged packets.
+    pub max_latency: u32,
+    /// Delivered tagged packets per node per cycle of the measurement
+    /// window (the accepted throughput).
+    pub throughput: f64,
+    /// Total cycles simulated.
+    pub cycles: u32,
+}
+
+struct Packet {
+    dst: u32,
+    born: u32,
+    tagged: bool,
+}
+
+struct Link {
+    to: u32,
+    interval: u32,
+    next_free: u64,
+    queue: VecDeque<Packet>,
+}
+
+/// The simulator: a network, a routing table, and a module map.
+pub struct Simulator {
+    n: usize,
+    table: RoutingTable,
+    /// links grouped by source node: `links[link_of[u] .. link_of[u+1]]`.
+    links: Vec<Link>,
+    link_of: Vec<u32>,
+}
+
+impl Simulator {
+    /// Build a simulator for graph `g`. `module(u)` gives each node's
+    /// module id (used to classify links as on-/off-module).
+    pub fn new(g: &Csr, module: impl Fn(u32) -> u32, cfg: &SimConfig) -> Self {
+        let n = g.node_count();
+        let table = RoutingTable::new(g);
+        let mut links = Vec::with_capacity(g.arc_count());
+        let mut link_of = Vec::with_capacity(n + 1);
+        link_of.push(0u32);
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                let interval = if module(u) == module(v) {
+                    cfg.on_module_interval
+                } else {
+                    cfg.off_module_interval
+                };
+                links.push(Link {
+                    to: v,
+                    interval: interval.max(1),
+                    next_free: 0,
+                    queue: VecDeque::new(),
+                });
+            }
+            link_of.push(links.len() as u32);
+        }
+        Simulator {
+            n,
+            table,
+            links,
+            link_of,
+        }
+    }
+
+    fn link_toward(&self, u: u32, v: u32) -> usize {
+        let lo = self.link_of[u as usize] as usize;
+        let hi = self.link_of[u as usize + 1] as usize;
+        for i in lo..hi {
+            if self.links[i].to == v {
+                return i;
+            }
+        }
+        panic!("next hop {v} is not a neighbor of {u}");
+    }
+
+    /// Pick a destination for a packet injected at `src` (None when the
+    /// pattern maps `src` to itself).
+    fn pick_destination(
+        &self,
+        src: u32,
+        traffic: Traffic,
+        rng: &mut SmallRng,
+    ) -> Option<u32> {
+        let n = self.n as u32;
+        let uniform = |rng: &mut SmallRng| {
+            let mut dst = rng.gen_range(0..n - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            dst
+        };
+        match traffic {
+            Traffic::Uniform => Some(uniform(rng)),
+            Traffic::BitComplement => {
+                assert!(n.is_power_of_two(), "bit-complement needs 2^k nodes");
+                let dst = !src & (n - 1);
+                (dst != src).then_some(dst)
+            }
+            Traffic::Transpose => {
+                assert!(n.is_power_of_two(), "transpose needs 2^k nodes");
+                let bits = n.trailing_zeros();
+                assert!(bits % 2 == 0, "transpose needs an even bit width");
+                let half = bits / 2;
+                let lo = src & ((1 << half) - 1);
+                let hi = src >> half;
+                let dst = (lo << half) | hi;
+                (dst != src).then_some(dst)
+            }
+            Traffic::Hotspot { fraction, target } => {
+                if rng.gen::<f64>() < fraction && target != src {
+                    Some(target)
+                } else {
+                    Some(uniform(rng))
+                }
+            }
+        }
+    }
+
+    /// Run the simulation and collect statistics.
+    pub fn run(&mut self, cfg: &SimConfig) -> SimResult {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let total_cycles = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles;
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        let mut latency_sum = 0u64;
+        let mut max_latency = 0u32;
+        let n = self.n;
+        let msg_len = cfg.message_length.max(1);
+
+        for link in &mut self.links {
+            link.next_free = 0;
+            link.queue.clear();
+        }
+
+        // In-flight packets: ring buffer of arrival buckets. A link with
+        // service interval k serves one message per k·L cycles; the head
+        // advances after k (cut-through) or k·L (store-and-forward)
+        // cycles — slow off-module signaling, §5.4.
+        let max_interval = self
+            .links
+            .iter()
+            .map(|l| l.interval)
+            .max()
+            .unwrap_or(1) as usize
+            * msg_len as usize;
+        let mut in_flight: Vec<Vec<(u32, Packet)>> =
+            (0..=max_interval).map(|_| Vec::new()).collect();
+        // Cut-through: the tail catches up with the header once, at the
+        // destination.
+        let tail_penalty = match cfg.switching {
+            Switching::StoreForward => 0,
+            Switching::CutThrough => (msg_len - 1) * cfg.on_module_interval,
+        };
+
+        for cycle in 0..total_cycles {
+            // 1. injection
+            for src in 0..n as u32 {
+                if rng.gen::<f64>() < cfg.injection_rate {
+                    let Some(dst) = self.pick_destination(src, cfg.traffic, &mut rng) else {
+                        continue;
+                    };
+                    let tagged =
+                        cycle >= cfg.warmup_cycles && cycle < cfg.warmup_cycles + cfg.measure_cycles;
+                    if tagged {
+                        injected += 1;
+                    }
+                    let hop = self.table.next_hop(src, dst);
+                    let li = self.link_toward(src, hop);
+                    self.links[li].queue.push_back(Packet {
+                        dst,
+                        born: cycle,
+                        tagged,
+                    });
+                }
+            }
+            // 2. each ready link launches its head message
+            for link in self.links.iter_mut() {
+                if link.next_free <= cycle as u64 && !link.queue.is_empty() {
+                    let pkt = link.queue.pop_front().expect("checked non-empty");
+                    // occupancy: the whole message crosses the link
+                    link.next_free = cycle as u64 + link.interval as u64 * msg_len as u64;
+                    // forward progress of the head
+                    let advance = match cfg.switching {
+                        Switching::StoreForward => link.interval * msg_len,
+                        Switching::CutThrough => link.interval,
+                    } as usize;
+                    let slot = (cycle as usize + advance) % in_flight.len();
+                    in_flight[slot].push((link.to, pkt));
+                }
+            }
+            // 3. arrivals scheduled for the *next* cycle boundary
+            let slot = (cycle as usize + 1) % in_flight.len();
+            let arrivals = std::mem::take(&mut in_flight[slot]);
+            for (arrived_at, pkt) in arrivals {
+                if arrived_at == pkt.dst {
+                    if pkt.tagged {
+                        delivered += 1;
+                        let lat = cycle + 1 - pkt.born + tail_penalty;
+                        latency_sum += lat as u64;
+                        max_latency = max_latency.max(lat);
+                    }
+                } else {
+                    let hop = self.table.next_hop(arrived_at, pkt.dst);
+                    let nli = self.link_toward(arrived_at, hop);
+                    self.links[nli].queue.push_back(pkt);
+                }
+            }
+        }
+
+        SimResult {
+            injected,
+            delivered,
+            avg_latency: if delivered == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / delivered as f64
+            },
+            max_latency,
+            throughput: delivered as f64 / (n as f64 * cfg.measure_cycles as f64),
+            cycles: total_cycles,
+        }
+    }
+}
+
+/// Convenience: build and run in one call with everything in one module
+/// (uniform link speed).
+pub fn run_uniform(g: &Csr, cfg: &SimConfig) -> SimResult {
+    Simulator::new(g, |_| 0, cfg).run(cfg)
+}
+
+/// Convenience: build and run with a module map (off-module links use
+/// `cfg.off_module_interval`).
+pub fn run_clustered(g: &Csr, module: &[u32], cfg: &SimConfig) -> SimResult {
+    Simulator::new(g, |u| module[u as usize], cfg).run(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_networks::classic;
+
+    fn light_cfg() -> SimConfig {
+        SimConfig {
+            injection_rate: 0.005,
+            warmup_cycles: 500,
+            measure_cycles: 2_000,
+            drain_cycles: 5_000,
+            on_module_interval: 1,
+            off_module_interval: 1,
+            seed: 42,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn light_load_latency_tracks_average_distance() {
+        // store-and-forward light-load latency ≈ average distance (one
+        // cycle per hop) + small queueing noise.
+        let g = classic::hypercube(6);
+        let avg = ipg_core::algo::average_distance(&g);
+        let r = run_uniform(&g, &light_cfg());
+        assert!(r.delivered > 0);
+        assert!(
+            (r.avg_latency - avg).abs() < 1.0,
+            "latency {} vs avg distance {avg}",
+            r.avg_latency
+        );
+    }
+
+    #[test]
+    fn all_tagged_packets_delivered_at_light_load() {
+        let g = classic::torus2d(6);
+        let r = run_uniform(&g, &light_cfg());
+        assert_eq!(r.injected, r.delivered);
+    }
+
+    #[test]
+    fn saturation_throughput_orders_ring_vs_hypercube() {
+        // At the same high injection rate the hypercube (avg distance
+        // n/2 = 3, high bisection) delivers far more than the 64-ring
+        // (avg distance ~16).
+        let heavy = SimConfig {
+            injection_rate: 0.4,
+            warmup_cycles: 500,
+            measure_cycles: 2_000,
+            drain_cycles: 4_000,
+            ..light_cfg()
+        };
+        let cube = run_uniform(&classic::hypercube(6), &heavy);
+        let ring = run_uniform(&classic::ring(64), &heavy);
+        assert!(
+            cube.throughput > 1.5 * ring.throughput,
+            "cube {} vs ring {}",
+            cube.throughput,
+            ring.throughput
+        );
+        // the ring is past saturation: it cannot deliver what was injected
+        assert!(ring.delivered < ring.injected);
+        // the hypercube is not: everything tagged arrives
+        assert_eq!(cube.delivered, cube.injected);
+    }
+
+    #[test]
+    fn slow_off_module_links_raise_latency() {
+        let g = classic::hypercube(6);
+        let module: Vec<u32> = (0..64u32).map(|u| u >> 2).collect();
+        let fast = run_clustered(&g, &module, &light_cfg());
+        let slow_cfg = SimConfig {
+            off_module_interval: 4,
+            ..light_cfg()
+        };
+        let slow = run_clustered(&g, &module, &slow_cfg);
+        assert!(slow.avg_latency > fast.avg_latency);
+    }
+
+    #[test]
+    fn bit_complement_latency_is_graph_diameter() {
+        // complement pairs are at distance n in Q_n: light-load latency ≈ n
+        let g = classic::hypercube(6);
+        let cfg = SimConfig {
+            traffic: Traffic::BitComplement,
+            ..light_cfg()
+        };
+        let r = run_uniform(&g, &cfg);
+        assert!(r.delivered > 0);
+        assert!((r.avg_latency - 6.0).abs() < 0.5, "latency {}", r.avg_latency);
+    }
+
+    #[test]
+    fn transpose_pattern_valid_and_delivers() {
+        let g = classic::hypercube(6); // 64 nodes, 6 bits: even width
+        let cfg = SimConfig {
+            traffic: Traffic::Transpose,
+            ..light_cfg()
+        };
+        let r = run_uniform(&g, &cfg);
+        assert_eq!(r.injected, r.delivered);
+    }
+
+    #[test]
+    fn hotspot_saturates_before_uniform() {
+        let g = classic::hypercube(6);
+        let heavy = SimConfig {
+            injection_rate: 0.2,
+            drain_cycles: 3_000,
+            ..light_cfg()
+        };
+        let uni = run_uniform(&g, &heavy);
+        let hot = run_uniform(
+            &g,
+            &SimConfig {
+                traffic: Traffic::Hotspot {
+                    fraction: 0.5,
+                    target: 0,
+                },
+                ..heavy
+            },
+        );
+        // the hotspot's links bound delivery: hotspot run delivers less
+        assert!(hot.delivered < uni.delivered);
+    }
+
+    #[test]
+    fn cut_through_beats_store_and_forward_for_long_messages() {
+        let g = classic::hypercube(6);
+        let base = SimConfig {
+            message_length: 8,
+            injection_rate: 0.002,
+            ..light_cfg()
+        };
+        let sf = run_uniform(&g, &base);
+        let ct = run_uniform(
+            &g,
+            &SimConfig {
+                switching: Switching::CutThrough,
+                ..base
+            },
+        );
+        // SF ≈ hops·L, CT ≈ hops + L: for avg 3 hops, L=8 → ~24 vs ~11
+        assert!(
+            ct.avg_latency + 4.0 < sf.avg_latency,
+            "CT {} vs SF {}",
+            ct.avg_latency,
+            sf.avg_latency
+        );
+        // at L = 1 the two modes coincide
+        let one = SimConfig {
+            message_length: 1,
+            ..base
+        };
+        let sf1 = run_uniform(&g, &one);
+        let ct1 = run_uniform(
+            &g,
+            &SimConfig {
+                switching: Switching::CutThrough,
+                ..one
+            },
+        );
+        assert_eq!(sf1.avg_latency, ct1.avg_latency);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = classic::torus2d(5);
+        let a = run_uniform(&g, &light_cfg());
+        let b = run_uniform(&g, &light_cfg());
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.max_latency, b.max_latency);
+    }
+}

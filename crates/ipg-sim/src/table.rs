@@ -1,0 +1,145 @@
+//! Shortest-path next-hop routing tables.
+//!
+//! For each (node, destination) pair we store one next hop lying on a
+//! shortest path. Ties are broken by a deterministic hash of (node,
+//! destination), spreading traffic across equivalent paths without
+//! per-packet randomness.
+
+use ipg_core::algo;
+use ipg_core::graph::Csr;
+
+/// Dense next-hop table: `next[u·n + d]` is the neighbor of `u` on a
+/// shortest path to `d` (or `u` itself when `u == d` / unreachable).
+pub struct RoutingTable {
+    n: usize,
+    next: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// Build from all-destinations BFS on the reversed graph. `O(n·m)`
+    /// time, `O(n²)` space — sized for simulation-scale networks
+    /// (≤ ~20k nodes).
+    pub fn new(g: &Csr) -> Self {
+        let n = g.node_count();
+        assert!(n <= 65_536, "routing table is O(n^2); graph too large");
+        let rev = if g.is_symmetric() { g.clone() } else { g.reversed() };
+        let mut next = vec![0u32; n * n];
+        for d in 0..n as u32 {
+            // dist[u] = distance from u to d (BFS from d over reversed arcs)
+            let dist = algo::bfs(&rev, d);
+            for u in 0..n as u32 {
+                if u == d || dist[u as usize] == algo::UNREACHABLE {
+                    next[u as usize * n + d as usize] = u;
+                    continue;
+                }
+                let du = dist[u as usize];
+                // collect min-distance successors; pick by hash
+                let mut count = 0u32;
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] + 1 == du {
+                        count += 1;
+                    }
+                }
+                debug_assert!(count > 0);
+                let pick = mix(u as u64, d as u64) % count as u64;
+                let mut seen = 0u64;
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] + 1 == du {
+                        if seen == pick {
+                            next[u as usize * n + d as usize] = v;
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+            }
+        }
+        RoutingTable { n, next }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The next hop from `u` toward `d`.
+    #[inline]
+    pub fn next_hop(&self, u: u32, d: u32) -> u32 {
+        self.next[u as usize * self.n + d as usize]
+    }
+
+    /// Full path `u -> d` following the table.
+    pub fn path(&self, u: u32, d: u32) -> Vec<u32> {
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != d {
+            let nxt = self.next_hop(cur, d);
+            if nxt == cur {
+                break; // unreachable
+            }
+            cur = nxt;
+            path.push(cur);
+        }
+        path
+    }
+}
+
+#[inline]
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Csr {
+        Csr::from_fn(n, |u, out| {
+            out.push((u + 1) % n as u32);
+            out.push((u + n as u32 - 1) % n as u32);
+        })
+    }
+
+    #[test]
+    fn paths_are_shortest() {
+        let g = cycle(8);
+        let t = RoutingTable::new(&g);
+        for u in 0..8u32 {
+            let d = algo::bfs(&g, u);
+            for v in 0..8u32 {
+                let p = t.path(u, v);
+                assert_eq!(p.len() - 1, d[v as usize] as usize, "{u}->{v}");
+                for w in p.windows(2) {
+                    assert!(g.has_arc(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let g = cycle(5);
+        let t = RoutingTable::new(&g);
+        assert_eq!(t.path(3, 3), vec![3]);
+    }
+
+    #[test]
+    fn tie_breaking_spreads() {
+        // On C4, opposite nodes have two equal paths; different (u,d)
+        // pairs should not all pick the same direction.
+        let g = cycle(4);
+        let t = RoutingTable::new(&g);
+        let picks: Vec<u32> = (0..4u32).map(|u| t.next_hop(u, (u + 2) % 4)).collect();
+        let clockwise = picks
+            .iter()
+            .zip(0..4u32)
+            .filter(|&(&p, u)| p == (u + 1) % 4)
+            .count();
+        assert!(clockwise > 0 && clockwise < 4, "picks {picks:?}");
+    }
+}

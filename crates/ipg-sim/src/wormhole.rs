@@ -1,0 +1,599 @@
+//! Flit-level wormhole simulation with virtual channels and deadlock
+//! detection.
+//!
+//! The paper's §5 latency arguments repeatedly distinguish wormhole /
+//! cut-through switching from packet switching. The store-and-forward
+//! engine in [`crate::engine`] has unbounded buffers and cannot deadlock;
+//! this module models the real constraints: per-VC input buffers of
+//! finite depth, one flit per physical link per cycle, and wormhole
+//! channel allocation (a packet holds its output VC from head to tail).
+//!
+//! Deadlock is real here: deterministic shortest-path routing on a single
+//! VC forms cyclic channel dependencies (e.g. around a ring), and the
+//! simulator detects the resulting stall. The *hop-indexed* VC policy —
+//! the `h`-th hop uses VC `h` — makes the channel dependency graph
+//! acyclic, so it is deadlock-free whenever `vcs ≥ longest route`.
+//! Low-diameter networks (the paper's super-IP graphs) therefore need
+//! fewer VCs for guaranteed deadlock freedom: a concrete hardware payoff
+//! of small (inter-cluster) diameters.
+
+use crate::table::RoutingTable;
+use ipg_core::graph::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Virtual-channel selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcPolicy {
+    /// All packets use VC 0. Cheap, but cyclic channel dependencies can
+    /// deadlock.
+    Single,
+    /// A packet on its `h`-th hop uses VC `min(h, vcs−1)`; strictly
+    /// increasing VC indices break dependency cycles (deadlock-free when
+    /// `vcs ≥ longest route`).
+    HopIndexed,
+}
+
+/// Traffic for the wormhole simulator.
+#[derive(Clone, Debug)]
+pub enum WormTraffic {
+    /// Uniform random destinations.
+    Uniform,
+    /// Fixed destination per source (a permutation, or many-to-one).
+    Fixed(Vec<u32>),
+}
+
+/// Configuration.
+#[derive(Clone, Debug)]
+pub struct WormholeConfig {
+    /// Virtual channels per physical link (≥ 1).
+    pub vcs: usize,
+    /// Input buffer depth per VC, in flits (≥ 1).
+    pub buffer_flits: usize,
+    /// Packet length in flits (≥ 1; the last flit is the tail).
+    pub packet_flits: u32,
+    /// Injection probability per node per cycle.
+    pub injection_rate: f64,
+    /// Cycle budget.
+    pub cycles: u32,
+    /// Declare deadlock after this many cycles without any flit movement
+    /// while flits remain buffered.
+    pub deadlock_threshold: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// VC selection policy.
+    pub policy: VcPolicy,
+    /// Traffic pattern.
+    pub traffic: WormTraffic,
+}
+
+impl Default for WormholeConfig {
+    fn default() -> Self {
+        WormholeConfig {
+            vcs: 2,
+            buffer_flits: 2,
+            packet_flits: 4,
+            injection_rate: 0.02,
+            cycles: 5_000,
+            deadlock_threshold: 500,
+            seed: 0x0f11_77ee,
+            policy: VcPolicy::HopIndexed,
+            traffic: WormTraffic::Uniform,
+        }
+    }
+}
+
+/// Result of a wormhole run.
+#[derive(Clone, Debug)]
+pub enum WormholeOutcome {
+    /// Ran to the cycle budget (or drained).
+    Completed(WormholeStats),
+    /// No flit moved for `deadlock_threshold` cycles while flits remained.
+    Deadlocked {
+        /// Cycle at which deadlock was declared.
+        at_cycle: u32,
+        /// Distinct packets stuck in network buffers.
+        stuck_packets: usize,
+    },
+}
+
+impl WormholeOutcome {
+    /// Convenience: the stats of a completed run (panics on deadlock).
+    pub fn stats(&self) -> &WormholeStats {
+        match self {
+            WormholeOutcome::Completed(s) => s,
+            WormholeOutcome::Deadlocked { at_cycle, .. } => {
+                panic!("simulation deadlocked at cycle {at_cycle}")
+            }
+        }
+    }
+
+    /// Did the run deadlock?
+    pub fn is_deadlocked(&self) -> bool {
+        matches!(self, WormholeOutcome::Deadlocked { .. })
+    }
+}
+
+/// Statistics of a completed run.
+#[derive(Clone, Copy, Debug)]
+pub struct WormholeStats {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets fully delivered (tail consumed).
+    pub delivered: u64,
+    /// Mean packet latency (injection cycle to tail consumption).
+    pub avg_latency: f64,
+}
+
+#[derive(Clone, Copy)]
+struct Flit {
+    pkt: u32,
+    is_head: bool,
+    is_tail: bool,
+}
+
+struct PacketInfo {
+    dst: u32,
+    born: u32,
+    /// links the HEAD flit has crossed (drives hop-indexed VC choice).
+    head_hops: u32,
+}
+
+struct VcState {
+    owner: Option<u32>,
+    buffer: VecDeque<Flit>,
+}
+
+/// Static network description for wormhole runs.
+pub struct WormholeSim {
+    n: usize,
+    table: RoutingTable,
+    link_from: Vec<u32>,
+    link_to: Vec<u32>,
+    /// incoming link ids per node.
+    in_links: Vec<Vec<u32>>,
+    /// outgoing link range per node (CSR order).
+    link_of: Vec<u32>,
+}
+
+impl WormholeSim {
+    /// Build for a graph.
+    pub fn new(g: &Csr) -> Self {
+        let n = g.node_count();
+        let table = RoutingTable::new(g);
+        let mut link_from = Vec::with_capacity(g.arc_count());
+        let mut link_to = Vec::with_capacity(g.arc_count());
+        let mut link_of = Vec::with_capacity(n + 1);
+        let mut in_links: Vec<Vec<u32>> = vec![Vec::new(); n];
+        link_of.push(0);
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                in_links[v as usize].push(link_from.len() as u32);
+                link_from.push(u);
+                link_to.push(v);
+            }
+            link_of.push(link_from.len() as u32);
+        }
+        WormholeSim {
+            n,
+            table,
+            link_from,
+            link_to,
+            in_links,
+            link_of,
+        }
+    }
+
+    fn link_toward(&self, u: u32, v: u32) -> u32 {
+        let lo = self.link_of[u as usize];
+        let hi = self.link_of[u as usize + 1];
+        (lo..hi)
+            .find(|&i| self.link_to[i as usize] == v)
+            .expect("next hop must be a neighbor")
+    }
+
+    /// Run the simulation.
+    pub fn run(&self, cfg: &WormholeConfig) -> WormholeOutcome {
+        let mut run = Run {
+            sim: self,
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            packets: Vec::new(),
+            source: vec![VecDeque::new(); self.n],
+            state: (0..self.link_from.len() * cfg.vcs)
+                .map(|_| VcState {
+                    owner: None,
+                    buffer: VecDeque::new(),
+                })
+                .collect(),
+            rr: vec![0; self.link_from.len()],
+            injected: 0,
+            delivered: 0,
+            latency_sum: 0,
+        };
+        run.execute()
+    }
+}
+
+struct Run<'a> {
+    sim: &'a WormholeSim,
+    cfg: &'a WormholeConfig,
+    rng: SmallRng,
+    packets: Vec<PacketInfo>,
+    /// per-source queue of (packet, flits left to inject).
+    source: Vec<VecDeque<(u32, u32)>>,
+    state: Vec<VcState>,
+    rr: Vec<usize>,
+    injected: u64,
+    delivered: u64,
+    latency_sum: u64,
+}
+
+impl Run<'_> {
+    #[inline]
+    fn sidx(&self, link: u32, vc: usize) -> usize {
+        link as usize * self.cfg.vcs + vc
+    }
+
+    fn want_vc(&self, hops: u32) -> usize {
+        match self.cfg.policy {
+            VcPolicy::Single => 0,
+            VcPolicy::HopIndexed => (hops as usize).min(self.cfg.vcs - 1),
+        }
+    }
+
+    fn inject(&mut self, cycle: u32) {
+        for src in 0..self.sim.n as u32 {
+            if self.rng.gen::<f64>() < self.cfg.injection_rate {
+                let dst = match &self.cfg.traffic {
+                    WormTraffic::Uniform => {
+                        let mut d = self.rng.gen_range(0..self.sim.n as u32 - 1);
+                        if d >= src {
+                            d += 1;
+                        }
+                        d
+                    }
+                    WormTraffic::Fixed(map) => map[src as usize],
+                };
+                if dst == src {
+                    continue;
+                }
+                let pkt = self.packets.len() as u32;
+                self.packets.push(PacketInfo {
+                    dst,
+                    born: cycle,
+                    head_hops: 0,
+                });
+                self.source[src as usize].push_back((pkt, self.cfg.packet_flits));
+                self.injected += 1;
+            }
+        }
+    }
+
+    /// Pop the front flit of the source queue at `u` if it belongs to
+    /// `want` (None = any head-eligible packet, i.e. an un-started one).
+    fn pop_source(&mut self, u: u32, want: Option<u32>) -> Option<Flit> {
+        let &(pkt, left) = self.source[u as usize].front()?;
+        if let Some(w) = want {
+            if pkt != w {
+                return None;
+            }
+        } else if left != self.cfg.packet_flits {
+            return None; // already streaming; only body continuation may pop
+        }
+        let is_head = left == self.cfg.packet_flits;
+        let is_tail = left == 1;
+        if is_tail {
+            self.source[u as usize].pop_front();
+        } else {
+            self.source[u as usize].front_mut().expect("checked").1 -= 1;
+        }
+        Some(Flit {
+            pkt,
+            is_head,
+            is_tail,
+        })
+    }
+
+    /// One step of output link `link`: move at most one flit onto it.
+    fn step_link(&mut self, link: u32) -> bool {
+        let u = self.sim.link_from[link as usize];
+        for probe in 0..self.cfg.vcs {
+            let out_vc = (self.rr[link as usize] + probe) % self.cfg.vcs;
+            let sidx = self.sidx(link, out_vc);
+            if self.state[sidx].buffer.len() >= self.cfg.buffer_flits {
+                continue;
+            }
+            let moved = match self.state[sidx].owner {
+                Some(pkt) => self.advance_body(link, out_vc, u, pkt),
+                None => self.allocate_head(link, out_vc, u),
+            };
+            if moved {
+                self.rr[link as usize] = (out_vc + 1) % self.cfg.vcs;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Move the next flit of `pkt` (which owns `(link, out_vc)`) from node
+    /// `u` onto the link.
+    fn advance_body(&mut self, link: u32, out_vc: usize, u: u32, pkt: u32) -> bool {
+        // source continuation?
+        if let Some(flit) = self.pop_source(u, Some(pkt)) {
+            return self.deliver_onto(link, out_vc, flit);
+        }
+        // front of an input buffer at u
+        for ili in 0..self.sim.in_links[u as usize].len() {
+            let in_link = self.sim.in_links[u as usize][ili];
+            for vc in 0..self.cfg.vcs {
+                let iidx = self.sidx(in_link, vc);
+                if let Some(&flit) = self.state[iidx].buffer.front() {
+                    if flit.pkt == pkt {
+                        let flit = self.state[iidx].buffer.pop_front().expect("checked");
+                        return self.deliver_onto(link, out_vc, flit);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Try to allocate the free `(link, out_vc)` to a waiting head flit.
+    fn allocate_head(&mut self, link: u32, out_vc: usize, u: u32) -> bool {
+        // a new packet at the source?
+        if let Some(&(pkt, left)) = self.source[u as usize].front() {
+            if left == self.cfg.packet_flits {
+                let dst = self.packets[pkt as usize].dst;
+                let hop = self.sim.table.next_hop(u, dst);
+                if self.sim.link_toward(u, hop) == link && self.want_vc(0) == out_vc {
+                    let flit = self.pop_source(u, None).expect("front checked");
+                    return self.deliver_onto(link, out_vc, flit);
+                }
+            }
+        }
+        // head flits waiting at input buffers of u
+        for ili in 0..self.sim.in_links[u as usize].len() {
+            let in_link = self.sim.in_links[u as usize][ili];
+            for vc in 0..self.cfg.vcs {
+                let iidx = self.sidx(in_link, vc);
+                let Some(&flit) = self.state[iidx].buffer.front() else {
+                    continue;
+                };
+                if !flit.is_head {
+                    continue;
+                }
+                let info = &self.packets[flit.pkt as usize];
+                if info.dst == u {
+                    continue; // consumed by the ejection stage
+                }
+                let hop = self.sim.table.next_hop(u, info.dst);
+                if self.sim.link_toward(u, hop) != link
+                    || self.want_vc(info.head_hops) != out_vc
+                {
+                    continue;
+                }
+                let flit = self.state[iidx].buffer.pop_front().expect("checked");
+                return self.deliver_onto(link, out_vc, flit);
+            }
+        }
+        false
+    }
+
+    /// Put `flit` into the output's downstream buffer, maintaining
+    /// ownership and hop counts.
+    fn deliver_onto(&mut self, link: u32, out_vc: usize, flit: Flit) -> bool {
+        let sidx = self.sidx(link, out_vc);
+        if flit.is_head {
+            self.packets[flit.pkt as usize].head_hops += 1;
+            if !flit.is_tail {
+                self.state[sidx].owner = Some(flit.pkt);
+            }
+        }
+        if flit.is_tail {
+            self.state[sidx].owner = None;
+        }
+        self.state[sidx].buffer.push_back(flit);
+        true
+    }
+
+    /// Eject flits that reached their destination.
+    fn eject(&mut self, cycle: u32) -> bool {
+        let mut moved = false;
+        for link in 0..self.sim.link_to.len() as u32 {
+            let to = self.sim.link_to[link as usize];
+            for vc in 0..self.cfg.vcs {
+                let sidx = self.sidx(link, vc);
+                while let Some(&flit) = self.state[sidx].buffer.front() {
+                    if self.packets[flit.pkt as usize].dst != to {
+                        break;
+                    }
+                    self.state[sidx].buffer.pop_front();
+                    moved = true;
+                    if flit.is_tail {
+                        self.delivered += 1;
+                        self.latency_sum +=
+                            (cycle + 1 - self.packets[flit.pkt as usize].born) as u64;
+                    }
+                }
+            }
+        }
+        moved
+    }
+
+    fn execute(&mut self) -> WormholeOutcome {
+        let mut idle = 0u32;
+        for cycle in 0..self.cfg.cycles {
+            self.inject(cycle);
+            let mut moved = false;
+            for link in 0..self.sim.link_from.len() as u32 {
+                moved |= self.step_link(link);
+            }
+            moved |= self.eject(cycle);
+
+            let buffered: usize = self.state.iter().map(|s| s.buffer.len()).sum();
+            if moved {
+                idle = 0;
+            } else if buffered > 0 {
+                idle += 1;
+                if idle >= self.cfg.deadlock_threshold {
+                    let stuck: std::collections::HashSet<u32> = self
+                        .state
+                        .iter()
+                        .flat_map(|s| s.buffer.iter().map(|f| f.pkt))
+                        .collect();
+                    return WormholeOutcome::Deadlocked {
+                        at_cycle: cycle,
+                        stuck_packets: stuck.len(),
+                    };
+                }
+            }
+        }
+        WormholeOutcome::Completed(WormholeStats {
+            injected: self.injected,
+            delivered: self.delivered,
+            avg_latency: if self.delivered == 0 {
+                0.0
+            } else {
+                self.latency_sum as f64 / self.delivered as f64
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_networks::{classic, hier};
+
+    #[test]
+    fn light_load_delivers_everything() {
+        let g = classic::hypercube(5);
+        let sim = WormholeSim::new(&g);
+        let cfg = WormholeConfig {
+            vcs: 6,
+            injection_rate: 0.005,
+            cycles: 4_000,
+            ..WormholeConfig::default()
+        };
+        let out = sim.run(&cfg);
+        let s = out.stats();
+        assert!(s.injected > 0);
+        assert!(
+            s.delivered as f64 >= 0.95 * s.injected as f64,
+            "delivered {} of {}",
+            s.delivered,
+            s.injected
+        );
+        // wormhole latency ≈ distance + packet length
+        assert!(s.avg_latency > 4.0 && s.avg_latency < 30.0, "{}", s.avg_latency);
+    }
+
+    #[test]
+    fn single_vc_ring_deadlocks_under_cyclic_traffic() {
+        // every node sends 3 hops clockwise on an 8-ring: the channel
+        // dependency cycle fills and wedges with long packets and tiny
+        // buffers on a single VC.
+        let g = classic::ring(8);
+        let sim = WormholeSim::new(&g);
+        let fixed: Vec<u32> = (0..8u32).map(|i| (i + 3) % 8).collect();
+        let cfg = WormholeConfig {
+            vcs: 1,
+            buffer_flits: 1,
+            packet_flits: 8,
+            injection_rate: 0.5,
+            cycles: 20_000,
+            deadlock_threshold: 300,
+            policy: VcPolicy::Single,
+            traffic: WormTraffic::Fixed(fixed),
+            ..WormholeConfig::default()
+        };
+        assert!(sim.run(&cfg).is_deadlocked(), "expected a wedged ring");
+    }
+
+    #[test]
+    fn hop_indexed_vcs_break_the_cycle() {
+        let g = classic::ring(8);
+        let sim = WormholeSim::new(&g);
+        let fixed: Vec<u32> = (0..8u32).map(|i| (i + 3) % 8).collect();
+        let cfg = WormholeConfig {
+            vcs: 3, // routes are ≤ 3 hops
+            buffer_flits: 1,
+            packet_flits: 8,
+            injection_rate: 0.5,
+            cycles: 20_000,
+            deadlock_threshold: 300,
+            policy: VcPolicy::HopIndexed,
+            traffic: WormTraffic::Fixed(fixed),
+            ..WormholeConfig::default()
+        };
+        let out = sim.run(&cfg);
+        assert!(!out.is_deadlocked(), "hop-indexed VCs must not deadlock");
+        assert!(out.stats().delivered > 100);
+    }
+
+    #[test]
+    fn low_diameter_needs_fewer_vcs() {
+        // the §5 payoff: guaranteed-deadlock-free hop-indexed wormhole
+        // needs vcs ≥ route length; HSN(2,Q2) (diameter 5) runs clean with
+        // 5 VCs at 16 nodes while the ring of the same size needs 8.
+        let hsn = hier::hcn(2, false);
+        let sim = WormholeSim::new(&hsn);
+        let cfg = WormholeConfig {
+            vcs: 5,
+            injection_rate: 0.05,
+            cycles: 6_000,
+            policy: VcPolicy::HopIndexed,
+            ..WormholeConfig::default()
+        };
+        let out = sim.run(&cfg);
+        assert!(!out.is_deadlocked());
+        let s = out.stats();
+        assert!(s.delivered as f64 > 0.9 * s.injected as f64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = classic::torus2d(4);
+        let sim = WormholeSim::new(&g);
+        let cfg = WormholeConfig {
+            injection_rate: 0.05,
+            cycles: 2_000,
+            vcs: 8,
+            ..WormholeConfig::default()
+        };
+        let a = sim.run(&cfg);
+        let b = sim.run(&cfg);
+        assert_eq!(a.stats().delivered, b.stats().delivered);
+        assert_eq!(a.stats().avg_latency, b.stats().avg_latency);
+    }
+
+    #[test]
+    fn wormhole_latency_scales_with_packet_length() {
+        let g = classic::hypercube(4);
+        let sim = WormholeSim::new(&g);
+        let base = WormholeConfig {
+            vcs: 5,
+            injection_rate: 0.01,
+            cycles: 4_000,
+            ..WormholeConfig::default()
+        };
+        let short = sim
+            .run(&WormholeConfig {
+                packet_flits: 2,
+                ..base.clone()
+            });
+        let long = sim
+            .run(&WormholeConfig {
+                packet_flits: 12,
+                ..base
+            });
+        assert!(
+            long.stats().avg_latency > short.stats().avg_latency + 5.0,
+            "long {} vs short {}",
+            long.stats().avg_latency,
+            short.stats().avg_latency
+        );
+    }
+}

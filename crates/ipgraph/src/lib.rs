@@ -1,0 +1,57 @@
+//! # ipgraph — index-permutation graphs for hierarchical interconnection networks
+//!
+//! Umbrella crate for the reproduction of Yeh & Parhami, *"The
+//! Index-Permutation Graph Model for Hierarchical Interconnection
+//! Networks"* (ICPP 1999). Re-exports the four workspace crates:
+//!
+//! - [`core`] (`ipg-core`) — the IP-graph model: labels, generators, graph
+//!   generation, super-IP machinery, Theorem-4.1 routing, symmetry checks;
+//! - [`networks`] (`ipg-networks`) — the interconnection-network zoo;
+//! - [`cluster`] (`ipg-cluster`) — module packings and the DD/ID/II cost
+//!   metrics of §5;
+//! - [`sim`] (`ipg-sim`) — the packet-level simulator behind the §5 delay
+//!   claims.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `crates/ipg-bench/src/bin` for the figure-regeneration binaries.
+//!
+//! ```
+//! use ipgraph::prelude::*;
+//!
+//! // HSN(2, Q2) — the paper's Figure 1a network — three ways:
+//! let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+//! let generated = spec.to_ip_spec().generate().unwrap(); // ball game
+//! let tuple = TupleNetwork::from_spec(&spec).unwrap();   // tuple form
+//! let direct = ipgraph::networks::hier::hcn(2, false);   // HCN(2,2)
+//! assert_eq!(generated.node_count(), 16);
+//! assert_eq!(tuple.node_count(), 16);
+//! assert_eq!(direct.node_count(), 16);
+//! ```
+
+pub use ipg_cluster as cluster;
+pub use ipg_layout as layout;
+pub use ipg_core as core;
+pub use ipg_networks as networks;
+pub use ipg_sim as sim;
+
+/// One-stop imports for examples and quick scripts.
+pub mod prelude {
+    pub use ipg_cluster::analytic;
+    pub use ipg_cluster::collective;
+    pub use ipg_cluster::costs::{summarize, CostSummary};
+    pub use ipg_cluster::imetrics;
+    pub use ipg_cluster::partition::{self, Partition};
+    pub use ipg_core::algo;
+    pub use ipg_core::centrality;
+    pub use ipg_core::connectivity;
+    pub use ipg_core::rank;
+    pub use ipg_core::prelude::*;
+    pub use ipg_core::routing;
+    pub use ipg_core::solve;
+    pub use ipg_core::tuple_routing::TupleRouter;
+    pub use ipg_core::symmetry;
+    pub use ipg_networks::{classic, hier, ipdefs};
+    pub use ipg_layout::{bisection, grid};
+    pub use ipg_sim::emulate::HostEmulator;
+    pub use ipg_sim::engine::{run_clustered, run_uniform, SimConfig, Switching, Traffic};
+}

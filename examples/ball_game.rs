@@ -1,0 +1,81 @@
+//! The ball-arrangement game (paper §2): watch the IP-graph model work on
+//! the paper's own worked examples.
+//!
+//! Run with `cargo run --release -p ipgraph --example ball_game`.
+
+use ipgraph::prelude::*;
+
+fn show_example(title: &str, spec: &IpGraphSpec, group_width: usize) -> Result<()> {
+    println!("== {title} ==");
+    println!("seed: {}", spec.seed.display_grouped(group_width));
+    let ip = spec.generate()?;
+    println!("generators:");
+    for (i, g) in spec.generators.iter().enumerate() {
+        let img = ip.label(ip.arc(0, i));
+        println!(
+            "  {:<8} {} -> {}",
+            g.name,
+            spec.seed.display_grouped(group_width),
+            img.display_grouped(group_width)
+        );
+    }
+    println!("states (nodes) reachable: {}", ip.node_count());
+    let g = ip.to_undirected_csr();
+    println!(
+        "degree {}..{}, diameter {} (= worst-case number of moves to solve the game)",
+        g.min_degree(),
+        g.max_degree(),
+        algo::diameter(&g)
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    // The 6-star of §2: distinct balls 1..6, five permissible moves
+    // (1,i). 720 states — every arrangement of the six balls.
+    show_example("6-star (Cayley graph: all balls distinct)", &IpGraphSpec::star(6), 6)?;
+
+    // The §2 IP example: two identical sets of balls 1,2,3; moves (1,2),
+    // (1,3) and "rotate the two halves". 36 states, not 720: identical
+    // balls collapse arrangements — the IP relaxation at work.
+    show_example(
+        "§2 example (repeated balls: two copies of 1,2,3)",
+        &IpGraphSpec::section2_example(),
+        3,
+    )?;
+
+    // The de Bruijn graph as a ball game (paper §2): n pairs of balls
+    // "12"; moves = rotate-by-a-pair, with or without swapping the last
+    // pair. 2^n states, out-degree 2 — the densest digraph there is.
+    let db = ipdefs::debruijn_ip(4);
+    show_example("binary de Bruijn DB(2,4) (directed)", &db, 2)?;
+
+    // And the paper's HCN(2,2) seed: both halves of the seed use the SAME
+    // symbol sequence — which is exactly why 16 nodes result instead of
+    // the 8!/(2!2!2!2!) arrangements of a Cayley graph.
+    let hcn = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).to_ip_spec();
+    show_example("HCN(2,2) without diameter links = HSN(2, Q2)", &hcn, 4)?;
+
+    // Routing = solving the game. Pick a scrambled state of the 6-star
+    // and sort it back to 123456.
+    println!("== solving the 6-star game ==");
+    let star = IpGraphSpec::star(6);
+    let ip = star.generate()?;
+    let g = ip.to_directed_csr();
+    let scrambled = ip
+        .node_of(&Label::parse("654321").unwrap())
+        .expect("654321 is a star node");
+    let path = algo::shortest_path(&g, scrambled, 0).expect("connected");
+    println!("sorting 654321 -> 123456 in {} moves:", path.len() - 1);
+    for w in path.windows(2) {
+        let gen = ip.generator_between(w[0], w[1]).unwrap();
+        println!(
+            "  {} --{}-> {}",
+            ip.label(w[0]),
+            star.generators[gen].name,
+            ip.label(w[1])
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Chip planner: given a target machine size and a per-chip processor
+//! budget (the paper's packaging constraint), rank candidate topologies by
+//! the cost model that matches your technology.
+//!
+//! Usage: `cargo run --release -p ipgraph --example chip_planner -- [nodes] [chip_cap]`
+//! (defaults: 4096 nodes, 16 processors per chip).
+
+use ipgraph::prelude::*;
+
+struct Candidate {
+    summary: CostSummary,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let target: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let cap: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    println!("planning a ~{target}-processor machine, ≤ {cap} processors per chip\n");
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut add = |name: String, g: Csr, part: Partition| {
+        if part.max_module_size() > cap {
+            return;
+        }
+        // accept sizes within 4x of the target
+        if g.node_count() * 4 < target || g.node_count() > target * 4 {
+            return;
+        }
+        candidates.push(Candidate {
+            summary: summarize(name, &g, &part),
+        });
+    };
+
+    // hypercube with the largest subcube that fits
+    let low = cap.ilog2() as usize;
+    let n = target.ilog2() as usize;
+    add(
+        format!("hypercube Q{n}"),
+        classic::hypercube(n),
+        partition::subcube_partition(n, low),
+    );
+
+    // 2-D torus with 4x4 blocks
+    let k = (target as f64).sqrt().round() as usize;
+    let k = k - k % 4;
+    if k >= 8 && cap >= 16 {
+        add(
+            format!("2D torus {k}x{k}"),
+            classic::torus2d(k),
+            partition::torus_block_partition(k, 4, 4),
+        );
+    }
+
+    // super-IP families over nuclei that fit the chip
+    let nuclei: Vec<(&str, Csr)> = vec![
+        ("Q2", classic::hypercube(2)),
+        ("Q3", classic::hypercube(3)),
+        ("Q4", classic::hypercube(4)),
+        ("FQ4", classic::folded_hypercube(4)),
+        ("P", classic::petersen()),
+    ];
+    for (name, nucleus) in nuclei {
+        if nucleus.node_count() > cap {
+            continue;
+        }
+        for l in 2..=5usize {
+            let size = nucleus.node_count().pow(l as u32);
+            if size * 4 < target || size > target * 4 {
+                continue;
+            }
+            for tn in [
+                hier::hsn(l, nucleus.clone(), name),
+                hier::ring_cn(l, nucleus.clone(), name),
+                hier::complete_cn(l, nucleus.clone(), name),
+            ] {
+                let g = tn.build();
+                let part = partition::nucleus_partition(&tn);
+                add(tn.name.clone(), g, part);
+            }
+        }
+    }
+
+    // rank by II-cost (slow off-chip links), the §5.4 regime
+    candidates.sort_by(|a, b| {
+        a.summary
+            .ii_cost()
+            .partial_cmp(&b.summary.ii_cost())
+            .unwrap()
+    });
+
+    println!(
+        "{:<24} {:>7} {:>5} {:>5} {:>8} {:>6} {:>7} {:>8} {:>8}",
+        "candidate", "N", "deg", "diam", "DD-cost", "I-deg", "I-diam", "ID-cost", "II-cost"
+    );
+    for c in &candidates {
+        let s = &c.summary;
+        println!(
+            "{:<24} {:>7} {:>5} {:>5} {:>8.0} {:>6.2} {:>7} {:>8.1} {:>8.1}",
+            s.name,
+            s.nodes,
+            s.degree,
+            s.diameter,
+            s.dd_cost(),
+            s.i_degree,
+            s.i_diameter,
+            s.id_cost(),
+            s.ii_cost()
+        );
+    }
+    if let Some(best) = candidates.first() {
+        println!(
+            "\nbest for slow off-chip links (II-cost): {}",
+            best.summary.name
+        );
+    }
+    let pin_best = candidates
+        .iter()
+        .min_by(|a, b| a.summary.id_cost().partial_cmp(&b.summary.id_cost()).unwrap());
+    if let Some(best) = pin_best {
+        println!("best under pin constraints (ID-cost):   {}", best.summary.name);
+    }
+}

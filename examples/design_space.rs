@@ -1,0 +1,80 @@
+//! Design-space exploration: sweep nuclei and hierarchy depths, compare
+//! the resulting super-IP graphs on the paper's figures of merit.
+//!
+//! This is the §6 workflow: "IP graphs provide flexibility in the design
+//! of parallel architectures in view of the possibility of selecting
+//! several parameters, nuclei, super-generators, seed labels..."
+//!
+//! Run with `cargo run --release -p ipgraph --example design_space`.
+
+use ipgraph::prelude::*;
+
+struct Row {
+    summary: CostSummary,
+}
+
+fn measure(tn: &ipgraph::core::superip::TupleNetwork) -> Row {
+    let g = tn.build();
+    let part = partition::nucleus_partition(tn);
+    Row {
+        summary: summarize(tn.name.clone(), &g, &part),
+    }
+}
+
+fn main() {
+    let nuclei: Vec<(&str, fn() -> Csr)> = vec![
+        ("Q2", || classic::hypercube(2)),
+        ("Q3", || classic::hypercube(3)),
+        ("FQ3", || classic::folded_hypercube(3)),
+        ("K4", || classic::complete(4)),
+        ("P", classic::petersen),
+        ("S3", || classic::star(3)),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, nucleus) in &nuclei {
+        for l in 2..=3usize {
+            rows.push(measure(&hier::hsn(l, nucleus(), name)));
+            rows.push(measure(&hier::ring_cn(l, nucleus(), name)));
+            rows.push(measure(&hier::superflip(l, nucleus(), name)));
+        }
+    }
+
+    rows.sort_by(|a, b| {
+        a.summary
+            .nodes
+            .cmp(&b.summary.nodes)
+            .then(a.summary.ii_cost().partial_cmp(&b.summary.ii_cost()).unwrap())
+    });
+
+    println!(
+        "{:<22} {:>6} {:>4} {:>5} {:>8} {:>6} {:>7} {:>8} {:>8}",
+        "network", "N", "deg", "diam", "DD-cost", "I-deg", "I-diam", "ID-cost", "II-cost"
+    );
+    for r in &rows {
+        let s = &r.summary;
+        println!(
+            "{:<22} {:>6} {:>4} {:>5} {:>8.0} {:>6.2} {:>7} {:>8.1} {:>8.1}",
+            s.name,
+            s.nodes,
+            s.degree,
+            s.diameter,
+            s.dd_cost(),
+            s.i_degree,
+            s.i_diameter,
+            s.id_cost(),
+            s.ii_cost()
+        );
+    }
+
+    // §6 design guidance, checked live: "a dense nucleus graph reduces
+    // the diameter and average distance".
+    let find = |n: &str| rows.iter().find(|r| r.summary.name == n).unwrap();
+    let q3 = find("HSN(2,Q3)");
+    let fq3 = find("HSN(2,FQ3)"); // denser nucleus, same size
+    assert!(fq3.summary.diameter < q3.summary.diameter);
+    println!(
+        "\ndenser nucleus wins: HSN(2,FQ3) diameter {} < HSN(2,Q3) diameter {}",
+        fq3.summary.diameter, q3.summary.diameter
+    );
+}

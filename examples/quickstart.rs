@@ -1,0 +1,60 @@
+//! Quickstart: define an IP graph, generate it, route in it, measure it.
+//!
+//! Run with `cargo run --release -p ipgraph --example quickstart`.
+
+use ipgraph::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. The paper's running example: HSN(2, Q2) = HCN(2,2) without
+    //    diameter links — the 16-node network of Figure 1a.
+    let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+    println!("network: {}", spec.name);
+
+    // The IP-graph view: a seed label and generators ("ball-arrangement
+    // game" moves). Nucleus generators permute the leftmost 4 symbols,
+    // the super-generator T2 swaps the two 4-symbol halves.
+    let ip_spec = spec.to_ip_spec();
+    println!("seed:    {}", ip_spec.seed.display_grouped(spec.m()));
+    for g in &ip_spec.generators {
+        println!("gen:     {:<4} = {}", g.name, g.perm);
+    }
+
+    // 2. Generate by breadth-first closure of the seed under the
+    //    generators.
+    let ip = ip_spec.generate()?;
+    println!("\ngenerated {} nodes (Theorem 3.2 predicts {})",
+        ip.node_count(), spec.expected_size()?);
+
+    // 3. Route between two nodes: routing = sorting the source label into
+    //    the destination label (paper §4).
+    let router = routing::SuperRouter::new(&spec)?;
+    let src = ip.label(0).clone();
+    let dst = ip.label(15).clone();
+    let path = router.route(&src, &dst)?;
+    println!("\nroute {} -> {}:", src.display_grouped(4), dst.display_grouped(4));
+    for step in &path {
+        println!("  {}", step.display_grouped(4));
+    }
+    println!(
+        "  {} hops (diameter = {} by Theorem 4.1)",
+        path.len() - 1,
+        routing::predicted_diameter(&spec)?
+    );
+
+    // 4. Topological metrics.
+    let g = ip.to_undirected_csr();
+    println!("\ndegree:       {}..{}", g.min_degree(), g.max_degree());
+    println!("diameter:     {}", algo::diameter(&g));
+    println!("avg distance: {:.3}", algo::average_distance(&g));
+
+    // 5. Hierarchical metrics with one nucleus (Q2) per chip.
+    let tn = TupleNetwork::from_spec(&spec)?;
+    let tg = tn.build();
+    let part = partition::nucleus_partition(&tn);
+    let m = imetrics::exact_metrics(&tg, &part);
+    println!("\nwith one Q2 module per chip:");
+    println!("  I-degree:       {:.2}  (off-chip links per node)", m.i_degree);
+    println!("  I-diameter:     {}     (worst-case off-chip hops)", m.i_diameter);
+    println!("  avg I-distance: {:.2}", m.avg_i_distance);
+    Ok(())
+}

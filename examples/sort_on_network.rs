@@ -1,0 +1,74 @@
+//! Run a real parallel algorithm — bitonic sort — on several networks and
+//! compare the emulation cost: the paper's §1 claim that super-IP graphs
+//! emulate hypercube algorithms with (asymptotically) optimal slowdown.
+//!
+//! Run with `cargo run --release -p ipgraph --example sort_on_network`.
+
+use ipgraph::prelude::*;
+
+fn keys(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) >> 13)
+        .collect()
+}
+
+fn main() {
+    let n = 256usize; // logical hypercube Q8
+    let hosts: Vec<(String, Csr)> = vec![
+        ("hypercube Q8 (native)".into(), classic::hypercube(8)),
+        (
+            "HSN(2,Q4)".into(),
+            hier::hsn(2, classic::hypercube(4), "Q4").build(),
+        ),
+        (
+            "HSN(4,Q2)".into(),
+            hier::hsn(4, classic::hypercube(2), "Q2").build(),
+        ),
+        (
+            "ring-CN(2,Q4)".into(),
+            hier::ring_cn(2, classic::hypercube(4), "Q4").build(),
+        ),
+        ("ring C256".into(), classic::ring(256)),
+    ];
+
+    println!(
+        "{:<24} {:>6} {:>12} {:>12} {:>10}",
+        "host", "steps", "time (lower)", "time (upper)", "slowdown"
+    );
+    let mut baseline = None;
+    for (name, host) in &hosts {
+        let map: Vec<u32> = (0..n as u32).collect();
+        let emu = HostEmulator::new(host, &map);
+        let mut data = keys(n);
+        let report = emu.bitonic_sort(&mut data);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]), "{name}: sort failed");
+        let base = *baseline.get_or_insert(report.host_time_lower);
+        println!(
+            "{:<24} {:>6} {:>12} {:>12} {:>9.1}x",
+            name,
+            report.steps,
+            report.host_time_lower,
+            report.host_time_upper,
+            report.host_time_lower as f64 / base as f64
+        );
+    }
+
+    println!();
+    println!("every host sorted the same 256 keys with the same 36-step bitonic");
+    println!("schedule; only the per-step dilation/congestion differs. The");
+    println!("super-IP hosts stay within a small constant of the native");
+    println!("hypercube; the ring pays its linear diameter.");
+
+    // parallel prefix too, on the best non-native host
+    let host = hier::hsn(2, classic::hypercube(4), "Q4").build();
+    let map: Vec<u32> = (0..n as u32).collect();
+    let emu = HostEmulator::new(&host, &map);
+    let values: Vec<u64> = (1..=n as u64).collect();
+    let (prefix, report) = emu.parallel_prefix(&values);
+    assert_eq!(prefix[n - 1], (n as u64) * (n as u64 + 1) / 2);
+    println!();
+    println!(
+        "parallel prefix of 1..=256 on HSN(2,Q4): {} steps, host time {}..{} (last prefix = {})",
+        report.steps, report.host_time_lower, report.host_time_upper, prefix[n - 1]
+    );
+}

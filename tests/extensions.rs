@@ -1,0 +1,273 @@
+//! Integration tests for the extension subsystems: connectivity/fault
+//! tolerance, collectives, layout, ranking, and algorithm emulation —
+//! exercised across crates on the paper's networks.
+
+use ipgraph::prelude::*;
+
+/// Super-IP networks inherit connectivity from their pieces: the §3
+/// families are maximally fault tolerant (κ = δ) on these instances,
+/// like the hypercube and star baselines.
+#[test]
+fn connectivity_of_families() {
+    use connectivity::{edge_connectivity, vertex_connectivity};
+    // baselines with known κ
+    assert_eq!(vertex_connectivity(&classic::hypercube(4)), 4);
+    assert_eq!(vertex_connectivity(&classic::star(4)), 3);
+    assert_eq!(vertex_connectivity(&classic::petersen()), 3);
+
+    for (g, name) in [
+        (hier::hcn(2, false), "HSN(2,Q2)"),
+        (
+            hier::ring_cn(3, classic::hypercube(2), "Q2").build(),
+            "ring-CN(3,Q2)",
+        ),
+        (
+            hier::complete_cn(3, classic::hypercube(2), "Q2").build(),
+            "CN(3,Q2)",
+        ),
+        (hier::cyclic_petersen(2).build(), "CPN(2)"),
+    ] {
+        let kappa = vertex_connectivity(&g);
+        let lambda = edge_connectivity(&g);
+        let delta = g.min_degree() as u32;
+        assert_eq!(kappa, delta, "{name}: κ = δ (maximal fault tolerance)");
+        assert!(kappa <= lambda && lambda <= delta, "{name}: Whitney chain");
+    }
+}
+
+/// Hierarchical broadcast: off-module sends hit #modules − 1 across
+/// families; the naive policy never beats it.
+#[test]
+fn broadcast_off_module_bound_across_families() {
+    for tn in [
+        hier::hsn(2, classic::hypercube(3), "Q3"),
+        hier::ring_cn(3, classic::hypercube(2), "Q2"),
+        hier::superflip(3, classic::hypercube(2), "Q2"),
+        hier::cyclic_petersen(2),
+    ] {
+        let g = tn.build();
+        let p = partition::nucleus_partition(&tn);
+        for root in [0u32, 1, g.node_count() as u32 / 2] {
+            let h = collective::greedy_broadcast(&g, &p, root, true);
+            let naive = collective::greedy_broadcast(&g, &p, root, false);
+            assert_eq!(
+                h.off_module_sends,
+                p.count as u64 - 1,
+                "{} root {root}",
+                tn.name
+            );
+            assert!(h.off_module_sends <= naive.off_module_sends);
+            assert_eq!(
+                h.on_module_sends + h.off_module_sends,
+                g.node_count() as u64 - 1
+            );
+        }
+    }
+}
+
+/// Layout + bisection consistency across crates: Thompson lower bound
+/// never exceeds the achieved (scaled) layout area; recursive layouts
+/// win on super-IP networks.
+#[test]
+fn layout_pipeline() {
+    let tn = hier::hsn(2, classic::hypercube(3), "Q3");
+    let g = tn.build();
+    let b = bisection::bisection_width_kl(&g, 16, 1);
+    let rec = grid::recursive_layout(&tn);
+    let naive = grid::row_major_layout(g.node_count());
+    assert!(rec.total_wirelength(&g) < naive.total_wirelength(&g));
+    assert!(grid::thompson_area_lower_bound(b as u64) <= (rec.area() as u64).pow(2));
+    // bisection of the 64-node HSN is below the 64-node hypercube's 32
+    assert!(b < 32);
+}
+
+/// Ranking indexes super-IP labels: every generated label of a symmetric
+/// HSN has a distinct multiset rank, bounded by the arrangement count.
+#[test]
+fn ranking_indexes_generated_labels() {
+    let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).symmetric();
+    let ip = spec.to_ip_spec().generate().unwrap();
+    let mut ranks: Vec<u64> = (0..ip.node_count() as u32)
+        .map(|v| rank::perm_rank(ip.label(v).symbols()))
+        .collect();
+    ranks.sort_unstable();
+    let before = ranks.len();
+    ranks.dedup();
+    assert_eq!(ranks.len(), before, "ranks must be distinct");
+    // 8 distinct symbols → < 8!
+    assert!(*ranks.last().unwrap() < 40320);
+}
+
+/// Emulation: the same bitonic schedule sorts on every host, and the
+/// per-step slowdown ordering matches the embedding quality.
+#[test]
+fn emulation_across_hosts() {
+    let n = 64usize;
+    let map: Vec<u32> = (0..n as u32).collect();
+    let mut slowdowns = Vec::new();
+    for (name, host) in [
+        ("Q6", classic::hypercube(6)),
+        ("HSN(2,Q3)", hier::hsn(2, classic::hypercube(3), "Q3").build()),
+        ("C64", classic::ring(64)),
+    ] {
+        let emu = HostEmulator::new(&host, &map);
+        let mut keys: Vec<u64> = (0..64u64).map(|i| (i * 37) % 64).collect();
+        let r = emu.bitonic_sort(&mut keys);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{name}");
+        slowdowns.push((name, r.slowdown()));
+    }
+    assert!(slowdowns[0].1 <= slowdowns[1].1);
+    assert!(slowdowns[1].1 < slowdowns[2].1, "{slowdowns:?}");
+}
+
+/// The directed cyclic-shift network obeys Corollary 4.2 and routes with
+/// the same machinery.
+#[test]
+fn directed_cn_end_to_end() {
+    let spec = SuperIpSpec::directed_ring_cn(3, NucleusSpec::hypercube(1));
+    let ip = spec.to_ip_spec().generate().unwrap();
+    let g = ip.to_directed_csr();
+    assert!(algo::is_strongly_connected(&g));
+    assert_eq!(algo::diameter(&g), routing::corollary_4_2_diameter(3, 1));
+    let router = routing::SuperRouter::new(&spec).unwrap();
+    for (u, v) in [(0u32, 5u32), (3, 7), (7, 0)] {
+        let path = router.route(ip.label(u), ip.label(v)).unwrap();
+        for w in path.windows(2) {
+            let a = ip.node_of(&w[0]).unwrap();
+            let b = ip.node_of(&w[1]).unwrap();
+            assert!(ip.arcs_of(a).contains(&b));
+        }
+    }
+}
+
+/// Traffic patterns and switching modes interoperate with module-aware
+/// simulation.
+#[test]
+fn sim_modes_matrix() {
+    let g = classic::hypercube(6);
+    let module: Vec<u32> = (0..64u32).map(|u| u >> 2).collect();
+    for traffic in [
+        Traffic::Uniform,
+        Traffic::BitComplement,
+        Traffic::Transpose,
+        Traffic::Hotspot {
+            fraction: 0.2,
+            target: 5,
+        },
+    ] {
+        for switching in [Switching::StoreForward, Switching::CutThrough] {
+            let cfg = SimConfig {
+                injection_rate: 0.01,
+                warmup_cycles: 200,
+                measure_cycles: 500,
+                drain_cycles: 2_000,
+                message_length: 4,
+                switching,
+                traffic,
+                ..SimConfig::default()
+            };
+            let r = run_clustered(&g, &module, &cfg);
+            assert_eq!(r.injected, r.delivered, "{traffic:?} {switching:?}");
+            assert!(r.avg_latency > 0.0);
+        }
+    }
+}
+
+/// Wormhole simulation runs deadlock-free on a generated super-IP network
+/// with hop-indexed VCs sized to the diameter.
+#[test]
+fn wormhole_on_generated_super_ip() {
+    use ipgraph::sim::wormhole::{VcPolicy, WormTraffic, WormholeConfig, WormholeSim};
+    let g = hier::ring_cn(2, classic::hypercube(3), "Q3").build();
+    let diameter = algo::diameter(&g) as usize;
+    let sim = WormholeSim::new(&g);
+    let out = sim.run(&WormholeConfig {
+        vcs: diameter,
+        buffer_flits: 2,
+        packet_flits: 4,
+        injection_rate: 0.02,
+        cycles: 5_000,
+        deadlock_threshold: 800,
+        policy: VcPolicy::HopIndexed,
+        traffic: WormTraffic::Uniform,
+        ..WormholeConfig::default()
+    });
+    assert!(!out.is_deadlocked());
+    let s = out.stats();
+    assert!(s.delivered as f64 > 0.9 * s.injected as f64);
+}
+
+/// Serde round-trips: graphs, labels, permutations and specs survive
+/// JSON serialization (the figure artifacts depend on this).
+#[test]
+fn serde_round_trips() {
+    let g = classic::petersen();
+    let json = serde_json::to_string(&g).unwrap();
+    let back: Csr = serde_json::from_str(&json).unwrap();
+    assert_eq!(g, back);
+
+    let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: SuperIpSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.name, spec.name);
+    assert_eq!(
+        back.to_ip_spec().generate().unwrap().node_count(),
+        spec.to_ip_spec().generate().unwrap().node_count()
+    );
+
+    let lab = Label::parse("3434 3434").unwrap();
+    let back: Label = serde_json::from_str(&serde_json::to_string(&lab).unwrap()).unwrap();
+    assert_eq!(lab, back);
+
+    let p = Perm::cyclic_left(6, 2);
+    let back: Perm = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+    assert_eq!(p, back);
+}
+
+/// Error paths surface cleanly across the API instead of panicking.
+#[test]
+fn failure_injection() {
+    use ipgraph::core::builder::BuildOptions;
+    // budget exhaustion
+    let err = IpGraphSpec::star(8)
+        .generate_with(BuildOptions { node_budget: 10 })
+        .unwrap_err();
+    assert!(matches!(err, IpgError::BudgetExceeded { budget: 10 }));
+    // mismatched generator length
+    assert!(IpGraphSpec::new(
+        "bad",
+        Label::distinct(4),
+        vec![ipgraph::core::spec::Generator::auto(Perm::identity(5))],
+    )
+    .is_err());
+    // routing with a foreign label
+    let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(1));
+    let router = routing::SuperRouter::new(&spec).unwrap();
+    let bad = Label::parse("9999").unwrap();
+    assert!(router.route(&bad, &bad).is_err());
+    // solver across orbits
+    let s = IpGraphSpec::star(4);
+    assert!(solve::solve(
+        &s,
+        &Label::parse("1234").unwrap(),
+        &Label::parse("1123").unwrap(),
+        1_000
+    )
+    .is_err());
+}
+
+/// Macro-star and rotator graphs (cited related work) integrate with the
+/// metric pipeline.
+#[test]
+fn cited_networks_metrics() {
+    let ms = ipdefs::macro_star_ip(2, 2).generate().unwrap();
+    let g = ms.to_undirected_csr();
+    assert_eq!(g.node_count(), 120);
+    // MS(2,2) vs star S5: same size, lower degree (3 vs 4), larger diameter
+    let s5 = classic::star(5);
+    assert!(g.max_degree() < s5.max_degree());
+    assert!(algo::diameter(&g) >= algo::diameter(&s5));
+
+    let rot = ipdefs::rotator_ip(5).generate().unwrap().to_directed_csr();
+    assert_eq!(algo::diameter(&rot), 4);
+}

@@ -1,0 +1,383 @@
+//! Every quantitative claim in the paper, as a test. Section references
+//! follow Yeh & Parhami, ICPP 1999.
+
+use ipgraph::prelude::*;
+
+// ---------------------------------------------------------------- §2 ----
+
+/// §2: the 6-star has 720 nodes, reached after enough generator sweeps,
+/// and node X = 123456 has exactly the five listed neighbors.
+#[test]
+fn sec2_six_star_worked_example() {
+    let ip = IpGraphSpec::star(6).generate().unwrap();
+    assert_eq!(ip.node_count(), 720);
+    let neighbors: Vec<String> = (0..5).map(|i| ip.label(ip.arc(0, i)).to_string()).collect();
+    assert_eq!(
+        neighbors,
+        ["213456", "321456", "423156", "523416", "623451"]
+    );
+}
+
+/// §2: the three-generator IP example yields 36 distinct nodes.
+#[test]
+fn sec2_ip_example_36_nodes() {
+    let ip = IpGraphSpec::section2_example().generate().unwrap();
+    assert_eq!(ip.node_count(), 36);
+    // ... and the first two neighbor applications match the displayed
+    // pattern: a swap of the first two symbols, a swap of 1st/3rd, and a
+    // half rotation.
+    let seed = ip.label(0).clone();
+    let rot = ip.label(ip.arc(0, 2)).clone();
+    assert_eq!(rot.symbols()[..3], seed.symbols()[3..]);
+}
+
+/// §2: HCN(2,2) generation — applying the three generators repeatedly to
+/// the seed yields exactly 16 nodes, and the first super-generator
+/// application maps the seed to itself.
+#[test]
+fn sec2_hcn22_generation() {
+    let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+    let ip = spec.to_ip_spec().generate().unwrap();
+    assert_eq!(ip.node_count(), 16);
+    let t2_index = spec.nucleus_generator_count(); // supergen after nucleus gens
+    assert_eq!(ip.arc(0, t2_index), 0, "T2 fixes the repeated seed");
+}
+
+/// §2: using any node's label as the seed regenerates the same graph
+/// (checked on HCN(2,2): same size + isomorphic).
+#[test]
+fn sec2_seed_independence() {
+    let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).to_ip_spec();
+    let ip = spec.generate().unwrap();
+    for v in [3u32, 7, 12] {
+        let respec = IpGraphSpec::new("reseed", ip.label(v).clone(), spec.generators.clone()).unwrap();
+        let other = respec.generate().unwrap();
+        assert_eq!(other.node_count(), ip.node_count());
+        assert_eq!(
+            algo::fingerprint(&other.to_undirected_csr()),
+            algo::fingerprint(&ip.to_undirected_csr())
+        );
+    }
+}
+
+/// §2: the de Bruijn graph, "one of the densest known graphs", arises
+/// from two cyclic-shift generators on a repeated-pair seed.
+#[test]
+fn sec2_debruijn_definition() {
+    for n in 2..=6 {
+        let ip = ipdefs::debruijn_ip(n).generate().unwrap();
+        assert_eq!(ip.node_count(), 1 << n);
+        // out-degree exactly 2 (counting the fixed-point arcs at 00..0/11..1)
+        assert_eq!(ip.generator_count(), 2);
+    }
+}
+
+// ---------------------------------------------------------------- §3 ----
+
+/// Theorem 3.1: degree ≤ #generators; inter-cluster degree ≤
+/// #super-generators.
+#[test]
+fn theorem_3_1_degree_bounds() {
+    for spec in [
+        SuperIpSpec::hsn(3, NucleusSpec::hypercube(2)),
+        SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)),
+        SuperIpSpec::complete_cn(4, NucleusSpec::hypercube(1)),
+        SuperIpSpec::superflip(3, NucleusSpec::star(3)),
+    ] {
+        let ip = spec.to_ip_spec().generate().unwrap();
+        let g = ip.to_undirected_csr();
+        assert!(
+            g.max_degree() <= spec.nucleus_generator_count() + spec.super_generator_count(),
+            "{}",
+            spec.name
+        );
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        let tg = tn.build();
+        let part = partition::nucleus_partition(&tn);
+        assert!(
+            imetrics::i_degree(&tg, &part) <= spec.super_generator_count() as f64 + 1e-9,
+            "{}",
+            spec.name
+        );
+    }
+}
+
+/// Theorem 3.2: N = M^l, over a grid of nuclei and depths.
+#[test]
+fn theorem_3_2_sizes() {
+    let nuclei: Vec<(NucleusSpec, u64)> = vec![
+        (NucleusSpec::hypercube(1), 2),
+        (NucleusSpec::hypercube(2), 4),
+        (NucleusSpec::complete(3), 3),
+        (NucleusSpec::ring(5), 5),
+        (NucleusSpec::star(3), 6),
+    ];
+    for (nuc, m) in &nuclei {
+        for l in 2..=3u32 {
+            let spec = SuperIpSpec::hsn(l as usize, nuc.clone());
+            let ip = spec.to_ip_spec().generate().unwrap();
+            assert_eq!(ip.node_count() as u64, m.pow(l), "{}", spec.name);
+        }
+    }
+}
+
+/// §3.2: HCN(n,n) without diameter links is HSN(2, Q_n).
+#[test]
+fn hcn_equals_hsn2() {
+    for n in 1..=4 {
+        assert_eq!(
+            hier::hcn(n, false),
+            hier::hsn(2, classic::hypercube(n), "Q").build()
+        );
+    }
+}
+
+/// §3.2: an HSN embeds the corresponding hypercube with dilation 3 (and
+/// the k-ary n-cube case degenerates to the same bound).
+#[test]
+fn hsn_embeds_hypercube_dilation_3() {
+    for (l, n) in [(2usize, 2usize), (2, 3), (3, 2), (2, 4)] {
+        let host = hier::hsn(l, classic::hypercube(n), "Q").build();
+        let guest = classic::hypercube(l * n);
+        let map: Vec<u32> = (0..guest.node_count() as u32).collect();
+        let dil = ipgraph::core::embed::dilation(&guest, &host, &map).unwrap();
+        assert!(dil <= 3, "HSN({l},Q{n}): dilation {dil}");
+    }
+}
+
+/// §3.4: super-flip networks emulate cyclic-shift networks efficiently —
+/// at minimum, each cyclic-shift super-generator action is within 2 flip
+/// moves (L_1 = "flip l, then flip l−1" on block level).
+#[test]
+fn superflip_emulates_cyclic_shift() {
+    use ipgraph::core::perm::Perm;
+    for l in 3..=6usize {
+        let shift = Perm::cyclic_left(l, 1);
+        let f_l = Perm::flip_prefix(l, l);
+        let f_lm1 = Perm::flip_prefix(l, l - 1);
+        // rotate-left-by-one = flip everything, then flip the first l−1
+        assert_eq!(f_l.then(&f_lm1), shift, "l={l}");
+    }
+}
+
+/// §3.5: symmetric HSN has l!·M^l nodes; symmetric CN has l·M^l nodes.
+#[test]
+fn symmetric_sizes() {
+    let m = 2u64; // Q1 nucleus
+    for l in 2..=4usize {
+        let hsn = SuperIpSpec::hsn(l, NucleusSpec::hypercube(1)).symmetric();
+        let fact: u64 = (1..=l as u64).product();
+        assert_eq!(
+            hsn.to_ip_spec().generate().unwrap().node_count() as u64,
+            fact * m.pow(l as u32)
+        );
+        let cn = SuperIpSpec::ring_cn(l, NucleusSpec::hypercube(1)).symmetric();
+        assert_eq!(
+            cn.to_ip_spec().generate().unwrap().node_count() as u64,
+            l as u64 * m.pow(l as u32)
+        );
+    }
+}
+
+/// §3.5: symmetric super-IP graphs are Cayley graphs: distinct-symbol
+/// seeds, vertex-symmetric and regular.
+#[test]
+fn symmetric_variants_are_cayley() {
+    for spec in [
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).symmetric(),
+        SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric(),
+    ] {
+        let ipspec = spec.to_ip_spec();
+        assert!(ipspec.seed.has_distinct_symbols(), "{}", spec.name);
+        let g = ipspec.generate().unwrap().to_undirected_csr();
+        assert!(g.is_regular());
+        assert_eq!(
+            symmetry::vertex_transitivity(&g, 10_000_000),
+            symmetry::Transitivity::Yes,
+            "{}",
+            spec.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------- §4 ----
+
+/// Theorem 4.1 + Corollary 4.2 on a grid: BFS diameter = l·D_G + t =
+/// (D_G+1)·l − 1 for all §3 families (t = l − 1).
+#[test]
+fn corollary_4_2_diameters() {
+    let nuclei = [
+        (NucleusSpec::hypercube(1), 1u32),
+        (NucleusSpec::hypercube(2), 2),
+        (NucleusSpec::complete(4), 1),
+        (NucleusSpec::star(3), 3), // S3 is a 6-cycle: diameter 3
+    ];
+    for (nuc, d_g) in &nuclei {
+        for l in 2..=3usize {
+            for spec in [
+                SuperIpSpec::hsn(l, nuc.clone()),
+                SuperIpSpec::ring_cn(l, nuc.clone()),
+                SuperIpSpec::complete_cn(l, nuc.clone()),
+                SuperIpSpec::superflip(l, nuc.clone()),
+            ] {
+                assert_eq!(routing::t_value(&spec), Some(l - 1), "{}", spec.name);
+                let g = spec.to_ip_spec().generate().unwrap().to_undirected_csr();
+                assert_eq!(
+                    algo::diameter(&g),
+                    (d_g + 1) * l as u32 - 1,
+                    "{}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 4.3: symmetric diameter = l·D_G + t_S, verified by exact BFS.
+#[test]
+fn theorem_4_3_symmetric_diameters() {
+    for spec in [
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::hsn(3, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)).symmetric(),
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).symmetric(),
+    ] {
+        let g = spec.to_ip_spec().generate().unwrap().to_undirected_csr();
+        assert_eq!(
+            algo::diameter(&g),
+            routing::predicted_diameter(&spec).unwrap(),
+            "{}",
+            spec.name
+        );
+    }
+}
+
+/// Theorem 4.4 (spirit): with a generalized-hypercube nucleus the family's
+/// diameter stays proportional to l·(D_G+1) while the size grows as M^l —
+/// i.e. diameter is logarithmic in N with the nucleus-controlled base.
+#[test]
+fn theorem_4_4_diameter_scaling() {
+    // GH(3,3) nucleus: 9 nodes, degree 4, diameter 2.
+    let gh = classic::generalized_hypercube(&[3, 3]);
+    assert_eq!(algo::diameter(&gh), 2);
+    for l in 2..=3usize {
+        let tn = hier::hsn(l, gh.clone(), "GH33");
+        let g = tn.build();
+        assert_eq!(g.node_count(), 9usize.pow(l as u32));
+        assert_eq!(algo::diameter(&g) as usize, 3 * l - 1);
+    }
+}
+
+// ---------------------------------------------------------------- §5 ----
+
+/// §5.3: off-module link counts — ring-CN 1/2, HSN & complete-CN &
+/// super-flip l−1; hypercube n−c; star n−k; de Bruijn ≤ 4.
+#[test]
+fn sec5_3_off_module_links() {
+    let max_off = |g: &Csr, class: &[u32]| -> usize {
+        (0..g.node_count() as u32)
+            .map(|u| {
+                g.neighbors(u)
+                    .iter()
+                    .filter(|&&v| class[u as usize] != class[v as usize])
+                    .count()
+            })
+            .max()
+            .unwrap()
+    };
+
+    for (l, want) in [(2usize, 1usize), (3, 2), (4, 2)] {
+        let tn = hier::ring_cn(l, classic::hypercube(2), "Q2");
+        let (class, _) = tn.nucleus_partition();
+        assert_eq!(max_off(&tn.build(), &class), want, "ring-CN l={l}");
+    }
+    for l in 2..=4usize {
+        for tn in [
+            hier::hsn(l, classic::hypercube(2), "Q2"),
+            hier::complete_cn(l, classic::hypercube(2), "Q2"),
+            hier::superflip(l, classic::hypercube(2), "Q2"),
+        ] {
+            let (class, _) = tn.nucleus_partition();
+            assert_eq!(max_off(&tn.build(), &class), l - 1, "{}", tn.name);
+        }
+    }
+    // hypercube: a node of Q6 with Q3 modules has 3 off-module links
+    let g = classic::hypercube(6);
+    let p = partition::subcube_partition(6, 3);
+    assert_eq!(max_off(&g, &p.class), 3);
+    // star: S5 with S3 modules → 2 off-module links
+    let labels = classic::star_labels(5);
+    let p = partition::substar_partition(&labels, 3);
+    assert_eq!(max_off(&classic::star(5), &p.class), 2);
+    // de Bruijn: MSB packing keeps off-module links ≤ 4
+    let g = classic::debruijn(8);
+    let p = partition::subcube_partition(8, 4); // id = bits; MSB grouping
+    assert!(max_off(&g, &p.class) <= 4);
+}
+
+/// §5 composite claims at 4096 nodes: complete-CN/HSN beat the hypercube
+/// on ID- and II-cost; the paper's headline result, measured exactly.
+#[test]
+fn sec5_cost_comparison_4096_nodes() {
+    let cube = {
+        let g = classic::hypercube(12);
+        let p = partition::subcube_partition(12, 4);
+        summarize("Q12", &g, &p)
+    };
+    let mut wins = 0;
+    for tn in [
+        hier::ring_cn(3, classic::hypercube(4), "Q4"),
+        hier::hsn(3, classic::hypercube(4), "Q4"),
+        hier::complete_cn(3, classic::hypercube(4), "Q4"),
+    ] {
+        let g = tn.build();
+        let p = partition::nucleus_partition(&tn);
+        let s = summarize(&tn.name, &g, &p);
+        assert!(s.id_cost() < cube.id_cost(), "{} ID", s.name);
+        assert!(s.ii_cost() < cube.ii_cost(), "{} II", s.name);
+        wins += 1;
+    }
+    assert_eq!(wins, 3);
+}
+
+/// §5.2: "the maximum throughput of a network is inversely proportional
+/// to its average inter-cluster distance when ... the off-module
+/// bandwidth is the communication bottleneck" — simulated.
+#[test]
+fn sec5_2_throughput_tracks_i_distance() {
+    // 256-node instances under *unit node off-module capacity* (§5.3):
+    // both networks get the same aggregate off-module bandwidth per node,
+    // so the hypercube's 4 off-module links each run 4x slower than the
+    // ring-CN's single off-module link.
+    let cfg = SimConfig {
+        injection_rate: 0.15,
+        warmup_cycles: 500,
+        measure_cycles: 2_000,
+        drain_cycles: 2_000,
+        on_module_interval: 1,
+        off_module_interval: 4,
+        seed: 5,
+        ..SimConfig::default()
+    };
+    let tn = hier::ring_cn(2, classic::hypercube(4), "Q4");
+    let g_cn = tn.build();
+    let (class_cn, _) = tn.nucleus_partition();
+    let cn = run_clustered(&g_cn, &class_cn, &cfg);
+
+    let cube_cfg = SimConfig {
+        off_module_interval: 16, // 4 links × interval 16 = 1 link × interval 4
+        ..cfg
+    };
+    let g_q8 = classic::hypercube(8);
+    let p_q8 = partition::subcube_partition(8, 4);
+    let q8 = run_clustered(&g_q8, &p_q8.class, &cube_cfg);
+
+    assert!(
+        cn.throughput > q8.throughput,
+        "ring-CN {} vs hypercube {}",
+        cn.throughput,
+        q8.throughput
+    );
+}

@@ -1,0 +1,263 @@
+//! Property-based tests (proptest) over the core data structures and
+//! model invariants.
+
+use ipgraph::core::perm::Perm;
+use ipgraph::core::spec::Generator;
+use ipgraph::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random permutation of k positions.
+fn perm(k: usize) -> impl Strategy<Value = Perm> {
+    Just(()).prop_perturb(move |_, mut rng| {
+        let mut img: Vec<u16> = (0..k as u16).collect();
+        for i in (1..k).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            img.swap(i, j);
+        }
+        Perm::from_image(img).unwrap()
+    })
+}
+
+/// Strategy: a random label of k symbols over a small alphabet (repeats
+/// likely — the point of the IP model).
+fn label(k: usize, radix: u8) -> impl Strategy<Value = Label> {
+    proptest::collection::vec(0..radix, k).prop_map(Label::from)
+}
+
+proptest! {
+    #[test]
+    fn perm_inverse_roundtrip(p in perm(8)) {
+        prop_assert!(p.then(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn perm_composition_is_associative(a in perm(7), b in perm(7), c in perm(7)) {
+        prop_assert_eq!(a.then(&b).then(&c), a.then(&b.then(&c)));
+    }
+
+    #[test]
+    fn perm_apply_matches_composition(a in perm(6), b in perm(6), l in label(6, 4)) {
+        let via_compose = a.then(&b).apply(l.symbols());
+        let via_apply = b.apply(&a.apply(l.symbols()));
+        prop_assert_eq!(via_compose, via_apply);
+    }
+
+    #[test]
+    fn perm_order_divides_group_order(p in perm(6)) {
+        // order of any element of S6 divides 720
+        prop_assert_eq!(720 % p.order(), 0);
+    }
+
+    #[test]
+    fn cycles_roundtrip(p in perm(9)) {
+        let cycles = p.cycles();
+        let refs: Vec<&[usize]> = cycles.iter().map(|c| c.as_slice()).collect();
+        prop_assert_eq!(Perm::from_cycles(9, &refs).unwrap(), p);
+    }
+
+    #[test]
+    fn generated_graphs_preserve_multisets(
+        seed in label(6, 3),
+        p1 in perm(6),
+        p2 in perm(6),
+    ) {
+        let spec = IpGraphSpec::new(
+            "prop",
+            seed.clone(),
+            vec![Generator::auto(p1), Generator::auto(p2)],
+        ).unwrap();
+        let ip = spec.generate().unwrap();
+        let sig = seed.multiset_signature();
+        for v in 0..ip.node_count() as u32 {
+            prop_assert_eq!(ip.label(v).multiset_signature(), sig.clone());
+        }
+        prop_assert!(ip.verify_closed());
+    }
+
+    #[test]
+    fn generation_is_seed_independent_within_component(
+        seed in label(5, 3),
+        p1 in perm(5),
+        p2 in perm(5),
+    ) {
+        let spec = IpGraphSpec::new(
+            "prop",
+            seed,
+            vec![Generator::auto(p1), Generator::auto(p2)],
+        ).unwrap();
+        let ip = spec.generate().unwrap();
+        // re-seed from the "middle" node: same node set when generators
+        // are applied forward-only... only guaranteed if the component is
+        // strongly connected; check reachability first.
+        let g = ip.to_directed_csr();
+        if algo::is_strongly_connected(&g) {
+            let v = (ip.node_count() as u32) / 2;
+            let re = IpGraphSpec::new(
+                "re",
+                ip.label(v).clone(),
+                ip.spec().generators.clone(),
+            ).unwrap().generate().unwrap();
+            prop_assert_eq!(re.node_count(), ip.node_count());
+        }
+    }
+
+    #[test]
+    fn degree_bounded_by_generator_count(
+        seed in label(6, 3),
+        gens in proptest::collection::vec(perm(6), 1..4),
+    ) {
+        let spec = IpGraphSpec::new(
+            "prop",
+            seed,
+            gens.into_iter().map(Generator::auto).collect(),
+        ).unwrap();
+        let ip = spec.generate().unwrap();
+        let g = ip.to_directed_csr();
+        // Theorem 3.1 (directed out-degree form)
+        prop_assert!(g.max_degree() <= ip.generator_count());
+    }
+
+    #[test]
+    fn bfs01_lower_bounds_bfs(seed_nodes in 4usize..32) {
+        // on a ring with alternating modules, I-distance ≤ distance
+        let g = classic::ring(seed_nodes.max(4));
+        let n = g.node_count();
+        let class: Vec<u32> = (0..n as u32).map(|v| v / 2).collect();
+        let part = Partition::new(class, n.div_ceil(2));
+        let d = algo::bfs(&g, 0);
+        let di = imetrics::i_distances(&g, &part, 0);
+        for v in 0..n {
+            prop_assert!(di[v] <= d[v]);
+        }
+    }
+
+    #[test]
+    fn quotient_distance_equals_i_distance_on_tuples(l in 2usize..4, n in 1usize..3) {
+        let tn = hier::hsn(l, classic::hypercube(n), "Q");
+        let g = tn.build();
+        let part = partition::nucleus_partition(&tn);
+        let (de, ae) = imetrics::exact_distance_metrics(&g, &part);
+        let (dq, aq) = imetrics::quotient_metrics(&g, &part);
+        prop_assert_eq!(de, dq);
+        prop_assert!((ae - aq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetrize_is_idempotent(edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60)) {
+        let g = Csr::from_edges(20, edges, false);
+        let s1 = g.symmetrized();
+        let s2 = s1.symmetrized();
+        prop_assert_eq!(&s1, &s2);
+        prop_assert!(s1.is_symmetric());
+    }
+
+    #[test]
+    fn quotient_preserves_connectivity(edges in proptest::collection::vec((0u32..16, 0u32..16), 20..80)) {
+        let g = Csr::from_edges(16, edges, true);
+        let class: Vec<u32> = (0..16u32).map(|v| v % 4).collect();
+        let q = g.quotient(&class, 4);
+        if algo::is_connected(&g) {
+            prop_assert!(algo::is_connected(&q));
+        }
+    }
+
+    #[test]
+    fn multiset_rank_roundtrip(symbols in proptest::collection::vec(0u8..4, 1..9)) {
+        use ipgraph::core::rank;
+        let mut counts = [0u32; 4];
+        for &s in &symbols {
+            counts[s as usize] += 1;
+        }
+        let r = rank::multiset_rank(&symbols);
+        let back = rank::multiset_unrank(&counts, r).unwrap();
+        prop_assert_eq!(back, symbols);
+    }
+
+    #[test]
+    fn multiset_rank_respects_lex_order(
+        a in proptest::collection::vec(0u8..3, 6),
+        b in proptest::collection::vec(0u8..3, 6),
+    ) {
+        use ipgraph::core::rank;
+        // comparable only when same multiset
+        let mut ma = a.clone();
+        let mut mb = b.clone();
+        ma.sort_unstable();
+        mb.sort_unstable();
+        if ma == mb {
+            let (ra, rb) = (rank::multiset_rank(&a), rank::multiset_rank(&b));
+            prop_assert_eq!(a.cmp(&b), ra.cmp(&rb));
+        }
+    }
+
+    #[test]
+    fn connectivity_whitney_inequalities(edges in proptest::collection::vec((0u32..10, 0u32..10), 8..40)) {
+        use ipgraph::core::connectivity::{edge_connectivity, vertex_connectivity};
+        let g = Csr::from_edges(10, edges, true);
+        if algo::is_connected(&g) && g.min_degree() > 0 {
+            let kappa = vertex_connectivity(&g);
+            let lambda = edge_connectivity(&g);
+            // Whitney: κ ≤ λ ≤ δ
+            prop_assert!(kappa <= lambda, "κ={kappa} λ={lambda}");
+            prop_assert!(lambda as usize <= g.min_degree());
+        }
+    }
+
+    #[test]
+    fn cut_size_never_below_kl_result(edges in proptest::collection::vec((0u32..12, 0u32..12), 6..40)) {
+        use ipgraph::prelude::bisection;
+        let g = Csr::from_edges(12, edges, true);
+        let kl = bisection::bisection_width_kl(&g, 4, 9);
+        let exact = bisection::bisection_width_exact(&g);
+        prop_assert!(kl >= exact, "heuristic {kl} below exact {exact}?!");
+    }
+
+    #[test]
+    fn prefix_emulation_matches_sequential(values in proptest::collection::vec(0u64..1000, 16)) {
+        use ipgraph::prelude::*;
+        let host = classic::hypercube(4);
+        let map: Vec<u32> = (0..16).collect();
+        let emu = HostEmulator::new(&host, &map);
+        let (prefix, _) = emu.parallel_prefix(&values);
+        let mut acc = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            acc += v;
+            prop_assert_eq!(prefix[i], acc);
+        }
+    }
+
+    #[test]
+    fn bitonic_sort_matches_std_sort(values in proptest::collection::vec(0u64..100, 32)) {
+        use ipgraph::prelude::*;
+        let host = classic::hypercube(5);
+        let map: Vec<u32> = (0..32).collect();
+        let emu = HostEmulator::new(&host, &map);
+        let mut keys = values.clone();
+        emu.bitonic_sort(&mut keys);
+        let mut expect = values;
+        expect.sort_unstable();
+        prop_assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn router_paths_valid_on_random_pairs(pairs in proptest::collection::vec((0u32..64, 0u32..64), 1..8)) {
+        let spec = SuperIpSpec::hsn(3, NucleusSpec::hypercube(1));
+        let ip = spec.to_ip_spec().generate().unwrap();
+        let router = routing::SuperRouter::new(&spec).unwrap();
+        let bound = routing::predicted_diameter(&spec).unwrap() as usize;
+        let n = ip.node_count() as u32;
+        for (u, v) in pairs {
+            let (u, v) = (u % n, v % n);
+            let path = router.route(ip.label(u), ip.label(v)).unwrap();
+            prop_assert!(path.len() - 1 <= bound);
+            prop_assert_eq!(path.first().unwrap(), ip.label(u));
+            prop_assert_eq!(path.last().unwrap(), ip.label(v));
+            for w in path.windows(2) {
+                let a = ip.node_of(&w[0]).unwrap();
+                let b = ip.node_of(&w[1]).unwrap();
+                prop_assert!(ip.arcs_of(a).contains(&b));
+            }
+        }
+    }
+}
