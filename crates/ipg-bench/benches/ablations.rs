@@ -6,12 +6,12 @@
 //! - IP generation vs direct tuple construction at equal output.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ipg_cluster::imetrics;
+use ipg_cluster::partition::subcube_partition;
 use ipg_core::algo;
 use ipg_core::label::Label;
 use ipg_core::spec::IpGraphSpec;
 use ipg_core::superip::{NucleusSpec, SuperIpSpec, TupleNetwork};
-use ipg_cluster::imetrics;
-use ipg_cluster::partition::subcube_partition;
 use ipg_networks::classic;
 use std::collections::HashMap;
 use std::hint::black_box;

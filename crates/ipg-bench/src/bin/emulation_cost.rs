@@ -32,8 +32,8 @@ fn main() {
         let host_g = host.build();
         let guest = classic::hypercube(l * n);
         let map: Vec<u32> = (0..guest.node_count() as u32).collect();
-        let (d, c, s) = embed::emulation_slowdown(&guest, &host_g, &map)
-            .expect("identity embedding valid");
+        let (d, c, s) =
+            embed::emulation_slowdown(&guest, &host_g, &map).expect("identity embedding valid");
         rows.push(EmbRow {
             guest: format!("Q{}", l * n),
             host: host.name.clone(),
@@ -115,7 +115,9 @@ fn main() {
         );
     }
     println!();
-    println!("claim check: every HSN host has dilation ≤ 3 (paper §3.2); congestion ≤ guest degree");
+    println!(
+        "claim check: every HSN host has dilation ≤ 3 (paper §3.2); congestion ≤ guest degree"
+    );
 
     write_json("emulation_cost", &rows);
 }

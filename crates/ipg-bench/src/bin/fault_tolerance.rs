@@ -10,7 +10,7 @@
 //!    nodes and measure the surviving largest component and its diameter,
 //!    comparing the hypercube with super-IP networks of the same size.
 
-use ipg_bench::{f2, print_table, write_json};
+use ipg_bench::{f2, print_table, report};
 use ipg_core::algo;
 use ipg_core::connectivity::{edge_connectivity, vertex_connectivity};
 use ipg_core::graph::Csr;
@@ -43,7 +43,9 @@ fn fault_set(n: usize, fraction: f64, seed: u64) -> Vec<bool> {
     let target = (n as f64 * fraction) as usize;
     let mut count = 0;
     while count < target {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let v = ((x >> 33) as usize) % n;
         if !dead[v] {
             dead[v] = true;
@@ -105,7 +107,15 @@ fn largest_component(g: &Csr) -> (usize, u32) {
 }
 
 fn main() {
+    let rep = report::start(
+        "fault_tolerance",
+        &[
+            ("degradation_nodes", 4096u64.into()),
+            ("fault_fractions", "0.01,0.05,0.10,0.20".into()),
+        ],
+    );
     // Part 1: exact connectivities
+    let conn_span = rep.obs().span("connectivity");
     let mut conn_rows = Vec::new();
     let cases: Vec<(String, Csr)> = vec![
         ("Q4".into(), classic::hypercube(4)),
@@ -126,6 +136,7 @@ fn main() {
         ("CPN(2)".into(), hier::cyclic_petersen(2).build()),
     ];
     for (name, g) in &cases {
+        let _case_span = rep.obs().span(name);
         let kappa = vertex_connectivity(g);
         let lambda = edge_connectivity(g);
         conn_rows.push(ConnRow {
@@ -149,22 +160,28 @@ fn main() {
                     r.min_degree.to_string(),
                     r.kappa.to_string(),
                     r.lambda.to_string(),
-                    if r.maximally_fault_tolerant { "yes" } else { "no" }.into(),
+                    if r.maximally_fault_tolerant {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                    .into(),
                 ]
             })
             .collect::<Vec<_>>(),
     );
     // sanity: Menger consistency and the classic values
     assert!(conn_rows.iter().all(|r| r.kappa <= r.lambda));
-    assert!(conn_rows
-        .iter()
-        .all(|r| r.lambda as usize <= r.min_degree));
+    assert!(conn_rows.iter().all(|r| r.lambda as usize <= r.min_degree));
     assert_eq!(
         conn_rows.iter().find(|r| r.network == "Q6").unwrap().kappa,
         6
     );
 
+    drop(conn_span);
+
     // Part 2: random-fault degradation at 4096 nodes
+    let fault_span = rep.obs().span("degradation");
     let mut fault_rows = Vec::new();
     let nets: Vec<(String, Csr)> = vec![
         ("hypercube Q12".into(), classic::hypercube(12)),
@@ -178,8 +195,14 @@ fn main() {
         ),
     ];
     for (name, g) in &nets {
+        let _net_span = rep.obs().span(name);
         for fraction in [0.01, 0.05, 0.10, 0.20] {
-            let dead = fault_set(g.node_count(), fraction, 0xfau64 + (fraction * 100.0) as u64);
+            rep.obs().counter("bench.fault_trials").incr();
+            let dead = fault_set(
+                g.node_count(),
+                fraction,
+                0xfau64 + (fraction * 100.0) as u64,
+            );
             let s = survive(g, &dead);
             let (size, diam) = largest_component(&s);
             fault_rows.push(FaultRow {
@@ -217,6 +240,8 @@ fn main() {
         );
     }
 
-    write_json("fault_tolerance_conn", &conn_rows);
-    write_json("fault_tolerance_faults", &fault_rows);
+    drop(fault_span);
+    rep.json("fault_tolerance_conn", &conn_rows);
+    rep.json("fault_tolerance_faults", &fault_rows);
+    rep.finish();
 }

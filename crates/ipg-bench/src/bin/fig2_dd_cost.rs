@@ -42,8 +42,16 @@ fn exact_check() {
     // a few exact spot checks so the analytic series can be trusted
     let cases: Vec<(&str, ipg_core::graph::Csr, AnalyticPoint)> = vec![
         ("Q8", classic::hypercube(8), analytic::hypercube(8, 3)),
-        ("FQ6", classic::folded_hypercube(6), analytic::folded_hypercube(6, 3)),
-        ("torus 16x16", classic::torus2d(16), analytic::torus2d(16, 4)),
+        (
+            "FQ6",
+            classic::folded_hypercube(6),
+            analytic::folded_hypercube(6, 3),
+        ),
+        (
+            "torus 16x16",
+            classic::torus2d(16),
+            analytic::torus2d(16, 4),
+        ),
         ("star-6", classic::star(6), analytic::star(6, 3)),
         ("CCC(4)", classic::ccc(4), analytic::ccc(4)),
     ];
@@ -55,7 +63,11 @@ fn exact_check() {
     let tn = ipg_networks::hier::ring_cn(3, classic::hypercube(4), "Q4");
     let g = tn.build();
     let a = analytic::ring_cn(3, NUC_Q4);
-    assert_eq!(algo::diameter(&g) as u64, a.diameter, "ring-CN(3,Q4) diameter");
+    assert_eq!(
+        algo::diameter(&g) as u64,
+        a.diameter,
+        "ring-CN(3,Q4) diameter"
+    );
     assert_eq!(g.max_degree() as u32, a.degree, "ring-CN(3,Q4) degree");
     eprintln!("exact spot checks passed");
 }
@@ -95,11 +107,7 @@ fn main() {
         pts.push(out(&analytic::superflip(l, NUC_Q4)));
     }
 
-    pts.sort_by(|a, b| {
-        a.family
-            .cmp(&b.family)
-            .then(a.nodes.cmp(&b.nodes))
-    });
+    pts.sort_by(|a, b| a.family.cmp(&b.family).then(a.nodes.cmp(&b.nodes)));
 
     let rows: Vec<Vec<String>> = pts
         .iter()

@@ -36,7 +36,10 @@ struct Fig3Point {
 }
 
 fn measure(family: &str, param: String, g: &Csr, part: &Partition) -> Fig3Point {
-    assert!(part.max_module_size() <= MODULE_CAP, "{family} module too big");
+    assert!(
+        part.max_module_size() <= MODULE_CAP,
+        "{family} module too big"
+    );
     let i_degree = imetrics::i_degree(g, part);
     let q = imetrics::module_graph(g, part);
     let exact = q.node_count() <= 8192;

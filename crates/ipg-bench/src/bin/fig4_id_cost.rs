@@ -29,7 +29,9 @@ fn main() {
         .collect();
     println!("== Fig 4: ID-cost (I-degree × diameter), ≤ {MODULE_CAP} nodes/module ==");
     print_table(
-        &["family", "param", "N", "log2 N", "I-deg", "diam", "ID-cost", "mode"],
+        &[
+            "family", "param", "N", "log2 N", "I-deg", "diam", "ID-cost", "mode",
+        ],
         &rows,
     );
 
@@ -50,7 +52,10 @@ fn main() {
         .map(|p| p.id_cost)
         .fold(f64::INFINITY, f64::min); // S8 = 40320 ≈ 2^15.3
     assert!(rcn < cube, "ring-CN {rcn} vs hypercube {cube}");
-    assert!(rcnf <= rcn, "FQ4 nucleus should not be worse: {rcnf} vs {rcn}");
+    assert!(
+        rcnf <= rcn,
+        "FQ4 nucleus should not be worse: {rcnf} vs {rcn}"
+    );
     assert!(rcn < star, "ring-CN {rcn} vs star {star}");
     println!();
     println!(

@@ -4,7 +4,7 @@
 //! betweenness (shortest-path load per link, Brandes), split into
 //! on-module and off-module link classes.
 
-use ipg_bench::{print_table, write_json};
+use ipg_bench::{print_table, report};
 use ipg_core::centrality::load_split;
 use ipg_core::graph::Csr;
 use ipg_networks::{classic, hier};
@@ -24,6 +24,10 @@ struct UtilRow {
 }
 
 fn main() {
+    let rep = report::start(
+        "link_utilization",
+        &[("method", "edge betweenness (Brandes)".into())],
+    );
     let mut rows = Vec::new();
     let nets: Vec<(String, Csr, Vec<u32>)> = vec![
         {
@@ -53,6 +57,13 @@ fn main() {
         },
     ];
     for (name, g, class) in &nets {
+        let _net_span = rep.obs().span(name);
+        rep.obs()
+            .counter("bench.nodes_analyzed")
+            .add(g.node_count() as u64);
+        rep.obs()
+            .counter("bench.arcs_analyzed")
+            .add(g.arc_count() as u64);
         let s = load_split(g, class);
         rows.push(UtilRow {
             network: name.clone(),
@@ -112,5 +123,6 @@ fn main() {
     println!("claim check: off-module loads within 1.6x of their mean on every network");
     println!("(§5.2's uniform-utilization assumption holds for shortest-path routing).");
 
-    write_json("link_utilization", &rows);
+    rep.json("link_utilization", &rows);
+    rep.finish();
 }

@@ -10,13 +10,13 @@
 //! 3. *throughput* — heavy load, uniform links: accepted throughput is
 //!    inversely related to average distance.
 
-use ipg_bench::{f2, print_table, write_json};
+use ipg_bench::{f2, print_table, report};
 use ipg_cluster::imetrics;
 use ipg_cluster::partition::{subcube_partition, torus_block_partition, Partition};
 use ipg_core::algo;
 use ipg_core::graph::Csr;
 use ipg_networks::{classic, hier};
-use ipg_sim::engine::{run_clustered, SimConfig};
+use ipg_sim::engine::{run_clustered_instrumented, SimConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -72,22 +72,35 @@ fn networks() -> Vec<(String, Csr, Partition)> {
 }
 
 fn main() {
+    let rep = report::start(
+        "sim_latency",
+        &[
+            ("nodes", 4096u64.into()),
+            ("light_injection_rate", 0.002.into()),
+            ("heavy_injection_rate", 0.3.into()),
+            ("slow_off_module_interval", 4u64.into()),
+            ("seed", 7u64.into()),
+        ],
+    );
     let mut rows = Vec::new();
     for (name, g, part) in networks() {
         eprintln!("simulating {name} ...");
+        let _net_span = rep.obs().span(&name);
         let avg_distance = {
             // sampled average distance (sufficient at 4096 nodes)
-            let sources: Vec<u32> = (0..64u32).map(|i| i * (g.node_count() as u32 / 64)).collect();
+            let sources: Vec<u32> = (0..64u32)
+                .map(|i| i * (g.node_count() as u32 / 64))
+                .collect();
             algo::average_distance_from_sources(&g, &sources)
         };
         let (_, avg_i) = imetrics::quotient_metrics(&g, &part);
 
-        let uniform = run_clustered(&g, &part.class, &light(7));
+        let uniform = run_clustered_instrumented(&g, &part.class, &light(7), rep.obs(), 0);
         let slow_cfg = SimConfig {
             off_module_interval: 4,
             ..light(7)
         };
-        let slow = run_clustered(&g, &part.class, &slow_cfg);
+        let slow = run_clustered_instrumented(&g, &part.class, &slow_cfg, rep.obs(), 0);
         let heavy_cfg = SimConfig {
             injection_rate: 0.3,
             warmup_cycles: 1_000,
@@ -95,7 +108,7 @@ fn main() {
             drain_cycles: 2_000,
             ..light(7)
         };
-        let heavy = run_clustered(&g, &part.class, &heavy_cfg);
+        let heavy = run_clustered_instrumented(&g, &part.class, &heavy_cfg, rep.obs(), 0);
 
         rows.push(SimRow {
             network: name,
@@ -168,5 +181,6 @@ fn main() {
         slow_penalty(cube)
     );
 
-    write_json("sim_latency", &rows);
+    rep.json("sim_latency", &rows);
+    rep.finish();
 }

@@ -27,7 +27,13 @@ struct ThmRow {
     ok: bool,
 }
 
-fn check(rows: &mut Vec<ThmRow>, network: &str, check_name: &str, predicted: impl ToString, measured: impl ToString) {
+fn check(
+    rows: &mut Vec<ThmRow>,
+    network: &str,
+    check_name: &str,
+    predicted: impl ToString,
+    measured: impl ToString,
+) {
     let p = predicted.to_string();
     let m = measured.to_string();
     let ok = p == m;
@@ -86,7 +92,11 @@ fn main() {
             format!("≤ {bound}"),
             format!("≤ {bound}"),
         );
-        assert!(g.max_degree() <= bound, "{}: degree bound violated", spec.name);
+        assert!(
+            g.max_degree() <= bound,
+            "{}: degree bound violated",
+            spec.name
+        );
 
         // Theorem 4.1/4.3 diameter
         let predicted = routing::predicted_diameter(spec).expect("diameter");

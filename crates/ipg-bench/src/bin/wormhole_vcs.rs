@@ -7,7 +7,7 @@
 //! super-IP graphs need cheaper routers than rings/tori of the same
 //! size, and the §5 wormhole discussion becomes concrete hardware.
 
-use ipg_bench::{f2, print_table, write_json};
+use ipg_bench::{f2, print_table, report};
 use ipg_core::algo;
 use ipg_core::graph::Csr;
 use ipg_networks::{classic, hier};
@@ -25,6 +25,15 @@ struct WormRow {
 }
 
 fn main() {
+    let rep = report::start(
+        "wormhole_vcs",
+        &[
+            ("part1_ring_nodes", 8u64.into()),
+            ("part2_nodes", 64u64.into()),
+            ("part2_injection_rate", 0.01.into()),
+            ("part2_cycles", 8_000u64.into()),
+        ],
+    );
     // Part 1: single-VC wormhole deadlocks on cyclic dependencies, and
     // hop-indexed VCs fix it.
     let ring = classic::ring(8);
@@ -41,13 +50,20 @@ fn main() {
         traffic: WormTraffic::Fixed(fixed),
         ..WormholeConfig::default()
     };
-    let wedged = sim.run(&base);
+    let wedged = {
+        let _span = rep.obs().span("single-vc deadlock demo");
+        sim.run_instrumented(&base, rep.obs(), 0)
+    };
     assert!(wedged.is_deadlocked(), "single-VC ring must wedge");
-    let fixed_run = sim.run(&WormholeConfig {
-        vcs: 3,
-        policy: VcPolicy::HopIndexed,
-        ..base
-    });
+    let fixed_run = sim.run_instrumented(
+        &WormholeConfig {
+            vcs: 3,
+            policy: VcPolicy::HopIndexed,
+            ..base
+        },
+        rep.obs(),
+        0,
+    );
     assert!(!fixed_run.is_deadlocked());
     println!("single-VC 8-ring under cyclic traffic: DEADLOCK (as theory predicts);");
     println!(
@@ -72,6 +88,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (name, g) in &nets {
+        let _net_span = rep.obs().span(name);
         let diameter = algo::diameter(g);
         let sim = WormholeSim::new(g);
         let cfg = WormholeConfig {
@@ -85,7 +102,7 @@ fn main() {
             traffic: WormTraffic::Uniform,
             ..WormholeConfig::default()
         };
-        let out = sim.run(&cfg);
+        let out = sim.run_instrumented(&cfg, rep.obs(), 0);
         let (pct, lat) = match &out {
             WormholeOutcome::Completed(s) => (
                 100.0 * s.delivered as f64 / s.injected.max(1) as f64,
@@ -105,7 +122,14 @@ fn main() {
     }
     println!("== hop-indexed wormhole at 64 nodes: VCs for guaranteed deadlock freedom ==");
     print_table(
-        &["network", "N", "diameter", "VCs needed", "delivered %", "avg latency"],
+        &[
+            "network",
+            "N",
+            "diameter",
+            "VCs needed",
+            "delivered %",
+            "avg latency",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -122,7 +146,11 @@ fn main() {
     );
 
     let ring_vcs = rows[0].vcs_needed;
-    let hsn_vcs = rows.iter().find(|r| r.network.contains("HSN")).unwrap().vcs_needed;
+    let hsn_vcs = rows
+        .iter()
+        .find(|r| r.network.contains("HSN"))
+        .unwrap()
+        .vcs_needed;
     assert!(hsn_vcs * 3 <= ring_vcs);
     println!();
     println!(
@@ -130,5 +158,6 @@ fn main() {
     );
     println!("buy cheap deadlock-free wormhole routers (the §5 hardware argument).");
 
-    write_json("wormhole_vcs", &rows);
+    rep.json("wormhole_vcs", &rows);
+    rep.finish();
 }

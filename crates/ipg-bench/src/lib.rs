@@ -146,4 +146,5 @@ mod tests {
     }
 }
 
+pub mod report;
 pub mod sweep45;

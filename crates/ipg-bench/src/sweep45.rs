@@ -9,7 +9,9 @@
 use crate::{capped_nucleus_partition, sample_sources};
 use ipg_cluster::analytic::{self, NucleusStats, NUC_FQ4, NUC_Q4};
 use ipg_cluster::imetrics;
-use ipg_cluster::partition::{subcube_partition, substar_partition, torus_block_partition, Partition};
+use ipg_cluster::partition::{
+    subcube_partition, substar_partition, torus_block_partition, Partition,
+};
 use ipg_core::algo;
 use ipg_core::graph::Csr;
 use ipg_networks::{classic, hier};
@@ -42,6 +44,7 @@ pub struct CostPoint {
     pub mode: &'static str,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     family: &str,
     param: String,
@@ -147,7 +150,8 @@ pub fn sweep() -> Vec<CostPoint> {
     }
 
     // super-IP families over Q4 / FQ4 nuclei (16-node modules)
-    let families: Vec<(&str, NucleusStats, fn(usize, Csr, &str) -> ipg_core::superip::TupleNetwork)> = vec![
+    type FamilyCtor = fn(usize, Csr, &str) -> ipg_core::superip::TupleNetwork;
+    let families: Vec<(&str, NucleusStats, FamilyCtor)> = vec![
         ("ring-CN(l,Q4)", NUC_Q4, hier::ring_cn),
         ("ring-CN(l,FQ4)", NUC_FQ4, hier::ring_cn),
         ("CN(l,Q4)", NUC_Q4, hier::complete_cn),
@@ -166,7 +170,7 @@ pub fn sweep() -> Vec<CostPoint> {
             let (class, count) = capped_nucleus_partition(&tn, MODULE_CAP);
             let part = Partition::new(class, count);
             let diameter = (nuc.diameter as u64 + 1) * l as u64 - 1; // Cor 4.2
-            // verify at the smallest size
+                                                                     // verify at the smallest size
             if g.node_count() <= 4096 {
                 assert_eq!(algo::diameter(&g) as u64, diameter, "{family} l={l}");
             }

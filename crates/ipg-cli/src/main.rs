@@ -13,7 +13,8 @@ mod spec;
 
 use ipg_cluster::{costs, imetrics, partition::Partition};
 use ipg_core::algo;
-use ipg_sim::engine::{run_clustered, SimConfig};
+use ipg_obs::{MetaVal, Obs};
+use ipg_sim::engine::{run_clustered_instrumented, SimConfig};
 use spec::{parse, ParsedNetwork};
 use std::process::ExitCode;
 
@@ -62,6 +63,8 @@ fn print_help() {
     println!("  dot <network>                  Graphviz DOT on stdout");
     println!("  route <network> <src> <dst>    shortest route between node ids");
     println!("  simulate <network> [rate]      packet simulation (default rate 0.01)");
+    println!("      --obs <path>               write a JSON-lines run manifest");
+    println!("      --obs-interval <cycles>    also snapshot metrics every N cycles");
     println!("  layout <network>               bisection width + grid-layout wirelength");
     println!("  solve <game> <src> <dst>       solve a ball-arrangement game (games:");
     println!("                                 star:n, pancake:n; labels like 654321)");
@@ -85,7 +88,11 @@ fn cmd_info(net: &ParsedNetwork) -> Result<(), String> {
     println!(
         "links:        {}{}",
         g.arc_count() / 2,
-        if g.is_symmetric() { "" } else { " (directed arcs/2)" }
+        if g.is_symmetric() {
+            ""
+        } else {
+            " (directed arcs/2)"
+        }
     );
     println!("degree:       {}..{}", g.min_degree(), g.max_degree());
     if g.node_count() <= 100_000 {
@@ -168,8 +175,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     };
     let src = parse_node(args.get(1).ok_or("route needs <src> <dst>")?)?;
     let dst = parse_node(args.get(2).ok_or("route needs <src> <dst>")?)?;
-    let path =
-        algo::shortest_path(&net.graph, src, dst).ok_or("destination unreachable")?;
+    let path = algo::shortest_path(&net.graph, src, dst).ok_or("destination unreachable")?;
     println!(
         "{}: {} -> {} in {} hops",
         net.name,
@@ -183,7 +189,12 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
             .as_ref()
             .map(|p| !p.same(w[0], w[1]))
             .unwrap_or(false);
-        println!("  {} -> {}{}", w[0], w[1], if off { "   (off-module)" } else { "" });
+        println!(
+            "  {} -> {}{}",
+            w[0],
+            w[1],
+            if off { "   (off-module)" } else { "" }
+        );
     }
     if let Some(tn) = &net.tuple {
         let (_, t_src) = tn.decode(src);
@@ -230,9 +241,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
 
     let game = args.first().ok_or("solve needs a game, e.g. `star:6`")?;
     let spec: IpGraphSpec = match game.split_once(':') {
-        Some(("star", n)) => {
-            IpGraphSpec::star(n.parse().map_err(|_| format!("bad size `{n}`"))?)
-        }
+        Some(("star", n)) => IpGraphSpec::star(n.parse().map_err(|_| format!("bad size `{n}`"))?),
         Some(("pancake", n)) => {
             IpGraphSpec::pancake(n.parse().map_err(|_| format!("bad size `{n}`"))?)
         }
@@ -242,8 +251,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         .ok_or("bad src label")?;
     let dst = Label::parse(args.get(2).ok_or("solve needs <src> <dst> labels")?)
         .ok_or("bad dst label")?;
-    let sol =
-        solve(&spec, &src, &dst, 50_000_000).map_err(|e| e.to_string())?;
+    let sol = solve(&spec, &src, &dst, 50_000_000).map_err(|e| e.to_string())?;
     println!("{} -> {} in {} moves:", src, dst, sol.len());
     let mut cur = src.symbols().to_vec();
     for &m in &sol.moves {
@@ -258,11 +266,28 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let net = parse(args.first().ok_or("simulate needs a network")?)?;
+    // peel off --obs / --obs-interval; the rest stay positional
+    let mut positional: Vec<&String> = Vec::new();
+    let mut obs_path: Option<std::path::PathBuf> = None;
+    let mut obs_interval: u32 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--obs" => {
+                obs_path = Some(it.next().ok_or("--obs needs a file path")?.into());
+            }
+            "--obs-interval" => {
+                let v = it.next().ok_or("--obs-interval needs a cycle count")?;
+                obs_interval = v.parse().map_err(|_| format!("bad --obs-interval `{v}`"))?;
+            }
+            _ => positional.push(a),
+        }
+    }
+    let net = parse(positional.first().ok_or("simulate needs a network")?)?;
     if net.graph.node_count() > 16_384 {
         return Err("simulation capped at 16384 nodes".into());
     }
-    let rate: f64 = args
+    let rate: f64 = positional
         .get(1)
         .map(|s| s.parse().map_err(|_| format!("bad rate `{s}`")))
         .transpose()?
@@ -278,12 +303,43 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         Some(p) => p.class.clone(),
         None => vec![0; net.graph.node_count()],
     };
-    let r = run_clustered(&net.graph, &module, &cfg);
+    let obs = match &obs_path {
+        Some(p) => Obs::to_file(p).map_err(|e| format!("cannot open {}: {e}", p.display()))?,
+        None => Obs::disabled(),
+    };
+    obs.emit_meta(
+        "ipg-simulate",
+        &[
+            ("network", MetaVal::from(net.name.as_str())),
+            ("nodes", MetaVal::from(net.graph.node_count())),
+            ("injection_rate", MetaVal::from(rate)),
+            ("warmup_cycles", MetaVal::from(cfg.warmup_cycles as u64)),
+            ("measure_cycles", MetaVal::from(cfg.measure_cycles as u64)),
+            ("drain_cycles", MetaVal::from(cfg.drain_cycles as u64)),
+            ("seed", MetaVal::from(cfg.seed)),
+        ],
+    );
+    let r = run_clustered_instrumented(&net.graph, &module, &cfg, &obs, obs_interval);
+    obs.finish();
     println!("network:    {}", net.name);
     println!("rate:       {rate}");
     println!("injected:   {}", r.injected);
-    println!("delivered:  {} ({:.1}%)", r.delivered, 100.0 * r.delivered as f64 / r.injected.max(1) as f64);
-    println!("latency:    avg {:.2}, max {}", r.avg_latency, r.max_latency);
+    println!(
+        "delivered:  {} ({:.1}%)",
+        r.delivered,
+        100.0 * r.delivered as f64 / r.injected.max(1) as f64
+    );
+    println!(
+        "in flight:  {} at end; {} drained unmeasured",
+        r.in_flight_at_end, r.unmeasured_delivered
+    );
+    println!(
+        "latency:    avg {:.2}, max {}",
+        r.avg_latency, r.max_latency
+    );
     println!("throughput: {:.4} packets/node/cycle", r.throughput);
+    if let Some(p) = obs_path {
+        println!("manifest:   {}", p.display());
+    }
     Ok(())
 }

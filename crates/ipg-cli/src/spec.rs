@@ -48,7 +48,9 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
     // bare tokens: digits are positional integers, words are flags
     let ints: Vec<usize> = rest
         .split(',')
-        .filter(|s| !s.is_empty() && !s.contains('=') && s.starts_with(|c: char| c.is_ascii_digit()))
+        .filter(|s| {
+            !s.is_empty() && !s.contains('=') && s.starts_with(|c: char| c.is_ascii_digit())
+        })
         .map(|s| s.parse::<usize>().map_err(|_| format!("bad integer `{s}`")))
         .collect::<Result<_, _>>()?;
     let flag = |name: &str| rest.split(',').any(|s| s == name);

@@ -372,7 +372,10 @@ mod tests {
                 "torus {k}"
             );
         }
-        assert!((avg_distance::complete() - algo::average_distance(&classic::complete(9))).abs() < 1e-12);
+        assert!(
+            (avg_distance::complete() - algo::average_distance(&classic::complete(9))).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::imetrics;
 use crate::partition::Partition;
 use ipg_core::graph::Csr;
+use ipg_obs::Obs;
 
 /// Outcome of a broadcast schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +40,20 @@ pub fn greedy_broadcast(
     root: u32,
     hierarchical: bool,
 ) -> BroadcastStats {
+    greedy_broadcast_instrumented(g, part, root, hierarchical, &Obs::disabled())
+}
+
+/// [`greedy_broadcast`] with observability: a `broadcast` span, round and
+/// on-/off-module send counters, and a per-round coverage histogram.
+pub fn greedy_broadcast_instrumented(
+    g: &Csr,
+    part: &Partition,
+    root: u32,
+    hierarchical: bool,
+    obs: &Obs,
+) -> BroadcastStats {
+    let _span = obs.span("broadcast");
+    let h_round = obs.histogram("cluster.broadcast_round_sends");
     let n = g.node_count();
     let mut informed = vec![false; n];
     informed[root as usize] = true;
@@ -61,8 +76,7 @@ pub fn greedy_broadcast(
                     .find(|&v| !informed[v as usize] && part.same(u, v))
                     .or_else(|| {
                         g.neighbors(u).iter().copied().find(|&v| {
-                            !informed[v as usize]
-                                && !module_seeded[part.class[v as usize] as usize]
+                            !informed[v as usize] && !module_seeded[part.class[v as usize] as usize]
                         })
                     })
             } else {
@@ -88,9 +102,13 @@ pub fn greedy_broadcast(
             // cannot happen when modules induce connected subgraphs.
             break;
         }
+        h_round.observe(new_nodes.len() as u64);
         covered += new_nodes.len();
         informed_list.extend(new_nodes);
     }
+    obs.counter("cluster.broadcast_rounds").add(rounds as u64);
+    obs.counter("cluster.broadcast_on_module_sends").add(on);
+    obs.counter("cluster.broadcast_off_module_sends").add(off);
     BroadcastStats {
         rounds,
         off_module_sends: off,

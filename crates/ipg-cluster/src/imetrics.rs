@@ -74,11 +74,15 @@ pub fn exact_distance_metrics(g: &Csr, part: &Partition) -> (u32, f64) {
             }
             (mx, sm, ct)
         })
-        .reduce(
-            || (0, 0, 0),
-            |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2),
-        );
-    (max, if cnt == 0 { 0.0 } else { sum as f64 / cnt as f64 })
+        .reduce(|| (0, 0, 0), |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2));
+    (
+        max,
+        if cnt == 0 {
+            0.0
+        } else {
+            sum as f64 / cnt as f64
+        },
+    )
 }
 
 /// All three metrics, exactly.
@@ -121,7 +125,14 @@ pub fn quotient_metrics(g: &Csr, part: &Partition) -> (u32, f64) {
         })
         .reduce(|| (0, 0), |x, y| (x.0.max(y.0), x.1 + y.1));
     let pairs = n_total * (n_total - 1);
-    (max, if pairs == 0 { 0.0 } else { sum as f64 / pairs as f64 })
+    (
+        max,
+        if pairs == 0 {
+            0.0
+        } else {
+            sum as f64 / pairs as f64
+        },
+    )
 }
 
 /// Quotient-based metrics estimated from a subset of quotient sources
@@ -156,7 +167,14 @@ pub fn quotient_metrics_on(q: &Csr, sizes: &[usize], sources: &[u32]) -> (u32, f
             (mx, sm, wa * (n_total - 1))
         })
         .reduce(|| (0, 0, 0), |x, y| (x.0.max(y.0), x.1 + y.1, x.2 + y.2));
-    (max, if denom == 0 { 0.0 } else { sum as f64 / denom as f64 })
+    (
+        max,
+        if denom == 0 {
+            0.0
+        } else {
+            sum as f64 / denom as f64
+        },
+    )
 }
 
 #[cfg(test)]
@@ -250,7 +268,10 @@ mod tests {
                 classic::hypercube(6),
                 crate::partition::subcube_partition(6, 2),
             ),
-            (classic::torus2d(8), crate::partition::torus_block_partition(8, 2, 2)),
+            (
+                classic::torus2d(8),
+                crate::partition::torus_block_partition(8, 2, 2),
+            ),
         ] {
             let (de, ae) = exact_distance_metrics(&g, &p);
             let (dq, aq) = quotient_metrics(&g, &p);

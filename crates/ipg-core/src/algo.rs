@@ -267,11 +267,7 @@ pub fn fingerprint(g: &Csr) -> Fingerprint {
         .map(|s| distance_histogram(g, s))
         .collect();
     hists.sort();
-    let diameter = hists
-        .iter()
-        .map(|h| h.len() as u32 - 1)
-        .max()
-        .unwrap_or(0);
+    let diameter = hists.iter().map(|h| h.len() as u32 - 1).max().unwrap_or(0);
     Fingerprint {
         nodes: g.node_count(),
         arcs: g.arc_count(),

@@ -7,6 +7,7 @@ use crate::graph::Csr;
 use crate::label::Label;
 use crate::spec::IpGraphSpec;
 use crate::util::FxHashMap;
+use ipg_obs::Obs;
 
 /// Options controlling generation.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +46,19 @@ impl IpGraph {
     /// Run the breadth-first closure. Nodes are numbered in BFS order from
     /// the seed (node 0 is the seed).
     pub fn generate(spec: IpGraphSpec, opts: BuildOptions) -> Result<Self> {
+        Self::generate_instrumented(spec, opts, &Obs::disabled())
+    }
+
+    /// [`IpGraph::generate`] with observability: an `ip_generate` span,
+    /// node/arc/dedup counters, a BFS frontier-size histogram, and
+    /// nodes/arcs-per-second `rate` records.
+    pub fn generate_instrumented(spec: IpGraphSpec, opts: BuildOptions, obs: &Obs) -> Result<Self> {
+        let span = obs.span("ip_generate");
+        let track = obs.enabled();
+        let start = track.then(std::time::Instant::now);
+        let h_frontier = obs.histogram("core.bfs_frontier");
+        let c_dedup = obs.counter("core.dedup_hits");
+
         let g = spec.generators.len();
         let k = spec.seed.len();
         let mut index: FxHashMap<Label, u32> = FxHashMap::default();
@@ -53,17 +67,28 @@ impl IpGraph {
 
         index.insert(spec.seed.clone(), 0);
         labels.push(spec.seed.clone());
+        h_frontier.observe(1); // depth-0 frontier: the seed
 
         let mut next = 0usize;
+        // nodes [0, level_end) have BFS depth <= current; when `next`
+        // crosses it, everything discovered meanwhile is the next frontier
+        let mut level_end = 1usize;
         let mut buf = vec![0u8; k];
         while next < labels.len() {
+            if track && next == level_end {
+                h_frontier.observe((labels.len() - level_end) as u64);
+                level_end = labels.len();
+            }
             // Take the symbols out by clone: labels may grow (reallocating)
             // while we iterate. Labels are short, this is cheap.
             let src = labels[next].clone();
             for gen in &spec.generators {
                 gen.perm.apply_into(src.symbols(), &mut buf);
                 let id = match index.get(buf.as_slice()) {
-                    Some(&id) => id,
+                    Some(&id) => {
+                        c_dedup.incr();
+                        id
+                    }
                     None => {
                         let id = labels.len() as u32;
                         if labels.len() >= opts.node_budget {
@@ -82,6 +107,14 @@ impl IpGraph {
             next += 1;
         }
         debug_assert_eq!(arcs.len(), labels.len() * g);
+        obs.counter("core.nodes").add(labels.len() as u64);
+        obs.counter("core.arcs").add(arcs.len() as u64);
+        if let Some(start) = start {
+            let secs = start.elapsed().as_secs_f64();
+            obs.emit_rate("core.nodes_per_sec", labels.len() as u64, secs);
+            obs.emit_rate("core.arcs_per_sec", arcs.len() as u64, secs);
+        }
+        drop(span);
         Ok(IpGraph {
             spec,
             labels,

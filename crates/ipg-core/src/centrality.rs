@@ -55,8 +55,8 @@ pub fn edge_betweenness(g: &Csr) -> Vec<f64> {
             for &u in order.iter().rev() {
                 for (i, &v) in g.neighbors(u).iter().enumerate() {
                     if dist[v as usize] == dist[u as usize] + 1 {
-                        let share = sigma[u as usize] / sigma[v as usize]
-                            * (1.0 + delta[v as usize]);
+                        let share =
+                            sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
                         contribution[base[u as usize] + i] += share;
                         delta[u as usize] += share;
                     }

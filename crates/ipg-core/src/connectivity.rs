@@ -140,7 +140,9 @@ pub fn vertex_connectivity(g: &Csr) -> u32 {
     if n < 2 {
         return 0;
     }
-    let u = (0..n as u32).min_by_key(|&v| g.degree(v)).expect("nonempty");
+    let u = (0..n as u32)
+        .min_by_key(|&v| g.degree(v))
+        .expect("nonempty");
     let mut best = g.degree(u) as u32;
     let mut sources: Vec<u32> = vec![u];
     sources.extend_from_slice(g.neighbors(u));

@@ -20,7 +20,11 @@ pub struct Csr {
 impl Csr {
     /// Build from an arc list. `symmetrize` adds the reverse of every arc.
     /// Self-loops are dropped and parallel arcs deduplicated.
-    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>, symmetrize: bool) -> Self {
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+        symmetrize: bool,
+    ) -> Self {
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (u, v) in edges {
             let (u, v) = (u as usize, v as usize);

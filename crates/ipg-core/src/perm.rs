@@ -176,11 +176,7 @@ impl Perm {
     /// `(self.then(next)).apply(x) == next.apply(&self.apply(x))`.
     pub fn then(&self, next: &Perm) -> Self {
         assert_eq!(self.len(), next.len(), "composing mismatched lengths");
-        let image: Vec<u16> = next
-            .image
-            .iter()
-            .map(|&p| self.image[p as usize])
-            .collect();
+        let image: Vec<u16> = next.image.iter().map(|&p| self.image[p as usize]).collect();
         Perm {
             image: image.into_boxed_slice(),
         }

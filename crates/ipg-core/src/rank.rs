@@ -179,7 +179,7 @@ mod tests {
     fn ranks_cover_star_graph() {
         // all 120 labels of the 5-star get distinct ranks < 120
         let ip = crate::spec::IpGraphSpec::star(5).generate().unwrap();
-        let mut seen = vec![false; 120];
+        let mut seen = [false; 120];
         for v in 0..ip.node_count() as u32 {
             let r = perm_rank(ip.label(v).symbols()) as usize;
             assert!(r < 120);

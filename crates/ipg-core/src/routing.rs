@@ -250,7 +250,12 @@ impl SuperRouter {
     /// Sort the leftmost block of `cur` to match `target_block`, appending
     /// every intermediate label to `path`. Uses greedy descent on the
     /// nucleus distance table (≤ `D_G` steps).
-    fn sort_leftmost(&self, cur: &mut Vec<u8>, target_block: &[u8], path: &mut Vec<Label>) -> Result<()> {
+    fn sort_leftmost(
+        &self,
+        cur: &mut Vec<u8>,
+        target_block: &[u8],
+        path: &mut Vec<Label>,
+    ) -> Result<()> {
         let m = self.spec.m();
         let (mut a, _) = self.block_id(&cur[..m])?;
         let (b, _) = self.block_id(target_block)?;
@@ -355,7 +360,11 @@ impl SuperRouter {
             let leftmost_origin = arr.image()[0] as usize;
             if !sorted[leftmost_origin] {
                 sorted[leftmost_origin] = true;
-                self.sort_leftmost(&mut cur, dst.block(final_pos[leftmost_origin], m), &mut path)?;
+                self.sort_leftmost(
+                    &mut cur,
+                    dst.block(final_pos[leftmost_origin], m),
+                    &mut path,
+                )?;
             }
         }
         debug_assert_eq!(
@@ -431,7 +440,10 @@ mod tests {
                 t_value(&SuperIpSpec::complete_cn(l, nuc.clone())),
                 Some(l - 1)
             );
-            assert_eq!(t_value(&SuperIpSpec::superflip(l, nuc.clone())), Some(l - 1));
+            assert_eq!(
+                t_value(&SuperIpSpec::superflip(l, nuc.clone())),
+                Some(l - 1)
+            );
         }
     }
 

@@ -49,12 +49,7 @@ pub fn verify_solution(spec: &IpGraphSpec, src: &Label, dst: &Label, moves: &[us
 /// [`IpgError::BudgetExceeded`] when the budget runs out and with
 /// [`IpgError::Unreachable`] when the frontiers exhaust without meeting
 /// (different orbits).
-pub fn solve(
-    spec: &IpGraphSpec,
-    src: &Label,
-    dst: &Label,
-    node_budget: usize,
-) -> Result<Solution> {
+pub fn solve(spec: &IpGraphSpec, src: &Label, dst: &Label, node_budget: usize) -> Result<Solution> {
     let k = spec.seed.len();
     if src.len() != k || dst.len() != k {
         return Err(IpgError::UnknownLabel {
@@ -221,10 +216,7 @@ mod tests {
     fn budget_errors_cleanly() {
         let spec = IpGraphSpec::pancake(10);
         let src = Label::distinct(10);
-        let dst = Label::from(
-            crate::perm::Perm::flip_prefix(10, 10)
-                .apply(src.symbols()),
-        );
+        let dst = Label::from(crate::perm::Perm::flip_prefix(10, 10).apply(src.symbols()));
         // flipping all 10 is 1 move; with budget 2 the search cannot even
         // expand a level... budget 3 suffices for depth-1.
         assert!(matches!(

@@ -55,11 +55,7 @@ pub struct IpGraphSpec {
 impl IpGraphSpec {
     /// Create a spec, validating that every generator acts on exactly
     /// `seed.len()` positions.
-    pub fn new(
-        name: impl Into<String>,
-        seed: Label,
-        generators: Vec<Generator>,
-    ) -> Result<Self> {
+    pub fn new(name: impl Into<String>, seed: Label, generators: Vec<Generator>) -> Result<Self> {
         let k = seed.len();
         for g in &generators {
             if g.perm.len() != k {
@@ -101,6 +97,12 @@ impl IpGraphSpec {
     /// Generate with explicit options (node budget etc.).
     pub fn generate_with(&self, opts: BuildOptions) -> Result<IpGraph> {
         IpGraph::generate(self.clone(), opts)
+    }
+
+    /// Generate with observability (see
+    /// [`IpGraph::generate_instrumented`]).
+    pub fn generate_instrumented(&self, obs: &ipg_obs::Obs) -> Result<IpGraph> {
+        IpGraph::generate_instrumented(self.clone(), BuildOptions::default(), obs)
     }
 
     /// The star graph `S_n` spec: seed `1 2 … n`, generators `(1,i)` for

@@ -91,7 +91,10 @@ impl NucleusSpec {
         let gens = (0..r)
             .flat_map(|i| (i + 1..r).map(move |j| (i, j)))
             .map(|(i, j)| {
-                Generator::new(format!("({},{})", i + 1, j + 1), Perm::transposition(r, i, j))
+                Generator::new(
+                    format!("({},{})", i + 1, j + 1),
+                    Perm::transposition(r, i, j),
+                )
             })
             .collect();
         NucleusSpec {
@@ -427,7 +430,8 @@ impl SuperIpSpec {
         let l = self.l;
         let m = self.m();
         let k = l * m;
-        let mut generators = Vec::with_capacity(self.nucleus.spec.generators.len() + self.supers.len());
+        let mut generators =
+            Vec::with_capacity(self.nucleus.spec.generators.len() + self.supers.len());
         for g in &self.nucleus.spec.generators {
             // Embed the m-position nucleus permutation into the first block.
             let mut image: Vec<u16> = (0..k as u16).collect();
@@ -671,7 +675,11 @@ impl TupleNetwork {
 /// of each block and (for symmetric seeds) the block colors. Returns the
 /// node map `ip node -> tuple node` after verifying it is a bijection that
 /// preserves adjacency; errors otherwise.
-pub fn explicit_isomorphism(spec: &SuperIpSpec, ip: &IpGraph, tn: &TupleNetwork) -> Result<Vec<u32>> {
+pub fn explicit_isomorphism(
+    spec: &SuperIpSpec,
+    ip: &IpGraph,
+    tn: &TupleNetwork,
+) -> Result<Vec<u32>> {
     let l = spec.l;
     let m = spec.m();
     let nucleus_ip = spec.nucleus.generate()?;
@@ -846,7 +854,7 @@ mod tests {
     }
 
     #[test]
-    fn symmetric_variants_are_regular(){
+    fn symmetric_variants_are_regular() {
         for spec in [
             SuperIpSpec::hsn(3, NucleusSpec::hypercube(1)).symmetric(),
             SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric(),
@@ -873,8 +881,7 @@ mod tests {
         ] {
             let ip = spec.to_ip_spec().generate().unwrap();
             let tn = TupleNetwork::from_spec(&spec).unwrap();
-            explicit_isomorphism(&spec, &ip, &tn)
-                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            explicit_isomorphism(&spec, &ip, &tn).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 
@@ -895,19 +902,27 @@ mod tests {
         // transpositions generate S_l; single rotations generate C_l;
         // flips generate S_l.
         assert_eq!(
-            SuperIpSpec::hsn(4, NucleusSpec::hypercube(1)).block_group().len(),
+            SuperIpSpec::hsn(4, NucleusSpec::hypercube(1))
+                .block_group()
+                .len(),
             24
         );
         assert_eq!(
-            SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1)).block_group().len(),
+            SuperIpSpec::ring_cn(4, NucleusSpec::hypercube(1))
+                .block_group()
+                .len(),
             4
         );
         assert_eq!(
-            SuperIpSpec::complete_cn(5, NucleusSpec::hypercube(1)).block_group().len(),
+            SuperIpSpec::complete_cn(5, NucleusSpec::hypercube(1))
+                .block_group()
+                .len(),
             5
         );
         assert_eq!(
-            SuperIpSpec::superflip(4, NucleusSpec::hypercube(1)).block_group().len(),
+            SuperIpSpec::superflip(4, NucleusSpec::hypercube(1))
+                .block_group()
+                .len(),
             24
         );
     }

@@ -197,8 +197,7 @@ impl IsoSearch<'_> {
                 mw == u32::MAX || self.b.has_arc(cand, mw)
             }) && (0..n).all(|w| {
                 let mw = self.map[w];
-                mw == u32::MAX
-                    || (self.a.has_arc(w as u32, u as u32) == self.b.has_arc(mw, cand))
+                mw == u32::MAX || (self.a.has_arc(w as u32, u as u32) == self.b.has_arc(mw, cand))
             });
             if !ok {
                 continue;

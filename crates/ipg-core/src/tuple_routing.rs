@@ -22,9 +22,8 @@ use std::collections::VecDeque;
 pub fn schedule_over_perms(perms: &[Perm], l: usize, target: Option<&Perm>) -> Option<Vec<usize>> {
     let full: u32 = (1u32 << l) - 1;
     let start = (Perm::identity(l), 1u32);
-    let done = |state: &(Perm, u32)| {
-        state.1 == full && target.map(|t| &state.0 == t).unwrap_or(true)
-    };
+    let done =
+        |state: &(Perm, u32)| state.1 == full && target.map(|t| &state.0 == t).unwrap_or(true);
     if done(&start) {
         return Some(vec![]);
     }
@@ -84,7 +83,11 @@ impl<'n> TupleRouter<'n> {
                 reason: "some super-symbol can never reach the leftmost position".into(),
             }
         })?;
-        Ok(TupleRouter { tn, ndist, schedule })
+        Ok(TupleRouter {
+            tn,
+            ndist,
+            schedule,
+        })
     }
 
     fn nd(&self, a: u32, b: u32) -> u16 {
@@ -273,7 +276,7 @@ mod tests {
         let router = TupleRouter::new(&tn).unwrap();
         let path = router.route(0, (1 << 20) - 1).unwrap();
         assert!(path.len() - 1 <= 24); // (4+1)·5 − 1
-        // verify the walk against locally computed neighbor sets
+                                       // verify the walk against locally computed neighbor sets
         let g_small_check = |a: u32, b: u32| -> bool {
             let (oa, ta) = tn.decode(a);
             let (_, tb) = tn.decode(b);

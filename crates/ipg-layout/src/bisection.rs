@@ -24,7 +24,10 @@ pub fn cut_size(g: &Csr, side: &[bool]) -> u32 {
 /// `⌈n/2⌉ / ⌊n/2⌋` are used.
 pub fn bisection_width_exact(g: &Csr) -> u32 {
     let n = g.node_count();
-    assert!((2..=24).contains(&n), "exact bisection is exponential; n ≤ 24");
+    assert!(
+        (2..=24).contains(&n),
+        "exact bisection is exponential; n ≤ 24"
+    );
     let half = n / 2;
     let mut best = u32::MAX;
     let mut side = vec![false; n];

@@ -77,7 +77,9 @@ fn normalize(x: &mut [f64]) {
 pub fn bisection_lower_bound(g: &Csr, iters: usize) -> u64 {
     let lambda2 = algebraic_connectivity(g, iters);
     // guard against tiny numeric overestimates
-    ((lambda2 - 1e-9) * g.node_count() as f64 / 4.0).ceil().max(0.0) as u64
+    ((lambda2 - 1e-9) * g.node_count() as f64 / 4.0)
+        .ceil()
+        .max(0.0) as u64
 }
 
 #[cfg(test)]

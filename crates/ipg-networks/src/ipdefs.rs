@@ -46,10 +46,7 @@ pub fn debruijn_ip(n: usize) -> IpGraphSpec {
     IpGraphSpec {
         name: format!("ip-DB{n}"),
         seed: Label::repeat_block(&[1, 2], n),
-        generators: vec![
-            Generator::new("L", shift),
-            Generator::new("L'", shift_flip),
-        ],
+        generators: vec![Generator::new("L", shift), Generator::new("L'", shift_flip)],
     }
 }
 
@@ -79,7 +76,13 @@ pub fn rotator_ip(n: usize) -> IpGraphSpec {
         .map(|i| {
             // prefix rotation: x1 x2 … xi ↦ x2 … xi x1
             let image: Vec<u16> = (0..n)
-                .map(|p| if p < i { ((p + 1) % i) as u16 } else { p as u16 })
+                .map(|p| {
+                    if p < i {
+                        ((p + 1) % i) as u16
+                    } else {
+                        p as u16
+                    }
+                })
                 .collect();
             Generator::new(
                 format!("R{i}"),
@@ -158,7 +161,7 @@ pub fn ring_ip(n: usize) -> IpGraphSpec {
 pub fn ccc_ip(n: usize) -> IpGraphSpec {
     assert!(n >= 3);
     let k = 2 * n + n; // n pairs + marker track
-    // pairs rotate; marker track static
+                       // pairs rotate; marker track static
     let mut f_img: Vec<u16> = Vec::with_capacity(k);
     for j in 0..2 * n {
         f_img.push(((j + 2) % (2 * n)) as u16);

@@ -1,0 +1,240 @@
+//! Fixed-bucket histogram with HDR-style octave sub-bucketing.
+//!
+//! Values 0..=63 land in exact buckets; larger values use 8 sub-buckets
+//! per power-of-two octave, giving ≤12.5 % relative error up to
+//! `u64::MAX`. Percentiles are read back as the midpoint of the bucket
+//! containing the target rank, clamped to the observed min/max so small
+//! samples report exact order statistics more often than not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Exact buckets below this value.
+const LINEAR: u64 = 64;
+/// Sub-buckets per octave above the linear range (8 = 3 mantissa bits).
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+/// 64 linear buckets + (64 - 6 octaves) * 8 sub-buckets.
+const BUCKETS: usize = LINEAR as usize + ((64 - 6) << SUB_BITS);
+
+struct Cells {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle. No-op when obtained from a disabled
+/// [`Obs`](crate::Obs).
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<Cells>>);
+
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as u64; // >= 6
+        let sub = (v >> (octave - SUB_BITS as u64)) & (SUB - 1);
+        (LINEAR + ((octave - 6) << SUB_BITS) + sub) as usize
+    }
+}
+
+/// Midpoint of the value range covered by bucket `i`.
+fn bucket_mid(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR {
+        return i;
+    }
+    let octave = 6 + ((i - LINEAR) >> SUB_BITS);
+    let sub = (i - LINEAR) & (SUB - 1);
+    let lo = (1u64 << octave) + (sub << (octave - SUB_BITS as u64));
+    let width = 1u64 << (octave - SUB_BITS as u64);
+    lo + width / 2
+}
+
+impl Histogram {
+    pub(crate) fn noop() -> Histogram {
+        Histogram(None)
+    }
+
+    pub(crate) fn active() -> Histogram {
+        // Box the bucket array directly; [AtomicU64; N] has no Default
+        // for N this large, so build it from a zeroed Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = v.into_boxed_slice().try_into().ok().unwrap();
+        Histogram(Some(Arc::new(Cells {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        })))
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let Some(c) = &self.0 else { return };
+        c.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded values (0.0 when empty or disabled).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty or disabled).
+    pub fn min(&self) -> u64 {
+        match &self.0 {
+            Some(c) if c.count.load(Ordering::Relaxed) > 0 => c.min.load(Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Largest recorded value (0 when empty or disabled).
+    pub fn max(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.max.load(Ordering::Relaxed))
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the midpoint of the bucket
+    /// containing the `ceil(q * count)`-th smallest observation, clamped
+    /// to the observed min/max. Returns 0 when empty or disabled.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let Some(c) = &self.0 else { return 0 };
+        let n = c.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in c.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_mid(i)
+                    .clamp(c.min.load(Ordering::Relaxed), c.max.load(Ordering::Relaxed));
+            }
+        }
+        c.max.load(Ordering::Relaxed)
+    }
+
+    /// Deterministic JSON summary: count, sum, min, max, mean, p50, p95,
+    /// p99.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            self.count(),
+            self.sum(),
+            self.min(),
+            self.max(),
+            crate::json::float(self.mean()),
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        let h = Histogram::active();
+        for v in 0..64u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        // p50 over 0..=63: rank 32 -> value 31 exactly (linear buckets)
+        assert_eq!(h.percentile(0.5), 31);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 63);
+    }
+
+    #[test]
+    fn octave_range_bounded_relative_error() {
+        let h = Histogram::active();
+        for v in [100u64, 1_000, 10_000, 1_000_000, 123_456_789] {
+            let solo = Histogram::active();
+            solo.observe(v);
+            let p = solo.percentile(0.5);
+            let err = (p as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 0.125, "v={v} p={p} err={err}");
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let h = Histogram::active();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "q={q} p={p} last={last}");
+            last = p;
+        }
+        // p50 of 1..=1000 should be near 500 (within bucket error)
+        let p50 = h.percentile(0.5);
+        assert!((437..=563).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn bucket_roundtrip_covers_extremes() {
+        for v in [0, 1, 63, 64, 65, 127, 128, u64::MAX / 2, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(i < BUCKETS, "v={v} i={i}");
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn summary_shape() {
+        let h = Histogram::active();
+        h.observe(5);
+        h.observe(7);
+        let s = h.summary_json();
+        assert!(s.contains("\"count\":2"));
+        assert!(s.contains("\"sum\":12"));
+        assert!(s.contains("\"mean\":6.0"));
+        assert!(s.contains("\"p50\":"));
+    }
+
+    #[test]
+    fn empty_and_disabled_read_zero() {
+        for h in [Histogram::active(), Histogram::noop()] {
+            assert_eq!(h.count(), 0);
+            assert_eq!(h.min(), 0);
+            assert_eq!(h.max(), 0);
+            assert_eq!(h.percentile(0.5), 0);
+            assert_eq!(h.mean(), 0.0);
+        }
+    }
+}

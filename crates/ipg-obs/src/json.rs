@@ -1,0 +1,60 @@
+//! Minimal JSON fragment helpers. This crate writes JSON lines directly
+//! (no serde dependency) so the disabled path stays dependency-free and
+//! the output byte layout is fully under our control for the
+//! determinism contract.
+
+/// Quote and escape `s` as a JSON string literal.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float as JSON: always contains `.` or `e` so it re-parses
+/// as a float; non-finite values become `null`.
+pub fn float(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes() {
+        assert_eq!(quote("ab"), "\"ab\"");
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(quote("x\ny"), "\"x\\ny\"");
+        assert_eq!(quote("\u{01}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        assert_eq!(float(1.0), "1.0");
+        assert_eq!(float(0.25), "0.25");
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+    }
+}

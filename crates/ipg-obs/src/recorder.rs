@@ -1,0 +1,109 @@
+//! Sinks for manifest lines.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Destination for JSON-lines manifest records.
+pub trait Recorder: Send {
+    /// Write one record (`line` is a complete JSON object, no newline).
+    fn record(&mut self, line: &str);
+
+    /// Flush any buffered output.
+    fn flush(&mut self);
+}
+
+/// Discards every record. The explicit form of the disabled path, for
+/// code that wants a functioning metrics registry without output.
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _line: &str) {}
+    fn flush(&mut self) {}
+}
+
+/// Appends records to a file, one JSON object per line.
+pub struct JsonlRecorder {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlRecorder {
+    /// Create (or truncate) the manifest file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<JsonlRecorder> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(JsonlRecorder {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&mut self, line: &str) {
+        // Manifest writes must never perturb the run: swallow I/O errors.
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Collects records in memory; cloneable so tests can keep a reading
+/// handle while the [`Obs`](crate::Obs) owns the writing one.
+#[derive(Clone, Default)]
+pub struct MemRecorder {
+    buf: Arc<Mutex<String>>,
+}
+
+impl MemRecorder {
+    /// Fresh empty buffer.
+    pub fn new() -> MemRecorder {
+        MemRecorder::default()
+    }
+
+    /// Everything recorded so far (newline-terminated lines).
+    pub fn contents(&self) -> String {
+        self.buf.lock().unwrap().clone()
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn record(&mut self, line: &str) {
+        let mut buf = self.buf.lock().unwrap();
+        buf.push_str(line);
+        buf.push('\n');
+    }
+
+    fn flush(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_recorder_accumulates() {
+        let mem = MemRecorder::new();
+        let mut writer = mem.clone();
+        writer.record("{\"a\":1}");
+        writer.record("{\"b\":2}");
+        assert_eq!(mem.contents(), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_lines() {
+        let dir = std::env::temp_dir().join("ipg_obs_test");
+        let path = dir.join("m.jsonl");
+        {
+            let mut r = JsonlRecorder::create(&path).unwrap();
+            r.record("{\"x\":1}");
+            r.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"x\":1}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

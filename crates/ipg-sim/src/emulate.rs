@@ -229,7 +229,10 @@ mod tests {
             .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) >> 17)
             .collect();
         let report = emu.bitonic_sort(&mut keys);
-        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "not sorted: {keys:?}");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "not sorted: {keys:?}"
+        );
         assert_eq!(report.steps, 6 * 7 / 2);
     }
 

@@ -10,6 +10,7 @@
 
 use crate::table::RoutingTable;
 use ipg_core::graph::Csr;
+use ipg_obs::Obs;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -94,12 +95,21 @@ impl Default for SimConfig {
 }
 
 /// Aggregated results of one run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimResult {
     /// Tagged packets injected during the measurement window.
     pub injected: u64,
     /// Tagged packets delivered before the run ended.
     pub delivered: u64,
+    /// Packets delivered that were injected *outside* the measurement
+    /// window (warmup or drain traffic): drained, but not measured.
+    pub unmeasured_delivered: u64,
+    /// Tagged packets still buffered when the run ended. Together with
+    /// `delivered` this accounts for every tagged injection:
+    /// `injected == delivered + in_flight_at_end`, so a shortfall in
+    /// `delivered` is attributable to saturation backlog, not to packets
+    /// silently vanishing with the measurement window.
+    pub in_flight_at_end: u64,
     /// Mean latency (cycles) of delivered tagged packets.
     pub avg_latency: f64,
     /// Max latency of delivered tagged packets.
@@ -137,8 +147,18 @@ impl Simulator {
     /// Build a simulator for graph `g`. `module(u)` gives each node's
     /// module id (used to classify links as on-/off-module).
     pub fn new(g: &Csr, module: impl Fn(u32) -> u32, cfg: &SimConfig) -> Self {
+        Self::new_instrumented(g, module, cfg, &Obs::disabled())
+    }
+
+    /// [`Simulator::new`] with observability for the routing-table build.
+    pub fn new_instrumented(
+        g: &Csr,
+        module: impl Fn(u32) -> u32,
+        cfg: &SimConfig,
+        obs: &Obs,
+    ) -> Self {
         let n = g.node_count();
-        let table = RoutingTable::new(g);
+        let table = RoutingTable::new_instrumented(g, obs);
         let mut links = Vec::with_capacity(g.arc_count());
         let mut link_of = Vec::with_capacity(n + 1);
         link_of.push(0u32);
@@ -179,12 +199,7 @@ impl Simulator {
 
     /// Pick a destination for a packet injected at `src` (None when the
     /// pattern maps `src` to itself).
-    fn pick_destination(
-        &self,
-        src: u32,
-        traffic: Traffic,
-        rng: &mut SmallRng,
-    ) -> Option<u32> {
+    fn pick_destination(&self, src: u32, traffic: Traffic, rng: &mut SmallRng) -> Option<u32> {
         let n = self.n as u32;
         let uniform = |rng: &mut SmallRng| {
             let mut dst = rng.gen_range(0..n - 1);
@@ -222,10 +237,33 @@ impl Simulator {
 
     /// Run the simulation and collect statistics.
     pub fn run(&mut self, cfg: &SimConfig) -> SimResult {
+        self.run_instrumented(cfg, &Obs::disabled(), 0)
+    }
+
+    /// [`Simulator::run`] with observability. When `obs` is enabled the
+    /// run emits phase spans (`run/warmup`, `run/measure`, `run/drain`),
+    /// packet counters, a tagged-latency histogram, per-link utilization
+    /// and queue-depth high-water histograms, and — when `window > 0` —
+    /// a `window` metrics snapshot every `window` cycles. A disabled
+    /// `obs` makes this identical to [`Simulator::run`].
+    pub fn run_instrumented(&mut self, cfg: &SimConfig, obs: &Obs, window: u32) -> SimResult {
+        let run_span = obs.span("run");
+        let c_injected = obs.counter("engine.injected_tagged");
+        let c_injected_all = obs.counter("engine.injected_total");
+        let c_delivered = obs.counter("engine.delivered_tagged");
+        let c_unmeasured = obs.counter("engine.delivered_unmeasured");
+        let h_latency = obs.histogram("engine.latency_cycles");
+        let track = obs.enabled();
+        // per-link occupancy cycles and queue-depth high-water marks,
+        // folded into histograms at the end of the run
+        let mut link_busy = vec![0u64; if track { self.links.len() } else { 0 }];
+        let mut queue_hw = vec![0u32; if track { self.links.len() } else { 0 }];
+
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let total_cycles = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles;
         let mut injected = 0u64;
         let mut delivered = 0u64;
+        let mut unmeasured_delivered = 0u64;
         let mut latency_sum = 0u64;
         let mut max_latency = 0u32;
         let n = self.n;
@@ -240,13 +278,8 @@ impl Simulator {
         // service interval k serves one message per k·L cycles; the head
         // advances after k (cut-through) or k·L (store-and-forward)
         // cycles — slow off-module signaling, §5.4.
-        let max_interval = self
-            .links
-            .iter()
-            .map(|l| l.interval)
-            .max()
-            .unwrap_or(1) as usize
-            * msg_len as usize;
+        let max_interval =
+            self.links.iter().map(|l| l.interval).max().unwrap_or(1) as usize * msg_len as usize;
         let mut in_flight: Vec<Vec<(u32, Packet)>> =
             (0..=max_interval).map(|_| Vec::new()).collect();
         // Cut-through: the tail catches up with the header once, at the
@@ -256,18 +289,29 @@ impl Simulator {
             Switching::CutThrough => (msg_len - 1) * cfg.on_module_interval,
         };
 
+        let mut phase_span = Some(obs.span("warmup"));
         for cycle in 0..total_cycles {
+            if cycle == cfg.warmup_cycles {
+                phase_span.take();
+                phase_span = Some(obs.span("measure"));
+            }
+            if cycle == cfg.warmup_cycles + cfg.measure_cycles {
+                phase_span.take();
+                phase_span = Some(obs.span("drain"));
+            }
             // 1. injection
             for src in 0..n as u32 {
                 if rng.gen::<f64>() < cfg.injection_rate {
                     let Some(dst) = self.pick_destination(src, cfg.traffic, &mut rng) else {
                         continue;
                     };
-                    let tagged =
-                        cycle >= cfg.warmup_cycles && cycle < cfg.warmup_cycles + cfg.measure_cycles;
+                    let tagged = cycle >= cfg.warmup_cycles
+                        && cycle < cfg.warmup_cycles + cfg.measure_cycles;
                     if tagged {
                         injected += 1;
+                        c_injected.incr();
                     }
+                    c_injected_all.incr();
                     let hop = self.table.next_hop(src, dst);
                     let li = self.link_toward(src, hop);
                     self.links[li].queue.push_back(Packet {
@@ -275,14 +319,20 @@ impl Simulator {
                         born: cycle,
                         tagged,
                     });
+                    if track {
+                        queue_hw[li] = queue_hw[li].max(self.links[li].queue.len() as u32);
+                    }
                 }
             }
             // 2. each ready link launches its head message
-            for link in self.links.iter_mut() {
+            for (li, link) in self.links.iter_mut().enumerate() {
                 if link.next_free <= cycle as u64 && !link.queue.is_empty() {
                     let pkt = link.queue.pop_front().expect("checked non-empty");
                     // occupancy: the whole message crosses the link
                     link.next_free = cycle as u64 + link.interval as u64 * msg_len as u64;
+                    if track {
+                        link_busy[li] += link.interval as u64 * msg_len as u64;
+                    }
                     // forward progress of the head
                     let advance = match cfg.switching {
                         Switching::StoreForward => link.interval * msg_len,
@@ -302,18 +352,60 @@ impl Simulator {
                         let lat = cycle + 1 - pkt.born + tail_penalty;
                         latency_sum += lat as u64;
                         max_latency = max_latency.max(lat);
+                        c_delivered.incr();
+                        h_latency.observe(lat as u64);
+                    } else {
+                        unmeasured_delivered += 1;
+                        c_unmeasured.incr();
                     }
                 } else {
                     let hop = self.table.next_hop(arrived_at, pkt.dst);
                     let nli = self.link_toward(arrived_at, hop);
                     self.links[nli].queue.push_back(pkt);
+                    if track {
+                        queue_hw[nli] = queue_hw[nli].max(self.links[nli].queue.len() as u32);
+                    }
                 }
             }
+            if window > 0 && (cycle + 1) % window == 0 {
+                obs.emit_window(cycle as u64 + 1);
+            }
         }
+        phase_span.take();
+
+        // tagged packets still buffered (link queues or the in-flight
+        // ring) when the run ended
+        let in_flight_at_end = self
+            .links
+            .iter()
+            .flat_map(|l| l.queue.iter())
+            .chain(in_flight.iter().flatten().map(|(_, p)| p))
+            .filter(|p| p.tagged)
+            .count() as u64;
+        debug_assert_eq!(injected, delivered + in_flight_at_end);
+
+        if track {
+            obs.counter("engine.in_flight_at_end").add(in_flight_at_end);
+            obs.counter("engine.links").add(self.links.len() as u64);
+            let h_util = obs.histogram("engine.link_utilization_pct");
+            let g_util = obs.gauge("engine.link_utilization_max_pct");
+            let h_qhw = obs.histogram("engine.queue_depth_high_water");
+            let g_qhw = obs.gauge("engine.queue_depth_max");
+            for (busy, hw) in link_busy.iter().zip(&queue_hw) {
+                let pct = (busy * 100 / total_cycles.max(1) as u64).min(100);
+                h_util.observe(pct);
+                g_util.record_max(pct);
+                h_qhw.observe(*hw as u64);
+                g_qhw.record_max(*hw as u64);
+            }
+        }
+        drop(run_span);
 
         SimResult {
             injected,
             delivered,
+            unmeasured_delivered,
+            in_flight_at_end,
             avg_latency: if delivered == 0 {
                 0.0
             } else {
@@ -332,10 +424,29 @@ pub fn run_uniform(g: &Csr, cfg: &SimConfig) -> SimResult {
     Simulator::new(g, |_| 0, cfg).run(cfg)
 }
 
+/// [`run_uniform`] with observability (see
+/// [`Simulator::run_instrumented`]).
+pub fn run_uniform_instrumented(g: &Csr, cfg: &SimConfig, obs: &Obs, window: u32) -> SimResult {
+    Simulator::new_instrumented(g, |_| 0, cfg, obs).run_instrumented(cfg, obs, window)
+}
+
 /// Convenience: build and run with a module map (off-module links use
 /// `cfg.off_module_interval`).
 pub fn run_clustered(g: &Csr, module: &[u32], cfg: &SimConfig) -> SimResult {
     Simulator::new(g, |u| module[u as usize], cfg).run(cfg)
+}
+
+/// [`run_clustered`] with observability (see
+/// [`Simulator::run_instrumented`]).
+pub fn run_clustered_instrumented(
+    g: &Csr,
+    module: &[u32],
+    cfg: &SimConfig,
+    obs: &Obs,
+    window: u32,
+) -> SimResult {
+    Simulator::new_instrumented(g, |u| module[u as usize], cfg, obs)
+        .run_instrumented(cfg, obs, window)
 }
 
 #[cfg(test)]
@@ -427,7 +538,11 @@ mod tests {
         };
         let r = run_uniform(&g, &cfg);
         assert!(r.delivered > 0);
-        assert!((r.avg_latency - 6.0).abs() < 0.5, "latency {}", r.avg_latency);
+        assert!(
+            (r.avg_latency - 6.0).abs() < 0.5,
+            "latency {}",
+            r.avg_latency
+        );
     }
 
     #[test]
@@ -450,11 +565,17 @@ mod tests {
             ..light_cfg()
         };
         let uni = run_uniform(&g, &heavy);
+        // The hotspot must be saturated by a margin the drain phase cannot
+        // clear: node 0 has 6 ingress links in Q6, so offered hotspot load
+        // is 64 nodes x 0.2 rate x fraction. At fraction 0.5 that is 6.4
+        // pkts/cycle — within noise of the 6/cycle capacity, and the
+        // backlog drains fully. At 0.8 it is ~10.2 pkts/cycle, well past
+        // saturation (cf. paper Sec. 5's saturation-throughput setup).
         let hot = run_uniform(
             &g,
             &SimConfig {
                 traffic: Traffic::Hotspot {
-                    fraction: 0.5,
+                    fraction: 0.8,
                     target: 0,
                 },
                 ..heavy

@@ -31,5 +31,5 @@ pub mod wormhole;
 
 pub use emulate::HostEmulator;
 pub use engine::{SimConfig, SimResult, Simulator, Switching, Traffic};
-pub use wormhole::{WormholeConfig, WormholeOutcome, WormholeSim};
 pub use table::RoutingTable;
+pub use wormhole::{WormholeConfig, WormholeOutcome, WormholeSim};

@@ -7,6 +7,7 @@
 
 use ipg_core::algo;
 use ipg_core::graph::Csr;
+use ipg_obs::Obs;
 
 /// Dense next-hop table: `next[u·n + d]` is the neighbor of `u` on a
 /// shortest path to `d` (or `u` itself when `u == d` / unreachable).
@@ -20,11 +21,27 @@ impl RoutingTable {
     /// time, `O(n²)` space — sized for simulation-scale networks
     /// (≤ ~20k nodes).
     pub fn new(g: &Csr) -> Self {
+        Self::new_instrumented(g, &Obs::disabled())
+    }
+
+    /// [`RoutingTable::new`] with observability: a `table_build` span,
+    /// node/entry counters, and a per-destination BFS counter.
+    pub fn new_instrumented(g: &Csr, obs: &Obs) -> Self {
+        let _span = obs.span("table_build");
         let n = g.node_count();
         assert!(n <= 65_536, "routing table is O(n^2); graph too large");
-        let rev = if g.is_symmetric() { g.clone() } else { g.reversed() };
+        obs.counter("table.nodes").add(n as u64);
+        obs.counter("table.arcs").add(g.arc_count() as u64);
+        obs.counter("table.entries").add((n * n) as u64);
+        let bfs_runs = obs.counter("table.bfs_runs");
+        let rev = if g.is_symmetric() {
+            g.clone()
+        } else {
+            g.reversed()
+        };
         let mut next = vec![0u32; n * n];
         for d in 0..n as u32 {
+            bfs_runs.incr();
             // dist[u] = distance from u to d (BFS from d over reversed arcs)
             let dist = algo::bfs(&rev, d);
             for u in 0..n as u32 {

@@ -19,6 +19,7 @@
 
 use crate::table::RoutingTable;
 use ipg_core::graph::Csr;
+use ipg_obs::{Counter, Histogram, Obs};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -160,8 +161,14 @@ pub struct WormholeSim {
 impl WormholeSim {
     /// Build for a graph.
     pub fn new(g: &Csr) -> Self {
+        Self::new_instrumented(g, &Obs::disabled())
+    }
+
+    /// [`WormholeSim::new`] with observability for the routing-table
+    /// build.
+    pub fn new_instrumented(g: &Csr, obs: &Obs) -> Self {
         let n = g.node_count();
-        let table = RoutingTable::new(g);
+        let table = RoutingTable::new_instrumented(g, obs);
         let mut link_from = Vec::with_capacity(g.arc_count());
         let mut link_to = Vec::with_capacity(g.arc_count());
         let mut link_of = Vec::with_capacity(n + 1);
@@ -195,6 +202,22 @@ impl WormholeSim {
 
     /// Run the simulation.
     pub fn run(&self, cfg: &WormholeConfig) -> WormholeOutcome {
+        self.run_instrumented(cfg, &Obs::disabled(), 0)
+    }
+
+    /// [`WormholeSim::run`] with observability: a `wormhole_run` span,
+    /// packet counters, a latency histogram, per-link utilization and
+    /// per-VC buffer high-water histograms, and — when `window > 0` — a
+    /// `window` metrics snapshot every `window` cycles. A disabled `obs`
+    /// makes this identical to [`WormholeSim::run`].
+    pub fn run_instrumented(
+        &self,
+        cfg: &WormholeConfig,
+        obs: &Obs,
+        window: u32,
+    ) -> WormholeOutcome {
+        let span = obs.span("wormhole_run");
+        let track = obs.enabled();
         let mut run = Run {
             sim: self,
             cfg,
@@ -211,8 +234,47 @@ impl WormholeSim {
             injected: 0,
             delivered: 0,
             latency_sum: 0,
+            c_injected: obs.counter("wormhole.injected"),
+            c_delivered: obs.counter("wormhole.delivered"),
+            h_latency: obs.histogram("wormhole.latency_cycles"),
+            link_busy: vec![0u64; if track { self.link_from.len() } else { 0 }],
+            vc_buffer_hw: vec![
+                0u32;
+                if track {
+                    self.link_from.len() * cfg.vcs
+                } else {
+                    0
+                }
+            ],
+            track,
         };
-        run.execute()
+        let outcome = run.execute(obs, window);
+        if track {
+            obs.counter("wormhole.links")
+                .add(self.link_from.len() as u64);
+            if outcome.is_deadlocked() {
+                obs.counter("wormhole.deadlocked").incr();
+            }
+            let cycles = match &outcome {
+                WormholeOutcome::Completed(_) => cfg.cycles,
+                WormholeOutcome::Deadlocked { at_cycle, .. } => at_cycle + 1,
+            };
+            let h_util = obs.histogram("wormhole.link_utilization_pct");
+            let g_util = obs.gauge("wormhole.link_utilization_max_pct");
+            for &busy in &run.link_busy {
+                let pct = (busy * 100 / cycles.max(1) as u64).min(100);
+                h_util.observe(pct);
+                g_util.record_max(pct);
+            }
+            let h_hw = obs.histogram("wormhole.vc_buffer_high_water");
+            let g_hw = obs.gauge("wormhole.vc_buffer_max");
+            for &hw in &run.vc_buffer_hw {
+                h_hw.observe(hw as u64);
+                g_hw.record_max(hw as u64);
+            }
+        }
+        drop(span);
+        outcome
     }
 }
 
@@ -228,6 +290,14 @@ struct Run<'a> {
     injected: u64,
     delivered: u64,
     latency_sum: u64,
+    c_injected: Counter,
+    c_delivered: Counter,
+    h_latency: Histogram,
+    /// cycles each physical link carried a flit (observability only).
+    link_busy: Vec<u64>,
+    /// per-(link, vc) buffer occupancy high-water marks.
+    vc_buffer_hw: Vec<u32>,
+    track: bool,
 }
 
 impl Run<'_> {
@@ -267,6 +337,7 @@ impl Run<'_> {
                 });
                 self.source[src as usize].push_back((pkt, self.cfg.packet_flits));
                 self.injected += 1;
+                self.c_injected.incr();
             }
         }
     }
@@ -369,9 +440,7 @@ impl Run<'_> {
                     continue; // consumed by the ejection stage
                 }
                 let hop = self.sim.table.next_hop(u, info.dst);
-                if self.sim.link_toward(u, hop) != link
-                    || self.want_vc(info.head_hops) != out_vc
-                {
+                if self.sim.link_toward(u, hop) != link || self.want_vc(info.head_hops) != out_vc {
                     continue;
                 }
                 let flit = self.state[iidx].buffer.pop_front().expect("checked");
@@ -395,6 +464,11 @@ impl Run<'_> {
             self.state[sidx].owner = None;
         }
         self.state[sidx].buffer.push_back(flit);
+        if self.track {
+            self.link_busy[link as usize] += 1;
+            self.vc_buffer_hw[sidx] =
+                self.vc_buffer_hw[sidx].max(self.state[sidx].buffer.len() as u32);
+        }
         true
     }
 
@@ -413,8 +487,10 @@ impl Run<'_> {
                     moved = true;
                     if flit.is_tail {
                         self.delivered += 1;
-                        self.latency_sum +=
-                            (cycle + 1 - self.packets[flit.pkt as usize].born) as u64;
+                        let lat = (cycle + 1 - self.packets[flit.pkt as usize].born) as u64;
+                        self.latency_sum += lat;
+                        self.c_delivered.incr();
+                        self.h_latency.observe(lat);
                     }
                 }
             }
@@ -422,7 +498,7 @@ impl Run<'_> {
         moved
     }
 
-    fn execute(&mut self) -> WormholeOutcome {
+    fn execute(&mut self, obs: &Obs, window: u32) -> WormholeOutcome {
         let mut idle = 0u32;
         for cycle in 0..self.cfg.cycles {
             self.inject(cycle);
@@ -431,6 +507,9 @@ impl Run<'_> {
                 moved |= self.step_link(link);
             }
             moved |= self.eject(cycle);
+            if window > 0 && (cycle + 1) % window == 0 {
+                obs.emit_window(cycle as u64 + 1);
+            }
 
             let buffered: usize = self.state.iter().map(|s| s.buffer.len()).sum();
             if moved {
@@ -487,7 +566,11 @@ mod tests {
             s.injected
         );
         // wormhole latency ≈ distance + packet length
-        assert!(s.avg_latency > 4.0 && s.avg_latency < 30.0, "{}", s.avg_latency);
+        assert!(
+            s.avg_latency > 4.0 && s.avg_latency < 30.0,
+            "{}",
+            s.avg_latency
+        );
     }
 
     #[test]
@@ -579,16 +662,14 @@ mod tests {
             cycles: 4_000,
             ..WormholeConfig::default()
         };
-        let short = sim
-            .run(&WormholeConfig {
-                packet_flits: 2,
-                ..base.clone()
-            });
-        let long = sim
-            .run(&WormholeConfig {
-                packet_flits: 12,
-                ..base
-            });
+        let short = sim.run(&WormholeConfig {
+            packet_flits: 2,
+            ..base.clone()
+        });
+        let long = sim.run(&WormholeConfig {
+            packet_flits: 12,
+            ..base
+        });
         assert!(
             long.stats().avg_latency > short.stats().avg_latency + 5.0,
             "long {} vs short {}",

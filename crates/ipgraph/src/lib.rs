@@ -29,8 +29,8 @@
 //! ```
 
 pub use ipg_cluster as cluster;
-pub use ipg_layout as layout;
 pub use ipg_core as core;
+pub use ipg_layout as layout;
 pub use ipg_networks as networks;
 pub use ipg_sim as sim;
 
@@ -44,14 +44,14 @@ pub mod prelude {
     pub use ipg_core::algo;
     pub use ipg_core::centrality;
     pub use ipg_core::connectivity;
-    pub use ipg_core::rank;
     pub use ipg_core::prelude::*;
+    pub use ipg_core::rank;
     pub use ipg_core::routing;
     pub use ipg_core::solve;
-    pub use ipg_core::tuple_routing::TupleRouter;
     pub use ipg_core::symmetry;
-    pub use ipg_networks::{classic, hier, ipdefs};
+    pub use ipg_core::tuple_routing::TupleRouter;
     pub use ipg_layout::{bisection, grid};
+    pub use ipg_networks::{classic, hier, ipdefs};
     pub use ipg_sim::emulate::HostEmulator;
     pub use ipg_sim::engine::{run_clustered, run_uniform, SimConfig, Switching, Traffic};
 }

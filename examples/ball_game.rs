@@ -34,7 +34,11 @@ fn show_example(title: &str, spec: &IpGraphSpec, group_width: usize) -> Result<(
 fn main() -> Result<()> {
     // The 6-star of §2: distinct balls 1..6, five permissible moves
     // (1,i). 720 states — every arrangement of the six balls.
-    show_example("6-star (Cayley graph: all balls distinct)", &IpGraphSpec::star(6), 6)?;
+    show_example(
+        "6-star (Cayley graph: all balls distinct)",
+        &IpGraphSpec::star(6),
+        6,
+    )?;
 
     // The §2 IP example: two identical sets of balls 1,2,3; moves (1,2),
     // (1,3) and "rotate the two halves". 36 states, not 720: identical

@@ -13,10 +13,7 @@ struct Candidate {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let target: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4096);
+    let target: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4096);
     let cap: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
     println!("planning a ~{target}-processor machine, ≤ {cap} processors per chip\n");
 
@@ -116,10 +113,16 @@ fn main() {
             best.summary.name
         );
     }
-    let pin_best = candidates
-        .iter()
-        .min_by(|a, b| a.summary.id_cost().partial_cmp(&b.summary.id_cost()).unwrap());
+    let pin_best = candidates.iter().min_by(|a, b| {
+        a.summary
+            .id_cost()
+            .partial_cmp(&b.summary.id_cost())
+            .unwrap()
+    });
     if let Some(best) = pin_best {
-        println!("best under pin constraints (ID-cost):   {}", best.summary.name);
+        println!(
+            "best under pin constraints (ID-cost):   {}",
+            best.summary.name
+        );
     }
 }

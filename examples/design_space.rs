@@ -22,7 +22,8 @@ fn measure(tn: &ipgraph::core::superip::TupleNetwork) -> Row {
 }
 
 fn main() {
-    let nuclei: Vec<(&str, fn() -> Csr)> = vec![
+    type NucleusCtor = fn() -> Csr;
+    let nuclei: Vec<(&str, NucleusCtor)> = vec![
         ("Q2", || classic::hypercube(2)),
         ("Q3", || classic::hypercube(3)),
         ("FQ3", || classic::folded_hypercube(3)),
@@ -41,10 +42,12 @@ fn main() {
     }
 
     rows.sort_by(|a, b| {
-        a.summary
-            .nodes
-            .cmp(&b.summary.nodes)
-            .then(a.summary.ii_cost().partial_cmp(&b.summary.ii_cost()).unwrap())
+        a.summary.nodes.cmp(&b.summary.nodes).then(
+            a.summary
+                .ii_cost()
+                .partial_cmp(&b.summary.ii_cost())
+                .unwrap(),
+        )
     });
 
     println!(

@@ -22,8 +22,11 @@ fn main() -> Result<()> {
     // 2. Generate by breadth-first closure of the seed under the
     //    generators.
     let ip = ip_spec.generate()?;
-    println!("\ngenerated {} nodes (Theorem 3.2 predicts {})",
-        ip.node_count(), spec.expected_size()?);
+    println!(
+        "\ngenerated {} nodes (Theorem 3.2 predicts {})",
+        ip.node_count(),
+        spec.expected_size()?
+    );
 
     // 3. Route between two nodes: routing = sorting the source label into
     //    the destination label (paper §4).
@@ -31,7 +34,11 @@ fn main() -> Result<()> {
     let src = ip.label(0).clone();
     let dst = ip.label(15).clone();
     let path = router.route(&src, &dst)?;
-    println!("\nroute {} -> {}:", src.display_grouped(4), dst.display_grouped(4));
+    println!(
+        "\nroute {} -> {}:",
+        src.display_grouped(4),
+        dst.display_grouped(4)
+    );
     for step in &path {
         println!("  {}", step.display_grouped(4));
     }
@@ -53,8 +60,14 @@ fn main() -> Result<()> {
     let part = partition::nucleus_partition(&tn);
     let m = imetrics::exact_metrics(&tg, &part);
     println!("\nwith one Q2 module per chip:");
-    println!("  I-degree:       {:.2}  (off-chip links per node)", m.i_degree);
-    println!("  I-diameter:     {}     (worst-case off-chip hops)", m.i_diameter);
+    println!(
+        "  I-degree:       {:.2}  (off-chip links per node)",
+        m.i_degree
+    );
+    println!(
+        "  I-diameter:     {}     (worst-case off-chip hops)",
+        m.i_diameter
+    );
     println!("  avg I-distance: {:.2}", m.avg_i_distance);
     Ok(())
 }

@@ -37,10 +37,8 @@ fn net_ring_cn() -> (String, Csr, Vec<u32>, u32) {
 fn main() {
     let rates = [0.01, 0.05, 0.1, 0.2, 0.3];
     println!(
-        "{:<18} {:>6} {}",
-        "network",
-        "λ",
-        "avg latency (uniform | unit off-chip capacity)"
+        "{:<18} {:>6} avg latency (uniform | unit off-chip capacity)",
+        "network", "λ"
     );
     for (name, g, module, off_links) in [net_hypercube(), net_ring_cn()] {
         for &rate in &rates {

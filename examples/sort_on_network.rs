@@ -69,6 +69,9 @@ fn main() {
     println!();
     println!(
         "parallel prefix of 1..=256 on HSN(2,Q4): {} steps, host time {}..{} (last prefix = {})",
-        report.steps, report.host_time_lower, report.host_time_upper, prefix[n - 1]
+        report.steps,
+        report.host_time_lower,
+        report.host_time_upper,
+        prefix[n - 1]
     );
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, build, tests. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "all checks passed"

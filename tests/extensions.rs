@@ -107,7 +107,10 @@ fn emulation_across_hosts() {
     let mut slowdowns = Vec::new();
     for (name, host) in [
         ("Q6", classic::hypercube(6)),
-        ("HSN(2,Q3)", hier::hsn(2, classic::hypercube(3), "Q3").build()),
+        (
+            "HSN(2,Q3)",
+            hier::hsn(2, classic::hypercube(3), "Q3").build(),
+        ),
         ("C64", classic::ring(64)),
     ] {
         let emu = HostEmulator::new(&host, &map);

@@ -109,10 +109,22 @@ fn simulator_on_generated_network() {
 #[test]
 fn symmetric_variants_end_to_end() {
     let cases: Vec<(SuperIpSpec, u64)> = vec![
-        (SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).symmetric(), 2 * 16),
-        (SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric(), 3 * 8),
-        (SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)).symmetric(), 6 * 8),
-        (SuperIpSpec::complete_cn(3, NucleusSpec::hypercube(1)).symmetric(), 3 * 8),
+        (
+            SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).symmetric(),
+            2 * 16,
+        ),
+        (
+            SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric(),
+            3 * 8,
+        ),
+        (
+            SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)).symmetric(),
+            6 * 8,
+        ),
+        (
+            SuperIpSpec::complete_cn(3, NucleusSpec::hypercube(1)).symmetric(),
+            3 * 8,
+        ),
     ];
     for (spec, want) in cases {
         let ip = spec.to_ip_spec().generate().unwrap();
@@ -145,7 +157,10 @@ fn quotient_network_consistency() {
 /// table / simulator machinery like any other Csr.
 #[test]
 fn ip_defined_networks_are_usable_downstream() {
-    let db = ipdefs::debruijn_ip(5).generate().unwrap().to_undirected_csr();
+    let db = ipdefs::debruijn_ip(5)
+        .generate()
+        .unwrap()
+        .to_undirected_csr();
     assert!(algo::is_connected(&db));
     let table = ipgraph::sim::table::RoutingTable::new(&db);
     let p = table.path(0, 17);

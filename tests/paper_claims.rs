@@ -50,7 +50,8 @@ fn sec2_seed_independence() {
     let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).to_ip_spec();
     let ip = spec.generate().unwrap();
     for v in [3u32, 7, 12] {
-        let respec = IpGraphSpec::new("reseed", ip.label(v).clone(), spec.generators.clone()).unwrap();
+        let respec =
+            IpGraphSpec::new("reseed", ip.label(v).clone(), spec.generators.clone()).unwrap();
         let other = respec.generate().unwrap();
         assert_eq!(other.node_count(), ip.node_count());
         assert_eq!(

@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of criterion the workspace's benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Instead of criterion's statistical analysis it runs a short
+//! warm-up, times `sample_size` batches, and prints min/median/mean
+//! per-iteration wall-clock times.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; create one per `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Match real criterion's builder API; CLI filtering is not supported,
+    /// so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 30,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run and report one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up and calibration: find an iteration count where one
+        // sample takes roughly WALL_PER_SAMPLE, so fast closures are
+        // batched and slow ones run once per sample.
+        const WALL_PER_SAMPLE: Duration = Duration::from_millis(20);
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= WALL_PER_SAMPLE || b.iters >= 1 << 20 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (WALL_PER_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            b.iters = (b.iters * grow).min(1 << 20);
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                b.elapsed = Duration::ZERO;
+                f(&mut b);
+                b.elapsed.as_secs_f64() / b.iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|x, y| x.total_cmp(y));
+
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{}/{id:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            self.name,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            per_iter.len(),
+            b.iters,
+        );
+        self
+    }
+
+    /// End the group (criterion requires this before reuse).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Re-export spot for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("us"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait (with `prop_map` and `prop_perturb`),
+//! integer-range and tuple strategies, [`Just`], `collection::vec`, and
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, deliberate for this environment:
+//! cases are generated from a *deterministic* per-test seed (the hash of
+//! the test name), so failures reproduce without a persistence file, and
+//! there is no shrinking — the failing inputs are printed instead. Case
+//! count defaults to 64 and can be raised with `PROPTEST_CASES`.
+
+use rand::rngs::SmallRng;
+pub use rand::RngCore;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The RNG handed to strategies and `prop_perturb` closures.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic RNG from a test-name seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Derive an independent child RNG (for by-value closure arguments).
+    pub fn fork(&mut self) -> TestRng {
+        TestRng::from_seed(self.0.next_u64())
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// FNV-1a hash of the test name: the per-test deterministic seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Number of cases per property (default 64; override with
+/// `PROPTEST_CASES`).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Transform generated values with access to a private RNG.
+    fn prop_perturb<U, F>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> U,
+    {
+        Perturb { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// The [`Strategy::prop_perturb`] adapter.
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value, TestRng) -> U> Strategy for Perturb<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        let v = self.inner.gen_value(rng);
+        (self.f)(v, rng.fork())
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.0.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, RngCore, Strategy, TestRng,
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` block runs
+/// [`case_count`] times with deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::from_seed($crate::seed_for(stringify!($name)));
+                for case in 0..$crate::case_count() {
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)+
+                    // The body gets clones so the originals survive for the
+                    // failure report below.
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(let $arg = ::std::clone::Clone::clone(&$arg);)+
+                            $body
+                        }),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {} of {} failed with inputs:",
+                            case + 1,
+                            stringify!($name),
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a property (panics with the rendered
+/// condition on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn maps_apply(v in crate::collection::vec(0u8..10, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn perturb_gets_private_rng(x in Just(7u32).prop_perturb(|x, mut rng| {
+            (x, rng.next_u32())
+        })) {
+            prop_assert_eq!(x.0, 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_seed(crate::seed_for("t"));
+        let mut b = TestRng::from_seed(crate::seed_for("t"));
+        let s = 0u32..1000;
+        for _ in 0..50 {
+            assert_eq!(s.gen_value(&mut a), s.gen_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the combinators the workspace actually uses —
+//! `into_par_iter` / `par_iter`, `map`, `max`, `collect`,
+//! `reduce(identity, op)`, `try_reduce(identity, op)` — with rayon's
+//! *semantics* but a sequential execution model. Sequential execution is a
+//! feature here: results are bit-for-bit deterministic and the reduction
+//! order is fixed, which the determinism tests rely on. Swapping the real
+//! rayon back in requires no source changes.
+
+pub mod iter {
+    /// The sequential stand-in for rayon's `ParallelIterator`.
+    pub struct ParIter<I: Iterator>(pub(crate) I);
+
+    impl<I: Iterator> ParIter<I> {
+        /// Map each item.
+        #[inline]
+        pub fn map<U, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+        where
+            F: FnMut(I::Item) -> U,
+        {
+            ParIter(self.0.map(f))
+        }
+
+        /// Keep items matching the predicate.
+        #[inline]
+        pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+        where
+            F: FnMut(&I::Item) -> bool,
+        {
+            ParIter(self.0.filter(f))
+        }
+
+        /// Largest item.
+        #[inline]
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.max()
+        }
+
+        /// Smallest item.
+        #[inline]
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.min()
+        }
+
+        /// Sum of all items.
+        #[inline]
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<I::Item>,
+        {
+            self.0.sum()
+        }
+
+        /// Count the items.
+        #[inline]
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        /// Collect into any `FromIterator` collection.
+        #[inline]
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<I::Item>,
+        {
+            self.0.collect()
+        }
+
+        /// Run `f` on every item.
+        #[inline]
+        pub fn for_each<F>(self, f: F)
+        where
+            F: FnMut(I::Item),
+        {
+            self.0.for_each(f)
+        }
+
+        /// Rayon-style reduce: fold from `identity()` with `op`.
+        #[inline]
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+    }
+
+    impl<I, T> ParIter<I>
+    where
+        I: Iterator<Item = Option<T>>,
+    {
+        /// Rayon-style `try_reduce` over `Option` items: `None`
+        /// short-circuits; `Some` values fold from `identity()` with `op`.
+        #[inline]
+        pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Option<T>
+        where
+            ID: Fn() -> T,
+            OP: Fn(T, T) -> Option<T>,
+        {
+            let mut acc = identity();
+            for item in self.0 {
+                acc = op(acc, item?)?;
+            }
+            Some(acc)
+        }
+    }
+
+    /// By-value conversion into a (stand-in) parallel iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Consume `self` into a parallel iterator.
+        #[inline]
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// By-reference conversion into a (stand-in) parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The underlying sequential iterator.
+        type Iter: Iterator;
+        /// Iterate `&self` in parallel.
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        #[inline]
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let (sum, cnt) = (0..100u32)
+            .into_par_iter()
+            .map(|x| (x as u64, 1u64))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(sum, 4950);
+        assert_eq!(cnt, 100);
+    }
+
+    #[test]
+    fn par_iter_on_slices() {
+        let v = vec![3u32, 1, 4, 1, 5];
+        assert_eq!(v.par_iter().map(|&x| x).max(), Some(5));
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn try_reduce_short_circuits() {
+        let ok = vec![Some(1u32), Some(2), Some(3)];
+        assert_eq!(
+            ok.into_par_iter().try_reduce(|| 0, |a, b| Some(a.max(b))),
+            Some(3)
+        );
+        let bad = vec![Some(1u32), None, Some(3)];
+        assert_eq!(
+            bad.into_par_iter().try_reduce(|| 0, |a, b| Some(a.max(b))),
+            None
+        );
+    }
+}
