@@ -9,7 +9,7 @@
 //! the test suites); this binary additionally re-verifies a few points
 //! exactly before printing.
 
-use ipg_bench::{f2, print_table, write_json};
+use ipg_bench::{f2, print_table, report};
 use ipg_cluster::analytic::{self, AnalyticPoint, NUC_FQ4, NUC_PETERSEN, NUC_Q4};
 use ipg_core::algo;
 use ipg_networks::classic;
@@ -73,7 +73,16 @@ fn exact_check() {
 }
 
 fn main() {
+    let rep = report::start("fig2_dd_cost", &[]);
     exact_check();
+    let st = rep.scaling("exact_spot_checks");
+    eprintln!(
+        "spot-check pool usage: workers={} busy={:.3}s wall={:.3}s speedup={:.2}x",
+        rayon::current_num_threads(),
+        st.busy_secs(),
+        st.wall_secs(),
+        st.effective_parallelism(),
+    );
 
     let mut pts: Vec<Fig2Point> = Vec::new();
 
@@ -158,5 +167,6 @@ fn main() {
         "claim check @ ~2^20 nodes: DD(CN)={cn:.0} DD(star)={star:.0} DD(hypercube)={cube:.0} DD(torus)={torus:.0}"
     );
 
-    write_json("fig2_dd_cost", &pts);
+    rep.json("fig2_dd_cost", &pts);
+    rep.finish();
 }

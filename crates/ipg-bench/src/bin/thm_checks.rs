@@ -10,7 +10,7 @@
 //! - §5.3 off-module link counts per node.
 //! - §3.2: HSN embeds the same-size hypercube with dilation 3.
 
-use ipg_bench::{print_table, write_json};
+use ipg_bench::{print_table, report};
 use ipg_cluster::imetrics;
 use ipg_cluster::partition::nucleus_partition;
 use ipg_core::algo;
@@ -47,6 +47,8 @@ fn check(
 }
 
 fn main() {
+    let rep = report::start("thm_checks", &[]);
+    let mut scaling: Vec<(String, rayon::pool::PoolStats)> = Vec::new();
     let mut rows: Vec<ThmRow> = Vec::new();
 
     let specs: Vec<SuperIpSpec> = vec![
@@ -130,6 +132,7 @@ fn main() {
         );
         rows.last_mut().unwrap().ok = i_deg <= spec.super_generator_count() as f64 + 1e-9;
     }
+    scaling.push(("theorem_grid".into(), rep.scaling("theorem_grid")));
 
     // Routing algorithm attains the diameter (worst pair) — HSN(2,Q2)
     {
@@ -151,6 +154,10 @@ fn main() {
             worst,
         );
     }
+    scaling.push((
+        "routing_worst_case".into(),
+        rep.scaling("routing_worst_case"),
+    ));
 
     // §5.3 off-module links per node (max, under nucleus packing)
     let off_module_max = |tn: &TupleNetwork| -> usize {
@@ -204,6 +211,8 @@ fn main() {
         );
     }
 
+    scaling.push(("off_module_links".into(), rep.scaling("off_module_links")));
+
     // §3.2 embedding: HSN(l, Q_n) ⊇ Q_{l·n} with dilation 3
     for (l, n) in [(2usize, 2usize), (2, 3), (3, 2)] {
         let tn = hier::hsn(l, classic::hypercube(n), &format!("Q{n}"));
@@ -224,6 +233,7 @@ fn main() {
             },
         );
     }
+    scaling.push(("embedding".into(), rep.scaling("embedding")));
 
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -240,9 +250,28 @@ fn main() {
     println!("== Theorem and §5.3 claim checks ==");
     print_table(&["network", "check", "paper", "measured", ""], &table);
 
+    println!();
+    println!(
+        "== Pool scaling (workers = {}) ==",
+        rayon::current_num_threads()
+    );
+    let scale_table: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|(phase, st)| {
+            vec![
+                phase.clone(),
+                format!("{:.3}", st.busy_secs()),
+                format!("{:.3}", st.wall_secs()),
+                format!("{:.2}x", st.effective_parallelism()),
+            ]
+        })
+        .collect();
+    print_table(&["phase", "busy s", "wall s", "speedup"], &scale_table);
+
     let failures = rows.iter().filter(|r| !r.ok).count();
     println!();
     println!("{} checks, {} mismatches", rows.len(), failures);
-    write_json("thm_checks", &rows);
+    rep.json("thm_checks", &rows);
+    rep.finish();
     assert_eq!(failures, 0, "paper claims violated");
 }

@@ -24,9 +24,10 @@ pub struct Report {
 }
 
 /// Open `results/<name>.manifest.jsonl` and stamp the `meta` record
-/// (tool name, git describe, timestamp, config key/values). If the
-/// manifest cannot be created the report degrades to a disabled `Obs`
-/// rather than failing the experiment.
+/// (tool name, git describe, timestamp, config key/values, and the pool's
+/// resolved worker count as `ipg_threads`). If the manifest cannot be
+/// created the report degrades to a disabled `Obs` rather than failing
+/// the experiment.
 pub fn start(name: &str, config: &[(&str, MetaVal)]) -> Report {
     let path = results_dir().join(format!("{name}.manifest.jsonl"));
     let obs = match Obs::to_file(&path) {
@@ -39,7 +40,15 @@ pub fn start(name: &str, config: &[(&str, MetaVal)]) -> Report {
             Obs::disabled()
         }
     };
-    obs.emit_meta(name, config);
+    let mut full: Vec<(&str, MetaVal)> = config.to_vec();
+    full.push((
+        "ipg_threads",
+        MetaVal::from(rayon::current_num_threads() as u64),
+    ));
+    obs.emit_meta(name, &full);
+    // Reset the pool accounting so the first `scaling` phase is attributed
+    // from the start of this run.
+    let _ = rayon::pool::take_stats();
     Report {
         name: name.to_string(),
         obs,
@@ -56,6 +65,21 @@ impl Report {
     /// explicit because some bins emit several series).
     pub fn json<T: Serialize>(&self, name: &str, value: &T) {
         write_json(name, value);
+    }
+
+    /// Close an execution phase: emit a `scaling` record carrying the
+    /// pool's busy/wall accounting (and hence achieved speedup) since the
+    /// previous `scaling` call or report start, and return the stats for
+    /// table printing. Wall-clock family — never in the metric dump.
+    pub fn scaling(&self, phase: &str) -> rayon::pool::PoolStats {
+        let st = rayon::pool::take_stats();
+        self.obs.emit_scaling(
+            phase,
+            rayon::current_num_threads(),
+            st.busy_secs(),
+            st.wall_secs(),
+        );
+        st
     }
 
     /// Close the manifest: append the final `metrics` record (all

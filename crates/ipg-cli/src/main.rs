@@ -317,6 +317,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             ("measure_cycles", MetaVal::from(cfg.measure_cycles as u64)),
             ("drain_cycles", MetaVal::from(cfg.drain_cycles as u64)),
             ("seed", MetaVal::from(cfg.seed)),
+            (
+                "ipg_threads",
+                MetaVal::from(rayon::current_num_threads() as u64),
+            ),
         ],
     );
     let r = run_clustered_instrumented(&net.graph, &module, &cfg, &obs, obs_interval);

@@ -1,0 +1,127 @@
+//! Determinism regression: the same command must produce byte-identical
+//! output whether the work-stealing pool runs one worker or several.
+//!
+//! `IPG_THREADS` is read once per process (see `rayon::current_num_threads`),
+//! so each setting gets a fresh subprocess of the `ipg` binary. `dot` output
+//! encodes every node's BFS rank, `info` encodes the derived metrics, and the
+//! simulate manifest's deterministic family (`window` + `metrics` records)
+//! encodes the instrumented counters — all must be independent of the worker
+//! count.
+
+use std::process::Command;
+
+fn run(threads: &str, args: &[&str]) -> (Vec<u8>, Vec<u8>) {
+    run_in(None, threads, args)
+}
+
+fn run_in(cwd: Option<&std::path::Path>, threads: &str, args: &[&str]) -> (Vec<u8>, Vec<u8>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ipg"));
+    if let Some(dir) = cwd {
+        cmd.current_dir(dir);
+    }
+    let out = cmd
+        .args(args)
+        .env("IPG_THREADS", threads)
+        .output()
+        .expect("spawn ipg");
+    assert!(
+        out.status.success(),
+        "ipg {:?} (IPG_THREADS={threads}) failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.stdout, out.stderr)
+}
+
+/// Stdout of `ipg <args>` must be byte-identical for 1 vs 4 workers.
+fn assert_stdout_deterministic(args: &[&str]) {
+    let (one, _) = run("1", args);
+    let (four, _) = run("4", args);
+    assert!(!one.is_empty(), "ipg {args:?} produced no output");
+    assert_eq!(
+        one, four,
+        "ipg {args:?}: stdout differs between IPG_THREADS=1 and IPG_THREADS=4"
+    );
+}
+
+#[test]
+fn dot_node_ranks_are_thread_count_independent() {
+    // `dot` prints every node label in BFS-rank order, so any divergence in
+    // the parallel frontier numbering shows up here immediately.
+    for net in ["hsn:l=2,nucleus=Q2", "ring-cn:l=3,nucleus=Q2", "star:5"] {
+        assert_stdout_deterministic(&["dot", net]);
+    }
+}
+
+#[test]
+fn info_metrics_are_thread_count_independent() {
+    for net in [
+        "hsn:l=2,nucleus=Q3",
+        "cn:l=3,nucleus=Q2",
+        "hsn:l=2,nucleus=Q2,symmetric",
+        "hypercube:8",
+    ] {
+        assert_stdout_deterministic(&["info", net]);
+    }
+}
+
+#[test]
+fn route_is_thread_count_independent() {
+    assert_stdout_deterministic(&["route", "hsn:l=2,nucleus=Q3", "0", "60"]);
+}
+
+/// The deterministic record family of a run manifest (`window` and
+/// `metrics`), with the nondeterministic family (`meta`, `span`, `rate`,
+/// `scaling` — wall-clock and environment data) filtered out.
+fn deterministic_records(path: &std::path::Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("read manifest");
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with("{\"record\":\"window\"") || l.starts_with("{\"record\":\"metrics\"")
+        })
+        .map(str::to_string)
+        .collect();
+    assert!(
+        !lines.is_empty(),
+        "no deterministic records in {}",
+        path.display()
+    );
+    lines.sort();
+    lines
+}
+
+#[test]
+fn simulate_manifest_is_thread_count_independent() {
+    let dir = std::env::temp_dir().join(format!("ipg-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    // Same *relative* manifest path from sibling working dirs: simulate
+    // echoes the path on stdout, which must not differ between the runs.
+    let d1 = dir.join("t1");
+    let d4 = dir.join("t4");
+    std::fs::create_dir_all(&d1).expect("create temp dir");
+    std::fs::create_dir_all(&d4).expect("create temp dir");
+    let args = [
+        "simulate",
+        "ring-cn:l=2,nucleus=Q2",
+        "0.02",
+        "--obs",
+        "run.manifest.jsonl",
+        "--obs-interval",
+        "500",
+    ];
+    let (out1, _) = run_in(Some(&d1), "1", &args);
+    let (out4, _) = run_in(Some(&d4), "4", &args);
+    let m1 = d1.join("run.manifest.jsonl");
+    let m4 = d4.join("run.manifest.jsonl");
+    assert_eq!(
+        out1, out4,
+        "simulate stdout differs between IPG_THREADS=1 and IPG_THREADS=4"
+    );
+    assert_eq!(
+        deterministic_records(&m1),
+        deterministic_records(&m4),
+        "deterministic manifest records differ between IPG_THREADS=1 and IPG_THREADS=4"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -56,6 +56,10 @@ pub fn i_distances(g: &Csr, part: &Partition, src: u32) -> Vec<u32> {
 
 /// Exact I-diameter and average I-distance by all-sources 0/1 BFS
 /// (parallel). `O(n·m)` — use [`quotient_metrics`] for large graphs.
+///
+/// Parallel-reduction audit: `(u32 max, u64 sum, u64 count)` — every
+/// component is associative and commutative, so the reduce is exact for
+/// any chunking; floats appear only in the final division.
 pub fn exact_distance_metrics(g: &Csr, part: &Partition) -> (u32, f64) {
     let n = g.node_count();
     let (max, sum, cnt) = (0..n as u32)
@@ -103,6 +107,9 @@ pub fn module_graph(g: &Csr, part: &Partition) -> Csr {
 /// I-diameter and average I-distance via the quotient graph, weighting
 /// module pairs by their sizes. Exact whenever every module induces a
 /// connected subgraph of `g`; otherwise a lower bound.
+///
+/// Parallel-reduction audit: `(u32 max, u64 sum)` — associative and
+/// commutative, exact for any chunking (same for [`quotient_metrics_on`]).
 pub fn quotient_metrics(g: &Csr, part: &Partition) -> (u32, f64) {
     let q = module_graph(g, part);
     let sizes = part.module_sizes();

@@ -77,6 +77,9 @@ pub fn eccentricity(g: &Csr, src: u32) -> u32 {
 
 /// Exact diameter by all-sources parallel BFS. Returns `UNREACHABLE` for
 /// disconnected graphs.
+///
+/// Parallel-reduction audit: `max` over `u32` — order-independent (ties
+/// between equal eccentricities carry no payload).
 pub fn diameter(g: &Csr) -> u32 {
     (0..g.node_count() as u32)
         .into_par_iter()
@@ -112,6 +115,10 @@ fn distance_sum(g: &Csr, src: u32) -> (u64, u64) {
 
 /// Average distance over all ordered pairs of distinct, mutually reachable
 /// nodes (all-sources parallel BFS).
+///
+/// Parallel-reduction audit: the reduce is over `u64` sums — associative
+/// and commutative, so any chunking gives the exact sequential value; the
+/// single float division happens after the reduction.
 pub fn average_distance(g: &Csr) -> f64 {
     let (sum, cnt) = (0..g.node_count() as u32)
         .into_par_iter()

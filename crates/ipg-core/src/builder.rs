@@ -8,6 +8,7 @@ use crate::label::Label;
 use crate::spec::IpGraphSpec;
 use crate::util::FxHashMap;
 use ipg_obs::Obs;
+use rayon::prelude::*;
 
 /// Options controlling generation.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +53,13 @@ impl IpGraph {
     /// [`IpGraph::generate`] with observability: an `ip_generate` span,
     /// node/arc/dedup counters, a BFS frontier-size histogram, and
     /// nodes/arcs-per-second `rate` records.
+    ///
+    /// The closure is level-synchronous: each BFS frontier is expanded in
+    /// parallel (per-frontier-node generator application — the pure,
+    /// hash-free part), then the candidate labels are deduplicated and
+    /// ranked *sequentially in (node, generator) order*. Node ids therefore
+    /// come out in exactly the BFS discovery order of the old one-node-at-a-
+    /// time loop, for any `IPG_THREADS` value.
     pub fn generate_instrumented(spec: IpGraphSpec, opts: BuildOptions, obs: &Obs) -> Result<Self> {
         let span = obs.span("ip_generate");
         let track = obs.enabled();
@@ -69,42 +77,56 @@ impl IpGraph {
         labels.push(spec.seed.clone());
         h_frontier.observe(1); // depth-0 frontier: the seed
 
-        let mut next = 0usize;
-        // nodes [0, level_end) have BFS depth <= current; when `next`
-        // crosses it, everything discovered meanwhile is the next frontier
+        // Frontier of the current level: nodes [level_start, level_end).
+        let mut level_start = 0usize;
         let mut level_end = 1usize;
-        let mut buf = vec![0u8; k];
-        while next < labels.len() {
-            if track && next == level_end {
-                h_frontier.observe((labels.len() - level_end) as u64);
-                level_end = labels.len();
-            }
-            // Take the symbols out by clone: labels may grow (reallocating)
-            // while we iterate. Labels are short, this is cheap.
-            let src = labels[next].clone();
-            for gen in &spec.generators {
-                gen.perm.apply_into(src.symbols(), &mut buf);
-                let id = match index.get(buf.as_slice()) {
-                    Some(&id) => {
-                        c_dedup.incr();
-                        id
+        while level_start < level_end {
+            // Expansion phase (parallel): apply every generator to every
+            // frontier label. Pure reads of `labels`; the ordered collect
+            // keeps candidates in (node, generator) order.
+            let candidates: Vec<Vec<u8>> = (level_start..level_end)
+                .into_par_iter()
+                .map(|v| {
+                    let src = labels[v].symbols();
+                    let mut out = vec![0u8; g * k];
+                    for (i, gen) in spec.generators.iter().enumerate() {
+                        gen.perm.apply_into(src, &mut out[i * k..(i + 1) * k]);
                     }
-                    None => {
-                        let id = labels.len() as u32;
-                        if labels.len() >= opts.node_budget {
-                            return Err(IpgError::BudgetExceeded {
-                                budget: opts.node_budget,
-                            });
+                    out
+                })
+                .collect();
+            // Dedup/rank phase (sequential, deterministic): first occurrence
+            // in (node, generator) order wins the next id — the same
+            // numbering the sequential closure produced.
+            for cand in &candidates {
+                for i in 0..g {
+                    let buf = &cand[i * k..(i + 1) * k];
+                    let id = match index.get(buf) {
+                        Some(&id) => {
+                            c_dedup.incr();
+                            id
                         }
-                        let lab = Label::from(buf.clone());
-                        index.insert(lab.clone(), id);
-                        labels.push(lab);
-                        id
-                    }
-                };
-                arcs.push(id);
+                        None => {
+                            let id = labels.len() as u32;
+                            if labels.len() >= opts.node_budget {
+                                return Err(IpgError::BudgetExceeded {
+                                    budget: opts.node_budget,
+                                });
+                            }
+                            let lab = Label::from(buf.to_vec());
+                            index.insert(lab.clone(), id);
+                            labels.push(lab);
+                            id
+                        }
+                    };
+                    arcs.push(id);
+                }
             }
-            next += 1;
+            level_start = level_end;
+            level_end = labels.len();
+            if track && level_end > level_start {
+                h_frontier.observe((level_end - level_start) as u64);
+            }
         }
         debug_assert_eq!(arcs.len(), labels.len() * g);
         obs.counter("core.nodes").add(labels.len() as u64);

@@ -17,6 +17,15 @@ use std::collections::VecDeque;
 /// vector is indexed like the CSR arc array (`arc_index(u, i)` for the
 /// `i`-th neighbor of `u`); for undirected graphs the two directions of
 /// an edge receive equal values, so either can be read.
+///
+/// Parallel-reduction audit: this is the one *order-sensitive* reduce in
+/// the workspace — element-wise `f64` addition of per-source contribution
+/// vectors, where round-off depends on association order. The vendored
+/// pool's chunk tree depends only on the source count (never the worker
+/// count) and chunk results merge in ascending chunk order, so the output
+/// is bit-for-bit identical for every `IPG_THREADS` value. It may differ
+/// from a strict left-to-right fold by ulps, which the tolerance-based
+/// invariants (symmetry, totals) absorb.
 pub fn edge_betweenness(g: &Csr) -> Vec<f64> {
     let n = g.node_count();
     // arc index base per node

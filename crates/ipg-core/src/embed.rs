@@ -23,6 +23,9 @@ pub fn dilation(guest: &Csr, host: &Csr, map: &[u32]) -> Option<u32> {
         used[h as usize] = true;
     }
     // Group guest edges by source image to reuse BFS runs.
+    // Parallel-reduction audit: try_reduce over `u32 max` with `None`
+    // short-circuit — associative/commutative, and `None` is absorbing, so
+    // the chunked merge is exact for any worker count.
     let sources: Vec<u32> = (0..guest.node_count() as u32).collect();
     sources
         .par_iter()

@@ -305,6 +305,28 @@ impl Obs {
         inner.sink.lock().unwrap().record(&line);
     }
 
+    /// Emit a `scaling` record: the worker count and achieved busy/wall
+    /// parallelism of one named execution phase. Like `rate`, scaling
+    /// records are wall-clock-derived and live in the nondeterministic
+    /// family — they never appear in the metrics dump, so metric dumps
+    /// stay byte-identical across `IPG_THREADS` settings.
+    pub fn emit_scaling(&self, phase: &str, workers: usize, busy_secs: f64, wall_secs: f64) {
+        let Some(inner) = &self.inner else { return };
+        let speedup = if wall_secs > 0.0 {
+            busy_secs / wall_secs
+        } else {
+            1.0
+        };
+        let line = format!(
+            "{{\"record\":\"scaling\",\"phase\":{},\"workers\":{workers},\"busy_secs\":{},\"wall_secs\":{},\"speedup\":{}}}",
+            json::quote(phase),
+            json::float(busy_secs),
+            json::float(wall_secs),
+            json::float(speedup),
+        );
+        inner.sink.lock().unwrap().record(&line);
+    }
+
     /// Emit a `window` record: a deterministic snapshot of all metrics
     /// at a given progress point (e.g. a simulator cycle).
     pub fn emit_window(&self, cycle: u64) {
@@ -541,6 +563,26 @@ mod tests {
         assert!(text.contains("\"record\":\"metrics\""));
         assert!(text.contains("\"cycle\":500"));
         assert!(text.contains("\\\"6\\\"")); // escaped quote in config
+    }
+
+    #[test]
+    fn scaling_records_are_nondeterministic_family_only() {
+        let (obs, mem) = Obs::in_memory();
+        obs.counter("n").add(1);
+        obs.emit_scaling("diameter", 4, 2.0, 0.5);
+        obs.emit_scaling("zero_wall", 2, 0.0, 0.0);
+        obs.finish();
+        let text = mem.contents();
+        assert!(text.contains("\"record\":\"scaling\""));
+        assert!(text.contains("\"phase\":\"diameter\""));
+        assert!(text.contains("\"workers\":4"));
+        assert!(text.contains("\"speedup\":4"));
+        // zero wall time degrades to speedup 1, not NaN/inf
+        assert!(text.contains("\"speedup\":1"));
+        // the deterministic dump is untouched by scaling records
+        assert!(!obs.metrics_json().contains("scaling"));
+        let disabled = Obs::disabled();
+        disabled.emit_scaling("noop", 8, 1.0, 1.0); // must not panic
     }
 
     #[test]

@@ -12,7 +12,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test =="
+echo "== cargo test (pool auto-sized) =="
 cargo test -q
+
+echo "== cargo test (IPG_THREADS=1, sequential pool) =="
+IPG_THREADS=1 cargo test -q
+
+echo "== property tests, 256 cases =="
+PROPTEST_CASES=256 cargo test -q --release --test proptests
 
 echo "all checks passed"

@@ -24,6 +24,32 @@ fn label(k: usize, radix: u8) -> impl Strategy<Value = Label> {
     proptest::collection::vec(0..radix, k).prop_map(Label::from)
 }
 
+/// A random small nucleus (paper §3 building blocks). All are
+/// inverse-closed, so the generated graphs are symmetric.
+fn nucleus() -> impl Strategy<Value = NucleusSpec> {
+    (0usize..5, 0usize..3).prop_map(|(kind, p)| match kind {
+        0 => NucleusSpec::hypercube(1 + p),      // M = 2, 4, 8
+        1 => NucleusSpec::complete(3 + (p % 2)), // M = 3, 4
+        2 => NucleusSpec::star(3 + (p % 2)),     // M = 6, 24
+        3 => NucleusSpec::ring(3 + p),           // M = 3, 4, 5
+        _ => NucleusSpec::folded_hypercube(2),   // M = 4
+    })
+}
+
+/// A random super-IP family constructor applied to `(l, nucleus)`.
+fn super_family(family: usize, l: usize, nuc: NucleusSpec) -> SuperIpSpec {
+    match family % 4 {
+        0 => SuperIpSpec::hsn(l, nuc),
+        1 => SuperIpSpec::ring_cn(l, nuc),
+        2 => SuperIpSpec::complete_cn(l, nuc),
+        _ => SuperIpSpec::superflip(l, nuc),
+    }
+}
+
+fn factorial(l: u64) -> u64 {
+    (1..=l).product()
+}
+
 proptest! {
     #[test]
     fn perm_inverse_roundtrip(p in perm(8)) {
@@ -238,6 +264,127 @@ proptest! {
         let mut expect = values;
         expect.sort_unstable();
         prop_assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn thm_3_2_size_is_m_pow_l(l in 2usize..4, family in 0usize..4, nuc in nucleus()) {
+        // Theorem 3.2: a super-IP graph over an M-node nucleus with a
+        // repeated seed has exactly M^l nodes, for every generator family.
+        let m = nuc.generate().unwrap().node_count() as u64;
+        let expect = m.pow(l as u32);
+        if expect <= 20_000 {
+            let spec = super_family(family, l, nuc);
+            prop_assert_eq!(spec.expected_size().unwrap(), expect);
+            let ip = spec.to_ip_spec().generate().unwrap();
+            prop_assert_eq!(ip.node_count() as u64, expect, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn thm_3_2_symmetric_sizes(l in 2usize..4, kind in 0usize..4) {
+        // §3.5 refinement: with a distinct-shifted seed the size picks up
+        // the block-group order — l!·M^l for HSN, l·M^l for the ring CN.
+        // Symmetric (distinct-shifted) seeds need a distinct-symbol
+        // nucleus seed (§3.5) — hypercube and star qualify.
+        let nuc = match kind {
+            0 => NucleusSpec::hypercube(1), // M = 2
+            1 => NucleusSpec::hypercube(2), // M = 4
+            2 => NucleusSpec::star(3),      // M = 6
+            _ => NucleusSpec::hypercube(3), // M = 8
+        };
+        let m = nuc.generate().unwrap().node_count() as u64;
+        let hsn = SuperIpSpec::hsn(l, nuc.clone()).symmetric();
+        let expect_hsn = factorial(l as u64) * m.pow(l as u32);
+        prop_assert_eq!(hsn.expected_size().unwrap(), expect_hsn);
+        let ip = hsn.to_ip_spec().generate().unwrap();
+        prop_assert_eq!(ip.node_count() as u64, expect_hsn, "{}", hsn.name);
+
+        let cn = SuperIpSpec::ring_cn(l, nuc).symmetric();
+        let expect_cn = l as u64 * m.pow(l as u32);
+        prop_assert_eq!(cn.expected_size().unwrap(), expect_cn);
+        let ip = cn.to_ip_spec().generate().unwrap();
+        prop_assert_eq!(ip.node_count() as u64, expect_cn, "{}", cn.name);
+    }
+
+    #[test]
+    fn thm_3_1_degree_bounds_on_super_specs(l in 2usize..4, family in 0usize..4, nuc in nucleus()) {
+        // Theorem 3.1: node degree ≤ #generators (nucleus + super), and
+        // inter-cluster degree ≤ #super-generators under nucleus packing.
+        let m = nuc.generate().unwrap().node_count() as u64;
+        if m.pow(l as u32) <= 20_000 {
+            let spec = super_family(family, l, nuc);
+            let bound = spec.nucleus_generator_count() + spec.super_generator_count();
+            let ip = spec.to_ip_spec().generate().unwrap();
+            prop_assert!(ip.to_directed_csr().max_degree() <= bound, "{}", spec.name);
+            if ip.spec().is_inverse_closed() {
+                prop_assert!(ip.to_undirected_csr().max_degree() <= bound, "{}", spec.name);
+            }
+            let tn = TupleNetwork::from_spec(&spec).unwrap();
+            let tg = tn.build();
+            let (class, _) = tn.nucleus_partition();
+            let max_i_degree = (0..tg.node_count() as u32)
+                .map(|u| {
+                    tg.neighbors(u)
+                        .iter()
+                        .filter(|&&v| class[u as usize] != class[v as usize])
+                        .count()
+                })
+                .max()
+                .unwrap_or(0);
+            prop_assert!(
+                max_i_degree <= spec.super_generator_count(),
+                "{}: I-degree {} > {}",
+                spec.name,
+                max_i_degree,
+                spec.super_generator_count()
+            );
+        }
+    }
+
+    #[test]
+    fn router_paths_valid_on_random_specs(
+        l in 2usize..4,
+        family in 0usize..4,
+        kind in 0usize..4,
+        pairs in proptest::collection::vec((0u32..4096, 0u32..4096), 1..5),
+    ) {
+        // Theorem 4.1/4.3: the constructive router produces valid edge
+        // walks no longer than the claimed diameter, on random specs of
+        // every family — plain and symmetric seeds.
+        let (nuc, sym) = match kind {
+            0 => (NucleusSpec::hypercube(1), false),
+            1 => (NucleusSpec::hypercube(2), false),
+            2 => (NucleusSpec::complete(3), false),
+            _ => (NucleusSpec::hypercube(1), true),
+        };
+        let mut spec = super_family(family, l, nuc);
+        if sym {
+            spec = spec.symmetric();
+        }
+        if spec.expected_size().unwrap() <= 5_000 {
+            let ip = spec.to_ip_spec().generate().unwrap();
+            let router = routing::SuperRouter::new(&spec).unwrap();
+            let bound = routing::predicted_diameter(&spec).unwrap() as usize;
+            let n = ip.node_count() as u32;
+            for (u, v) in pairs {
+                let (u, v) = (u % n, v % n);
+                let path = router.route(ip.label(u), ip.label(v)).unwrap();
+                prop_assert!(
+                    path.len() - 1 <= bound,
+                    "{}: |path| {} > diameter {}",
+                    spec.name,
+                    path.len() - 1,
+                    bound
+                );
+                prop_assert_eq!(path.first().unwrap(), ip.label(u));
+                prop_assert_eq!(path.last().unwrap(), ip.label(v));
+                for w in path.windows(2) {
+                    let a = ip.node_of(&w[0]).unwrap();
+                    let b = ip.node_of(&w[1]).unwrap();
+                    prop_assert!(ip.arcs_of(a).contains(&b), "{}: not an arc", spec.name);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,189 +1,754 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` with a real multithreaded executor.
 //!
-//! The build environment has no access to crates.io, so this vendored
-//! crate provides the combinators the workspace actually uses —
-//! `into_par_iter` / `par_iter`, `map`, `max`, `collect`,
-//! `reduce(identity, op)`, `try_reduce(identity, op)` — with rayon's
-//! *semantics* but a sequential execution model. Sequential execution is a
-//! feature here: results are bit-for-bit deterministic and the reduction
-//! order is fixed, which the determinism tests rely on. Swapping the real
-//! rayon back in requires no source changes.
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the rayon API the workspace uses — but unlike a
+//! sequential facade, the combinators here actually fan work out across OS
+//! threads.
+//!
+//! # Execution model
+//!
+//! Every parallel pipeline (`par_iter().map(..).filter(..)`) is a chain of
+//! [`iter::Pipe`] stages over a materialized base of items. A terminal
+//! operation (`reduce`, `collect`, `max`, …) splits the base index range into
+//! a **fixed, thread-count-independent set of chunks** (see
+//! [`pool::TARGET_CHUNKS`]), lets scoped worker threads claim chunks from a
+//! shared atomic counter (dynamic self-scheduling — the idle-steal half of
+//! work stealing without per-deque overhead), and then merges the per-chunk
+//! results **in ascending chunk order** on the calling thread.
+//!
+//! # Determinism contract
+//!
+//! Because the chunk boundaries depend only on the input length and the merge
+//! is always performed in chunk order, the result of every combinator is
+//! **bit-for-bit identical for any worker count**, including floating-point
+//! reductions whose round-off depends on association order. `IPG_THREADS=1`
+//! and `IPG_THREADS=64` produce the same bytes; the schedule only decides
+//! *which thread* computes a chunk, never *how results combine*.
+//!
+//! # Worker-count resolution
+//!
+//! [`current_num_threads`] resolves once per process, in order: the
+//! `IPG_THREADS` environment variable (a positive integer), then
+//! [`std::thread::available_parallelism`], then 1. With a resolved count of
+//! 1 the terminal ops run inline on the caller with zero thread spawns —
+//! exactly the old sequential behavior.
+//!
+//! # Extensions over the real rayon API
+//!
+//! [`pool::take_stats`] / [`pool::stats`] expose cumulative busy/wall time
+//! of parallel regions so benchmarks can report per-phase effective
+//! parallelism in run manifests. These are wall-clock measurements and must
+//! never be written into deterministic metric dumps.
+
+pub use pool::current_num_threads;
+
+pub mod pool {
+    //! Worker-count resolution, deterministic chunking, and the chunk
+    //! self-scheduling executor shared by every terminal operation.
+
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+    use std::time::{Duration, Instant};
+
+    /// Number of chunks a parallel operation is split into (inputs shorter
+    /// than this become one chunk per item). Deliberately independent of the
+    /// worker count so reduction trees — and therefore float round-off — are
+    /// identical for every `IPG_THREADS` value.
+    pub const TARGET_CHUNKS: usize = 64;
+
+    static THREADS: OnceLock<usize> = OnceLock::new();
+
+    /// The resolved worker count: `IPG_THREADS` if set to a positive
+    /// integer, else the machine's available parallelism, else 1.
+    /// Resolved once per process.
+    pub fn current_num_threads() -> usize {
+        *THREADS.get_or_init(|| match std::env::var("IPG_THREADS") {
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => default_threads(),
+            },
+            Err(_) => default_threads(),
+        })
+    }
+
+    fn default_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Split `0..len` into at most [`TARGET_CHUNKS`] contiguous ranges.
+    /// Depends only on `len`.
+    pub(crate) fn chunk_ranges(len: usize) -> Vec<(usize, usize)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let size = len.div_ceil(TARGET_CHUNKS).max(1);
+        let mut out = Vec::with_capacity(len.div_ceil(size));
+        let mut lo = 0;
+        while lo < len {
+            let hi = (lo + size).min(len);
+            out.push((lo, hi));
+            lo = hi;
+        }
+        out
+    }
+
+    // Cumulative pool statistics (wall-clock; never deterministic).
+    static OPS: AtomicU64 = AtomicU64::new(0);
+    static CHUNKS: AtomicU64 = AtomicU64::new(0);
+    static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+    static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+    /// Busy/wall accounting for parallel regions since the last
+    /// [`take_stats`] (or process start).
+    #[derive(Clone, Copy, Debug, Default, PartialEq)]
+    pub struct PoolStats {
+        /// Terminal operations executed.
+        pub ops: u64,
+        /// Chunks evaluated across those operations.
+        pub chunks: u64,
+        /// Sum of per-chunk evaluation time across all workers.
+        pub busy_nanos: u64,
+        /// Sum of caller-side wall time of the parallel regions.
+        pub wall_nanos: u64,
+    }
+
+    impl PoolStats {
+        /// Total in-chunk compute time in seconds.
+        pub fn busy_secs(&self) -> f64 {
+            self.busy_nanos as f64 / 1e9
+        }
+
+        /// Total wall time of the parallel regions in seconds.
+        pub fn wall_secs(&self) -> f64 {
+            self.wall_nanos as f64 / 1e9
+        }
+
+        /// Busy / wall ratio: the average number of chunks in flight.
+        /// Equals the achieved speedup over one worker on dedicated
+        /// cores; on an oversubscribed machine it reports occupancy
+        /// (a descheduled worker's chunk clock keeps running). 1.0 when
+        /// nothing ran.
+        pub fn effective_parallelism(&self) -> f64 {
+            if self.wall_nanos == 0 {
+                1.0
+            } else {
+                self.busy_nanos as f64 / self.wall_nanos as f64
+            }
+        }
+    }
+
+    /// Read the cumulative stats without resetting them.
+    pub fn stats() -> PoolStats {
+        PoolStats {
+            ops: OPS.load(Ordering::Relaxed),
+            chunks: CHUNKS.load(Ordering::Relaxed),
+            busy_nanos: BUSY_NANOS.load(Ordering::Relaxed),
+            wall_nanos: WALL_NANOS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Read and reset the stats — call at phase boundaries to attribute
+    /// busy/wall time to a benchmark phase.
+    pub fn take_stats() -> PoolStats {
+        PoolStats {
+            ops: OPS.swap(0, Ordering::Relaxed),
+            chunks: CHUNKS.swap(0, Ordering::Relaxed),
+            busy_nanos: BUSY_NANOS.swap(0, Ordering::Relaxed),
+            wall_nanos: WALL_NANOS.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    fn timed<A>(eval: &(impl Fn(usize, usize) -> A + Sync), lo: usize, hi: usize) -> A {
+        let t = Instant::now();
+        let out = eval(lo, hi);
+        BUSY_NANOS.fetch_add(as_nanos(t.elapsed()), Ordering::Relaxed);
+        out
+    }
+
+    fn as_nanos(d: Duration) -> u64 {
+        u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Evaluate `eval` over the fixed chunking of `0..len` using the
+    /// process worker count; results are returned in chunk order.
+    pub(crate) fn execute<A, E>(len: usize, eval: E) -> Vec<A>
+    where
+        A: Send,
+        E: Fn(usize, usize) -> A + Sync,
+    {
+        execute_with_workers(len, current_num_threads(), eval)
+    }
+
+    /// [`execute`] with an explicit worker count. The chunking — and hence
+    /// the result — is identical for every `workers` value; only the
+    /// schedule differs. Crate-visible so the vendor tests can exercise the
+    /// threaded path even when the process default is one worker.
+    pub(crate) fn execute_with_workers<A, E>(len: usize, workers: usize, eval: E) -> Vec<A>
+    where
+        A: Send,
+        E: Fn(usize, usize) -> A + Sync,
+    {
+        let chunks = chunk_ranges(len);
+        let workers = workers.min(chunks.len()).max(1);
+        let op_start = Instant::now();
+        let out: Vec<A> = if workers == 1 {
+            // Inline path: no spawns, same chunk boundaries, same merge
+            // order — byte-identical to the threaded path.
+            chunks
+                .iter()
+                .map(|&(lo, hi)| timed(&eval, lo, hi))
+                .collect()
+        } else {
+            let mut slots: Vec<Option<A>> = Vec::new();
+            slots.resize_with(chunks.len(), || None);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local: Vec<(usize, A)> = Vec::new();
+                            loop {
+                                // Dynamic self-scheduling: idle workers claim
+                                // the next unclaimed chunk.
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= chunks.len() {
+                                    break;
+                                }
+                                let (lo, hi) = chunks[i];
+                                local.push((i, timed(&eval, lo, hi)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                // Join everything before propagating a panic so no worker
+                // outlives the unwinding caller.
+                let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+                for h in handles {
+                    match h.join() {
+                        Ok(local) => {
+                            for (i, a) in local {
+                                slots[i] = Some(a);
+                            }
+                        }
+                        Err(p) => {
+                            if panic.is_none() {
+                                panic = Some(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = panic {
+                    std::panic::resume_unwind(p);
+                }
+            });
+            slots
+                .into_iter()
+                .map(|o| o.expect("every chunk claimed by exactly one worker"))
+                .collect()
+        };
+        OPS.fetch_add(1, Ordering::Relaxed);
+        CHUNKS.fetch_add(chunks.len() as u64, Ordering::Relaxed);
+        WALL_NANOS.fetch_add(as_nanos(op_start.elapsed()), Ordering::Relaxed);
+        out
+    }
+}
 
 pub mod iter {
-    /// The sequential stand-in for rayon's `ParallelIterator`.
-    pub struct ParIter<I: Iterator>(pub(crate) I);
+    //! The parallel-iterator combinators.
 
-    impl<I: Iterator> ParIter<I> {
-        /// Map each item.
-        #[inline]
-        pub fn map<U, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
-        where
-            F: FnMut(I::Item) -> U,
-        {
-            ParIter(self.0.map(f))
+    use crate::pool;
+
+    /// A pipeline stage over a materialized base: `drive` applies the whole
+    /// map/filter chain to base indices `lo..hi`, feeding survivors to
+    /// `sink` in base order. Driving by index range lets chunks share the
+    /// stage closures by reference (`Fn + Sync`), so nothing is cloned per
+    /// chunk.
+    pub trait Pipe: Sync {
+        /// Item type this stage emits.
+        type Item: Send;
+
+        /// Length of the underlying base.
+        fn base_len(&self) -> usize;
+
+        /// Evaluate base indices `lo..hi` through the chain, in order.
+        fn drive(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item));
+    }
+
+    /// The materialized base of a pipeline: the source items, in order.
+    pub struct VecBase<T> {
+        items: Vec<T>,
+    }
+
+    impl<T> VecBase<T> {
+        pub(crate) fn new(items: Vec<T>) -> Self {
+            VecBase { items }
+        }
+    }
+
+    impl<T: Clone + Send + Sync> Pipe for VecBase<T> {
+        type Item = T;
+
+        fn base_len(&self) -> usize {
+            self.items.len()
         }
 
-        /// Keep items matching the predicate.
-        #[inline]
-        pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
-        where
-            F: FnMut(&I::Item) -> bool,
-        {
-            ParIter(self.0.filter(f))
+        fn drive(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
+            for x in &self.items[lo..hi] {
+                sink(x.clone());
+            }
+        }
+    }
+
+    /// The [`ParIter::map`] stage.
+    pub struct Map<P, F> {
+        inner: P,
+        f: F,
+    }
+
+    impl<P, F, U> Pipe for Map<P, F>
+    where
+        P: Pipe,
+        F: Fn(P::Item) -> U + Sync,
+        U: Send,
+    {
+        type Item = U;
+
+        fn base_len(&self) -> usize {
+            self.inner.base_len()
         }
 
-        /// Largest item.
-        #[inline]
-        pub fn max(self) -> Option<I::Item>
-        where
-            I::Item: Ord,
-        {
-            self.0.max()
+        fn drive(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(U)) {
+            self.inner.drive(lo, hi, &mut |x| sink((self.f)(x)));
+        }
+    }
+
+    /// The [`ParIter::filter`] stage.
+    pub struct Filter<P, F> {
+        inner: P,
+        f: F,
+    }
+
+    impl<P, F> Pipe for Filter<P, F>
+    where
+        P: Pipe,
+        F: Fn(&P::Item) -> bool + Sync,
+    {
+        type Item = P::Item;
+
+        fn base_len(&self) -> usize {
+            self.inner.base_len()
         }
 
-        /// Smallest item.
-        #[inline]
-        pub fn min(self) -> Option<I::Item>
+        fn drive(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(P::Item)) {
+            self.inner.drive(lo, hi, &mut |x| {
+                if (self.f)(&x) {
+                    sink(x);
+                }
+            });
+        }
+    }
+
+    /// A parallel iterator: a [`Pipe`] chain awaiting a terminal operation.
+    pub struct ParIter<P>(pub(crate) P);
+
+    impl<P: Pipe> ParIter<P> {
+        /// Fold every chunk with a locally created accumulator; chunk
+        /// accumulators come back in chunk order.
+        fn fold_chunks<A, M, S>(pipe: &P, make: M, step: S) -> Vec<A>
         where
-            I::Item: Ord,
+            A: Send,
+            M: Fn() -> A + Sync,
+            S: Fn(&mut A, P::Item) + Sync,
         {
-            self.0.min()
+            pool::execute(pipe.base_len(), |lo, hi| {
+                let mut acc = make();
+                pipe.drive(lo, hi, &mut |x| step(&mut acc, x));
+                acc
+            })
         }
 
-        /// Sum of all items.
-        #[inline]
+        /// Transform each element.
+        pub fn map<U, F>(self, f: F) -> ParIter<Map<P, F>>
+        where
+            F: Fn(P::Item) -> U + Sync + Send,
+            U: Send,
+        {
+            ParIter(Map { inner: self.0, f })
+        }
+
+        /// Keep elements satisfying the predicate.
+        pub fn filter<F>(self, f: F) -> ParIter<Filter<P, F>>
+        where
+            F: Fn(&P::Item) -> bool + Sync + Send,
+        {
+            ParIter(Filter { inner: self.0, f })
+        }
+
+        /// Largest element. Ties resolve to the last maximal element,
+        /// matching [`Iterator::max`].
+        pub fn max(self) -> Option<P::Item>
+        where
+            P::Item: Ord,
+        {
+            let parts = Self::fold_chunks(
+                &self.0,
+                || None,
+                |acc: &mut Option<P::Item>, x| {
+                    if acc.as_ref().is_none_or(|a| x >= *a) {
+                        *acc = Some(x);
+                    }
+                },
+            );
+            let mut best: Option<P::Item> = None;
+            for part in parts.into_iter().flatten() {
+                if best.as_ref().is_none_or(|b| part >= *b) {
+                    best = Some(part);
+                }
+            }
+            best
+        }
+
+        /// Smallest element. Ties resolve to the first minimal element,
+        /// matching [`Iterator::min`].
+        pub fn min(self) -> Option<P::Item>
+        where
+            P::Item: Ord,
+        {
+            let parts = Self::fold_chunks(
+                &self.0,
+                || None,
+                |acc: &mut Option<P::Item>, x| {
+                    if acc.as_ref().is_none_or(|a| x < *a) {
+                        *acc = Some(x);
+                    }
+                },
+            );
+            let mut best: Option<P::Item> = None;
+            for part in parts.into_iter().flatten() {
+                if best.as_ref().is_none_or(|b| part < *b) {
+                    best = Some(part);
+                }
+            }
+            best
+        }
+
+        /// Sum the elements. Chunk partial sums combine in chunk order, so
+        /// float sums are deterministic for any worker count.
         pub fn sum<S>(self) -> S
         where
-            S: std::iter::Sum<I::Item>,
+            S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
         {
-            self.0.sum()
+            let parts =
+                Self::fold_chunks(&self.0, Vec::new, |acc: &mut Vec<P::Item>, x| acc.push(x));
+            parts
+                .into_iter()
+                .map(|chunk| chunk.into_iter().sum::<S>())
+                .sum()
         }
 
-        /// Count the items.
-        #[inline]
+        /// Number of elements surviving the chain.
         pub fn count(self) -> usize {
-            self.0.count()
+            Self::fold_chunks(&self.0, || 0usize, |acc, _x| *acc += 1)
+                .into_iter()
+                .sum()
         }
 
-        /// Collect into any `FromIterator` collection.
-        #[inline]
+        /// Collect into a container, preserving base order.
         pub fn collect<C>(self) -> C
         where
-            C: FromIterator<I::Item>,
+            C: FromIterator<P::Item>,
         {
-            self.0.collect()
+            let parts =
+                Self::fold_chunks(&self.0, Vec::new, |acc: &mut Vec<P::Item>, x| acc.push(x));
+            parts.into_iter().flatten().collect()
         }
 
-        /// Run `f` on every item.
-        #[inline]
+        /// Apply `f` to every element (chunks may run on different threads;
+        /// `f` must therefore be `Sync`).
         pub fn for_each<F>(self, f: F)
         where
-            F: FnMut(I::Item),
+            F: Fn(P::Item) + Sync + Send,
         {
-            self.0.for_each(f)
+            let pipe = self.0;
+            pool::execute(pipe.base_len(), |lo, hi| {
+                pipe.drive(lo, hi, &mut |x| f(x));
+            });
         }
 
-        /// Rayon-style reduce: fold from `identity()` with `op`.
-        #[inline]
-        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        /// Reduce with an identity and an associative operation. Each chunk
+        /// folds left from `identity()`; the chunk results then fold left in
+        /// chunk order — for associative `op` this equals the sequential
+        /// left fold, and for any `op` it is deterministic because the chunk
+        /// tree depends only on the input length.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
         where
-            ID: Fn() -> I::Item,
-            OP: Fn(I::Item, I::Item) -> I::Item,
+            ID: Fn() -> P::Item + Sync + Send,
+            OP: Fn(P::Item, P::Item) -> P::Item + Sync + Send,
         {
-            self.0.fold(identity(), op)
+            let pipe = self.0;
+            let parts = pool::execute(pipe.base_len(), |lo, hi| {
+                let mut acc = Some(identity());
+                pipe.drive(lo, hi, &mut |x| {
+                    let a = acc.take().expect("accumulator always present");
+                    acc = Some(op(a, x));
+                });
+                acc.expect("accumulator always present")
+            });
+            parts.into_iter().fold(identity(), &op)
         }
     }
 
-    impl<I, T> ParIter<I>
+    impl<P, T> ParIter<P>
     where
-        I: Iterator<Item = Option<T>>,
+        P: Pipe<Item = Option<T>>,
+        T: Send,
     {
-        /// Rayon-style `try_reduce` over `Option` items: `None`
-        /// short-circuits; `Some` values fold from `identity()` with `op`.
-        #[inline]
+        /// Reduce `Option` elements, short-circuiting the result to `None`
+        /// if any element (or any combination) is `None`. Chunk results
+        /// merge in chunk order.
         pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Option<T>
         where
-            ID: Fn() -> T,
-            OP: Fn(T, T) -> Option<T>,
+            ID: Fn() -> T + Sync + Send,
+            OP: Fn(T, T) -> Option<T> + Sync + Send,
         {
-            let mut acc = identity();
-            for item in self.0 {
-                acc = op(acc, item?)?;
+            let pipe = self.0;
+            let parts = pool::execute(pipe.base_len(), |lo, hi| {
+                let mut acc = Some(identity());
+                pipe.drive(lo, hi, &mut |item| {
+                    acc = match (acc.take(), item) {
+                        (Some(a), Some(x)) => op(a, x),
+                        _ => None,
+                    };
+                });
+                acc
+            });
+            let mut total = identity();
+            for part in parts {
+                total = op(total, part?)?;
             }
-            Some(acc)
+            Some(total)
         }
     }
 
-    /// By-value conversion into a (stand-in) parallel iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Consume `self` into a parallel iterator.
-        #[inline]
-        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-            ParIter(self.into_iter())
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Base pipe type.
+        type Pipe: Pipe<Item = Self::Item>;
+
+        /// Materialize into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Pipe>;
+    }
+
+    impl<T> IntoParallelIterator for T
+    where
+        T: IntoIterator,
+        T::Item: Clone + Send + Sync,
+    {
+        type Item = T::Item;
+        type Pipe = VecBase<T::Item>;
+
+        fn into_par_iter(self) -> ParIter<VecBase<T::Item>> {
+            ParIter(VecBase::new(self.into_iter().collect()))
         }
     }
 
-    impl<T: IntoIterator> IntoParallelIterator for T {}
-
-    /// By-reference conversion into a (stand-in) parallel iterator.
+    /// Conversion into a parallel iterator over references, mirroring
+    /// `rayon`'s `par_iter()` on slices, `Vec`s, etc.
     pub trait IntoParallelRefIterator<'data> {
-        /// The underlying sequential iterator.
-        type Iter: Iterator;
-        /// Iterate `&self` in parallel.
-        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+        /// Element type (typically `&'data T`).
+        type Item: Send + 'data;
+        /// Base pipe type.
+        type Pipe: Pipe<Item = Self::Item>;
+
+        /// Materialize a parallel iterator borrowing from `self`.
+        fn par_iter(&'data self) -> ParIter<Self::Pipe>;
     }
 
     impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
     where
         &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: Clone + Send + Sync,
     {
-        type Iter = <&'data C as IntoIterator>::IntoIter;
+        type Item = <&'data C as IntoIterator>::Item;
+        type Pipe = VecBase<Self::Item>;
 
-        #[inline]
-        fn par_iter(&'data self) -> ParIter<Self::Iter> {
-            ParIter(self.into_iter())
+        fn par_iter(&'data self) -> ParIter<VecBase<Self::Item>> {
+            ParIter(VecBase::new(self.into_iter().collect()))
         }
     }
 }
 
 pub mod prelude {
-    //! Glob-import surface matching `rayon::prelude::*`.
+    //! Glob-import surface matching `rayon::prelude::*` for the subset the
+    //! workspace uses.
     pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
 #[cfg(test)]
 mod tests {
+    use super::pool;
     use super::prelude::*;
 
     #[test]
     fn map_reduce_matches_sequential() {
-        let (sum, cnt) = (0..100u32)
+        let xs: Vec<u64> = (0..1000).collect();
+        let par: u64 = xs
+            .clone()
             .into_par_iter()
-            .map(|x| (x as u64, 1u64))
-            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
-        assert_eq!(sum, 4950);
-        assert_eq!(cnt, 100);
+            .map(|x| x * 3)
+            .reduce(|| 0, |a, b| a + b);
+        let seq: u64 = xs.iter().map(|x| x * 3).sum();
+        assert_eq!(par, seq);
     }
 
     #[test]
     fn par_iter_on_slices() {
-        let v = vec![3u32, 1, 4, 1, 5];
-        assert_eq!(v.par_iter().map(|&x| x).max(), Some(5));
-        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
-        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let xs = [5u32, 1, 9, 3];
+        let m = xs.par_iter().map(|&x| x).max();
+        assert_eq!(m, Some(9));
+        let mn = xs.par_iter().map(|&x| x).min();
+        assert_eq!(mn, Some(1));
     }
 
     #[test]
     fn try_reduce_short_circuits() {
-        let ok = vec![Some(1u32), Some(2), Some(3)];
-        assert_eq!(
-            ok.into_par_iter().try_reduce(|| 0, |a, b| Some(a.max(b))),
-            Some(3)
-        );
-        let bad = vec![Some(1u32), None, Some(3)];
-        assert_eq!(
-            bad.into_par_iter().try_reduce(|| 0, |a, b| Some(a.max(b))),
-            None
-        );
+        let xs: Vec<Option<u32>> = vec![Some(1), Some(2), None, Some(4)];
+        let r = xs.into_par_iter().try_reduce(|| 0, |a, b| Some(a + b));
+        assert_eq!(r, None);
+        let ys: Vec<Option<u32>> = vec![Some(1), Some(2), Some(4)];
+        let r = ys.into_par_iter().try_reduce(|| 0, |a, b| Some(a + b));
+        assert_eq!(r, Some(7));
+    }
+
+    #[test]
+    fn filter_count_collect_preserve_order() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let evens: Vec<u32> = xs.clone().into_par_iter().filter(|x| x % 2 == 0).collect();
+        let expect: Vec<u32> = (0..10_000).filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, expect);
+        let n = xs.into_par_iter().filter(|x| x % 7 == 0).count();
+        assert_eq!(n, (0..10_000).filter(|x| x % 7 == 0).count());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_and_depend_only_on_len() {
+        for len in [0usize, 1, 5, 63, 64, 65, 1000, 4096] {
+            let chunks = pool::chunk_ranges(len);
+            assert!(chunks.len() <= pool::TARGET_CHUNKS);
+            let mut expect_lo = 0;
+            for &(lo, hi) in &chunks {
+                assert_eq!(lo, expect_lo);
+                assert!(hi > lo);
+                expect_lo = hi;
+            }
+            assert_eq!(expect_lo, len);
+            assert_eq!(chunks, pool::chunk_ranges(len));
+        }
+    }
+
+    #[test]
+    fn threaded_result_is_bit_identical_to_inline() {
+        // Float sums whose value depends on association order: the fixed
+        // chunk tree must make every worker count agree bit-for-bit.
+        let n = 10_000usize;
+        let eval = |lo: usize, hi: usize| -> f64 { (lo..hi).map(|i| 1.0 / (i as f64 + 1.0)).sum() };
+        let combine = |parts: Vec<f64>| parts.into_iter().fold(0.0f64, |a, b| a + b);
+        let seq = combine(pool::execute_with_workers(n, 1, eval));
+        for workers in [2, 3, 4, 8] {
+            let par = combine(pool::execute_with_workers(n, workers, eval));
+            assert_eq!(seq.to_bits(), par.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn workers_run_concurrently() {
+        // Two chunks, two workers, a two-party barrier inside the chunk
+        // body: the test can only pass (and not deadlock) if two distinct
+        // threads evaluate chunks at the same time.
+        use std::sync::Barrier;
+        let barrier = Barrier::new(2);
+        let ids = pool::execute_with_workers(2, 2, |lo, _hi| {
+            barrier.wait();
+            (lo, std::thread::current().id())
+        });
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0].1, ids[1].1, "chunks ran on the same thread");
+        assert_eq!((ids[0].0, ids[1].0), (0, 1), "merge order broken");
+    }
+
+    #[test]
+    fn max_tie_resolution_matches_iterator() {
+        // Keyed items that compare equal but carry a distinguishing payload:
+        // Iterator::max keeps the *last* maximal element, Iterator::min the
+        // *first* minimal one. The parallel versions must agree.
+        #[derive(Clone, Copy, Debug)]
+        struct Keyed {
+            key: u32,
+            payload: usize,
+        }
+        impl PartialEq for Keyed {
+            fn eq(&self, other: &Self) -> bool {
+                self.key == other.key
+            }
+        }
+        impl Eq for Keyed {}
+        impl PartialOrd for Keyed {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Keyed {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.key.cmp(&other.key)
+            }
+        }
+        let xs: Vec<Keyed> = (0..500)
+            .map(|i| Keyed {
+                key: i % 5,
+                payload: i as usize,
+            })
+            .collect();
+        let par_max = xs.clone().into_par_iter().max().unwrap();
+        let seq_max = xs.iter().copied().max().unwrap();
+        assert_eq!(par_max.payload, seq_max.payload, "max must keep last tie");
+        let par_min = xs.clone().into_par_iter().min().unwrap();
+        let seq_min = xs.iter().copied().min().unwrap();
+        assert_eq!(par_min.payload, seq_min.payload, "min must keep first tie");
+    }
+
+    #[test]
+    fn stats_accumulate_busy_and_wall() {
+        let _ = pool::take_stats();
+        let s: u64 = (0..50_000u64).into_par_iter().map(|x| x % 17).sum();
+        assert_eq!(s, (0..50_000u64).map(|x| x % 17).sum::<u64>());
+        let st = pool::stats();
+        assert!(st.ops >= 1);
+        assert!(st.chunks >= 1);
+        assert!(st.effective_parallelism() > 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let xs: Vec<u32> = Vec::new();
+        assert_eq!(xs.clone().into_par_iter().max(), None);
+        assert_eq!(xs.clone().into_par_iter().count(), 0);
+        let v: Vec<u32> = xs.clone().into_par_iter().collect();
+        assert!(v.is_empty());
+        assert_eq!(xs.into_par_iter().reduce(|| 7, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        (1..=1000u64).into_par_iter().for_each(|x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 500_500);
     }
 }
