@@ -1,0 +1,151 @@
+//! Addressing bench: hash-interned vs. rank-indexed (arithmetic codec)
+//! construction and routing on HSN/CN instances at several sizes.
+//!
+//! Three comparisons per instance:
+//!
+//! - `interned_build` — label-by-label BFS generation with `FxHashMap`
+//!   interning, then CSR conversion (the general-IP fallback path);
+//! - `rank_build` — [`ipg_core::codec::NodeCodec`] construction plus the
+//!   arithmetic CSR emission (no label vector, no hash map);
+//! - `interned_route` / `rank_route` — Theorem-4.1 routing over labels
+//!   (`SuperRouter`, hash lookups per block) vs. over codec ids
+//!   (`TupleRouter`, pure mixed-radix arithmetic).
+//!
+//! `scripts/bench.sh` runs this suite with `CRITERION_JSON` set and
+//! distills the medians into `results/BENCH_core.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipg_core::routing::SuperRouter;
+use ipg_core::superip::{NucleusSpec, SuperIpSpec, TupleNetwork};
+use ipg_core::tuple_routing::TupleRouter;
+use std::hint::black_box;
+
+/// Fixed instance list, smallest to largest. The largest HSN and CN
+/// entries are the acceptance-criteria cases for the ≥ 2× build speedup.
+fn instances() -> Vec<SuperIpSpec> {
+    vec![
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)),
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(3)),
+        SuperIpSpec::hsn(2, NucleusSpec::hypercube(4)),
+        SuperIpSpec::hsn(3, NucleusSpec::hypercube(3)),
+        SuperIpSpec::complete_cn(4, NucleusSpec::hypercube(2)),
+        SuperIpSpec::complete_cn(5, NucleusSpec::hypercube(2)),
+    ]
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addressing");
+    g.sample_size(20);
+    for spec in instances() {
+        g.bench_function(format!("interned_build/{}", spec.name), |b| {
+            b.iter(|| {
+                let ip = spec.to_ip_spec().generate().unwrap();
+                black_box(ip.to_directed_csr().arc_count())
+            })
+        });
+        g.bench_function(format!("rank_build/{}", spec.name), |b| {
+            b.iter(|| {
+                // end-to-end: codec construction (nucleus enumeration +
+                // tables) is part of the build, not amortized away
+                let codec = spec.codec().unwrap();
+                black_box(codec.build_directed_csr().arc_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addressing");
+    g.sample_size(20);
+    for spec in instances() {
+        let ip = spec.to_ip_spec().generate().unwrap();
+        let sr = SuperRouter::new(&spec).unwrap();
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        let tr = TupleRouter::new(&tn).unwrap();
+        let codec = spec.codec().unwrap();
+        let n = ip.node_count() as u32;
+        // deterministic sample of (src, dst) pairs, identical nodes for
+        // both routers (mapped through the codec for the id-based one)
+        let pairs: Vec<(u32, u32)> = (0..32u32)
+            .map(|i| ((i * 97) % n, (i * 193 + n / 2) % n))
+            .collect();
+        g.bench_function(format!("interned_route/{}", spec.name), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &(u, v) in &pairs {
+                    total += sr.route(ip.label(u), ip.label(v)).unwrap().len();
+                }
+                black_box(total)
+            })
+        });
+        let id_pairs: Vec<(u32, u32)> = pairs
+            .iter()
+            .map(|&(u, v)| {
+                (
+                    codec.encode(ip.label(u).symbols()).unwrap(),
+                    codec.encode(ip.label(v).symbols()).unwrap(),
+                )
+            })
+            .collect();
+        g.bench_function(format!("rank_route/{}", spec.name), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &(u, v) in &id_pairs {
+                    total += tr.route(u, v).unwrap().len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addressing");
+    g.sample_size(20);
+    // microbench on the packed-boundary instance: 256 nodes, k = 16
+    let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(4));
+    let codec = spec.codec().unwrap();
+    let n = codec.node_count() as u32;
+    g.bench_function("codec_encode_decode/HSN(2,Q4)", |b| {
+        let mut buf = vec![0u8; codec.label_len()];
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in 0..n {
+                codec.decode_into(id, &mut buf);
+                acc += codec.encode(&buf).unwrap() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("codec_arcs/HSN(2,Q4)", |b| {
+        let mut out = Vec::with_capacity(codec.generator_count());
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in 0..n {
+                out.clear();
+                codec.arcs_into(id, &mut out);
+                acc += out.iter().map(|&w| w as u64).sum::<u64>();
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("packed_neighbors/HSN(2,Q4)", |b| {
+        let gens = codec.generator_count();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in 0..n {
+                let p = codec.decode_packed(id);
+                for gi in 0..gens {
+                    acc += codec.encode_packed(codec.apply_packed(p, gi)).unwrap() as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_route, bench_codec_ops);
+criterion_main!(benches);

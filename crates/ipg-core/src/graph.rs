@@ -62,15 +62,82 @@ impl Csr {
     }
 
     /// Build a graph by calling `neighbors(u, &mut out)` for each node.
+    /// Rows are written straight into the CSR arrays (one reused scratch
+    /// buffer, no per-node allocation); as with [`Csr::from_adj`], each row
+    /// is sorted, deduplicated, and stripped of self-loops.
     pub fn from_fn(n: usize, mut neighbors: impl FnMut(u32, &mut Vec<u32>)) -> Self {
-        let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
-        let mut buf = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut targets: Vec<u32> = Vec::new();
+        let mut buf: Vec<u32> = Vec::new();
         for u in 0..n as u32 {
             buf.clear();
             neighbors(u, &mut buf);
-            adj.push(buf.clone());
+            buf.sort_unstable();
+            buf.dedup();
+            buf.retain(|&v| v != u);
+            let total = targets.len() + buf.len();
+            assert!(total <= u32::MAX as usize, "arc count exceeds u32");
+            targets.extend_from_slice(&buf);
+            offsets.push(total as u32);
         }
-        Csr::from_adj(adj)
+        Csr { offsets, targets }
+    }
+
+    /// Parallel [`Csr::from_fn`]: rows are computed concurrently and then
+    /// concatenated in id order, so the result is identical to the
+    /// sequential build for any thread count (`neighbors` must be a pure
+    /// function of `u`).
+    pub fn from_fn_par(n: usize, neighbors: impl Fn(u32, &mut Vec<u32>) + Sync) -> Self {
+        use rayon::prelude::*;
+        let rows: Vec<Vec<u32>> = (0..n)
+            .into_par_iter()
+            .map(|u| {
+                let mut buf = Vec::new();
+                neighbors(u as u32, &mut buf);
+                buf.sort_unstable();
+                buf.dedup();
+                buf.retain(|&v| v != u as u32);
+                buf
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut total = 0usize;
+        for row in &rows {
+            total += row.len();
+            assert!(total <= u32::MAX as usize, "arc count exceeds u32");
+            offsets.push(total as u32);
+        }
+        let mut targets = Vec::with_capacity(total);
+        for row in &rows {
+            targets.extend_from_slice(row);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// The same graph under a node renumbering: old node `u` becomes
+    /// `new_ids[u]`. Panics unless `new_ids` is a bijection on `0..n`.
+    /// Used to compare graphs built in different numberings (e.g. the
+    /// BFS-interned builder vs. the arithmetic codec builder).
+    pub fn relabeled(&self, new_ids: &[u32]) -> Csr {
+        let n = self.node_count();
+        assert_eq!(new_ids.len(), n, "relabeling length mismatch");
+        let mut old_of = vec![u32::MAX; n];
+        for (old, &new) in new_ids.iter().enumerate() {
+            assert!((new as usize) < n, "relabeling target out of range");
+            assert_eq!(
+                old_of[new as usize],
+                u32::MAX,
+                "relabeling is not injective"
+            );
+            old_of[new as usize] = old as u32;
+        }
+        Csr::from_fn(n, |u, out| {
+            for &v in self.neighbors(old_of[u as usize]) {
+                out.push(new_ids[v as usize]);
+            }
+        })
     }
 
     /// Number of nodes.
@@ -236,5 +303,47 @@ mod tests {
         assert!(g.is_symmetric());
         assert!(g.is_regular());
         assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn from_fn_dedups_and_drops_loops() {
+        let g = Csr::from_fn(3, |u, out| {
+            out.push(u); // self-loop, dropped
+            out.push((u + 1) % 3);
+            out.push((u + 1) % 3); // duplicate, merged
+        });
+        assert_eq!(g.arc_count(), 3);
+        for u in 0..3 {
+            assert!(!g.has_arc(u, u));
+        }
+    }
+
+    #[test]
+    fn from_fn_par_matches_sequential() {
+        let f = |u: u32, out: &mut Vec<u32>| {
+            out.push(u); // self-loop
+            out.push((u * 7 + 3) % 100);
+            out.push((u * 13 + 1) % 100);
+            out.push((u * 7 + 3) % 100); // duplicate
+        };
+        assert_eq!(Csr::from_fn(100, f), Csr::from_fn_par(100, f));
+    }
+
+    #[test]
+    fn relabeled_reverses_a_rotation() {
+        // directed triangle 0->1->2->0, rotated by one
+        let g = Csr::from_edges(3, [(0, 1), (1, 2), (2, 0)], false);
+        let r = g.relabeled(&[1, 2, 0]);
+        assert!(r.has_arc(1, 2));
+        assert!(r.has_arc(2, 0));
+        assert!(r.has_arc(0, 1));
+        // identity relabeling is a no-op
+        assert_eq!(g.relabeled(&[0, 1, 2]), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn relabeled_rejects_non_bijection() {
+        path3().relabeled(&[0, 0, 1]);
     }
 }

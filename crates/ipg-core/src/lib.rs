@@ -23,6 +23,9 @@
 //!   connectivity; all-pairs sweeps are parallelized with rayon.
 //! - [`superip`] — super-IP graphs: nucleus + super-generators, the
 //!   equivalent *tuple network* construction, and symmetric variants.
+//! - [`codec`] — arithmetic node addressing for super-IP graphs: label ↔
+//!   dense-id codec (mixed-radix over nucleus ranks) and the rank-indexed
+//!   CSR builder that skips hash interning entirely.
 //! - [`routing`] — the constructive routing algorithm of Theorem 4.1 and the
 //!   super-generator schedules `t`/`t_S` it relies on.
 //! - [`symmetry`] — regularity, vertex-transitivity and isomorphism checks
@@ -49,6 +52,7 @@
 pub mod algo;
 pub mod builder;
 pub mod centrality;
+pub mod codec;
 pub mod connectivity;
 pub mod embed;
 pub mod error;
@@ -65,6 +69,7 @@ pub mod tuple_routing;
 pub mod util;
 
 pub use builder::IpGraph;
+pub use codec::{NodeCodec, PackedLabel};
 pub use error::{IpgError, Result};
 pub use graph::Csr;
 pub use label::Label;
@@ -76,6 +81,7 @@ pub use superip::{NucleusSpec, SeedKind, SuperGen, SuperIpSpec, TupleNetwork};
 pub mod prelude {
     pub use crate::algo;
     pub use crate::builder::IpGraph;
+    pub use crate::codec::{NodeCodec, PackedLabel};
     pub use crate::error::{IpgError, Result};
     pub use crate::graph::Csr;
     pub use crate::label::Label;

@@ -22,8 +22,6 @@ use crate::error::{IpgError, Result};
 use crate::label::Label;
 use crate::perm::Perm;
 use crate::superip::{SeedKind, SuperIpSpec};
-use crate::util::FxHashMap;
-use std::collections::VecDeque;
 
 /// A sequence of super-generator indices (into `spec.supers`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,50 +48,12 @@ impl Schedule {
 /// visited the leftmost position (Theorem 4.1's `t`); `Some(perm)`
 /// additionally requires the final arrangement to equal `perm`
 /// (Theorem 4.3's per-destination requirement).
+///
+/// Delegates to [`crate::tuple_routing::schedule_over_perms`], which runs
+/// over flat per-state arrays (no hashing, no label clones) for `l ≤ 7`.
 fn schedule_search(spec: &SuperIpSpec, target: Option<&Perm>) -> Option<Schedule> {
-    let l = spec.l;
-    let perms = spec.block_perms();
-    let full: u32 = (1u32 << l) - 1;
-    let start = (Perm::identity(l), 1u32); // block 0 starts leftmost
-    let mut prev: FxHashMap<(Perm, u32), (usize, (Perm, u32))> = FxHashMap::default();
-    let mut queue = VecDeque::new();
-    let done = |state: &(Perm, u32)| -> bool {
-        state.1 == full
-            && match target {
-                None => true,
-                Some(t) => &state.0 == t,
-            }
-    };
-    if done(&start) {
-        return Some(Schedule { steps: vec![] });
-    }
-    prev.insert(start.clone(), (usize::MAX, start.clone()));
-    queue.push_back(start.clone());
-    while let Some(state) = queue.pop_front() {
-        for (gi, bp) in perms.iter().enumerate() {
-            let arr = state.0.then(bp);
-            let visited = state.1 | (1 << arr.image()[0]);
-            let nstate = (arr, visited);
-            if prev.contains_key(&nstate) {
-                continue;
-            }
-            prev.insert(nstate.clone(), (gi, state.clone()));
-            if done(&nstate) {
-                // reconstruct
-                let mut steps = Vec::new();
-                let mut cur = nstate;
-                while cur != start {
-                    let (gi, parent) = prev[&cur].clone();
-                    steps.push(gi);
-                    cur = parent;
-                }
-                steps.reverse();
-                return Some(Schedule { steps });
-            }
-            queue.push_back(nstate);
-        }
-    }
-    None
+    crate::tuple_routing::schedule_over_perms(&spec.block_perms(), spec.l, target)
+        .map(|steps| Schedule { steps })
 }
 
 /// Theorem 4.1's `t`: the minimum number of super-generator applications
@@ -249,12 +209,14 @@ impl SuperRouter {
 
     /// Sort the leftmost block of `cur` to match `target_block`, appending
     /// every intermediate label to `path`. Uses greedy descent on the
-    /// nucleus distance table (≤ `D_G` steps).
+    /// nucleus distance table (≤ `D_G` steps). `scratch` must have the
+    /// same length as `cur` (permutation output buffer, no allocation).
     fn sort_leftmost(
         &self,
         cur: &mut Vec<u8>,
         target_block: &[u8],
         path: &mut Vec<Label>,
+        scratch: &mut Vec<u8>,
     ) -> Result<()> {
         let m = self.spec.m();
         let (mut a, _) = self.block_id(&cur[..m])?;
@@ -272,9 +234,9 @@ impl SuperRouter {
                 let succ = self.nucleus.arc(a, gi);
                 if self.ndist(succ, b) + 1 == d {
                     // apply the corresponding full-label generator
-                    let next = self.full_perms[gi].apply(cur);
-                    *cur = next;
-                    path.push(Label::from(cur.clone()));
+                    self.full_perms[gi].apply_into(cur, scratch);
+                    std::mem::swap(cur, scratch);
+                    path.push(Label::from(cur.as_slice()));
                     a = succ;
                     advanced = true;
                     break;
@@ -340,9 +302,15 @@ impl SuperRouter {
         let super_gen_offset = self.spec.nucleus.spec.generators.len();
 
         let mut cur = src.symbols().to_vec();
+        let mut scratch = vec![0u8; cur.len()];
         let mut path = vec![src.clone()];
         // Sort the block currently leftmost (initial position 0).
-        self.sort_leftmost(&mut cur, dst.block(final_pos[0], m), &mut path)?;
+        self.sort_leftmost(
+            &mut cur,
+            dst.block(final_pos[0], m),
+            &mut path,
+            &mut scratch,
+        )?;
 
         let mut sorted = vec![false; l];
         sorted[0] = true;
@@ -350,12 +318,12 @@ impl SuperRouter {
         for &gi in &schedule.steps {
             let bp = self.spec.supers[gi].block_perm(l);
             arr = arr.then(&bp);
-            let next = self.full_perms[super_gen_offset + gi].apply(&cur);
-            let changed = next != cur;
-            cur = next;
+            self.full_perms[super_gen_offset + gi].apply_into(&cur, &mut scratch);
+            let changed = scratch != cur;
+            std::mem::swap(&mut cur, &mut scratch);
             if changed {
                 // label fixed points are no-ops, not link traversals
-                path.push(Label::from(cur.clone()));
+                path.push(Label::from(cur.as_slice()));
             }
             let leftmost_origin = arr.image()[0] as usize;
             if !sorted[leftmost_origin] {
@@ -364,6 +332,7 @@ impl SuperRouter {
                     &mut cur,
                     dst.block(final_pos[leftmost_origin], m),
                     &mut path,
+                    &mut scratch,
                 )?;
             }
         }

@@ -96,6 +96,7 @@ pub fn solve(spec: &IpGraphSpec, src: &Label, dst: &Label, node_budget: usize) -
     };
 
     let mut explored = 2usize;
+    let mut scratch = vec![0u8; k];
     loop {
         // expand the smaller frontier one full level; collect every meet
         // in the level and keep the one with the smallest total depth
@@ -115,10 +116,13 @@ pub fn solve(spec: &IpGraphSpec, src: &Label, dst: &Label, node_budget: usize) -
             let cur = queue.pop_front().expect("level counted");
             let depth = this[&cur].2 + 1;
             for (gi, p) in perms.iter().enumerate() {
-                let next = Label::from(p.apply(cur.symbols()));
-                if this.contains_key(&next) {
+                // probe with the scratch buffer (Label: Borrow<[u8]>) so
+                // already-seen candidates cost no allocation
+                p.apply_into(cur.symbols(), &mut scratch);
+                if this.contains_key(scratch.as_slice()) {
                     continue;
                 }
+                let next = Label::from(scratch.as_slice());
                 explored += 1;
                 if explored > node_budget {
                     return Err(IpgError::BudgetExceeded {

@@ -423,6 +423,31 @@ impl SuperIpSpec {
         (0..self.l).all(|b| group.iter().any(|p| p.image()[0] as usize == b))
     }
 
+    /// The arithmetic label ↔ id codec for this spec, when supported
+    /// (tables within bounds, id space fits `u32`).
+    pub fn codec(&self) -> Result<crate::codec::NodeCodec> {
+        crate::codec::NodeCodec::new(self)
+    }
+
+    /// Directed simple CSR of the generated graph via the rank-indexed
+    /// fast path — no label vector, no hash interning. Falls back to
+    /// hash-interned BFS generation when the codec does not support the
+    /// spec; note the two paths number nodes differently (mixed-radix
+    /// codec ids vs. BFS discovery order), so use
+    /// [`crate::codec::NodeCodec::renumbering`] to compare them.
+    pub fn fast_directed_csr(&self) -> Result<Csr> {
+        match self.codec() {
+            Ok(codec) => Ok(codec.build_directed_csr()),
+            Err(_) => Ok(self.to_ip_spec().generate()?.to_directed_csr()),
+        }
+    }
+
+    /// Undirected (symmetrized) counterpart of
+    /// [`SuperIpSpec::fast_directed_csr`].
+    pub fn fast_undirected_csr(&self) -> Result<Csr> {
+        Ok(self.fast_directed_csr()?.symmetrized())
+    }
+
     /// Expand into a plain IP-graph spec: nucleus generators act on the
     /// leftmost block's positions, super-generators permute blocks, and the
     /// seed follows [`SeedKind`].
@@ -494,6 +519,10 @@ pub struct TupleNetwork {
     /// Block-order group (identity only for plain super-IP graphs).
     order_group: Vec<Perm>,
     order_index: FxHashMap<Perm, u32>,
+    /// Dense order transitions: `order_next[oi·supers + si]` is the index
+    /// of `order_group[oi].then(&block_perms[si])`. Kills the hash lookup
+    /// on the per-edge hot path of [`TupleNetwork::build`].
+    order_next: Vec<u32>,
 }
 
 impl TupleNetwork {
@@ -543,11 +572,19 @@ impl TupleNetwork {
                 elems
             }
         };
-        let order_index = order_group
+        let order_index: FxHashMap<Perm, u32> = order_group
             .iter()
             .enumerate()
             .map(|(i, p)| (p.clone(), i as u32))
             .collect();
+        let mut order_next = vec![0u32; order_group.len() * block_perms.len()];
+        if order_group.len() > 1 {
+            for (oi, sigma) in order_group.iter().enumerate() {
+                for (si, bp) in block_perms.iter().enumerate() {
+                    order_next[oi * block_perms.len() + si] = order_index[&sigma.then(bp)];
+                }
+            }
+        }
         TupleNetwork {
             name: name.into(),
             nucleus,
@@ -555,6 +592,7 @@ impl TupleNetwork {
             block_perms,
             order_group,
             order_index,
+            order_next,
         }
     }
 
@@ -588,52 +626,53 @@ impl TupleNetwork {
 
     /// Decode a node id into `(order_idx, tuple)`.
     pub fn decode(&self, node: u32) -> (u32, Vec<u32>) {
+        let mut tuple = vec![0u32; self.l];
+        let order_idx = self.decode_into(node, &mut tuple);
+        (order_idx, tuple)
+    }
+
+    /// Allocation-free [`TupleNetwork::decode`]: fill `tuple` (length `l`)
+    /// and return the order index.
+    pub fn decode_into(&self, node: u32, tuple: &mut [u32]) -> u32 {
+        debug_assert_eq!(tuple.len(), self.l);
         let m = self.m_nodes() as u64;
         let base = m.pow(self.l as u32);
         let mut id = node as u64;
         let order_idx = (id / base) as u32;
         id %= base;
-        let mut tuple = Vec::with_capacity(self.l);
-        for _ in 0..self.l {
-            tuple.push((id % m) as u32);
+        for slot in tuple.iter_mut() {
+            *slot = (id % m) as u32;
             id /= m;
         }
-        (order_idx, tuple)
+        order_idx
     }
 
-    /// Materialize the undirected graph.
+    /// Materialize the undirected graph. Entirely arithmetic: coordinate 0
+    /// has mixed-radix weight 1, so a nucleus edge is `node − g_0 + g_0'`,
+    /// and order transitions come from the dense `order_next` table — no
+    /// hashing, no per-node allocation.
     pub fn build(&self) -> Csr {
         let n = self.node_count();
-        let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
-        let mut tuple_buf = vec![0u32; self.l];
-        for node in 0..n as u32 {
-            let (oi, tuple) = self.decode(node);
-            let mut row =
-                Vec::with_capacity(self.nucleus.degree(tuple[0]) + self.block_perms.len());
-            // nucleus edges on coordinate 0
+        let mut tuple = vec![0u32; self.l];
+        let mut buf = vec![0u32; self.l];
+        let supers = self.block_perms.len();
+        Csr::from_fn(n, |node, row| {
+            let oi = self.decode_into(node, &mut tuple);
+            // nucleus edges on coordinate 0 (weight M^0 = 1)
+            let base_id = node - tuple[0];
             for &nb in self.nucleus.neighbors(tuple[0]) {
-                tuple_buf.copy_from_slice(&tuple);
-                tuple_buf[0] = nb;
-                row.push(self.encode(oi, &tuple_buf));
+                row.push(base_id + nb);
             }
             // super edges
-            let sigma = &self.order_group[oi as usize];
-            for bp in &self.block_perms {
-                for (j, slot) in tuple_buf.iter_mut().enumerate() {
+            for (si, bp) in self.block_perms.iter().enumerate() {
+                for (j, slot) in buf.iter_mut().enumerate() {
                     *slot = tuple[bp.image()[j] as usize];
                 }
-                // For plain (repeated-seed) graphs the order component is
-                // trivial: every block permutation keeps the single order.
-                let oi2 = if self.order_group.len() == 1 {
-                    0
-                } else {
-                    self.order_index[&sigma.then(bp)]
-                };
-                row.push(self.encode(oi2, &tuple_buf));
+                let oi2 = self.order_next[oi as usize * supers + si];
+                row.push(self.encode(oi2, &buf));
             }
-            adj.push(row);
-        }
-        Csr::from_adj(adj).symmetrized()
+        })
+        .symmetrized()
     }
 
     /// The block-order permutation at index `idx`.
@@ -643,13 +682,10 @@ impl TupleNetwork {
 
     /// Apply super-generator `gen_idx` to the order component: the index
     /// of `order_perm(idx).then(block_perms[gen_idx])` (always 0 for
-    /// plain repeated-seed networks).
+    /// plain repeated-seed networks). A dense table lookup.
+    #[inline]
     pub fn order_apply(&self, idx: u32, gen_idx: usize) -> u32 {
-        if self.order_group.len() == 1 {
-            return 0;
-        }
-        let next = self.order_group[idx as usize].then(&self.block_perms[gen_idx]);
-        self.order_index[&next]
+        self.order_next[idx as usize * self.block_perms.len() + gen_idx]
     }
 
     /// Module id of each node under the paper's §5 packing: one nucleus

@@ -11,16 +11,98 @@
 use crate::algo;
 use crate::error::{IpgError, Result};
 use crate::perm::Perm;
+use crate::rank;
 use crate::superip::TupleNetwork;
-use crate::util::FxHashMap;
+use crate::util::{factorial, FxHashMap};
 use std::collections::VecDeque;
+
+/// Largest `l` for which the schedule search uses flat per-state arrays
+/// (`l!·2^l` entries: 645,120 at `l = 7`). Beyond that the sparse
+/// hash-map search is both smaller and faster, since BFS rarely touches
+/// the full state space.
+const FLAT_SCHEDULE_MAX_L: usize = 7;
+
+/// `via` sentinel: state not yet discovered.
+const VIA_UNSEEN: u8 = 0xFF;
+/// `via` sentinel: the BFS start state.
+const VIA_START: u8 = 0xFE;
 
 /// Minimal super-generator schedule over raw block permutations: visits
 /// every block at the leftmost position; optionally ends at `target`.
-/// (The [`crate::routing`] spec-level helpers delegate to the same search
-/// semantics.)
+/// (The [`crate::routing`] spec-level helpers delegate to this search.)
+///
+/// States are `(block arrangement, visited set)`. For `l ≤ 7` the search
+/// runs over flat arrays indexed by `perm_rank(arrangement)·2^l ∣ visited`
+/// — no hashing, no per-state `Perm` clones in the parent map. The FIFO
+/// order and generator iteration order are identical to the hash-map
+/// fallback, so both produce the same schedule.
 pub fn schedule_over_perms(perms: &[Perm], l: usize, target: Option<&Perm>) -> Option<Vec<usize>> {
     let full: u32 = (1u32 << l) - 1;
+    // The start state (identity arrangement, block 0 visited) may already
+    // satisfy the goal — only possible when l = 1.
+    if full == 1 && target.map(|t| t == &Perm::identity(l)).unwrap_or(true) {
+        return Some(vec![]);
+    }
+    if l <= FLAT_SCHEDULE_MAX_L && perms.len() < VIA_START as usize {
+        schedule_flat(perms, l, target, full)
+    } else {
+        schedule_hashed(perms, l, target, full)
+    }
+}
+
+/// Lexicographic rank of a block arrangement — the flat-state row index.
+#[inline]
+fn arrangement_rank(p: &Perm) -> usize {
+    let mut buf = [0u8; FLAT_SCHEDULE_MAX_L];
+    for (o, &v) in buf.iter_mut().zip(p.image().iter()) {
+        *o = v as u8;
+    }
+    rank::multiset_rank(&buf[..p.len()]) as usize
+}
+
+fn schedule_flat(perms: &[Perm], l: usize, target: Option<&Perm>, full: u32) -> Option<Vec<usize>> {
+    let states = factorial(l) as usize * (1usize << l);
+    // Discovery bookkeeping: which generator reached each state, and from
+    // which state. `via` doubles as the visited set.
+    let mut via = vec![VIA_UNSEEN; states];
+    let mut parent = vec![0u32; states];
+    let start = Perm::identity(l);
+    let start_idx = (arrangement_rank(&start) << l) | 1; // block 0 starts leftmost
+    via[start_idx] = VIA_START;
+    let mut queue: VecDeque<(Perm, u32, u32)> = VecDeque::new();
+    queue.push_back((start, 1, start_idx as u32));
+    while let Some((arrangement, visited, idx)) = queue.pop_front() {
+        for (gi, bp) in perms.iter().enumerate() {
+            let arr = arrangement.then(bp);
+            let nvis = visited | (1 << arr.image()[0]);
+            let nidx = (arrangement_rank(&arr) << l) | nvis as usize;
+            if via[nidx] != VIA_UNSEEN {
+                continue;
+            }
+            via[nidx] = gi as u8;
+            parent[nidx] = idx;
+            if nvis == full && target.map(|t| &arr == t).unwrap_or(true) {
+                let mut steps = Vec::new();
+                let mut cur = nidx;
+                while via[cur] != VIA_START {
+                    steps.push(via[cur] as usize);
+                    cur = parent[cur] as usize;
+                }
+                steps.reverse();
+                return Some(steps);
+            }
+            queue.push_back((arr, nvis, nidx as u32));
+        }
+    }
+    None
+}
+
+fn schedule_hashed(
+    perms: &[Perm],
+    l: usize,
+    target: Option<&Perm>,
+    full: u32,
+) -> Option<Vec<usize>> {
     let start = (Perm::identity(l), 1u32);
     let done =
         |state: &(Perm, u32)| state.1 == full && target.map(|t| &state.0 == t).unwrap_or(true);

@@ -7,6 +7,7 @@
 
 use ipg_core::algo;
 use ipg_core::graph::Csr;
+use ipg_core::superip::SuperIpSpec;
 use ipg_obs::Obs;
 
 /// Dense next-hop table: `next[u·n + d]` is the neighbor of `u` on a
@@ -34,16 +35,19 @@ impl RoutingTable {
         obs.counter("table.arcs").add(g.arc_count() as u64);
         obs.counter("table.entries").add((n * n) as u64);
         let bfs_runs = obs.counter("table.bfs_runs");
+        // borrow the input directly when symmetric — no O(n+m) clone
+        let rev_storage;
         let rev = if g.is_symmetric() {
-            g.clone()
+            g
         } else {
-            g.reversed()
+            rev_storage = g.reversed();
+            &rev_storage
         };
         let mut next = vec![0u32; n * n];
         for d in 0..n as u32 {
             bfs_runs.incr();
             // dist[u] = distance from u to d (BFS from d over reversed arcs)
-            let dist = algo::bfs(&rev, d);
+            let dist = algo::bfs(rev, d);
             for u in 0..n as u32 {
                 if u == d || dist[u as usize] == algo::UNREACHABLE {
                     next[u as usize * n + d as usize] = u;
@@ -72,6 +76,15 @@ impl RoutingTable {
             }
         }
         RoutingTable { n, next }
+    }
+
+    /// Build the table for a super-IP spec via the rank-indexed fast path
+    /// ([`SuperIpSpec::fast_undirected_csr`]): the graph is emitted
+    /// straight to CSR in codec-id numbering, so table row/column indices
+    /// are codec ids — stable across thread counts and sessions, unlike
+    /// BFS discovery order.
+    pub fn for_super_ip(spec: &SuperIpSpec) -> ipg_core::Result<Self> {
+        Ok(Self::new(&spec.fast_undirected_csr()?))
     }
 
     /// Number of nodes.
@@ -143,6 +156,23 @@ mod tests {
         let g = cycle(5);
         let t = RoutingTable::new(&g);
         assert_eq!(t.path(3, 3), vec![3]);
+    }
+
+    #[test]
+    fn for_super_ip_matches_codec_graph() {
+        use ipg_core::superip::NucleusSpec;
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+        let t = RoutingTable::for_super_ip(&spec).unwrap();
+        assert_eq!(t.node_count(), 16);
+        let g = spec.fast_undirected_csr().unwrap();
+        // every next hop is a real link on a shortest path
+        for u in 0..16u32 {
+            let d = algo::bfs(&g, u);
+            for v in 0..16u32 {
+                let p = t.path(v, u);
+                assert_eq!(p.len() - 1, d[v as usize] as usize);
+            }
+        }
     }
 
     #[test]

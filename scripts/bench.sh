@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_core.json reproducibly: fixed instance list
+# (see benches/addressing.rs), pinned worker count, medians over 20
+# samples. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pin the pool so interned-build parallelism doesn't vary run to run.
+export IPG_THREADS="${IPG_THREADS:-4}"
+
+jsonl="$(mktemp /tmp/addressing.XXXXXX.jsonl)"
+trap 'rm -f "$jsonl"' EXIT
+
+echo "== cargo bench --bench addressing (IPG_THREADS=$IPG_THREADS) =="
+CRITERION_JSON="$jsonl" cargo bench -p ipg-bench --bench addressing
+
+echo "== bench_report -> results/BENCH_core.json =="
+cargo run --release -p ipg-bench --bin bench_report -- "$jsonl"

@@ -21,4 +21,10 @@ IPG_THREADS=1 cargo test -q
 echo "== property tests, 256 cases =="
 PROPTEST_CASES=256 cargo test -q --release --test proptests
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
+echo "== codec property pass =="
+PROPTEST_CASES=64 cargo test -q --release --test proptests codec
+
 echo "all checks passed"

@@ -388,6 +388,89 @@ proptest! {
     }
 
     #[test]
+    fn codec_roundtrip_bijective(l in 2usize..4, family in 0usize..4, kind in 0usize..5) {
+        // unrank(rank(x)) == x and rank is a bijection onto 0..N across
+        // random super-IP specs — every family, repeated and symmetric
+        // (distinct-shifted) seeds.
+        let (nuc, sym) = match kind {
+            0 => (NucleusSpec::hypercube(1), false),
+            1 => (NucleusSpec::hypercube(2), false),
+            2 => (NucleusSpec::complete(3), false),
+            3 => (NucleusSpec::ring(4), false),
+            _ => (NucleusSpec::hypercube(1), true),
+        };
+        let mut spec = super_family(family, l, nuc);
+        if sym {
+            spec = spec.symmetric();
+        }
+        if spec.expected_size().unwrap() <= 5_000 {
+            let codec = spec.codec().unwrap();
+            let n = codec.node_count() as u32;
+            // in-range: exactly Theorem-3.2-many ids
+            prop_assert_eq!(codec.node_count() as u64, spec.expected_size().unwrap());
+            let mut buf = vec![0u8; codec.label_len()];
+            for id in 0..n {
+                codec.decode_into(id, &mut buf);
+                // encode(decode(id)) == id for all ids ⇒ decode is
+                // injective and encode surjective on 0..N: a bijection.
+                prop_assert_eq!(codec.encode(&buf), Some(id), "{}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn codec_csr_matches_interned(l in 2usize..3, family in 0usize..4, kind in 0usize..5) {
+        // The arithmetic CSR is byte-identical to the hash-interned
+        // builder's CSR after renumbering interned ids through the codec.
+        let (nuc, sym) = match kind {
+            0 => (NucleusSpec::hypercube(1), false),
+            1 => (NucleusSpec::hypercube(2), false),
+            2 => (NucleusSpec::complete(3), false),
+            3 => (NucleusSpec::ring(4), false),
+            _ => (NucleusSpec::hypercube(2), true),
+        };
+        let mut spec = super_family(family, l, nuc);
+        if sym {
+            spec = spec.symmetric();
+        }
+        if spec.expected_size().unwrap() <= 2_000 {
+            let ip = spec.to_ip_spec().generate().unwrap();
+            let codec = spec.codec().unwrap();
+            let map = codec.renumbering(&ip).unwrap();
+            prop_assert_eq!(
+                ip.to_directed_csr().relabeled(&map),
+                codec.build_directed_csr(),
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn codec_packed_matches_arcs(l in 2usize..4, family in 0usize..4, sym in 0usize..2) {
+        // byte-shuffle (packed) neighbor generation agrees with the
+        // mixed-radix arithmetic path, generator by generator.
+        let mut spec = super_family(family, l, NucleusSpec::hypercube(2));
+        if sym == 1 {
+            spec = spec.symmetric();
+        }
+        if spec.expected_size().unwrap() <= 2_000 {
+            let codec = spec.codec().unwrap();
+            prop_assert!(codec.supports_packed(), "{}: k > 16?", spec.name);
+            let n = codec.node_count() as u32;
+            let mut arcs = Vec::new();
+            for id in 0..n {
+                arcs.clear();
+                codec.arcs_into(id, &mut arcs);
+                prop_assert_eq!(arcs.len(), codec.generator_count());
+                for (gi, &arc) in arcs.iter().enumerate() {
+                    prop_assert_eq!(codec.packed_neighbor(id, gi), arc, "{}", spec.name);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn router_paths_valid_on_random_pairs(pairs in proptest::collection::vec((0u32..64, 0u32..64), 1..8)) {
         let spec = SuperIpSpec::hsn(3, NucleusSpec::hypercube(1));
         let ip = spec.to_ip_spec().generate().unwrap();

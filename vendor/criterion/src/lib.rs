@@ -7,7 +7,14 @@
 //! macros. Instead of criterion's statistical analysis it runs a short
 //! warm-up, times `sample_size` batches, and prints min/median/mean
 //! per-iteration wall-clock times.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! finished benchmark additionally appends one JSON object per line
+//! (`{"group", "id", "median_ns", "min_ns", "mean_ns", "samples",
+//! "iters"}`) to it, so runner scripts can collect machine-readable
+//! results without parsing stdout.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Benchmark driver; create one per `criterion_group!` function.
@@ -97,6 +104,7 @@ impl BenchmarkGroup<'_> {
             per_iter.len(),
             b.iters,
         );
+        emit_json(&self.name, &id, min, median, mean, per_iter.len(), b.iters);
         self
     }
 
@@ -118,6 +126,37 @@ impl Bencher {
             std::hint::black_box(routine());
         }
         self.elapsed = start.elapsed();
+    }
+}
+
+/// Append one result line to the `CRITERION_JSON` file, if set. The JSON
+/// is hand-formatted (this crate has no serde); group/id strings are
+/// benchmark identifiers from our own benches, escaped minimally.
+fn emit_json(group: &str, id: &str, min: f64, median: f64, mean: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{},\"iters\":{}}}\n",
+        esc(group),
+        esc(id),
+        median * 1e9,
+        min * 1e9,
+        mean * 1e9,
+        samples,
+        iters,
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion: cannot append to CRITERION_JSON={path}: {e}");
     }
 }
 
