@@ -1,0 +1,288 @@
+//! The committed findings baseline: `results/ANALYZE_baseline.json`.
+//!
+//! The baseline grandfathers pre-existing findings so the gate can be
+//! turned on strictly for *new* code. Policy (DESIGN.md §9): **the
+//! baseline may only shrink** — entries are matched against current
+//! findings by `(rule, path, snippet)`, and an entry that no longer
+//! matches anything is reported as *stale* and fails the gate until it is
+//! deleted. Every entry carries a `reason` explaining why it is
+//! grandfathered rather than fixed.
+//!
+//! The file is a JSON array with one flat, string-valued object per
+//! entry. Parsing is hand-rolled (this crate is dependency-free); the
+//! grammar accepted is exactly what [`render`] emits plus arbitrary
+//! whitespace, which covers hand-edits that delete lines.
+
+use crate::rules::Finding;
+
+/// One grandfathered finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    /// Trimmed source line at the finding site (line-number free, so the
+    /// baseline survives unrelated edits above the site).
+    pub snippet: String,
+    pub reason: String,
+}
+
+impl BaselineEntry {
+    /// Matching key against a current finding.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule && self.path == f.path && self.snippet == f.snippet
+    }
+}
+
+/// Serialize entries (sorted) to the committed JSON form.
+pub fn render(entries: &[BaselineEntry]) -> String {
+    let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| (&a.path, &a.rule, &a.snippet).cmp(&(&b.path, &b.rule, &b.snippet)));
+    let mut out = String::from("[\n");
+    for (i, e) in sorted.iter().enumerate() {
+        out.push_str("  {\"rule\":");
+        out.push_str(&quote(&e.rule));
+        out.push_str(",\"path\":");
+        out.push_str(&quote(&e.path));
+        out.push_str(",\"snippet\":");
+        out.push_str(&quote(&e.snippet));
+        out.push_str(",\"reason\":");
+        out.push_str(&quote(&e.reason));
+        out.push('}');
+        if i + 1 < sorted.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// JSON string quoting (shared with the report writer).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse the baseline file. Accepts an array of flat objects whose values
+/// are strings; unknown keys are ignored (forward compatibility).
+pub fn parse(src: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.expect(b'[')?;
+    let mut entries = Vec::new();
+    p.ws();
+    if p.peek() == Some(b']') {
+        return Ok(entries);
+    }
+    loop {
+        p.ws();
+        let obj = p.object()?;
+        let get = |k: &str| -> Result<String, String> {
+            obj.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("baseline entry missing `{k}`"))
+        };
+        entries.push(BaselineEntry {
+            rule: get("rule")?,
+            path: get("path")?,
+            snippet: get("snippet")?,
+            reason: get("reason")?,
+        });
+        p.ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b']') => break,
+            other => return Err(format!("expected `,` or `]`, got {other:?}")),
+        }
+    }
+    Ok(entries)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.next() {
+            Some(x) if x == c => Ok(()),
+            other => Err(format!("expected `{}`, got {other:?}", c as char)),
+        }
+    }
+    fn object(&mut self) -> Result<Vec<(String, String)>, String> {
+        self.expect(b'{')?;
+        let mut kv = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(kv);
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.string()?;
+            kv.push((key, val));
+            self.ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+        Ok(kv)
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => break,
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|c| (c as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            v = v * 16 + d;
+                        }
+                        out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // re-assemble UTF-8 multibyte sequences byte-for-byte
+                    let start = self.i - 1;
+                    let len = if c >= 0xf0 {
+                        4
+                    } else if c >= 0xe0 {
+                        3
+                    } else {
+                        2
+                    };
+                    let end = (start + len).min(self.b.len());
+                    out.push_str(&String::from_utf8_lossy(&self.b[start..end]));
+                    self.i = end;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rule: &str, path: &str, snippet: &str, reason: &str) -> BaselineEntry {
+        BaselineEntry {
+            rule: rule.into(),
+            path: path.into(),
+            snippet: snippet.into(),
+            reason: reason.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![
+            entry("PANIC001", "crates/x/src/lib.rs", "x.unwrap();", "legacy"),
+            entry(
+                "DET003",
+                "crates/y/src/a.rs",
+                "Instant::now()",
+                "quoted \"why\"",
+            ),
+        ];
+        let text = render(&entries);
+        let back = parse(&text).unwrap();
+        // render sorts by (path, rule, snippet)
+        assert_eq!(back.len(), 2);
+        assert!(back.contains(&entries[0]));
+        assert!(back.contains(&entries[1]));
+        // byte-stable: render(parse(render)) == render
+        assert_eq!(render(&back), text);
+    }
+
+    #[test]
+    fn empty_array_parses() {
+        assert_eq!(parse("[]").unwrap(), vec![]);
+        assert_eq!(parse(" [\n]\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn hand_deleting_a_line_still_parses() {
+        let entries = vec![entry("A1", "p", "s", "r"), entry("B1", "q", "t", "u")];
+        let text = render(&entries);
+        // a human deletes the first entry line (and fixes the comma)
+        let edited: String = text
+            .lines()
+            .filter(|l| !l.contains("\"A1\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = parse(&edited).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].rule, "B1");
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let e = entry("R", "p", "say \"hi\"\tnow\\", "multi\nline");
+        let back = parse(&render(std::slice::from_ref(&e))).unwrap();
+        assert_eq!(back[0], e);
+    }
+
+    #[test]
+    fn malformed_is_an_error() {
+        assert!(parse("{").is_err());
+        assert!(parse("[{\"rule\":\"R\"}]").is_err()); // missing keys
+        assert!(parse("[{\"rule\":\"R\" \"path\":\"p\"}]").is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Workspace walk + analysis orchestration.
+//!
+//! The driver discovers crates from the root `Cargo.toml` workspace
+//! `members` list (globs expanded via the filesystem), lexes every `.rs`
+//! file under each member's `src/`, `tests/`, and `benches/` trees, runs
+//! the rules, applies suppressions, and diffs the survivors against the
+//! committed baseline. All traversal and output orders are sorted, so two
+//! runs produce byte-identical reports regardless of readdir order,
+//! thread count, or environment.
+
+use crate::baseline::{self, BaselineEntry};
+use crate::lexer;
+use crate::rules::{self, FileCtx, FileKind, Finding};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Analysis configuration.
+pub struct Config {
+    /// Workspace root (directory containing the `[workspace]` Cargo.toml).
+    pub root: PathBuf,
+    /// Baseline file path (absolute or root-relative).
+    pub baseline_path: PathBuf,
+    /// When set, only findings of these rules are reported (baseline
+    /// entries for other rules are ignored too, not treated as stale).
+    pub rules_filter: Option<Vec<String>>,
+}
+
+impl Config {
+    pub fn new(root: PathBuf) -> Config {
+        let baseline_path = root.join("results/ANALYZE_baseline.json");
+        Config {
+            root,
+            baseline_path,
+            rules_filter: None,
+        }
+    }
+}
+
+/// The result of one analysis run.
+pub struct Outcome {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Findings matched (and excused) by a baseline entry, with its reason.
+    pub baselined: Vec<(Finding, String)>,
+    /// Baseline entries that matched no finding — the code was fixed, so
+    /// the entry must be deleted (the baseline may only shrink).
+    pub stale: Vec<BaselineEntry>,
+    /// Count of findings silenced by inline suppressions.
+    pub suppressed: usize,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Outcome {
+    /// Does this run pass the gate?
+    pub fn ok(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Run the analysis.
+pub fn analyze(cfg: &Config) -> Result<Outcome, String> {
+    let members = workspace_members(&cfg.root)?;
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut files = 0usize;
+    let rule_set = rules::all_rules();
+
+    for member in &members {
+        let crate_name = crate_name(&cfg.root.join(member))?;
+        for (rel, kind) in member_sources(&cfg.root, member) {
+            files += 1;
+            let abs = cfg.root.join(&rel);
+            let src =
+                fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+            let lexed = lexer::lex(&src);
+            let lines: Vec<String> = src.lines().map(|s| s.to_string()).collect();
+            let test_ranges = rules::test_ranges(&lexed);
+            let ctx = FileCtx {
+                crate_name: &crate_name,
+                rel_path: &rel,
+                kind,
+                lexed: &lexed,
+                lines: &lines,
+                test_ranges: &test_ranges,
+            };
+            let mut file_findings = Vec::new();
+            for r in &rule_set {
+                r.check(&ctx, &mut file_findings);
+            }
+            let (sups, mut hyg) = rules::parse_suppressions(&lexed.comments, &rel, &lines);
+            let before = file_findings.len();
+            file_findings.retain(|f| !rules::is_suppressed(f, &sups));
+            suppressed += before - file_findings.len();
+            file_findings.append(&mut hyg);
+            findings.append(&mut file_findings);
+        }
+    }
+
+    if let Some(filter) = &cfg.rules_filter {
+        findings.retain(|f| filter.iter().any(|r| r == f.rule));
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+
+    // Baseline diff: each entry may excuse exactly one finding.
+    let baseline_abs = if cfg.baseline_path.is_absolute() {
+        cfg.baseline_path.clone()
+    } else {
+        cfg.root.join(&cfg.baseline_path)
+    };
+    let mut entries: Vec<BaselineEntry> = match fs::read_to_string(&baseline_abs) {
+        Ok(text) => {
+            baseline::parse(&text).map_err(|e| format!("parse {}: {e}", baseline_abs.display()))?
+        }
+        Err(_) => Vec::new(), // no baseline file = empty baseline
+    };
+    if let Some(filter) = &cfg.rules_filter {
+        entries.retain(|e| filter.iter().any(|r| r == &e.rule));
+    }
+    let mut used = vec![false; entries.len()];
+    let mut new = Vec::new();
+    let mut baselined = Vec::new();
+    for f in findings {
+        match entries
+            .iter()
+            .enumerate()
+            .find(|(i, e)| !used[*i] && e.matches(&f))
+        {
+            Some((i, e)) => {
+                used[i] = true;
+                baselined.push((f, e.reason.clone()));
+            }
+            None => new.push(f),
+        }
+    }
+    let stale: Vec<BaselineEntry> = entries
+        .into_iter()
+        .zip(used)
+        .filter_map(|(e, u)| (!u).then_some(e))
+        .collect();
+
+    Ok(Outcome {
+        new,
+        baselined,
+        stale,
+        suppressed,
+        files,
+    })
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// `Cargo.toml` containing a `[workspace]` table.
+pub fn find_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start
+        .canonicalize()
+        .map_err(|e| format!("canonicalize {}: {e}", start.display()))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace Cargo.toml found above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+/// Workspace members from the root manifest, with `*` globs expanded and
+/// the result sorted. Members without a `Cargo.toml` are skipped.
+fn workspace_members(root: &Path) -> Result<Vec<String>, String> {
+    let manifest = root.join("Cargo.toml");
+    let text =
+        fs::read_to_string(&manifest).map_err(|e| format!("read {}: {e}", manifest.display()))?;
+    let list = extract_members_array(&text)
+        .ok_or_else(|| format!("no workspace members array in {}", manifest.display()))?;
+    let mut members = Vec::new();
+    for pat in list {
+        if let Some(prefix) = pat.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            let Ok(rd) = fs::read_dir(&dir) else { continue };
+            for e in rd.flatten() {
+                let p = e.path();
+                if p.join("Cargo.toml").is_file() {
+                    if let Some(name) = p.file_name().and_then(|n| n.to_str()) {
+                        members.push(format!("{prefix}/{name}"));
+                    }
+                }
+            }
+        } else if root.join(&pat).join("Cargo.toml").is_file() {
+            members.push(pat);
+        }
+    }
+    members.sort();
+    members.dedup();
+    Ok(members)
+}
+
+/// Pull the quoted entries out of `members = [ … ]`.
+fn extract_members_array(manifest: &str) -> Option<Vec<String>> {
+    let start = manifest.find("members")?;
+    let open = manifest[start..].find('[')? + start;
+    let close = manifest[open..].find(']')? + open;
+    let mut out = Vec::new();
+    let mut rest = &manifest[open + 1..close];
+    while let Some(q1) = rest.find('"') {
+        let after = &rest[q1 + 1..];
+        let q2 = after.find('"')?;
+        out.push(after[..q2].to_string());
+        rest = &after[q2 + 1..];
+    }
+    Some(out)
+}
+
+/// `package.name` from a member manifest (falls back to the dir name).
+fn crate_name(member_dir: &Path) -> Result<String, String> {
+    let manifest = member_dir.join("Cargo.toml");
+    let text =
+        fs::read_to_string(&manifest).map_err(|e| format!("read {}: {e}", manifest.display()))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let rest = rest.trim();
+                if rest.len() >= 2 && rest.starts_with('"') {
+                    if let Some(end) = rest[1..].find('"') {
+                        return Ok(rest[1..1 + end].to_string());
+                    }
+                }
+            }
+        }
+    }
+    Ok(member_dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("unknown")
+        .to_string())
+}
+
+/// All `.rs` sources of one member, as sorted `(root-relative path,
+/// kind)` pairs. Fixture trees under `tests/fixtures/` are skipped —
+/// they contain deliberate rule violations for the analyzer's own tests.
+fn member_sources(root: &Path, member: &str) -> Vec<(String, FileKind)> {
+    let mut out = Vec::new();
+    for (sub, base_kind) in [
+        ("src", FileKind::Lib),
+        ("tests", FileKind::Test),
+        ("benches", FileKind::Bench),
+    ] {
+        let dir = root.join(member).join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut |p| {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(p)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                if rel.contains("/tests/fixtures/") {
+                    return;
+                }
+                let kind = if base_kind == FileKind::Lib
+                    && (rel.contains("/src/bin/") || rel.ends_with("/src/main.rs"))
+                {
+                    FileKind::Bin
+                } else {
+                    base_kind
+                };
+                out.push((rel, kind));
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Depth-first sorted walk over `.rs` files.
+fn walk(dir: &Path, f: &mut impl FnMut(&Path)) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            walk(&p, f);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            f(&p);
+        }
+    }
+}
+
+/// Write the current finding set (new + baselined, preserving reasons) as
+/// the baseline. Returns the rendered text.
+pub fn write_baseline(cfg: &Config, outcome: &Outcome) -> Result<String, String> {
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    for f in &outcome.new {
+        entries.push(BaselineEntry {
+            rule: f.rule.to_string(),
+            path: f.path.clone(),
+            snippet: f.snippet.clone(),
+            reason: "grandfathered — justify or fix, then delete this entry".to_string(),
+        });
+    }
+    for (f, reason) in &outcome.baselined {
+        entries.push(BaselineEntry {
+            rule: f.rule.to_string(),
+            path: f.path.clone(),
+            snippet: f.snippet.clone(),
+            reason: reason.clone(),
+        });
+    }
+    let text = baseline::render(&entries);
+    let abs = if cfg.baseline_path.is_absolute() {
+        cfg.baseline_path.clone()
+    } else {
+        cfg.root.join(&cfg.baseline_path)
+    };
+    if let Some(parent) = abs.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    fs::write(&abs, &text).map_err(|e| format!("write {}: {e}", abs.display()))?;
+    Ok(text)
+}

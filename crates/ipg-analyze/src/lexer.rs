@@ -1,0 +1,438 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The rules in this crate only need a *token stream with comments on the
+//! side*: identifiers, punctuation, and literal markers, each tagged with
+//! its source line. Strings, char literals, and comments are recognized
+//! and **stripped** (their contents never produce identifier tokens), so a
+//! doc comment mentioning `HashMap` or a format string containing
+//! `unwrap()` can never trip a rule. No `syn`, no proc-macro machinery —
+//! the workspace stays hermetic and the gate has zero dependencies.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! string literals with escapes, raw strings `r#"…"#` (any `#` count),
+//! byte strings/chars, char literals vs. lifetimes, numeric literals.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// Token kinds. Literal contents are intentionally dropped — rules must
+/// never match inside string or char literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident(String),
+    Punct(char),
+    Num,
+    Str,
+    CharLit,
+    Lifetime,
+}
+
+/// A comment, with its text preserved (rules look for audit markers and
+/// suppression directives inside comments).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Raw text after the comment opener (without `//` or `/*`).
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex `src`. Never fails: unexpected bytes become `Punct` tokens, and an
+/// unterminated literal simply consumes to end of input — good enough for
+/// linting code that `rustc` already accepts.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        // whitespace
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // line comment
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != b'\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: src[start..j].to_string(),
+            });
+            i = j;
+            continue;
+        }
+        // block comment (nested)
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut j = start;
+            let mut depth = 1;
+            while j < n && depth > 0 {
+                if b[j] == b'\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == b'/' && j + 1 < n && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < n && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = if depth == 0 { j - 2 } else { j };
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: src[start..end].to_string(),
+            });
+            i = j;
+            continue;
+        }
+        // string literal
+        if c == b'"' {
+            let tline = line;
+            i += 1;
+            i = skip_string_body(b, i, &mut line);
+            out.tokens.push(Tok {
+                line: tline,
+                kind: TokKind::Str,
+            });
+            continue;
+        }
+        // char literal or lifetime
+        if c == b'\'' {
+            let tline = line;
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // escaped char literal: '\n', '\'', '\u{1F600}'
+                i += 2;
+                while i < n {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Tok {
+                    line: tline,
+                    kind: TokKind::CharLit,
+                });
+            } else if i + 1 < n && is_ident_cont(b[i + 1]) {
+                // 'a' (char) vs 'abc (lifetime): scan the ident run, then
+                // check for a closing quote.
+                let mut j = i + 1;
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == b'\'' {
+                    out.tokens.push(Tok {
+                        line: tline,
+                        kind: TokKind::CharLit,
+                    });
+                    i = j + 1;
+                } else {
+                    out.tokens.push(Tok {
+                        line: tline,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = j;
+                }
+            } else if i + 2 < n && b[i + 2] == b'\'' {
+                // non-ident char literal like '(' or '.'
+                out.tokens.push(Tok {
+                    line: tline,
+                    kind: TokKind::CharLit,
+                });
+                i += 3;
+            } else {
+                out.tokens.push(Tok {
+                    line: tline,
+                    kind: TokKind::Punct('\''),
+                });
+                i += 1;
+            }
+            continue;
+        }
+        // identifier — including raw-string / byte-string prefixes
+        if is_ident_start(c) {
+            let tline = line;
+            let start = i;
+            let mut j = i;
+            while j < n && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            let ident = &src[start..j];
+            // r"…", r#"…"#, br"…", b"…" — string with a prefix ident
+            let is_raw_prefix = matches!(ident, "r" | "br" | "rb");
+            let is_byte_prefix = ident == "b";
+            if is_raw_prefix && j < n && (b[j] == b'"' || b[j] == b'#') {
+                // count hashes, expect a quote
+                let mut hashes = 0usize;
+                let mut k = j;
+                while k < n && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == b'"' {
+                    k += 1;
+                    i = skip_raw_string_body(b, k, hashes, &mut line);
+                    out.tokens.push(Tok {
+                        line: tline,
+                        kind: TokKind::Str,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier — fall through as ident below
+            }
+            if is_byte_prefix && j < n && b[j] == b'"' {
+                i = skip_string_body(b, j + 1, &mut line);
+                out.tokens.push(Tok {
+                    line: tline,
+                    kind: TokKind::Str,
+                });
+                continue;
+            }
+            if is_byte_prefix && j < n && b[j] == b'\'' {
+                // byte char literal b'x' / b'\n'
+                let mut k = j + 1;
+                while k < n {
+                    if b[k] == b'\\' {
+                        k += 2;
+                    } else if b[k] == b'\'' {
+                        k += 1;
+                        break;
+                    } else {
+                        k += 1;
+                    }
+                }
+                out.tokens.push(Tok {
+                    line: tline,
+                    kind: TokKind::CharLit,
+                });
+                i = k;
+                continue;
+            }
+            // `r#struct` raw identifier: skip the hash, lex the ident
+            if ident == "r" && j < n && b[j] == b'#' && j + 1 < n && is_ident_start(b[j + 1]) {
+                let mut k = j + 1;
+                while k < n && is_ident_cont(b[k]) {
+                    k += 1;
+                }
+                out.tokens.push(Tok {
+                    line: tline,
+                    kind: TokKind::Ident(src[j + 1..k].to_string()),
+                });
+                i = k;
+                continue;
+            }
+            out.tokens.push(Tok {
+                line: tline,
+                kind: TokKind::Ident(ident.to_string()),
+            });
+            i = j;
+            continue;
+        }
+        // numeric literal (floats lex as Num '.' Num — fine for linting)
+        if c.is_ascii_digit() {
+            let tline = line;
+            let mut j = i;
+            while j < n && (is_ident_cont(b[j])) {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                line: tline,
+                kind: TokKind::Num,
+            });
+            i = j;
+            continue;
+        }
+        // anything else: single punctuation byte (multi-byte UTF-8 in
+        // source outside strings/comments is not valid Rust anyway)
+        out.tokens.push(Tok {
+            line,
+            kind: TokKind::Punct(c as char),
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Skip a normal (escaped) string body starting just after the opening
+/// quote; returns the index just past the closing quote.
+fn skip_string_body(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i.min(n)
+}
+
+/// Skip a raw-string body starting just after the opening quote; the
+/// terminator is `"` followed by `hashes` `#` bytes.
+fn skip_raw_string_body(b: &[u8], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    while i < n {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && b[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            /* nested /* HashMap */ still comment */
+            let x = "HashMap in a string";
+            let y = r#"raw "quoted" HashMap"#;
+            let z = b"bytes HashMap";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "real_ident"));
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "fn a() {}\n// one\nfn b() {} // two\n/* three\nfour */\n";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 3);
+        assert_eq!(lx.comments[0].line, 2);
+        assert_eq!(lx.comments[0].text.trim(), "one");
+        assert_eq!(lx.comments[1].line, 3);
+        assert_eq!(lx.comments[2].line, 4);
+        assert_eq!(lx.comments[2].end_line, 5);
+        assert!(lx.comments[2].text.contains("three"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lx = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; let e = '('; }");
+        let lifetimes = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_literals() {
+        let src = "let a = \"line\nbreak\";\nlet tail = 1;";
+        let lx = lex(src);
+        let tail = lx
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("tail".into()))
+            .unwrap();
+        assert_eq!(tail.line, 3);
+    }
+
+    #[test]
+    fn byte_char_and_raw_ident() {
+        let ids = idents("let nl = b'\\n'; let s = r#struct_kw; q()");
+        assert!(ids.contains(&"struct_kw".to_string()));
+        assert!(ids.contains(&"q".to_string()));
+    }
+
+    #[test]
+    fn punct_and_numbers() {
+        let lx = lex("x.unwrap(); 0..n; 1.5f64");
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident("unwrap".into())));
+        assert!(lx.tokens.iter().any(|t| t.kind == TokKind::Punct('.')));
+        assert!(lx.tokens.iter().any(|t| t.kind == TokKind::Num));
+    }
+}

@@ -1,0 +1,128 @@
+//! CLI entry point for the workspace lint gate.
+//!
+//! ```text
+//! ipg-analyze [--root <dir>] [--format human|json] [--rules R1,R2]
+//!             [--baseline <path>] [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 2 new findings or stale baseline entries,
+//! 1 usage / IO error.
+
+use ipg_analyze::driver::{self, Config};
+use ipg_analyze::report;
+use ipg_analyze::rules;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(msg) => {
+            eprintln!("ipg-analyze: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "human".to_string();
+    let mut rules_filter: Option<Vec<String>> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(need(&mut it, "--root")?)),
+            "--format" => {
+                format = need(&mut it, "--format")?.to_string();
+                if format != "human" && format != "json" {
+                    return Err(format!("unknown format `{format}` (human|json)"));
+                }
+            }
+            "--rules" => {
+                let list: Vec<String> = need(&mut it, "--rules")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                for r in &list {
+                    if !rules::known_rule(r) {
+                        return Err(format!("unknown rule `{r}` (try --list-rules)"));
+                    }
+                }
+                rules_filter = Some(list);
+            }
+            "--baseline" => baseline = Some(PathBuf::from(need(&mut it, "--baseline")?)),
+            "--write-baseline" => write_baseline = true,
+            "--list-rules" => {
+                for r in rules::all_rules() {
+                    println!(
+                        "{:<9} [{:<7}] {}",
+                        r.id(),
+                        r.severity().as_str(),
+                        r.describe()
+                    );
+                }
+                return Ok(true);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ipg-analyze [--root <dir>] [--format human|json] [--rules R1,R2]\n\
+                     \x20                  [--baseline <path>] [--write-baseline] [--list-rules]"
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => driver::find_root(&r)?,
+        None => {
+            driver::find_root(&std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?)?
+        }
+    };
+    let mut cfg = Config::new(root);
+    if let Some(b) = baseline {
+        cfg.baseline_path = b;
+    }
+    cfg.rules_filter = rules_filter;
+
+    let outcome = driver::analyze(&cfg)?;
+
+    if write_baseline {
+        driver::write_baseline(&cfg, &outcome)?;
+        println!(
+            "ipg-analyze: wrote {} entr{} to {}",
+            outcome.new.len() + outcome.baselined.len(),
+            if outcome.new.len() + outcome.baselined.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            cfg.baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    match format.as_str() {
+        "json" => print!("{}", report::jsonl(&outcome)),
+        _ => print!("{}", report::human(&outcome)),
+    }
+    Ok(outcome.ok())
+}
+
+fn need<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+    it.next()
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -1,0 +1,94 @@
+//! Deterministic human and JSON-lines rendering of an [`Outcome`].
+//!
+//! Both formats are pure functions of the (already sorted) outcome: no
+//! timestamps, no absolute paths, no environment — repeated runs emit
+//! byte-identical reports, which `crates/ipg-analyze/tests/golden.rs`
+//! asserts.
+
+use crate::baseline::quote;
+use crate::driver::Outcome;
+use crate::rules::Finding;
+
+/// Human-readable report (one line per finding, then a summary).
+pub fn human(o: &Outcome) -> String {
+    let mut out = String::new();
+    for f in &o.new {
+        out.push_str(&format!(
+            "{}:{}: {} [{}] {}\n    {}\n",
+            f.path,
+            f.line,
+            f.rule,
+            f.severity.as_str(),
+            f.message,
+            f.snippet
+        ));
+    }
+    for e in &o.stale {
+        out.push_str(&format!(
+            "{}: stale baseline entry for {} — the finding is gone; delete the entry \
+             (baseline may only shrink)\n    {}\n",
+            e.path, e.rule, e.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "ipg-analyze: {} new finding{}, {} baselined, {} suppressed, {} stale baseline \
+         entr{}, {} files scanned\n",
+        o.new.len(),
+        if o.new.len() == 1 { "" } else { "s" },
+        o.baselined.len(),
+        o.suppressed,
+        o.stale.len(),
+        if o.stale.len() == 1 { "y" } else { "ies" },
+        o.files,
+    ));
+    out
+}
+
+fn finding_json(f: &Finding, status: &str, reason: Option<&str>) -> String {
+    let mut line = format!(
+        "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"status\":{}",
+        quote(f.rule),
+        quote(f.severity.as_str()),
+        quote(&f.path),
+        f.line,
+        quote(&f.message),
+        quote(&f.snippet),
+        quote(status),
+    );
+    if let Some(r) = reason {
+        line.push_str(&format!(",\"reason\":{}", quote(r)));
+    }
+    line.push('}');
+    line
+}
+
+/// JSON-lines report: one object per new finding, then per baselined
+/// finding, then per stale entry, then a summary object.
+pub fn jsonl(o: &Outcome) -> String {
+    let mut out = String::new();
+    for f in &o.new {
+        out.push_str(&finding_json(f, "new", None));
+        out.push('\n');
+    }
+    for (f, reason) in &o.baselined {
+        out.push_str(&finding_json(f, "baselined", Some(reason)));
+        out.push('\n');
+    }
+    for e in &o.stale {
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"snippet\":{},\"status\":\"stale-baseline\"}}\n",
+            quote(&e.rule),
+            quote(&e.path),
+            quote(&e.snippet),
+        ));
+    }
+    out.push_str(&format!(
+        "{{\"summary\":{{\"new\":{},\"baselined\":{},\"suppressed\":{},\"stale\":{},\"files\":{}}}}}\n",
+        o.new.len(),
+        o.baselined.len(),
+        o.suppressed,
+        o.stale.len(),
+        o.files,
+    ));
+    out
+}

@@ -1,0 +1,5 @@
+//! Clean fixture: nothing to report.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

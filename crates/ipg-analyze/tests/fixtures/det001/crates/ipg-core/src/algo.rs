@@ -1,0 +1,10 @@
+//! DET001 fixture (clean): non-hot modules may use default hashers.
+use std::collections::HashMap;
+
+pub fn histogram(v: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in v {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

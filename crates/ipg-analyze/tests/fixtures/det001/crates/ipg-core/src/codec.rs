@@ -1,0 +1,9 @@
+//! DET001 fixture (suppressed): justified uses in a hot module.
+// ipg-analyze: allow(DET001) reason="iteration order never observed; keys drained sorted"
+use std::collections::HashSet;
+
+pub fn distinct(v: &[u32]) -> usize {
+    // ipg-analyze: allow(DET001) reason="bounded set; order-free membership only"
+    let s: HashSet<u32> = v.iter().copied().collect();
+    s.len()
+}

@@ -1,0 +1,10 @@
+//! DET001 fixture (positive): default-hasher map in a hot module.
+use std::collections::HashMap;
+
+pub fn counts(v: &[u32]) -> usize {
+    let mut m = HashMap::new();
+    for &x in v {
+        *m.entry(x).or_insert(0u32) += 1;
+    }
+    m.len()
+}

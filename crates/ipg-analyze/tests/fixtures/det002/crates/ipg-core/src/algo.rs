@@ -1,0 +1,21 @@
+//! DET002 fixture: parallel reductions with and without audit comments.
+use rayon::prelude::*;
+
+pub fn unaudited(v: &[u32]) -> u32 {
+    v.par_iter().copied().reduce(|| 0, |a, b| a.max(b))
+}
+
+// Parallel-reduction audit: u32 max — associative and commutative,
+// exact for any chunking.
+pub fn audited(v: &[u32]) -> u32 {
+    v.par_iter().copied().reduce(|| 0, |a, b| a.max(b))
+}
+
+pub fn suppressed(v: &[u32]) -> u32 {
+    // ipg-analyze: allow(DET002) reason="u32 max is order-free; audited at the call site"
+    v.par_iter().copied().reduce(|| 0, |a, b| a.max(b))
+}
+
+pub fn sequential(v: &[u32]) -> u32 {
+    v.iter().fold(0, |a, b| a + b)
+}

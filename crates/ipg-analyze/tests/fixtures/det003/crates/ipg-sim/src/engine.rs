@@ -1,0 +1,16 @@
+//! DET003 fixture: wall-clock reads outside the observability layer.
+use std::time::Instant;
+
+pub fn timed(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn suppressed_clock() -> u64 {
+    // ipg-analyze: allow(DET003) reason="fixture: demonstrating a justified clock read"
+    match std::time::SystemTime::now().elapsed() {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,13 @@
+//! HYG001 fixture: malformed suppressions (HYG001 is itself unsuppressible).
+
+// ipg-analyze: allow(DET001)
+pub fn bare_allow() {}
+
+// ipg-analyze: allow(NOPE001) reason="no such rule"
+pub fn unknown_rule() {}
+
+// ipg-analyze: allow(HYG001) reason="cannot excuse the excuser"
+pub fn self_suppression() {}
+
+// ipg-analyze: allow(DET003) reason="fixture: well-formed unused suppressions are fine"
+pub fn well_formed() {}

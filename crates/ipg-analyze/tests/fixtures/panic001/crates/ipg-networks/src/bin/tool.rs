@@ -1,0 +1,5 @@
+//! Bin targets are exempt from PANIC001.
+fn main() {
+    let v: Vec<u32> = std::env::args().filter_map(|a| a.parse().ok()).collect();
+    println!("{}", v.first().copied().unwrap());
+}

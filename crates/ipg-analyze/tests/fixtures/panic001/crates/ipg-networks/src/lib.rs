@@ -1,0 +1,29 @@
+//! PANIC001 fixture: panics in library code vs tests, bins, and benches.
+
+pub fn positive(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn shouting(x: u32) -> u32 {
+    if x > 7 {
+        panic!("x out of range");
+    }
+    x
+}
+
+pub fn justified(v: &[u32]) -> u32 {
+    // ipg-analyze: allow(PANIC001) reason="v is non-empty: every caller checks len() first"
+    v.first().copied().expect("non-empty")
+}
+
+pub fn clean(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(super::positive(Some(3)), 3);
+    }
+}

@@ -1,0 +1,5 @@
+//! Integration tests are exempt from PANIC001.
+#[test]
+fn integration_tests_may_unwrap() {
+    assert_eq!(Some(1).unwrap(), 1);
+}

@@ -1,0 +1,5 @@
+//! Stale fixture: the code was fixed but the baseline entry lingers.
+
+pub fn fixed(v: &[u32]) -> usize {
+    v.len()
+}

@@ -1,0 +1,159 @@
+//! Golden-file tests: each rule is demonstrated by a fixture mini-workspace
+//! under `tests/fixtures/<name>/` holding a positive case, a suppressed
+//! case, and a clean case. The committed `expected.jsonl` next to each
+//! fixture is compared byte-for-byte, and the binary's exit codes and
+//! cross-environment byte-stability are checked through subprocess runs.
+
+use ipg_analyze::driver::{self, Config};
+use ipg_analyze::report;
+use std::path::PathBuf;
+use std::process::Command;
+
+const FIXTURES: &[&str] = &[
+    "det001",
+    "det002",
+    "det003",
+    "panic001",
+    "hyg001",
+    "clean",
+    "baselined",
+    "stale",
+];
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_lib(name: &str) -> (String, bool) {
+    let cfg = Config::new(fixture_root(name));
+    let outcome = driver::analyze(&cfg).expect("fixture analysis must succeed");
+    (report::jsonl(&outcome), outcome.ok())
+}
+
+#[test]
+fn fixture_reports_match_goldens() {
+    for name in FIXTURES {
+        let (jsonl, _) = run_lib(name);
+        let golden_path = fixture_root(name).join("expected.jsonl");
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+        assert_eq!(
+            jsonl, golden,
+            "{name}: jsonl report diverged from expected.jsonl"
+        );
+    }
+}
+
+#[test]
+fn fixture_gate_verdicts() {
+    for (name, expect_ok) in [
+        ("det001", false),
+        ("det002", false),
+        ("det003", false),
+        ("panic001", false),
+        ("hyg001", false),
+        ("clean", true),
+        ("baselined", true),
+        ("stale", false),
+    ] {
+        let (_, ok) = run_lib(name);
+        assert_eq!(ok, expect_ok, "{name}: unexpected gate verdict");
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    for name in FIXTURES {
+        let (a, _) = run_lib(name);
+        let (b, _) = run_lib(name);
+        assert_eq!(a, b, "{name}: repeated runs must emit identical bytes");
+    }
+}
+
+fn run_bin(args: &[&str], envs: &[(&str, &str)]) -> (i32, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ipg-analyze"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn ipg-analyze");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn exit_codes_gate_the_build() {
+    let root = |n: &str| fixture_root(n).display().to_string();
+    let (code, _) = run_bin(&["--root", &root("clean"), "--format", "json"], &[]);
+    assert_eq!(code, 0, "clean fixture must exit 0");
+    let (code, _) = run_bin(&["--root", &root("baselined"), "--format", "json"], &[]);
+    assert_eq!(code, 0, "fully-baselined fixture must exit 0");
+    let (code, _) = run_bin(&["--root", &root("det001"), "--format", "json"], &[]);
+    assert_eq!(code, 2, "new findings must exit 2");
+    let (code, _) = run_bin(&["--root", &root("stale"), "--format", "json"], &[]);
+    assert_eq!(code, 2, "stale baseline entries must exit 2");
+    let (code, _) = run_bin(&["--rules", "NOSUCH"], &[]);
+    assert_eq!(code, 1, "unknown rule filter is a usage error");
+}
+
+#[test]
+fn rules_filter_scopes_the_gate() {
+    // bench.sh uses --rules DET001,DET002,DET003: PANIC001-only findings
+    // must not block it.
+    let root = fixture_root("panic001").display().to_string();
+    let (code, out) = run_bin(
+        &[
+            "--root",
+            &root,
+            "--format",
+            "json",
+            "--rules",
+            "DET001,DET002,DET003",
+        ],
+        &[],
+    );
+    assert_eq!(
+        code, 0,
+        "DET-filtered run must pass on PANIC-only fixture:\n{out}"
+    );
+    let (code, _) = run_bin(
+        &["--root", &root, "--format", "json", "--rules", "PANIC001"],
+        &[],
+    );
+    assert_eq!(code, 2, "PANIC001 filter must still catch its findings");
+}
+
+#[test]
+fn output_is_byte_identical_across_thread_settings() {
+    for name in ["det001", "panic001"] {
+        let root = fixture_root(name).display().to_string();
+        let args = ["--root", root.as_str(), "--format", "json"];
+        let (c1, out1) = run_bin(&args, &[("IPG_THREADS", "1")]);
+        let (c4, out4) = run_bin(&args, &[("IPG_THREADS", "4")]);
+        assert_eq!(c1, c4, "{name}: exit code must not depend on IPG_THREADS");
+        assert_eq!(out1, out4, "{name}: output must not depend on IPG_THREADS");
+    }
+}
+
+#[test]
+fn real_workspace_passes_the_gate() {
+    // The repo's own source must be clean against its committed baseline —
+    // this is the same check `scripts/check.sh` runs.
+    let root = driver::find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the analyzer crate");
+    let cfg = Config::new(root);
+    let outcome = driver::analyze(&cfg).expect("workspace analysis must succeed");
+    let report = report::human(&outcome);
+    assert!(
+        outcome.ok(),
+        "workspace has unexcused findings or stale baseline entries:\n{report}"
+    );
+    assert!(
+        outcome.files > 50,
+        "workspace walk looks truncated: {report}"
+    );
+}

@@ -24,6 +24,44 @@ use ipg_core::graph::Csr;
 use ipg_core::superip::TupleNetwork;
 use ipg_networks::{classic, hier, ipdefs};
 
+/// Hard ceiling on generated graph size (2^22 ~ 4.2M nodes). Specs whose
+/// node count would exceed it are rejected at parse time with a sizing
+/// error, so a typo like `hsn:l=9999999` fails fast instead of trying to
+/// materialize the graph.
+const MAX_NODES: usize = 1 << 22;
+
+/// Check `v` against an inclusive range with a contextual error message.
+fn in_range(ctx: &str, what: &str, v: usize, lo: usize, hi: usize) -> Result<usize, String> {
+    if v >= lo && v <= hi {
+        Ok(v)
+    } else {
+        Err(format!(
+            "{ctx}: {what} must be between {lo} and {hi}, got {v}"
+        ))
+    }
+}
+
+/// `base^exp` with overflow checking, refusing results past [`MAX_NODES`].
+fn sized_pow(ctx: &str, base: usize, exp: usize) -> Result<usize, String> {
+    let mut acc = 1usize;
+    for _ in 0..exp {
+        acc = acc
+            .checked_mul(base)
+            .filter(|&n| n <= MAX_NODES)
+            .ok_or_else(|| format!("{ctx}: {base}^{exp} nodes exceeds the {MAX_NODES}-node cap"))?;
+    }
+    Ok(acc)
+}
+
+/// `n!` with overflow checking, refusing results past [`MAX_NODES`].
+fn sized_factorial(ctx: &str, n: usize) -> Result<usize, String> {
+    (1..=n).try_fold(1usize, |acc, k| {
+        acc.checked_mul(k)
+            .filter(|&m| m <= MAX_NODES)
+            .ok_or_else(|| format!("{ctx}: {n}! nodes exceeds the {MAX_NODES}-node cap"))
+    })
+}
+
 /// A parsed network: graph, display name, and (when a natural packing
 /// exists) the §5 module partition.
 #[derive(Debug)]
@@ -82,55 +120,56 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
 
     match family {
         "hypercube" | "cube" | "q" => {
-            let n = need(0, "a dimension")?;
+            let n = in_range(family, "dimension", need(0, "a dimension")?, 1, 22)?;
             let part = partition::subcube_partition(n, n.min(4));
             simple(format!("Q{n}"), classic::hypercube(n), Some(part))
         }
         "folded" | "fq" => {
-            let n = need(0, "a dimension")?;
+            let n = in_range(family, "dimension", need(0, "a dimension")?, 1, 22)?;
             let part = partition::subcube_partition(n, n.min(4));
             simple(format!("FQ{n}"), classic::folded_hypercube(n), Some(part))
         }
         "torus" => {
-            let k = need(0, "a side length")?;
+            let k = in_range(family, "side length", need(0, "a side length")?, 2, 2048)?;
             let part = (k % 4 == 0).then(|| partition::torus_block_partition(k, 4, 4));
             simple(format!("torus {k}x{k}"), classic::torus2d(k), part)
         }
         "kary" => {
-            let k = need(0, "radix")?;
-            let n = need(1, "dimensions")?;
+            let k = in_range(family, "radix", need(0, "radix")?, 2, MAX_NODES)?;
+            let n = in_range(family, "dimension count", need(1, "dimensions")?, 1, 22)?;
+            sized_pow(family, k, n)?;
             simple(format!("{k}-ary {n}-cube"), classic::kary_ncube(k, n), None)
         }
         "ring" => {
-            let n = need(0, "a length")?;
+            let n = in_range(family, "length", need(0, "a length")?, 3, MAX_NODES)?;
             simple(format!("C{n}"), classic::ring(n), None)
         }
         "complete" => {
-            let n = need(0, "a size")?;
+            let n = in_range(family, "size", need(0, "a size")?, 1, 2048)?;
             simple(format!("K{n}"), classic::complete(n), None)
         }
         "star" => {
-            let n = need(0, "a size")?;
+            let n = in_range(family, "size", need(0, "a size")?, 1, 10)?;
             let labels = classic::star_labels(n);
             let part = partition::substar_partition(&labels, 3.min(n));
             simple(format!("S{n}"), classic::star(n), Some(part))
         }
         "pancake" => {
-            let n = need(0, "a size")?;
+            let n = in_range(family, "size", need(0, "a size")?, 1, 10)?;
             simple(format!("pancake-{n}"), classic::pancake(n), None)
         }
         "petersen" => simple("Petersen".into(), classic::petersen(), None),
         "debruijn" | "db" => {
-            let n = need(0, "a dimension")?;
+            let n = in_range(family, "dimension", need(0, "a dimension")?, 1, 22)?;
             let part = partition::subcube_partition(n, n.min(4));
             simple(format!("DB(2,{n})"), classic::debruijn(n), Some(part))
         }
         "se" | "shuffle-exchange" => {
-            let n = need(0, "a dimension")?;
+            let n = in_range(family, "dimension", need(0, "a dimension")?, 2, 22)?;
             simple(format!("SE{n}"), classic::shuffle_exchange(n), None)
         }
         "ccc" => {
-            let n = need(0, "a dimension")?;
+            let n = in_range(family, "dimension", need(0, "a dimension")?, 3, 17)?;
             let part = partition::ccc_cycle_partition(n);
             simple(format!("CCC({n})"), classic::ccc(n), Some(part))
         }
@@ -138,6 +177,12 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
             if ints.len() < 2 {
                 return Err("gh needs at least two radices, e.g. `gh:3,4`".into());
             }
+            ints.iter().try_fold(1usize, |acc, &r| {
+                in_range(family, "radix", r, 2, MAX_NODES)?;
+                acc.checked_mul(r)
+                    .filter(|&n| n <= MAX_NODES)
+                    .ok_or_else(|| format!("{family}: node count exceeds the {MAX_NODES}-node cap"))
+            })?;
             simple(
                 format!(
                     "GH({})",
@@ -151,22 +196,36 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
             )
         }
         "rotator" => {
-            let n = need(0, "a size")?;
+            let n = in_range(family, "size", need(0, "a size")?, 2, 10)?;
             let ip = ipdefs::rotator_ip(n)
                 .generate()
                 .map_err(|e| e.to_string())?;
             simple(format!("rotator-{n}"), ip.to_directed_csr(), None)
         }
         "macro-star" | "ms" => {
-            let l = int_kv("l")?.ok_or("macro-star needs l=..")?;
-            let n = int_kv("n")?.ok_or("macro-star needs n=..")?;
+            let l = in_range(
+                family,
+                "l",
+                int_kv("l")?.ok_or("macro-star needs l=..")?,
+                1,
+                9,
+            )?;
+            let n = in_range(
+                family,
+                "n",
+                int_kv("n")?.ok_or("macro-star needs n=..")?,
+                1,
+                9,
+            )?;
+            // MS(l,n) lives on (l·n+1)! permutations; keep that materializable.
+            sized_factorial(family, l * n + 1)?;
             let ip = ipdefs::macro_star_ip(l, n)
                 .generate()
                 .map_err(|e| e.to_string())?;
             simple(format!("MS({l},{n})"), ip.to_undirected_csr(), None)
         }
         "hcn" => {
-            let n = need(0, "a dimension")?;
+            let n = in_range(family, "dimension", need(0, "a dimension")?, 1, 11)?;
             let tn = hier::hsn(2, classic::hypercube(n), &format!("Q{n}"));
             let graph = tn.build();
             let (class, count) = tn.nucleus_partition();
@@ -178,7 +237,7 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
             })
         }
         "hfn" => {
-            let n = need(0, "a dimension")?;
+            let n = in_range(family, "dimension", need(0, "a dimension")?, 1, 11)?;
             let tn = hier::hfn(n);
             let graph = tn.build();
             let (class, count) = tn.nucleus_partition();
@@ -190,26 +249,45 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
             })
         }
         "hhn" => {
-            let k = need(0, "a dimension")?;
+            let k = in_range(family, "dimension", need(0, "a dimension")?, 1, 4)?;
             simple(format!("HHN({k})"), hier::hhn(k), None)
         }
         "rcc" => {
-            let l = int_kv("l")?.ok_or("rcc needs l=..")?;
-            let m = int_kv("m")?.ok_or("rcc needs m=..")?;
+            let l = in_range(family, "l", int_kv("l")?.ok_or("rcc needs l=..")?, 1, 22)?;
+            let m = in_range(family, "m", int_kv("m")?.ok_or("rcc needs m=..")?, 2, 2048)?;
+            sized_pow(family, m, l)?;
             tuple_network(hier::rcc(l, m))
         }
         "hse" => {
-            let l = int_kv("l")?.ok_or("hse needs l=..")?;
-            let n = int_kv("n")?.ok_or("hse needs n=..")?;
+            let l = in_range(family, "l", int_kv("l")?.ok_or("hse needs l=..")?, 1, 22)?;
+            let n = in_range(family, "n", int_kv("n")?.ok_or("hse needs n=..")?, 2, 22)?;
+            sized_pow(family, 1usize << n, l)?;
             tuple_network(hier::hse(l, n))
         }
         "cpn" => {
-            let l = need(0, "a depth")?;
+            let l = in_range(family, "depth", need(0, "a depth")?, 1, 6)?;
             tuple_network(hier::cyclic_petersen(l))
         }
         "hsn" | "ring-cn" | "cn" | "complete-cn" | "superflip" => {
-            let l = int_kv("l")?.ok_or_else(|| format!("{family} needs l=.."))?;
+            let l = in_range(
+                family,
+                "l",
+                int_kv("l")?.ok_or_else(|| format!("{family} needs l=.."))?,
+                1,
+                22,
+            )?;
             let (nucleus, nname) = parse_nucleus(kv("nucleus").unwrap_or("Q2"))?;
+            let size = sized_pow(family, nucleus.node_count(), l)?;
+            if flag("symmetric") {
+                // the symmetric closure multiplies the address space by l!
+                sized_factorial(family, l).and_then(|f| {
+                    f.checked_mul(size)
+                        .filter(|&n| n <= MAX_NODES)
+                        .ok_or_else(|| {
+                            format!("{family}: symmetric closure exceeds the {MAX_NODES}-node cap")
+                        })
+                })?;
+            }
             let mut tn = match family {
                 "hsn" => hier::hsn(l, nucleus, &nname),
                 "ring-cn" => hier::ring_cn(l, nucleus, &nname),
@@ -253,16 +331,35 @@ pub fn parse_nucleus(s: &str) -> Result<(Csr, String), String> {
             .split('x')
             .map(|r| r.parse::<usize>().map_err(|_| format!("bad nucleus `{s}`")))
             .collect::<Result<_, _>>()?;
+        radices.iter().try_fold(1usize, |acc, &r| {
+            in_range("nucleus", "radix", r, 2, MAX_NODES)?;
+            acc.checked_mul(r)
+                .filter(|&n| n <= MAX_NODES)
+                .ok_or_else(|| format!("nucleus `{s}` exceeds the {MAX_NODES}-node cap"))
+        })?;
         return Ok((classic::generalized_hypercube(&radices), s.to_string()));
     }
     if s.starts_with("FQ") {
-        return Ok((classic::folded_hypercube(num("FQ")?), s.to_string()));
+        let n = in_range("nucleus", "dimension", num("FQ")?, 1, 22)?;
+        return Ok((classic::folded_hypercube(n), s.to_string()));
     }
     match s.as_bytes().first() {
-        Some(b'Q') => Ok((classic::hypercube(num("Q")?), s.to_string())),
-        Some(b'K') => Ok((classic::complete(num("K")?), s.to_string())),
-        Some(b'S') => Ok((classic::star(num("S")?), s.to_string())),
-        Some(b'C') => Ok((classic::ring(num("C")?), s.to_string())),
+        Some(b'Q') => {
+            let n = in_range("nucleus", "dimension", num("Q")?, 1, 22)?;
+            Ok((classic::hypercube(n), s.to_string()))
+        }
+        Some(b'K') => {
+            let n = in_range("nucleus", "size", num("K")?, 1, 2048)?;
+            Ok((classic::complete(n), s.to_string()))
+        }
+        Some(b'S') => {
+            let n = in_range("nucleus", "size", num("S")?, 1, 10)?;
+            Ok((classic::star(n), s.to_string()))
+        }
+        Some(b'C') => {
+            let n = in_range("nucleus", "length", num("C")?, 3, MAX_NODES)?;
+            Ok((classic::ring(n), s.to_string()))
+        }
         _ => Err(format!("unknown nucleus `{s}`")),
     }
 }
@@ -315,5 +412,105 @@ mod tests {
         assert!(parse("hypercube").unwrap_err().contains("dimension"));
         assert!(parse("hsn:nucleus=Q2").unwrap_err().contains("l="));
         assert!(parse("hsn:l=2,nucleus=Z9").unwrap_err().contains("nucleus"));
+    }
+
+    // Each of these inputs used to panic (or hang) in a downstream
+    // constructor; they must now come back as contextual `Err`s.
+    #[test]
+    fn zero_level_super_ip_is_rejected() {
+        assert!(parse("hsn:l=0,nucleus=Q2").unwrap_err().contains("l must"));
+        assert!(parse("cn:l=0,nucleus=P").unwrap_err().contains("l must"));
+        assert!(parse("ring-cn:l=0,nucleus=Q2")
+            .unwrap_err()
+            .contains("l must"));
+        assert!(parse("superflip:l=0,nucleus=Q2")
+            .unwrap_err()
+            .contains("l must"));
+    }
+
+    #[test]
+    fn oversized_super_ip_is_rejected_fast() {
+        // used to hang trying to materialize 4^9999999 nodes
+        let e = parse("hsn:l=9999999,nucleus=Q2").unwrap_err();
+        assert!(e.contains("l must be between 1 and 22"), "{e}");
+        let e = parse("hsn:l=22,nucleus=Q4").unwrap_err();
+        assert!(e.contains("node cap"), "{e}");
+        let e = parse("hsn:l=8,nucleus=Q2,symmetric").unwrap_err();
+        assert!(e.contains("symmetric closure"), "{e}");
+    }
+
+    #[test]
+    fn degenerate_classic_sizes_are_rejected() {
+        assert!(parse("ring:1").unwrap_err().contains("length must"));
+        assert!(parse("ring:2").unwrap_err().contains("length must"));
+        assert!(parse("kary:1,2").unwrap_err().contains("radix must"));
+        assert!(parse("kary:2,0").unwrap_err().contains("dimension count"));
+        assert!(parse("ccc:0").unwrap_err().contains("dimension must"));
+        assert!(parse("ccc:2").unwrap_err().contains("dimension must"));
+        assert!(parse("hypercube:80")
+            .unwrap_err()
+            .contains("between 1 and 22"));
+        assert!(parse("folded:0").unwrap_err().contains("dimension must"));
+        assert!(parse("se:1").unwrap_err().contains("dimension must"));
+        assert!(parse("torus:1").unwrap_err().contains("side length"));
+        assert!(parse("gh:1,4").unwrap_err().contains("radix must"));
+    }
+
+    #[test]
+    fn oversized_permutation_families_are_rejected() {
+        assert!(parse("star:11").unwrap_err().contains("size must"));
+        assert!(parse("pancake:13").unwrap_err().contains("size must"));
+        assert!(parse("rotator:1").unwrap_err().contains("size must"));
+        assert!(parse("rotator:12").unwrap_err().contains("size must"));
+        let e = parse("macro-star:l=3,n=4").unwrap_err();
+        assert!(e.contains("13! nodes exceeds"), "{e}");
+    }
+
+    #[test]
+    fn hierarchical_bounds_are_checked() {
+        assert!(parse("hhn:5").unwrap_err().contains("dimension must"));
+        assert!(parse("hcn:0").unwrap_err().contains("dimension must"));
+        assert!(parse("hfn:20").unwrap_err().contains("dimension must"));
+        assert!(parse("cpn:0").unwrap_err().contains("depth must"));
+        assert!(parse("cpn:9").unwrap_err().contains("depth must"));
+        assert!(parse("rcc:l=0,m=4").unwrap_err().contains("l must"));
+        assert!(parse("rcc:l=2,m=1").unwrap_err().contains("m must"));
+        let e = parse("rcc:l=10,m=10").unwrap_err();
+        assert!(e.contains("node cap"), "{e}");
+        assert!(parse("hse:l=1,n=1").unwrap_err().contains("n must"));
+        let e = parse("hse:l=10,n=10").unwrap_err();
+        assert!(e.contains("node cap"), "{e}");
+    }
+
+    #[test]
+    fn malformed_nuclei_are_rejected() {
+        assert!(parse("hsn:l=2,nucleus=Q0")
+            .unwrap_err()
+            .contains("dimension must"));
+        assert!(parse("hsn:l=2,nucleus=Q99")
+            .unwrap_err()
+            .contains("dimension must"));
+        assert!(parse("hsn:l=2,nucleus=C2")
+            .unwrap_err()
+            .contains("length must"));
+        assert!(parse("hsn:l=2,nucleus=S12")
+            .unwrap_err()
+            .contains("size must"));
+        assert!(parse("hsn:l=2,nucleus=GH1x3")
+            .unwrap_err()
+            .contains("radix must"));
+        assert!(parse("hsn:l=2,nucleus=Qx")
+            .unwrap_err()
+            .contains("bad nucleus"));
+    }
+
+    #[test]
+    fn valid_edge_sizes_still_parse() {
+        // boundary values just inside the caps must keep working
+        assert_eq!(parse("ring:3").unwrap().graph.node_count(), 3);
+        assert_eq!(parse("kary:2,3").unwrap().graph.node_count(), 8);
+        assert_eq!(parse("ccc:3").unwrap().graph.node_count(), 24);
+        assert_eq!(parse("hhn:1").unwrap().graph.node_count(), 8);
+        assert_eq!(parse("hsn:l=1,nucleus=Q2").unwrap().graph.node_count(), 4);
     }
 }

@@ -78,6 +78,8 @@ pub fn exact_distance_metrics(g: &Csr, part: &Partition) -> (u32, f64) {
             }
             (mx, sm, ct)
         })
+        // Parallel-reduction audit: `(u32 max, u64 sum, u64 count)` —
+        // associative/commutative per component, exact for any chunking.
         .reduce(|| (0, 0, 0), |a, b| (a.0.max(b.0), a.1 + b.1, a.2 + b.2));
     (
         max,
@@ -130,6 +132,8 @@ pub fn quotient_metrics(g: &Csr, part: &Partition) -> (u32, f64) {
             }
             (mx, sm)
         })
+        // Parallel-reduction audit: `(u32 max, u64 sum)` — associative and
+        // commutative, exact for any chunking (see doc comment).
         .reduce(|| (0, 0), |x, y| (x.0.max(y.0), x.1 + y.1));
     let pairs = n_total * (n_total - 1);
     (
@@ -173,6 +177,8 @@ pub fn quotient_metrics_on(q: &Csr, sizes: &[usize], sources: &[u32]) -> (u32, f
             // distance but do count in the denominator.
             (mx, sm, wa * (n_total - 1))
         })
+        // Parallel-reduction audit: `(u32 max, u64 sum, u64 sum)` —
+        // associative/commutative per component, exact for any chunking.
         .reduce(|| (0, 0, 0), |x, y| (x.0.max(y.0), x.1 + y.1, x.2 + y.2));
     (
         max,

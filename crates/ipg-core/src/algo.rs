@@ -136,6 +136,9 @@ pub fn average_distance_from_sources(g: &Csr, sources: &[u32]) -> f64 {
     let (sum, cnt) = sources
         .par_iter()
         .map(|&s| distance_sum(g, s))
+        // Parallel-reduction audit: `(u64 sum, u64 count)` — associative
+        // and commutative, exact for any chunking (same argument as
+        // `average_distance` above).
         .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
     if cnt == 0 {
         0.0

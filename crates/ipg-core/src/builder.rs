@@ -63,7 +63,6 @@ impl IpGraph {
     pub fn generate_instrumented(spec: IpGraphSpec, opts: BuildOptions, obs: &Obs) -> Result<Self> {
         let span = obs.span("ip_generate");
         let track = obs.enabled();
-        let start = track.then(std::time::Instant::now);
         let h_frontier = obs.histogram("core.bfs_frontier");
         let c_dedup = obs.counter("core.dedup_hits");
 
@@ -131,8 +130,10 @@ impl IpGraph {
         debug_assert_eq!(arcs.len(), labels.len() * g);
         obs.counter("core.nodes").add(labels.len() as u64);
         obs.counter("core.arcs").add(arcs.len() as u64);
-        if let Some(start) = start {
-            let secs = start.elapsed().as_secs_f64();
+        // Wall-clock comes from the span timer, not a direct Instant read:
+        // ipg-core stays clock-free (DET003) and rates live in the
+        // nondeterministic record family alongside the span itself.
+        if let Some(secs) = span.elapsed_secs() {
             obs.emit_rate("core.nodes_per_sec", labels.len() as u64, secs);
             obs.emit_rate("core.arcs_per_sec", arcs.len() as u64, secs);
         }

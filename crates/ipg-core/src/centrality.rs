@@ -73,6 +73,10 @@ pub fn edge_betweenness(g: &Csr) -> Vec<f64> {
             }
             contribution
         })
+        // Parallel-reduction audit: element-wise f64 vec-sum — the one
+        // order-sensitive reduce; bit-for-bit stable only because the pool's
+        // chunk tree is fixed by input length (full analysis in the doc
+        // comment above).
         .reduce(
             || vec![0.0f64; arcs_total],
             |mut a, b| {

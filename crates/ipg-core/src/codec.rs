@@ -402,6 +402,7 @@ impl NodeCodec {
     pub fn decode_packed(&self, id: u32) -> PackedLabel {
         let mut buf = [0u8; PACKED_MAX];
         self.decode_into(id, &mut buf[..self.k]);
+        // ipg-analyze: allow(PANIC001) reason="supports_packed precondition: k <= PACKED_MAX"
         PackedLabel::pack(&buf[..self.k]).expect("k <= PACKED_MAX")
     }
 
@@ -451,6 +452,7 @@ impl NodeCodec {
     pub fn packed_neighbor(&self, id: u32, gi: usize) -> u32 {
         let next = self.apply_packed(self.decode_packed(id), gi);
         self.encode_packed(next)
+            // ipg-analyze: allow(PANIC001) reason="Cayley closure: a generator image of a node is a node"
             .expect("generator image of a node is a node")
     }
 

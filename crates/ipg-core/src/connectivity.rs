@@ -64,6 +64,7 @@ impl UnitFlow {
         }
         let mut cur = t;
         while cur != s {
+            // ipg-analyze: allow(PANIC001) reason="BFS reached t, so every node on the path has a predecessor"
             let (p, ai) = pred[cur as usize].expect("path recorded");
             self.cap[ai as usize] -= 1;
             self.cap[ai as usize ^ 1] += 1;
@@ -142,6 +143,7 @@ pub fn vertex_connectivity(g: &Csr) -> u32 {
     }
     let u = (0..n as u32)
         .min_by_key(|&v| g.degree(v))
+        // ipg-analyze: allow(PANIC001) reason="0..n is non-empty: the n == 0 case returned above"
         .expect("nonempty");
     let mut best = g.degree(u) as u32;
     let mut sources: Vec<u32> = vec![u];

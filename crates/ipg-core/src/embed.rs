@@ -44,6 +44,9 @@ pub fn dilation(guest: &Csr, host: &Csr, map: &[u32]) -> Option<u32> {
             }
             Some(worst)
         })
+        // Parallel-reduction audit: `u32 max` with `None` short-circuit —
+        // associative/commutative and `None` absorbing, exact for any
+        // worker count (see the comment above the source list).
         .try_reduce(|| 0, |a, b| Some(a.max(b)))
 }
 

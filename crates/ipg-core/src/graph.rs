@@ -90,6 +90,9 @@ impl Csr {
     /// function of `u`).
     pub fn from_fn_par(n: usize, neighbors: impl Fn(u32, &mut Vec<u32>) + Sync) -> Self {
         use rayon::prelude::*;
+        // Parallel-reduction audit: ordered `collect`, no reduce — each row
+        // is a pure function of `u` and rows are concatenated in id order
+        // below, so the CSR bytes are identical for every `IPG_THREADS`.
         let rows: Vec<Vec<u32>> = (0..n)
             .into_par_iter()
             .map(|u| {

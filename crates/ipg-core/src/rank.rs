@@ -21,6 +21,7 @@ pub fn multiset_count(counts: &[u32]) -> u64 {
     for &c in counts {
         result = result
             .checked_mul(binomial(remaining, c))
+            // ipg-analyze: allow(PANIC001) reason="deliberate overflow guard: label spaces past u64 are unsupported"
             .expect("multiset count overflows u64");
         remaining -= c;
     }
@@ -33,6 +34,7 @@ fn binomial(n: u32, k: u32) -> u64 {
     for i in 0..k as u64 {
         num = num
             .checked_mul(n as u64 - i)
+            // ipg-analyze: allow(PANIC001) reason="deliberate overflow guard: label spaces past u64 are unsupported"
             .expect("binomial overflows u64")
             / (i + 1);
     }

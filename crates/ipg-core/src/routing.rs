@@ -281,9 +281,11 @@ impl SuperRouter {
                     let i = src_colors
                         .iter()
                         .position(|&sc| sc == c)
+                        // ipg-analyze: allow(PANIC001) reason="src and dst colors are rearrangements of one multiset"
                         .expect("colors are a permutation");
                     image[j] = i as u16;
                 }
+                // ipg-analyze: allow(PANIC001) reason="image built from position() over distinct indices is a bijection"
                 let target = Perm::from_image(image).expect("bijection");
                 min_visit_schedule_to(&self.spec, &target).ok_or_else(|| IpgError::InvalidSpec {
                     reason: "required block arrangement unreachable".into(),

@@ -113,6 +113,7 @@ pub fn solve(spec: &IpGraphSpec, src: &Label, dst: &Label, node_budget: usize) -
         let level = queue.len();
         let mut best: Option<(u32, Label)> = None;
         for _ in 0..level {
+            // ipg-analyze: allow(PANIC001) reason="loop runs queue.len() times and only this pop drains it"
             let cur = queue.pop_front().expect("level counted");
             let depth = this[&cur].2 + 1;
             for (gi, p) in perms.iter().enumerate() {

@@ -140,6 +140,7 @@ impl IpGraphSpec {
     pub fn section2_example() -> Self {
         IpGraphSpec {
             name: "sec2-example".into(),
+            // ipg-analyze: allow(PANIC001) reason="static literal is a valid label; covered by unit tests"
             seed: Label::parse("123123").expect("static label"),
             generators: vec![
                 Generator::new("(1,2)", Perm::transposition(6, 0, 1)),

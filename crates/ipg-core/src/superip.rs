@@ -75,6 +75,7 @@ impl NucleusSpec {
         let mut nucleus = NucleusSpec::hypercube(n);
         let cycles: Vec<Vec<usize>> = (0..n).map(|i| vec![2 * i, 2 * i + 1]).collect();
         let refs: Vec<&[usize]> = cycles.iter().map(|c| c.as_slice()).collect();
+        // ipg-analyze: allow(PANIC001) reason="cycles (2i, 2i+1) are disjoint by construction"
         let comp = Perm::from_cycles(m, &refs).expect("disjoint pair swaps");
         nucleus.spec.generators.push(Generator::new("C", comp));
         nucleus.spec.name = format!("FQ{n}");
@@ -234,6 +235,7 @@ impl SuperGen {
                 image.push((src * m + r) as u16);
             }
         }
+        // ipg-analyze: allow(PANIC001) reason="block image enumerates each src*m+r exactly once"
         Perm::from_image(image).expect("block perm expands to valid perm")
     }
 }
@@ -465,6 +467,7 @@ impl SuperIpSpec {
             }
             generators.push(Generator::new(
                 g.name.clone(),
+                // ipg-analyze: allow(PANIC001) reason="relabeling a bijection by a bijection stays bijective"
                 Perm::from_image(image).expect("embedding preserves bijection"),
             ));
         }
@@ -621,6 +624,7 @@ impl TupleNetwork {
             id = id * m + g as u64;
         }
         id += order_idx as u64 * m.pow(self.l as u32);
+        // ipg-analyze: allow(PANIC001) reason="TupleNetwork::new rejects node counts past u32"
         u32::try_from(id).expect("node id fits u32")
     }
 
@@ -699,6 +703,7 @@ impl TupleNetwork {
             .map(|id| {
                 let order = id / m.pow(self.l as u32);
                 let rest = (id % m.pow(self.l as u32)) / m; // drop coordinate 0
+                                                            // ipg-analyze: allow(PANIC001) reason="class index is below the u32 node count"
                 u32::try_from(order * m.pow(self.l as u32 - 1) + rest).expect("fits")
             })
             .collect();

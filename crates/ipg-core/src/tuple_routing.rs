@@ -264,6 +264,7 @@ impl<'n> TupleRouter<'n> {
             let next = self.tn.encode(order, &tuple);
             // a super-generator may fix the current node (e.g. swapping
             // two equal blocks); that is a no-op, not a link traversal
+            // ipg-analyze: allow(PANIC001) reason="path starts with src and only grows"
             if next != *path.last().expect("non-empty") {
                 path.push(next);
             }
@@ -273,9 +274,11 @@ impl<'n> TupleRouter<'n> {
                 self.sort_coord0(order, &mut tuple, dst_t[final_pos[origin]], &mut path)?;
             }
         }
-        if *path.last().expect("non-empty") != dst {
+        // ipg-analyze: allow(PANIC001) reason="path starts with src and only grows"
+        let last = *path.last().expect("non-empty");
+        if last != dst {
             return Err(IpgError::InvalidSpec {
-                reason: format!("tuple routing ended at {} not {dst}", path.last().unwrap()),
+                reason: format!("tuple routing ended at {last} not {dst}"),
             });
         }
         Ok(path)

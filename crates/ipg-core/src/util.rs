@@ -34,6 +34,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // ipg-analyze: allow(PANIC001) reason="chunks_exact(8) yields exactly 8 bytes"
             self.add(u64::from_le_bytes(c.try_into().unwrap()));
         }
         let rem = chunks.remainder();
@@ -76,6 +77,7 @@ pub fn factorial(n: usize) -> u64 {
 
 /// `base^exp` in `u64` with overflow checks (panics on overflow).
 pub fn checked_pow(base: u64, exp: u32) -> u64 {
+    // ipg-analyze: allow(PANIC001) reason="documented contract: panic on overflow; callers pre-validate sizes"
     base.checked_pow(exp).expect("size overflow")
 }
 

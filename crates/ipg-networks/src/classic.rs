@@ -68,6 +68,7 @@ pub fn folded_hypercube(n: usize) -> Csr {
 /// degenerates to the hypercube (±1 coincide and are deduplicated).
 pub fn kary_ncube(k: usize, n: usize) -> Csr {
     assert!(k >= 2);
+    // ipg-analyze: allow(PANIC001) reason="deliberate overflow guard; the CLI caps sizes before calling"
     let size = k.checked_pow(n as u32).expect("size overflow");
     assert!(size <= u32::MAX as usize);
     Csr::from_fn(size, |u, out| {
@@ -122,6 +123,7 @@ pub fn generalized_hypercube(radices: &[usize]) -> Csr {
 pub fn star(n: usize) -> Csr {
     IpGraphSpec::star(n)
         .generate()
+        // ipg-analyze: allow(PANIC001) reason="the built-in star spec is always well-formed"
         .expect("star generation")
         .to_undirected_csr()
 }
@@ -131,6 +133,7 @@ pub fn star(n: usize) -> Csr {
 pub fn star_labels(n: usize) -> Vec<Vec<u8>> {
     IpGraphSpec::star(n)
         .generate()
+        // ipg-analyze: allow(PANIC001) reason="the built-in star spec is always well-formed"
         .expect("star generation")
         .labels()
         .iter()
@@ -142,6 +145,7 @@ pub fn star_labels(n: usize) -> Vec<Vec<u8>> {
 pub fn pancake(n: usize) -> Csr {
     IpGraphSpec::pancake(n)
         .generate()
+        // ipg-analyze: allow(PANIC001) reason="the built-in pancake spec is always well-formed"
         .expect("pancake generation")
         .to_undirected_csr()
 }
@@ -222,6 +226,7 @@ pub fn mesh2d(k: usize) -> Csr {
 /// 3-regular for `n ≥ 4`.
 pub fn star_connected_cycles(n: usize) -> Csr {
     assert!(n >= 3);
+    // ipg-analyze: allow(PANIC001) reason="the built-in star spec is always well-formed"
     let ip = IpGraphSpec::star(n).generate().expect("star generation");
     let c = n - 1;
     let nodes = ip.node_count() * c;

@@ -86,6 +86,7 @@ pub fn rotator_ip(n: usize) -> IpGraphSpec {
                 .collect();
             Generator::new(
                 format!("R{i}"),
+                // ipg-analyze: allow(PANIC001) reason="a prefix rotation is a bijection by construction"
                 Perm::from_image(image).expect("prefix rotation"),
             )
         })
@@ -117,6 +118,7 @@ pub fn macro_star_ip(l: usize, n: usize) -> IpGraphSpec {
         }
         gens.push(Generator::new(
             format!("T{j}"),
+            // ipg-analyze: allow(PANIC001) reason="swapping disjoint index blocks is a bijection"
             Perm::from_image(image).expect("block swap"),
         ));
     }
@@ -170,6 +172,7 @@ pub fn ccc_ip(n: usize) -> IpGraphSpec {
     for j in 0..n {
         f_img.push((2 * n + (j + 1) % n) as u16);
     }
+    // ipg-analyze: allow(PANIC001) reason="rotation composed with a marker shift is a bijection"
     let f = Perm::from_image(f_img).expect("rotation is a bijection");
     let b = f.inverse();
     let x = Perm::transposition(k, 0, 1);

@@ -1,7 +1,6 @@
 //! Graphviz/DOT export, used by the Figure-1 regeneration binary.
 
 use ipg_core::graph::Csr;
-use std::fmt::Write;
 
 /// Render an undirected graph as DOT. `label(v)` supplies node labels
 /// (e.g. the paper's radix-4 rankings in Fig. 1).
@@ -11,17 +10,17 @@ pub fn to_dot(g: &Csr, name: &str, mut label: impl FnMut(u32) -> String) -> Stri
         .chars()
         .map(|c| if c.is_alphanumeric() { c } else { '_' })
         .collect();
-    writeln!(out, "graph {safe} {{").unwrap();
-    writeln!(out, "  node [shape=circle, fontsize=10];").unwrap();
+    out.push_str(&format!("graph {safe} {{\n"));
+    out.push_str("  node [shape=circle, fontsize=10];\n");
     for v in 0..g.node_count() as u32 {
-        writeln!(out, "  n{v} [label=\"{}\"];", label(v)).unwrap();
+        out.push_str(&format!("  n{v} [label=\"{}\"];\n", label(v)));
     }
     for (u, v) in g.arcs() {
         if u < v {
-            writeln!(out, "  n{u} -- n{v};").unwrap();
+            out.push_str(&format!("  n{u} -- n{v};\n"));
         }
     }
-    writeln!(out, "}}").unwrap();
+    out.push_str("}\n");
     out
 }
 

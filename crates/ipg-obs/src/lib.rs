@@ -419,6 +419,18 @@ pub struct Span {
     start: Option<Instant>,
 }
 
+impl Span {
+    /// Seconds elapsed since the span opened (`None` when disabled).
+    ///
+    /// This is the sanctioned way for instrumented code to derive
+    /// wall-clock rates (`Obs::emit_rate`) without reading the clock
+    /// itself: all `Instant` access stays inside `ipg-obs`, which the
+    /// DET003 lint (`ipg-analyze`) enforces workspace-wide.
+    pub fn elapsed_secs(&self) -> Option<f64> {
+        self.start.map(|s| s.elapsed().as_secs_f64())
+    }
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
         let (Some(inner), Some(start)) = (&self.obs.inner, self.start) else {

@@ -194,6 +194,7 @@ impl Simulator {
                 return i;
             }
         }
+        // ipg-analyze: allow(PANIC001) reason="routing tables only emit neighbors; reaching here is a table bug"
         panic!("next hop {v} is not a neighbor of {u}");
     }
 
@@ -327,6 +328,7 @@ impl Simulator {
             // 2. each ready link launches its head message
             for (li, link) in self.links.iter_mut().enumerate() {
                 if link.next_free <= cycle as u64 && !link.queue.is_empty() {
+                    // ipg-analyze: allow(PANIC001) reason="is_empty checked in the guard just above"
                     let pkt = link.queue.pop_front().expect("checked non-empty");
                     // occupancy: the whole message crosses the link
                     link.next_free = cycle as u64 + link.interval as u64 * msg_len as u64;

@@ -8,6 +8,14 @@ cd "$(dirname "$0")/.."
 # Pin the pool so interned-build parallelism doesn't vary run to run.
 export IPG_THREADS="${IPG_THREADS:-4}"
 
+# Refuse to benchmark code with open determinism findings: numbers from a
+# nondeterministic build are not comparable run to run.
+echo "== ipg-analyze (DET rules) =="
+if ! cargo run -q -p ipg-analyze -- --rules DET001,DET002,DET003 --format human; then
+    echo "bench.sh: refusing to benchmark with open DET-class findings" >&2
+    exit 1
+fi
+
 jsonl="$(mktemp /tmp/addressing.XXXXXX.jsonl)"
 trap 'rm -f "$jsonl"' EXIT
 

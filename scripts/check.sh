@@ -6,6 +6,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== ipg-analyze =="
+cargo run -q -p ipg-analyze -- --format human
+
 echo "== cargo clippy --workspace -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

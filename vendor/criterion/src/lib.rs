@@ -15,6 +15,7 @@
 //! results without parsing stdout.
 
 use std::io::Write;
+// ipg-analyze: allow(DET003) reason="bench harness: measuring wall time is its purpose"
 use std::time::{Duration, Instant};
 
 /// Benchmark driver; create one per `criterion_group!` function.
@@ -121,6 +122,7 @@ pub struct Bencher {
 impl Bencher {
     /// Time `routine`, running it the calibrated number of iterations.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // ipg-analyze: allow(DET003) reason="bench harness: measuring wall time is its purpose"
         let start = Instant::now();
         for _ in 0..self.iters {
             std::hint::black_box(routine());
