@@ -7,6 +7,7 @@
 //! | DET001   | error    | no default-hasher `HashMap`/`HashSet` in `ipg-core` hot modules  |
 //! | DET002   | error    | every parallel reduce carries a `Parallel-reduction audit:`      |
 //! | DET003   | error    | no wall-clock reads outside `ipg-obs` / `vendor/rayon`           |
+//! | DET004   | error    | no RNG construction in `ipg-sim` cycle loops (use `rng::node_stream`) |
 //! | PANIC001 | warning  | no `unwrap`/`expect`/`panic!` in library code of the core crates |
 //! | HYG001   | error    | every suppression carries a `reason="…"`                         |
 //!
@@ -128,6 +129,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Det001),
         Box::new(Det002),
         Box::new(Det003),
+        Box::new(Det004),
         Box::new(Panic001),
         Box::new(Hyg001),
     ]
@@ -499,6 +501,53 @@ impl Rule for Det003 {
 }
 
 // ---------------------------------------------------------------------------
+// DET004 — ad-hoc RNG construction in the simulator cycle loops
+// ---------------------------------------------------------------------------
+
+struct Det004;
+
+/// `ipg-sim` modules whose per-cycle loops run (or may run) on worker
+/// threads. Sharded determinism requires every draw to come from a
+/// node-keyed counter stream built by `rng::node_stream`; naming the
+/// generator here means someone is seeding ad hoc, which couples the
+/// stream to shard layout or thread count.
+const SHARDED_MODULES: &[&str] = &["engine.rs", "wormhole.rs"];
+
+const RNG_IDENTS: &[&str] = &["SmallRng", "SeedableRng", "seed_from_u64", "thread_rng"];
+
+impl Rule for Det004 {
+    fn id(&self) -> &'static str {
+        "DET004"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn describe(&self) -> &'static str {
+        "no global/ad-hoc RNG construction in ipg-sim shard loops (use rng::node_stream)"
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if ctx.crate_name != "ipg-sim" || !SHARDED_MODULES.contains(&ctx.file_name()) {
+            return;
+        }
+        for t in &ctx.lexed.tokens {
+            let TokKind::Ident(s) = &t.kind else { continue };
+            if RNG_IDENTS.contains(&s.as_str()) && !ctx.in_test(t.line) {
+                self.emit(
+                    ctx,
+                    t.line,
+                    format!(
+                        "RNG construction `{s}` in a sharded simulator module; draw from \
+                         the per-node counter streams via `rng::node_stream` so output \
+                         is identical for every IPG_THREADS"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // PANIC001 — panics in library code of the core crates
 // ---------------------------------------------------------------------------
 
@@ -699,6 +748,38 @@ mod tests {
         );
         assert!(run_on(src, "ipg-obs", "crates/ipg-obs/src/lib.rs", FileKind::Lib).is_empty());
         assert!(run_on(src, "rayon", "vendor/rayon/src/lib.rs", FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn det004_scopes_to_sharded_sim_modules() {
+        let src = "use rand::rngs::SmallRng;\nfn f(seed: u64) -> SmallRng { SmallRng::seed_from_u64(seed) }\n";
+        let hot = run_on(
+            src,
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            FileKind::Lib,
+        );
+        assert!(hot.len() >= 2, "{hot:?}");
+        assert!(hot.iter().all(|f| f.rule == "DET004"));
+        // rng.rs is the one sanctioned construction site
+        let sanctioned = run_on(src, "ipg-sim", "crates/ipg-sim/src/rng.rs", FileKind::Lib);
+        assert!(sanctioned.is_empty(), "{sanctioned:?}");
+        let other = run_on(
+            src,
+            "ipg-core",
+            "crates/ipg-core/src/engine.rs",
+            FileKind::Lib,
+        );
+        assert!(other.is_empty(), "{other:?}");
+        // test code inside the module is exempt
+        let test_only = "#[cfg(test)]\nmod tests {\n use rand::rngs::SmallRng;\n}\n";
+        assert!(run_on(
+            test_only,
+            "ipg-sim",
+            "crates/ipg-sim/src/wormhole.rs",
+            FileKind::Lib
+        )
+        .is_empty());
     }
 
     #[test]

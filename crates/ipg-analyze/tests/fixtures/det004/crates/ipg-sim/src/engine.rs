@@ -1,0 +1,14 @@
+//! DET004 fixture: ad-hoc RNG construction inside a sharded cycle loop.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn inject(seed: u64) -> bool {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen::<f64>() < 0.5
+}
+
+pub fn suppressed_stream(seed: u64) -> u64 {
+    // ipg-analyze: allow(DET004) reason="fixture: demonstrating a justified one-off stream"
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdead_beef);
+    rng.next_u64()
+}

@@ -13,6 +13,7 @@ const FIXTURES: &[&str] = &[
     "det001",
     "det002",
     "det003",
+    "det004",
     "panic001",
     "hyg001",
     "clean",
@@ -52,6 +53,7 @@ fn fixture_gate_verdicts() {
         ("det001", false),
         ("det002", false),
         ("det003", false),
+        ("det004", false),
         ("panic001", false),
         ("hyg001", false),
         ("clean", true),

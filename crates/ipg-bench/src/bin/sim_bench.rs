@@ -1,0 +1,253 @@
+//! Simulation-engine throughput: table-backed vs table-free routing.
+//!
+//! Two experiments, distilled into `results/BENCH_sim.json`:
+//!
+//! 1. *common config* — the largest network both backends can load
+//!    (symmetric ring-CN(2,Q6), 8192 nodes). The table backend pays the
+//!    all-pairs BFS precompute the pre-sharding engine always paid; the
+//!    codec backend routes arithmetically on tuple digits. Both run the
+//!    same cycle schedule, so the end-to-end ratio is the user-visible
+//!    `ipg simulate` speedup and the steady-state ratio isolates the
+//!    per-cycle cost.
+//! 2. *beyond the table* — CN(5,Q4) at 2^20 nodes. The dense next-hop
+//!    table would need N² · 4 B = 4 TiB (and ~N·M BFS work), so the
+//!    table engine cannot load this network at all; the codec backend
+//!    simulates it directly. Recorded with the table's memory bound so
+//!    the claim is auditable.
+//!
+//! All timing goes through `Obs` spans (`Span::elapsed_secs`) — the
+//! DET003 lint keeps raw `Instant` reads out of this crate.
+
+use ipg_bench::{f2, print_table, report};
+use ipg_core::graph::Csr;
+use ipg_core::tuple_routing::ShortestTupleRouter;
+use ipg_networks::{classic, hier};
+use ipg_obs::Obs;
+use ipg_sim::engine::{SimConfig, Simulator};
+use ipg_sim::table::RoutingTable;
+use ipg_sim::Router;
+use serde::Serialize;
+
+#[derive(Serialize, Clone, Copy)]
+struct BackendTiming {
+    build_secs: f64,
+    run_secs: f64,
+    total_secs: f64,
+    /// Simulated cycles per wall second, steady state (run only).
+    cycles_per_sec: f64,
+    /// Simulated cycles per wall second including router construction —
+    /// what `ipg simulate` actually delivers.
+    end_to_end_cycles_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CommonCase {
+    network: String,
+    nodes: usize,
+    cycles: u32,
+    injection_rate: f64,
+    delivered_match: bool,
+    table: BackendTiming,
+    codec: BackendTiming,
+    speedup_end_to_end: f64,
+    speedup_steady_state: f64,
+}
+
+#[derive(Serialize)]
+struct BeyondTableCase {
+    network: String,
+    nodes: usize,
+    cycles: u32,
+    injection_rate: f64,
+    /// Bytes the dense next-hop table would need (N² · 4) — why the
+    /// table backend cannot load this network.
+    table_bytes_required: u64,
+    delivered: u64,
+    codec: BackendTiming,
+}
+
+#[derive(Serialize)]
+struct SimBench {
+    bench: &'static str,
+    ipg_threads: usize,
+    common: CommonCase,
+    beyond_table: BeyondTableCase,
+}
+
+fn cfg(rate: f64, warmup: u32, measure: u32, drain: u32) -> SimConfig {
+    SimConfig {
+        injection_rate: rate,
+        warmup_cycles: warmup,
+        measure_cycles: measure,
+        drain_cycles: drain,
+        seed: 7,
+        ..SimConfig::default()
+    }
+}
+
+fn total_cycles(c: &SimConfig) -> u32 {
+    c.warmup_cycles + c.measure_cycles + c.drain_cycles
+}
+
+/// Time one backend: `build` constructs the router, then the engine runs
+/// `cfg`'s schedule. Returns the timing plus the run's delivered count.
+fn time_backend<R: Router>(
+    obs: &Obs,
+    label: &str,
+    g: &Csr,
+    class: &[u32],
+    c: &SimConfig,
+    build: impl FnOnce() -> R,
+) -> (BackendTiming, u64) {
+    let build_span = obs.span(&format!("{label}/build"));
+    let router = build();
+    let build_secs = build_span.elapsed_secs().unwrap_or(0.0);
+    drop(build_span);
+    let mut sim = Simulator::with_router(router, g, |v| class[v as usize], c);
+    let run_span = obs.span(&format!("{label}/run"));
+    let r = sim.run(c);
+    let run_secs = run_span.elapsed_secs().unwrap_or(0.0).max(1e-9);
+    drop(run_span);
+    let cycles = f64::from(total_cycles(c));
+    (
+        BackendTiming {
+            build_secs,
+            run_secs,
+            total_secs: build_secs + run_secs,
+            cycles_per_sec: cycles / run_secs,
+            end_to_end_cycles_per_sec: cycles / (build_secs + run_secs).max(1e-9),
+        },
+        r.delivered,
+    )
+}
+
+fn main() {
+    let common_cfg = cfg(0.02, 200, 800, 500);
+    let big_cfg = cfg(0.002, 20, 60, 60);
+    let rep = report::start(
+        "sim_bench",
+        &[
+            ("common_network", "ring-CN(2,Q6) symmetric".into()),
+            ("beyond_network", "CN(5,Q4)".into()),
+            ("common_injection_rate", common_cfg.injection_rate.into()),
+            ("beyond_injection_rate", big_cfg.injection_rate.into()),
+            ("seed", 7u64.into()),
+        ],
+    );
+
+    // -- common config: both backends ------------------------------------
+    let tn = hier::symmetric(&hier::ring_cn(2, classic::hypercube(6), "Q6"));
+    let g = tn.build();
+    let (class, _) = tn.nucleus_partition();
+    eprintln!("common config: {} ({} nodes)", tn.name, g.node_count());
+    let (table, delivered_t) = time_backend(rep.obs(), "table", &g, &class, &common_cfg, || {
+        RoutingTable::new(&g)
+    });
+    let tn_for_router = tn.clone();
+    let (codec, delivered_c) = time_backend(rep.obs(), "codec", &g, &class, &common_cfg, || {
+        ShortestTupleRouter::new(tn_for_router).expect("l=2 is within the codec router bound")
+    });
+    let common = CommonCase {
+        network: tn.name.clone(),
+        nodes: g.node_count(),
+        cycles: total_cycles(&common_cfg),
+        injection_rate: common_cfg.injection_rate,
+        // Same injection streams, both routers exact-shortest: the tagged
+        // delivered counts must agree even though tie-breaks differ.
+        delivered_match: delivered_t == delivered_c,
+        table,
+        codec,
+        speedup_end_to_end: table.total_secs / codec.total_secs.max(1e-9),
+        speedup_steady_state: table.run_secs / codec.run_secs.max(1e-9),
+    };
+
+    // -- beyond the table: 2^20-node CN ----------------------------------
+    let big = hier::complete_cn(5, classic::hypercube(4), "Q4");
+    let n_big = big.node_count() as u64;
+    let table_bytes = n_big * n_big * 4;
+    eprintln!(
+        "beyond-table config: {} ({} nodes; dense table would need {} GiB)",
+        big.name,
+        n_big,
+        table_bytes >> 30
+    );
+    let g_big = big.build();
+    let (class_big, _) = big.nucleus_partition();
+    let name_big = big.name.clone();
+    let (codec_big, delivered_big) = time_backend(
+        rep.obs(),
+        "beyond/codec",
+        &g_big,
+        &class_big,
+        &big_cfg,
+        || ShortestTupleRouter::new(big).expect("l=5 is within the codec router bound"),
+    );
+    let beyond = BeyondTableCase {
+        network: name_big,
+        nodes: n_big as usize,
+        cycles: total_cycles(&big_cfg),
+        injection_rate: big_cfg.injection_rate,
+        table_bytes_required: table_bytes,
+        delivered: delivered_big,
+        codec: codec_big,
+    };
+
+    let out = SimBench {
+        bench: "sim_bench",
+        ipg_threads: rayon::current_num_threads(),
+        common,
+        beyond_table: beyond,
+    };
+
+    println!("== Simulation engine: table vs table-free routing ==");
+    print_table(
+        &[
+            "case",
+            "nodes",
+            "build s",
+            "run s",
+            "total s",
+            "cycles/s",
+            "e2e cycles/s",
+        ],
+        &[
+            vec![
+                "common/table".into(),
+                out.common.nodes.to_string(),
+                f2(out.common.table.build_secs),
+                f2(out.common.table.run_secs),
+                f2(out.common.table.total_secs),
+                format!("{:.0}", out.common.table.cycles_per_sec),
+                format!("{:.0}", out.common.table.end_to_end_cycles_per_sec),
+            ],
+            vec![
+                "common/codec".into(),
+                out.common.nodes.to_string(),
+                f2(out.common.codec.build_secs),
+                f2(out.common.codec.run_secs),
+                f2(out.common.codec.total_secs),
+                format!("{:.0}", out.common.codec.cycles_per_sec),
+                format!("{:.0}", out.common.codec.end_to_end_cycles_per_sec),
+            ],
+            vec![
+                "beyond/codec".into(),
+                out.beyond_table.nodes.to_string(),
+                f2(out.beyond_table.codec.build_secs),
+                f2(out.beyond_table.codec.run_secs),
+                f2(out.beyond_table.codec.total_secs),
+                format!("{:.0}", out.beyond_table.codec.cycles_per_sec),
+                format!("{:.0}", out.beyond_table.codec.end_to_end_cycles_per_sec),
+            ],
+        ],
+    );
+    println!(
+        "  end-to-end speedup {:.2}x, steady-state {:.2}x; dense table for {} would need {} GiB",
+        out.common.speedup_end_to_end,
+        out.common.speedup_steady_state,
+        out.beyond_table.network,
+        out.beyond_table.table_bytes_required >> 30
+    );
+
+    rep.json("BENCH_sim", &out);
+    rep.finish();
+}

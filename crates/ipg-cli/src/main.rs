@@ -13,8 +13,12 @@ mod spec;
 
 use ipg_cluster::{costs, imetrics, partition::Partition};
 use ipg_core::algo;
+use ipg_core::tuple_routing::{ShortestTupleRouter, SHORTEST_ROUTER_MAX_L};
 use ipg_obs::{MetaVal, Obs};
-use ipg_sim::engine::{run_clustered_instrumented, SimConfig};
+use ipg_sim::engine::{SimConfig, Simulator};
+use ipg_sim::router::Router;
+use ipg_sim::table::RoutingTable;
+use ipg_sim::wormhole::{VcPolicy, WormholeConfig, WormholeOutcome, WormholeSim};
 use spec::{parse, ParsedNetwork};
 use std::process::ExitCode;
 
@@ -65,6 +69,9 @@ fn print_help() {
     println!("  simulate <network> [rate]      packet simulation (default rate 0.01)");
     println!("      --obs <path>               write a JSON-lines run manifest");
     println!("      --obs-interval <cycles>    also snapshot metrics every N cycles");
+    println!("      --wormhole                 flit-level wormhole switching instead");
+    println!("      --vcs <n> --flits <n>      wormhole VC count / packet length");
+    println!("      --policy single|hop        wormhole VC allocation policy");
     println!("  layout <network>               bisection width + grid-layout wirelength");
     println!("  solve <game> <src> <dst>       solve a ball-arrangement game (games:");
     println!("                                 star:n, pancake:n; labels like 654321)");
@@ -266,10 +273,14 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    // peel off --obs / --obs-interval; the rest stay positional
+    // peel off flags; the rest stay positional
     let mut positional: Vec<&String> = Vec::new();
     let mut obs_path: Option<std::path::PathBuf> = None;
     let mut obs_interval: u32 = 0;
+    let mut wormhole = false;
+    let mut vcs: usize = 2;
+    let mut flits: u32 = 4;
+    let mut policy = VcPolicy::HopIndexed;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -280,13 +291,32 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--obs-interval needs a cycle count")?;
                 obs_interval = v.parse().map_err(|_| format!("bad --obs-interval `{v}`"))?;
             }
+            "--wormhole" => wormhole = true,
+            "--vcs" => {
+                let v = it.next().ok_or("--vcs needs a channel count")?;
+                vcs = v.parse().map_err(|_| format!("bad --vcs `{v}`"))?;
+                if vcs == 0 {
+                    return Err("--vcs must be ≥ 1".into());
+                }
+            }
+            "--flits" => {
+                let v = it.next().ok_or("--flits needs a packet length")?;
+                flits = v.parse().map_err(|_| format!("bad --flits `{v}`"))?;
+                if flits == 0 {
+                    return Err("--flits must be ≥ 1".into());
+                }
+            }
+            "--policy" => {
+                policy = match it.next().ok_or("--policy needs single|hop")?.as_str() {
+                    "single" => VcPolicy::Single,
+                    "hop" => VcPolicy::HopIndexed,
+                    other => return Err(format!("bad --policy `{other}` (single|hop)")),
+                };
+            }
             _ => positional.push(a),
         }
     }
     let net = parse(positional.first().ok_or("simulate needs a network")?)?;
-    if net.graph.node_count() > 16_384 {
-        return Err("simulation capped at 16384 nodes".into());
-    }
     let rate: f64 = positional
         .get(1)
         .map(|s| s.parse().map_err(|_| format!("bad rate `{s}`")))
@@ -303,6 +333,25 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         Some(p) => p.class.clone(),
         None => vec![0; net.graph.node_count()],
     };
+    // Routing backend: super-IP specs route arithmetically on their codec
+    // digits (no per-pair state); everything else falls back to the
+    // all-pairs BFS table, whose O(N²) memory caps it at 65,536 nodes.
+    let codec_eligible = net
+        .tuple
+        .as_ref()
+        .is_some_and(|tn| tn.l <= SHORTEST_ROUTER_MAX_L);
+    let router_kind = if codec_eligible {
+        "codec (table-free)"
+    } else {
+        "all-pairs table"
+    };
+    if !codec_eligible && net.graph.node_count() > 65_536 {
+        return Err(format!(
+            "{} nodes exceed the 65536-node bound of the all-pairs routing table \
+             (table-free codec routing needs a super-IP spec with l ≤ {SHORTEST_ROUTER_MAX_L})",
+            net.graph.node_count()
+        ));
+    }
     let obs = match &obs_path {
         Some(p) => Obs::to_file(p).map_err(|e| format!("cannot open {}: {e}", p.display()))?,
         None => Obs::disabled(),
@@ -312,6 +361,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         &[
             ("network", MetaVal::from(net.name.as_str())),
             ("nodes", MetaVal::from(net.graph.node_count())),
+            (
+                "mode",
+                MetaVal::from(if wormhole { "wormhole" } else { "packet" }),
+            ),
+            ("router", MetaVal::from(router_kind)),
             ("injection_rate", MetaVal::from(rate)),
             ("warmup_cycles", MetaVal::from(cfg.warmup_cycles as u64)),
             ("measure_cycles", MetaVal::from(cfg.measure_cycles as u64)),
@@ -323,25 +377,67 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             ),
         ],
     );
-    let r = run_clustered_instrumented(&net.graph, &module, &cfg, &obs, obs_interval);
-    obs.finish();
+    let router: Box<dyn Router> = if codec_eligible {
+        let tn = net
+            .tuple
+            .clone()
+            .ok_or("codec routing without a tuple form")?;
+        Box::new(ShortestTupleRouter::new(tn).map_err(|e| e.to_string())?)
+    } else {
+        Box::new(RoutingTable::new_instrumented(&net.graph, &obs))
+    };
     println!("network:    {}", net.name);
+    println!("router:     {router_kind}");
     println!("rate:       {rate}");
-    println!("injected:   {}", r.injected);
-    println!(
-        "delivered:  {} ({:.1}%)",
-        r.delivered,
-        100.0 * r.delivered as f64 / r.injected.max(1) as f64
-    );
-    println!(
-        "in flight:  {} at end; {} drained unmeasured",
-        r.in_flight_at_end, r.unmeasured_delivered
-    );
-    println!(
-        "latency:    avg {:.2}, max {}",
-        r.avg_latency, r.max_latency
-    );
-    println!("throughput: {:.4} packets/node/cycle", r.throughput);
+    if wormhole {
+        let wcfg = WormholeConfig {
+            vcs,
+            packet_flits: flits,
+            injection_rate: rate,
+            policy,
+            ..WormholeConfig::default()
+        };
+        let sim = WormholeSim::with_router(router, &net.graph);
+        let out = sim.run_instrumented(&wcfg, &obs, obs_interval);
+        obs.finish();
+        println!("mode:       wormhole ({vcs} VCs, {flits}-flit packets)");
+        match out {
+            WormholeOutcome::Completed(s) => {
+                println!("injected:   {}", s.injected);
+                println!(
+                    "delivered:  {} ({:.1}%)",
+                    s.delivered,
+                    100.0 * s.delivered as f64 / s.injected.max(1) as f64
+                );
+                println!("latency:    avg {:.2}", s.avg_latency);
+            }
+            WormholeOutcome::Deadlocked {
+                at_cycle,
+                stuck_packets,
+            } => {
+                println!("deadlocked: cycle {at_cycle}, {stuck_packets} packets stuck");
+            }
+        }
+    } else {
+        let mut sim = Simulator::with_router(router, &net.graph, |v| module[v as usize], &cfg);
+        let r = sim.run_instrumented(&cfg, &obs, obs_interval);
+        obs.finish();
+        println!("injected:   {}", r.injected);
+        println!(
+            "delivered:  {} ({:.1}%)",
+            r.delivered,
+            100.0 * r.delivered as f64 / r.injected.max(1) as f64
+        );
+        println!(
+            "in flight:  {} at end; {} drained unmeasured",
+            r.in_flight_at_end, r.unmeasured_delivered
+        );
+        println!(
+            "latency:    avg {:.2}, max {}",
+            r.avg_latency, r.max_latency
+        );
+        println!("throughput: {:.4} packets/node/cycle", r.throughput);
+    }
     if let Some(p) = obs_path {
         println!("manifest:   {}", p.display());
     }

@@ -91,37 +91,66 @@ fn deterministic_records(path: &std::path::Path) -> Vec<String> {
     lines
 }
 
-#[test]
-fn simulate_manifest_is_thread_count_independent() {
-    let dir = std::env::temp_dir().join(format!("ipg-determinism-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("create temp dir");
+/// Run `simulate <extra args>` under each `IPG_THREADS` setting from its own
+/// working directory; stdout and the deterministic manifest records must be
+/// byte-identical across every worker count.
+fn assert_simulate_deterministic(tag: &str, extra: &[&str]) {
+    let dir = std::env::temp_dir().join(format!("ipg-determinism-{tag}-{}", std::process::id()));
     // Same *relative* manifest path from sibling working dirs: simulate
     // echoes the path on stdout, which must not differ between the runs.
-    let d1 = dir.join("t1");
-    let d4 = dir.join("t4");
-    std::fs::create_dir_all(&d1).expect("create temp dir");
-    std::fs::create_dir_all(&d4).expect("create temp dir");
-    let args = [
-        "simulate",
-        "ring-cn:l=2,nucleus=Q2",
-        "0.02",
-        "--obs",
-        "run.manifest.jsonl",
-        "--obs-interval",
-        "500",
-    ];
-    let (out1, _) = run_in(Some(&d1), "1", &args);
-    let (out4, _) = run_in(Some(&d4), "4", &args);
-    let m1 = d1.join("run.manifest.jsonl");
-    let m4 = d4.join("run.manifest.jsonl");
-    assert_eq!(
-        out1, out4,
-        "simulate stdout differs between IPG_THREADS=1 and IPG_THREADS=4"
-    );
-    assert_eq!(
-        deterministic_records(&m1),
-        deterministic_records(&m4),
-        "deterministic manifest records differ between IPG_THREADS=1 and IPG_THREADS=4"
-    );
+    let mut args = vec!["simulate"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["--obs", "run.manifest.jsonl", "--obs-interval", "500"]);
+    let mut baseline: Option<(Vec<u8>, Vec<String>)> = None;
+    for threads in ["1", "2", "4"] {
+        let d = dir.join(format!("t{threads}"));
+        std::fs::create_dir_all(&d).expect("create temp dir");
+        let (out, _) = run_in(Some(&d), threads, &args);
+        let records = deterministic_records(&d.join("run.manifest.jsonl"));
+        match &baseline {
+            None => baseline = Some((out, records)),
+            Some((out1, records1)) => {
+                assert_eq!(
+                    out1, &out,
+                    "simulate {extra:?}: stdout differs between IPG_THREADS=1 and IPG_THREADS={threads}"
+                );
+                assert_eq!(
+                    records1, &records,
+                    "simulate {extra:?}: deterministic manifest records differ \
+                     between IPG_THREADS=1 and IPG_THREADS={threads}"
+                );
+            }
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_manifest_is_thread_count_independent() {
+    assert_simulate_deterministic("packet", &["ring-cn:l=2,nucleus=Q2", "0.02"]);
+}
+
+#[test]
+fn simulate_multi_shard_manifest_is_thread_count_independent() {
+    // 512 nodes — four engine shards, so the parallel phases and the
+    // shard-ordered mailbox merge are genuinely exercised.
+    assert_simulate_deterministic("shards", &["ring-cn:l=3,nucleus=Q2", "0.03"]);
+}
+
+#[test]
+fn simulate_wormhole_manifest_is_thread_count_independent() {
+    assert_simulate_deterministic(
+        "wormhole",
+        &[
+            "hsn:l=2,nucleus=Q2",
+            "0.05",
+            "--wormhole",
+            "--vcs",
+            "3",
+            "--flits",
+            "4",
+            "--policy",
+            "hop",
+        ],
+    );
 }

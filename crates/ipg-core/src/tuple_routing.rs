@@ -285,9 +285,337 @@ impl<'n> TupleRouter<'n> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Exact-distance table-free routing
+// ---------------------------------------------------------------------------
+
+/// Largest `l` supported by [`ShortestTupleRouter`] (its word tables are
+/// flat `l!·2^l` arrays, the same bound as [`FLAT_SCHEDULE_MAX_L`]).
+pub const SHORTEST_ROUTER_MAX_L: usize = FLAT_SCHEDULE_MAX_L;
+
+/// Distance sentinel: unreachable.
+const DIST_INF: u32 = u32::MAX;
+
+/// A candidate final block arrangement: its flat rank, the inverse image
+/// (`inv[q]` = final position of the block starting at position `q`), and
+/// the shortest word length realizing it with no visit requirement.
+struct ProductCand {
+    rank: u32,
+    inv: [u8; FLAT_SCHEDULE_MAX_L],
+    base: u16,
+}
+
+/// Exact shortest-path router over tuple node ids — the codec-backed
+/// `next_hop` used by the `ipg-sim` engine on super-IP networks.
+///
+/// Unlike [`TupleRouter`] (the literal Theorem-4.1 schedule, whose paths
+/// only meet the *diameter* bound), this router computes the true graph
+/// distance of [`TupleNetwork::build`]'s symmetrized graph and walks it
+/// one hop at a time, so iterated `next_hop` reproduces BFS-shortest path
+/// lengths with `O(M² + l!·2^l)` memory — no `O(N²)` table.
+///
+/// Distance formula: a path from `u` to `d` projects onto a word `w` over
+/// the inverse-closed super-generator set with product `π` (constrained to
+/// `σ_u⁻¹σ_d` on symmetric seeds), plus nucleus corrections applied to a
+/// block only while it sits at position 0. Writing `fp(q)` for the final
+/// position of the block starting at `q` (`fp = π⁻¹`),
+///
+/// ```text
+/// dist(u,d) = min over π [ Σ_q ndist(t_u[q], t_d[fp(q)])
+///                          + W(π, {q : t_u[q] ≠ t_d[fp(q)]}) ]
+/// ```
+///
+/// where `W(π, V)` is the shortest word with product `π` whose prefix
+/// products put every block of `V` at position 0 at least once. `≤` holds
+/// because every such plan is realizable as a walk (steps fixing the node
+/// cost nothing), `≥` because projecting any path yields such a plan.
+/// `W` comes from one BFS over `(arrangement, visited)` states followed by
+/// a superset-min sweep over the visited masks.
+pub struct ShortestTupleRouter {
+    tn: TupleNetwork,
+    /// Super-generator block perms closed under inverses (the symmetrized
+    /// graph contains the reverse arc of every non-involutive generator).
+    gens: Vec<Perm>,
+    /// nucleus distances, row-major `M×M`.
+    ndist: Vec<u16>,
+    /// `wmin[rank·2^l | V] = min over V' ⊇ V of W_exact(arrangement, V')`.
+    wmin: Vec<u16>,
+    /// Reachable products, sorted by `base` for early-exit pruning.
+    prods: Vec<ProductCand>,
+    /// Order transitions under `gens` (empty for plain seeds):
+    /// `order_next[oi·gens.len() + gi]`.
+    order_next: Vec<u32>,
+}
+
+impl ShortestTupleRouter {
+    /// Precompute nucleus distances and the word tables. Errors when
+    /// `l > SHORTEST_ROUTER_MAX_L`.
+    pub fn new(tn: TupleNetwork) -> Result<Self> {
+        let l = tn.l;
+        if l > SHORTEST_ROUTER_MAX_L {
+            return Err(IpgError::InvalidSpec {
+                reason: format!(
+                    "table-free routing supports l <= {SHORTEST_ROUTER_MAX_L}, got {l}"
+                ),
+            });
+        }
+        let m = tn.m_nodes();
+        let mut ndist = vec![u16::MAX; m * m];
+        for a in 0..m as u32 {
+            for (b, d) in algo::bfs(&tn.nucleus, a).into_iter().enumerate() {
+                if d != algo::UNREACHABLE {
+                    ndist[a as usize * m + b] = d as u16;
+                }
+            }
+        }
+
+        // close the generator set under inverses, preserving order
+        let mut gens = tn.block_perms.clone();
+        for bp in &tn.block_perms {
+            let inv = bp.inverse();
+            if !gens.contains(&inv) {
+                gens.push(inv);
+            }
+        }
+
+        // BFS over (arrangement, visited-blocks) states; `visited` tracks
+        // which blocks occupied position 0 after some prefix (block 0
+        // starts there).
+        let states = factorial(l) as usize * (1usize << l);
+        let mut wmin = vec![u16::MAX; states];
+        let start = Perm::identity(l);
+        let start_idx = (arrangement_rank(&start) << l) | 1;
+        wmin[start_idx] = 0;
+        let mut reached: Vec<(u32, Perm)> = vec![(arrangement_rank(&start) as u32, start.clone())];
+        let mut queue: VecDeque<(Perm, u32)> = VecDeque::new();
+        queue.push_back((start, 1));
+        while let Some((arrangement, visited)) = queue.pop_front() {
+            let here = wmin[(arrangement_rank(&arrangement) << l) | visited as usize];
+            for bp in &gens {
+                let arr = arrangement.then(bp);
+                let nvis = visited | (1 << arr.image()[0]);
+                let rank = arrangement_rank(&arr);
+                let nidx = (rank << l) | nvis as usize;
+                if wmin[nidx] != u16::MAX {
+                    continue;
+                }
+                wmin[nidx] = here + 1;
+                if !reached.iter().any(|(r, _)| *r == rank as u32) {
+                    reached.push((rank as u32, arr.clone()));
+                }
+                queue.push_back((arr, nvis));
+            }
+        }
+        // superset-min over the visited masks of each arrangement row
+        for row in wmin.chunks_mut(1 << l) {
+            for b in 0..l {
+                let bit = 1usize << b;
+                for v in 0..row.len() {
+                    if v & bit == 0 {
+                        row[v] = row[v].min(row[v | bit]);
+                    }
+                }
+            }
+        }
+
+        let mut prods: Vec<ProductCand> = reached
+            .into_iter()
+            .map(|(rank, p)| {
+                let mut inv = [0u8; FLAT_SCHEDULE_MAX_L];
+                for (o, &v) in inv.iter_mut().zip(p.inverse().image().iter()) {
+                    *o = v as u8;
+                }
+                let base = wmin[(rank as usize) << l];
+                ProductCand { rank, inv, base }
+            })
+            .collect();
+        prods.sort_by_key(|c| c.base);
+
+        // order transitions for the closed generator set (symmetric seeds):
+        // the order group is closed, so every σ·g⁻¹ is a member.
+        let order_next = if tn.order_count() > 1 {
+            let index: FxHashMap<&Perm, u32> = (0..tn.order_count() as u32)
+                .map(|i| (tn.order_perm(i), i))
+                .collect();
+            let mut table = vec![0u32; tn.order_count() * gens.len()];
+            for oi in 0..tn.order_count() as u32 {
+                for (gi, g) in gens.iter().enumerate() {
+                    let prod = tn.order_perm(oi).then(g);
+                    let Some(&next) = index.get(&prod) else {
+                        return Err(IpgError::InvalidSpec {
+                            reason: "block-order group is not closed under the generators".into(),
+                        });
+                    };
+                    table[oi as usize * gens.len() + gi] = next;
+                }
+            }
+            table
+        } else {
+            Vec::new()
+        };
+
+        Ok(ShortestTupleRouter {
+            tn,
+            gens,
+            ndist,
+            wmin,
+            prods,
+            order_next,
+        })
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &TupleNetwork {
+        &self.tn
+    }
+
+    #[inline]
+    fn nd(&self, a: u32, b: u32) -> u16 {
+        self.ndist[a as usize * self.tn.m_nodes() + b as usize]
+    }
+
+    /// Cost of one candidate product: nucleus corrections plus the word.
+    #[inline]
+    fn eval(&self, rank: u32, inv: &[u8], ut: &[u32], dt: &[u32]) -> u32 {
+        let l = self.tn.l;
+        let mut mism = 0usize;
+        let mut nc = 0u32;
+        for (q, &u_val) in ut.iter().enumerate() {
+            let nd = self.nd(u_val, dt[inv[q] as usize]);
+            if nd == u16::MAX {
+                return DIST_INF;
+            }
+            nc += nd as u32;
+            if nd > 0 {
+                mism |= 1 << q;
+            }
+        }
+        let w = self.wmin[((rank as usize) << l) | mism];
+        if w == u16::MAX {
+            return DIST_INF;
+        }
+        nc + w as u32
+    }
+
+    /// Distance between decoded endpoints (`DIST_INF` when unreachable).
+    fn dist_parts(&self, uo: u32, ut: &[u32], do_: u32, dt: &[u32]) -> u32 {
+        if self.tn.order_count() > 1 {
+            // the product is forced: σ_u.then(π) = σ_d
+            let beta = self
+                .tn
+                .order_perm(uo)
+                .inverse()
+                .then(self.tn.order_perm(do_));
+            let rank = arrangement_rank(&beta) as u32;
+            let mut inv = [0u8; FLAT_SCHEDULE_MAX_L];
+            for (o, &v) in inv.iter_mut().zip(beta.inverse().image().iter()) {
+                *o = v as u8;
+            }
+            self.eval(rank, &inv, ut, dt)
+        } else {
+            let mut best = DIST_INF;
+            for c in &self.prods {
+                if (c.base as u32) >= best {
+                    break; // sorted by base: nothing cheaper follows
+                }
+                best = best.min(self.eval(c.rank, &c.inv, ut, dt));
+            }
+            best
+        }
+    }
+
+    /// Graph distance from `u` to `d` (`None` when unreachable).
+    pub fn dist(&self, u: u32, d: u32) -> Option<u32> {
+        if u == d {
+            return Some(0);
+        }
+        let l = self.tn.l;
+        let mut ut = [0u32; FLAT_SCHEDULE_MAX_L];
+        let mut dt = [0u32; FLAT_SCHEDULE_MAX_L];
+        let uo = self.tn.decode_into(u, &mut ut[..l]);
+        let do_ = self.tn.decode_into(d, &mut dt[..l]);
+        match self.dist_parts(uo, &ut[..l], do_, &dt[..l]) {
+            DIST_INF => None,
+            v => Some(v),
+        }
+    }
+
+    /// First hop of a shortest path from `u` to `d`: the first neighbor
+    /// (nucleus arcs in CSR order, then super-generators in closed-set
+    /// order) whose distance to `d` is one less — so iterating `next_hop`
+    /// yields a path of length exactly `dist(u, d)`, deterministically.
+    pub fn next_hop(&self, u: u32, d: u32) -> Option<u32> {
+        if u == d {
+            return None;
+        }
+        let l = self.tn.l;
+        let mut ut = [0u32; FLAT_SCHEDULE_MAX_L];
+        let mut dt = [0u32; FLAT_SCHEDULE_MAX_L];
+        let mut vt = [0u32; FLAT_SCHEDULE_MAX_L];
+        let uo = self.tn.decode_into(u, &mut ut[..l]);
+        let do_ = self.tn.decode_into(d, &mut dt[..l]);
+        let here = self.dist_parts(uo, &ut[..l], do_, &dt[..l]);
+        if here == DIST_INF {
+            return None;
+        }
+        // nucleus arcs: coordinate 0 has mixed-radix weight 1
+        let t0 = ut[0];
+        let base_id = u - t0;
+        for &nb in self.tn.nucleus.neighbors(t0) {
+            ut[0] = nb;
+            let v = self.dist_parts(uo, &ut[..l], do_, &dt[..l]);
+            if v != DIST_INF && v + 1 == here {
+                return Some(base_id + nb);
+            }
+        }
+        ut[0] = t0;
+        // super-generator arcs (the closed set covers the symmetrized
+        // reverse arcs of non-involutive generators)
+        for (gi, g) in self.gens.iter().enumerate() {
+            for (j, slot) in vt[..l].iter_mut().enumerate() {
+                *slot = ut[g.image()[j] as usize];
+            }
+            let vo = if self.order_next.is_empty() {
+                0
+            } else {
+                self.order_next[uo as usize * self.gens.len() + gi]
+            };
+            let vid = self.tn.encode(vo, &vt[..l]);
+            if vid == u {
+                continue; // generator fixes the node: a dropped self-loop
+            }
+            let v = self.dist_parts(vo, &vt[..l], do_, &dt[..l]);
+            if v != DIST_INF && v + 1 == here {
+                return Some(vid);
+            }
+        }
+        None
+    }
+
+    /// Shortest node-id path `u -> d` (inclusive); its length is exactly
+    /// `dist(u, d)`.
+    pub fn path(&self, u: u32, d: u32) -> Result<Vec<u32>> {
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != d {
+            match self.next_hop(cur, d) {
+                Some(next) => {
+                    cur = next;
+                    path.push(cur);
+                }
+                None => {
+                    return Err(IpgError::Unreachable { from: u, to: d });
+                }
+            }
+        }
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Csr;
     use crate::superip::{NucleusSpec, SeedKind, SuperIpSpec, TupleNetwork};
 
     fn check_all_pairs(spec: &SuperIpSpec) {
@@ -345,6 +673,141 @@ mod tests {
             let tp = tr.route(iso[u as usize], iso[v as usize]).unwrap();
             assert_eq!(lp.len(), tp.len(), "route lengths must agree");
         }
+    }
+
+    /// All-pairs check: `ShortestTupleRouter::dist` equals BFS distance on
+    /// the materialized graph, and iterated `next_hop` realizes it.
+    fn check_shortest_matches_bfs(tn: TupleNetwork) {
+        let g = tn.build();
+        let name = tn.name.clone();
+        let r = ShortestTupleRouter::new(tn).unwrap();
+        for u in 0..g.node_count() as u32 {
+            let dist = algo::bfs(&g, u);
+            for v in 0..g.node_count() as u32 {
+                let d = dist[v as usize];
+                assert_ne!(d, algo::UNREACHABLE, "{name}: {u}->{v} disconnected");
+                assert_eq!(r.dist(u, v), Some(d), "{name}: dist {u}->{v}");
+                let p = r.path(u, v).unwrap();
+                assert_eq!(p.len() as u32 - 1, d, "{name}: path length {u}->{v}");
+                assert_eq!(p[0], u);
+                assert_eq!(*p.last().unwrap(), v);
+                for w in p.windows(2) {
+                    assert!(
+                        g.has_arc(w[0], w[1]),
+                        "{name}: {}->{} not an arc",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_matches_bfs_on_plain_families() {
+        for spec in [
+            SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)),
+            SuperIpSpec::hsn(3, NucleusSpec::hypercube(1)),
+            SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)),
+            SuperIpSpec::complete_cn(3, NucleusSpec::hypercube(1)),
+            SuperIpSpec::superflip(3, NucleusSpec::hypercube(1)),
+        ] {
+            check_shortest_matches_bfs(TupleNetwork::from_spec(&spec).unwrap());
+        }
+    }
+
+    #[test]
+    fn shortest_matches_bfs_on_symmetric_families() {
+        for spec in [
+            SuperIpSpec::hsn(2, NucleusSpec::hypercube(1)).symmetric(),
+            SuperIpSpec::hsn(2, NucleusSpec::hypercube(2)).symmetric(),
+            SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(1)).symmetric(),
+        ] {
+            check_shortest_matches_bfs(TupleNetwork::from_spec(&spec).unwrap());
+        }
+    }
+
+    #[test]
+    fn shortest_handles_non_involutive_generators() {
+        // dir-CN's single rotation L_1 is not self-inverse: the symmetrized
+        // graph contains R_1 arcs the router must route over too.
+        let spec = SuperIpSpec::directed_ring_cn(3, NucleusSpec::hypercube(1));
+        check_shortest_matches_bfs(TupleNetwork::from_spec(&spec).unwrap());
+        // same situation over a triangle nucleus via the raw constructor
+        let triangle = Csr::from_fn(3, |u, row| {
+            row.push((u + 1) % 3);
+            row.push((u + 2) % 3);
+        });
+        let tn = TupleNetwork::new(
+            "rot3-C3",
+            triangle,
+            3,
+            vec![Perm::cyclic_left(3, 1)],
+            SeedKind::Repeated,
+        );
+        check_shortest_matches_bfs(tn);
+    }
+
+    #[test]
+    fn shortest_beats_or_matches_schedule_router() {
+        // the Theorem-4.1 schedule router meets the diameter bound but is
+        // not shortest; the shortest router must never be longer
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        let sched = TupleRouter::new(&tn).unwrap();
+        let short = ShortestTupleRouter::new(tn.clone()).unwrap();
+        let mut strictly_shorter = 0;
+        for u in 0..tn.node_count() as u32 {
+            for v in 0..tn.node_count() as u32 {
+                let a = short.path(u, v).unwrap().len();
+                let b = sched.route(u, v).unwrap().len();
+                assert!(a <= b, "{u}->{v}: shortest {a} vs schedule {b}");
+                if a < b {
+                    strictly_shorter += 1;
+                }
+            }
+        }
+        assert!(strictly_shorter > 0, "expected some strictly shorter pairs");
+    }
+
+    #[test]
+    fn shortest_router_scales_past_the_table_bound() {
+        // CN(5, Q3): 2^15 nodes — an O(N²) table would be a gigabyte.
+        // The router's tables are O(M² + l!·2^l); verify sampled distances
+        // against one true BFS of the built graph.
+        let nucleus = crate::superip::NucleusSpec::hypercube(3)
+            .generate()
+            .unwrap()
+            .to_undirected_csr();
+        let perms: Vec<Perm> = (1..5).map(|s| Perm::cyclic_left(5, s)).collect();
+        let tn = TupleNetwork::new("CN(5,Q3)", nucleus, 5, perms, SeedKind::Repeated);
+        assert_eq!(tn.node_count(), 1 << 15);
+        let g = tn.build();
+        let r = ShortestTupleRouter::new(tn).unwrap();
+        let dist = algo::bfs(&g, 0);
+        let n = g.node_count() as u32;
+        for i in 0..64u32 {
+            let v = i * (n / 64) + 17 * i % (n / 64);
+            assert_eq!(r.dist(0, v), Some(dist[v as usize]), "0->{v}");
+        }
+        let far = (n - 1, dist[n as usize - 1]);
+        let p = r.path(0, far.0).unwrap();
+        assert_eq!(p.len() as u32 - 1, far.1);
+        for w in p.windows(2) {
+            assert!(g.has_arc(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_l() {
+        let tn = TupleNetwork::new(
+            "big-l",
+            Csr::from_fn(2, |u, row| row.push(1 - u)),
+            8,
+            vec![Perm::cyclic_left(8, 1)],
+            SeedKind::Repeated,
+        );
+        assert!(ShortestTupleRouter::new(tn).is_err());
     }
 
     #[test]

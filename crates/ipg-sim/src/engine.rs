@@ -7,13 +7,53 @@
 //! consumed (destination reached) or appended to the next output queue.
 //! Injection is Bernoulli per node per cycle with uniform random
 //! destinations.
+//!
+//! # Execution model: shards, mailboxes, and a two-phase cycle
+//!
+//! Nodes are partitioned into contiguous **shards** (a pure function of the
+//! node count — never of the worker count). Each cycle runs as:
+//!
+//! 1. **Phase A** (parallel over shards): every node draws its injection
+//!    Bernoulli from its private RNG stream and enqueues into its local
+//!    link FIFO; every ready link launches its head packet into the
+//!    shard's **outbox** as a plain-value message stamped with its arrival
+//!    wheel slot.
+//! 2. **Merge** (sequential): outboxes are drained in shard order and each
+//!    message is appended to the *destination* shard's arrival wheel.
+//!    Because outbox contents are in (node, link) order and shards are
+//!    merged in index order, wheel-slot contents are identical for every
+//!    worker count.
+//! 3. **Phase B** (parallel over shards): each shard drains its own wheel
+//!    slot for this cycle boundary — delivering packets (per-shard stat
+//!    accumulators, atomic obs counters) or re-enqueueing them on the next
+//!    local link FIFO.
+//!
+//! Randomness comes from [`crate::rng::node_stream`]: one counter-based
+//! stream per node, so a node's draws depend only on `(seed, node id,
+//! draw index)` — the engine is bit-identical for every `IPG_THREADS`,
+//! including 1.
+//!
+//! # Flat data layout
+//!
+//! Queued packets live in a per-shard slab pool (struct-of-arrays: `dst`,
+//! `born`, `tagged`, `next`); link FIFOs are intrusive lists threaded
+//! through the pool's `next` array, and the arrival wheel and outboxes
+//! recycle their buffers — so steady-state cycles perform no heap
+//! allocation at all.
+//!
+//! # Routing
+//!
+//! The engine is generic over [`Router`]: the all-pairs [`RoutingTable`]
+//! for arbitrary graphs (O(N²) memory, ≤ 65,536 nodes) or the arithmetic
+//! [`ipg_core::tuple_routing::ShortestTupleRouter`] for super-IP networks
+//! (O(1) memory per query), which lifts the node-count ceiling entirely.
 
+use crate::rng::{node_stream, NodeRng};
+use crate::router::Router;
 use crate::table::RoutingTable;
 use ipg_core::graph::Csr;
 use ipg_obs::Obs;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use rand::Rng;
 
 /// Destination selection for injected packets.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,7 +106,8 @@ pub struct SimConfig {
     /// Service interval of off-module links (≥ on_module_interval models
     /// slower off-chip signaling or narrower channels).
     pub off_module_interval: u32,
-    /// RNG seed (simulations are deterministic given the seed).
+    /// RNG seed (simulations are deterministic given the seed; each node
+    /// derives its own stream via [`crate::rng::node_stream`]).
     pub seed: u64,
     /// Message length in flits (scales per-link occupancy; with
     /// store-and-forward it also scales per-hop latency).
@@ -121,29 +162,371 @@ pub struct SimResult {
     pub cycles: u32,
 }
 
-struct Packet {
-    dst: u32,
-    born: u32,
-    tagged: bool,
-}
+/// Target nodes per shard; the shard count is `clamp(n / 128, 1, 64)` —
+/// a pure function of the node count, so shard boundaries (and therefore
+/// results) never depend on the worker count.
+const SHARD_TARGET_NODES: usize = 128;
+/// Upper bound on the shard count (matches the pool's chunk granularity).
+const MAX_SHARDS: usize = 64;
 
-struct Link {
+/// Freelist / FIFO terminator in the packet pool and link queues.
+const NIL: u32 = u32::MAX;
+
+/// A packet in motion between shards: launched in Phase A, merged into the
+/// destination shard's arrival wheel, consumed in Phase B.
+#[derive(Clone, Copy)]
+struct Msg {
+    /// Node the packet is arriving at.
     to: u32,
-    interval: u32,
-    next_free: u64,
-    queue: VecDeque<Packet>,
+    /// Final destination.
+    dst: u32,
+    /// Injection cycle.
+    born: u32,
+    /// Injected during the measurement window?
+    tagged: bool,
+    /// Arrival wheel slot (precomputed from launch cycle + head advance).
+    slot: u32,
 }
 
-/// The simulator: a network, a routing table, and a module map.
-pub struct Simulator {
-    n: usize,
-    table: RoutingTable,
-    /// links grouped by source node: `links[link_of[u] .. link_of[u+1]]`.
-    links: Vec<Link>,
+/// Slab pool of queued packets, struct-of-arrays. Link FIFOs are intrusive
+/// lists threaded through `next`; freed slots form a freelist through the
+/// same array, so steady-state alloc/free touches no allocator.
+#[derive(Default)]
+struct Pool {
+    dst: Vec<u32>,
+    born: Vec<u32>,
+    tagged: Vec<bool>,
+    next: Vec<u32>,
+    free: u32,
+}
+
+impl Pool {
+    fn reset(&mut self) {
+        self.dst.clear();
+        self.born.clear();
+        self.tagged.clear();
+        self.next.clear();
+        self.free = NIL;
+    }
+
+    #[inline]
+    fn alloc(&mut self, dst: u32, born: u32, tagged: bool) -> u32 {
+        if self.free != NIL {
+            let i = self.free;
+            self.free = self.next[i as usize];
+            self.dst[i as usize] = dst;
+            self.born[i as usize] = born;
+            self.tagged[i as usize] = tagged;
+            self.next[i as usize] = NIL;
+            i
+        } else {
+            let i = self.dst.len() as u32;
+            self.dst.push(dst);
+            self.born.push(born);
+            self.tagged.push(tagged);
+            self.next.push(NIL);
+            i
+        }
+    }
+
+    #[inline]
+    fn release(&mut self, i: u32) {
+        self.next[i as usize] = self.free;
+        self.free = i;
+    }
+}
+
+/// Per-link state, struct-of-arrays over the links owned by one shard.
+#[derive(Default)]
+struct Links {
+    to: Vec<u32>,
+    interval: Vec<u32>,
+    next_free: Vec<u64>,
+    qhead: Vec<u32>,
+    qtail: Vec<u32>,
+    qlen: Vec<u32>,
+}
+
+impl Links {
+    fn len(&self) -> usize {
+        self.to.len()
+    }
+
+    fn push(&mut self, to: u32, interval: u32) {
+        self.to.push(to);
+        self.interval.push(interval);
+        self.next_free.push(0);
+        self.qhead.push(NIL);
+        self.qtail.push(NIL);
+        self.qlen.push(0);
+    }
+
+    #[inline]
+    fn enqueue(&mut self, li: usize, p: u32, pool: &mut Pool) {
+        if self.qtail[li] == NIL {
+            self.qhead[li] = p;
+        } else {
+            pool.next[self.qtail[li] as usize] = p;
+        }
+        self.qtail[li] = p;
+        self.qlen[li] += 1;
+    }
+
+    #[inline]
+    fn dequeue(&mut self, li: usize, pool: &Pool) -> u32 {
+        let p = self.qhead[li];
+        self.qhead[li] = pool.next[p as usize];
+        if self.qhead[li] == NIL {
+            self.qtail[li] = NIL;
+        }
+        self.qlen[li] -= 1;
+        p
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct ShardStats {
+    injected: u64,
+    delivered: u64,
+    unmeasured: u64,
+    latency_sum: u64,
+    max_latency: u32,
+}
+
+/// One contiguous node range with everything its cycle work touches:
+/// link FIFOs, packet pool, per-node RNG streams, outbox, arrival wheel.
+struct Shard {
+    /// First global node id.
+    base: u32,
+    /// Nodes in this shard.
+    node_count: u32,
+    /// Per-node offsets into `links` (length `node_count + 1`).
     link_of: Vec<u32>,
+    links: Links,
+    pool: Pool,
+    rngs: Vec<NodeRng>,
+    outbox: Vec<Msg>,
+    wheel: Vec<Vec<Msg>>,
+    stats: ShardStats,
+    link_busy: Vec<u64>,
+    queue_hw: Vec<u32>,
 }
 
-impl Simulator {
+/// Delivery-side observability handles shared by every shard in phase B.
+/// Counters and histograms are atomic, so concurrent updates from worker
+/// threads commute and barrier-time values stay deterministic.
+struct DeliveryObs {
+    delivered: ipg_obs::Counter,
+    unmeasured: ipg_obs::Counter,
+    latency: ipg_obs::Histogram,
+}
+
+/// Parameters of one run, copied into every shard closure.
+#[derive(Clone, Copy)]
+struct RunParams {
+    n: u32,
+    injection_rate: f64,
+    traffic: Traffic,
+    msg_len: u32,
+    store_forward: bool,
+    tag_lo: u32,
+    tag_hi: u32,
+    wheel_len: u32,
+    tail_penalty: u32,
+}
+
+impl Shard {
+    fn link_toward(&self, u: u32, v: u32) -> usize {
+        let local = (u - self.base) as usize;
+        let lo = self.link_of[local] as usize;
+        let hi = self.link_of[local + 1] as usize;
+        for i in lo..hi {
+            if self.links.to[i] == v {
+                return i;
+            }
+        }
+        // ipg-analyze: allow(PANIC001) reason="routers only emit neighbors; reaching here is a router bug"
+        panic!("next hop {v} is not a neighbor of {u}");
+    }
+
+    #[inline]
+    fn accept<R: Router + ?Sized>(
+        &mut self,
+        at: u32,
+        dst: u32,
+        born: u32,
+        tagged: bool,
+        router: &R,
+    ) {
+        let hop = match router.next_hop(at, dst) {
+            Some(h) => h,
+            // ipg-analyze: allow(PANIC001) reason="simulated graphs are connected; an unroutable destination is a construction bug"
+            None => panic!("no route from {at} to {dst}"),
+        };
+        let li = self.link_toward(at, hop);
+        let p = self.pool.alloc(dst, born, tagged);
+        self.links.enqueue(li, p, &mut self.pool);
+        if !self.queue_hw.is_empty() {
+            self.queue_hw[li] = self.queue_hw[li].max(self.links.qlen[li]);
+        }
+    }
+
+    /// Phase A: injection (node order) then link service (link order),
+    /// launching departures into the local outbox. Counter updates are
+    /// atomic adds, order-independent across shards.
+    fn phase_a<R: Router + ?Sized>(
+        &mut self,
+        cycle: u32,
+        pr: &RunParams,
+        router: &R,
+        c_injected: &ipg_obs::Counter,
+        c_injected_all: &ipg_obs::Counter,
+    ) {
+        for local in 0..self.node_count {
+            let src = self.base + local;
+            let inject = self.rngs[local as usize].gen::<f64>() < pr.injection_rate;
+            if !inject {
+                continue;
+            }
+            let Some(dst) = pick_destination(pr.n, src, pr.traffic, &mut self.rngs[local as usize])
+            else {
+                continue;
+            };
+            let tagged = cycle >= pr.tag_lo && cycle < pr.tag_hi;
+            if tagged {
+                self.stats.injected += 1;
+                c_injected.incr();
+            }
+            c_injected_all.incr();
+            self.accept(src, dst, cycle, tagged, router);
+        }
+        for li in 0..self.links.len() {
+            if self.links.next_free[li] <= u64::from(cycle) && self.links.qhead[li] != NIL {
+                let p = self.links.dequeue(li, &self.pool);
+                let occupancy = u64::from(self.links.interval[li]) * u64::from(pr.msg_len);
+                // occupancy: the whole message crosses the link
+                self.links.next_free[li] = u64::from(cycle) + occupancy;
+                if !self.link_busy.is_empty() {
+                    self.link_busy[li] += occupancy;
+                }
+                // forward progress of the head
+                let advance = if pr.store_forward {
+                    self.links.interval[li] * pr.msg_len
+                } else {
+                    self.links.interval[li]
+                };
+                let slot = (cycle + advance) % pr.wheel_len;
+                self.outbox.push(Msg {
+                    to: self.links.to[li],
+                    dst: self.pool.dst[p as usize],
+                    born: self.pool.born[p as usize],
+                    tagged: self.pool.tagged[p as usize],
+                    slot,
+                });
+                self.pool.release(p);
+            }
+        }
+    }
+
+    /// Phase B: drain this cycle boundary's arrival wheel slot — deliver
+    /// or re-enqueue. Counter/histogram updates are atomic adds, so their
+    /// end-of-phase values are independent of shard interleaving.
+    fn phase_b<R: Router + ?Sized>(
+        &mut self,
+        cycle: u32,
+        slot: usize,
+        pr: &RunParams,
+        router: &R,
+        dobs: &DeliveryObs,
+    ) {
+        let msgs = std::mem::take(&mut self.wheel[slot]);
+        for msg in &msgs {
+            if msg.to == msg.dst {
+                if msg.tagged {
+                    self.stats.delivered += 1;
+                    let lat = cycle + 1 - msg.born + pr.tail_penalty;
+                    self.stats.latency_sum += u64::from(lat);
+                    self.stats.max_latency = self.stats.max_latency.max(lat);
+                    dobs.delivered.incr();
+                    dobs.latency.observe(u64::from(lat));
+                } else {
+                    self.stats.unmeasured += 1;
+                    dobs.unmeasured.incr();
+                }
+            } else {
+                self.accept(msg.to, msg.dst, msg.born, msg.tagged, router);
+            }
+        }
+        // return the drained buffer so steady-state cycles don't allocate
+        let mut buf = msgs;
+        buf.clear();
+        self.wheel[slot] = buf;
+    }
+
+    /// Tagged packets still buffered (link FIFOs or the arrival wheel).
+    fn tagged_in_flight(&self) -> u64 {
+        let mut count = 0u64;
+        for li in 0..self.links.len() {
+            let mut p = self.links.qhead[li];
+            while p != NIL {
+                if self.pool.tagged[p as usize] {
+                    count += 1;
+                }
+                p = self.pool.next[p as usize];
+            }
+        }
+        count + self.wheel.iter().flatten().filter(|m| m.tagged).count() as u64
+    }
+}
+
+/// Pick a destination for a packet injected at `src` (None when the
+/// pattern maps `src` to itself). Draws only from `src`'s own stream.
+fn pick_destination(n: u32, src: u32, traffic: Traffic, rng: &mut NodeRng) -> Option<u32> {
+    let uniform = |rng: &mut NodeRng| {
+        let mut dst = rng.gen_range(0..n - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        dst
+    };
+    match traffic {
+        Traffic::Uniform => Some(uniform(rng)),
+        Traffic::BitComplement => {
+            assert!(n.is_power_of_two(), "bit-complement needs 2^k nodes");
+            let dst = !src & (n - 1);
+            (dst != src).then_some(dst)
+        }
+        Traffic::Transpose => {
+            assert!(n.is_power_of_two(), "transpose needs 2^k nodes");
+            let bits = n.trailing_zeros();
+            assert!(bits % 2 == 0, "transpose needs an even bit width");
+            let half = bits / 2;
+            let lo = src & ((1 << half) - 1);
+            let hi = src >> half;
+            let dst = (lo << half) | hi;
+            (dst != src).then_some(dst)
+        }
+        Traffic::Hotspot { fraction, target } => {
+            if rng.gen::<f64>() < fraction && target != src {
+                Some(target)
+            } else {
+                Some(uniform(rng))
+            }
+        }
+    }
+}
+
+/// The simulator: a network sharded into contiguous node ranges plus a
+/// [`Router`] answering next-hop queries.
+pub struct Simulator<R: Router = RoutingTable> {
+    n: usize,
+    router: R,
+    shard_size: u32,
+    shards: Vec<Shard>,
+    max_interval: u32,
+}
+
+impl Simulator<RoutingTable> {
     /// Build a simulator for graph `g`. `module(u)` gives each node's
     /// module id (used to classify links as on-/off-module).
     pub fn new(g: &Csr, module: impl Fn(u32) -> u32, cfg: &SimConfig) -> Self {
@@ -157,83 +540,71 @@ impl Simulator {
         cfg: &SimConfig,
         obs: &Obs,
     ) -> Self {
-        let n = g.node_count();
         let table = RoutingTable::new_instrumented(g, obs);
-        let mut links = Vec::with_capacity(g.arc_count());
-        let mut link_of = Vec::with_capacity(n + 1);
-        link_of.push(0u32);
-        for u in 0..n as u32 {
-            for &v in g.neighbors(u) {
-                let interval = if module(u) == module(v) {
-                    cfg.on_module_interval
-                } else {
-                    cfg.off_module_interval
-                };
-                links.push(Link {
-                    to: v,
-                    interval: interval.max(1),
-                    next_free: 0,
-                    queue: VecDeque::new(),
-                });
+        Self::with_router(table, g, module, cfg)
+    }
+}
+
+impl<R: Router> Simulator<R> {
+    /// Build a simulator around an arbitrary [`Router`] — e.g. a
+    /// [`ipg_core::tuple_routing::ShortestTupleRouter`] for super-IP
+    /// networks too large for the all-pairs table. `router` must answer
+    /// queries over exactly `g`'s node-id space.
+    pub fn with_router(router: R, g: &Csr, module: impl Fn(u32) -> u32, cfg: &SimConfig) -> Self {
+        let n = g.node_count();
+        let shard_count = (n / SHARD_TARGET_NODES).clamp(1, MAX_SHARDS);
+        let shard_size = n.div_ceil(shard_count).max(1) as u32;
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut max_interval = 1u32;
+        let mut base = 0u32;
+        while (base as usize) < n {
+            let node_count = shard_size.min(n as u32 - base);
+            let mut link_of = Vec::with_capacity(node_count as usize + 1);
+            link_of.push(0u32);
+            let mut links = Links::default();
+            for u in base..base + node_count {
+                for &v in g.neighbors(u) {
+                    let interval = if module(u) == module(v) {
+                        cfg.on_module_interval
+                    } else {
+                        cfg.off_module_interval
+                    }
+                    .max(1);
+                    max_interval = max_interval.max(interval);
+                    links.push(v, interval);
+                }
+                link_of.push(links.len() as u32);
             }
-            link_of.push(links.len() as u32);
+            shards.push(Shard {
+                base,
+                node_count,
+                link_of,
+                links,
+                pool: Pool {
+                    free: NIL,
+                    ..Pool::default()
+                },
+                rngs: Vec::new(),
+                outbox: Vec::new(),
+                wheel: Vec::new(),
+                stats: ShardStats::default(),
+                link_busy: Vec::new(),
+                queue_hw: Vec::new(),
+            });
+            base += node_count;
         }
         Simulator {
             n,
-            table,
-            links,
-            link_of,
+            router,
+            shard_size,
+            shards,
+            max_interval,
         }
     }
 
-    fn link_toward(&self, u: u32, v: u32) -> usize {
-        let lo = self.link_of[u as usize] as usize;
-        let hi = self.link_of[u as usize + 1] as usize;
-        for i in lo..hi {
-            if self.links[i].to == v {
-                return i;
-            }
-        }
-        // ipg-analyze: allow(PANIC001) reason="routing tables only emit neighbors; reaching here is a table bug"
-        panic!("next hop {v} is not a neighbor of {u}");
-    }
-
-    /// Pick a destination for a packet injected at `src` (None when the
-    /// pattern maps `src` to itself).
-    fn pick_destination(&self, src: u32, traffic: Traffic, rng: &mut SmallRng) -> Option<u32> {
-        let n = self.n as u32;
-        let uniform = |rng: &mut SmallRng| {
-            let mut dst = rng.gen_range(0..n - 1);
-            if dst >= src {
-                dst += 1;
-            }
-            dst
-        };
-        match traffic {
-            Traffic::Uniform => Some(uniform(rng)),
-            Traffic::BitComplement => {
-                assert!(n.is_power_of_two(), "bit-complement needs 2^k nodes");
-                let dst = !src & (n - 1);
-                (dst != src).then_some(dst)
-            }
-            Traffic::Transpose => {
-                assert!(n.is_power_of_two(), "transpose needs 2^k nodes");
-                let bits = n.trailing_zeros();
-                assert!(bits % 2 == 0, "transpose needs an even bit width");
-                let half = bits / 2;
-                let lo = src & ((1 << half) - 1);
-                let hi = src >> half;
-                let dst = (lo << half) | hi;
-                (dst != src).then_some(dst)
-            }
-            Traffic::Hotspot { fraction, target } => {
-                if rng.gen::<f64>() < fraction && target != src {
-                    Some(target)
-                } else {
-                    Some(uniform(rng))
-                }
-            }
-        }
+    /// The router driving next-hop decisions.
+    pub fn router(&self) -> &R {
+        &self.router
     }
 
     /// Run the simulation and collect statistics.
@@ -251,45 +622,59 @@ impl Simulator {
         let run_span = obs.span("run");
         let c_injected = obs.counter("engine.injected_tagged");
         let c_injected_all = obs.counter("engine.injected_total");
-        let c_delivered = obs.counter("engine.delivered_tagged");
-        let c_unmeasured = obs.counter("engine.delivered_unmeasured");
-        let h_latency = obs.histogram("engine.latency_cycles");
+        let dobs = DeliveryObs {
+            delivered: obs.counter("engine.delivered_tagged"),
+            unmeasured: obs.counter("engine.delivered_unmeasured"),
+            latency: obs.histogram("engine.latency_cycles"),
+        };
         let track = obs.enabled();
-        // per-link occupancy cycles and queue-depth high-water marks,
-        // folded into histograms at the end of the run
-        let mut link_busy = vec![0u64; if track { self.links.len() } else { 0 }];
-        let mut queue_hw = vec![0u32; if track { self.links.len() } else { 0 }];
 
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let total_cycles = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles;
-        let mut injected = 0u64;
-        let mut delivered = 0u64;
-        let mut unmeasured_delivered = 0u64;
-        let mut latency_sum = 0u64;
-        let mut max_latency = 0u32;
-        let n = self.n;
         let msg_len = cfg.message_length.max(1);
-
-        for link in &mut self.links {
-            link.next_free = 0;
-            link.queue.clear();
-        }
-
-        // In-flight packets: ring buffer of arrival buckets. A link with
-        // service interval k serves one message per k·L cycles; the head
-        // advances after k (cut-through) or k·L (store-and-forward)
+        // Arrival wheel: one slot per possible head-advance value. A link
+        // with service interval k serves one message per k·L cycles; the
+        // head advances after k (cut-through) or k·L (store-and-forward)
         // cycles — slow off-module signaling, §5.4.
-        let max_interval =
-            self.links.iter().map(|l| l.interval).max().unwrap_or(1) as usize * msg_len as usize;
-        let mut in_flight: Vec<Vec<(u32, Packet)>> =
-            (0..=max_interval).map(|_| Vec::new()).collect();
-        // Cut-through: the tail catches up with the header once, at the
-        // destination.
-        let tail_penalty = match cfg.switching {
-            Switching::StoreForward => 0,
-            Switching::CutThrough => (msg_len - 1) * cfg.on_module_interval,
+        let wheel_len = self.max_interval * msg_len + 1;
+        let pr = RunParams {
+            n: self.n as u32,
+            injection_rate: cfg.injection_rate,
+            traffic: cfg.traffic,
+            msg_len,
+            store_forward: cfg.switching == Switching::StoreForward,
+            tag_lo: cfg.warmup_cycles,
+            tag_hi: cfg.warmup_cycles + cfg.measure_cycles,
+            wheel_len,
+            // Cut-through: the tail catches up with the header once, at
+            // the destination.
+            tail_penalty: match cfg.switching {
+                Switching::StoreForward => 0,
+                Switching::CutThrough => (msg_len - 1) * cfg.on_module_interval,
+            },
         };
 
+        for sh in &mut self.shards {
+            let nl = sh.links.len();
+            for li in 0..nl {
+                sh.links.next_free[li] = 0;
+                sh.links.qhead[li] = NIL;
+                sh.links.qtail[li] = NIL;
+                sh.links.qlen[li] = 0;
+            }
+            sh.pool.reset();
+            sh.rngs = (sh.base..sh.base + sh.node_count)
+                .map(|v| node_stream(cfg.seed, v))
+                .collect();
+            sh.outbox.clear();
+            sh.wheel.clear();
+            sh.wheel.resize_with(wheel_len as usize, Vec::new);
+            sh.stats = ShardStats::default();
+            sh.link_busy = vec![0u64; if track { nl } else { 0 }];
+            sh.queue_hw = vec![0u32; if track { nl } else { 0 }];
+        }
+
+        let shard_size = self.shard_size;
+        let router = &self.router;
         let mut phase_span = Some(obs.span("warmup"));
         for cycle in 0..total_cycles {
             if cycle == cfg.warmup_cycles {
@@ -300,105 +685,66 @@ impl Simulator {
                 phase_span.take();
                 phase_span = Some(obs.span("drain"));
             }
-            // 1. injection
-            for src in 0..n as u32 {
-                if rng.gen::<f64>() < cfg.injection_rate {
-                    let Some(dst) = self.pick_destination(src, cfg.traffic, &mut rng) else {
-                        continue;
-                    };
-                    let tagged = cycle >= cfg.warmup_cycles
-                        && cycle < cfg.warmup_cycles + cfg.measure_cycles;
-                    if tagged {
-                        injected += 1;
-                        c_injected.incr();
-                    }
-                    c_injected_all.incr();
-                    let hop = self.table.next_hop(src, dst);
-                    let li = self.link_toward(src, hop);
-                    self.links[li].queue.push_back(Packet {
-                        dst,
-                        born: cycle,
-                        tagged,
-                    });
-                    if track {
-                        queue_hw[li] = queue_hw[li].max(self.links[li].queue.len() as u32);
-                    }
+            // Phase A: injection + link service, per shard in parallel.
+            rayon::slice::par_for_each_mut(&mut self.shards, |_, sh| {
+                sh.phase_a(cycle, &pr, router, &c_injected, &c_injected_all);
+            });
+            // Merge: route each departure to its destination shard's
+            // arrival wheel. Shard order + in-shard (node, link) order
+            // make slot contents worker-count invariant.
+            for si in 0..self.shards.len() {
+                let outbox = std::mem::take(&mut self.shards[si].outbox);
+                for msg in &outbox {
+                    let dst_shard = (msg.to / shard_size) as usize;
+                    self.shards[dst_shard].wheel[msg.slot as usize].push(*msg);
                 }
+                let mut buf = outbox;
+                buf.clear();
+                self.shards[si].outbox = buf;
             }
-            // 2. each ready link launches its head message
-            for (li, link) in self.links.iter_mut().enumerate() {
-                if link.next_free <= cycle as u64 && !link.queue.is_empty() {
-                    // ipg-analyze: allow(PANIC001) reason="is_empty checked in the guard just above"
-                    let pkt = link.queue.pop_front().expect("checked non-empty");
-                    // occupancy: the whole message crosses the link
-                    link.next_free = cycle as u64 + link.interval as u64 * msg_len as u64;
-                    if track {
-                        link_busy[li] += link.interval as u64 * msg_len as u64;
-                    }
-                    // forward progress of the head
-                    let advance = match cfg.switching {
-                        Switching::StoreForward => link.interval * msg_len,
-                        Switching::CutThrough => link.interval,
-                    } as usize;
-                    let slot = (cycle as usize + advance) % in_flight.len();
-                    in_flight[slot].push((link.to, pkt));
-                }
-            }
-            // 3. arrivals scheduled for the *next* cycle boundary
-            let slot = (cycle as usize + 1) % in_flight.len();
-            let arrivals = std::mem::take(&mut in_flight[slot]);
-            for (arrived_at, pkt) in arrivals {
-                if arrived_at == pkt.dst {
-                    if pkt.tagged {
-                        delivered += 1;
-                        let lat = cycle + 1 - pkt.born + tail_penalty;
-                        latency_sum += lat as u64;
-                        max_latency = max_latency.max(lat);
-                        c_delivered.incr();
-                        h_latency.observe(lat as u64);
-                    } else {
-                        unmeasured_delivered += 1;
-                        c_unmeasured.incr();
-                    }
-                } else {
-                    let hop = self.table.next_hop(arrived_at, pkt.dst);
-                    let nli = self.link_toward(arrived_at, hop);
-                    self.links[nli].queue.push_back(pkt);
-                    if track {
-                        queue_hw[nli] = queue_hw[nli].max(self.links[nli].queue.len() as u32);
-                    }
-                }
-            }
+            // Phase B: arrivals scheduled for the *next* cycle boundary.
+            let slot = ((cycle + 1) % wheel_len) as usize;
+            rayon::slice::par_for_each_mut(&mut self.shards, |_, sh| {
+                sh.phase_b(cycle, slot, &pr, router, &dobs);
+            });
             if window > 0 && (cycle + 1) % window == 0 {
-                obs.emit_window(cycle as u64 + 1);
+                obs.emit_window(u64::from(cycle) + 1);
             }
         }
         phase_span.take();
 
-        // tagged packets still buffered (link queues or the in-flight
-        // ring) when the run ended
-        let in_flight_at_end = self
-            .links
-            .iter()
-            .flat_map(|l| l.queue.iter())
-            .chain(in_flight.iter().flatten().map(|(_, p)| p))
-            .filter(|p| p.tagged)
-            .count() as u64;
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        let mut unmeasured_delivered = 0u64;
+        let mut latency_sum = 0u64;
+        let mut max_latency = 0u32;
+        let mut in_flight_at_end = 0u64;
+        for sh in &self.shards {
+            injected += sh.stats.injected;
+            delivered += sh.stats.delivered;
+            unmeasured_delivered += sh.stats.unmeasured;
+            latency_sum += sh.stats.latency_sum;
+            max_latency = max_latency.max(sh.stats.max_latency);
+            in_flight_at_end += sh.tagged_in_flight();
+        }
         debug_assert_eq!(injected, delivered + in_flight_at_end);
 
         if track {
             obs.counter("engine.in_flight_at_end").add(in_flight_at_end);
-            obs.counter("engine.links").add(self.links.len() as u64);
+            let links_total: usize = self.shards.iter().map(|s| s.links.len()).sum();
+            obs.counter("engine.links").add(links_total as u64);
             let h_util = obs.histogram("engine.link_utilization_pct");
             let g_util = obs.gauge("engine.link_utilization_max_pct");
             let h_qhw = obs.histogram("engine.queue_depth_high_water");
             let g_qhw = obs.gauge("engine.queue_depth_max");
-            for (busy, hw) in link_busy.iter().zip(&queue_hw) {
-                let pct = (busy * 100 / total_cycles.max(1) as u64).min(100);
-                h_util.observe(pct);
-                g_util.record_max(pct);
-                h_qhw.observe(*hw as u64);
-                g_qhw.record_max(*hw as u64);
+            for sh in &self.shards {
+                for (busy, hw) in sh.link_busy.iter().zip(&sh.queue_hw) {
+                    let pct = (busy * 100 / u64::from(total_cycles.max(1))).min(100);
+                    h_util.observe(pct);
+                    g_util.record_max(pct);
+                    h_qhw.observe(u64::from(*hw));
+                    g_qhw.record_max(u64::from(*hw));
+                }
             }
         }
         drop(run_span);
@@ -414,7 +760,7 @@ impl Simulator {
                 latency_sum as f64 / delivered as f64
             },
             max_latency,
-            throughput: delivered as f64 / (n as f64 * cfg.measure_cycles as f64),
+            throughput: delivered as f64 / (self.n as f64 * f64::from(cfg.measure_cycles)),
             cycles: total_cycles,
         }
     }
@@ -634,5 +980,74 @@ mod tests {
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.avg_latency, b.avg_latency);
         assert_eq!(a.max_latency, b.max_latency);
+    }
+
+    #[test]
+    fn multi_shard_run_preserves_accounting_and_delivery() {
+        // 576 nodes → 4 shards of 144: packets routinely cross shard
+        // boundaries through the mailbox merge. Light load must still
+        // deliver every tagged packet, and the conservation invariant
+        // must hold exactly.
+        let g = classic::torus2d(24);
+        let sim = Simulator::new(&g, |_| 0, &light_cfg());
+        assert!(sim.shards.len() >= 4, "expected a multi-shard partition");
+        let r = run_uniform(&g, &light_cfg());
+        assert_eq!(r.injected, r.delivered + r.in_flight_at_end);
+        assert_eq!(r.injected, r.delivered);
+        let avg = ipg_core::algo::average_distance(&g);
+        assert!(
+            (r.avg_latency - avg).abs() < 1.5,
+            "latency {} vs avg distance {avg}",
+            r.avg_latency
+        );
+    }
+
+    #[test]
+    fn codec_router_engine_matches_table_engine_behavior() {
+        use ipg_core::superip::{NucleusSpec, SuperIpSpec, TupleNetwork};
+        use ipg_core::tuple_routing::ShortestTupleRouter;
+        // Same spec, same seed, two routers: path lengths are identical
+        // (both exact-shortest), so delivery sets agree and latencies
+        // differ only by tie-break-induced queueing noise.
+        let spec = SuperIpSpec::ring_cn(3, NucleusSpec::hypercube(2));
+        let g = spec.fast_undirected_csr().unwrap();
+        let module: Vec<u32> = {
+            let tn = TupleNetwork::from_spec(&spec).unwrap();
+            (0..g.node_count() as u32)
+                .map(|v| {
+                    let mut t = vec![0u32; 3];
+                    tn.decode_into(v, &mut t);
+                    v / tn.m_nodes() as u32
+                })
+                .collect()
+        };
+        let cfg = light_cfg();
+        let mut table_sim = Simulator::new(&g, |u| module[u as usize], &cfg);
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        let router = ShortestTupleRouter::new(tn).unwrap();
+        let mut codec_sim = Simulator::with_router(router, &g, |u| module[u as usize], &cfg);
+        let rt = table_sim.run(&cfg);
+        let rc = codec_sim.run(&cfg);
+        assert_eq!(rt.injected, rc.injected, "injection is router-independent");
+        assert_eq!(rt.delivered, rc.delivered);
+        assert!(
+            (rt.avg_latency - rc.avg_latency).abs() < 0.5,
+            "table {} vs codec {}",
+            rt.avg_latency,
+            rc.avg_latency
+        );
+    }
+
+    #[test]
+    fn steady_state_cycles_do_not_allocate_pool_slots_unboundedly() {
+        // The slab pool reuses freed slots: at a stable light load the
+        // pool's backing arrays stop growing once the pipeline fills.
+        let g = classic::torus2d(6);
+        let cfg = light_cfg();
+        let mut sim = Simulator::new(&g, |_| 0, &cfg);
+        sim.run(&cfg);
+        let cap: usize = sim.shards.iter().map(|s| s.pool.dst.len()).sum();
+        // far below one-slot-per-injection (~36 nodes × 7500 cycles × 0.005)
+        assert!(cap < 400, "pool grew to {cap} slots");
     }
 }

@@ -26,10 +26,13 @@
 
 pub mod emulate;
 pub mod engine;
+pub mod rng;
+pub mod router;
 pub mod table;
 pub mod wormhole;
 
 pub use emulate::HostEmulator;
 pub use engine::{SimConfig, SimResult, Simulator, Switching, Traffic};
+pub use router::Router;
 pub use table::RoutingTable;
 pub use wormhole::{WormholeConfig, WormholeOutcome, WormholeSim};

@@ -1,0 +1,151 @@
+//! The routing abstraction behind the simulation engines.
+//!
+//! Simulators ask one question per hop: *which neighbor moves this packet
+//! one step closer to its destination?* [`Router`] answers it behind a
+//! trait so two very different implementations can plug into the same
+//! engine:
+//!
+//! - [`RoutingTable`] — an all-pairs BFS table. Works on **any** CSR, but
+//!   costs `O(N²)` memory and `O(N·M)` precompute, which caps it at 65,536
+//!   nodes (a 2^20-node CN would need a 4 TB table).
+//! - [`ShortestTupleRouter`] — arithmetic routing over
+//!   [`ipg_core::TupleNetwork`] codec digits: `O(l!·2^l)` tables built once
+//!   from the *nucleus* (size `m`, not `N = m^l`), then `next_hop(u, d)`
+//!   is computed per query with **O(1) memory per node pair**. This is what
+//!   makes hierarchical networks at paper scale simulatable at all.
+//!
+//! Both produce exact shortest paths; they may differ in *which* shortest
+//! path they pick (the table hash-spreads ties, the codec router uses a
+//! fixed neighbor order), so swapping routers changes per-link load
+//! patterns but never path lengths.
+
+use ipg_core::tuple_routing::ShortestTupleRouter;
+use ipg_core::{IpgError, Result};
+
+use crate::table::RoutingTable;
+
+/// A next-hop oracle over a fixed node-id space. `Sync` because the
+/// sharded engine queries it from worker threads concurrently.
+pub trait Router: Send + Sync {
+    /// Number of nodes in the routed network.
+    fn node_count(&self) -> usize;
+
+    /// A neighbor of `u` on a shortest path to `d`, or `None` when `u == d`
+    /// or `d` is unreachable from `u`. Must be a pure function of
+    /// `(u, d)` — the engine's determinism depends on it.
+    fn next_hop(&self, u: u32, d: u32) -> Option<u32>;
+
+    /// Full path `u -> d` (inclusive) by iterating [`Router::next_hop`];
+    /// errors with [`IpgError::Unreachable`] when no path exists.
+    fn path(&self, u: u32, d: u32) -> Result<Vec<u32>> {
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != d {
+            match self.next_hop(cur, d) {
+                Some(next) => {
+                    cur = next;
+                    path.push(cur);
+                }
+                None => return Err(IpgError::Unreachable { from: u, to: d }),
+            }
+        }
+        Ok(path)
+    }
+}
+
+impl<T: Router + ?Sized> Router for Box<T> {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    #[inline]
+    fn next_hop(&self, u: u32, d: u32) -> Option<u32> {
+        (**self).next_hop(u, d)
+    }
+
+    fn path(&self, u: u32, d: u32) -> Result<Vec<u32>> {
+        (**self).path(u, d)
+    }
+}
+
+impl Router for RoutingTable {
+    fn node_count(&self) -> usize {
+        RoutingTable::node_count(self)
+    }
+
+    #[inline]
+    fn next_hop(&self, u: u32, d: u32) -> Option<u32> {
+        // The dense table stores `u` itself as the sentinel for both
+        // `u == d` and "unreachable".
+        let next = RoutingTable::next_hop(self, u, d);
+        if next == u {
+            None
+        } else {
+            Some(next)
+        }
+    }
+
+    fn path(&self, u: u32, d: u32) -> Result<Vec<u32>> {
+        RoutingTable::path(self, u, d)
+    }
+}
+
+impl Router for ShortestTupleRouter {
+    fn node_count(&self) -> usize {
+        self.network().node_count()
+    }
+
+    #[inline]
+    fn next_hop(&self, u: u32, d: u32) -> Option<u32> {
+        ShortestTupleRouter::next_hop(self, u, d)
+    }
+
+    fn path(&self, u: u32, d: u32) -> Result<Vec<u32>> {
+        ShortestTupleRouter::path(self, u, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_core::algo;
+    use ipg_core::superip::{NucleusSpec, SuperIpSpec, TupleNetwork};
+
+    #[test]
+    fn both_impls_agree_on_path_lengths() {
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+        let g = spec.fast_undirected_csr().unwrap();
+        let table = RoutingTable::new(&g);
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        let codec = ShortestTupleRouter::new(tn).unwrap();
+        assert_eq!(Router::node_count(&table), Router::node_count(&codec));
+        let n = g.node_count() as u32;
+        for u in 0..n {
+            let dist = algo::bfs(&g, u);
+            for d in 0..n {
+                let pt = Router::path(&table, d, u).unwrap();
+                let pc = Router::path(&codec, d, u).unwrap();
+                assert_eq!(pt.len(), pc.len(), "{d}->{u}");
+                assert_eq!(pt.len() - 1, dist[d as usize] as usize);
+                for w in pc.windows(2) {
+                    assert!(g.has_arc(w[0], w[1]), "codec hop {w:?} not a link");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_next_hop_maps_sentinel_to_none() {
+        let g = ipg_core::Csr::from_fn(6, |u, out| {
+            // two disconnected triangles
+            let base = u - u % 3;
+            out.push(base + (u + 1) % 3);
+            out.push(base + (u + 2) % 3);
+        });
+        let table = RoutingTable::new(&g);
+        assert_eq!(Router::next_hop(&table, 2, 2), None, "self route");
+        assert_eq!(Router::next_hop(&table, 0, 4), None, "unreachable");
+        assert!(Router::next_hop(&table, 0, 2).is_some());
+        assert!(Router::path(&table, 0, 5).is_err());
+    }
+}

@@ -98,19 +98,23 @@ impl RoutingTable {
         self.next[u as usize * self.n + d as usize]
     }
 
-    /// Full path `u -> d` following the table.
-    pub fn path(&self, u: u32, d: u32) -> Vec<u32> {
+    /// Full path `u -> d` following the table. The sentinel encoding
+    /// (`next[u][d] == u`) means "unreachable" for `u != d` — e.g. after
+    /// fault-masking disconnects the graph — and is reported as
+    /// [`ipg_core::IpgError::Unreachable`] instead of silently returning a
+    /// truncated path.
+    pub fn path(&self, u: u32, d: u32) -> ipg_core::Result<Vec<u32>> {
         let mut path = vec![u];
         let mut cur = u;
         while cur != d {
             let nxt = self.next_hop(cur, d);
             if nxt == cur {
-                break; // unreachable
+                return Err(ipg_core::IpgError::Unreachable { from: u, to: d });
             }
             cur = nxt;
             path.push(cur);
         }
-        path
+        Ok(path)
     }
 }
 
@@ -142,7 +146,7 @@ mod tests {
         for u in 0..8u32 {
             let d = algo::bfs(&g, u);
             for v in 0..8u32 {
-                let p = t.path(u, v);
+                let p = t.path(u, v).unwrap();
                 assert_eq!(p.len() - 1, d[v as usize] as usize, "{u}->{v}");
                 for w in p.windows(2) {
                     assert!(g.has_arc(w[0], w[1]));
@@ -155,7 +159,7 @@ mod tests {
     fn self_route_is_empty() {
         let g = cycle(5);
         let t = RoutingTable::new(&g);
-        assert_eq!(t.path(3, 3), vec![3]);
+        assert_eq!(t.path(3, 3).unwrap(), vec![3]);
     }
 
     #[test]
@@ -169,7 +173,7 @@ mod tests {
         for u in 0..16u32 {
             let d = algo::bfs(&g, u);
             for v in 0..16u32 {
-                let p = t.path(v, u);
+                let p = t.path(v, u).unwrap();
                 assert_eq!(p.len() - 1, d[v as usize] as usize);
             }
         }
@@ -188,5 +192,31 @@ mod tests {
             .filter(|&(&p, u)| p == (u + 1) % 4)
             .count();
         assert!(clockwise > 0 && clockwise < 4, "picks {picks:?}");
+    }
+
+    #[test]
+    fn unreachable_destination_is_an_error_not_a_loop() {
+        // Fault-masked graph: two C4 components with no links between them
+        // (nodes 0..4 and 4..8), as produced by masking every cross-cluster
+        // link out of a C8. Before the fix, `path` returned a silently
+        // truncated path; now it must report Unreachable — and terminate.
+        let g = Csr::from_fn(8, |u, out| {
+            let base = u & !3;
+            out.push(base + ((u + 1) & 3));
+            out.push(base + ((u + 3) & 3));
+        });
+        let t = RoutingTable::new(&g);
+        // in-component routing still works
+        assert_eq!(t.path(0, 2).unwrap().len(), 3);
+        assert_eq!(t.path(5, 6).unwrap(), vec![5, 6]);
+        // cross-component routing errors out
+        match t.path(1, 6) {
+            Err(ipg_core::IpgError::Unreachable { from: 1, to: 6 }) => {}
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+        match t.path(7, 0) {
+            Err(ipg_core::IpgError::Unreachable { from: 7, to: 0 }) => {}
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
     }
 }

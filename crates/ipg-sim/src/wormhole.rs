@@ -16,12 +16,30 @@
 //! Low-diameter networks (the paper's super-IP graphs) therefore need
 //! fewer VCs for guaranteed deadlock freedom: a concrete hardware payoff
 //! of small (inter-cluster) diameters.
+//!
+//! # Data layout and determinism
+//!
+//! VC buffers are fixed-depth rings over **one flat flit arena**
+//! (`links × vcs × buffer_flits` slots) instead of a `VecDeque` per VC,
+//! so a run allocates its buffer space once. Next-hop queries go through
+//! the [`Router`] trait — the all-pairs [`RoutingTable`] or the
+//! arithmetic [`ipg_core::tuple_routing::ShortestTupleRouter`].
+//! Injection randomness comes from per-node streams
+//! ([`crate::rng::node_stream`]), the same scheme as the packet engine.
+//!
+//! Unlike the packet engine the wormhole simulator is **not sharded**:
+//! wormhole channel allocation couples nodes through per-cycle VC
+//! ownership and credit (buffer-slot) state across links, so a cycle
+//! cannot be split into independent node-range phases without changing
+//! allocation outcomes. The loop is sequential — and therefore trivially
+//! thread-count invariant.
 
+use crate::rng::{node_stream, NodeRng};
+use crate::router::Router;
 use crate::table::RoutingTable;
 use ipg_core::graph::Csr;
 use ipg_obs::{Counter, Histogram, Obs};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::VecDeque;
 
 /// Virtual-channel selection policy.
@@ -61,7 +79,8 @@ pub struct WormholeConfig {
     /// Declare deadlock after this many cycles without any flit movement
     /// while flits remain buffered.
     pub deadlock_threshold: u32,
-    /// RNG seed.
+    /// RNG seed (each node derives its own stream via
+    /// [`crate::rng::node_stream`]).
     pub seed: u64,
     /// VC selection policy.
     pub policy: VcPolicy,
@@ -128,7 +147,7 @@ pub struct WormholeStats {
     pub avg_latency: f64,
 }
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Default)]
 struct Flit {
     pkt: u32,
     is_head: bool,
@@ -142,15 +161,71 @@ struct PacketInfo {
     head_hops: u32,
 }
 
-struct VcState {
-    owner: Option<u32>,
-    buffer: VecDeque<Flit>,
+/// "No owner" sentinel in the per-VC owner array.
+const NO_OWNER: u32 = u32::MAX;
+
+/// All per-VC buffer state, flat: one arena of `vc_count × depth` flit
+/// slots used as fixed-capacity rings, plus per-VC head/len/owner arrays.
+struct VcBufs {
+    depth: usize,
+    flits: Vec<Flit>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    owner: Vec<u32>,
 }
 
-/// Static network description for wormhole runs.
-pub struct WormholeSim {
+impl VcBufs {
+    fn new(vc_count: usize, depth: usize) -> Self {
+        VcBufs {
+            depth,
+            flits: vec![Flit::default(); vc_count * depth],
+            head: vec![0; vc_count],
+            len: vec![0; vc_count],
+            owner: vec![NO_OWNER; vc_count],
+        }
+    }
+
+    #[inline]
+    fn len(&self, vc: usize) -> usize {
+        self.len[vc] as usize
+    }
+
+    #[inline]
+    fn front(&self, vc: usize) -> Option<Flit> {
+        if self.len[vc] == 0 {
+            None
+        } else {
+            Some(self.flits[vc * self.depth + self.head[vc] as usize])
+        }
+    }
+
+    #[inline]
+    fn pop_front(&mut self, vc: usize) -> Flit {
+        debug_assert!(self.len[vc] > 0);
+        let f = self.flits[vc * self.depth + self.head[vc] as usize];
+        self.head[vc] = (self.head[vc] + 1) % self.depth as u32;
+        self.len[vc] -= 1;
+        f
+    }
+
+    #[inline]
+    fn push_back(&mut self, vc: usize, flit: Flit) {
+        debug_assert!((self.len[vc] as usize) < self.depth);
+        let slot = (self.head[vc] as usize + self.len[vc] as usize) % self.depth;
+        self.flits[vc * self.depth + slot] = flit;
+        self.len[vc] += 1;
+    }
+
+    fn total_buffered(&self) -> usize {
+        self.len.iter().map(|&l| l as usize).sum()
+    }
+}
+
+/// Static network description for wormhole runs, generic over the
+/// next-hop [`Router`].
+pub struct WormholeSim<R: Router = RoutingTable> {
     n: usize,
-    table: RoutingTable,
+    router: R,
     link_from: Vec<u32>,
     link_to: Vec<u32>,
     /// incoming link ids per node.
@@ -159,7 +234,7 @@ pub struct WormholeSim {
     link_of: Vec<u32>,
 }
 
-impl WormholeSim {
+impl WormholeSim<RoutingTable> {
     /// Build for a graph.
     pub fn new(g: &Csr) -> Self {
         Self::new_instrumented(g, &Obs::disabled())
@@ -168,8 +243,16 @@ impl WormholeSim {
     /// [`WormholeSim::new`] with observability for the routing-table
     /// build.
     pub fn new_instrumented(g: &Csr, obs: &Obs) -> Self {
-        let n = g.node_count();
         let table = RoutingTable::new_instrumented(g, obs);
+        Self::with_router(table, g)
+    }
+}
+
+impl<R: Router> WormholeSim<R> {
+    /// Build around an arbitrary [`Router`] answering queries over `g`'s
+    /// node-id space.
+    pub fn with_router(router: R, g: &Csr) -> Self {
+        let n = g.node_count();
         let mut link_from = Vec::with_capacity(g.arc_count());
         let mut link_to = Vec::with_capacity(g.arc_count());
         let mut link_of = Vec::with_capacity(n + 1);
@@ -185,7 +268,7 @@ impl WormholeSim {
         }
         WormholeSim {
             n,
-            table,
+            router,
             link_from,
             link_to,
             in_links,
@@ -198,8 +281,16 @@ impl WormholeSim {
         let hi = self.link_of[u as usize + 1];
         (lo..hi)
             .find(|&i| self.link_to[i as usize] == v)
-            // ipg-analyze: allow(PANIC001) reason="routing tables only emit neighbors; reaching here is a table bug"
+            // ipg-analyze: allow(PANIC001) reason="routers only emit neighbors; reaching here is a router bug"
             .expect("next hop must be a neighbor")
+    }
+
+    fn next_hop(&self, u: u32, d: u32) -> u32 {
+        match self.router.next_hop(u, d) {
+            Some(h) => h,
+            // ipg-analyze: allow(PANIC001) reason="simulated graphs are connected; an unroutable destination is a construction bug"
+            None => panic!("no route from {u} to {d}"),
+        }
     }
 
     /// Run the simulation.
@@ -220,18 +311,16 @@ impl WormholeSim {
     ) -> WormholeOutcome {
         let span = obs.span("wormhole_run");
         let track = obs.enabled();
+        let vc_count = self.link_from.len() * cfg.vcs;
         let mut run = Run {
             sim: self,
             cfg,
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            rngs: (0..self.n as u32)
+                .map(|v| node_stream(cfg.seed, v))
+                .collect(),
             packets: Vec::new(),
             source: vec![VecDeque::new(); self.n],
-            state: (0..self.link_from.len() * cfg.vcs)
-                .map(|_| VcState {
-                    owner: None,
-                    buffer: VecDeque::new(),
-                })
-                .collect(),
+            bufs: VcBufs::new(vc_count, cfg.buffer_flits),
             rr: vec![0; self.link_from.len()],
             injected: 0,
             delivered: 0,
@@ -240,14 +329,7 @@ impl WormholeSim {
             c_delivered: obs.counter("wormhole.delivered"),
             h_latency: obs.histogram("wormhole.latency_cycles"),
             link_busy: vec![0u64; if track { self.link_from.len() } else { 0 }],
-            vc_buffer_hw: vec![
-                0u32;
-                if track {
-                    self.link_from.len() * cfg.vcs
-                } else {
-                    0
-                }
-            ],
+            vc_buffer_hw: vec![0u32; if track { vc_count } else { 0 }],
             track,
         };
         let outcome = run.execute(obs, window);
@@ -280,14 +362,14 @@ impl WormholeSim {
     }
 }
 
-struct Run<'a> {
-    sim: &'a WormholeSim,
+struct Run<'a, R: Router> {
+    sim: &'a WormholeSim<R>,
     cfg: &'a WormholeConfig,
-    rng: SmallRng,
+    rngs: Vec<NodeRng>,
     packets: Vec<PacketInfo>,
     /// per-source queue of (packet, flits left to inject).
     source: Vec<VecDeque<(u32, u32)>>,
-    state: Vec<VcState>,
+    bufs: VcBufs,
     rr: Vec<usize>,
     injected: u64,
     delivered: u64,
@@ -302,7 +384,7 @@ struct Run<'a> {
     track: bool,
 }
 
-impl Run<'_> {
+impl<R: Router> Run<'_, R> {
     #[inline]
     fn sidx(&self, link: u32, vc: usize) -> usize {
         link as usize * self.cfg.vcs + vc
@@ -317,10 +399,11 @@ impl Run<'_> {
 
     fn inject(&mut self, cycle: u32) {
         for src in 0..self.sim.n as u32 {
-            if self.rng.gen::<f64>() < self.cfg.injection_rate {
+            let rng = &mut self.rngs[src as usize];
+            if rng.gen::<f64>() < self.cfg.injection_rate {
                 let dst = match &self.cfg.traffic {
                     WormTraffic::Uniform => {
-                        let mut d = self.rng.gen_range(0..self.sim.n as u32 - 1);
+                        let mut d = rng.gen_range(0..self.sim.n as u32 - 1);
                         if d >= src {
                             d += 1;
                         }
@@ -376,12 +459,12 @@ impl Run<'_> {
         for probe in 0..self.cfg.vcs {
             let out_vc = (self.rr[link as usize] + probe) % self.cfg.vcs;
             let sidx = self.sidx(link, out_vc);
-            if self.state[sidx].buffer.len() >= self.cfg.buffer_flits {
+            if self.bufs.len(sidx) >= self.cfg.buffer_flits {
                 continue;
             }
-            let moved = match self.state[sidx].owner {
-                Some(pkt) => self.advance_body(link, out_vc, u, pkt),
-                None => self.allocate_head(link, out_vc, u),
+            let moved = match self.bufs.owner[sidx] {
+                NO_OWNER => self.allocate_head(link, out_vc, u),
+                pkt => self.advance_body(link, out_vc, u, pkt),
             };
             if moved {
                 self.rr[link as usize] = (out_vc + 1) % self.cfg.vcs;
@@ -403,10 +486,9 @@ impl Run<'_> {
             let in_link = self.sim.in_links[u as usize][ili];
             for vc in 0..self.cfg.vcs {
                 let iidx = self.sidx(in_link, vc);
-                if let Some(&flit) = self.state[iidx].buffer.front() {
+                if let Some(flit) = self.bufs.front(iidx) {
                     if flit.pkt == pkt {
-                        // ipg-analyze: allow(PANIC001) reason="front() matched in the guard just above"
-                        let flit = self.state[iidx].buffer.pop_front().expect("checked");
+                        let flit = self.bufs.pop_front(iidx);
                         return self.deliver_onto(link, out_vc, flit);
                     }
                 }
@@ -421,7 +503,7 @@ impl Run<'_> {
         if let Some(&(pkt, left)) = self.source[u as usize].front() {
             if left == self.cfg.packet_flits {
                 let dst = self.packets[pkt as usize].dst;
-                let hop = self.sim.table.next_hop(u, dst);
+                let hop = self.sim.next_hop(u, dst);
                 if self.sim.link_toward(u, hop) == link && self.want_vc(0) == out_vc {
                     // ipg-analyze: allow(PANIC001) reason="front() matched in the guard just above"
                     let flit = self.pop_source(u, None).expect("front checked");
@@ -434,7 +516,7 @@ impl Run<'_> {
             let in_link = self.sim.in_links[u as usize][ili];
             for vc in 0..self.cfg.vcs {
                 let iidx = self.sidx(in_link, vc);
-                let Some(&flit) = self.state[iidx].buffer.front() else {
+                let Some(flit) = self.bufs.front(iidx) else {
                     continue;
                 };
                 if !flit.is_head {
@@ -444,12 +526,11 @@ impl Run<'_> {
                 if info.dst == u {
                     continue; // consumed by the ejection stage
                 }
-                let hop = self.sim.table.next_hop(u, info.dst);
+                let hop = self.sim.next_hop(u, info.dst);
                 if self.sim.link_toward(u, hop) != link || self.want_vc(info.head_hops) != out_vc {
                     continue;
                 }
-                // ipg-analyze: allow(PANIC001) reason="front() matched in the guard just above"
-                let flit = self.state[iidx].buffer.pop_front().expect("checked");
+                let flit = self.bufs.pop_front(iidx);
                 return self.deliver_onto(link, out_vc, flit);
             }
         }
@@ -463,17 +544,16 @@ impl Run<'_> {
         if flit.is_head {
             self.packets[flit.pkt as usize].head_hops += 1;
             if !flit.is_tail {
-                self.state[sidx].owner = Some(flit.pkt);
+                self.bufs.owner[sidx] = flit.pkt;
             }
         }
         if flit.is_tail {
-            self.state[sidx].owner = None;
+            self.bufs.owner[sidx] = NO_OWNER;
         }
-        self.state[sidx].buffer.push_back(flit);
+        self.bufs.push_back(sidx, flit);
         if self.track {
             self.link_busy[link as usize] += 1;
-            self.vc_buffer_hw[sidx] =
-                self.vc_buffer_hw[sidx].max(self.state[sidx].buffer.len() as u32);
+            self.vc_buffer_hw[sidx] = self.vc_buffer_hw[sidx].max(self.bufs.len(sidx) as u32);
         }
         true
     }
@@ -485,11 +565,11 @@ impl Run<'_> {
             let to = self.sim.link_to[link as usize];
             for vc in 0..self.cfg.vcs {
                 let sidx = self.sidx(link, vc);
-                while let Some(&flit) = self.state[sidx].buffer.front() {
+                while let Some(flit) = self.bufs.front(sidx) {
                     if self.packets[flit.pkt as usize].dst != to {
                         break;
                     }
-                    self.state[sidx].buffer.pop_front();
+                    self.bufs.pop_front(sidx);
                     moved = true;
                     if flit.is_tail {
                         self.delivered += 1;
@@ -517,16 +597,20 @@ impl Run<'_> {
                 obs.emit_window(cycle as u64 + 1);
             }
 
-            let buffered: usize = self.state.iter().map(|s| s.buffer.len()).sum();
+            let buffered = self.bufs.total_buffered();
             if moved {
                 idle = 0;
             } else if buffered > 0 {
                 idle += 1;
                 if idle >= self.cfg.deadlock_threshold {
-                    let stuck: std::collections::HashSet<u32> = self
-                        .state
-                        .iter()
-                        .flat_map(|s| s.buffer.iter().map(|f| f.pkt))
+                    let stuck: std::collections::HashSet<u32> = (0..self.bufs.len.len())
+                        .flat_map(|vc| {
+                            let head = self.bufs.head[vc] as usize;
+                            let len = self.bufs.len(vc);
+                            let depth = self.bufs.depth;
+                            let flits = &self.bufs.flits;
+                            (0..len).map(move |i| flits[vc * depth + (head + i) % depth].pkt)
+                        })
                         .collect();
                     return WormholeOutcome::Deadlocked {
                         at_cycle: cycle,
@@ -681,6 +765,33 @@ mod tests {
             "long {} vs short {}",
             long.stats().avg_latency,
             short.stats().avg_latency
+        );
+    }
+
+    #[test]
+    fn codec_router_backend_behaves_like_the_table() {
+        use ipg_core::superip::{NucleusSpec, SuperIpSpec, TupleNetwork};
+        use ipg_core::tuple_routing::ShortestTupleRouter;
+        let spec = SuperIpSpec::hsn(2, NucleusSpec::hypercube(2));
+        let g = spec.fast_undirected_csr().unwrap();
+        let tn = TupleNetwork::from_spec(&spec).unwrap();
+        let router = ShortestTupleRouter::new(tn).unwrap();
+        let sim = WormholeSim::with_router(router, &g);
+        let cfg = WormholeConfig {
+            vcs: 6,
+            injection_rate: 0.01,
+            cycles: 4_000,
+            ..WormholeConfig::default()
+        };
+        let out = sim.run(&cfg);
+        assert!(!out.is_deadlocked());
+        let s = out.stats();
+        assert!(s.injected > 0);
+        assert!(
+            s.delivered as f64 >= 0.95 * s.injected as f64,
+            "delivered {} of {}",
+            s.delivered,
+            s.injected
         );
     }
 }

@@ -30,4 +30,26 @@ cargo bench --workspace --no-run
 echo "== codec property pass =="
 PROPTEST_CASES=64 cargo test -q --release --test proptests codec
 
+echo "== sim determinism (IPG_THREADS=1/2/4 byte-compare) =="
+# The deterministic record families (stdout; manifest window/metrics
+# records) must not depend on the worker count. Spans/rates/meta carry
+# wall-clock data, so only the deterministic families are compared.
+simdir="$(mktemp -d /tmp/ipg-sim-det.XXXXXX)"
+trap 'rm -rf "$simdir"' EXIT
+for t in 1 2 4; do
+    mkdir -p "$simdir/t$t"
+    (cd "$simdir/t$t" && IPG_THREADS=$t "$OLDPWD/target/release/ipg" \
+        simulate ring-cn:l=3,nucleus=Q2 0.03 \
+        --obs run.manifest.jsonl --obs-interval 500 > stdout.txt)
+    grep -E '^\{"record":"(window|metrics)"' "$simdir/t$t/run.manifest.jsonl" \
+        | sort > "$simdir/t$t/records.txt"
+done
+for t in 2 4; do
+    cmp "$simdir/t1/stdout.txt" "$simdir/t$t/stdout.txt" \
+        || { echo "check.sh: simulate stdout differs for IPG_THREADS=$t" >&2; exit 1; }
+    cmp "$simdir/t1/records.txt" "$simdir/t$t/records.txt" \
+        || { echo "check.sh: manifest records differ for IPG_THREADS=$t" >&2; exit 1; }
+done
+echo "   byte-identical for IPG_THREADS=1/2/4"
+
 echo "all checks passed"

@@ -163,7 +163,7 @@ fn ip_defined_networks_are_usable_downstream() {
         .to_undirected_csr();
     assert!(algo::is_connected(&db));
     let table = ipgraph::sim::table::RoutingTable::new(&db);
-    let p = table.path(0, 17);
+    let p = table.path(0, 17).unwrap();
     assert!(p.len() >= 2);
     for w in p.windows(2) {
         assert!(db.has_arc(w[0], w[1]));

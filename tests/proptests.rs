@@ -471,6 +471,54 @@ proptest! {
     }
 
     #[test]
+    fn codec_router_path_lengths_match_bfs_table(
+        l in 2usize..4,
+        family in 0usize..4,
+        kind in 0usize..5,
+        pairs in proptest::collection::vec((0u32..4096, 0u32..4096), 4..12),
+    ) {
+        // The table-free codec router and the all-pairs BFS table are both
+        // exact-shortest: on random super-IP specs (every family, plain and
+        // symmetric seeds) sampled pairs must get equal path lengths, and
+        // every codec hop must be a real link.
+        use ipgraph::core::tuple_routing::ShortestTupleRouter;
+        use ipgraph::sim::table::RoutingTable;
+        use ipgraph::sim::Router;
+        let (nuc, sym) = match kind {
+            0 => (NucleusSpec::hypercube(1), false),
+            1 => (NucleusSpec::hypercube(2), false),
+            2 => (NucleusSpec::complete(3), false),
+            3 => (NucleusSpec::ring(4), false),
+            _ => (NucleusSpec::hypercube(1), true),
+        };
+        let mut spec = super_family(family, l, nuc);
+        if sym {
+            spec = spec.symmetric();
+        }
+        if spec.expected_size().unwrap() <= 2_000 {
+            let tn = TupleNetwork::from_spec(&spec).unwrap();
+            let g = tn.build();
+            let table = RoutingTable::new(&g);
+            let codec = ShortestTupleRouter::new(tn).unwrap();
+            prop_assert_eq!(Router::node_count(&table), Router::node_count(&codec));
+            let n = g.node_count() as u32;
+            for (u, d) in pairs {
+                let (u, d) = (u % n, d % n);
+                let pt = Router::path(&table, u, d).unwrap();
+                let pc = Router::path(&codec, u, d).unwrap();
+                prop_assert_eq!(
+                    pt.len(), pc.len(),
+                    "{}: table and codec disagree on |path({}, {})|",
+                    spec.name, u, d
+                );
+                for w in pc.windows(2) {
+                    prop_assert!(g.has_arc(w[0], w[1]), "{}: codec hop is not a link", spec.name);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn router_paths_valid_on_random_pairs(pairs in proptest::collection::vec((0u32..64, 0u32..64), 1..8)) {
         let spec = SuperIpSpec::hsn(3, NucleusSpec::hypercube(1));
         let ip = spec.to_ip_spec().generate().unwrap();

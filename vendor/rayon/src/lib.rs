@@ -583,10 +583,54 @@ pub mod iter {
     }
 }
 
+pub mod slice {
+    //! In-place parallel mutation over a slice.
+    //!
+    //! The pipeline combinators in [`crate::iter`] materialize owned items,
+    //! which rules out mutating a borrowed slice in parallel (real rayon's
+    //! `par_iter_mut`). This module fills that gap with a single primitive:
+    //! each element is touched by exactly one chunk, chunk boundaries depend
+    //! only on the slice length, and the closure observes elements through
+    //! `&mut T` — so the post-state of the slice is independent of the
+    //! worker count whenever `f` itself is deterministic per element.
+
+    use crate::pool;
+
+    /// Wrapper making a raw slice pointer `Sync` so chunk workers can share
+    /// it. Soundness: [`pool::execute`]'s chunk ranges partition `0..len`
+    /// into disjoint intervals and each chunk is claimed by exactly one
+    /// worker, so no element is aliased by two `&mut` borrows.
+    struct SlicePtr<T>(*mut T);
+    unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
+    /// Apply `f(index, &mut item)` to every element, fanning chunks out
+    /// across the pool. Equivalent to a sequential indexed `iter_mut` loop
+    /// for any worker count.
+    pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let base = SlicePtr(items.as_mut_ptr());
+        let base = &base;
+        pool::execute(items.len(), move |lo, hi| {
+            for i in lo..hi {
+                // SAFETY: `i` lies in this chunk's half-open range; chunks
+                // are disjoint and cover 0..len exactly once (see
+                // `pool::chunk_ranges`), so this is the only live borrow
+                // of element `i`.
+                let item = unsafe { &mut *base.0.add(i) };
+                f(i, item);
+            }
+        });
+    }
+}
+
 pub mod prelude {
     //! Glob-import surface matching `rayon::prelude::*` for the subset the
     //! workspace uses.
     pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::slice::par_for_each_mut;
 }
 
 #[cfg(test)]
@@ -750,5 +794,49 @@ mod tests {
             total.fetch_add(x, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_each_element_exactly_once() {
+        let mut xs: Vec<u64> = (0..10_000).collect();
+        crate::slice::par_for_each_mut(&mut xs, |i, x| {
+            assert_eq!(*x, i as u64);
+            *x = *x * 2 + 1;
+        });
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2 + 1);
+        }
+        // Empty and single-element slices take the inline path.
+        let mut empty: Vec<u64> = Vec::new();
+        crate::slice::par_for_each_mut(&mut empty, |_, _| unreachable!());
+        let mut one = [41u64];
+        crate::slice::par_for_each_mut(&mut one, |_, x| *x += 1);
+        assert_eq!(one[0], 42);
+    }
+
+    #[test]
+    fn par_for_each_mut_with_unequal_chunk_costs() {
+        // Skewed per-element work exercises dynamic self-scheduling while
+        // the final state stays a pure function of the input.
+        let mut xs: Vec<u64> = (0..512).collect();
+        crate::slice::par_for_each_mut(&mut xs, |i, x| {
+            let spins = if i % 64 == 0 { 10_000 } else { 10 };
+            let mut acc = *x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            *x = acc;
+        });
+        let expect: Vec<u64> = (0..512u64)
+            .map(|i| {
+                let spins = if i % 64 == 0 { 10_000 } else { 10 };
+                let mut acc = i;
+                for _ in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            })
+            .collect();
+        assert_eq!(xs, expect);
     }
 }
