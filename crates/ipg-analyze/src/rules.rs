@@ -8,6 +8,7 @@
 //! | DET002   | error    | every parallel reduce carries a `Parallel-reduction audit:`      |
 //! | DET003   | error    | no wall-clock reads outside `ipg-obs` / `vendor/rayon`           |
 //! | DET004   | error    | no RNG construction in `ipg-sim` cycle loops (use `rng::node_stream`) |
+//! | DET005   | error    | no raw trace-event plumbing in `ipg-sim` cycle loops (use `ShardTracer`) |
 //! | PANIC001 | warning  | no `unwrap`/`expect`/`panic!` in library code of the core crates |
 //! | HYG001   | error    | every suppression carries a `reason="…"`                         |
 //!
@@ -130,6 +131,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Det002),
         Box::new(Det003),
         Box::new(Det004),
+        Box::new(Det005),
         Box::new(Panic001),
         Box::new(Hyg001),
     ]
@@ -548,6 +550,53 @@ impl Rule for Det004 {
 }
 
 // ---------------------------------------------------------------------------
+// DET005 — raw trace-event plumbing in the simulator shard loops
+// ---------------------------------------------------------------------------
+
+struct Det005;
+
+/// Types that belong to `ipg-obs::trace` internals. The engine's cycle
+/// loops must emit through the `ShardTracer` methods instead: the tracer
+/// owns the one-writer-per-ring discipline, the sampling clock and the
+/// no-steady-state-allocation policy, and a shard loop that builds
+/// `TraceEvent`s or drains an `EventRing` by hand can bypass all three
+/// (and, worse, branch on ring occupancy — coupling simulation behaviour
+/// to the trace configuration).
+const TRACE_RAW_IDENTS: &[&str] = &["TraceEvent", "EventRing"];
+
+impl Rule for Det005 {
+    fn id(&self) -> &'static str {
+        "DET005"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn describe(&self) -> &'static str {
+        "no raw TraceEvent/EventRing plumbing in ipg-sim shard loops (emit via ShardTracer)"
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if ctx.crate_name != "ipg-sim" || !SHARDED_MODULES.contains(&ctx.file_name()) {
+            return;
+        }
+        for t in &ctx.lexed.tokens {
+            let TokKind::Ident(s) = &t.kind else { continue };
+            if TRACE_RAW_IDENTS.contains(&s.as_str()) && !ctx.in_test(t.line) {
+                self.emit(
+                    ctx,
+                    t.line,
+                    format!(
+                        "raw flight-recorder type `{s}` in a sharded simulator module; \
+                         emit through the `ShardTracer` methods so the one-writer-per-ring \
+                         and sampling discipline stays in ipg-obs::trace (DESIGN.md §11)"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // PANIC001 — panics in library code of the core crates
 // ---------------------------------------------------------------------------
 
@@ -777,6 +826,34 @@ mod tests {
             test_only,
             "ipg-sim",
             "crates/ipg-sim/src/wormhole.rs",
+            FileKind::Lib
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn det005_scopes_to_sharded_sim_modules() {
+        let src = "use ipg_obs::trace::{EventRing, TraceEvent};\nfn f(ring: &mut EventRing) { ring.push(TraceEvent::default()); }\n";
+        let hot = run_on(
+            src,
+            "ipg-sim",
+            "crates/ipg-sim/src/wormhole.rs",
+            FileKind::Lib,
+        );
+        assert!(hot.len() >= 2, "{hot:?}");
+        assert!(hot.iter().all(|f| f.rule == "DET005"));
+        // the trace module itself (ipg-obs) is the sanctioned home
+        let home = run_on(src, "ipg-obs", "crates/ipg-obs/src/trace.rs", FileKind::Lib);
+        assert!(home.is_empty(), "{home:?}");
+        // the sanctioned ShardTracer API does not trip the rule
+        let ok = "use ipg_obs::ShardTracer;\nfn f(t: &mut ShardTracer) { t.merge(0, 1); }\n";
+        assert!(run_on(ok, "ipg-sim", "crates/ipg-sim/src/engine.rs", FileKind::Lib).is_empty());
+        // test code inside the module is exempt
+        let test_only = "#[cfg(test)]\nmod tests {\n use ipg_obs::trace::TraceEvent;\n}\n";
+        assert!(run_on(
+            test_only,
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
             FileKind::Lib
         )
         .is_empty());

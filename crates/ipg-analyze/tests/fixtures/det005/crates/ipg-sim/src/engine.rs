@@ -1,0 +1,25 @@
+//! DET005 fixture: raw trace-event plumbing inside a sharded cycle loop.
+use ipg_obs::trace::{EventRing, TraceEvent};
+use ipg_obs::ShardTracer;
+
+pub fn record_by_hand(ring: &mut EventRing, cycle: u32) {
+    ring.push(TraceEvent {
+        cycle,
+        ..TraceEvent::default()
+    });
+}
+
+pub fn suppressed_probe(cycle: u32) -> u64 {
+    // ipg-analyze: allow(DET005) reason="fixture: demonstrating a justified one-off event"
+    let ev = TraceEvent {
+        cycle,
+        ..Default::default()
+    };
+    ev.value
+}
+
+pub fn sanctioned(tracer: &mut ShardTracer, cycle: u64) {
+    if tracer.sampled(cycle) {
+        tracer.merge(cycle as u32, 1);
+    }
+}

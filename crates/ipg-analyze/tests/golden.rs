@@ -14,6 +14,7 @@ const FIXTURES: &[&str] = &[
     "det002",
     "det003",
     "det004",
+    "det005",
     "panic001",
     "hyg001",
     "clean",
@@ -54,6 +55,7 @@ fn fixture_gate_verdicts() {
         ("det002", false),
         ("det003", false),
         ("det004", false),
+        ("det005", false),
         ("panic001", false),
         ("hyg001", false),
         ("clean", true),
@@ -104,7 +106,7 @@ fn exit_codes_gate_the_build() {
 
 #[test]
 fn rules_filter_scopes_the_gate() {
-    // bench.sh uses --rules DET001,DET002,DET003: PANIC001-only findings
+    // bench.sh uses --rules DET001,…,DET005: PANIC001-only findings
     // must not block it.
     let root = fixture_root("panic001").display().to_string();
     let (code, out) = run_bin(

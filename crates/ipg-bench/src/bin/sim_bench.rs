@@ -14,6 +14,11 @@
 //!    table engine cannot load this network at all; the codec backend
 //!    simulates it directly. Recorded with the table's memory bound so
 //!    the claim is auditable.
+//! 3. *flight-recorder overhead* — the common config rerun with the
+//!    per-shard trace rings attached at the default sampling interval,
+//!    against an untraced run of the same schedule (best of two samples
+//!    each). The recorded `overhead_pct` is the budget DESIGN.md §11
+//!    commits to (≤ 5% at the default interval).
 //!
 //! All timing goes through `Obs` spans (`Span::elapsed_secs`) — the
 //! DET003 lint keeps raw `Instant` reads out of this crate.
@@ -22,7 +27,7 @@ use ipg_bench::{f2, print_table, report};
 use ipg_core::graph::Csr;
 use ipg_core::tuple_routing::ShortestTupleRouter;
 use ipg_networks::{classic, hier};
-use ipg_obs::Obs;
+use ipg_obs::{Obs, TraceConfig};
 use ipg_sim::engine::{SimConfig, Simulator};
 use ipg_sim::table::RoutingTable;
 use ipg_sim::Router;
@@ -67,11 +72,32 @@ struct BeyondTableCase {
 }
 
 #[derive(Serialize)]
+struct TraceOverheadCase {
+    network: String,
+    nodes: usize,
+    cycles: u32,
+    injection_rate: f64,
+    /// Sampling interval in cycles (the `TraceConfig` default).
+    trace_interval: u32,
+    /// Best-of-N samples per arm.
+    samples: u32,
+    untraced_cycles_per_sec: f64,
+    traced_cycles_per_sec: f64,
+    /// Steady-state slowdown of the traced arm, in percent.
+    overhead_pct: f64,
+    trace_events: usize,
+    dropped_events: u64,
+    /// Tracing must not perturb the simulation.
+    delivered_match: bool,
+}
+
+#[derive(Serialize)]
 struct SimBench {
     bench: &'static str,
     ipg_threads: usize,
     common: CommonCase,
     beyond_table: BeyondTableCase,
+    trace_overhead: TraceOverheadCase,
 }
 
 fn cfg(rate: f64, warmup: u32, measure: u32, drain: u32) -> SimConfig {
@@ -192,11 +218,69 @@ fn main() {
         codec: codec_big,
     };
 
+    // -- flight-recorder overhead on the common config --------------------
+    const TRACE_SAMPLES: u32 = 3;
+    let trace_cfg = TraceConfig::default();
+    eprintln!(
+        "trace-overhead config: {} at interval {} ({} samples/arm)",
+        tn.name, trace_cfg.interval, TRACE_SAMPLES
+    );
+    // Both arms go through `run_traced`, so the untraced baseline pays the
+    // identical call path and only the recorder itself is measured. The
+    // arms are interleaved (off, on, off, on, …) and each takes its best
+    // sample, so slow thermal / frequency drift cancels instead of landing
+    // entirely on whichever arm ran second.
+    let one_run = |label: &str, sample: u32, trace: Option<&TraceConfig>| {
+        let router =
+            ShortestTupleRouter::new(tn.clone()).expect("l=2 is within the codec router bound");
+        let mut sim = Simulator::with_router(router, &g, |v| class[v as usize], &common_cfg);
+        let span = rep.obs().span(&format!("trace/{label}/{sample}"));
+        let (r, t) = sim.run_traced(&common_cfg, &Obs::disabled(), 0, trace);
+        let secs = span.elapsed_secs().unwrap_or(0.0).max(1e-9);
+        drop(span);
+        (secs, r, t)
+    };
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut delivered_off = 0u64;
+    let mut delivered_on = 0u64;
+    let mut trace_events = 0usize;
+    let mut dropped_events = 0u64;
+    for sample in 0..TRACE_SAMPLES {
+        let (secs, r, _) = one_run("off", sample, None);
+        best_off = best_off.min(secs);
+        delivered_off = r.delivered;
+        let (secs, r, t) = one_run("on", sample, Some(&trace_cfg));
+        best_on = best_on.min(secs);
+        delivered_on = r.delivered;
+        if let Some(t) = t {
+            trace_events = t.events.len();
+            dropped_events = t.dropped;
+        }
+    }
+    let cycles_common = f64::from(total_cycles(&common_cfg));
+    let (untraced_cps, traced_cps) = (cycles_common / best_off, cycles_common / best_on);
+    let trace_overhead = TraceOverheadCase {
+        network: tn.name.clone(),
+        nodes: g.node_count(),
+        cycles: total_cycles(&common_cfg),
+        injection_rate: common_cfg.injection_rate,
+        trace_interval: trace_cfg.interval,
+        samples: TRACE_SAMPLES,
+        untraced_cycles_per_sec: untraced_cps,
+        traced_cycles_per_sec: traced_cps,
+        overhead_pct: (untraced_cps / traced_cps.max(1e-9) - 1.0) * 100.0,
+        trace_events,
+        dropped_events,
+        delivered_match: delivered_off == delivered_on,
+    };
+
     let out = SimBench {
         bench: "sim_bench",
         ipg_threads: rayon::current_num_threads(),
         common,
         beyond_table: beyond,
+        trace_overhead,
     };
 
     println!("== Simulation engine: table vs table-free routing ==");
@@ -246,6 +330,17 @@ fn main() {
         out.common.speedup_steady_state,
         out.beyond_table.network,
         out.beyond_table.table_bytes_required >> 30
+    );
+    println!(
+        "  flight recorder @ interval {}: {:.0} -> {:.0} cycles/s ({:+.2}% overhead, \
+         {} events, {} dropped, delivered_match={})",
+        out.trace_overhead.trace_interval,
+        out.trace_overhead.untraced_cycles_per_sec,
+        out.trace_overhead.traced_cycles_per_sec,
+        out.trace_overhead.overhead_pct,
+        out.trace_overhead.trace_events,
+        out.trace_overhead.dropped_events,
+        out.trace_overhead.delivered_match
     );
 
     rep.json("BENCH_sim", &out);

@@ -6,6 +6,7 @@
 //! ipg dot <network>                   Graphviz DOT on stdout
 //! ipg route <network> <src> <dst>     shortest route (node ids)
 //! ipg simulate <network> [rate]       packet simulation
+//! ipg trace summary <trace.jsonl>     summarize a flight-recorder trace
 //! ipg help                            the network mini-language
 //! ```
 
@@ -14,7 +15,7 @@ mod spec;
 use ipg_cluster::{costs, imetrics, partition::Partition};
 use ipg_core::algo;
 use ipg_core::tuple_routing::{ShortestTupleRouter, SHORTEST_ROUTER_MAX_L};
-use ipg_obs::{MetaVal, Obs};
+use ipg_obs::{MetaVal, Obs, Trace, TraceConfig};
 use ipg_sim::engine::{SimConfig, Simulator};
 use ipg_sim::router::Router;
 use ipg_sim::table::RoutingTable;
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         Some("dot") => with_network(&args, 1, cmd_dot),
         Some("route") => cmd_route(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("layout") => with_network(&args, 1, cmd_layout),
         Some("solve") => cmd_solve(&args[1..]),
         Some("help") | None => {
@@ -72,6 +74,10 @@ fn print_help() {
     println!("      --wormhole                 flit-level wormhole switching instead");
     println!("      --vcs <n> --flits <n>      wormhole VC count / packet length");
     println!("      --policy single|hop        wormhole VC allocation policy");
+    println!("      --trace <path>             write a flight-recorder trace (JSON lines)");
+    println!("      --trace-interval <cycles>  trace sampling interval (default 64)");
+    println!("  trace summary <t.jsonl>        summarize a trace (--top <n> hottest links)");
+    println!("  trace chrome <t.jsonl> <out>   convert to Chrome/Perfetto trace JSON");
     println!("  layout <network>               bisection width + grid-layout wirelength");
     println!("  solve <game> <src> <dst>       solve a ball-arrangement game (games:");
     println!("                                 star:n, pancake:n; labels like 654321)");
@@ -277,6 +283,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut obs_path: Option<std::path::PathBuf> = None;
     let mut obs_interval: u32 = 0;
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut trace_interval: u32 = 64;
     let mut wormhole = false;
     let mut vcs: usize = 2;
     let mut flits: u32 = 4;
@@ -290,6 +298,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "--obs-interval" => {
                 let v = it.next().ok_or("--obs-interval needs a cycle count")?;
                 obs_interval = v.parse().map_err(|_| format!("bad --obs-interval `{v}`"))?;
+            }
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a file path")?.into());
+            }
+            "--trace-interval" => {
+                let v = it.next().ok_or("--trace-interval needs a cycle count")?;
+                trace_interval = v
+                    .parse()
+                    .map_err(|_| format!("bad --trace-interval `{v}`"))?;
+                if trace_interval == 0 {
+                    return Err("--trace-interval must be ≥ 1".into());
+                }
             }
             "--wormhole" => wormhole = true,
             "--vcs" => {
@@ -356,6 +376,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         Some(p) => Obs::to_file(p).map_err(|e| format!("cannot open {}: {e}", p.display()))?,
         None => Obs::disabled(),
     };
+    let trace_cfg = trace_path
+        .as_ref()
+        .map(|_| TraceConfig::with_interval(trace_interval));
     obs.emit_meta(
         "ipg-simulate",
         &[
@@ -398,7 +421,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             ..WormholeConfig::default()
         };
         let sim = WormholeSim::with_router(router, &net.graph);
-        let out = sim.run_instrumented(&wcfg, &obs, obs_interval);
+        let (out, trace) = sim.run_traced(&wcfg, &obs, obs_interval, trace_cfg.as_ref());
         obs.finish();
         println!("mode:       wormhole ({vcs} VCs, {flits}-flit packets)");
         match out {
@@ -418,9 +441,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 println!("deadlocked: cycle {at_cycle}, {stuck_packets} packets stuck");
             }
         }
+        write_trace(trace, trace_path.as_deref())?;
     } else {
         let mut sim = Simulator::with_router(router, &net.graph, |v| module[v as usize], &cfg);
-        let r = sim.run_instrumented(&cfg, &obs, obs_interval);
+        let (r, trace) = sim.run_traced(&cfg, &obs, obs_interval, trace_cfg.as_ref());
         obs.finish();
         println!("injected:   {}", r.injected);
         println!(
@@ -437,9 +461,82 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             r.avg_latency, r.max_latency
         );
         println!("throughput: {:.4} packets/node/cycle", r.throughput);
+        write_trace(trace, trace_path.as_deref())?;
     }
     if let Some(p) = obs_path {
         println!("manifest:   {}", p.display());
     }
     Ok(())
+}
+
+/// Write a collected flight-recorder trace as JSON lines and report it.
+/// Event and drop counts are computation-derived, so the printed line is
+/// byte-identical across `IPG_THREADS` settings.
+fn write_trace(trace: Option<Trace>, path: Option<&std::path::Path>) -> Result<(), String> {
+    let (Some(trace), Some(p)) = (trace, path) else {
+        return Ok(());
+    };
+    std::fs::write(p, trace.to_jsonl())
+        .map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+    println!(
+        "trace:      {} ({} events, {} dropped)",
+        p.display(),
+        trace.events.len(),
+        trace.dropped
+    );
+    Ok(())
+}
+
+/// `ipg trace summary <t.jsonl>` / `ipg trace chrome <t.jsonl> <out.json>`:
+/// post-process a flight-recorder trace written by `simulate --trace`.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "trace needs a subcommand: summary <t.jsonl> [--top <n>] | chrome <t.jsonl> <out.json> [--name <s>]";
+    let load = |p: &String| -> Result<Trace, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        Trace::from_jsonl(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    match args.first().map(String::as_str) {
+        Some("summary") => {
+            let mut top: usize = 10;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--top" => {
+                        let v = it.next().ok_or("--top needs a count")?;
+                        top = v.parse().map_err(|_| format!("bad --top `{v}`"))?;
+                    }
+                    _ => positional.push(a),
+                }
+            }
+            let path = positional.first().ok_or("trace summary needs a file")?;
+            print!("{}", load(path)?.summarize(top).render());
+            Ok(())
+        }
+        Some("chrome") => {
+            let mut name = String::from("ipg-trace");
+            let mut positional: Vec<&String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--name" => {
+                        name = it.next().ok_or("--name needs a string")?.clone();
+                    }
+                    _ => positional.push(a),
+                }
+            }
+            let input = positional
+                .first()
+                .ok_or("trace chrome needs an input file")?;
+            let out = positional
+                .get(1)
+                .ok_or("trace chrome needs an output file")?;
+            let json = load(input)?.to_chrome_json(&name);
+            std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("chrome trace: {out} (load in ui.perfetto.dev or chrome://tracing)");
+            Ok(())
+        }
+        _ => Err(USAGE.into()),
+    }
 }

@@ -138,6 +138,54 @@ fn simulate_multi_shard_manifest_is_thread_count_independent() {
 }
 
 #[test]
+fn simulate_trace_file_is_thread_count_independent() {
+    // The flight recorder only records computation-derived values (cycle
+    // numbers, counts), never wall-clock time, so the trace file itself —
+    // not just the manifest — must be byte-identical across worker counts.
+    let dir = std::env::temp_dir().join(format!("ipg-determinism-trace-{}", std::process::id()));
+    let args = [
+        "simulate",
+        "ring-cn:l=3,nucleus=Q2",
+        "0.03",
+        "--obs",
+        "run.manifest.jsonl",
+        "--obs-interval",
+        "500",
+        "--trace",
+        "run.trace.jsonl",
+        "--trace-interval",
+        "128",
+    ];
+    let mut baseline: Option<(Vec<u8>, Vec<u8>, Vec<String>)> = None;
+    for threads in ["1", "2", "4"] {
+        let d = dir.join(format!("t{threads}"));
+        std::fs::create_dir_all(&d).expect("create temp dir");
+        let (out, _) = run_in(Some(&d), threads, &args);
+        let trace = std::fs::read(d.join("run.trace.jsonl")).expect("read trace");
+        assert!(!trace.is_empty(), "trace file must not be empty");
+        let records = deterministic_records(&d.join("run.manifest.jsonl"));
+        match &baseline {
+            None => baseline = Some((out, trace, records)),
+            Some((out1, trace1, records1)) => {
+                assert_eq!(
+                    out1, &out,
+                    "stdout differs between IPG_THREADS=1 and IPG_THREADS={threads}"
+                );
+                assert_eq!(
+                    trace1, &trace,
+                    "trace file differs between IPG_THREADS=1 and IPG_THREADS={threads}"
+                );
+                assert_eq!(
+                    records1, &records,
+                    "manifest records differ between IPG_THREADS=1 and IPG_THREADS={threads}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn simulate_wormhole_manifest_is_thread_count_independent() {
     assert_simulate_deterministic(
         "wormhole",

@@ -1,0 +1,118 @@
+//! The committed example Chrome trace (`results/example_trace.chrome.json`)
+//! must stay regenerable: the exact CLI pipeline documented in the README
+//! (`simulate --trace` followed by `trace chrome`) reproduces it byte for
+//! byte, and the result is well-formed JSON with the structure Perfetto and
+//! `chrome://tracing` expect.
+//!
+//! Regenerate after intentional format changes with:
+//!
+//! ```text
+//! ipg simulate ring-cn:l=2,nucleus=Q2 0.03 --trace /tmp/example.trace.jsonl --trace-interval 200
+//! ipg trace chrome /tmp/example.trace.jsonl results/example_trace.chrome.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn ipg(cwd: &std::path::Path, args: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ipg"))
+        .current_dir(cwd)
+        .args(args)
+        // Pin the worker count anyway — the trace is thread-count
+        // independent, but the example must not depend on that holding.
+        .env("IPG_THREADS", "2")
+        .output()
+        .expect("spawn ipg");
+    assert!(
+        out.status.success(),
+        "ipg {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn example_chrome_trace_is_reproducible_and_structurally_valid() {
+    let committed_path = repo_root().join("results/example_trace.chrome.json");
+    let committed = std::fs::read_to_string(&committed_path).expect("read committed example");
+
+    let dir = std::env::temp_dir().join(format!("ipg-trace-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    ipg(
+        &dir,
+        &[
+            "simulate",
+            "ring-cn:l=2,nucleus=Q2",
+            "0.03",
+            "--trace",
+            "example.trace.jsonl",
+            "--trace-interval",
+            "200",
+        ],
+    );
+    ipg(
+        &dir,
+        &[
+            "trace",
+            "chrome",
+            "example.trace.jsonl",
+            "example.chrome.json",
+        ],
+    );
+    let regenerated = std::fs::read_to_string(dir.join("example.chrome.json")).expect("read");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        committed, regenerated,
+        "results/example_trace.chrome.json is stale; regenerate it with the \
+         commands in this test's module docs"
+    );
+
+    // Structural validation: the whole file is one JSON object in the
+    // Chrome trace-event "JSON Object Format".
+    use serde_json::Value;
+    let v = serde_json::parse_value(&committed).expect("example trace must be valid JSON");
+    assert!(
+        matches!(v.get("displayTimeUnit"), Some(Value::Str(_))),
+        "displayTimeUnit missing"
+    );
+    let Some(Value::Array(events)) = v.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(events.len() > 10, "example trace looks empty");
+    let mut phases = std::collections::BTreeSet::new();
+    for ev in events {
+        assert!(
+            matches!(ev.get("name"), Some(Value::Str(_))),
+            "event without a name"
+        );
+        assert!(
+            matches!(ev.get("pid"), Some(Value::UInt(_))),
+            "event without a pid"
+        );
+        let Some(Value::Str(ph)) = ev.get("ph") else {
+            panic!("event without a ph");
+        };
+        phases.insert(ph.clone());
+        if ph == "X" {
+            // Complete events carry a timestamp and a duration.
+            assert!(
+                matches!(ev.get("ts"), Some(Value::UInt(_)))
+                    && matches!(ev.get("dur"), Some(Value::UInt(_))),
+                "ph=X event without integer ts/dur"
+            );
+        }
+    }
+    for expected in ["M", "X", "C"] {
+        assert!(
+            phases.contains(expected),
+            "example trace lacks ph={expected} events (got {phases:?})"
+        );
+    }
+}

@@ -120,14 +120,21 @@ impl Histogram {
 
     /// Value at quantile `q` in `[0, 1]`: the midpoint of the bucket
     /// containing the `ceil(q * count)`-th smallest observation, clamped
-    /// to the observed min/max. Returns 0 when empty or disabled.
+    /// to the observed min/max. Returns 0 when empty or disabled; a
+    /// non-finite `q` reads as 1.0 (the max) rather than poisoning the
+    /// rank arithmetic.
     pub fn percentile(&self, q: f64) -> u64 {
         let Some(c) = &self.0 else { return 0 };
         let n = c.count.load(Ordering::Relaxed);
         if n == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let rank = ((q * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in c.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
@@ -236,5 +243,55 @@ mod tests {
             assert_eq!(h.percentile(0.5), 0);
             assert_eq!(h.mean(), 0.0);
         }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_and_summary_is_valid() {
+        let h = Histogram::active();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 0, "q={q}");
+        }
+        let s = h.summary_json();
+        assert_eq!(
+            s,
+            "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"mean\":0.0,\"p50\":0,\"p95\":0,\"p99\":0}"
+        );
+    }
+
+    #[test]
+    fn single_bucket_histogram_reports_consistent_quantiles() {
+        // One observation: every quantile must equal that observation,
+        // in both the exact linear range and the octave range (where
+        // the min/max clamp pins the bucket midpoint to the value).
+        for v in [0u64, 5, 63, 64, 1000, 123_456_789] {
+            let h = Histogram::active();
+            h.observe(v);
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.percentile(q), v, "v={v} q={q}");
+            }
+        }
+        // Many observations of one value behave the same way.
+        let h = Histogram::active();
+        for _ in 0..1000 {
+            h.observe(77);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 77, "q={q}");
+        }
+        assert_eq!(h.min(), 77);
+        assert_eq!(h.max(), 77);
+    }
+
+    #[test]
+    fn non_finite_quantile_reads_as_max() {
+        let h = Histogram::active();
+        for v in [1u64, 2, 3] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(f64::NAN), 3);
+        assert_eq!(h.percentile(f64::INFINITY), 3);
+        assert_eq!(h.percentile(f64::NEG_INFINITY), 3);
+        // and on an empty histogram it is still 0
+        assert_eq!(Histogram::active().percentile(f64::NAN), 0);
     }
 }

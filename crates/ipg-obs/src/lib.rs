@@ -35,9 +35,11 @@ use std::time::Instant;
 mod hist;
 mod json;
 mod recorder;
+pub mod trace;
 
 pub use hist::Histogram;
 pub use recorder::{JsonlRecorder, MemRecorder, NullRecorder, Recorder};
+pub use trace::{ShardTracer, Trace, TraceConfig, TraceSummary, ENGINE_TRACK};
 
 /// A named monotone counter. No-op when obtained from a disabled [`Obs`].
 #[derive(Clone, Default)]

@@ -44,9 +44,21 @@ impl Recorder for JsonlRecorder {
     fn record(&mut self, line: &str) {
         // Manifest writes must never perturb the run: swallow I/O errors.
         let _ = writeln!(self.out, "{line}");
+        // Durability: flush after every record so a run that panics or
+        // is killed mid-flight still leaves a valid (possibly
+        // truncated) JSON-lines manifest — every line on disk is a
+        // complete record. Manifest volume is low (one line per window
+        // / span), so the extra syscall is noise.
+        let _ = self.out.flush();
     }
 
     fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
         let _ = self.out.flush();
     }
 }

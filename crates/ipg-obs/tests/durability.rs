@@ -1,0 +1,90 @@
+//! Manifest durability: a run that dies mid-flight (abort, not a clean
+//! exit) must still leave a valid, parseable JSON-lines manifest,
+//! because `JsonlRecorder` flushes after every record.
+//!
+//! The test re-executes its own test binary as a child: with
+//! `IPG_OBS_DURABILITY_CHILD` set, the "test" writes a manifest and
+//! then calls `std::process::abort()` before `Obs::finish`, simulating
+//! a crash with buffered-but-unflushed state.
+
+use ipg_obs::{MetaVal, Obs};
+use std::process::Command;
+
+const CHILD_ENV: &str = "IPG_OBS_DURABILITY_CHILD";
+const WINDOWS: u64 = 20;
+
+#[test]
+fn killed_run_leaves_parseable_manifest() {
+    if let Ok(path) = std::env::var(CHILD_ENV) {
+        run_child(&path);
+        // run_child aborts; this is unreachable.
+    }
+
+    let dir = std::env::temp_dir().join(format!("ipg_obs_durability_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("killed.manifest.jsonl");
+
+    let exe = std::env::current_exe().unwrap();
+    let out = Command::new(exe)
+        .args([
+            "killed_run_leaves_parseable_manifest",
+            "--exact",
+            "--nocapture",
+        ])
+        .env(CHILD_ENV, &manifest)
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "child was supposed to abort, got {:?}\nstdout: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+    );
+
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // meta + every window emitted before the abort must be on disk:
+    // record() flushes per line, so nothing is lost in a BufWriter.
+    assert_eq!(
+        lines.len(),
+        1 + WINDOWS as usize,
+        "expected meta + {WINDOWS} window records, got {} lines:\n{text}",
+        lines.len(),
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "truncated or malformed line: {line}"
+        );
+        serde_json::parse_value(line)
+            .unwrap_or_else(|e| panic!("line does not parse as JSON ({e:?}): {line}"));
+    }
+    assert!(lines[0].contains("\"record\":\"meta\""));
+    assert!(lines[1].contains("\"record\":\"window\""));
+    assert!(
+        lines
+            .last()
+            .unwrap()
+            .contains(&format!("\"cycle\":{WINDOWS}00")),
+        "last flushed window should be cycle {WINDOWS}00: {}",
+        lines.last().unwrap(),
+    );
+    // The run never reached finish(): no final metrics record.
+    assert!(!text.contains("\"record\":\"metrics\""));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run_child(path: &str) -> ! {
+    let obs = Obs::to_file(std::path::Path::new(path)).unwrap();
+    obs.emit_meta("durability_child", &[("seed", MetaVal::from(7u64))]);
+    let c = obs.counter("ticks");
+    for w in 1..=WINDOWS {
+        c.add(3);
+        obs.emit_window(w * 100);
+    }
+    // Die without finish()/flush()/drop — abort skips destructors, so
+    // only per-record flushing can have put the lines on disk.
+    std::process::abort();
+}

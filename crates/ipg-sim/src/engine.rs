@@ -52,7 +52,7 @@ use crate::rng::{node_stream, NodeRng};
 use crate::router::Router;
 use crate::table::RoutingTable;
 use ipg_core::graph::Csr;
-use ipg_obs::Obs;
+use ipg_obs::{Obs, ShardTracer, Trace, TraceConfig, ENGINE_TRACK};
 use rand::Rng;
 
 /// Destination selection for injected packets.
@@ -198,6 +198,8 @@ struct Pool {
     tagged: Vec<bool>,
     next: Vec<u32>,
     free: u32,
+    /// Slots currently allocated (the pool-occupancy telemetry gauge).
+    live: u32,
 }
 
 impl Pool {
@@ -207,10 +209,12 @@ impl Pool {
         self.tagged.clear();
         self.next.clear();
         self.free = NIL;
+        self.live = 0;
     }
 
     #[inline]
     fn alloc(&mut self, dst: u32, born: u32, tagged: bool) -> u32 {
+        self.live += 1;
         if self.free != NIL {
             let i = self.free;
             self.free = self.next[i as usize];
@@ -233,6 +237,7 @@ impl Pool {
     fn release(&mut self, i: u32) {
         self.next[i as usize] = self.free;
         self.free = i;
+        self.live -= 1;
     }
 }
 
@@ -310,6 +315,11 @@ struct Shard {
     stats: ShardStats,
     link_busy: Vec<u64>,
     queue_hw: Vec<u32>,
+    /// Flight-recorder emitter for this shard (`None` when tracing is
+    /// off). Owned by the shard, so tracing in the parallel phases is
+    /// lock-free; events carry only computation-derived payloads, so
+    /// simulation state and results are untouched (DESIGN.md §11).
+    tracer: Option<ShardTracer>,
 }
 
 /// Delivery-side observability handles shared by every shard in phase B.
@@ -382,6 +392,7 @@ impl Shard {
         c_injected: &ipg_obs::Counter,
         c_injected_all: &ipg_obs::Counter,
     ) {
+        let mut injected_now = 0u32;
         for local in 0..self.node_count {
             let src = self.base + local;
             let inject = self.rngs[local as usize].gen::<f64>() < pr.injection_rate;
@@ -398,6 +409,7 @@ impl Shard {
                 c_injected.incr();
             }
             c_injected_all.incr();
+            injected_now += 1;
             self.accept(src, dst, cycle, tagged, router);
         }
         for li in 0..self.links.len() {
@@ -426,6 +438,14 @@ impl Shard {
                 self.pool.release(p);
             }
         }
+        let launched = self.outbox.len() as u64;
+        if let Some(t) = self.tracer.as_mut() {
+            if t.sampled(u64::from(cycle)) {
+                t.phase_a(u64::from(cycle), injected_now, launched as u32);
+                t.outbox_depth(u64::from(cycle), launched);
+                t.link_util(u64::from(cycle), &self.link_busy);
+            }
+        }
     }
 
     /// Phase B: drain this cycle boundary's arrival wheel slot — deliver
@@ -440,8 +460,10 @@ impl Shard {
         dobs: &DeliveryObs,
     ) {
         let msgs = std::mem::take(&mut self.wheel[slot]);
+        let mut delivered_now = 0u32;
         for msg in &msgs {
             if msg.to == msg.dst {
+                delivered_now += 1;
                 if msg.tagged {
                     self.stats.delivered += 1;
                     let lat = cycle + 1 - msg.born + pr.tail_penalty;
@@ -457,10 +479,38 @@ impl Shard {
                 self.accept(msg.to, msg.dst, msg.born, msg.tagged, router);
             }
         }
+        let drained = msgs.len() as u32;
         // return the drained buffer so steady-state cycles don't allocate
         let mut buf = msgs;
         buf.clear();
         self.wheel[slot] = buf;
+        if let Some(t) = self.tracer.as_mut() {
+            if t.sampled(u64::from(cycle)) {
+                let c = u64::from(cycle);
+                t.phase_b(c, drained, delivered_now);
+                // Gauges are sampled here, after arrivals settle. The
+                // scans are O(links + wheel) and run only on sampling
+                // cycles, so the amortized per-cycle cost is bounded by
+                // links/interval.
+                let mut active = 0u64;
+                for w in self.link_of.windows(2) {
+                    let (lo, hi) = (w[0] as usize, w[1] as usize);
+                    if self.links.qlen[lo..hi].iter().any(|&q| q > 0) {
+                        active += 1;
+                    }
+                }
+                t.active_nodes(c, active);
+                t.pool_occupancy(c, u64::from(self.pool.live));
+                t.wheel_depth(c, self.wheel.iter().map(|s| s.len() as u64).sum());
+                let mut total = 0u64;
+                let mut deepest = 0u32;
+                for &q in &self.links.qlen {
+                    total += u64::from(q);
+                    deepest = deepest.max(q);
+                }
+                t.queue_depth(c, deepest, total);
+            }
+        }
     }
 
     /// Tagged packets still buffered (link FIFOs or the arrival wheel).
@@ -590,6 +640,7 @@ impl<R: Router> Simulator<R> {
                 stats: ShardStats::default(),
                 link_busy: Vec::new(),
                 queue_hw: Vec::new(),
+                tracer: None,
             });
             base += node_count;
         }
@@ -619,6 +670,23 @@ impl<R: Router> Simulator<R> {
     /// a `window` metrics snapshot every `window` cycles. A disabled
     /// `obs` makes this identical to [`Simulator::run`].
     pub fn run_instrumented(&mut self, cfg: &SimConfig, obs: &Obs, window: u32) -> SimResult {
+        self.run_traced(cfg, obs, window, None).0
+    }
+
+    /// [`Simulator::run_instrumented`] plus flight-recorder tracing.
+    /// When `trace` is set, every shard records sampled phase/gauge
+    /// events into a pre-allocated ring (see [`ipg_obs::trace`]) and the
+    /// drained [`Trace`] is returned alongside the result. Tracing
+    /// reads simulation state but never writes it: the [`SimResult`]
+    /// and all deterministic obs records are byte-identical with
+    /// tracing on, off, and across `IPG_THREADS`.
+    pub fn run_traced(
+        &mut self,
+        cfg: &SimConfig,
+        obs: &Obs,
+        window: u32,
+        trace: Option<&TraceConfig>,
+    ) -> (SimResult, Option<Trace>) {
         let run_span = obs.span("run");
         let c_injected = obs.counter("engine.injected_tagged");
         let c_injected_all = obs.counter("engine.injected_total");
@@ -653,7 +721,11 @@ impl<R: Router> Simulator<R> {
             },
         };
 
-        for sh in &mut self.shards {
+        // Link-busy accounting feeds both the end-of-run utilization
+        // histograms (obs) and the sampled link-utilization trace
+        // events, so it is kept when either consumer is active.
+        let track_links = track || trace.is_some();
+        for (si, sh) in self.shards.iter_mut().enumerate() {
             let nl = sh.links.len();
             for li in 0..nl {
                 sh.links.next_free[li] = 0;
@@ -669,9 +741,15 @@ impl<R: Router> Simulator<R> {
             sh.wheel.clear();
             sh.wheel.resize_with(wheel_len as usize, Vec::new);
             sh.stats = ShardStats::default();
-            sh.link_busy = vec![0u64; if track { nl } else { 0 }];
+            sh.link_busy = vec![0u64; if track_links { nl } else { 0 }];
             sh.queue_hw = vec![0u32; if track { nl } else { 0 }];
+            sh.tracer = trace.map(|tc| {
+                let mut t = ShardTracer::new(si as u16, tc);
+                t.init_links(nl);
+                t
+            });
         }
+        let mut engine_tracer = trace.map(|tc| ShardTracer::new(ENGINE_TRACK, tc));
 
         let shard_size = self.shard_size;
         let router = &self.router;
@@ -692,8 +770,10 @@ impl<R: Router> Simulator<R> {
             // Merge: route each departure to its destination shard's
             // arrival wheel. Shard order + in-shard (node, link) order
             // make slot contents worker-count invariant.
+            let mut moved = 0u32;
             for si in 0..self.shards.len() {
                 let outbox = std::mem::take(&mut self.shards[si].outbox);
+                moved += outbox.len() as u32;
                 for msg in &outbox {
                     let dst_shard = (msg.to / shard_size) as usize;
                     self.shards[dst_shard].wheel[msg.slot as usize].push(*msg);
@@ -701,6 +781,11 @@ impl<R: Router> Simulator<R> {
                 let mut buf = outbox;
                 buf.clear();
                 self.shards[si].outbox = buf;
+            }
+            if let Some(t) = engine_tracer.as_mut() {
+                if t.sampled(u64::from(cycle)) {
+                    t.merge(u64::from(cycle), moved);
+                }
             }
             // Phase B: arrivals scheduled for the *next* cycle boundary.
             let slot = ((cycle + 1) % wheel_len) as usize;
@@ -749,7 +834,19 @@ impl<R: Router> Simulator<R> {
         }
         drop(run_span);
 
-        SimResult {
+        let trace_out = match (trace, engine_tracer) {
+            (Some(tc), Some(eng)) => {
+                let tracers: Vec<ShardTracer> = self
+                    .shards
+                    .iter_mut()
+                    .filter_map(|sh| sh.tracer.take())
+                    .collect();
+                Some(Trace::collect(tc.interval.max(1), tracers, eng))
+            }
+            _ => None,
+        };
+
+        let result = SimResult {
             injected,
             delivered,
             unmeasured_delivered,
@@ -762,7 +859,8 @@ impl<R: Router> Simulator<R> {
             max_latency,
             throughput: delivered as f64 / (self.n as f64 * f64::from(cfg.measure_cycles)),
             cycles: total_cycles,
-        }
+        };
+        (result, trace_out)
     }
 }
 
@@ -1036,6 +1134,60 @@ mod tests {
             rt.avg_latency,
             rc.avg_latency
         );
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results_and_is_deterministic() {
+        let g = classic::torus2d(24); // multi-shard
+        let cfg = light_cfg();
+        let run = |trace: Option<&TraceConfig>| {
+            let mut sim = Simulator::new(&g, |_| 0, &cfg);
+            sim.run_traced(&cfg, &Obs::disabled(), 0, trace)
+        };
+        let (plain, none) = run(None);
+        assert!(none.is_none());
+        let tc = TraceConfig::with_interval(100);
+        let (traced, trace) = run(Some(&tc));
+        assert_eq!(plain, traced, "tracing must not change the simulation");
+        let trace = trace.unwrap();
+        assert!(trace.shards >= 4);
+        assert!(!trace.events.is_empty());
+        // same run again: the trace itself is deterministic
+        let (_, trace2) = run(Some(&tc));
+        assert_eq!(trace2.unwrap().to_jsonl(), trace.to_jsonl());
+        // sampled phase events appear only on interval cycles
+        for e in &trace.events {
+            assert_eq!(e.cycle % 100, 0, "cycle {} off the interval", e.cycle);
+        }
+        // a multi-shard light-load run shows work on every shard track
+        let sum = trace.summarize(5);
+        assert_eq!(sum.shard_work.len(), trace.shards as usize);
+        assert!(sum.launched > 0);
+        assert!(sum.merged > 0);
+        assert!(sum.queue_samples > 0);
+    }
+
+    #[test]
+    fn trace_pool_occupancy_tracks_live_slots() {
+        let g = classic::torus2d(6);
+        let cfg = light_cfg();
+        let mut sim = Simulator::new(&g, |_| 0, &cfg);
+        let tc = TraceConfig::with_interval(50);
+        let (r, trace) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
+        let trace = trace.unwrap();
+        // After the drain phase all tagged packets were delivered, so the
+        // final pool-occupancy samples go back to (near) zero.
+        let pool_events: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == ipg_obs::trace::EventKind::PoolOccupancy as u16)
+            .collect();
+        assert!(!pool_events.is_empty());
+        assert_eq!(r.injected, r.delivered);
+        let last = pool_events.last().unwrap();
+        assert_eq!(last.value, 0, "drained run should end with an empty pool");
+        // and at least one mid-run sample saw live packets
+        assert!(pool_events.iter().any(|e| e.value > 0));
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::rng::{node_stream, NodeRng};
 use crate::router::Router;
 use crate::table::RoutingTable;
 use ipg_core::graph::Csr;
-use ipg_obs::{Counter, Histogram, Obs};
+use ipg_obs::{Counter, Histogram, Obs, ShardTracer, Trace, TraceConfig, ENGINE_TRACK};
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -309,8 +309,27 @@ impl<R: Router> WormholeSim<R> {
         obs: &Obs,
         window: u32,
     ) -> WormholeOutcome {
+        self.run_traced(cfg, obs, window, None).0
+    }
+
+    /// [`WormholeSim::run_instrumented`] plus flight-recorder tracing:
+    /// per-sample `cycle` events (injection/delivery deltas, buffered
+    /// flits), hottest-link utilization, VC queue depths, and credit
+    /// stalls (buffer-full probe failures). The wormhole loop is
+    /// sequential, so the whole run records on one shard track; as in
+    /// the packet engine, tracing reads state but never writes it.
+    pub fn run_traced(
+        &self,
+        cfg: &WormholeConfig,
+        obs: &Obs,
+        window: u32,
+        trace: Option<&TraceConfig>,
+    ) -> (WormholeOutcome, Option<Trace>) {
         let span = obs.span("wormhole_run");
         let track = obs.enabled();
+        // Link-busy accounting feeds the end-of-run utilization
+        // histograms (obs) and sampled link-utilization events (trace).
+        let track_links = track || trace.is_some();
         let vc_count = self.link_from.len() * cfg.vcs;
         let mut run = Run {
             sim: self,
@@ -328,9 +347,21 @@ impl<R: Router> WormholeSim<R> {
             c_injected: obs.counter("wormhole.injected"),
             c_delivered: obs.counter("wormhole.delivered"),
             h_latency: obs.histogram("wormhole.latency_cycles"),
-            link_busy: vec![0u64; if track { self.link_from.len() } else { 0 }],
+            link_busy: vec![0u64; if track_links { self.link_from.len() } else { 0 }],
             vc_buffer_hw: vec![0u32; if track { vc_count } else { 0 }],
-            track,
+            stalls: vec![
+                0u64;
+                if trace.is_some() {
+                    self.link_from.len()
+                } else {
+                    0
+                }
+            ],
+            tracer: trace.map(|tc| {
+                let mut t = ShardTracer::new(0, tc);
+                t.init_links(self.link_from.len());
+                t
+            }),
         };
         let outcome = run.execute(obs, window);
         if track {
@@ -358,7 +389,15 @@ impl<R: Router> WormholeSim<R> {
             }
         }
         drop(span);
-        outcome
+        let trace_out = match (trace, run.tracer.take()) {
+            (Some(tc), Some(tracer)) => Some(Trace::collect(
+                tc.interval.max(1),
+                vec![tracer],
+                ShardTracer::new(ENGINE_TRACK, tc),
+            )),
+            _ => None,
+        };
+        (outcome, trace_out)
     }
 }
 
@@ -381,7 +420,11 @@ struct Run<'a, R: Router> {
     link_busy: Vec<u64>,
     /// per-(link, vc) buffer occupancy high-water marks.
     vc_buffer_hw: Vec<u32>,
-    track: bool,
+    /// per-link credit stalls: cycles an output probe found the
+    /// downstream VC buffer full (tracing only).
+    stalls: Vec<u64>,
+    /// flight recorder (single track: the wormhole loop is sequential).
+    tracer: Option<ShardTracer>,
 }
 
 impl<R: Router> Run<'_, R> {
@@ -460,6 +503,10 @@ impl<R: Router> Run<'_, R> {
             let out_vc = (self.rr[link as usize] + probe) % self.cfg.vcs;
             let sidx = self.sidx(link, out_vc);
             if self.bufs.len(sidx) >= self.cfg.buffer_flits {
+                // Credit stall: the downstream buffer has no free slot.
+                if !self.stalls.is_empty() {
+                    self.stalls[link as usize] += 1;
+                }
                 continue;
             }
             let moved = match self.bufs.owner[sidx] {
@@ -551,8 +598,10 @@ impl<R: Router> Run<'_, R> {
             self.bufs.owner[sidx] = NO_OWNER;
         }
         self.bufs.push_back(sidx, flit);
-        if self.track {
+        if !self.link_busy.is_empty() {
             self.link_busy[link as usize] += 1;
+        }
+        if !self.vc_buffer_hw.is_empty() {
             self.vc_buffer_hw[sidx] = self.vc_buffer_hw[sidx].max(self.bufs.len(sidx) as u32);
         }
         true
@@ -598,6 +647,16 @@ impl<R: Router> Run<'_, R> {
             }
 
             let buffered = self.bufs.total_buffered();
+            if let Some(t) = self.tracer.as_mut() {
+                if t.sampled(u64::from(cycle)) {
+                    let c = u64::from(cycle);
+                    t.wormhole_cycle(c, self.injected, self.delivered, buffered as u64);
+                    let deepest = self.bufs.len.iter().copied().max().unwrap_or(0);
+                    t.queue_depth(c, deepest, buffered as u64);
+                    t.link_util(c, &self.link_busy);
+                    t.credit_stalls(c, &self.stalls);
+                }
+            }
             if moved {
                 idle = 0;
             } else if buffered > 0 {
@@ -766,6 +825,37 @@ mod tests {
             long.stats().avg_latency,
             short.stats().avg_latency
         );
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_wormhole_and_records_credit_stalls() {
+        // Congested hop-indexed run: small buffers + long packets force
+        // buffer-full probe failures, i.e. credit stalls.
+        let g = classic::torus2d(4);
+        let sim = WormholeSim::new(&g);
+        let cfg = WormholeConfig {
+            vcs: 8,
+            buffer_flits: 1,
+            packet_flits: 8,
+            injection_rate: 0.05,
+            cycles: 2_000,
+            ..WormholeConfig::default()
+        };
+        let plain = sim.run(&cfg);
+        let tc = TraceConfig::with_interval(50);
+        let (traced, trace) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
+        assert_eq!(plain.stats().injected, traced.stats().injected);
+        assert_eq!(plain.stats().delivered, traced.stats().delivered);
+        assert_eq!(plain.stats().avg_latency, traced.stats().avg_latency);
+        let trace = trace.unwrap();
+        assert_eq!(trace.shards, 1);
+        let sum = trace.summarize(3);
+        assert!(sum.injected > 0, "cycle events carry injection deltas");
+        assert!(sum.credit_stalls > 0, "tiny buffers must stall credits");
+        assert!(!sum.hot_links.is_empty());
+        // deterministic across repeat runs
+        let (_, trace2) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
+        assert_eq!(trace2.unwrap().to_jsonl(), trace.to_jsonl());
     }
 
     #[test]

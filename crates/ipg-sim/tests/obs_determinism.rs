@@ -77,6 +77,39 @@ fn observability_does_not_change_results() {
 }
 
 #[test]
+fn tracing_does_not_change_results_or_deterministic_records() {
+    // The flight recorder must be invisible to both the simulation and
+    // the deterministic manifest families: results, the metric dump,
+    // and window records are byte-identical with tracing on and off.
+    use ipg_obs::TraceConfig;
+    let g = classic::hypercube(6);
+    let run = |trace: Option<&TraceConfig>| {
+        let (obs, mem) = Obs::in_memory();
+        let mut sim = ipg_sim::engine::Simulator::new_instrumented(&g, |_| 0, &cfg(7), &obs);
+        let (result, trace_out) = sim.run_traced(&cfg(7), &obs, 100, trace);
+        let metrics = obs.metrics_json();
+        obs.finish();
+        let deterministic: Vec<String> = mem
+            .contents()
+            .lines()
+            .filter(|l| {
+                l.starts_with("{\"record\":\"window\"") || l.starts_with("{\"record\":\"metrics\"")
+            })
+            .map(str::to_string)
+            .collect();
+        (result, metrics, deterministic.join("\n"), trace_out)
+    };
+    let tc = TraceConfig::with_interval(64);
+    let (r_off, m_off, d_off, t_off) = run(None);
+    let (r_on, m_on, d_on, t_on) = run(Some(&tc));
+    assert!(t_off.is_none());
+    assert_eq!(r_off, r_on, "tracing must not change results");
+    assert_eq!(m_off, m_on, "tracing must not change the metric dump");
+    assert_eq!(d_off, d_on, "tracing must not change window records");
+    assert!(!t_on.unwrap().events.is_empty());
+}
+
+#[test]
 fn accounting_invariant_holds() {
     // a ring saturates easily: 32 nodes at 0.5 inj/node/cycle with avg
     // distance 8 offer ~2 pkts/cycle/link against capacity 1, so the

@@ -40,7 +40,8 @@ for t in 1 2 4; do
     mkdir -p "$simdir/t$t"
     (cd "$simdir/t$t" && IPG_THREADS=$t "$OLDPWD/target/release/ipg" \
         simulate ring-cn:l=3,nucleus=Q2 0.03 \
-        --obs run.manifest.jsonl --obs-interval 500 > stdout.txt)
+        --obs run.manifest.jsonl --obs-interval 500 \
+        --trace run.trace.jsonl --trace-interval 128 > stdout.txt)
     grep -E '^\{"record":"(window|metrics)"' "$simdir/t$t/run.manifest.jsonl" \
         | sort > "$simdir/t$t/records.txt"
 done
@@ -49,7 +50,32 @@ for t in 2 4; do
         || { echo "check.sh: simulate stdout differs for IPG_THREADS=$t" >&2; exit 1; }
     cmp "$simdir/t1/records.txt" "$simdir/t$t/records.txt" \
         || { echo "check.sh: manifest records differ for IPG_THREADS=$t" >&2; exit 1; }
+    # The flight recorder records only virtual time and counts, so the
+    # whole trace file — not just a filtered family — must byte-compare.
+    cmp "$simdir/t1/run.trace.jsonl" "$simdir/t$t/run.trace.jsonl" \
+        || { echo "check.sh: trace file differs for IPG_THREADS=$t" >&2; exit 1; }
 done
-echo "   byte-identical for IPG_THREADS=1/2/4"
+echo "   byte-identical for IPG_THREADS=1/2/4 (stdout, manifest records, trace)"
+
+echo "== trace on/off determinism (manifest byte-compare) =="
+# Attaching the flight recorder must not perturb the simulation: the
+# deterministic manifest families and stdout (minus the trace: line)
+# match a traced run against an untraced one.
+for mode in off on; do
+    mkdir -p "$simdir/$mode"
+    tflags=""
+    [ "$mode" = on ] && tflags="--trace run.trace.jsonl"
+    (cd "$simdir/$mode" && IPG_THREADS=2 "$OLDPWD/target/release/ipg" \
+        simulate ring-cn:l=3,nucleus=Q2 0.03 \
+        --obs run.manifest.jsonl --obs-interval 500 $tflags \
+        | grep -v '^trace:' > stdout.txt)
+    grep -E '^\{"record":"(window|metrics)"' "$simdir/$mode/run.manifest.jsonl" \
+        | sort > "$simdir/$mode/records.txt"
+done
+cmp "$simdir/off/stdout.txt" "$simdir/on/stdout.txt" \
+    || { echo "check.sh: --trace changed simulate stdout" >&2; exit 1; }
+cmp "$simdir/off/records.txt" "$simdir/on/records.txt" \
+    || { echo "check.sh: --trace changed manifest records" >&2; exit 1; }
+echo "   tracing is invisible to the deterministic families"
 
 echo "all checks passed"

@@ -7,8 +7,10 @@
 //! it: 2-space pretty indentation, floats always printed with a decimal
 //! point or exponent (shortest round-trip form), `u64`-precision integers.
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
 use std::fmt;
+
+pub use serde::Value;
 
 /// Serialization/deserialization error.
 #[derive(Clone, Debug)]
