@@ -9,6 +9,7 @@
 //! | DET003   | error    | no wall-clock reads outside `ipg-obs` / `vendor/rayon`           |
 //! | DET004   | error    | no RNG construction in `ipg-sim` cycle loops (use `rng::node_stream`) |
 //! | DET005   | error    | no raw trace-event plumbing in `ipg-sim` cycle loops (use `ShardTracer`) |
+//! | DET006   | error    | no raw fault-event plumbing in `ipg-sim` cycle loops (consume `FaultPlan`) |
 //! | PANIC001 | warning  | no `unwrap`/`expect`/`panic!` in library code of the core crates |
 //! | HYG001   | error    | every suppression carries a `reason="…"`                         |
 //!
@@ -132,6 +133,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Det003),
         Box::new(Det004),
         Box::new(Det005),
+        Box::new(Det006),
         Box::new(Panic001),
         Box::new(Hyg001),
     ]
@@ -597,6 +599,53 @@ impl Rule for Det005 {
 }
 
 // ---------------------------------------------------------------------------
+// DET006 — raw fault-event plumbing in the simulator shard loops
+// ---------------------------------------------------------------------------
+
+struct Det006;
+
+/// Types internal to `ipg-sim::fault`'s declarative spec layer. The
+/// engine/wormhole cycle loops must consume the *compiled* `FaultPlan`
+/// API instead (`apply_due`, `shard_events`, `ShardFaults::next_due`): a
+/// loop that matches raw `FaultEvent`s or expands `RandomFaults` itself
+/// can draw RNG mid-cycle or apply kills in shard- or thread-dependent
+/// order, breaking `IPG_THREADS` byte-identity.
+const FAULT_RAW_IDENTS: &[&str] = &["FaultEvent", "FaultKind", "RandomFaults"];
+
+impl Rule for Det006 {
+    fn id(&self) -> &'static str {
+        "DET006"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn describe(&self) -> &'static str {
+        "no raw FaultEvent/FaultKind/RandomFaults plumbing in ipg-sim shard loops (consume the compiled FaultPlan)"
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if ctx.crate_name != "ipg-sim" || !SHARDED_MODULES.contains(&ctx.file_name()) {
+            return;
+        }
+        for t in &ctx.lexed.tokens {
+            let TokKind::Ident(s) = &t.kind else { continue };
+            if FAULT_RAW_IDENTS.contains(&s.as_str()) && !ctx.in_test(t.line) {
+                self.emit(
+                    ctx,
+                    t.line,
+                    format!(
+                        "raw fault-model type `{s}` in a sharded simulator module; fault \
+                         decisions must flow through the compiled `FaultPlan` API \
+                         (`apply_due` / `shard_events`) so kills land in plan order \
+                         and no RNG is drawn mid-cycle"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // PANIC001 — panics in library code of the core crates
 // ---------------------------------------------------------------------------
 
@@ -854,6 +903,34 @@ mod tests {
             test_only,
             "ipg-sim",
             "crates/ipg-sim/src/engine.rs",
+            FileKind::Lib
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn det006_scopes_to_sharded_sim_modules() {
+        let src = "use crate::fault::{FaultEvent, FaultKind};\nfn f(ev: &FaultEvent) -> bool { matches!(ev.kind, FaultKind::Node(_)) }\n";
+        let hot = run_on(
+            src,
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            FileKind::Lib,
+        );
+        assert!(hot.len() >= 2, "{hot:?}");
+        assert!(hot.iter().all(|f| f.rule == "DET006"));
+        // fault.rs itself is the sanctioned home of the spec layer
+        let home = run_on(src, "ipg-sim", "crates/ipg-sim/src/fault.rs", FileKind::Lib);
+        assert!(home.is_empty(), "{home:?}");
+        // the compiled-plan API does not trip the rule
+        let ok = "use crate::fault::{FaultPlan, LocalFault, ShardFaults};\nfn f(p: &FaultPlan) -> usize { p.events().len() }\n";
+        assert!(run_on(ok, "ipg-sim", "crates/ipg-sim/src/engine.rs", FileKind::Lib).is_empty());
+        // test code inside the module is exempt
+        let test_only = "#[cfg(test)]\nmod tests {\n use crate::fault::RandomFaults;\n}\n";
+        assert!(run_on(
+            test_only,
+            "ipg-sim",
+            "crates/ipg-sim/src/wormhole.rs",
             FileKind::Lib
         )
         .is_empty());

@@ -1,0 +1,23 @@
+//! DET006 fixture: raw fault-event plumbing inside a sharded cycle loop.
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, ShardFaults};
+
+pub fn kill_by_hand(events: &[FaultEvent], cycle: u32) -> usize {
+    events
+        .iter()
+        .filter(|ev| ev.cycle <= cycle && matches!(ev.kind, FaultKind::Node(_)))
+        .count()
+}
+
+pub fn suppressed_probe(cycle: u32) -> u32 {
+    // ipg-analyze: allow(DET006) reason="fixture: demonstrating a justified one-off inspection"
+    let ev = FaultEvent::scripted_node(cycle, 0);
+    ev.cycle
+}
+
+pub fn sanctioned(plan: &FaultPlan, faults: &mut ShardFaults, cycle: u32) -> usize {
+    let mut applied = plan.events().len();
+    while faults.next_due(cycle).is_some() {
+        applied += 1;
+    }
+    applied
+}

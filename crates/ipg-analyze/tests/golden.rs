@@ -15,6 +15,7 @@ const FIXTURES: &[&str] = &[
     "det003",
     "det004",
     "det005",
+    "det006",
     "panic001",
     "hyg001",
     "clean",
@@ -56,6 +57,7 @@ fn fixture_gate_verdicts() {
         ("det003", false),
         ("det004", false),
         ("det005", false),
+        ("det006", false),
         ("panic001", false),
         ("hyg001", false),
         ("clean", true),

@@ -1,0 +1,381 @@
+//! Fault-injection sweep (extension; the paper's §1 motivates Cayley
+//! networks partly by their "fault tolerance properties").
+//!
+//! Three parts:
+//!
+//! 1. **Exact connectivity** of small instances: vertex connectivity κ and
+//!    edge connectivity λ, against the maximal-fault-tolerance yardstick
+//!    κ = δ (minimum degree).
+//! 2. **Dynamic fault sweep** at 4096 nodes: a rate-drawn link-kill
+//!    campaign lands at cycle 0 and the packet engine runs the same
+//!    workload twice — once with the fault-oblivious shortest-path router
+//!    (packets strand on or are refused at dead links) and once with the
+//!    fault-aware `DetourRouter` (greedy hop checked against the fault
+//!    view, faulted-BFS detour otherwise). Emits delivered-fraction and
+//!    latency-degradation curves to `results/BENCH_faults.json`; the
+//!    adaptive router must strictly dominate the oblivious one at every
+//!    nonzero fault rate.
+//! 3. **Empirical connectivity threshold**: raise the link fault rate on
+//!    the static graph until the largest alive component falls below half
+//!    the nodes — the percolation-style budget an adaptive router has to
+//!    work within.
+
+use ipg_bench::{f2, print_table, report};
+use ipg_core::connectivity::{edge_connectivity, vertex_connectivity};
+use ipg_core::fault::{largest_alive_component, FaultView};
+use ipg_core::graph::Csr;
+use ipg_core::tuple_routing::ShortestTupleRouter;
+use ipg_networks::{classic, hier};
+use ipg_sim::engine::{SimConfig, SimResult, Simulator};
+use ipg_sim::fault::{FaultPlan, FaultSpec};
+use ipg_sim::router::{DetourRouter, Router};
+use ipg_sim::table::RoutingTable;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ConnRow {
+    network: String,
+    nodes: usize,
+    min_degree: usize,
+    kappa: u32,
+    lambda: u32,
+    maximally_fault_tolerant: bool,
+}
+
+#[derive(Serialize)]
+struct SweepRow {
+    network: String,
+    router: &'static str,
+    link_fault_rate: f64,
+    injected: u64,
+    delivered: u64,
+    dropped_unreachable: u64,
+    in_flight_at_end: u64,
+    delivered_fraction: f64,
+    avg_latency: f64,
+    /// Mean latency relative to the same arm's fault-free run.
+    latency_degradation: f64,
+}
+
+#[derive(Serialize)]
+struct ThresholdRow {
+    network: String,
+    /// First grid rate at which the largest alive component holds < 50%
+    /// of the nodes (1.0 = never reached within the grid).
+    threshold_link_rate: f64,
+    grid_step: f64,
+}
+
+#[derive(Serialize)]
+struct FaultReport {
+    sweep: Vec<SweepRow>,
+    thresholds: Vec<ThresholdRow>,
+}
+
+const LINK_RATES: &[f64] = &[0.0, 0.02, 0.05, 0.10, 0.15];
+const FAULT_SEED: u64 = 7;
+
+/// A 4096-node sweep subject: the graph plus a factory for its
+/// fault-oblivious router (built fresh per arm — the detour wrapper takes
+/// ownership of the inner router).
+struct Subject {
+    name: String,
+    graph: Csr,
+    make_router: Box<dyn Fn() -> Box<dyn Router>>,
+}
+
+fn subjects() -> Vec<Subject> {
+    let hc = classic::hypercube(12);
+    let hc_table = hc.clone();
+    let mut out = vec![Subject {
+        name: "hypercube Q12".into(),
+        graph: hc,
+        make_router: Box::new(move || Box::new(RoutingTable::new(&hc_table))),
+    }];
+    for tn in [
+        hier::ring_cn(3, classic::hypercube(4), "Q4"),
+        hier::hsn(3, classic::hypercube(4), "Q4"),
+    ] {
+        let graph = tn.build();
+        out.push(Subject {
+            name: tn.name.clone(),
+            graph,
+            make_router: Box::new(move || {
+                Box::new(
+                    ShortestTupleRouter::new(tn.clone())
+                        .expect("l=3 is within the codec router bound"),
+                )
+            }),
+        });
+    }
+    out
+}
+
+fn sweep_cfg() -> SimConfig {
+    SimConfig {
+        injection_rate: 0.02,
+        warmup_cycles: 300,
+        measure_cycles: 1_200,
+        drain_cycles: 2_000,
+        seed: FAULT_SEED,
+        ..SimConfig::default()
+    }
+}
+
+/// One engine run: `rate` of the links die at cycle 0 (expanded
+/// deterministically from per-edge streams), routed adaptively or not.
+fn run_arm(subject: &Subject, adaptive: bool, rate: f64, cfg: &SimConfig) -> SimResult {
+    let base = (subject.make_router)();
+    let router: Box<dyn Router> = if adaptive {
+        Box::new(DetourRouter::new(base, subject.graph.clone()).expect("symmetric graph"))
+    } else {
+        base
+    };
+    let mut sim = Simulator::with_router(router, &subject.graph, |_| 0, cfg);
+    if rate > 0.0 {
+        let spec = FaultSpec::parse(&format!("rate:links={rate},at=0")).expect("fault spec");
+        let plan = FaultPlan::compile(&spec, &subject.graph, cfg.seed).expect("fault plan");
+        sim.set_fault_plan(Some(plan));
+    }
+    sim.run(cfg)
+}
+
+/// Empirical connectivity threshold: smallest grid rate whose surviving
+/// largest component holds less than half the nodes.
+fn threshold_estimate(name: &str, g: &Csr) -> ThresholdRow {
+    let step = 0.02;
+    let n = g.node_count();
+    let mut threshold = 1.0;
+    for k in 1..50 {
+        let rate = k as f64 * step;
+        let spec = FaultSpec::parse(&format!("rate:links={rate},at=0")).expect("fault spec");
+        let plan = FaultPlan::compile(&spec, g, FAULT_SEED).expect("fault plan");
+        let mut view = FaultView::new(n);
+        let mut cursor = 0usize;
+        plan.apply_due(&mut cursor, u32::MAX, &mut view);
+        if (largest_alive_component(g, &view) as f64) < 0.5 * n as f64 {
+            threshold = rate;
+            break;
+        }
+    }
+    ThresholdRow {
+        network: name.into(),
+        threshold_link_rate: (threshold * 100.0).round() / 100.0,
+        grid_step: step,
+    }
+}
+
+fn main() {
+    let rep = report::start(
+        "fault_tolerance",
+        &[
+            ("sweep_nodes", 4096u64.into()),
+            ("link_fault_rates", "0.00,0.02,0.05,0.10,0.15".into()),
+            ("fault_seed", FAULT_SEED.into()),
+        ],
+    );
+    // Part 1: exact connectivities
+    let conn_span = rep.obs().span("connectivity");
+    let mut conn_rows = Vec::new();
+    let cases: Vec<(String, Csr)> = vec![
+        ("Q4".into(), classic::hypercube(4)),
+        ("Q6".into(), classic::hypercube(6)),
+        ("star-5".into(), classic::star(5)),
+        ("Petersen".into(), classic::petersen()),
+        ("CCC(3)".into(), classic::ccc(3)),
+        ("HSN(2,Q2)".into(), hier::hcn(2, false)),
+        ("HSN(2,Q3)".into(), hier::hcn(3, false)),
+        (
+            "ring-CN(3,Q2)".into(),
+            hier::ring_cn(3, classic::hypercube(2), "Q2").build(),
+        ),
+        (
+            "CN(3,Q2)".into(),
+            hier::complete_cn(3, classic::hypercube(2), "Q2").build(),
+        ),
+        ("CPN(2)".into(), hier::cyclic_petersen(2).build()),
+    ];
+    for (name, g) in &cases {
+        let _case_span = rep.obs().span(name);
+        let kappa = vertex_connectivity(g);
+        let lambda = edge_connectivity(g);
+        conn_rows.push(ConnRow {
+            network: name.clone(),
+            nodes: g.node_count(),
+            min_degree: g.min_degree(),
+            kappa,
+            lambda,
+            maximally_fault_tolerant: kappa as usize == g.min_degree(),
+        });
+    }
+    println!("== connectivity (κ = vertex, λ = edge; max fault tolerance ⇔ κ = δ) ==");
+    print_table(
+        &["network", "N", "δ", "κ", "λ", "κ=δ"],
+        &conn_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    r.nodes.to_string(),
+                    r.min_degree.to_string(),
+                    r.kappa.to_string(),
+                    r.lambda.to_string(),
+                    if r.maximally_fault_tolerant {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                    .into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // sanity: Menger consistency and the classic values
+    assert!(conn_rows.iter().all(|r| r.kappa <= r.lambda));
+    assert!(conn_rows.iter().all(|r| r.lambda as usize <= r.min_degree));
+    assert_eq!(
+        conn_rows.iter().find(|r| r.network == "Q6").unwrap().kappa,
+        6
+    );
+
+    drop(conn_span);
+
+    // Part 2: dynamic fault sweep, adaptive vs oblivious routing
+    let sweep_span = rep.obs().span("fault_sweep");
+    let cfg = sweep_cfg();
+    let subjects = subjects();
+    let mut sweep_rows: Vec<SweepRow> = Vec::new();
+    for subject in &subjects {
+        let _net_span = rep.obs().span(&subject.name);
+        for &adaptive in &[false, true] {
+            let arm = if adaptive { "adaptive" } else { "oblivious" };
+            let mut base_latency = 0.0f64;
+            for &rate in LINK_RATES {
+                rep.obs().counter("bench.fault_runs").incr();
+                let r = run_arm(subject, adaptive, rate, &cfg);
+                if rate == 0.0 {
+                    base_latency = r.avg_latency;
+                }
+                sweep_rows.push(SweepRow {
+                    network: subject.name.clone(),
+                    router: arm,
+                    link_fault_rate: rate,
+                    injected: r.injected,
+                    delivered: r.delivered,
+                    dropped_unreachable: r.dropped_unreachable,
+                    in_flight_at_end: r.in_flight_at_end,
+                    delivered_fraction: r.delivered as f64 / r.injected.max(1) as f64,
+                    avg_latency: r.avg_latency,
+                    latency_degradation: if base_latency > 0.0 {
+                        r.avg_latency / base_latency
+                    } else {
+                        1.0
+                    },
+                });
+            }
+        }
+    }
+    println!();
+    println!("== link-kill sweep, 4096-node networks (rate drawn at cycle 0) ==");
+    print_table(
+        &[
+            "network",
+            "router",
+            "rate",
+            "injected",
+            "delivered",
+            "frac",
+            "dropped",
+            "stuck",
+            "lat x",
+        ],
+        &sweep_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    r.router.into(),
+                    format!("{:.0}%", r.link_fault_rate * 100.0),
+                    r.injected.to_string(),
+                    r.delivered.to_string(),
+                    f2(r.delivered_fraction),
+                    r.dropped_unreachable.to_string(),
+                    r.in_flight_at_end.to_string(),
+                    f2(r.latency_degradation),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // claims: (a) with zero faults the detour wrapper degenerates to the
+    // inner router exactly; (b) at every nonzero rate the adaptive router
+    // strictly dominates the oblivious one on delivered fraction.
+    for subject in &subjects {
+        let find = |arm: &str, rate: f64| {
+            sweep_rows
+                .iter()
+                .find(|r| r.network == subject.name && r.router == arm && r.link_fault_rate == rate)
+                .unwrap()
+        };
+        assert_eq!(
+            find("adaptive", 0.0).delivered,
+            find("oblivious", 0.0).delivered,
+            "{}: zero-fault detour run must match the oblivious run",
+            subject.name
+        );
+        for &rate in LINK_RATES.iter().filter(|&&r| r > 0.0) {
+            let (a, o) = (find("adaptive", rate), find("oblivious", rate));
+            assert!(
+                a.delivered_fraction > o.delivered_fraction,
+                "{} @ {}: adaptive {} must strictly beat oblivious {}",
+                subject.name,
+                rate,
+                a.delivered_fraction,
+                o.delivered_fraction
+            );
+        }
+    }
+
+    drop(sweep_span);
+
+    // Part 3: empirical connectivity threshold on the static graph
+    let thr_span = rep.obs().span("connectivity_threshold");
+    let threshold_rows: Vec<ThresholdRow> = subjects
+        .iter()
+        .map(|s| threshold_estimate(&s.name, &s.graph))
+        .collect();
+    println!();
+    println!("== empirical connectivity threshold (largest alive component < 50%) ==");
+    print_table(
+        &["network", "link-kill rate", "grid"],
+        &threshold_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.network.clone(),
+                    format!("{:.0}%", r.threshold_link_rate * 100.0),
+                    format!("±{:.0}%", r.grid_step * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // every subject must hold together far beyond the simulated 15%
+    for r in &threshold_rows {
+        assert!(
+            r.threshold_link_rate > 0.3,
+            "{}: threshold {} implausibly low",
+            r.network,
+            r.threshold_link_rate
+        );
+    }
+
+    drop(thr_span);
+    rep.json("fault_tolerance_conn", &conn_rows);
+    rep.json(
+        "BENCH_faults",
+        &FaultReport {
+            sweep: sweep_rows,
+            thresholds: threshold_rows,
+        },
+    );
+    rep.finish();
+}

@@ -17,7 +17,8 @@ use ipg_core::algo;
 use ipg_core::tuple_routing::{ShortestTupleRouter, SHORTEST_ROUTER_MAX_L};
 use ipg_obs::{MetaVal, Obs, Trace, TraceConfig};
 use ipg_sim::engine::{SimConfig, Simulator};
-use ipg_sim::router::Router;
+use ipg_sim::fault::{FaultPlan, FaultSpec};
+use ipg_sim::router::{DetourRouter, Router};
 use ipg_sim::table::RoutingTable;
 use ipg_sim::wormhole::{VcPolicy, WormholeConfig, WormholeOutcome, WormholeSim};
 use spec::{parse, ParsedNetwork};
@@ -74,6 +75,11 @@ fn print_help() {
     println!("      --wormhole                 flit-level wormhole switching instead");
     println!("      --vcs <n> --flits <n>      wormhole VC count / packet length");
     println!("      --policy single|hop        wormhole VC allocation policy");
+    println!("      --faults <spec>            deterministic fault campaign; routing");
+    println!("                                 becomes fault-aware (detour). Spec, e.g.:");
+    println!(
+        "                                 script:link@600:0-1+node@800:5;rate:links=0.05,at=1000"
+    );
     println!("      --trace <path>             write a flight-recorder trace (JSON lines)");
     println!("      --trace-interval <cycles>  trace sampling interval (default 64)");
     println!("  trace summary <t.jsonl>        summarize a trace (--top <n> hottest links)");
@@ -289,6 +295,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut vcs: usize = 2;
     let mut flits: u32 = 4;
     let mut policy = VcPolicy::HopIndexed;
+    let mut faults_arg: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -333,6 +340,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("bad --policy `{other}` (single|hop)")),
                 };
             }
+            "--faults" => {
+                faults_arg = Some(
+                    it.next()
+                        .ok_or("--faults needs a spec (see `ipg help`)")?
+                        .clone(),
+                );
+            }
             _ => positional.push(a),
         }
     }
@@ -360,10 +374,23 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .tuple
         .as_ref()
         .is_some_and(|tn| tn.l <= SHORTEST_ROUTER_MAX_L);
-    let router_kind = if codec_eligible {
-        "codec (table-free)"
-    } else {
-        "all-pairs table"
+    // A fault campaign compiles against the topology and the run seed
+    // (the seed only matters for `rate:` sections) and upgrades the
+    // router to the fault-aware detour wrapper.
+    let fault_plan = match &faults_arg {
+        Some(s) => {
+            let spec = FaultSpec::parse(s).map_err(|e| format!("bad --faults: {e}"))?;
+            let plan = FaultPlan::compile(&spec, &net.graph, cfg.seed)
+                .map_err(|e| format!("bad --faults: {e}"))?;
+            Some(plan)
+        }
+        None => None,
+    };
+    let router_kind = match (codec_eligible, fault_plan.is_some()) {
+        (true, false) => "codec (table-free)",
+        (true, true) => "detour-codec (fault-aware)",
+        (false, false) => "all-pairs table",
+        (false, true) => "detour-table (fault-aware)",
     };
     if !codec_eligible && net.graph.node_count() > 65_536 {
         return Err(format!(
@@ -389,6 +416,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 MetaVal::from(if wormhole { "wormhole" } else { "packet" }),
             ),
             ("router", MetaVal::from(router_kind)),
+            (
+                "faults",
+                MetaVal::from(faults_arg.as_deref().unwrap_or("none")),
+            ),
             ("injection_rate", MetaVal::from(rate)),
             ("warmup_cycles", MetaVal::from(cfg.warmup_cycles as u64)),
             ("measure_cycles", MetaVal::from(cfg.measure_cycles as u64)),
@@ -400,7 +431,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             ),
         ],
     );
-    let router: Box<dyn Router> = if codec_eligible {
+    let base_router: Box<dyn Router> = if codec_eligible {
         let tn = net
             .tuple
             .clone()
@@ -408,6 +439,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         Box::new(ShortestTupleRouter::new(tn).map_err(|e| e.to_string())?)
     } else {
         Box::new(RoutingTable::new_instrumented(&net.graph, &obs))
+    };
+    let router: Box<dyn Router> = if fault_plan.is_some() {
+        Box::new(DetourRouter::new(base_router, net.graph.clone()).map_err(|e| e.to_string())?)
+    } else {
+        base_router
     };
     println!("network:    {}", net.name);
     println!("router:     {router_kind}");
@@ -420,7 +456,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             policy,
             ..WormholeConfig::default()
         };
-        let sim = WormholeSim::with_router(router, &net.graph);
+        let mut sim = WormholeSim::with_router(router, &net.graph);
+        sim.set_fault_plan(fault_plan);
         let (out, trace) = sim.run_traced(&wcfg, &obs, obs_interval, trace_cfg.as_ref());
         obs.finish();
         println!("mode:       wormhole ({vcs} VCs, {flits}-flit packets)");
@@ -432,6 +469,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                     s.delivered,
                     100.0 * s.delivered as f64 / s.injected.max(1) as f64
                 );
+                if faults_arg.is_some() {
+                    println!("dropped:    {} (unreachable)", s.dropped);
+                }
                 println!("latency:    avg {:.2}", s.avg_latency);
             }
             WormholeOutcome::Deadlocked {
@@ -444,6 +484,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         write_trace(trace, trace_path.as_deref())?;
     } else {
         let mut sim = Simulator::with_router(router, &net.graph, |v| module[v as usize], &cfg);
+        sim.set_fault_plan(fault_plan);
         let (r, trace) = sim.run_traced(&cfg, &obs, obs_interval, trace_cfg.as_ref());
         obs.finish();
         println!("injected:   {}", r.injected);
@@ -452,6 +493,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             r.delivered,
             100.0 * r.delivered as f64 / r.injected.max(1) as f64
         );
+        if faults_arg.is_some() {
+            println!("dropped:    {} (unreachable)", r.dropped_unreachable);
+        }
         println!(
             "in flight:  {} at end; {} drained unmeasured",
             r.in_flight_at_end, r.unmeasured_delivered

@@ -142,11 +142,17 @@ fn simulate_trace_file_is_thread_count_independent() {
     // The flight recorder only records computation-derived values (cycle
     // numbers, counts), never wall-clock time, so the trace file itself —
     // not just the manifest — must be byte-identical across worker counts.
-    let dir = std::env::temp_dir().join(format!("ipg-determinism-trace-{}", std::process::id()));
-    let args = [
-        "simulate",
-        "ring-cn:l=3,nucleus=Q2",
-        "0.03",
+    assert_simulate_traced_deterministic("trace", &["ring-cn:l=3,nucleus=Q2", "0.03"]);
+}
+
+/// Like [`assert_simulate_deterministic`] but with the flight recorder on:
+/// stdout, the trace file, and the deterministic manifest records must all
+/// be byte-identical across worker counts.
+fn assert_simulate_traced_deterministic(tag: &str, extra: &[&str]) {
+    let dir = std::env::temp_dir().join(format!("ipg-determinism-{tag}-{}", std::process::id()));
+    let mut args = vec!["simulate"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&[
         "--obs",
         "run.manifest.jsonl",
         "--obs-interval",
@@ -155,7 +161,7 @@ fn simulate_trace_file_is_thread_count_independent() {
         "run.trace.jsonl",
         "--trace-interval",
         "128",
-    ];
+    ]);
     let mut baseline: Option<(Vec<u8>, Vec<u8>, Vec<String>)> = None;
     for threads in ["1", "2", "4"] {
         let d = dir.join(format!("t{threads}"));
@@ -169,20 +175,51 @@ fn simulate_trace_file_is_thread_count_independent() {
             Some((out1, trace1, records1)) => {
                 assert_eq!(
                     out1, &out,
-                    "stdout differs between IPG_THREADS=1 and IPG_THREADS={threads}"
+                    "simulate {extra:?}: stdout differs between IPG_THREADS=1 and IPG_THREADS={threads}"
                 );
                 assert_eq!(
                     trace1, &trace,
-                    "trace file differs between IPG_THREADS=1 and IPG_THREADS={threads}"
+                    "simulate {extra:?}: trace file differs between IPG_THREADS=1 and IPG_THREADS={threads}"
                 );
                 assert_eq!(
                     records1, &records,
-                    "manifest records differ between IPG_THREADS=1 and IPG_THREADS={threads}"
+                    "simulate {extra:?}: manifest records differ between IPG_THREADS=1 and IPG_THREADS={threads}"
                 );
             }
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_scripted_faults_are_thread_count_independent() {
+    // Scripted kills on a 512-node, four-shard network: stdout, the trace
+    // file, and the manifest's deterministic records must not depend on
+    // the worker count even while links and nodes die mid-run.
+    assert_simulate_traced_deterministic(
+        "faults-script",
+        &[
+            "ring-cn:l=3,nucleus=Q2",
+            "0.03",
+            "--faults",
+            "script:link@600:0-1+link@900:10-11+node@1200:5",
+        ],
+    );
+}
+
+#[test]
+fn simulate_rate_faults_are_thread_count_independent() {
+    // Rate-drawn kills expand at compile time from per-node/per-edge RNG
+    // streams, so the same byte-identity must hold for the random mode.
+    assert_simulate_traced_deterministic(
+        "faults-rate",
+        &[
+            "ring-cn:l=3,nucleus=Q2",
+            "0.03",
+            "--faults",
+            "rate:links=0.05,nodes=0.01,at=800",
+        ],
+    );
 }
 
 #[test]

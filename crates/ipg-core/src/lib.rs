@@ -21,6 +21,8 @@
 //! - [`graph`] — compact CSR graphs shared by every crate in the workspace.
 //! - [`algo`] — BFS, diameters, average distances, 0/1-weighted BFS,
 //!   connectivity; all-pairs sweeps are parallelized with rayon.
+//! - [`fault`] — compact dead-node/dead-link views over CSR graphs and
+//!   the faulted-graph BFS oracle backing fault-aware routing.
 //! - [`superip`] — super-IP graphs: nucleus + super-generators, the
 //!   equivalent *tuple network* construction, and symmetric variants.
 //! - [`codec`] — arithmetic node addressing for super-IP graphs: label ↔
@@ -56,6 +58,7 @@ pub mod codec;
 pub mod connectivity;
 pub mod embed;
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod label;
 pub mod perm;
@@ -71,6 +74,7 @@ pub mod util;
 pub use builder::IpGraph;
 pub use codec::{NodeCodec, PackedLabel};
 pub use error::{IpgError, Result};
+pub use fault::FaultView;
 pub use graph::Csr;
 pub use label::Label;
 pub use perm::Perm;
@@ -83,6 +87,7 @@ pub mod prelude {
     pub use crate::builder::IpGraph;
     pub use crate::codec::{NodeCodec, PackedLabel};
     pub use crate::error::{IpgError, Result};
+    pub use crate::fault::FaultView;
     pub use crate::graph::Csr;
     pub use crate::label::Label;
     pub use crate::perm::Perm;

@@ -23,9 +23,15 @@
 //! - [`emulate`] — hypercube algorithms (bitonic sort, parallel prefix)
 //!   executed through embeddings with per-dimension dilation/congestion
 //!   step costs.
+//!
+//! Both cycle-level engines accept a compiled [`fault`] plan — scripted
+//! or rate-drawn link/node kills applied deterministically mid-run — and
+//! route around it (or into it, for the non-adaptive baseline) through
+//! [`router::DetourRouter`] / [`Router::next_hop_faulted`].
 
 pub mod emulate;
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod router;
 pub mod table;
@@ -33,6 +39,7 @@ pub mod wormhole;
 
 pub use emulate::HostEmulator;
 pub use engine::{SimConfig, SimResult, Simulator, Switching, Traffic};
-pub use router::Router;
+pub use fault::{FaultPlan, FaultSpec};
+pub use router::{DetourRouter, DetourTupleRouter, Router};
 pub use table::RoutingTable;
 pub use wormhole::{WormholeConfig, WormholeOutcome, WormholeSim};

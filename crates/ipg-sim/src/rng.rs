@@ -48,6 +48,24 @@ pub fn node_stream(seed: u64, node: u32) -> NodeRng {
     NodeRng(SmallRng::seed_from_u64(seed ^ z))
 }
 
+/// Derive the stream for the undirected link `{u, v}` from the run seed.
+///
+/// Symmetric in its endpoints (the pair is canonicalized to `min, max`
+/// before mixing) so both directions of a link share one stream, and built
+/// from the same SplitMix64 finalizer as [`node_stream`] — the pair is
+/// packed into one 64-bit word, so two distinct links never alias. The
+/// rate-based fault mode draws per-link kill decisions from here; drawing
+/// them from a node's stream would perturb that node's injection sequence
+/// and break byte-identity against the no-fault run.
+pub fn edge_stream(seed: u64, u: u32, v: u32) -> NodeRng {
+    let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+    let mut z = ((u64::from(hi) << 32) | u64::from(lo)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    NodeRng(SmallRng::seed_from_u64(seed ^ !z))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +102,29 @@ mod tests {
             })
             .collect();
         assert_ne!(a1, c, "different run seeds must change every stream");
+    }
+
+    #[test]
+    fn edge_streams_are_symmetric_and_distinct() {
+        let draws = |mut r: NodeRng| -> Vec<u64> { (0..8).map(|_| r.gen::<u64>()).collect() };
+        let uv = draws(edge_stream(7, 3, 9));
+        let vu = draws(edge_stream(7, 9, 3));
+        assert_eq!(uv, vu, "both directions of a link must share one stream");
+        assert_ne!(
+            uv,
+            draws(edge_stream(7, 3, 10)),
+            "different links must get unrelated streams"
+        );
+        assert_ne!(
+            uv,
+            draws(edge_stream(8, 3, 9)),
+            "different run seeds must change every stream"
+        );
+        assert_ne!(
+            draws(edge_stream(7, 0, 9)),
+            draws(node_stream(7, 9)),
+            "edge and node domains must not alias"
+        );
     }
 
     #[test]

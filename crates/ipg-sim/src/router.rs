@@ -18,9 +18,27 @@
 //! path they pick (the table hash-spreads ties, the codec router uses a
 //! fixed neighbor order), so swapping routers changes per-link load
 //! patterns but never path lengths.
+//!
+//! # Fault awareness
+//!
+//! Under a fault campaign the engines route through
+//! [`Router::next_hop_faulted`], which also sees the current
+//! [`FaultView`]. The default implementation ignores the view — a
+//! fault-*oblivious* router keeps steering packets into dead equipment,
+//! which is exactly the non-adaptive baseline the fault sweeps compare
+//! against. [`DetourRouter`] is the fault-*aware* implementation: it
+//! keeps the inner router's greedy hop whenever that hop is alive and
+//! still on a faulted shortest path, and otherwise sidesteps through an
+//! alternate neighbor chosen against a cached BFS distance field on the
+//! faulted graph.
 
+use ipg_core::algo::UNREACHABLE;
+use ipg_core::fault::{bfs_faulted, FaultView};
+use ipg_core::graph::Csr;
 use ipg_core::tuple_routing::ShortestTupleRouter;
 use ipg_core::{IpgError, Result};
+use std::collections::VecDeque;
+use std::sync::{Arc, PoisonError, RwLock};
 
 use crate::table::RoutingTable;
 
@@ -51,6 +69,45 @@ pub trait Router: Send + Sync {
         }
         Ok(path)
     }
+
+    /// Next hop under a fault campaign. `None` means the router has no
+    /// usable hop — the engines account the packet as dropped-unreachable.
+    ///
+    /// The default ignores `view`: a fault-oblivious router keeps issuing
+    /// its healthy-graph hop even into dead links/nodes (such packets
+    /// strand or get dropped at arrival — the non-adaptive baseline).
+    /// Must be a pure function of `(u, d, view)`.
+    #[inline]
+    fn next_hop_faulted(&self, u: u32, d: u32, view: &FaultView) -> Option<u32> {
+        let _ = view;
+        self.next_hop(u, d)
+    }
+
+    /// Full path `u -> d` on the faulted graph by iterating
+    /// [`Router::next_hop_faulted`]. Errors with [`IpgError::Unreachable`]
+    /// when the router gives up, emits a hop across dead equipment (a
+    /// fault-oblivious router will), or fails to arrive within
+    /// `node_count()` hops (the bound turns a routing cycle on the
+    /// faulted graph into an error instead of a livelock).
+    fn path_faulted(&self, u: u32, d: u32, view: &FaultView) -> Result<Vec<u32>> {
+        let unreachable = || IpgError::Unreachable { from: u, to: d };
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != d {
+            let next = self
+                .next_hop_faulted(cur, d, view)
+                .ok_or_else(unreachable)?;
+            if !view.arc_usable(cur, next) {
+                return Err(unreachable());
+            }
+            cur = next;
+            path.push(cur);
+            if path.len() > self.node_count() {
+                return Err(unreachable());
+            }
+        }
+        Ok(path)
+    }
 }
 
 impl<T: Router + ?Sized> Router for Box<T> {
@@ -65,6 +122,15 @@ impl<T: Router + ?Sized> Router for Box<T> {
 
     fn path(&self, u: u32, d: u32) -> Result<Vec<u32>> {
         (**self).path(u, d)
+    }
+
+    #[inline]
+    fn next_hop_faulted(&self, u: u32, d: u32, view: &FaultView) -> Option<u32> {
+        (**self).next_hop_faulted(u, d, view)
+    }
+
+    fn path_faulted(&self, u: u32, d: u32, view: &FaultView) -> Result<Vec<u32>> {
+        (**self).path_faulted(u, d, view)
     }
 }
 
@@ -105,6 +171,162 @@ impl Router for ShortestTupleRouter {
     }
 }
 
+/// Per-destination BFS distance fields on the faulted graph, valid for
+/// one fault epoch. FIFO-evicted at a fixed entry cap so memory stays
+/// bounded and deterministic; entries are pure functions of
+/// `(destination, epoch)`, so lock timing can never change a result.
+struct DetourCache {
+    epoch: u64,
+    fields: Vec<Option<Arc<Vec<u32>>>>,
+    order: VecDeque<u32>,
+}
+
+/// Budget for cached distance fields: ≈ 64 MiB of `u32` entries.
+const DETOUR_CACHE_BYTES: usize = 64 << 20;
+
+/// The fault-aware adaptive router: wraps any inner [`Router`] and
+/// consults a [`FaultView`] per hop.
+///
+/// Healthy network (`view.is_empty()`): delegates verbatim to the inner
+/// router, so schedules degenerate byte-for-byte to the inner router's.
+///
+/// Faulted network: looks up (or BFS-recomputes, once per destination per
+/// fault epoch) the hop-distance field of the *faulted* graph from the
+/// destination, then
+///
+/// 1. keeps the inner router's greedy hop when that hop is alive and
+///    strictly decreases faulted distance (the codec hop survives
+///    whenever it can), and otherwise
+/// 2. detours through the first alive neighbor — nucleus arcs first, then
+///    super-generators, i.e. the CSR neighbor order — that strictly
+///    decreases faulted distance.
+///
+/// Every hop strictly decreases the faulted distance, so paths are exact
+/// shortest on the faulted graph (the "detour bound" is zero extra hops)
+/// and livelock is impossible. Unreachable destinations (or dead
+/// endpoints) yield `None`, which the engines account as
+/// dropped-unreachable.
+pub struct DetourRouter<R: Router> {
+    inner: R,
+    graph: Csr,
+    cache: RwLock<DetourCache>,
+    cache_cap: usize,
+}
+
+/// The codec-routing instantiation used for super-IP networks — the
+/// `--faults` adaptive router in `ipg simulate`.
+pub type DetourTupleRouter = DetourRouter<ShortestTupleRouter>;
+
+impl<R: Router> DetourRouter<R> {
+    /// Wrap `inner` with fault awareness over `graph` (the same topology
+    /// the inner router answers for). Errors when the node counts
+    /// disagree or `graph` is not symmetric — detouring relies on
+    /// faulted-graph distances being symmetric.
+    pub fn new(inner: R, graph: Csr) -> Result<Self> {
+        if inner.node_count() != graph.node_count() {
+            return Err(IpgError::InvalidSpec {
+                reason: format!(
+                    "detour router: inner router covers {} nodes but the graph has {}",
+                    inner.node_count(),
+                    graph.node_count()
+                ),
+            });
+        }
+        if !graph.is_symmetric() {
+            return Err(IpgError::InvalidSpec {
+                reason: "detour router requires a symmetric (undirected) graph".into(),
+            });
+        }
+        let n = graph.node_count();
+        let cache_cap = (DETOUR_CACHE_BYTES / (4 * n.max(1))).clamp(16, n.max(16));
+        Ok(DetourRouter {
+            inner,
+            graph,
+            cache: RwLock::new(DetourCache {
+                epoch: 0,
+                fields: vec![None; n],
+                order: VecDeque::new(),
+            }),
+            cache_cap,
+        })
+    }
+
+    /// The wrapped fault-oblivious router.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Faulted-graph BFS distances from `d`, cached per fault epoch.
+    fn field(&self, d: u32, view: &FaultView) -> Arc<Vec<u32>> {
+        {
+            let cache = self.cache.read().unwrap_or_else(PoisonError::into_inner);
+            if cache.epoch == view.epoch() {
+                if let Some(f) = &cache.fields[d as usize] {
+                    return Arc::clone(f);
+                }
+            }
+        }
+        let mut cache = self.cache.write().unwrap_or_else(PoisonError::into_inner);
+        if cache.epoch != view.epoch() {
+            // new fault epoch: every cached field is stale
+            cache.fields.iter_mut().for_each(|f| *f = None);
+            cache.order.clear();
+            cache.epoch = view.epoch();
+        }
+        if let Some(f) = &cache.fields[d as usize] {
+            return Arc::clone(f); // raced: another thread computed it
+        }
+        let field = Arc::new(bfs_faulted(&self.graph, view, d));
+        cache.fields[d as usize] = Some(Arc::clone(&field));
+        cache.order.push_back(d);
+        if cache.order.len() > self.cache_cap {
+            if let Some(old) = cache.order.pop_front() {
+                cache.fields[old as usize] = None;
+            }
+        }
+        field
+    }
+}
+
+impl<R: Router> Router for DetourRouter<R> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    #[inline]
+    fn next_hop(&self, u: u32, d: u32) -> Option<u32> {
+        self.inner.next_hop(u, d)
+    }
+
+    fn path(&self, u: u32, d: u32) -> Result<Vec<u32>> {
+        self.inner.path(u, d)
+    }
+
+    fn next_hop_faulted(&self, u: u32, d: u32, view: &FaultView) -> Option<u32> {
+        if view.is_empty() {
+            return self.inner.next_hop(u, d);
+        }
+        if u == d || view.node_dead(u) || view.node_dead(d) {
+            return None;
+        }
+        let df = self.field(d, view);
+        let du = df[u as usize];
+        if du == UNREACHABLE {
+            return None;
+        }
+        if let Some(h) = self.inner.next_hop(u, d) {
+            if view.arc_usable(u, h) && df[h as usize] < du {
+                return Some(h);
+            }
+        }
+        self.graph
+            .neighbors(u)
+            .iter()
+            .copied()
+            .find(|&v| view.arc_usable(u, v) && df[v as usize] < du)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +354,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn detour_router_degenerates_and_detours() {
+        let g = ipg_networks::classic::ring(8);
+        let inner = RoutingTable::new(&g);
+        let det = DetourRouter::new(RoutingTable::new(&g), g.clone()).unwrap();
+
+        // zero faults: byte-for-byte the inner router's hops
+        let healthy = FaultView::new(8);
+        for u in 0..8 {
+            for d in 0..8 {
+                assert_eq!(
+                    det.next_hop_faulted(u, d, &healthy),
+                    Router::next_hop(&inner, u, d),
+                    "{u}->{d} must degenerate to the inner router"
+                );
+            }
+        }
+
+        // cut {0, 1}: 0 -> 1 must go the long way round, and stay exact
+        // shortest on the faulted graph
+        let mut cut = FaultView::new(8);
+        cut.kill_link(0, 1);
+        let p = det.path_faulted(0, 1, &cut).unwrap();
+        assert_eq!(p.len(), 8, "7 hops around the ring: {p:?}");
+        for w in p.windows(2) {
+            assert!(g.has_arc(w[0], w[1]) && cut.arc_usable(w[0], w[1]));
+        }
+
+        // a dead endpoint or a severed destination yields None / Unreachable
+        let mut dead = FaultView::new(8);
+        dead.kill_node(3);
+        assert_eq!(det.next_hop_faulted(0, 3, &dead), None);
+        assert_eq!(det.next_hop_faulted(3, 0, &dead), None);
+        let mut severed = FaultView::new(8);
+        severed.kill_link(2, 3);
+        severed.kill_link(3, 4);
+        assert!(det.path_faulted(0, 3, &severed).is_err());
+
+        // the oblivious default keeps issuing its healthy hop...
+        assert_eq!(
+            Router::next_hop_faulted(&inner, 0, 1, &cut),
+            Router::next_hop(&inner, 0, 1)
+        );
+        // ...so its faulted path errors instead of livelocking
+        assert!(matches!(
+            inner.path_faulted(0, 1, &cut),
+            Err(IpgError::Unreachable { from: 0, to: 1 })
+        ));
+    }
+
+    #[test]
+    fn detour_router_rejects_mismatched_or_directed_graphs() {
+        let ring = ipg_networks::classic::ring(8);
+        let small = ipg_networks::classic::ring(4);
+        assert!(DetourRouter::new(RoutingTable::new(&ring), small).is_err());
+        let directed = ipg_core::Csr::from_fn(4, |u, out| out.push((u + 1) % 4));
+        assert!(DetourRouter::new(RoutingTable::new(&directed), directed.clone()).is_err());
     }
 
     #[test]

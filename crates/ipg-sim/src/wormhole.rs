@@ -34,9 +34,11 @@
 //! allocation outcomes. The loop is sequential — and therefore trivially
 //! thread-count invariant.
 
+use crate::fault::{FaultPlan, LocalFault, ShardFaults};
 use crate::rng::{node_stream, NodeRng};
 use crate::router::Router;
 use crate::table::RoutingTable;
+use ipg_core::fault::FaultView;
 use ipg_core::graph::Csr;
 use ipg_obs::{Counter, Histogram, Obs, ShardTracer, Trace, TraceConfig, ENGINE_TRACK};
 use rand::Rng;
@@ -143,6 +145,11 @@ pub struct WormholeStats {
     pub injected: u64,
     /// Packets fully delivered (tail consumed).
     pub delivered: u64,
+    /// Packets destroyed by the fault campaign: refused at launch for
+    /// lack of a usable route, purged when a link/node died under their
+    /// flits, or stranded with no faulted-graph path mid-flight. Always 0
+    /// without a fault plan.
+    pub dropped: u64,
     /// Mean packet latency (injection cycle to tail consumption).
     pub avg_latency: f64,
 }
@@ -232,6 +239,8 @@ pub struct WormholeSim<R: Router = RoutingTable> {
     in_links: Vec<Vec<u32>>,
     /// outgoing link range per node (CSR order).
     link_of: Vec<u32>,
+    /// compiled fault campaign applied by every run (None = fault-free).
+    plan: Option<FaultPlan>,
 }
 
 impl WormholeSim<RoutingTable> {
@@ -273,7 +282,27 @@ impl<R: Router> WormholeSim<R> {
             link_to,
             in_links,
             link_of,
+            plan: None,
         }
+    }
+
+    /// Install (or clear) a compiled fault plan for subsequent runs. Dead
+    /// links are never serviced and a link or node death destroys the
+    /// wormholes caught on it (a severed worm cannot complete, and its
+    /// stranded flits would wedge every channel its body spans); dead
+    /// nodes neither inject nor deliver; next-hop queries go through
+    /// [`Router::next_hop_faulted`] so fault-aware routers detour while
+    /// oblivious ones stall or drop.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        if let Some(p) = &plan {
+            assert!(
+                p.node_count() as usize == self.n,
+                "fault plan node count {} != network node count {}",
+                p.node_count(),
+                self.n
+            );
+        }
+        self.plan = plan;
     }
 
     fn link_toward(&self, u: u32, v: u32) -> u32 {
@@ -362,6 +391,24 @@ impl<R: Router> WormholeSim<R> {
                 t.init_links(self.link_from.len());
                 t
             }),
+            faulted: self.plan.is_some(),
+            view: FaultView::new(self.n),
+            plan_cursor: 0,
+            faults: self
+                .plan
+                .as_ref()
+                .map(|p| p.shard_events(0, self.n as u32, |u, v| self.link_toward(u, v)))
+                .unwrap_or_default(),
+            link_dead: vec![
+                false;
+                if self.plan.is_some() {
+                    self.link_from.len()
+                } else {
+                    0
+                }
+            ],
+            dropped: 0,
+            c_dropped: obs.counter("wormhole.dropped_unreachable"),
         };
         let outcome = run.execute(obs, window);
         if track {
@@ -425,6 +472,19 @@ struct Run<'a, R: Router> {
     stalls: Vec<u64>,
     /// flight recorder (single track: the wormhole loop is sequential).
     tracer: Option<ShardTracer>,
+    /// is a fault plan active? (hoisted so the hot loop branches on a bool)
+    faulted: bool,
+    /// dead-node/dead-link view, grown as scripted kills fall due.
+    view: FaultView,
+    /// how much of the plan's event list has been applied to `view`.
+    plan_cursor: usize,
+    /// the plan projected onto link ids (the whole network is one shard).
+    faults: ShardFaults,
+    /// per-link dead flags (empty when no plan is active).
+    link_dead: Vec<bool>,
+    /// packets destroyed by the fault campaign.
+    dropped: u64,
+    c_dropped: Counter,
 }
 
 impl<R: Router> Run<'_, R> {
@@ -442,30 +502,133 @@ impl<R: Router> Run<'_, R> {
 
     fn inject(&mut self, cycle: u32) {
         for src in 0..self.sim.n as u32 {
+            if self.faulted && self.view.node_dead(src) {
+                continue; // dead nodes neither draw their stream nor inject
+            }
             let rng = &mut self.rngs[src as usize];
-            if rng.gen::<f64>() < self.cfg.injection_rate {
-                let dst = match &self.cfg.traffic {
-                    WormTraffic::Uniform => {
-                        let mut d = rng.gen_range(0..self.sim.n as u32 - 1);
-                        if d >= src {
-                            d += 1;
-                        }
-                        d
+            if rng.gen::<f64>() >= self.cfg.injection_rate {
+                continue;
+            }
+            let dst = match &self.cfg.traffic {
+                WormTraffic::Uniform => {
+                    let mut d = rng.gen_range(0..self.sim.n as u32 - 1);
+                    if d >= src {
+                        d += 1;
                     }
-                    WormTraffic::Fixed(map) => map[src as usize],
-                };
-                if dst == src {
-                    continue;
+                    d
                 }
-                let pkt = self.packets.len() as u32;
-                self.packets.push(PacketInfo {
-                    dst,
-                    born: cycle,
-                    head_hops: 0,
-                });
-                self.source[src as usize].push_back((pkt, self.cfg.packet_flits));
-                self.injected += 1;
-                self.c_injected.incr();
+                WormTraffic::Fixed(map) => map[src as usize],
+            };
+            if dst == src {
+                continue;
+            }
+            self.injected += 1;
+            self.c_injected.incr();
+            if self.faulted && self.route(src, dst).is_none() {
+                // refused launch: no usable route on the faulted graph
+                self.drop_one();
+                continue;
+            }
+            let pkt = self.packets.len() as u32;
+            self.packets.push(PacketInfo {
+                dst,
+                born: cycle,
+                head_hops: 0,
+            });
+            self.source[src as usize].push_back((pkt, self.cfg.packet_flits));
+        }
+    }
+
+    /// Next hop for `u → d`, consulting the fault view when a plan is
+    /// active. `None` means no usable route exists on the faulted graph.
+    #[inline]
+    fn route(&self, u: u32, d: u32) -> Option<u32> {
+        if self.faulted {
+            self.sim.router.next_hop_faulted(u, d, &self.view)
+        } else {
+            Some(self.sim.next_hop(u, d))
+        }
+    }
+
+    #[inline]
+    fn drop_one(&mut self) {
+        self.dropped += 1;
+        self.c_dropped.incr();
+    }
+
+    /// Destroy `doomed` packets outright: remove every buffered flit of
+    /// theirs network-wide, release any VC ownership they hold, cancel
+    /// their pending source flits, and count each packet dropped once.
+    fn purge(&mut self, mut doomed: Vec<u32>) {
+        doomed.sort_unstable();
+        doomed.dedup();
+        if doomed.is_empty() {
+            return;
+        }
+        for sidx in 0..self.bufs.len.len() {
+            if self.bufs.owner[sidx] != NO_OWNER
+                && doomed.binary_search(&self.bufs.owner[sidx]).is_ok()
+            {
+                self.bufs.owner[sidx] = NO_OWNER;
+            }
+            let l = self.bufs.len(sidx);
+            for _ in 0..l {
+                let f = self.bufs.pop_front(sidx);
+                if doomed.binary_search(&f.pkt).is_err() {
+                    self.bufs.push_back(sidx, f);
+                }
+            }
+        }
+        for q in &mut self.source {
+            q.retain(|&(p, _)| doomed.binary_search(&p).is_err());
+        }
+        self.dropped += doomed.len() as u64;
+        self.c_dropped.add(doomed.len() as u64);
+    }
+
+    /// Kill physical link `li`: stop servicing it and destroy the packets
+    /// whose flits sit in (or which own) its VC buffers — a severed
+    /// wormhole cannot complete, and its stranded body flits would wedge
+    /// every channel they span.
+    fn kill_link(&mut self, li: u32) {
+        if self.link_dead[li as usize] {
+            return;
+        }
+        self.link_dead[li as usize] = true;
+        let mut doomed = Vec::new();
+        for vc in 0..self.cfg.vcs {
+            let sidx = self.sidx(li, vc);
+            if self.bufs.owner[sidx] != NO_OWNER {
+                doomed.push(self.bufs.owner[sidx]);
+            }
+            let head = self.bufs.head[sidx] as usize;
+            let depth = self.bufs.depth;
+            for i in 0..self.bufs.len(sidx) {
+                doomed.push(self.bufs.flits[sidx * depth + (head + i) % depth].pkt);
+            }
+        }
+        self.purge(doomed);
+    }
+
+    /// Apply one projected kill. A node kill takes out every attached
+    /// link (in and out) and the node's pending injections.
+    fn apply_fault(&mut self, f: LocalFault) {
+        match f {
+            LocalFault::Link(li) => self.kill_link(li),
+            LocalFault::Node(v) => {
+                let (lo, hi) = (
+                    self.sim.link_of[v as usize],
+                    self.sim.link_of[v as usize + 1],
+                );
+                for li in lo..hi {
+                    self.kill_link(li);
+                }
+                for i in 0..self.sim.in_links[v as usize].len() {
+                    let li = self.sim.in_links[v as usize][i];
+                    self.kill_link(li);
+                }
+                let pending: Vec<u32> = self.source[v as usize].iter().map(|&(p, _)| p).collect();
+                self.purge(pending);
             }
         }
     }
@@ -498,6 +661,9 @@ impl<R: Router> Run<'_, R> {
 
     /// One step of output link `link`: move at most one flit onto it.
     fn step_link(&mut self, link: u32) -> bool {
+        if !self.link_dead.is_empty() && self.link_dead[link as usize] {
+            return false; // dead links refuse every launch
+        }
         let u = self.sim.link_from[link as usize];
         for probe in 0..self.cfg.vcs {
             let out_vc = (self.rr[link as usize] + probe) % self.cfg.vcs;
@@ -550,11 +716,21 @@ impl<R: Router> Run<'_, R> {
         if let Some(&(pkt, left)) = self.source[u as usize].front() {
             if left == self.cfg.packet_flits {
                 let dst = self.packets[pkt as usize].dst;
-                let hop = self.sim.next_hop(u, dst);
-                if self.sim.link_toward(u, hop) == link && self.want_vc(0) == out_vc {
-                    // ipg-analyze: allow(PANIC001) reason="front() matched in the guard just above"
-                    let flit = self.pop_source(u, None).expect("front checked");
-                    return self.deliver_onto(link, out_vc, flit);
+                match self.route(u, dst) {
+                    None => {
+                        // the network around u decayed since injection:
+                        // refuse the launch and drop the un-started packet
+                        self.source[u as usize].pop_front();
+                        self.drop_one();
+                        return false;
+                    }
+                    Some(hop) => {
+                        if self.sim.link_toward(u, hop) == link && self.want_vc(0) == out_vc {
+                            // ipg-analyze: allow(PANIC001) reason="front() matched in the guard just above"
+                            let flit = self.pop_source(u, None).expect("front checked");
+                            return self.deliver_onto(link, out_vc, flit);
+                        }
+                    }
                 }
             }
         }
@@ -573,8 +749,14 @@ impl<R: Router> Run<'_, R> {
                 if info.dst == u {
                     continue; // consumed by the ejection stage
                 }
-                let hop = self.sim.next_hop(u, info.dst);
-                if self.sim.link_toward(u, hop) != link || self.want_vc(info.head_hops) != out_vc {
+                let (pkt, dst, hops) = (flit.pkt, info.dst, info.head_hops);
+                let Some(hop) = self.route(u, dst) else {
+                    // mid-flight packet with no usable route left: destroy
+                    // it rather than let its flits wedge the channel
+                    self.purge(vec![pkt]);
+                    continue;
+                };
+                if self.sim.link_toward(u, hop) != link || self.want_vc(hops) != out_vc {
                     continue;
                 }
                 let flit = self.bufs.pop_front(iidx);
@@ -636,6 +818,15 @@ impl<R: Router> Run<'_, R> {
     fn execute(&mut self, obs: &Obs, window: u32) -> WormholeOutcome {
         let mut idle = 0u32;
         for cycle in 0..self.cfg.cycles {
+            if self.faulted {
+                let sim = self.sim;
+                if let Some(p) = sim.plan.as_ref() {
+                    p.apply_due(&mut self.plan_cursor, cycle, &mut self.view);
+                }
+                while let Some(f) = self.faults.next_due(cycle) {
+                    self.apply_fault(f);
+                }
+            }
             self.inject(cycle);
             let mut moved = false;
             for link in 0..self.sim.link_from.len() as u32 {
@@ -681,6 +872,7 @@ impl<R: Router> Run<'_, R> {
         WormholeOutcome::Completed(WormholeStats {
             injected: self.injected,
             delivered: self.delivered,
+            dropped: self.dropped,
             avg_latency: if self.delivered == 0 {
                 0.0
             } else {
@@ -856,6 +1048,61 @@ mod tests {
         // deterministic across repeat runs
         let (_, trace2) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
         assert_eq!(trace2.unwrap().to_jsonl(), trace.to_jsonl());
+    }
+
+    #[test]
+    fn fault_kills_destroy_worms_but_adaptive_routing_keeps_delivering() {
+        use crate::fault::FaultSpec;
+        use crate::router::DetourRouter;
+        let g = classic::hypercube(5);
+        let router = DetourRouter::new(RoutingTable::new(&g), g.clone()).unwrap();
+        let mut sim = WormholeSim::with_router(router, &g);
+        let spec = FaultSpec::parse("script:node@500:3+link@800:0-1+link@800:4-5").unwrap();
+        let plan = FaultPlan::compile(&spec, &g, 0xabcd).unwrap();
+        sim.set_fault_plan(Some(plan));
+        let cfg = WormholeConfig {
+            vcs: 6,
+            injection_rate: 0.02,
+            cycles: 6_000,
+            ..WormholeConfig::default()
+        };
+        let out = sim.run(&cfg);
+        assert!(!out.is_deadlocked(), "adaptive routing must not wedge");
+        let s = out.stats();
+        assert!(s.dropped > 0, "traffic touching node 3 must be destroyed");
+        assert!(s.delivered > 0);
+        assert!(
+            s.injected >= s.delivered + s.dropped,
+            "injected {} < delivered {} + dropped {}",
+            s.injected,
+            s.delivered,
+            s.dropped
+        );
+        // the dead node stops injecting: repeat runs stay deterministic
+        let again = sim.run(&cfg);
+        assert_eq!(s.injected, again.stats().injected);
+        assert_eq!(s.delivered, again.stats().delivered);
+        assert_eq!(s.dropped, again.stats().dropped);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_no_plan() {
+        let g = classic::torus2d(4);
+        let plain = WormholeSim::new(&g);
+        let mut faulted = WormholeSim::new(&g);
+        faulted.set_fault_plan(Some(FaultPlan::empty(g.node_count() as u32)));
+        let cfg = WormholeConfig {
+            vcs: 8,
+            injection_rate: 0.05,
+            cycles: 2_000,
+            ..WormholeConfig::default()
+        };
+        let a = plain.run(&cfg);
+        let b = faulted.run(&cfg);
+        assert_eq!(a.stats().injected, b.stats().injected);
+        assert_eq!(a.stats().delivered, b.stats().delivered);
+        assert_eq!(a.stats().avg_latency, b.stats().avg_latency);
+        assert_eq!(b.stats().dropped, 0);
     }
 
     #[test]

@@ -57,6 +57,32 @@ for t in 2 4; do
 done
 echo "   byte-identical for IPG_THREADS=1/2/4 (stdout, manifest records, trace)"
 
+echo "== fault-mode determinism (IPG_THREADS=1/2/4 byte-compare) =="
+# Same byte-identity with a fault campaign active: scripted kills and
+# rate-drawn kills (expanded at compile time from node/edge streams)
+# must not make any deterministic output depend on the worker count.
+for spec in "script:link@600:0-1+node@1200:5" "rate:links=0.05,nodes=0.01,at=800"; do
+    tag="$(echo "$spec" | tr -c 'a-z0-9' '_')"
+    for t in 1 2 4; do
+        mkdir -p "$simdir/f$tag$t"
+        (cd "$simdir/f$tag$t" && IPG_THREADS=$t "$OLDPWD/target/release/ipg" \
+            simulate ring-cn:l=3,nucleus=Q2 0.03 --faults "$spec" \
+            --obs run.manifest.jsonl --obs-interval 500 \
+            --trace run.trace.jsonl --trace-interval 128 > stdout.txt)
+        grep -E '^\{"record":"(window|metrics)"' "$simdir/f$tag$t/run.manifest.jsonl" \
+            | sort > "$simdir/f$tag$t/records.txt"
+    done
+    for t in 2 4; do
+        cmp "$simdir/f${tag}1/stdout.txt" "$simdir/f$tag$t/stdout.txt" \
+            || { echo "check.sh: faulted stdout ($spec) differs for IPG_THREADS=$t" >&2; exit 1; }
+        cmp "$simdir/f${tag}1/records.txt" "$simdir/f$tag$t/records.txt" \
+            || { echo "check.sh: faulted manifest records ($spec) differ for IPG_THREADS=$t" >&2; exit 1; }
+        cmp "$simdir/f${tag}1/run.trace.jsonl" "$simdir/f$tag$t/run.trace.jsonl" \
+            || { echo "check.sh: faulted trace file ($spec) differs for IPG_THREADS=$t" >&2; exit 1; }
+    done
+done
+echo "   byte-identical for IPG_THREADS=1/2/4 (scripted and rate-based faults)"
+
 echo "== trace on/off determinism (manifest byte-compare) =="
 # Attaching the flight recorder must not perturb the simulation: the
 # deterministic manifest families and stdout (minus the trace: line)

@@ -519,6 +519,119 @@ proptest! {
     }
 
     #[test]
+    fn detour_paths_are_valid_and_shortest_on_the_faulted_graph(
+        l in 2usize..4,
+        family in 0usize..4,
+        kind in 0usize..4,
+        kills in proptest::collection::vec((0usize..4096, 0u32..64), 0..6),
+        node_kills in proptest::collection::vec(0u32..4096, 0..2),
+        pairs in proptest::collection::vec((0u32..4096, 0u32..4096), 4..10),
+    ) {
+        // On a random super-IP spec with a random fault set, every
+        // DetourTupleRouter path must exist exactly when the faulted
+        // graph connects the pair, stay on usable (alive) links only,
+        // and match the BFS-on-faulted-graph distance exactly — the
+        // detour never pays more than the faulted shortest path.
+        use ipgraph::core::fault::{bfs_faulted, FaultView};
+        use ipgraph::core::tuple_routing::ShortestTupleRouter;
+        use ipgraph::sim::{DetourRouter, Router};
+        let nuc = match kind {
+            0 => NucleusSpec::hypercube(1),
+            1 => NucleusSpec::hypercube(2),
+            2 => NucleusSpec::complete(3),
+            _ => NucleusSpec::ring(4),
+        };
+        let spec = super_family(family, l, nuc);
+        if spec.expected_size().unwrap() <= 2_000 {
+            let tn = TupleNetwork::from_spec(&spec).unwrap();
+            let g = tn.build();
+            let n = g.node_count() as u32;
+            let codec = ShortestTupleRouter::new(tn).unwrap();
+            let router = DetourRouter::new(codec, g.clone()).unwrap();
+            // random fault set: a few links (picked by node + neighbor
+            // offset, staying below the degree so the pick is a real
+            // link) and at most one node.
+            let mut view = FaultView::new(n as usize);
+            for (u, off) in kills {
+                let u = (u % n as usize) as u32;
+                let nbrs = g.neighbors(u);
+                if !nbrs.is_empty() {
+                    view.kill_link(u, nbrs[off as usize % nbrs.len()]);
+                }
+            }
+            for v in node_kills {
+                view.kill_node(v % n);
+            }
+            for (u, d) in pairs {
+                let (u, d) = (u % n, d % n);
+                if u == d {
+                    continue;
+                }
+                let dist = bfs_faulted(&g, &view, d)[u as usize];
+                match Router::path_faulted(&router, u, d, &view) {
+                    Ok(path) => {
+                        prop_assert_eq!(*path.first().unwrap(), u);
+                        prop_assert_eq!(*path.last().unwrap(), d);
+                        for w in path.windows(2) {
+                            prop_assert!(g.has_arc(w[0], w[1]),
+                                "{}: detour hop {}->{} is not a link", spec.name, w[0], w[1]);
+                            prop_assert!(view.arc_usable(w[0], w[1]),
+                                "{}: detour hop {}->{} crosses dead equipment", spec.name, w[0], w[1]);
+                        }
+                        prop_assert_eq!(
+                            path.len() as u32 - 1, dist,
+                            "{}: detour path |{}->{}| != faulted BFS distance", spec.name, u, d
+                        );
+                    }
+                    Err(_) => {
+                        prop_assert_eq!(
+                            dist, u32::MAX,
+                            "{}: router says unreachable but faulted BFS connects {}->{}",
+                            spec.name, u, d
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detour_router_with_zero_faults_degenerates_to_the_codec_router(
+        l in 2usize..4,
+        family in 0usize..4,
+        pairs in proptest::collection::vec((0u32..4096, 0u32..4096), 4..10),
+    ) {
+        // With an empty fault view the detour wrapper must reproduce the
+        // inner codec router's schedules byte for byte: identical next
+        // hops and identical full paths.
+        use ipgraph::core::fault::FaultView;
+        use ipgraph::core::tuple_routing::ShortestTupleRouter;
+        use ipgraph::sim::{DetourRouter, Router};
+        let spec = super_family(family, l, NucleusSpec::hypercube(1 + l % 2));
+        if spec.expected_size().unwrap() <= 2_000 {
+            let tn = TupleNetwork::from_spec(&spec).unwrap();
+            let g = tn.build();
+            let n = g.node_count() as u32;
+            let inner = ShortestTupleRouter::new(tn.clone()).unwrap();
+            let wrapped = DetourRouter::new(ShortestTupleRouter::new(tn).unwrap(), g).unwrap();
+            let view = FaultView::new(n as usize);
+            for (u, d) in pairs {
+                let (u, d) = (u % n, d % n);
+                prop_assert_eq!(
+                    Router::next_hop_faulted(&wrapped, u, d, &view),
+                    Router::next_hop(&inner, u, d)
+                );
+                if u != d {
+                    prop_assert_eq!(
+                        Router::path_faulted(&wrapped, u, d, &view).unwrap(),
+                        Router::path(&inner, u, d).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn router_paths_valid_on_random_pairs(pairs in proptest::collection::vec((0u32..64, 0u32..64), 1..8)) {
         let spec = SuperIpSpec::hsn(3, NucleusSpec::hypercube(1));
         let ip = spec.to_ip_spec().generate().unwrap();
