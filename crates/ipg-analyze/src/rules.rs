@@ -10,6 +10,7 @@
 //! | DET004   | error    | no RNG construction in `ipg-sim` cycle loops (use `rng::node_stream`) |
 //! | DET005   | error    | no raw trace-event plumbing in `ipg-sim` cycle loops (use `ShardTracer`) |
 //! | DET006   | error    | no raw fault-event plumbing in `ipg-sim` cycle loops (consume `FaultPlan`) |
+//! | DET007   | error    | no raw bitset mutation in `ipg-sim` cycle loops (use the `Worklist` API) |
 //! | PANIC001 | warning  | no `unwrap`/`expect`/`panic!` in library code of the core crates |
 //! | HYG001   | error    | every suppression carries a `reason="…"`                         |
 //!
@@ -134,6 +135,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Det004),
         Box::new(Det005),
         Box::new(Det006),
+        Box::new(Det007),
         Box::new(Panic001),
         Box::new(Hyg001),
     ]
@@ -646,6 +648,55 @@ impl Rule for Det006 {
 }
 
 // ---------------------------------------------------------------------------
+// DET007 — raw bitset mutation in the simulator shard loops
+// ---------------------------------------------------------------------------
+
+struct Det007;
+
+/// Primitives internal to `ipg-sim::worklist`. The sparse cycle kernels
+/// must mutate active-set membership only through the counted
+/// `Worklist::insert` / `Worklist::remove` API (wrapped by the engines'
+/// own enqueue/dequeue helpers): the activation invariant (DESIGN.md §13)
+/// requires the bit and the underlying queue state to change together,
+/// and a loop that names the backing bitset or flips bits directly can
+/// desynchronize membership from occupancy — silently skipping (or
+/// double-servicing) work relative to the dense oracle.
+const BITSET_RAW_IDENTS: &[&str] = &["FixedBitSet", "set_bit", "clear_bit"];
+
+impl Rule for Det007 {
+    fn id(&self) -> &'static str {
+        "DET007"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn describe(&self) -> &'static str {
+        "no raw FixedBitSet/set_bit/clear_bit mutation in ipg-sim shard loops (use the Worklist API)"
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if ctx.crate_name != "ipg-sim" || !SHARDED_MODULES.contains(&ctx.file_name()) {
+            return;
+        }
+        for t in &ctx.lexed.tokens {
+            let TokKind::Ident(s) = &t.kind else { continue };
+            if BITSET_RAW_IDENTS.contains(&s.as_str()) && !ctx.in_test(t.line) {
+                self.emit(
+                    ctx,
+                    t.line,
+                    format!(
+                        "raw bitset access `{s}` in a sparse cycle kernel; mutate \
+                         worklist membership only through `Worklist::insert` / \
+                         `Worklist::remove` so the activation bit and the queue \
+                         state change together (DESIGN.md §13)"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // PANIC001 — panics in library code of the core crates
 // ---------------------------------------------------------------------------
 
@@ -903,6 +954,45 @@ mod tests {
             test_only,
             "ipg-sim",
             "crates/ipg-sim/src/engine.rs",
+            FileKind::Lib
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn det007_scopes_to_sharded_sim_modules() {
+        let src = "use crate::worklist::FixedBitSet;\nfn f(b: &mut FixedBitSet) { b.set_bit(3); b.clear_bit(4); }\n";
+        let hot = run_on(
+            src,
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            FileKind::Lib,
+        );
+        assert!(hot.len() >= 3, "{hot:?}");
+        assert!(hot.iter().all(|f| f.rule == "DET007"));
+        // worklist.rs itself is the sanctioned home of the bitset
+        let home = run_on(
+            src,
+            "ipg-sim",
+            "crates/ipg-sim/src/worklist.rs",
+            FileKind::Lib,
+        );
+        assert!(home.is_empty(), "{home:?}");
+        // the counted Worklist API does not trip the rule
+        let ok = "use crate::worklist::Worklist;\nfn f(w: &mut Worklist) { w.insert(3); w.remove(4); }\n";
+        assert!(run_on(
+            ok,
+            "ipg-sim",
+            "crates/ipg-sim/src/wormhole.rs",
+            FileKind::Lib
+        )
+        .is_empty());
+        // test code inside the module is exempt
+        let test_only = "#[cfg(test)]\nmod tests {\n use crate::worklist::FixedBitSet;\n}\n";
+        assert!(run_on(
+            test_only,
+            "ipg-sim",
+            "crates/ipg-sim/src/wormhole.rs",
             FileKind::Lib
         )
         .is_empty());

@@ -1,0 +1,26 @@
+//! DET007 fixture: raw bitset mutation inside a sparse cycle kernel.
+use crate::worklist::{FixedBitSet, Worklist};
+
+pub fn flip_by_hand(bits: &mut FixedBitSet, li: u32) {
+    bits.set_bit(li);
+    bits.clear_bit(li + 1);
+}
+
+pub fn suppressed_probe(capacity: usize) -> bool {
+    // ipg-analyze: allow(DET007) reason="fixture: demonstrating a justified one-off inspection"
+    FixedBitSet::with_capacity(capacity).set_bit(0)
+}
+
+pub fn sanctioned(active: &mut Worklist, li: u32) -> bool {
+    active.insert(li);
+    active.remove(li + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::worklist::FixedBitSet;
+
+    pub fn exempt(bits: &mut FixedBitSet) {
+        bits.set_bit(7);
+    }
+}

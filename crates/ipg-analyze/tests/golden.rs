@@ -16,6 +16,7 @@ const FIXTURES: &[&str] = &[
     "det004",
     "det005",
     "det006",
+    "det007",
     "panic001",
     "hyg001",
     "clean",
@@ -58,6 +59,7 @@ fn fixture_gate_verdicts() {
         ("det004", false),
         ("det005", false),
         ("det006", false),
+        ("det007", false),
         ("panic001", false),
         ("hyg001", false),
         ("clean", true),

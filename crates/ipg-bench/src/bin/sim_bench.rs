@@ -1,6 +1,6 @@
 //! Simulation-engine throughput: table-backed vs table-free routing.
 //!
-//! Two experiments, distilled into `results/BENCH_sim.json`:
+//! Four experiments, distilled into `results/BENCH_sim.json`:
 //!
 //! 1. *common config* — the largest network both backends can load
 //!    (symmetric ring-CN(2,Q6), 8192 nodes). The table backend pays the
@@ -13,12 +13,22 @@
 //!    table would need N² · 4 B = 4 TiB (and ~N·M BFS work), so the
 //!    table engine cannot load this network at all; the codec backend
 //!    simulates it directly. Recorded with the table's memory bound so
-//!    the claim is auditable.
-//! 3. *flight-recorder overhead* — the common config rerun with the
+//!    the claim is auditable. `codec.cycles_per_sec` here is the sparse
+//!    worklist kernel — the headline steady-state number.
+//! 3. *sparse vs dense* — the same 2^20-node schedule run through the
+//!    dense oracle (`Simulator::set_dense`) and the default worklist
+//!    kernel on one `Simulator`, asserting the two `SimResult`s are
+//!    identical (DESIGN.md §13's byte-identity contract) and recording
+//!    the speedup. At injection 0.002 only ~0.2% of links carry traffic
+//!    in a given cycle, which is exactly the regime the worklists target.
+//! 4. *flight-recorder overhead* — the common config rerun with the
 //!    per-shard trace rings attached at the default sampling interval,
-//!    against an untraced run of the same schedule (best of two samples
-//!    each). The recorded `overhead_pct` is the budget DESIGN.md §11
-//!    commits to (≤ 5% at the default interval).
+//!    against an untraced run of the same schedule. The arms are
+//!    interleaved and each reports its *median* over `TRACE_SAMPLES`
+//!    runs; the signed delta is compared against the within-arm spread
+//!    (`noise_floor_pct`) so a sub-noise reading — positive or negative —
+//!    is reported as insignificant rather than as a real cost. The
+//!    `within_budget` flag is the ≤ 5% commitment from DESIGN.md §11.
 //!
 //! All timing goes through `Obs` spans (`Span::elapsed_secs`) — the
 //! DET003 lint keeps raw `Instant` reads out of this crate.
@@ -72,6 +82,23 @@ struct BeyondTableCase {
 }
 
 #[derive(Serialize)]
+struct SparseVsDenseCase {
+    network: String,
+    nodes: usize,
+    cycles: u32,
+    injection_rate: f64,
+    /// Dense oracle (`set_dense(true)`): every link and node visited
+    /// every cycle — the pre-worklist engine.
+    dense_cycles_per_sec: f64,
+    /// Default worklist kernel on the identical schedule.
+    sparse_cycles_per_sec: f64,
+    speedup: f64,
+    /// The two runs must produce equal `SimResult`s (the sparse kernel's
+    /// contract is byte-identity, not approximation).
+    results_identical: bool,
+}
+
+#[derive(Serialize)]
 struct TraceOverheadCase {
     network: String,
     nodes: usize,
@@ -79,12 +106,22 @@ struct TraceOverheadCase {
     injection_rate: f64,
     /// Sampling interval in cycles (the `TraceConfig` default).
     trace_interval: u32,
-    /// Best-of-N samples per arm.
+    /// Interleaved samples per arm; each arm reports its median.
     samples: u32,
     untraced_cycles_per_sec: f64,
     traced_cycles_per_sec: f64,
-    /// Steady-state slowdown of the traced arm, in percent.
+    /// Signed steady-state delta of the traced arm, in percent: positive
+    /// means tracing slowed the run, small negatives are timer noise.
     overhead_pct: f64,
+    /// Largest within-arm spread (max−min over median), in percent — the
+    /// run-to-run noise on this machine. An `overhead_pct` below this is
+    /// not distinguishable from zero.
+    noise_floor_pct: f64,
+    /// Does `overhead_pct` exceed the noise floor?
+    significant: bool,
+    /// The DESIGN.md §11 commitment: overhead ≤ 5% at the default
+    /// interval, where "overhead" means a *significant* positive delta.
+    within_budget: bool,
     trace_events: usize,
     dropped_events: u64,
     /// Tracing must not perturb the simulation.
@@ -97,6 +134,7 @@ struct SimBench {
     ipg_threads: usize,
     common: CommonCase,
     beyond_table: BeyondTableCase,
+    sparse_vs_dense: SparseVsDenseCase,
     trace_overhead: TraceOverheadCase,
 }
 
@@ -200,16 +238,17 @@ fn main() {
     let g_big = big.build();
     let (class_big, _) = big.nucleus_partition();
     let name_big = big.name.clone();
+    let big_for_router = big.clone();
     let (codec_big, delivered_big) = time_backend(
         rep.obs(),
         "beyond/codec",
         &g_big,
         &class_big,
         &big_cfg,
-        || ShortestTupleRouter::new(big).expect("l=5 is within the codec router bound"),
+        || ShortestTupleRouter::new(big_for_router).expect("l=5 is within the codec router bound"),
     );
     let beyond = BeyondTableCase {
-        network: name_big,
+        network: name_big.clone(),
         nodes: n_big as usize,
         cycles: total_cycles(&big_cfg),
         injection_rate: big_cfg.injection_rate,
@@ -218,8 +257,39 @@ fn main() {
         codec: codec_big,
     };
 
+    // -- sparse worklist kernel vs dense oracle on the same schedule ------
+    eprintln!("sparse-vs-dense config: {} ({} nodes)", name_big, n_big);
+    let router = ShortestTupleRouter::new(big).expect("l=5 is within the codec router bound");
+    let mut sim = Simulator::with_router(router, &g_big, |v| class_big[v as usize], &big_cfg);
+    let cycles_big = f64::from(total_cycles(&big_cfg));
+    sim.set_dense(true);
+    let span = rep.obs().span("sparse_vs_dense/dense");
+    let r_dense = sim.run(&big_cfg);
+    let dense_secs = span.elapsed_secs().unwrap_or(0.0).max(1e-9);
+    drop(span);
+    sim.set_dense(false);
+    let span = rep.obs().span("sparse_vs_dense/sparse");
+    let r_sparse = sim.run(&big_cfg);
+    let sparse_secs = span.elapsed_secs().unwrap_or(0.0).max(1e-9);
+    drop(span);
+    let sparse_vs_dense = SparseVsDenseCase {
+        network: name_big,
+        nodes: n_big as usize,
+        cycles: total_cycles(&big_cfg),
+        injection_rate: big_cfg.injection_rate,
+        dense_cycles_per_sec: cycles_big / dense_secs,
+        sparse_cycles_per_sec: cycles_big / sparse_secs,
+        speedup: dense_secs / sparse_secs,
+        results_identical: r_dense == r_sparse,
+    };
+    assert!(
+        sparse_vs_dense.results_identical,
+        "sparse kernel diverged from the dense oracle on {}",
+        sparse_vs_dense.network
+    );
+
     // -- flight-recorder overhead on the common config --------------------
-    const TRACE_SAMPLES: u32 = 3;
+    const TRACE_SAMPLES: u32 = 5;
     let trace_cfg = TraceConfig::default();
     eprintln!(
         "trace-overhead config: {} at interval {} ({} samples/arm)",
@@ -227,9 +297,11 @@ fn main() {
     );
     // Both arms go through `run_traced`, so the untraced baseline pays the
     // identical call path and only the recorder itself is measured. The
-    // arms are interleaved (off, on, off, on, …) and each takes its best
-    // sample, so slow thermal / frequency drift cancels instead of landing
-    // entirely on whichever arm ran second.
+    // arms are interleaved (off, on, off, on, …) so slow thermal /
+    // frequency drift cancels instead of landing entirely on whichever
+    // arm ran second. Each arm reports its median — best-of-N compares
+    // two lucky outliers and routinely produced a *negative* "overhead"
+    // when the traced arm drew the luckier scheduler slot.
     let one_run = |label: &str, sample: u32, trace: Option<&TraceConfig>| {
         let router =
             ShortestTupleRouter::new(tn.clone()).expect("l=2 is within the codec router bound");
@@ -240,26 +312,42 @@ fn main() {
         drop(span);
         (secs, r, t)
     };
-    let mut best_off = f64::INFINITY;
-    let mut best_on = f64::INFINITY;
+    let mut secs_off = Vec::with_capacity(TRACE_SAMPLES as usize);
+    let mut secs_on = Vec::with_capacity(TRACE_SAMPLES as usize);
     let mut delivered_off = 0u64;
     let mut delivered_on = 0u64;
     let mut trace_events = 0usize;
     let mut dropped_events = 0u64;
     for sample in 0..TRACE_SAMPLES {
         let (secs, r, _) = one_run("off", sample, None);
-        best_off = best_off.min(secs);
+        secs_off.push(secs);
         delivered_off = r.delivered;
         let (secs, r, t) = one_run("on", sample, Some(&trace_cfg));
-        best_on = best_on.min(secs);
+        secs_on.push(secs);
         delivered_on = r.delivered;
         if let Some(t) = t {
             trace_events = t.events.len();
             dropped_events = t.dropped;
         }
     }
+    fn median(samples: &mut [f64]) -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    }
+    fn spread_pct(samples: &[f64], med: f64) -> f64 {
+        let (lo, hi) = samples
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
+                (lo.min(s), hi.max(s))
+            });
+        (hi - lo) / med.max(1e-9) * 100.0
+    }
+    let (med_off, med_on) = (median(&mut secs_off), median(&mut secs_on));
+    let noise_floor_pct = spread_pct(&secs_off, med_off).max(spread_pct(&secs_on, med_on));
     let cycles_common = f64::from(total_cycles(&common_cfg));
-    let (untraced_cps, traced_cps) = (cycles_common / best_off, cycles_common / best_on);
+    let (untraced_cps, traced_cps) = (cycles_common / med_off, cycles_common / med_on);
+    let overhead_pct = (med_on / med_off.max(1e-9) - 1.0) * 100.0;
+    let significant = overhead_pct.abs() > noise_floor_pct;
     let trace_overhead = TraceOverheadCase {
         network: tn.name.clone(),
         nodes: g.node_count(),
@@ -269,7 +357,12 @@ fn main() {
         samples: TRACE_SAMPLES,
         untraced_cycles_per_sec: untraced_cps,
         traced_cycles_per_sec: traced_cps,
-        overhead_pct: (untraced_cps / traced_cps.max(1e-9) - 1.0) * 100.0,
+        overhead_pct,
+        noise_floor_pct,
+        significant,
+        // A delta buried in the noise floor cannot break the budget; a
+        // significant one must sit at or under 5%.
+        within_budget: !significant || overhead_pct <= 5.0,
         trace_events,
         dropped_events,
         delivered_match: delivered_off == delivered_on,
@@ -280,6 +373,7 @@ fn main() {
         ipg_threads: rayon::current_num_threads(),
         common,
         beyond_table: beyond,
+        sparse_vs_dense,
         trace_overhead,
     };
 
@@ -332,12 +426,24 @@ fn main() {
         out.beyond_table.table_bytes_required >> 30
     );
     println!(
+        "  sparse worklist kernel on {}: {:.1} -> {:.1} cycles/s ({:.2}x, results_identical={})",
+        out.sparse_vs_dense.network,
+        out.sparse_vs_dense.dense_cycles_per_sec,
+        out.sparse_vs_dense.sparse_cycles_per_sec,
+        out.sparse_vs_dense.speedup,
+        out.sparse_vs_dense.results_identical
+    );
+    println!(
         "  flight recorder @ interval {}: {:.0} -> {:.0} cycles/s ({:+.2}% overhead, \
-         {} events, {} dropped, delivered_match={})",
+         noise floor {:.2}%, significant={}, within_budget={}, {} events, {} dropped, \
+         delivered_match={})",
         out.trace_overhead.trace_interval,
         out.trace_overhead.untraced_cycles_per_sec,
         out.trace_overhead.traced_cycles_per_sec,
         out.trace_overhead.overhead_pct,
+        out.trace_overhead.noise_floor_pct,
+        out.trace_overhead.significant,
+        out.trace_overhead.within_budget,
         out.trace_overhead.trace_events,
         out.trace_overhead.dropped_events,
         out.trace_overhead.delivered_match

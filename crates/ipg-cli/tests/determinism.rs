@@ -15,9 +15,21 @@ fn run(threads: &str, args: &[&str]) -> (Vec<u8>, Vec<u8>) {
 }
 
 fn run_in(cwd: Option<&std::path::Path>, threads: &str, args: &[&str]) -> (Vec<u8>, Vec<u8>) {
+    run_in_env(cwd, threads, &[], args)
+}
+
+fn run_in_env(
+    cwd: Option<&std::path::Path>,
+    threads: &str,
+    envs: &[(&str, &str)],
+    args: &[&str],
+) -> (Vec<u8>, Vec<u8>) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_ipg"));
     if let Some(dir) = cwd {
         cmd.current_dir(dir);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
     }
     let out = cmd
         .args(args)
@@ -218,6 +230,86 @@ fn simulate_rate_faults_are_thread_count_independent() {
             "0.03",
             "--faults",
             "rate:links=0.05,nodes=0.01,at=800",
+        ],
+    );
+}
+
+/// Run `simulate <extra args>` once with the default sparse worklist
+/// kernel (`IPG_DENSE_ENGINE=0`) and once with the dense oracle
+/// (`IPG_DENSE_ENGINE=1`): stdout, the trace file, and the deterministic
+/// manifest records must be byte-identical — the DESIGN.md §13 contract.
+fn assert_sparse_matches_dense(tag: &str, extra: &[&str]) {
+    let dir = std::env::temp_dir().join(format!("ipg-sparse-dense-{tag}-{}", std::process::id()));
+    let mut args = vec!["simulate"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&[
+        "--obs",
+        "run.manifest.jsonl",
+        "--obs-interval",
+        "500",
+        "--trace",
+        "run.trace.jsonl",
+        "--trace-interval",
+        "128",
+    ]);
+    let mut baseline: Option<(Vec<u8>, Vec<u8>, Vec<String>)> = None;
+    for engine in ["0", "1"] {
+        let d = dir.join(format!("e{engine}"));
+        std::fs::create_dir_all(&d).expect("create temp dir");
+        let (out, _) = run_in_env(Some(&d), "2", &[("IPG_DENSE_ENGINE", engine)], &args);
+        let trace = std::fs::read(d.join("run.trace.jsonl")).expect("read trace");
+        assert!(!trace.is_empty(), "trace file must not be empty");
+        let records = deterministic_records(&d.join("run.manifest.jsonl"));
+        match &baseline {
+            None => baseline = Some((out, trace, records)),
+            Some((out1, trace1, records1)) => {
+                assert_eq!(
+                    out1, &out,
+                    "simulate {extra:?}: stdout differs between the sparse kernel and the dense oracle"
+                );
+                assert_eq!(
+                    trace1, &trace,
+                    "simulate {extra:?}: trace file differs between the sparse kernel and the dense oracle"
+                );
+                assert_eq!(
+                    records1, &records,
+                    "simulate {extra:?}: manifest records differ between the sparse kernel and the dense oracle"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sparse_packet_kernel_matches_dense_oracle_end_to_end() {
+    // Multi-shard network with mid-run kills: worklist re-activation after
+    // purges must not leak into any deterministic output.
+    assert_sparse_matches_dense(
+        "packet",
+        &[
+            "ring-cn:l=3,nucleus=Q2",
+            "0.03",
+            "--faults",
+            "script:link@600:0-1+node@1200:5",
+        ],
+    );
+}
+
+#[test]
+fn sparse_wormhole_kernel_matches_dense_oracle_end_to_end() {
+    assert_sparse_matches_dense(
+        "wormhole",
+        &[
+            "hsn:l=2,nucleus=Q2",
+            "0.05",
+            "--wormhole",
+            "--vcs",
+            "3",
+            "--flits",
+            "4",
+            "--policy",
+            "hop",
         ],
     );
 }

@@ -69,6 +69,11 @@ pub enum EventKind {
     /// Wormhole cycle sample: `a` = packets injected and `b` = packets
     /// delivered since the previous sample, `value` = flits buffered.
     Cycle = 10,
+    /// Sparse-kernel occupancy gauge: `a` = active worklist entries
+    /// (non-empty link FIFOs / live wormhole channels), `b` = busy
+    /// nodes, `value` = total queued messages. Shows how sparse the
+    /// cycle actually was.
+    Worklist = 11,
 }
 
 const KIND_NAMES: &[(EventKind, &str)] = &[
@@ -83,6 +88,7 @@ const KIND_NAMES: &[(EventKind, &str)] = &[
     (EventKind::LinkUtil, "link_util"),
     (EventKind::CreditStall, "credit_stall"),
     (EventKind::Cycle, "cycle"),
+    (EventKind::Worklist, "worklist"),
 ];
 
 impl EventKind {
@@ -325,6 +331,12 @@ impl ShardTracer {
     /// Gauge: deepest link queue and total queued messages.
     pub fn queue_depth(&mut self, cycle: u64, deepest: u32, total: u64) {
         self.emit(cycle, EventKind::QueueDepth, deepest, 0, total);
+    }
+
+    /// Sparse-kernel occupancy gauge: worklist entries, busy nodes, and
+    /// total queued messages at this sample.
+    pub fn worklist(&mut self, cycle: u64, active: u32, busy_nodes: u32, queued: u64) {
+        self.emit(cycle, EventKind::Worklist, active, busy_nodes, queued);
     }
 
     /// Wormhole cycle sample: injection/delivery deltas since the last
@@ -605,6 +617,11 @@ impl Trace {
                     "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"v\":{}}}}}",
                     json::quote(&format!("{}[{}]", kind.as_str(), track_label(e.shard))),
                     e.value
+                ),
+                EventKind::Worklist => format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"active\":{},\"busy_nodes\":{},\"queued\":{}}}}}",
+                    json::quote(&format!("worklist[{}]", track_label(e.shard))),
+                    e.a, e.b, e.value
                 ),
                 EventKind::LinkUtil | EventKind::CreditStall => format!(
                     "{{\"name\":{},\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"s\":\"t\",\"args\":{{\"link\":{},\"delta\":{}}}}}",

@@ -41,6 +41,28 @@
 //! recycle their buffers — so steady-state cycles perform no heap
 //! allocation at all.
 //!
+//! # Sparse cycle kernel
+//!
+//! At low injection rates almost every dense per-cycle iteration visits
+//! an idle node or an empty FIFO. The engine therefore runs **sparse by
+//! default** (DESIGN.md §13):
+//!
+//! - injection decisions are drawn ahead of time in node-major chunks
+//!   from the same per-node streams ([`crate::rng::InjectionSchedule`]),
+//!   so each cycle touches only the nodes that actually inject — the
+//!   draw sequence per node is unchanged, so results stay byte-identical
+//!   to the dense loop;
+//! - link service iterates a [`crate::worklist::Worklist`] of non-empty
+//!   FIFOs in ascending link order (the relative order the dense loop
+//!   visited them in), maintained by the `fifo_push`/`fifo_pop` helpers
+//!   that every queue mutation — including fault drains — goes through;
+//! - phase B's arrival wheel is indexed by slot already; occupancy
+//!   counters make empty slots and the end-of-run `tagged_in_flight`
+//!   accounting O(1).
+//!
+//! The dense iteration survives behind [`Simulator::set_dense`] (or
+//! `IPG_DENSE_ENGINE=1`) as the byte-equality oracle for tests.
+//!
 //! # Routing
 //!
 //! The engine is generic over [`Router`]: the all-pairs [`RoutingTable`]
@@ -49,9 +71,12 @@
 //! (O(1) memory per query), which lifts the node-count ceiling entirely.
 
 use crate::fault::{FaultPlan, LocalFault, ShardFaults};
-use crate::rng::{node_stream, NodeRng};
+use crate::rng::{
+    bernoulli, bernoulli_threshold, node_stream, InjectionSchedule, NodeRng, SCHEDULE_CHUNK,
+};
 use crate::router::Router;
 use crate::table::RoutingTable;
+use crate::worklist::Worklist;
 use ipg_core::fault::FaultView;
 use ipg_core::graph::Csr;
 use ipg_obs::{Obs, ShardTracer, Trace, TraceConfig, ENGINE_TRACK};
@@ -317,9 +342,29 @@ struct Shard {
     node_count: u32,
     /// Per-node offsets into `links` (length `node_count + 1`).
     link_of: Vec<u32>,
+    /// Local node index owning each link (the inverse of `link_of`).
+    link_owner: Vec<u32>,
     links: Links,
     pool: Pool,
     rngs: Vec<NodeRng>,
+    /// Chunked injection events precomputed from the node streams.
+    sched: InjectionSchedule,
+    /// Links with a non-empty FIFO. Iterated ascending by the phase-A
+    /// service loop — the same relative order the dense `0..links` scan
+    /// serviced them in, so launch sequences are byte-identical.
+    active_links: Worklist,
+    /// Scratch for snapshotting `active_links` while the loop mutates it.
+    active_scratch: Vec<u32>,
+    /// Per-node count of non-empty out-FIFOs; `busy_nodes` counts the
+    /// entries > 0 (the O(1) `active_nodes` trace gauge).
+    node_busy: Vec<u32>,
+    busy_nodes: u32,
+    /// O(1) occupancy counters: packets queued in FIFOs / waiting in the
+    /// arrival wheel, total and tagged-only (the in-flight accounting).
+    queued_total: u64,
+    tagged_queued: u64,
+    wheel_live: u64,
+    tagged_wheel: u64,
     outbox: Vec<Msg>,
     wheel: Vec<Vec<Msg>>,
     stats: ShardStats,
@@ -351,6 +396,9 @@ struct DeliveryObs {
 struct RunParams {
     n: u32,
     injection_rate: f64,
+    /// `rng::bernoulli_threshold(injection_rate)`, precomputed once: the
+    /// injection draw is the single hottest RNG site in the engine.
+    inj_threshold: u64,
     traffic: Traffic,
     msg_len: u32,
     store_forward: bool,
@@ -358,6 +406,11 @@ struct RunParams {
     tag_hi: u32,
     wheel_len: u32,
     tail_penalty: u32,
+    total_cycles: u32,
+    /// Dense-oracle mode: iterate every node and link as the pre-sparse
+    /// engine did. Byte-identical to the sparse path by construction;
+    /// kept as the equality oracle (`IPG_DENSE_ENGINE=1` / `set_dense`).
+    dense: bool,
 }
 
 impl Shard {
@@ -372,6 +425,47 @@ impl Shard {
         }
         // ipg-analyze: allow(PANIC001) reason="routers only emit neighbors; reaching here is a router bug"
         panic!("next hop {v} is not a neighbor of {u}");
+    }
+
+    /// Enqueue pool slot `p` on link `li`. The only sanctioned FIFO push:
+    /// it keeps the active-link worklist, the per-node busy counts, and
+    /// the queued-occupancy counters in lockstep with the queue state
+    /// (the DESIGN.md §13 activation invariant).
+    #[inline]
+    fn fifo_push(&mut self, li: usize, p: u32) {
+        self.links.enqueue(li, p, &mut self.pool);
+        self.queued_total += 1;
+        if self.pool.tagged[p as usize] {
+            self.tagged_queued += 1;
+        }
+        if self.links.qlen[li] == 1 {
+            self.active_links.insert(li as u32);
+            let owner = self.link_owner[li] as usize;
+            self.node_busy[owner] += 1;
+            if self.node_busy[owner] == 1 {
+                self.busy_nodes += 1;
+            }
+        }
+    }
+
+    /// Dequeue the head of link `li` (must be non-empty). The only
+    /// sanctioned FIFO pop — see [`Shard::fifo_push`].
+    #[inline]
+    fn fifo_pop(&mut self, li: usize) -> u32 {
+        let p = self.links.dequeue(li, &self.pool);
+        self.queued_total -= 1;
+        if self.pool.tagged[p as usize] {
+            self.tagged_queued -= 1;
+        }
+        if self.links.qlen[li] == 0 {
+            self.active_links.remove(li as u32);
+            let owner = self.link_owner[li] as usize;
+            self.node_busy[owner] -= 1;
+            if self.node_busy[owner] == 0 {
+                self.busy_nodes -= 1;
+            }
+        }
+        p
     }
 
     #[inline]
@@ -403,7 +497,7 @@ impl Shard {
         };
         let li = self.link_toward(at, hop);
         let p = self.pool.alloc(dst, born, tagged);
-        self.links.enqueue(li, p, &mut self.pool);
+        self.fifo_push(li, p);
         if !self.queue_hw.is_empty() {
             self.queue_hw[li] = self.queue_hw[li].max(self.links.qlen[li]);
         }
@@ -442,7 +536,7 @@ impl Shard {
                     self.base + (self.link_of.partition_point(|&o| o as usize <= li) - 1) as u32;
                 let mut orphans = Vec::new();
                 while self.links.qhead[li] != NIL {
-                    let p = self.links.dequeue(li, &self.pool);
+                    let p = self.fifo_pop(li);
                     let i = p as usize;
                     orphans.push((self.pool.dst[i], self.pool.born[i], self.pool.tagged[i]));
                     self.pool.release(p);
@@ -457,7 +551,7 @@ impl Shard {
                 for li in lo..hi {
                     self.link_dead[li] = true;
                     while self.links.qhead[li] != NIL {
-                        let p = self.links.dequeue(li, &self.pool);
+                        let p = self.fifo_pop(li);
                         let tagged = self.pool.tagged[p as usize];
                         self.pool.release(p);
                         self.drop_packet(tagged, c_dropped);
@@ -467,10 +561,70 @@ impl Shard {
         }
     }
 
+    /// Shared injection tail for the dense and scheduled paths: stat and
+    /// counter updates plus routing the new packet into a FIFO.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn inject_one<R: Router + ?Sized>(
+        &mut self,
+        src: u32,
+        dst: u32,
+        cycle: u32,
+        pr: &RunParams,
+        router: &R,
+        fv: Option<&FaultView>,
+        c_injected: &ipg_obs::Counter,
+        c_injected_all: &ipg_obs::Counter,
+        c_dropped: &ipg_obs::Counter,
+    ) {
+        let tagged = cycle >= pr.tag_lo && cycle < pr.tag_hi;
+        if tagged {
+            self.stats.injected += 1;
+            c_injected.incr();
+        }
+        c_injected_all.incr();
+        self.accept(src, dst, cycle, tagged, router, fv, c_dropped);
+    }
+
+    /// Serve link `li`: if it is alive, free, and non-empty, launch its
+    /// head packet into the outbox stamped with its arrival wheel slot.
+    #[inline]
+    fn launch(&mut self, li: usize, cycle: u32, pr: &RunParams) {
+        if !self.link_dead.is_empty() && self.link_dead[li] {
+            return; // dead links refuse launches
+        }
+        if self.links.next_free[li] <= u64::from(cycle) && self.links.qhead[li] != NIL {
+            let p = self.fifo_pop(li);
+            let occupancy = u64::from(self.links.interval[li]) * u64::from(pr.msg_len);
+            // occupancy: the whole message crosses the link
+            self.links.next_free[li] = u64::from(cycle) + occupancy;
+            if !self.link_busy.is_empty() {
+                self.link_busy[li] += occupancy;
+            }
+            // forward progress of the head
+            let advance = if pr.store_forward {
+                self.links.interval[li] * pr.msg_len
+            } else {
+                self.links.interval[li]
+            };
+            let slot = (cycle + advance) % pr.wheel_len;
+            self.outbox.push(Msg {
+                to: self.links.to[li],
+                dst: self.pool.dst[p as usize],
+                born: self.pool.born[p as usize],
+                tagged: self.pool.tagged[p as usize],
+                slot,
+            });
+            self.pool.release(p);
+        }
+    }
+
     /// Phase A: apply kills due this cycle (plan order), then injection
     /// (node order), then link service (link order), launching departures
     /// into the local outbox. Counter updates are atomic adds,
-    /// order-independent across shards.
+    /// order-independent across shards. Sparse by default: injection
+    /// comes off the chunked schedule, service off the active-link
+    /// worklist; `pr.dense` re-enables the full scans as the oracle.
     #[allow(clippy::too_many_arguments)]
     fn phase_a<R: Router + ?Sized>(
         &mut self,
@@ -488,56 +642,87 @@ impl Shard {
             }
         }
         let mut injected_now = 0u32;
-        for local in 0..self.node_count {
-            let src = self.base + local;
-            if fv.is_some_and(|view| view.node_dead(src)) {
-                continue; // dead nodes neither draw nor inject
-            }
-            let inject = self.rngs[local as usize].gen::<f64>() < pr.injection_rate;
-            if !inject {
-                continue;
-            }
-            let Some(dst) = pick_destination(pr.n, src, pr.traffic, &mut self.rngs[local as usize])
-            else {
-                continue;
-            };
-            let tagged = cycle >= pr.tag_lo && cycle < pr.tag_hi;
-            if tagged {
-                self.stats.injected += 1;
-                c_injected.incr();
-            }
-            c_injected_all.incr();
-            injected_now += 1;
-            self.accept(src, dst, cycle, tagged, router, fv, c_dropped);
-        }
-        for li in 0..self.links.len() {
-            if !self.link_dead.is_empty() && self.link_dead[li] {
-                continue; // dead links refuse launches
-            }
-            if self.links.next_free[li] <= u64::from(cycle) && self.links.qhead[li] != NIL {
-                let p = self.links.dequeue(li, &self.pool);
-                let occupancy = u64::from(self.links.interval[li]) * u64::from(pr.msg_len);
-                // occupancy: the whole message crosses the link
-                self.links.next_free[li] = u64::from(cycle) + occupancy;
-                if !self.link_busy.is_empty() {
-                    self.link_busy[li] += occupancy;
+        if pr.dense {
+            for local in 0..self.node_count {
+                let src = self.base + local;
+                if fv.is_some_and(|view| view.node_dead(src)) {
+                    continue; // dead nodes neither draw nor inject
                 }
-                // forward progress of the head
-                let advance = if pr.store_forward {
-                    self.links.interval[li] * pr.msg_len
-                } else {
-                    self.links.interval[li]
+                let inject = bernoulli(&mut self.rngs[local as usize], pr.inj_threshold);
+                if !inject {
+                    continue;
+                }
+                let Some(dst) =
+                    pick_destination(pr.n, src, pr.traffic, &mut self.rngs[local as usize])
+                else {
+                    continue;
                 };
-                let slot = (cycle + advance) % pr.wheel_len;
-                self.outbox.push(Msg {
-                    to: self.links.to[li],
-                    dst: self.pool.dst[p as usize],
-                    born: self.pool.born[p as usize],
-                    tagged: self.pool.tagged[p as usize],
-                    slot,
-                });
-                self.pool.release(p);
+                injected_now += 1;
+                self.inject_one(
+                    src,
+                    dst,
+                    cycle,
+                    pr,
+                    router,
+                    fv,
+                    c_injected,
+                    c_injected_all,
+                    c_dropped,
+                );
             }
+        } else {
+            if self.sched.needs_refill(cycle) {
+                // Node-major chunk refill: replays the dense per-node draw
+                // sequence exactly (see [`InjectionSchedule`]).
+                let base = self.base;
+                let (n, traffic) = (pr.n, pr.traffic);
+                self.sched.refill(
+                    cycle..cycle + SCHEDULE_CHUNK.min(pr.total_cycles - cycle),
+                    self.node_count,
+                    pr.injection_rate,
+                    &mut self.rngs,
+                    |local| fv.is_some_and(|view| view.node_dead(base + local)),
+                    |local, rng| pick_destination(n, base + local, traffic, rng),
+                );
+            }
+            // Index iteration: `inject_one` needs `&mut self` while the
+            // due bucket borrows `self.sched`.
+            for i in 0..self.sched.due(cycle).len() {
+                let (local, dst) = self.sched.due(cycle)[i];
+                let src = self.base + local;
+                if fv.is_some_and(|view| view.node_dead(src)) {
+                    continue; // died mid-chunk: the dense loop skips too
+                }
+                injected_now += 1;
+                self.inject_one(
+                    src,
+                    dst,
+                    cycle,
+                    pr,
+                    router,
+                    fv,
+                    c_injected,
+                    c_injected_all,
+                    c_dropped,
+                );
+            }
+        }
+        if pr.dense {
+            for li in 0..self.links.len() {
+                self.launch(li, cycle, pr);
+            }
+        } else {
+            // Snapshot the non-empty links in ascending order — the same
+            // relative order the dense scan serviced them in. A launch can
+            // only *empty* a local FIFO (arrivals land via the wheel next
+            // phase), so the snapshot covers every link with work.
+            let mut scratch = std::mem::take(&mut self.active_scratch);
+            scratch.clear();
+            self.active_links.collect_into(&mut scratch);
+            for &li in &scratch {
+                self.launch(li as usize, cycle, pr);
+            }
+            self.active_scratch = scratch;
         }
         let launched = self.outbox.len() as u64;
         if let Some(t) = self.tracer.as_mut() {
@@ -545,6 +730,12 @@ impl Shard {
                 t.phase_a(u64::from(cycle), injected_now, launched as u32);
                 t.outbox_depth(u64::from(cycle), launched);
                 t.link_util(u64::from(cycle), &self.link_busy);
+                t.worklist(
+                    u64::from(cycle),
+                    self.active_links.len(),
+                    self.busy_nodes,
+                    self.queued_total,
+                );
             }
         }
     }
@@ -563,9 +754,20 @@ impl Shard {
         dobs: &DeliveryObs,
         c_dropped: &ipg_obs::Counter,
     ) {
+        let sampling = self
+            .tracer
+            .as_ref()
+            .is_some_and(|t| t.sampled(u64::from(cycle)));
+        if !sampling && self.wheel[slot].is_empty() {
+            return; // O(1) skip: nothing arrives at this boundary
+        }
         let msgs = std::mem::take(&mut self.wheel[slot]);
+        self.wheel_live -= msgs.len() as u64;
         let mut delivered_now = 0u32;
         for msg in &msgs {
+            if msg.tagged {
+                self.tagged_wheel -= 1;
+            }
             if fv.is_some_and(|view| view.node_dead(msg.to)) {
                 // dead nodes neither deliver nor forward
                 self.drop_packet(msg.tagged, c_dropped);
@@ -593,48 +795,30 @@ impl Shard {
         let mut buf = msgs;
         buf.clear();
         self.wheel[slot] = buf;
-        if let Some(t) = self.tracer.as_mut() {
-            if t.sampled(u64::from(cycle)) {
+        if sampling {
+            if let Some(t) = self.tracer.as_mut() {
                 let c = u64::from(cycle);
                 t.phase_b(c, drained, delivered_now);
-                // Gauges are sampled here, after arrivals settle. The
-                // scans are O(links + wheel) and run only on sampling
-                // cycles, so the amortized per-cycle cost is bounded by
-                // links/interval.
-                let mut active = 0u64;
-                for w in self.link_of.windows(2) {
-                    let (lo, hi) = (w[0] as usize, w[1] as usize);
-                    if self.links.qlen[lo..hi].iter().any(|&q| q > 0) {
-                        active += 1;
-                    }
-                }
-                t.active_nodes(c, active);
+                // Gauges read the O(1) occupancy counters the fifo
+                // helpers and the wheel merge maintain; only the
+                // deepest-queue probe walks anything, and only the
+                // links that actually hold packets.
+                t.active_nodes(c, u64::from(self.busy_nodes));
                 t.pool_occupancy(c, u64::from(self.pool.live));
-                t.wheel_depth(c, self.wheel.iter().map(|s| s.len() as u64).sum());
-                let mut total = 0u64;
+                t.wheel_depth(c, self.wheel_live);
                 let mut deepest = 0u32;
-                for &q in &self.links.qlen {
-                    total += u64::from(q);
-                    deepest = deepest.max(q);
-                }
-                t.queue_depth(c, deepest, total);
+                self.active_links
+                    .for_each(|li| deepest = deepest.max(self.links.qlen[li as usize]));
+                t.queue_depth(c, deepest, self.queued_total);
             }
         }
     }
 
     /// Tagged packets still buffered (link FIFOs or the arrival wheel).
+    /// O(1): reads the occupancy counters maintained by the fifo helpers
+    /// and the wheel merge instead of re-walking every FIFO and slot.
     fn tagged_in_flight(&self) -> u64 {
-        let mut count = 0u64;
-        for li in 0..self.links.len() {
-            let mut p = self.links.qhead[li];
-            while p != NIL {
-                if self.pool.tagged[p as usize] {
-                    count += 1;
-                }
-                p = self.pool.next[p as usize];
-            }
-        }
-        count + self.wheel.iter().flatten().filter(|m| m.tagged).count() as u64
+        self.tagged_queued + self.tagged_wheel
     }
 }
 
@@ -684,6 +868,15 @@ pub struct Simulator<R: Router = RoutingTable> {
     shards: Vec<Shard>,
     max_interval: u32,
     plan: Option<FaultPlan>,
+    /// Dense-oracle mode (see [`Simulator::set_dense`]).
+    dense: bool,
+}
+
+/// Honor the `IPG_DENSE_ENGINE` escape hatch: any non-empty value other
+/// than `0` selects the dense oracle iteration for new simulators (both
+/// the packet engine and [`crate::wormhole::WormholeSim`]).
+pub(crate) fn dense_from_env() -> bool {
+    std::env::var_os("IPG_DENSE_ENGINE").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 impl Simulator<RoutingTable> {
@@ -722,6 +915,7 @@ impl<R: Router> Simulator<R> {
             let mut link_of = Vec::with_capacity(node_count as usize + 1);
             link_of.push(0u32);
             let mut links = Links::default();
+            let mut link_owner = Vec::new();
             for u in base..base + node_count {
                 for &v in g.neighbors(u) {
                     let interval = if module(u) == module(v) {
@@ -732,19 +926,31 @@ impl<R: Router> Simulator<R> {
                     .max(1);
                     max_interval = max_interval.max(interval);
                     links.push(v, interval);
+                    link_owner.push(u - base);
                 }
                 link_of.push(links.len() as u32);
             }
+            let nl = links.len();
             shards.push(Shard {
                 base,
                 node_count,
                 link_of,
+                link_owner,
                 links,
                 pool: Pool {
                     free: NIL,
                     ..Pool::default()
                 },
                 rngs: Vec::new(),
+                sched: InjectionSchedule::default(),
+                active_links: Worklist::new(nl),
+                active_scratch: Vec::new(),
+                node_busy: vec![0u32; node_count as usize],
+                busy_nodes: 0,
+                queued_total: 0,
+                tagged_queued: 0,
+                wheel_live: 0,
+                tagged_wheel: 0,
                 outbox: Vec::new(),
                 wheel: Vec::new(),
                 stats: ShardStats::default(),
@@ -763,6 +969,67 @@ impl<R: Router> Simulator<R> {
             shards,
             max_interval,
             plan: None,
+            dense: dense_from_env(),
+        }
+    }
+
+    /// Select the dense oracle iteration (`true`) or the default sparse
+    /// kernel (`false`) for subsequent runs. The two are byte-identical
+    /// in every observable — results, obs records, traces — by the
+    /// DESIGN.md §13 activation invariant; the dense path survives as the
+    /// equality oracle for tests and benchmarks. `IPG_DENSE_ENGINE=1`
+    /// sets the same flag at construction time.
+    pub fn set_dense(&mut self, dense: bool) {
+        self.dense = dense;
+    }
+
+    /// Recompute every sparse-kernel counter and worklist bit from the
+    /// underlying queue state and assert they agree — the DESIGN.md §13
+    /// activation invariant, checked the expensive way. Test-only
+    /// plumbing (proptests call it after each run); hidden from docs.
+    #[doc(hidden)]
+    pub fn validate_sparse_state(&self) {
+        for (si, sh) in self.shards.iter().enumerate() {
+            let mut queued = 0u64;
+            let mut tagged_q = 0u64;
+            let mut busy = vec![0u32; sh.node_count as usize];
+            let mut active = 0u32;
+            for li in 0..sh.links.len() {
+                let ql = sh.links.qlen[li];
+                assert_eq!(
+                    sh.active_links.contains(li as u32),
+                    ql > 0,
+                    "shard {si}: worklist bit desynced from link {li} (qlen {ql})"
+                );
+                if ql > 0 {
+                    busy[sh.link_owner[li] as usize] += 1;
+                    active += 1;
+                }
+                let mut p = sh.links.qhead[li];
+                let mut walked = 0u32;
+                while p != NIL {
+                    queued += 1;
+                    if sh.pool.tagged[p as usize] {
+                        tagged_q += 1;
+                    }
+                    walked += 1;
+                    p = sh.pool.next[p as usize];
+                }
+                assert_eq!(walked, ql, "shard {si}: qlen desynced on link {li}");
+            }
+            assert_eq!(queued, sh.queued_total, "shard {si}: queued_total");
+            assert_eq!(tagged_q, sh.tagged_queued, "shard {si}: tagged_queued");
+            assert_eq!(busy, sh.node_busy, "shard {si}: node_busy");
+            assert_eq!(
+                busy.iter().filter(|&&b| b > 0).count() as u32,
+                sh.busy_nodes,
+                "shard {si}: busy_nodes"
+            );
+            assert_eq!(active, sh.active_links.len(), "shard {si}: worklist len");
+            let wl: u64 = sh.wheel.iter().map(|s| s.len() as u64).sum();
+            assert_eq!(wl, sh.wheel_live, "shard {si}: wheel_live");
+            let tw = sh.wheel.iter().flatten().filter(|m| m.tagged).count() as u64;
+            assert_eq!(tw, sh.tagged_wheel, "shard {si}: tagged_wheel");
         }
     }
 
@@ -837,6 +1104,7 @@ impl<R: Router> Simulator<R> {
         let pr = RunParams {
             n: self.n as u32,
             injection_rate: cfg.injection_rate,
+            inj_threshold: bernoulli_threshold(cfg.injection_rate),
             traffic: cfg.traffic,
             msg_len,
             store_forward: cfg.switching == Switching::StoreForward,
@@ -849,6 +1117,8 @@ impl<R: Router> Simulator<R> {
                 Switching::StoreForward => 0,
                 Switching::CutThrough => (msg_len - 1) * cfg.on_module_interval,
             },
+            total_cycles,
+            dense: self.dense,
         };
 
         // Link-busy accounting feeds both the end-of-run utilization
@@ -868,6 +1138,15 @@ impl<R: Router> Simulator<R> {
             sh.rngs = (sh.base..sh.base + sh.node_count)
                 .map(|v| node_stream(cfg.seed, v))
                 .collect();
+            sh.sched.reset();
+            sh.active_links.clear();
+            sh.active_scratch.clear();
+            sh.node_busy.fill(0);
+            sh.busy_nodes = 0;
+            sh.queued_total = 0;
+            sh.tagged_queued = 0;
+            sh.wheel_live = 0;
+            sh.tagged_wheel = 0;
             sh.outbox.clear();
             sh.wheel.clear();
             sh.wheel.resize_with(wheel_len as usize, Vec::new);
@@ -930,8 +1209,12 @@ impl<R: Router> Simulator<R> {
                 let outbox = std::mem::take(&mut self.shards[si].outbox);
                 moved += outbox.len() as u32;
                 for msg in &outbox {
-                    let dst_shard = (msg.to / shard_size) as usize;
-                    self.shards[dst_shard].wheel[msg.slot as usize].push(*msg);
+                    let dst_shard = &mut self.shards[(msg.to / shard_size) as usize];
+                    dst_shard.wheel[msg.slot as usize].push(*msg);
+                    dst_shard.wheel_live += 1;
+                    if msg.tagged {
+                        dst_shard.tagged_wheel += 1;
+                    }
                 }
                 let mut buf = outbox;
                 buf.clear();
@@ -1489,6 +1772,48 @@ mod tests {
         let b = run();
         assert_eq!(a, b);
         assert!(a.dropped_unreachable > 0, "node 7 dies with traffic around");
+    }
+
+    #[test]
+    fn dense_oracle_matches_sparse_byte_for_byte() {
+        let g = classic::torus2d(24); // multi-shard
+        let cfg = light_cfg();
+        let run = |dense: bool| {
+            let mut sim = Simulator::new(&g, |_| 0, &cfg);
+            sim.set_dense(dense);
+            let tc = TraceConfig::with_interval(100);
+            let (r, trace) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
+            sim.validate_sparse_state();
+            (r, trace.unwrap().to_jsonl())
+        };
+        let (rs, ts) = run(false);
+        let (rd, td) = run(true);
+        assert_eq!(rs, rd, "sparse result must equal the dense oracle");
+        assert_eq!(ts, td, "trace streams must be byte-identical");
+    }
+
+    #[test]
+    fn dense_oracle_matches_sparse_under_faults() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        use crate::router::DetourRouter;
+        let g = classic::torus2d(24); // multi-shard
+        let cfg = light_cfg();
+        let spec = FaultSpec::parse("script:node@600:7;rate:links=0.05,at=1500").unwrap();
+        let run = |dense: bool| {
+            let plan = FaultPlan::compile(&spec, &g, cfg.seed).unwrap();
+            let router = DetourRouter::new(RoutingTable::new(&g), g.clone()).unwrap();
+            let mut sim = Simulator::with_router(router, &g, |_| 0, &cfg);
+            sim.set_fault_plan(Some(plan));
+            sim.set_dense(dense);
+            let r = sim.run(&cfg);
+            sim.validate_sparse_state();
+            r
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "fault campaigns must not split the kernels"
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod fault;
 pub mod rng;
 pub mod router;
 pub mod table;
+pub mod worklist;
 pub mod wormhole;
 
 pub use emulate::HostEmulator;

@@ -66,6 +66,137 @@ pub fn edge_stream(seed: u64, u: u32, v: u32) -> NodeRng {
     NodeRng(SmallRng::seed_from_u64(seed ^ !z))
 }
 
+/// Integer Bernoulli threshold: `(next_u64() >> 11) < threshold` decides
+/// exactly like `rng.gen::<f64>() < rate` while skipping the int→float
+/// conversion and float compare in the hottest loop the engine has (one
+/// draw per node per cycle, every cycle).
+///
+/// Exactness: the vendored `Standard` f64 is `k·2⁻⁵³` with
+/// `k = next_u64() >> 11`, and both `k·2⁻⁵³` and `rate` are exact f64
+/// values, so `k·2⁻⁵³ < rate  ⟺  k < rate·2⁵³` over the reals. Scaling
+/// by `2⁵³` is a pure exponent shift (no rounding), and taking `ceil`
+/// makes `k < threshold` match the strict real inequality whether or not
+/// `rate·2⁵³` is integral.
+#[inline]
+pub fn bernoulli_threshold(rate: f64) -> u64 {
+    const TWO_53: f64 = 9_007_199_254_740_992.0;
+    let t = (rate.max(0.0) * TWO_53).ceil();
+    if t >= TWO_53 {
+        1u64 << 53 // rate ≥ 1.0: every 53-bit draw passes
+    } else {
+        t as u64
+    }
+}
+
+/// One Bernoulli trial against a [`bernoulli_threshold`]: consumes exactly
+/// one `next_u64`, same decision as `rng.gen::<f64>() < rate`.
+#[inline]
+pub fn bernoulli(rng: &mut NodeRng, threshold: u64) -> bool {
+    use rand::RngCore;
+    (rng.next_u64() >> 11) < threshold
+}
+
+/// Cycles covered per [`InjectionSchedule::refill`]. Large enough that a
+/// node's generator state stays in registers across a whole chunk of
+/// Bernoulli draws (the dense engine re-touches every node's ~32-byte
+/// state every cycle — pure memory traffic at low injection rates);
+/// small enough that a shard's per-cycle event buckets stay cache-sized.
+pub const SCHEDULE_CHUNK: u32 = 256;
+
+/// Chunked injection schedule: the sparse engines' replacement for the
+/// per-cycle "every node draws its Bernoulli" loop.
+///
+/// A node's stream position depends only on how many draws it has made
+/// ([`node_stream`]), so its next `SCHEDULE_CHUNK` cycles of injection
+/// decisions can be drawn **ahead of time, node-major** — the per-node
+/// draw sequence (and therefore every drawn value) is identical to the
+/// dense cycle-major order, because streams never interleave across
+/// nodes. The refill records `(node, destination)` events bucketed by
+/// cycle; the per-cycle hot path then touches only nodes that actually
+/// inject.
+///
+/// Nodes dead at refill time are skipped (they can never draw again —
+/// kills are permanent). Nodes that die *mid-chunk* have events already
+/// recorded past their death; callers must filter those at execution
+/// time with the same `node_dead` check the dense loop used. The extra
+/// pre-drawn values are unobservable: a dead node's stream is never
+/// consulted again.
+#[derive(Default)]
+pub struct InjectionSchedule {
+    /// First cycle the current chunk covers.
+    base: u32,
+    /// Cycles covered (0 = nothing buffered; forces a refill).
+    span: u32,
+    /// Per cycle-offset event buckets: `(local node, destination)` in
+    /// node order — the order the dense injection loop used.
+    buckets: Vec<Vec<(u32, u32)>>,
+}
+
+impl InjectionSchedule {
+    /// Forget any buffered chunk (keeps allocations). Call at run start.
+    pub fn reset(&mut self) {
+        self.base = 0;
+        self.span = 0;
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+
+    /// Does `cycle` fall outside the buffered chunk?
+    #[inline]
+    pub fn needs_refill(&self, cycle: u32) -> bool {
+        self.span == 0 || cycle < self.base || cycle >= self.base + self.span
+    }
+
+    /// Draw injection decisions for the half-open `cycles` range from
+    /// each live node's stream. `skip(local)` exempts dead nodes from
+    /// drawing; `pick(local, rng)` draws the destination exactly as the
+    /// dense path would (returning `None` for self-mapped patterns, which
+    /// consume their draws but inject nothing).
+    pub fn refill(
+        &mut self,
+        cycles: core::ops::Range<u32>,
+        node_count: u32,
+        rate: f64,
+        rngs: &mut [NodeRng],
+        mut skip: impl FnMut(u32) -> bool,
+        mut pick: impl FnMut(u32, &mut NodeRng) -> Option<u32>,
+    ) {
+        let span = cycles.end - cycles.start;
+        self.base = cycles.start;
+        self.span = span;
+        if self.buckets.len() < span as usize {
+            self.buckets.resize_with(span as usize, Vec::new);
+        }
+        for b in &mut self.buckets[..span as usize] {
+            b.clear();
+        }
+        let threshold = bernoulli_threshold(rate);
+        for local in 0..node_count {
+            if skip(local) {
+                continue;
+            }
+            let rng = &mut rngs[local as usize];
+            for off in 0..span {
+                if !bernoulli(rng, threshold) {
+                    continue;
+                }
+                if let Some(dst) = pick(local, rng) {
+                    self.buckets[off as usize].push((local, dst));
+                }
+            }
+        }
+    }
+
+    /// The `(local node, destination)` events due at `cycle`, in node
+    /// order. Empty when the cycle holds no injections.
+    #[inline]
+    pub fn due(&self, cycle: u32) -> &[(u32, u32)] {
+        debug_assert!(!self.needs_refill(cycle), "schedule not refilled");
+        &self.buckets[(cycle - self.base) as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +255,47 @@ mod tests {
             draws(edge_stream(7, 0, 9)),
             draws(node_stream(7, 9)),
             "edge and node domains must not alias"
+        );
+    }
+
+    #[test]
+    fn chunked_schedule_replays_the_dense_cycle_major_order() {
+        // Dense reference: cycle-major iteration, one Bernoulli (+ one
+        // destination draw on a hit) per node per cycle.
+        let seed = 99u64;
+        let (nodes, span, rate) = (16u32, 32u32, 0.3f64);
+        let pick = |local: u32, rng: &mut NodeRng| -> Option<u32> {
+            let mut d = rng.gen_range(0..nodes - 1);
+            if d >= local {
+                d += 1;
+            }
+            Some(d)
+        };
+        let mut dense_rngs: Vec<NodeRng> = (0..nodes).map(|v| node_stream(seed, v)).collect();
+        let mut dense: Vec<Vec<(u32, u32)>> = vec![Vec::new(); span as usize];
+        for cycle in 0..span {
+            for local in 0..nodes {
+                let rng = &mut dense_rngs[local as usize];
+                if rng.gen::<f64>() < rate {
+                    if let Some(d) = pick(local, rng) {
+                        dense[cycle as usize].push((local, d));
+                    }
+                }
+            }
+        }
+        let mut sparse_rngs: Vec<NodeRng> = (0..nodes).map(|v| node_stream(seed, v)).collect();
+        let mut sched = InjectionSchedule::default();
+        sched.refill(0..span, nodes, rate, &mut sparse_rngs, |_| false, pick);
+        for cycle in 0..span {
+            assert_eq!(
+                sched.due(cycle),
+                &dense[cycle as usize][..],
+                "cycle {cycle}: node-major chunk must replay the dense order"
+            );
+        }
+        assert!(
+            dense.iter().any(|b| !b.is_empty()),
+            "test must exercise non-empty buckets"
         );
     }
 

@@ -33,11 +33,35 @@
 //! cannot be split into independent node-range phases without changing
 //! allocation outcomes. The loop is sequential — and therefore trivially
 //! thread-count invariant.
+//!
+//! # Sparse flit hot path
+//!
+//! The simulator is sparse by default (DESIGN.md §13): injection is
+//! precomputed in node-major chunks ([`crate::rng::InjectionSchedule`]),
+//! and the per-cycle link-service loop iterates a node [`Worklist`]
+//! instead of every link. The activation invariant is **exact**, not
+//! lazy: node `u` is on the worklist iff `demand[u] > 0`, where
+//! `demand[u]` counts `u`'s pending source-queue packets plus the flits
+//! buffered on `u`'s input VCs — precisely the state `step_link` can
+//! act on. Every queue mutation routes through `demand_add`/`demand_sub`
+//! (and the `buf_push`/`buf_pop` buffer helpers), so the bit and the
+//! queue state change together and the worklist is identical in dense
+//! and sparse mode. The sweep is a **live cursor** over ascending node
+//! ids — the dense link-major order, since links are CSR-grouped by
+//! source node — so a flit forwarded to a higher-numbered node this
+//! cycle is swept again this cycle, exactly as the dense loop revisits
+//! it. `step_link` short-circuits on `demand == 0` in *both* modes, so
+//! even credit-stall counts (probe failures) match byte for byte; the
+//! dense loop (`IPG_DENSE_ENGINE=1`) is kept as the oracle.
 
+use crate::engine::dense_from_env;
 use crate::fault::{FaultPlan, LocalFault, ShardFaults};
-use crate::rng::{node_stream, NodeRng};
+use crate::rng::{
+    bernoulli, bernoulli_threshold, node_stream, InjectionSchedule, NodeRng, SCHEDULE_CHUNK,
+};
 use crate::router::Router;
 use crate::table::RoutingTable;
+use crate::worklist::Worklist;
 use ipg_core::fault::FaultView;
 use ipg_core::graph::Csr;
 use ipg_obs::{Counter, Histogram, Obs, ShardTracer, Trace, TraceConfig, ENGINE_TRACK};
@@ -241,6 +265,9 @@ pub struct WormholeSim<R: Router = RoutingTable> {
     link_of: Vec<u32>,
     /// compiled fault campaign applied by every run (None = fault-free).
     plan: Option<FaultPlan>,
+    /// iterate every link per cycle instead of the node worklist (the
+    /// dense oracle; see the module docs).
+    dense: bool,
 }
 
 impl WormholeSim<RoutingTable> {
@@ -283,7 +310,16 @@ impl<R: Router> WormholeSim<R> {
             in_links,
             link_of,
             plan: None,
+            dense: dense_from_env(),
         }
+    }
+
+    /// Select the dense (every link, every cycle) oracle iteration
+    /// instead of the worklist-driven sparse hot path. Both produce
+    /// byte-identical outcomes and traces; dense exists as the
+    /// equivalence oracle for tests and `IPG_DENSE_ENGINE=1` runs.
+    pub fn set_dense(&mut self, dense: bool) {
+        self.dense = dense;
     }
 
     /// Install (or clear) a compiled fault plan for subsequent runs. Dead
@@ -409,6 +445,15 @@ impl<R: Router> WormholeSim<R> {
             ],
             dropped: 0,
             c_dropped: obs.counter("wormhole.dropped_unreachable"),
+            sched: InjectionSchedule::default(),
+            active: Worklist::new(self.n),
+            scratch: Vec::new(),
+            demand: vec![0; self.n],
+            in_flits: vec![0; self.n],
+            in_nodes: 0,
+            buffered_total: 0,
+            dense: self.dense,
+            inj_threshold: bernoulli_threshold(cfg.injection_rate),
         };
         let outcome = run.execute(obs, window);
         if track {
@@ -485,6 +530,25 @@ struct Run<'a, R: Router> {
     /// packets destroyed by the fault campaign.
     dropped: u64,
     c_dropped: Counter,
+    /// chunked node-major injection precompute (sparse mode only).
+    sched: InjectionSchedule,
+    /// nodes with demand (pending source packets or buffered input
+    /// flits); bit set iff `demand > 0`, in dense and sparse mode alike.
+    active: Worklist,
+    /// snapshot buffer for the ejection pass over `active`.
+    scratch: Vec<u32>,
+    /// per-node: pending source-queue entries + buffered input flits.
+    demand: Vec<u32>,
+    /// per-node: flits buffered on the node's input VCs.
+    in_flits: Vec<u32>,
+    /// nodes with `in_flits > 0` (worklist gauge).
+    in_nodes: u32,
+    /// flits buffered network-wide (replaces the per-cycle arena scan).
+    buffered_total: u64,
+    /// dense-oracle iteration? (copied from the parent simulator)
+    dense: bool,
+    /// `rng::bernoulli_threshold(cfg.injection_rate)`, precomputed once.
+    inj_threshold: u64,
 }
 
 impl<R: Router> Run<'_, R> {
@@ -500,42 +564,137 @@ impl<R: Router> Run<'_, R> {
         }
     }
 
+    /// One unit of work appeared at node `v` (a source packet or an
+    /// input flit). Activates `v` on the 0→1 transition.
+    #[inline]
+    fn demand_add(&mut self, v: usize) {
+        self.demand[v] += 1;
+        if self.demand[v] == 1 {
+            self.active.insert(v as u32);
+        }
+    }
+
+    /// One unit of work left node `v`. Deactivates on the 1→0 transition.
+    #[inline]
+    fn demand_sub(&mut self, v: usize) {
+        debug_assert!(self.demand[v] > 0);
+        self.demand[v] -= 1;
+        if self.demand[v] == 0 {
+            self.active.remove(v as u32);
+        }
+    }
+
+    /// Buffer `flit` on VC slot `sidx`, maintaining the flit counters and
+    /// the downstream node's demand. The **only** way flits enter buffers.
+    #[inline]
+    fn buf_push(&mut self, sidx: usize, flit: Flit) {
+        self.bufs.push_back(sidx, flit);
+        self.buffered_total += 1;
+        let v = self.sim.link_to[sidx / self.cfg.vcs] as usize;
+        if self.in_flits[v] == 0 {
+            self.in_nodes += 1;
+        }
+        self.in_flits[v] += 1;
+        self.demand_add(v);
+    }
+
+    /// Pop the front flit of VC slot `sidx`, maintaining the counters.
+    /// The **only** way flits leave buffers.
+    #[inline]
+    fn buf_pop(&mut self, sidx: usize) -> Flit {
+        let f = self.bufs.pop_front(sidx);
+        self.buffered_total -= 1;
+        let v = self.sim.link_to[sidx / self.cfg.vcs] as usize;
+        self.in_flits[v] -= 1;
+        if self.in_flits[v] == 0 {
+            self.in_nodes -= 1;
+        }
+        self.demand_sub(v);
+        f
+    }
+
+    /// Inject one packet `src → dst` (`dst != src`), replicating the
+    /// dense bookkeeping order: count the injection, then refuse the
+    /// launch if the faulted graph has no usable route.
+    fn enqueue_packet(&mut self, src: u32, dst: u32, cycle: u32) {
+        self.injected += 1;
+        self.c_injected.incr();
+        if self.faulted && self.route(src, dst).is_none() {
+            // refused launch: no usable route on the faulted graph
+            self.drop_one();
+            return;
+        }
+        let pkt = self.packets.len() as u32;
+        self.packets.push(PacketInfo {
+            dst,
+            born: cycle,
+            head_hops: 0,
+        });
+        self.source[src as usize].push_back((pkt, self.cfg.packet_flits));
+        self.demand_add(src as usize);
+    }
+
     fn inject(&mut self, cycle: u32) {
-        for src in 0..self.sim.n as u32 {
-            if self.faulted && self.view.node_dead(src) {
-                continue; // dead nodes neither draw their stream nor inject
-            }
-            let rng = &mut self.rngs[src as usize];
-            if rng.gen::<f64>() >= self.cfg.injection_rate {
-                continue;
-            }
-            let dst = match &self.cfg.traffic {
-                WormTraffic::Uniform => {
-                    let mut d = rng.gen_range(0..self.sim.n as u32 - 1);
-                    if d >= src {
-                        d += 1;
-                    }
-                    d
+        if self.dense {
+            for src in 0..self.sim.n as u32 {
+                if self.faulted && self.view.node_dead(src) {
+                    continue; // dead nodes neither draw their stream nor inject
                 }
-                WormTraffic::Fixed(map) => map[src as usize],
-            };
-            if dst == src {
-                continue;
+                let rng = &mut self.rngs[src as usize];
+                if !bernoulli(rng, self.inj_threshold) {
+                    continue;
+                }
+                let dst = match &self.cfg.traffic {
+                    WormTraffic::Uniform => {
+                        let mut d = rng.gen_range(0..self.sim.n as u32 - 1);
+                        if d >= src {
+                            d += 1;
+                        }
+                        d
+                    }
+                    WormTraffic::Fixed(map) => map[src as usize],
+                };
+                if dst == src {
+                    continue;
+                }
+                self.enqueue_packet(src, dst, cycle);
             }
-            self.injected += 1;
-            self.c_injected.incr();
-            if self.faulted && self.route(src, dst).is_none() {
-                // refused launch: no usable route on the faulted graph
-                self.drop_one();
-                continue;
+            return;
+        }
+        if self.sched.needs_refill(cycle) {
+            let n = self.sim.n as u32;
+            let cfg = self.cfg;
+            let faulted = self.faulted;
+            let view = &self.view;
+            self.sched.refill(
+                cycle..cycle + SCHEDULE_CHUNK.min(cfg.cycles - cycle),
+                n,
+                cfg.injection_rate,
+                &mut self.rngs,
+                |src| faulted && view.node_dead(src),
+                |src, rng| match &cfg.traffic {
+                    WormTraffic::Uniform => {
+                        let mut d = rng.gen_range(0..n - 1);
+                        if d >= src {
+                            d += 1;
+                        }
+                        Some(d)
+                    }
+                    // fixed patterns consume no destination draw; a
+                    // self-mapped source injects nothing (as dense)
+                    WormTraffic::Fixed(map) => {
+                        let d = map[src as usize];
+                        (d != src).then_some(d)
+                    }
+                },
+            );
+        }
+        for i in 0..self.sched.due(cycle).len() {
+            let (src, dst) = self.sched.due(cycle)[i];
+            if self.faulted && self.view.node_dead(src) {
+                continue; // died mid-chunk: events past the death are void
             }
-            let pkt = self.packets.len() as u32;
-            self.packets.push(PacketInfo {
-                dst,
-                born: cycle,
-                head_hops: 0,
-            });
-            self.source[src as usize].push_back((pkt, self.cfg.packet_flits));
+            self.enqueue_packet(src, dst, cycle);
         }
     }
 
@@ -573,14 +732,18 @@ impl<R: Router> Run<'_, R> {
             }
             let l = self.bufs.len(sidx);
             for _ in 0..l {
-                let f = self.bufs.pop_front(sidx);
+                let f = self.buf_pop(sidx);
                 if doomed.binary_search(&f.pkt).is_err() {
-                    self.bufs.push_back(sidx, f);
+                    self.buf_push(sidx, f);
                 }
             }
         }
-        for q in &mut self.source {
-            q.retain(|&(p, _)| doomed.binary_search(&p).is_err());
+        for v in 0..self.source.len() {
+            let before = self.source[v].len();
+            self.source[v].retain(|&(p, _)| doomed.binary_search(&p).is_err());
+            for _ in self.source[v].len()..before {
+                self.demand_sub(v);
+            }
         }
         self.dropped += doomed.len() as u64;
         self.c_dropped.add(doomed.len() as u64);
@@ -648,6 +811,7 @@ impl<R: Router> Run<'_, R> {
         let is_tail = left == 1;
         if is_tail {
             self.source[u as usize].pop_front();
+            self.demand_sub(u as usize);
         } else {
             // ipg-analyze: allow(PANIC001) reason="caller peeked front() before calling pop_source"
             self.source[u as usize].front_mut().expect("checked").1 -= 1;
@@ -665,6 +829,12 @@ impl<R: Router> Run<'_, R> {
             return false; // dead links refuse every launch
         }
         let u = self.sim.link_from[link as usize];
+        if self.demand[u as usize] == 0 {
+            // Nothing at u to send — skip the VC probes. Shared by both
+            // modes so even credit-stall counts match: a probe failure is
+            // only a stall when there was demand behind it.
+            return false;
+        }
         for probe in 0..self.cfg.vcs {
             let out_vc = (self.rr[link as usize] + probe) % self.cfg.vcs;
             let sidx = self.sidx(link, out_vc);
@@ -701,7 +871,7 @@ impl<R: Router> Run<'_, R> {
                 let iidx = self.sidx(in_link, vc);
                 if let Some(flit) = self.bufs.front(iidx) {
                     if flit.pkt == pkt {
-                        let flit = self.bufs.pop_front(iidx);
+                        let flit = self.buf_pop(iidx);
                         return self.deliver_onto(link, out_vc, flit);
                     }
                 }
@@ -721,6 +891,7 @@ impl<R: Router> Run<'_, R> {
                         // the network around u decayed since injection:
                         // refuse the launch and drop the un-started packet
                         self.source[u as usize].pop_front();
+                        self.demand_sub(u as usize);
                         self.drop_one();
                         return false;
                     }
@@ -759,7 +930,7 @@ impl<R: Router> Run<'_, R> {
                 if self.sim.link_toward(u, hop) != link || self.want_vc(hops) != out_vc {
                     continue;
                 }
-                let flit = self.bufs.pop_front(iidx);
+                let flit = self.buf_pop(iidx);
                 return self.deliver_onto(link, out_vc, flit);
             }
         }
@@ -779,7 +950,7 @@ impl<R: Router> Run<'_, R> {
         if flit.is_tail {
             self.bufs.owner[sidx] = NO_OWNER;
         }
-        self.bufs.push_back(sidx, flit);
+        self.buf_push(sidx, flit);
         if !self.link_busy.is_empty() {
             self.link_busy[link as usize] += 1;
         }
@@ -790,25 +961,55 @@ impl<R: Router> Run<'_, R> {
     }
 
     /// Eject flits that reached their destination.
+    ///
+    /// Each `(link, vc)` buffer is drained independently and the
+    /// delivered/latency updates commute, so dense (link-major) and
+    /// sparse (active nodes → their in-links) orders produce identical
+    /// state and stats.
     fn eject(&mut self, cycle: u32) -> bool {
         let mut moved = false;
-        for link in 0..self.sim.link_to.len() as u32 {
-            let to = self.sim.link_to[link as usize];
-            for vc in 0..self.cfg.vcs {
-                let sidx = self.sidx(link, vc);
-                while let Some(flit) = self.bufs.front(sidx) {
-                    if self.packets[flit.pkt as usize].dst != to {
-                        break;
-                    }
-                    self.bufs.pop_front(sidx);
-                    moved = true;
-                    if flit.is_tail {
-                        self.delivered += 1;
-                        let lat = (cycle + 1 - self.packets[flit.pkt as usize].born) as u64;
-                        self.latency_sum += lat;
-                        self.c_delivered.incr();
-                        self.h_latency.observe(lat);
-                    }
+        if self.dense {
+            for link in 0..self.sim.link_to.len() as u32 {
+                moved |= self.eject_link(link, cycle);
+            }
+            return moved;
+        }
+        // Snapshot: every node with buffered input flits has demand > 0
+        // and is therefore on the worklist; ejection only shrinks it.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.active.collect_into(&mut scratch);
+        for &v in &scratch {
+            if self.in_flits[v as usize] == 0 {
+                continue; // source demand only: nothing buffered to eject
+            }
+            for i in 0..self.sim.in_links[v as usize].len() {
+                let link = self.sim.in_links[v as usize][i];
+                moved |= self.eject_link(link, cycle);
+            }
+        }
+        self.scratch = scratch;
+        moved
+    }
+
+    /// Drain destination-reached flits from the front of `link`'s VCs.
+    fn eject_link(&mut self, link: u32, cycle: u32) -> bool {
+        let to = self.sim.link_to[link as usize];
+        let mut moved = false;
+        for vc in 0..self.cfg.vcs {
+            let sidx = self.sidx(link, vc);
+            while let Some(flit) = self.bufs.front(sidx) {
+                if self.packets[flit.pkt as usize].dst != to {
+                    break;
+                }
+                self.buf_pop(sidx);
+                moved = true;
+                if flit.is_tail {
+                    self.delivered += 1;
+                    let lat = (cycle + 1 - self.packets[flit.pkt as usize].born) as u64;
+                    self.latency_sum += lat;
+                    self.c_delivered.incr();
+                    self.h_latency.observe(lat);
                 }
             }
         }
@@ -829,15 +1030,35 @@ impl<R: Router> Run<'_, R> {
             }
             self.inject(cycle);
             let mut moved = false;
-            for link in 0..self.sim.link_from.len() as u32 {
-                moved |= self.step_link(link);
+            if self.dense {
+                for link in 0..self.sim.link_from.len() as u32 {
+                    moved |= self.step_link(link);
+                }
+            } else {
+                // Live cursor sweep over demand nodes in ascending order —
+                // the dense link-major order (links are CSR-grouped by
+                // source). A node activated *ahead* of the cursor by a
+                // flit delivered this cycle is swept this cycle, exactly
+                // as the dense loop reaches its links later; one activated
+                // behind the cursor waits for the next cycle, exactly as
+                // the dense loop has already passed it.
+                let mut cursor = 0u32;
+                while let Some(u) = self.active.next_active(cursor) {
+                    cursor = u + 1;
+                    let lo = self.sim.link_of[u as usize];
+                    let hi = self.sim.link_of[u as usize + 1];
+                    for link in lo..hi {
+                        moved |= self.step_link(link);
+                    }
+                }
             }
             moved |= self.eject(cycle);
             if window > 0 && (cycle + 1) % window == 0 {
                 obs.emit_window(cycle as u64 + 1);
             }
 
-            let buffered = self.bufs.total_buffered();
+            let buffered = self.buffered_total as usize;
+            debug_assert_eq!(buffered, self.bufs.total_buffered());
             if let Some(t) = self.tracer.as_mut() {
                 if t.sampled(u64::from(cycle)) {
                     let c = u64::from(cycle);
@@ -846,6 +1067,7 @@ impl<R: Router> Run<'_, R> {
                     t.queue_depth(c, deepest, buffered as u64);
                     t.link_util(c, &self.link_busy);
                     t.credit_stalls(c, &self.stalls);
+                    t.worklist(c, self.active.len(), self.in_nodes, self.buffered_total);
                 }
             }
             if moved {
@@ -1103,6 +1325,112 @@ mod tests {
         assert_eq!(a.stats().delivered, b.stats().delivered);
         assert_eq!(a.stats().avg_latency, b.stats().avg_latency);
         assert_eq!(b.stats().dropped, 0);
+    }
+
+    #[test]
+    fn dense_oracle_matches_sparse_wormhole_byte_for_byte() {
+        // Congested multi-hop config: small buffers + long packets force
+        // credit stalls and same-cycle multi-hop forwarding, the cases
+        // where sparse sweep order could plausibly diverge. Stats AND
+        // trace bytes must agree between the worklist sweep and the
+        // dense-oracle iteration.
+        let g = classic::torus2d(4);
+        let mut sim = WormholeSim::new(&g);
+        let cfg = WormholeConfig {
+            vcs: 8,
+            buffer_flits: 1,
+            packet_flits: 8,
+            injection_rate: 0.05,
+            cycles: 2_000,
+            ..WormholeConfig::default()
+        };
+        let tc = TraceConfig::with_interval(50);
+        sim.set_dense(false);
+        let (sparse, strace) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
+        sim.set_dense(true);
+        let (dense, dtrace) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
+        let (s, d) = (sparse.stats(), dense.stats());
+        assert!(s.injected > 0 && s.delivered > 0);
+        assert_eq!(s.injected, d.injected);
+        assert_eq!(s.delivered, d.delivered);
+        assert_eq!(s.dropped, d.dropped);
+        assert_eq!(s.avg_latency, d.avg_latency);
+        assert_eq!(
+            strace.unwrap().to_jsonl(),
+            dtrace.unwrap().to_jsonl(),
+            "sparse trace must be byte-identical to the dense oracle's"
+        );
+    }
+
+    #[test]
+    fn dense_oracle_matches_sparse_wormhole_under_faults() {
+        // Fault campaigns exercise the remaining activation paths: purge
+        // (network-wide flit removal), refused launches, and mid-chunk
+        // node deaths filtered out of the precomputed schedule.
+        use crate::fault::FaultSpec;
+        use crate::router::DetourRouter;
+        let g = classic::hypercube(5);
+        let router = DetourRouter::new(RoutingTable::new(&g), g.clone()).unwrap();
+        let mut sim = WormholeSim::with_router(router, &g);
+        let spec = FaultSpec::parse("script:node@500:3+link@800:0-1+link@800:4-5").unwrap();
+        let plan = FaultPlan::compile(&spec, &g, 0xabcd).unwrap();
+        sim.set_fault_plan(Some(plan));
+        let cfg = WormholeConfig {
+            vcs: 6,
+            injection_rate: 0.02,
+            cycles: 6_000,
+            ..WormholeConfig::default()
+        };
+        let tc = TraceConfig::with_interval(100);
+        sim.set_dense(false);
+        let (sparse, strace) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
+        sim.set_dense(true);
+        let (dense, dtrace) = sim.run_traced(&cfg, &Obs::disabled(), 0, Some(&tc));
+        let (s, d) = (sparse.stats(), dense.stats());
+        assert!(s.dropped > 0, "the fault campaign must bite");
+        assert_eq!(s.injected, d.injected);
+        assert_eq!(s.delivered, d.delivered);
+        assert_eq!(s.dropped, d.dropped);
+        assert_eq!(s.avg_latency, d.avg_latency);
+        assert_eq!(strace.unwrap().to_jsonl(), dtrace.unwrap().to_jsonl());
+    }
+
+    #[test]
+    fn dense_oracle_matches_sparse_on_deadlock() {
+        // The deadlock detector runs off the shared `moved`/buffered
+        // state, so both modes must wedge at the same cycle with the
+        // same stuck-packet census.
+        let g = classic::ring(8);
+        let mut sim = WormholeSim::new(&g);
+        let fixed: Vec<u32> = (0..8u32).map(|i| (i + 3) % 8).collect();
+        let cfg = WormholeConfig {
+            vcs: 1,
+            buffer_flits: 1,
+            packet_flits: 8,
+            injection_rate: 0.5,
+            cycles: 20_000,
+            deadlock_threshold: 300,
+            policy: VcPolicy::Single,
+            traffic: WormTraffic::Fixed(fixed),
+            ..WormholeConfig::default()
+        };
+        sim.set_dense(false);
+        let a = sim.run(&cfg);
+        sim.set_dense(true);
+        let b = sim.run(&cfg);
+        match (a, b) {
+            (
+                WormholeOutcome::Deadlocked {
+                    at_cycle: ca,
+                    stuck_packets: pa,
+                },
+                WormholeOutcome::Deadlocked {
+                    at_cycle: cb,
+                    stuck_packets: pb,
+                },
+            ) => assert_eq!((ca, pa), (cb, pb)),
+            _ => panic!("both modes must deadlock"),
+        }
     }
 
     #[test]

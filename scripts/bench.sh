@@ -11,7 +11,7 @@ export IPG_THREADS="${IPG_THREADS:-4}"
 # Refuse to benchmark code with open determinism findings: numbers from a
 # nondeterministic build are not comparable run to run.
 echo "== ipg-analyze (DET rules) =="
-if ! cargo run -q -p ipg-analyze -- --rules DET001,DET002,DET003,DET004,DET005,DET006 --format human; then
+if ! cargo run -q -p ipg-analyze -- --rules DET001,DET002,DET003,DET004,DET005,DET006,DET007 --format human; then
     echo "bench.sh: refusing to benchmark with open DET-class findings" >&2
     exit 1
 fi
