@@ -3,15 +3,24 @@
 //! The baseline grandfathers pre-existing findings so the gate can be
 //! turned on strictly for *new* code. Policy (DESIGN.md §9): **the
 //! baseline may only shrink** — entries are matched against current
-//! findings by `(rule, path, snippet)`, and an entry that no longer
-//! matches anything is reported as *stale* and fails the gate until it is
-//! deleted. Every entry carries a `reason` explaining why it is
-//! grandfathered rather than fixed.
+//! findings by stable [`fingerprint`] (an FNV-1a hash of path, rule, and
+//! *whitespace-normalized* snippet — no line numbers, no raw
+//! indentation, so entries survive unrelated line drift and
+//! reformatting), and an entry that no longer matches anything is
+//! reported as *stale* and fails the gate until it is deleted. Every
+//! entry carries a `reason` explaining why it is grandfathered rather
+//! than fixed.
+//!
+//! **Deprecated legacy format:** baselines written before the
+//! fingerprint migration carry no `fingerprint` key and are matched by
+//! raw `(rule, path, snippet)` equality instead. They keep working, but
+//! the report prints a deprecation note until `--write-baseline`
+//! rewrites them in the fingerprinted form.
 //!
 //! The file is a JSON array with one flat, string-valued object per
-//! entry. Parsing is hand-rolled (this crate is dependency-free); the
-//! grammar accepted is exactly what [`render`] emits plus arbitrary
-//! whitespace, which covers hand-edits that delete lines.
+//! entry. Parsing is hand-rolled (this crate carries no external
+//! dependencies); the grammar accepted is exactly what [`render`] emits
+//! plus arbitrary whitespace, which covers hand-edits that delete lines.
 
 use crate::rules::Finding;
 
@@ -20,29 +29,86 @@ use crate::rules::Finding;
 pub struct BaselineEntry {
     pub rule: String,
     pub path: String,
-    /// Trimmed source line at the finding site (line-number free, so the
-    /// baseline survives unrelated edits above the site).
+    /// Trimmed source line at the finding site — kept for human readers;
+    /// matching goes through the fingerprint.
     pub snippet: String,
+    /// Stable identity: [`fingerprint`] of `(path, rule, snippet)`.
+    /// `None` for entries read from a legacy (pre-fingerprint) baseline.
+    pub fingerprint: Option<String>,
     pub reason: String,
 }
 
 impl BaselineEntry {
-    /// Matching key against a current finding.
+    /// Build the (fingerprinted) entry for a finding.
+    pub fn of(f: &Finding, reason: &str) -> BaselineEntry {
+        BaselineEntry {
+            rule: f.rule.to_string(),
+            path: f.path.clone(),
+            snippet: f.snippet.clone(),
+            fingerprint: Some(fingerprint(f.rule, &f.path, &f.snippet)),
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Matching key against a current finding: fingerprint when the
+    /// entry has one, legacy exact-snippet equality otherwise.
     pub fn matches(&self, f: &Finding) -> bool {
-        self.rule == f.rule && self.path == f.path && self.snippet == f.snippet
+        if self.rule != f.rule || self.path != f.path {
+            return false;
+        }
+        match &self.fingerprint {
+            Some(fp) => *fp == fingerprint(f.rule, &f.path, &f.snippet),
+            None => self.snippet == f.snippet,
+        }
     }
 }
 
-/// Serialize entries (sorted) to the committed JSON form.
+/// Collapse whitespace runs to single spaces (and trim) so a fingerprint
+/// survives re-indentation and intra-line reformatting.
+pub fn normalize_snippet(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Stable finding identity: 64-bit FNV-1a over
+/// `path NUL rule NUL normalized-snippet`, rendered as 16 hex digits.
+/// Deliberately excludes the line number, so the baseline survives
+/// unrelated edits above the finding site.
+pub fn fingerprint(rule: &str, path: &str, snippet: &str) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let normalized = normalize_snippet(snippet);
+    for b in path
+        .bytes()
+        .chain([0])
+        .chain(rule.bytes())
+        .chain([0])
+        .chain(normalized.bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
+}
+
+/// Serialize entries (sorted) to the committed JSON form. Always emits
+/// the fingerprinted format: legacy entries without one are upgraded in
+/// place, which is how `--write-baseline` migrates an old file.
 pub fn render(entries: &[BaselineEntry]) -> String {
     let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
     sorted.sort_by(|a, b| (&a.path, &a.rule, &a.snippet).cmp(&(&b.path, &b.rule, &b.snippet)));
     let mut out = String::from("[\n");
     for (i, e) in sorted.iter().enumerate() {
+        let fp = e
+            .fingerprint
+            .clone()
+            .unwrap_or_else(|| fingerprint(&e.rule, &e.path, &e.snippet));
         out.push_str("  {\"rule\":");
         out.push_str(&quote(&e.rule));
         out.push_str(",\"path\":");
         out.push_str(&quote(&e.path));
+        out.push_str(",\"fingerprint\":");
+        out.push_str(&quote(&fp));
         out.push_str(",\"snippet\":");
         out.push_str(&quote(&e.snippet));
         out.push_str(",\"reason\":");
@@ -101,10 +167,15 @@ pub fn parse(src: &str) -> Result<Vec<BaselineEntry>, String> {
                 .map(|(_, v)| v.clone())
                 .ok_or_else(|| format!("baseline entry missing `{k}`"))
         };
+        let fingerprint = obj
+            .iter()
+            .find(|(key, _)| key == "fingerprint")
+            .map(|(_, v)| v.clone());
         entries.push(BaselineEntry {
             rule: get("rule")?,
             path: get("path")?,
             snippet: get("snippet")?,
+            fingerprint,
             reason: get("reason")?,
         });
         p.ws();
@@ -226,7 +297,19 @@ mod tests {
             rule: rule.into(),
             path: path.into(),
             snippet: snippet.into(),
+            fingerprint: Some(fingerprint(rule, path, snippet)),
             reason: reason.into(),
+        }
+    }
+
+    fn finding(rule: &'static str, path: &str, line: u32, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            severity: crate::rules::Severity::Error,
+            path: path.into(),
+            line,
+            message: String::new(),
+            snippet: snippet.into(),
         }
     }
 
@@ -284,5 +367,60 @@ mod tests {
         assert!(parse("{").is_err());
         assert!(parse("[{\"rule\":\"R\"}]").is_err()); // missing keys
         assert!(parse("[{\"rule\":\"R\" \"path\":\"p\"}]").is_err());
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_numbers_and_whitespace() {
+        let e = entry(
+            "DET003",
+            "crates/x/src/a.rs",
+            "let t = Instant::now();",
+            "r",
+        );
+        // the finding moved 40 lines and got re-indented — still matches
+        let drifted = finding(
+            "DET003",
+            "crates/x/src/a.rs",
+            73,
+            "let t  =   Instant::now();",
+        );
+        assert!(e.matches(&drifted));
+        // a different statement does not
+        let other = finding("DET003", "crates/x/src/a.rs", 73, "let t = epoch();");
+        assert!(!e.matches(&other));
+        // nor the same snippet under a different rule or path
+        assert!(!entry(
+            "DET004",
+            "crates/x/src/a.rs",
+            "let t = Instant::now();",
+            "r"
+        )
+        .matches(&drifted));
+        assert!(!entry(
+            "DET003",
+            "crates/x/src/b.rs",
+            "let t = Instant::now();",
+            "r"
+        )
+        .matches(&drifted));
+    }
+
+    #[test]
+    fn legacy_entries_parse_and_match_by_raw_snippet() {
+        // pre-fingerprint on-disk form: no fingerprint key
+        let legacy = "[\n  {\"rule\":\"R1\",\"path\":\"p.rs\",\"snippet\":\"x.unwrap();\",\"reason\":\"old\"}\n]\n";
+        let back = parse(legacy).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].fingerprint, None);
+        assert!(back[0].matches(&finding("R1", "p.rs", 5, "x.unwrap();")));
+        // legacy matching is exact on the raw snippet (no normalization)
+        assert!(!back[0].matches(&finding("R1", "p.rs", 5, "x.unwrap() ;")));
+        // re-rendering migrates: the fingerprint key appears
+        let migrated = render(&back);
+        assert!(migrated.contains("\"fingerprint\":"));
+        assert_eq!(
+            parse(&migrated).unwrap()[0].fingerprint.as_deref(),
+            Some(fingerprint("R1", "p.rs", "x.unwrap();").as_str())
+        );
     }
 }

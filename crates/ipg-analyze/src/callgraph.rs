@@ -1,0 +1,811 @@
+//! Intra-workspace call-graph construction over [`crate::parser`] output.
+//!
+//! Each library function of the analyzed crates becomes a node; edges are
+//! *resolved call sites*. Resolution is deliberately approximate — no
+//! type inference, no trait solving — but errs on the side of
+//! over-approximation where that is cheap, because the consumer
+//! ([`crate::reach`]) uses the graph to prove the *absence* of sink
+//! reachability:
+//!
+//! - **Qualified paths** (`crate::rng::node_stream`, `ipg_core::fault::
+//!   bfs_faulted`, `Csr::from_fn`, `Self::helper`) resolve through the
+//!   file's `use`-alias table, `crate`/`self`/`super`/`Self` anchors, and
+//!   workspace crate names.
+//! - **Bare calls** (`helper(x)`) resolve to the same module, then to the
+//!   use-alias table, then to any free function of the same crate (this
+//!   covers glob imports).
+//! - **Method calls** (`x.launch(…)`) resolve *by name* to every
+//!   workspace method with that name — except names on the std-prelude
+//!   skip list ([`METHOD_SKIP`]), which would connect every `.push(…)` to
+//!   every workspace `push` and drown the graph in false edges. A
+//!   `self.foo(…)` call bypasses the skip list and resolves within the
+//!   caller's own impl type first, so intra-type plumbing (the engines'
+//!   `fifo_push`, `demand_add`, …) always stays connected.
+//!
+//! The approximation trade-offs are documented in DESIGN.md §14.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{FnDef, ParsedFile};
+use crate::rules::FileKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything the graph passes need to know about one source file.
+/// Produced by the driver's (parallel) per-file scan; order is the
+/// driver's sorted file order, so downstream passes are deterministic.
+pub struct FileUnit {
+    pub crate_name: String,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    pub kind: FileKind,
+    /// File-level module path derived from the location under `src/`
+    /// (`src/engine.rs` → `["engine"]`, `src/lib.rs` → `[]`).
+    pub module: Vec<String>,
+    pub tokens: Vec<Tok>,
+    pub parsed: ParsedFile,
+    pub test_ranges: Vec<(u32, u32)>,
+    pub lines: Vec<String>,
+}
+
+impl FileUnit {
+    pub fn file_name(&self) -> &str {
+        self.rel_path.rsplit('/').next().unwrap_or(&self.rel_path)
+    }
+
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// One extracted call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Call {
+    pub line: u32,
+    pub kind: CallKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `a::b::f(…)` or bare `f(…)` — full path segments incl. the name.
+    Path(Vec<String>),
+    /// `.f(…)`; `on_self` when the receiver is literally `self`.
+    Method { name: String, on_self: bool },
+    /// `name!(…)` / `name![…]` / `name!{…}`.
+    Macro(String),
+}
+
+/// Keywords that read like calls (`if (…)`, `match (…)`) or that never
+/// name a function.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "in", "as", "move",
+    "mut", "ref", "unsafe", "where", "else", "let", "fn", "impl", "use", "pub", "dyn", "box",
+    "await", "yield", "true", "false", "const", "static", "struct", "enum", "trait", "mod",
+    "extern", "type",
+];
+
+/// Ubiquitous std-prelude method names: resolving these by bare name
+/// would wire every `.push(…)` to every workspace `push` method. Calls
+/// through `self` bypass this list (they resolve within the caller's own
+/// impl type), so intra-type helpers stay connected regardless of name.
+pub const METHOD_SKIP: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "abs",
+    "binary_search",
+    "bytes",
+    "chain",
+    "chars",
+    "checked_add",
+    "checked_mul",
+    "checked_sub",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "extend",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "map",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "ne",
+    "next",
+    "ok",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "partition_point",
+    "pop",
+    "position",
+    "push",
+    "push_str",
+    "remove",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "starts_with",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "windows",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// Extract call sites from a body token range.
+pub fn extract_calls(toks: &[Tok], body: (usize, usize)) -> Vec<Call> {
+    let (lo, hi) = body;
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi.min(toks.len()) {
+        let TokKind::Ident(name) = &toks[i].kind else {
+            i += 1;
+            continue;
+        };
+        // `fn helper(` — a nested fn definition, not a call
+        if i > lo {
+            if let TokKind::Ident(prev) = &toks[i - 1].kind {
+                if prev == "fn" {
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        if CALL_KEYWORDS.contains(&name.as_str()) {
+            i += 1;
+            continue;
+        }
+        // optional turbofish `::<…>` between the name and the arguments
+        let mut j = i + 1;
+        if j + 2 < hi
+            && toks[j].kind == TokKind::Punct(':')
+            && toks[j + 1].kind == TokKind::Punct(':')
+            && toks[j + 2].kind == TokKind::Punct('<')
+        {
+            let mut depth = 0i32;
+            let mut k = j + 2;
+            while k < hi {
+                match toks[k].kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = (k + 1).min(hi);
+        }
+        let next = toks.get(j).filter(|_| j < hi).map(|t| &t.kind);
+        // macro call: `name!(…)` / `name![…]` / `name!{…}`
+        if next == Some(&TokKind::Punct('!')) {
+            let delim = toks.get(j + 1).filter(|_| j + 1 < hi).map(|t| &t.kind);
+            if matches!(
+                delim,
+                Some(TokKind::Punct('(')) | Some(TokKind::Punct('[')) | Some(TokKind::Punct('{'))
+            ) {
+                out.push(Call {
+                    line: toks[i].line,
+                    kind: CallKind::Macro(name.clone()),
+                });
+            }
+            i = j + 1;
+            continue;
+        }
+        if next != Some(&TokKind::Punct('(')) {
+            i += 1;
+            continue;
+        }
+        // method call?
+        if i > lo && toks[i - 1].kind == TokKind::Punct('.') {
+            let on_self = i >= 2
+                && toks[i - 2].kind == TokKind::Ident("self".to_string())
+                && (i < 3 || toks[i - 3].kind != TokKind::Punct('.'));
+            out.push(Call {
+                line: toks[i].line,
+                kind: CallKind::Method {
+                    name: name.clone(),
+                    on_self,
+                },
+            });
+            i = j;
+            continue;
+        }
+        // path call: walk back over `seg ::` pairs
+        let mut segs = vec![name.clone()];
+        let mut k = i;
+        while k >= lo + 3
+            && toks[k - 1].kind == TokKind::Punct(':')
+            && toks[k - 2].kind == TokKind::Punct(':')
+        {
+            if let TokKind::Ident(seg) = &toks[k - 3].kind {
+                segs.insert(0, seg.clone());
+                k -= 3;
+            } else {
+                break;
+            }
+        }
+        out.push(Call {
+            line: toks[i].line,
+            kind: CallKind::Path(segs),
+        });
+        i = j;
+    }
+    out
+}
+
+/// One call-graph node: a library function of an analyzed crate.
+pub struct Node {
+    /// Index into the `FileUnit` slice the graph was built from.
+    pub file: usize,
+    pub def: FnDef,
+    /// Short display key for chains: `Type::name` or `name`.
+    pub key: String,
+    pub calls: Vec<Call>,
+}
+
+/// The workspace call graph. Node ids are positions in `nodes`, assigned
+/// in (sorted file, definition) order — deterministic by construction.
+pub struct Graph {
+    pub nodes: Vec<Node>,
+    /// `edges[u]` = sorted, deduped `(target node, call line)` pairs.
+    pub edges: Vec<Vec<(usize, u32)>>,
+}
+
+/// Build the call graph over `files`, keeping only library code of the
+/// crates in `crates` (tests, benches, bins, and `#[cfg(test)]` items are
+/// excluded — they can neither be reached from engine entry points nor
+/// should they pollute method-name resolution).
+pub fn build(files: &[FileUnit], crates: &BTreeSet<String>) -> Graph {
+    let mut nodes = Vec::new();
+    for (fi, u) in files.iter().enumerate() {
+        if !crates.contains(&u.crate_name)
+            || u.kind != FileKind::Lib
+            || u.rel_path.starts_with("vendor/")
+        {
+            continue;
+        }
+        for def in &u.parsed.fns {
+            if u.in_test(def.line) {
+                continue;
+            }
+            let key = match &def.self_ty {
+                Some(t) => format!("{t}::{}", def.name),
+                None => def.name.clone(),
+            };
+            let calls = extract_calls(&u.tokens, def.body);
+            nodes.push(Node {
+                file: fi,
+                def: def.clone(),
+                key,
+                calls,
+            });
+        }
+    }
+
+    // name indexes
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut ty_methods: BTreeMap<(&str, &str, &str), Vec<usize>> = BTreeMap::new();
+    let mut free_by_module: BTreeMap<(&str, String, &str), Vec<usize>> = BTreeMap::new();
+    let mut free_by_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut any_by_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (id, n) in nodes.iter().enumerate() {
+        let u = &files[n.file];
+        let crate_name = u.crate_name.as_str();
+        let name = n.def.name.as_str();
+        any_by_crate.entry((crate_name, name)).or_default().push(id);
+        match &n.def.self_ty {
+            Some(ty) => {
+                methods.entry(name).or_default().push(id);
+                ty_methods
+                    .entry((crate_name, ty.as_str(), name))
+                    .or_default()
+                    .push(id);
+            }
+            None => {
+                let mut module = u.module.clone();
+                module.extend(n.def.module.iter().cloned());
+                free_by_module
+                    .entry((crate_name, module.join("::"), name))
+                    .or_default()
+                    .push(id);
+                free_by_crate
+                    .entry((crate_name, name))
+                    .or_default()
+                    .push(id);
+            }
+        }
+    }
+    let crate_names: BTreeSet<&str> = crates.iter().map(|s| s.as_str()).collect();
+
+    let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); nodes.len()];
+    for (id, n) in nodes.iter().enumerate() {
+        let u = &files[n.file];
+        for call in &n.calls {
+            let targets = match &call.kind {
+                CallKind::Method { name, on_self } => {
+                    resolve_method(name, *on_self, n, u, &methods, &ty_methods)
+                }
+                CallKind::Path(segs) => resolve_path(
+                    segs,
+                    n,
+                    u,
+                    &crate_names,
+                    &ty_methods,
+                    &free_by_module,
+                    &free_by_crate,
+                    &any_by_crate,
+                ),
+                CallKind::Macro(_) => Vec::new(),
+            };
+            for t in targets {
+                if t != id {
+                    edges[id].push((t, call.line));
+                }
+            }
+        }
+        edges[id].sort_unstable();
+        edges[id].dedup_by_key(|(t, _)| *t);
+    }
+
+    Graph { nodes, edges }
+}
+
+fn resolve_method(
+    name: &str,
+    on_self: bool,
+    caller: &Node,
+    caller_file: &FileUnit,
+    methods: &BTreeMap<&str, Vec<usize>>,
+    ty_methods: &BTreeMap<(&str, &str, &str), Vec<usize>>,
+) -> Vec<usize> {
+    if on_self {
+        if let Some(ty) = &caller.def.self_ty {
+            if let Some(v) = ty_methods.get(&(caller_file.crate_name.as_str(), ty.as_str(), name)) {
+                return v.clone();
+            }
+        }
+        // `self.f(…)` with no same-type impl: a trait default method or a
+        // blanket impl — fall back to the global name match
+        return methods.get(name).cloned().unwrap_or_default();
+    }
+    if METHOD_SKIP.contains(&name) {
+        return Vec::new();
+    }
+    methods.get(name).cloned().unwrap_or_default()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_path(
+    segs: &[String],
+    caller: &Node,
+    caller_file: &FileUnit,
+    crate_names: &BTreeSet<&str>,
+    ty_methods: &BTreeMap<(&str, &str, &str), Vec<usize>>,
+    free_by_module: &BTreeMap<(&str, String, &str), Vec<usize>>,
+    free_by_crate: &BTreeMap<(&str, &str), Vec<usize>>,
+    any_by_crate: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Vec<usize> {
+    let caller_crate = caller_file.crate_name.as_str();
+    if segs.len() == 1 {
+        let name = segs[0].as_str();
+        // tuple-struct constructors etc. start uppercase — not calls we
+        // can resolve, and treating `Some(…)` as a call would be noise
+        if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+            return Vec::new();
+        }
+        // same module
+        let mut module = caller_file.module.clone();
+        module.extend(caller.def.module.iter().cloned());
+        if let Some(v) = free_by_module.get(&(caller_crate, module.join("::"), name)) {
+            return v.clone();
+        }
+        // use alias
+        if let Some(u) = caller_file.parsed.uses.iter().find(|u| u.alias == name) {
+            let mut full = u.path.clone();
+            // replace the final segment with the original name (the alias
+            // may rename it, but `path` already ends at the true name)
+            let _ = &mut full;
+            return resolve_path(
+                &full,
+                caller,
+                caller_file,
+                crate_names,
+                ty_methods,
+                free_by_module,
+                free_by_crate,
+                any_by_crate,
+            );
+        }
+        // same crate, any module (glob / `super::*` imports)
+        return free_by_crate
+            .get(&(caller_crate, name))
+            .cloned()
+            .unwrap_or_default();
+    }
+
+    // expand a leading use alias: `graph::helper(…)` with
+    // `use ipg_core::graph;` in scope
+    if let Some(u) = caller_file
+        .parsed
+        .uses
+        .iter()
+        .find(|u| u.alias == segs[0] && u.path.len() > 1)
+    {
+        let mut full = u.path.clone();
+        full.extend(segs[1..].iter().cloned());
+        if full != segs {
+            return resolve_path(
+                &full,
+                caller,
+                caller_file,
+                crate_names,
+                ty_methods,
+                free_by_module,
+                free_by_crate,
+                any_by_crate,
+            );
+        }
+    }
+
+    // anchor the path to a crate + module prefix
+    let mut idx = 0usize;
+    let mut target_crate = None;
+    let mut module_prefix: Vec<String> = Vec::new();
+    match segs[0].as_str() {
+        "crate" => {
+            target_crate = Some(caller_crate.to_string());
+            idx = 1;
+        }
+        "self" => {
+            target_crate = Some(caller_crate.to_string());
+            module_prefix = caller_file.module.clone();
+            module_prefix.extend(caller.def.module.iter().cloned());
+            idx = 1;
+        }
+        "super" => {
+            target_crate = Some(caller_crate.to_string());
+            module_prefix = caller_file.module.clone();
+            module_prefix.extend(caller.def.module.iter().cloned());
+            while idx < segs.len() && segs[idx] == "super" {
+                module_prefix.pop();
+                idx += 1;
+            }
+        }
+        "Self" => {
+            // `Self::helper(…)` — associated fn of the caller's own type
+            if let (Some(ty), [.., name]) = (&caller.def.self_ty, segs) {
+                return ty_methods
+                    .get(&(caller_crate, ty.as_str(), name.as_str()))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            return Vec::new();
+        }
+        s => {
+            let dashed = s.replace('_', "-");
+            if crate_names.contains(dashed.as_str()) {
+                target_crate = Some(dashed);
+                idx = 1;
+            } else if crate_names.contains(s) {
+                target_crate = Some(s.to_string());
+                idx = 1;
+            }
+        }
+    }
+    let Some(target_crate) = target_crate else {
+        // `Type::f(…)` with no crate anchor: the type may be local or
+        // imported — try the caller's crate, then every analyzed crate
+        if segs.len() == 2 && segs[0].starts_with(|c: char| c.is_ascii_uppercase()) {
+            let (ty, name) = (segs[0].as_str(), segs[1].as_str());
+            if let Some(v) = ty_methods.get(&(caller_crate, ty, name)) {
+                return v.clone();
+            }
+            let mut out = Vec::new();
+            for c in crate_names {
+                if let Some(v) = ty_methods.get(&(*c, ty, name)) {
+                    out.extend(v.iter().copied());
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+        // std / vendor / unknown — outside the workspace graph
+        return Vec::new();
+    };
+
+    let rest = &segs[idx..];
+    let Some((name, pre)) = rest.split_last() else {
+        return Vec::new();
+    };
+    let name = name.as_str();
+    if let Some(last) = pre.last() {
+        if last.starts_with(|c: char| c.is_ascii_uppercase()) {
+            // `…::Type::assoc(…)`
+            if let Some(v) = ty_methods.get(&(target_crate.as_str(), last.as_str(), name)) {
+                return v.clone();
+            }
+        } else {
+            // `…::module::f(…)` — match on the full module path, then on
+            // the last segment alone (re-exports, partial paths)
+            let mut module = module_prefix.clone();
+            module.extend(pre.iter().cloned());
+            if let Some(v) = free_by_module.get(&(target_crate.as_str(), module.join("::"), name)) {
+                return v.clone();
+            }
+            if let Some(v) = free_by_module.get(&(target_crate.as_str(), last.clone(), name)) {
+                return v.clone();
+            }
+        }
+    } else {
+        let module = module_prefix.join("::");
+        if let Some(v) = free_by_module.get(&(target_crate.as_str(), module, name)) {
+            return v.clone();
+        }
+        if let Some(v) = free_by_crate.get(&(target_crate.as_str(), name)) {
+            return v.clone();
+        }
+    }
+    // generous fallback: any function with that name in the target crate
+    any_by_crate
+        .get(&(target_crate.as_str(), name))
+        .cloned()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser;
+    use crate::rules;
+
+    fn unit(crate_name: &str, rel_path: &str, module: &[&str], src: &str) -> FileUnit {
+        let lexed = lex(src);
+        let parsed = parser::parse(&lexed);
+        let test_ranges = rules::test_ranges(&lexed);
+        FileUnit {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            kind: FileKind::Lib,
+            module: module.iter().map(|s| s.to_string()).collect(),
+            tokens: lexed.tokens,
+            parsed,
+            test_ranges,
+            lines: src.lines().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn crates(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn edge_keys(g: &Graph, from_key: &str) -> Vec<String> {
+        let from = g.nodes.iter().position(|n| n.key == from_key).unwrap();
+        g.edges[from]
+            .iter()
+            .map(|&(t, _)| g.nodes[t].key.clone())
+            .collect()
+    }
+
+    #[test]
+    fn extracts_path_method_and_macro_calls() {
+        let lexed =
+            lex("fn f() { a::b::g(); x.m(); self.h(); vec![1]; format!(\"x\"); if (true) {} }");
+        let parsed = parser::parse(&lexed);
+        let calls = extract_calls(&lexed.tokens, parsed.fns[0].body);
+        assert!(calls.contains(&Call {
+            line: 1,
+            kind: CallKind::Path(vec!["a".into(), "b".into(), "g".into()])
+        }));
+        assert!(calls.contains(&Call {
+            line: 1,
+            kind: CallKind::Method {
+                name: "m".into(),
+                on_self: false
+            }
+        }));
+        assert!(calls.contains(&Call {
+            line: 1,
+            kind: CallKind::Method {
+                name: "h".into(),
+                on_self: true
+            }
+        }));
+        assert!(calls.contains(&Call {
+            line: 1,
+            kind: CallKind::Macro("vec".into())
+        }));
+        assert!(calls.contains(&Call {
+            line: 1,
+            kind: CallKind::Macro("format".into())
+        }));
+        assert!(
+            !calls
+                .iter()
+                .any(|c| matches!(&c.kind, CallKind::Path(p) if p == &["if".to_string()])),
+            "keywords must not parse as calls"
+        );
+    }
+
+    #[test]
+    fn turbofish_is_a_call() {
+        let lexed = lex("fn f() { helper::<u32>(1); x.collect::<Vec<_>>(); }");
+        let parsed = parser::parse(&lexed);
+        let calls = extract_calls(&lexed.tokens, parsed.fns[0].body);
+        assert!(calls.contains(&Call {
+            line: 1,
+            kind: CallKind::Path(vec!["helper".into()])
+        }));
+        assert!(calls.contains(&Call {
+            line: 1,
+            kind: CallKind::Method {
+                name: "collect".into(),
+                on_self: false
+            }
+        }));
+    }
+
+    #[test]
+    fn bare_and_qualified_calls_resolve_within_a_crate() {
+        let a = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            &["engine"],
+            "use crate::rng::node_stream;\nfn run() { helper(); node_stream(0, 1); }\nfn helper() {}\n",
+        );
+        let b = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/rng.rs",
+            &["rng"],
+            "pub fn node_stream(seed: u64, node: u32) {}\n",
+        );
+        let g = build(&[a, b], &crates(&["ipg-sim"]));
+        assert_eq!(edge_keys(&g, "run"), vec!["helper", "node_stream"]);
+    }
+
+    #[test]
+    fn cross_crate_paths_resolve() {
+        let sim = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            &["engine"],
+            "fn run() { ipg_core::fault::bfs_faulted(); }\n",
+        );
+        let core = unit(
+            "ipg-core",
+            "crates/ipg-core/src/fault.rs",
+            &["fault"],
+            "pub fn bfs_faulted() {}\n",
+        );
+        let g = build(&[sim, core], &crates(&["ipg-sim", "ipg-core"]));
+        assert_eq!(edge_keys(&g, "run"), vec!["bfs_faulted"]);
+    }
+
+    #[test]
+    fn self_method_calls_resolve_within_the_impl_type() {
+        let src = "struct S;\nimpl S {\n fn run(&self) { self.insert(); }\n fn insert(&self) {}\n}\nstruct T;\nimpl T { fn insert(&self) {} }\n";
+        let u = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/worklist.rs",
+            &["worklist"],
+            src,
+        );
+        let g = build(&[u], &crates(&["ipg-sim"]));
+        assert_eq!(edge_keys(&g, "S::run"), vec!["S::insert"]);
+    }
+
+    #[test]
+    fn skip_list_blocks_bare_name_method_resolution() {
+        let src = "struct S;\nimpl S { fn run(&self, w: W) { w.insert(0); w.launch(1); } }\nstruct W;\nimpl W {\n fn insert(&self, x: u32) {}\n fn launch(&self, x: u32) {}\n}\n";
+        let u = unit("ipg-sim", "crates/ipg-sim/src/engine.rs", &["engine"], src);
+        let g = build(&[u], &crates(&["ipg-sim"]));
+        // `.insert(` is on the skip list (std-prelude name); `.launch(` is not
+        assert_eq!(edge_keys(&g, "S::run"), vec!["W::launch"]);
+    }
+
+    #[test]
+    fn use_alias_resolves_type_associated_calls() {
+        let sim = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            &["engine"],
+            "use ipg_core::graph::Csr;\nfn run() { Csr::from_fn(3); }\n",
+        );
+        let core = unit(
+            "ipg-core",
+            "crates/ipg-core/src/graph.rs",
+            &["graph"],
+            "pub struct Csr;\nimpl Csr { pub fn from_fn(n: u32) -> Csr { Csr } }\n",
+        );
+        let g = build(&[sim, core], &crates(&["ipg-sim", "ipg-core"]));
+        assert_eq!(edge_keys(&g, "run"), vec!["Csr::from_fn"]);
+    }
+
+    #[test]
+    fn test_code_is_outside_the_graph() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n fn fake() { crate::real(); }\n}\n";
+        let u = unit("ipg-sim", "crates/ipg-sim/src/engine.rs", &["engine"], src);
+        let g = build(&[u], &crates(&["ipg-sim"]));
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].key, "real");
+    }
+}

@@ -1,16 +1,27 @@
 //! Workspace walk + analysis orchestration.
 //!
 //! The driver discovers crates from the root `Cargo.toml` workspace
-//! `members` list (globs expanded via the filesystem), lexes every `.rs`
-//! file under each member's `src/`, `tests/`, and `benches/` trees, runs
-//! the rules, applies suppressions, and diffs the survivors against the
-//! committed baseline. All traversal and output orders are sorted, so two
-//! runs produce byte-identical reports regardless of readdir order,
-//! thread count, or environment.
+//! `members` list (globs expanded via the filesystem), then scans every
+//! `.rs` file under each member's `src/`, `tests/`, and `benches/` trees
+//! — lexing, item-parsing, and running the token-level rules — **in
+//! parallel** over the vendored `rayon` pool. The per-file results merge
+//! in input order (the pool's `collect` is chunk-order-preserving), so
+//! reports are byte-identical for every `IPG_THREADS`.
+//!
+//! On top of the per-file scan sit the graph passes ([`crate::reach`]):
+//! the call graph is built from the parsed files and DET100 / ALLOC001 /
+//! LAYER001 run over it, with the same suppression and baseline
+//! machinery as the token rules. Findings are diffed against the
+//! committed baseline by stable fingerprint (see [`crate::baseline`]).
 
 use crate::baseline::{self, BaselineEntry};
+use crate::callgraph::{self, FileUnit};
 use crate::lexer;
-use crate::rules::{self, FileCtx, FileKind, Finding};
+use crate::parser;
+use crate::reach::{self, ManifestDep};
+use crate::rules::{self, FileCtx, FileKind, Finding, Suppression};
+use rayon::prelude::*;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -23,6 +34,11 @@ pub struct Config {
     /// When set, only findings of these rules are reported (baseline
     /// entries for other rules are ignored too, not treated as stale).
     pub rules_filter: Option<Vec<String>>,
+    /// When set, only analyze the member whose crate name (or directory
+    /// name) matches — the self-lint stage runs with `ipg-analyze` here.
+    pub member: Option<String>,
+    /// When false, skip the baseline entirely: every finding is new.
+    pub use_baseline: bool,
 }
 
 impl Config {
@@ -32,6 +48,8 @@ impl Config {
             root,
             baseline_path,
             rules_filter: None,
+            member: None,
+            use_baseline: true,
         }
     }
 }
@@ -49,6 +67,10 @@ pub struct Outcome {
     pub suppressed: usize,
     /// Number of files scanned.
     pub files: usize,
+    /// Baseline entries still in the pre-fingerprint format (matched by
+    /// raw snippet). They keep working, but the report carries a
+    /// deprecation note until `--write-baseline` rewrites them.
+    pub legacy_baseline: usize,
 }
 
 impl Outcome {
@@ -58,42 +80,85 @@ impl Outcome {
     }
 }
 
+/// Everything one parallel scan task produces for one file.
+struct FileScan {
+    unit: FileUnit,
+    /// Token-rule findings, suppressions already applied.
+    findings: Vec<Finding>,
+    /// Well-formed suppressions (kept for the graph passes).
+    sups: Vec<Suppression>,
+    /// How many token-rule findings the suppressions silenced.
+    suppressed: usize,
+}
+
 /// Run the analysis.
 pub fn analyze(cfg: &Config) -> Result<Outcome, String> {
     let members = workspace_members(&cfg.root)?;
-    let mut findings = Vec::new();
-    let mut suppressed = 0usize;
-    let mut files = 0usize;
-    let rule_set = rules::all_rules();
 
+    // member list → flat file job list (jobs are sorted: members are
+    // sorted and member_sources sorts within each member)
+    let mut jobs: Vec<(String, String, FileKind)> = Vec::new(); // (crate, rel, kind)
+    let mut manifest_deps: Vec<ManifestDep> = Vec::new();
     for member in &members {
         let crate_name = crate_name(&cfg.root.join(member))?;
-        for (rel, kind) in member_sources(&cfg.root, member) {
-            files += 1;
-            let abs = cfg.root.join(&rel);
-            let src =
-                fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
-            let lexed = lexer::lex(&src);
-            let lines: Vec<String> = src.lines().map(|s| s.to_string()).collect();
-            let test_ranges = rules::test_ranges(&lexed);
-            let ctx = FileCtx {
-                crate_name: &crate_name,
-                rel_path: &rel,
-                kind,
-                lexed: &lexed,
-                lines: &lines,
-                test_ranges: &test_ranges,
-            };
-            let mut file_findings = Vec::new();
-            for r in &rule_set {
-                r.check(&ctx, &mut file_findings);
+        if let Some(only) = &cfg.member {
+            let dir_name = member.rsplit('/').next().unwrap_or(member);
+            if only != &crate_name && only != dir_name {
+                continue;
             }
-            let (sups, mut hyg) = rules::parse_suppressions(&lexed.comments, &rel, &lines);
-            let before = file_findings.len();
-            file_findings.retain(|f| !rules::is_suppressed(f, &sups));
-            suppressed += before - file_findings.len();
-            file_findings.append(&mut hyg);
-            findings.append(&mut file_findings);
+        }
+        manifest_deps.extend(member_manifest_deps(&cfg.root, member, &crate_name));
+        for (rel, kind) in member_sources(&cfg.root, member) {
+            jobs.push((crate_name.clone(), rel, kind));
+        }
+    }
+
+    // parallel per-file scan; `collect` preserves job order, so the merge
+    // below is deterministic for every IPG_THREADS
+    let root = cfg.root.clone();
+    let scans: Vec<Result<FileScan, String>> = jobs
+        .into_par_iter()
+        .map(move |(crate_name, rel, kind)| scan_file(&root, crate_name, rel, kind))
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut units: Vec<FileUnit> = Vec::new();
+    let mut all_sups: Vec<Vec<Suppression>> = Vec::new();
+    let mut suppressed = 0usize;
+    let mut files = 0usize;
+    for scan in scans {
+        let mut scan = scan?;
+        files += 1;
+        suppressed += scan.suppressed;
+        findings.append(&mut scan.findings);
+        all_sups.push(scan.sups);
+        units.push(scan.unit);
+    }
+
+    // graph passes: DET100 / ALLOC001 over the call graph, LAYER001 over
+    // files + manifests
+    let graph_crates: BTreeSet<String> = units
+        .iter()
+        .filter(|u| {
+            !u.rel_path.starts_with("vendor/")
+                && !reach::BOUNDARY_CRATES.contains(&u.crate_name.as_str())
+        })
+        .map(|u| u.crate_name.clone())
+        .collect();
+    let graph = callgraph::build(&units, &graph_crates);
+    let mut graph_findings = reach::det100(&units, &graph);
+    graph_findings.extend(reach::alloc001(&units, &graph));
+    graph_findings.extend(reach::layer001(&units, &manifest_deps));
+    for f in graph_findings {
+        let sups = units
+            .iter()
+            .position(|u| u.rel_path == f.path)
+            .map(|i| all_sups[i].as_slice())
+            .unwrap_or(&[]);
+        if rules::is_suppressed(&f, sups) {
+            suppressed += 1;
+        } else {
+            findings.push(f);
         }
     }
 
@@ -110,15 +175,19 @@ pub fn analyze(cfg: &Config) -> Result<Outcome, String> {
     } else {
         cfg.root.join(&cfg.baseline_path)
     };
-    let mut entries: Vec<BaselineEntry> = match fs::read_to_string(&baseline_abs) {
-        Ok(text) => {
-            baseline::parse(&text).map_err(|e| format!("parse {}: {e}", baseline_abs.display()))?
+    let mut entries: Vec<BaselineEntry> = if cfg.use_baseline {
+        match fs::read_to_string(&baseline_abs) {
+            Ok(text) => baseline::parse(&text)
+                .map_err(|e| format!("parse {}: {e}", baseline_abs.display()))?,
+            Err(_) => Vec::new(), // no baseline file = empty baseline
         }
-        Err(_) => Vec::new(), // no baseline file = empty baseline
+    } else {
+        Vec::new()
     };
     if let Some(filter) = &cfg.rules_filter {
         entries.retain(|e| filter.iter().any(|r| r == &e.rule));
     }
+    let legacy_baseline = entries.iter().filter(|e| e.fingerprint.is_none()).count();
     let mut used = vec![false; entries.len()];
     let mut new = Vec::new();
     let mut baselined = Vec::new();
@@ -147,7 +216,76 @@ pub fn analyze(cfg: &Config) -> Result<Outcome, String> {
         stale,
         suppressed,
         files,
+        legacy_baseline,
     })
+}
+
+/// Lex, parse, and token-lint one file. Pure function of the file
+/// contents — safe to run on any pool worker.
+fn scan_file(
+    root: &Path,
+    crate_name: String,
+    rel: String,
+    kind: FileKind,
+) -> Result<FileScan, String> {
+    let abs = root.join(&rel);
+    let src = fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+    let lexed = lexer::lex(&src);
+    let lines: Vec<String> = src.lines().map(|s| s.to_string()).collect();
+    let test_ranges = rules::test_ranges(&lexed);
+    let ctx = FileCtx {
+        crate_name: &crate_name,
+        rel_path: &rel,
+        kind,
+        lexed: &lexed,
+        lines: &lines,
+        test_ranges: &test_ranges,
+    };
+    let mut findings = Vec::new();
+    for r in rules::all_rules() {
+        r.check(&ctx, &mut findings);
+    }
+    let (sups, mut hyg) = rules::parse_suppressions(&lexed.comments, &rel, &lines);
+    let before = findings.len();
+    findings.retain(|f| !rules::is_suppressed(f, &sups));
+    let suppressed = before - findings.len();
+    findings.append(&mut hyg);
+    let parsed = parser::parse(&lexed);
+    let module = module_path(&rel);
+    Ok(FileScan {
+        unit: FileUnit {
+            crate_name,
+            rel_path: rel,
+            kind,
+            module,
+            tokens: lexed.tokens,
+            parsed,
+            test_ranges,
+            lines,
+        },
+        findings,
+        sups,
+        suppressed,
+    })
+}
+
+/// File-level module path from the location under `src/`:
+/// `…/src/engine.rs` → `["engine"]`, `…/src/lib.rs` → `[]`,
+/// `…/src/foo/mod.rs` → `["foo"]`.
+fn module_path(rel: &str) -> Vec<String> {
+    let Some(pos) = rel.find("/src/") else {
+        return Vec::new();
+    };
+    let rest = &rel[pos + "/src/".len()..];
+    let rest = rest.strip_suffix(".rs").unwrap_or(rest);
+    let mut parts: Vec<&str> = rest.split('/').collect();
+    if parts.last() == Some(&"mod") {
+        parts.pop();
+    }
+    if parts == ["lib"] || parts == ["main"] {
+        return Vec::new();
+    }
+    parts.into_iter().map(|s| s.to_string()).collect()
 }
 
 /// Locate the workspace root by walking up from `start` to the first
@@ -244,6 +382,45 @@ fn crate_name(member_dir: &Path) -> Result<String, String> {
         .to_string())
 }
 
+/// `[dependencies]` entries from a member manifest, as [`ManifestDep`]s
+/// for the layering pass. `[dev-dependencies]` are deliberately skipped —
+/// tests may depend on anything.
+fn member_manifest_deps(root: &Path, member: &str, crate_name: &str) -> Vec<ManifestDep> {
+    let rel = format!("{member}/Cargo.toml");
+    let Ok(text) = fs::read_to_string(root.join(&rel)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name = …` or `name.workspace = true`; names may be quoted
+        let head = line
+            .split(['=', '.'])
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_matches('"');
+        if !head.is_empty() {
+            out.push(ManifestDep {
+                crate_name: crate_name.to_string(),
+                dep: head.to_string(),
+                rel_path: rel.clone(),
+                line: idx as u32 + 1,
+                snippet: line.to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// All `.rs` sources of one member, as sorted `(root-relative path,
 /// kind)` pairs. Fixture trees under `tests/fixtures/` are skipped —
 /// they contain deliberate rule violations for the analyzer's own tests.
@@ -297,24 +474,19 @@ fn walk(dir: &Path, f: &mut impl FnMut(&Path)) {
 }
 
 /// Write the current finding set (new + baselined, preserving reasons) as
-/// the baseline. Returns the rendered text.
+/// the baseline. Entries are always written in the fingerprinted format,
+/// so this is also the migration path for legacy baselines. Returns the
+/// rendered text.
 pub fn write_baseline(cfg: &Config, outcome: &Outcome) -> Result<String, String> {
     let mut entries: Vec<BaselineEntry> = Vec::new();
     for f in &outcome.new {
-        entries.push(BaselineEntry {
-            rule: f.rule.to_string(),
-            path: f.path.clone(),
-            snippet: f.snippet.clone(),
-            reason: "grandfathered — justify or fix, then delete this entry".to_string(),
-        });
+        entries.push(BaselineEntry::of(
+            f,
+            "grandfathered — justify or fix, then delete this entry",
+        ));
     }
     for (f, reason) in &outcome.baselined {
-        entries.push(BaselineEntry {
-            rule: f.rule.to_string(),
-            path: f.path.clone(),
-            snippet: f.snippet.clone(),
-            reason: reason.clone(),
-        });
+        entries.push(BaselineEntry::of(f, reason));
     }
     let text = baseline::render(&entries);
     let abs = if cfg.baseline_path.is_absolute() {
@@ -327,4 +499,28 @@ pub fn write_baseline(cfg: &Config, outcome: &Outcome) -> Result<String, String>
     }
     fs::write(&abs, &text).map_err(|e| format!("write {}: {e}", abs.display()))?;
     Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_paths_from_rel_paths() {
+        assert_eq!(module_path("crates/ipg-sim/src/engine.rs"), vec!["engine"]);
+        assert_eq!(
+            module_path("crates/ipg-sim/src/lib.rs"),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            module_path("crates/ipg-cli/src/main.rs"),
+            Vec::<String>::new()
+        );
+        assert_eq!(module_path("crates/x/src/foo/mod.rs"), vec!["foo"]);
+        assert_eq!(module_path("crates/x/src/foo/bar.rs"), vec!["foo", "bar"]);
+        assert_eq!(
+            module_path("crates/x/tests/golden.rs"),
+            Vec::<String>::new()
+        );
+    }
 }

@@ -9,8 +9,11 @@
 //! the workspace stays hermetic and the gate has zero dependencies.
 //!
 //! Handled: line comments (`//`, `///`, `//!`), nested block comments,
-//! string literals with escapes, raw strings `r#"…"#` (any `#` count),
-//! byte strings/chars, char literals vs. lifetimes, numeric literals.
+//! string literals with escapes (including `\`-newline continuations,
+//! which still advance the line counter), raw strings `r#"…"#` with any
+//! `#` count, byte strings `b"…"`, raw byte strings `br#"…"#`, C strings
+//! `c"…"`/`cr#"…"#`, byte chars `b'…'`, char literals vs. lifetimes, raw
+//! identifiers `r#ident`, numeric literals.
 
 /// One lexed token.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -144,6 +147,9 @@ pub fn lex(src: &str) -> Lexed {
                 i += 2;
                 while i < n {
                     if b[i] == b'\\' {
+                        if i + 1 < n && b[i + 1] == b'\n' {
+                            line += 1;
+                        }
                         i += 2;
                     } else if b[i] == b'\'' {
                         i += 1;
@@ -204,9 +210,14 @@ pub fn lex(src: &str) -> Lexed {
                 j += 1;
             }
             let ident = &src[start..j];
-            // r"…", r#"…"#, br"…", b"…" — string with a prefix ident
-            let is_raw_prefix = matches!(ident, "r" | "br" | "rb");
-            let is_byte_prefix = ident == "b";
+            // Literal prefixes. Raw flavors (`r`, `br`, `cr`) take `#`
+            // fences and have no escapes; escaped flavors (`b`, `c`)
+            // share the normal string-body rules. Mis-routing one of
+            // these desynchronizes the token stream for the rest of the
+            // file (e.g. treating `cr#"C:\"#` as an escaped string eats
+            // the closing quote), so every prefix is matched explicitly.
+            let is_raw_prefix = matches!(ident, "r" | "br" | "rb" | "cr");
+            let is_escaped_prefix = matches!(ident, "b" | "c");
             if is_raw_prefix && j < n && (b[j] == b'"' || b[j] == b'#') {
                 // count hashes, expect a quote
                 let mut hashes = 0usize;
@@ -226,7 +237,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 // `r#ident` raw identifier — fall through as ident below
             }
-            if is_byte_prefix && j < n && b[j] == b'"' {
+            if is_escaped_prefix && j < n && b[j] == b'"' {
                 i = skip_string_body(b, j + 1, &mut line);
                 out.tokens.push(Tok {
                     line: tline,
@@ -234,16 +245,22 @@ pub fn lex(src: &str) -> Lexed {
                 });
                 continue;
             }
-            if is_byte_prefix && j < n && b[j] == b'\'' {
+            if ident == "b" && j < n && b[j] == b'\'' {
                 // byte char literal b'x' / b'\n'
                 let mut k = j + 1;
                 while k < n {
                     if b[k] == b'\\' {
+                        if k + 1 < n && b[k + 1] == b'\n' {
+                            line += 1;
+                        }
                         k += 2;
                     } else if b[k] == b'\'' {
                         k += 1;
                         break;
                     } else {
+                        if b[k] == b'\n' {
+                            line += 1;
+                        }
                         k += 1;
                     }
                 }
@@ -251,7 +268,7 @@ pub fn lex(src: &str) -> Lexed {
                     line: tline,
                     kind: TokKind::CharLit,
                 });
-                i = k;
+                i = k.min(n);
                 continue;
             }
             // `r#struct` raw identifier: skip the hash, lex the ident
@@ -305,7 +322,15 @@ fn skip_string_body(b: &[u8], mut i: usize, line: &mut u32) -> usize {
     let n = b.len();
     while i < n {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // `\`-newline is a line continuation: the newline is part
+                // of the escape but still ends a source line, so it must
+                // advance the counter or every later token desyncs.
+                if i + 1 < n && b[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => {
                 i += 1;
                 break;
@@ -423,6 +448,114 @@ mod tests {
         let ids = idents("let nl = b'\\n'; let s = r#struct_kw; q()");
         assert!(ids.contains(&"struct_kw".to_string()));
         assert!(ids.contains(&"q".to_string()));
+    }
+
+    /// Lines of all ident tokens — the span-resync probe: if a literal
+    /// desynchronizes the lexer, the trailing sentinel ident vanishes or
+    /// lands on the wrong line.
+    fn ident_lines(src: &str) -> Vec<(u32, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some((t.line, s)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_do_not_desync() {
+        // closing candidates with too few hashes must not terminate early
+        for src in [
+            "let a = r##\"x \"# y\"##; tail();",
+            "let a = r###\"a \"## b \"# c\"###; tail();",
+            "let a = r#\"say \"hi\"\"#; tail();",
+            "let a = r\"plain # raw\"; tail();",
+        ] {
+            let ids = ident_lines(src);
+            assert!(
+                ids.iter().any(|(_, s)| s == "tail"),
+                "{src}: lost sync, idents {ids:?}"
+            );
+            assert!(
+                !ids.iter().any(|(_, s)| s == "x" || s == "y" || s == "hi"),
+                "{src}: raw-string contents leaked as idents: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_do_not_desync() {
+        for src in [
+            "let a = b\"HashMap\"; tail();",
+            "let a = b\"esc \\\" quote\"; tail();",
+            "let a = br#\"HashMap \"q\" z\"#; tail();",
+            "let a = br##\"x \"# y\"##; tail();",
+            "let a = br\"no hash\"; tail();",
+        ] {
+            let ids = ident_lines(src);
+            assert!(
+                ids.iter().any(|(_, s)| s == "tail"),
+                "{src}: lost sync, idents {ids:?}"
+            );
+            assert!(
+                !ids.iter().any(|(_, s)| s == "HashMap"),
+                "{src}: literal contents leaked as idents: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn c_string_prefixes_do_not_desync() {
+        // `cr#"C:\"#`: the body is raw (no escapes) — treating `\"` as an
+        // escape would eat the terminator and swallow the rest of the file.
+        for src in [
+            "let a = c\"HashMap\"; tail();",
+            "let a = cr#\"C:\\\"#; tail();",
+            "let a = cr##\"x \"# y\"##; tail();",
+        ] {
+            let ids = ident_lines(src);
+            assert!(
+                ids.iter().any(|(_, s)| s == "tail"),
+                "{src}: lost sync, idents {ids:?}"
+            );
+            assert!(
+                !ids.iter()
+                    .any(|(_, s)| s == "HashMap" || s == "c" || s == "cr"),
+                "{src}: prefix or contents leaked as idents: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_newline_in_string_advances_line_counter() {
+        // `\`-newline line continuation: the string spans two source
+        // lines, so `tail` sits on line 3.
+        let src = "let a = \"x \\\n  y\";\nlet tail = 1;";
+        let ids = ident_lines(src);
+        assert!(ids.contains(&(3, "tail".to_string())), "{ids:?}");
+    }
+
+    #[test]
+    fn multiline_raw_string_line_tracking() {
+        let src = "let a = r##\"one\ntwo\nthree\"##;\nlet tail = 1;";
+        let ids = ident_lines(src);
+        assert!(ids.contains(&(4, "tail".to_string())), "{ids:?}");
+    }
+
+    #[test]
+    fn unterminated_literals_consume_to_eof_without_panicking() {
+        for src in [
+            "let a = r##\"never closed \"#",
+            "let a = b\"open",
+            "let a = b'",
+            "let a = \"esc at eof \\",
+            "let a = cr#\"open",
+        ] {
+            let lx = lex(src);
+            assert!(!lx.tokens.is_empty(), "{src}: no tokens at all");
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! finding is live. See DESIGN.md §9 for the rule table and policy.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod driver;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod report;
 pub mod rules;

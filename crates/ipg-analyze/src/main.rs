@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ipg-analyze [--root <dir>] [--format human|json] [--rules R1,R2]
-//!             [--baseline <path>] [--write-baseline] [--list-rules]
+//!             [--member <crate>] [--baseline <path>] [--no-baseline]
+//!             [--write-baseline] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 clean, 2 new findings or stale baseline entries,
@@ -36,6 +37,8 @@ fn run() -> Result<bool, String> {
     let mut rules_filter: Option<Vec<String>> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut member: Option<String> = None;
+    let mut use_baseline = true;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -62,6 +65,8 @@ fn run() -> Result<bool, String> {
                 rules_filter = Some(list);
             }
             "--baseline" => baseline = Some(PathBuf::from(need(&mut it, "--baseline")?)),
+            "--no-baseline" => use_baseline = false,
+            "--member" => member = Some(need(&mut it, "--member")?.to_string()),
             "--write-baseline" => write_baseline = true,
             "--list-rules" => {
                 for r in rules::all_rules() {
@@ -77,7 +82,8 @@ fn run() -> Result<bool, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: ipg-analyze [--root <dir>] [--format human|json] [--rules R1,R2]\n\
-                     \x20                  [--baseline <path>] [--write-baseline] [--list-rules]"
+                     \x20                  [--member <crate>] [--baseline <path>] [--no-baseline]\n\
+                     \x20                  [--write-baseline] [--list-rules]"
                 );
                 return Ok(true);
             }
@@ -96,6 +102,8 @@ fn run() -> Result<bool, String> {
         cfg.baseline_path = b;
     }
     cfg.rules_filter = rules_filter;
+    cfg.member = member;
+    cfg.use_baseline = use_baseline;
 
     let outcome = driver::analyze(&cfg)?;
 

@@ -1,0 +1,545 @@
+//! A hand-rolled *item* parser on top of [`crate::lexer`].
+//!
+//! The graph-level rules (DET100 / LAYER001 / ALLOC001, see
+//! [`crate::reach`]) need more structure than a token stream: which
+//! function a token belongs to, what `impl` block owns it, and what a
+//! bare name refers to after `use` renaming. This module recovers exactly
+//! that — a list of function definitions with body token ranges and a
+//! flat `use`-alias table — and nothing more. It is *not* a Rust parser:
+//!
+//! - expression grammar is never parsed; a function body is just the
+//!   token range between its braces,
+//! - generics are skipped, not understood (`impl<R: Router> Simulator<R>`
+//!   contributes the self-type name `Simulator`),
+//! - nested `fn`s inside bodies stay part of the enclosing body (their
+//!   calls are attributed to the outer function — a sound
+//!   over-approximation for reachability),
+//! - `macro_rules!` bodies are skipped entirely (expanded code is not
+//!   visible to a source-level analyzer anyway).
+//!
+//! Known approximations are documented in DESIGN.md §14. The parser never
+//! fails: on confusing input it advances one token and keeps going, which
+//! is the right trade for linting code `rustc` already accepts.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One `fn` definition with a body.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// `impl` self-type or `trait` name owning this fn, if any (the
+    /// *last* path segment, generics stripped: `impl a::B<T>` → `B`).
+    pub self_ty: Option<String>,
+    /// Inline `mod` path within the file (file-level module path is
+    /// derived from the file location by the caller).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the closing body brace.
+    pub end_line: u32,
+    /// Token index range of the body, *excluding* the braces.
+    pub body: (usize, usize),
+}
+
+/// One name made visible by a `use` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseDef {
+    /// The name visible in this file (the last segment, or the `as` alias).
+    pub alias: String,
+    /// Full path segments as written, e.g. `["crate", "rng", "node_stream"]`.
+    pub path: Vec<String>,
+}
+
+/// Parser output for one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnDef>,
+    pub uses: Vec<UseDef>,
+}
+
+/// Parse the item structure of a lexed file.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let toks = &lexed.tokens;
+    let mut module = Vec::new();
+    parse_items(toks, 0, toks.len(), &mut module, None, &mut out);
+    out
+}
+
+fn ident(t: &Tok) -> Option<&str> {
+    match &t.kind {
+        TokKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct(c)
+}
+
+/// Index just past the brace block opening at `open` (`toks[open]` must
+/// be `{`); tolerant of EOF.
+fn skip_braces(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Index just past a balanced `<…>` run opening at `open`. Only used in
+/// item headers (generics), where every `<` / `>` is a bracket.
+fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Scan items in `toks[i..end]`, appending fns/uses to `out`.
+fn parse_items(
+    toks: &[Tok],
+    mut i: usize,
+    end: usize,
+    module: &mut Vec<String>,
+    self_ty: Option<&str>,
+    out: &mut ParsedFile,
+) {
+    while i < end {
+        // attributes: `#[…]` — skip wholesale so attribute arguments
+        // (`#[cfg(test)]`, doc aliases…) can't be mistaken for items
+        if is_punct(&toks[i], '#') && i + 1 < end && is_punct(&toks[i + 1], '[') {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < end {
+                match toks[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = (j + 1).min(end);
+            continue;
+        }
+        let Some(kw) = ident(&toks[i]) else {
+            i += 1;
+            continue;
+        };
+        match kw {
+            "mod" => {
+                // `mod name { … }` (recurse) or `mod name;` (other file)
+                let Some(name) = toks.get(i + 1).and_then(ident) else {
+                    i += 1;
+                    continue;
+                };
+                match toks.get(i + 2).map(|t| &t.kind) {
+                    Some(TokKind::Punct('{')) => {
+                        let close = skip_braces(toks, i + 2);
+                        module.push(name.to_string());
+                        parse_items(toks, i + 3, close.saturating_sub(1), module, self_ty, out);
+                        module.pop();
+                        i = close;
+                    }
+                    _ => i += 2,
+                }
+            }
+            "impl" => {
+                let (ty, body_open) = parse_impl_header(toks, i + 1, end);
+                match body_open {
+                    Some(open) => {
+                        let close = skip_braces(toks, open);
+                        parse_items(
+                            toks,
+                            open + 1,
+                            close.saturating_sub(1),
+                            module,
+                            ty.as_deref(),
+                            out,
+                        );
+                        i = close;
+                    }
+                    None => i += 1,
+                }
+            }
+            "trait" => {
+                let Some(name) = toks.get(i + 1).and_then(ident) else {
+                    i += 1;
+                    continue;
+                };
+                // skip supertraits / generics / where to the body brace
+                let mut j = i + 2;
+                while j < end && !is_punct(&toks[j], '{') && !is_punct(&toks[j], ';') {
+                    if is_punct(&toks[j], '<') {
+                        j = skip_angles(toks, j);
+                    } else {
+                        j += 1;
+                    }
+                }
+                if j < end && is_punct(&toks[j], '{') {
+                    let close = skip_braces(toks, j);
+                    parse_items(
+                        toks,
+                        j + 1,
+                        close.saturating_sub(1),
+                        module,
+                        Some(name),
+                        out,
+                    );
+                    i = close;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "fn" => {
+                let Some(name) = toks.get(i + 1).and_then(ident) else {
+                    // `fn(u32) -> u32` function-pointer type — not an item
+                    i += 1;
+                    continue;
+                };
+                // signature: scan to the body `{` (or `;` for a bodiless
+                // trait declaration) at paren/bracket depth 0
+                let mut paren = 0i32;
+                let mut bracket = 0i32;
+                let mut j = i + 2;
+                let mut open = None;
+                while j < end {
+                    match toks[j].kind {
+                        TokKind::Punct('(') => paren += 1,
+                        TokKind::Punct(')') => paren -= 1,
+                        TokKind::Punct('[') => bracket += 1,
+                        TokKind::Punct(']') => bracket -= 1,
+                        TokKind::Punct('{') if paren == 0 && bracket == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        TokKind::Punct(';') if paren == 0 && bracket == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                match open {
+                    Some(open) => {
+                        let close = skip_braces(toks, open);
+                        out.fns.push(FnDef {
+                            name: name.to_string(),
+                            self_ty: self_ty.map(|s| s.to_string()),
+                            module: module.clone(),
+                            line: toks[i].line,
+                            end_line: toks
+                                .get(close.saturating_sub(1))
+                                .map_or(toks[i].line, |t| t.line),
+                            body: (open + 1, close.saturating_sub(1)),
+                        });
+                        i = close;
+                    }
+                    None => i = j + 1, // bodiless declaration
+                }
+            }
+            "use" => {
+                let mut j = i + 1;
+                let mut prefix = Vec::new();
+                parse_use_tree(toks, &mut j, end, &mut prefix, &mut out.uses);
+                i = j;
+            }
+            "macro_rules" => {
+                // `macro_rules! name { … }` — skip the whole definition
+                let mut j = i + 1;
+                while j < end && !is_punct(&toks[j], '{') {
+                    j += 1;
+                }
+                i = if j < end { skip_braces(toks, j) } else { end };
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parse an `impl` header starting just after the `impl` keyword.
+/// Returns the self-type name (last path segment of the type after `for`,
+/// or of the sole type) and the index of the body `{`.
+fn parse_impl_header(toks: &[Tok], mut i: usize, end: usize) -> (Option<String>, Option<usize>) {
+    // leading generics
+    if i < end && is_punct(&toks[i], '<') {
+        i = skip_angles(toks, i);
+    }
+    let mut last_seg: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut saw_where = false;
+    while i < end {
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                let ty = if saw_for { after_for } else { last_seg };
+                return (ty, Some(i));
+            }
+            TokKind::Punct('<') => i = skip_angles(toks, i),
+            TokKind::Ident(s) if s == "where" => {
+                // where-clause runs to the body brace; bounds can't
+                // contain `{` and must not update the self type, so just
+                // keep scanning for the brace from here on
+                saw_where = true;
+                i += 1;
+            }
+            TokKind::Ident(s) if s == "for" && !saw_where => {
+                saw_for = true;
+                i += 1;
+            }
+            TokKind::Ident(s) if s == "dyn" || s == "mut" => i += 1,
+            TokKind::Ident(s) if !saw_where => {
+                if saw_for {
+                    after_for = Some(s.clone());
+                } else {
+                    last_seg = Some(s.clone());
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (None, None)
+}
+
+/// Parse one `use` tree from `toks[*i..]` (just after `use` or inside a
+/// group), with `prefix` holding the segments seen so far. Appends
+/// resolved aliases and leaves `*i` past the terminating `;` (or `,` /
+/// `}` when inside a group).
+fn parse_use_tree(
+    toks: &[Tok],
+    i: &mut usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseDef>,
+) {
+    let depth_at_entry = prefix.len();
+    let mut last: Option<String> = None;
+    while *i < end {
+        match &toks[*i].kind {
+            TokKind::Ident(s) if s == "as" => {
+                // `path as alias`
+                let path: Vec<String> = prefix.iter().cloned().chain(last.take()).collect();
+                *i += 1;
+                if let Some(alias) = toks.get(*i).and_then(ident) {
+                    out.push(UseDef {
+                        alias: alias.to_string(),
+                        path,
+                    });
+                    *i += 1;
+                }
+            }
+            TokKind::Ident(s) => {
+                if let Some(seg) = last.take() {
+                    prefix.push(seg);
+                }
+                last = Some(s.clone());
+                *i += 1;
+            }
+            TokKind::Punct(':') => *i += 1,
+            TokKind::Punct('{') => {
+                if let Some(seg) = last.take() {
+                    prefix.push(seg);
+                }
+                *i += 1;
+                loop {
+                    parse_use_tree(toks, i, end, prefix, out);
+                    match toks.get(*i).map(|t| &t.kind) {
+                        Some(TokKind::Punct(',')) => *i += 1,
+                        Some(TokKind::Punct('}')) => {
+                            *i += 1;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                // a group ends this tree level; skip to the `;` if we're
+                // at top level of the use item
+                if depth_at_entry == 0 {
+                    while *i < end && !is_punct(&toks[*i], ';') {
+                        *i += 1;
+                    }
+                    *i = (*i + 1).min(end);
+                }
+                return;
+            }
+            TokKind::Punct('*') => {
+                // glob — nothing nameable to record
+                last = None;
+                *i += 1;
+            }
+            TokKind::Punct(';') => {
+                finish_segment(&mut last, prefix, out);
+                prefix.truncate(depth_at_entry);
+                *i += 1;
+                return;
+            }
+            TokKind::Punct(',') | TokKind::Punct('}') => {
+                finish_segment(&mut last, prefix, out);
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+            _ => *i += 1,
+        }
+    }
+    finish_segment(&mut last, prefix, out);
+    prefix.truncate(depth_at_entry);
+}
+
+/// Record `prefix::last` as a use alias named after its final segment.
+fn finish_segment(last: &mut Option<String>, prefix: &[String], out: &mut Vec<UseDef>) {
+    if let Some(seg) = last.take() {
+        if seg == "self" {
+            // `use a::b::{self, c}` — `self` names the module itself
+            if let Some(tail) = prefix.last() {
+                out.push(UseDef {
+                    alias: tail.clone(),
+                    path: prefix.to_vec(),
+                });
+            }
+            return;
+        }
+        let mut path = prefix.to_vec();
+        path.push(seg.clone());
+        out.push(UseDef { alias: seg, path });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    fn fn_keys(p: &ParsedFile) -> Vec<String> {
+        p.fns
+            .iter()
+            .map(|f| {
+                let mut k = f.module.join("::");
+                if let Some(t) = &f.self_ty {
+                    if !k.is_empty() {
+                        k.push_str("::");
+                    }
+                    k.push_str(t);
+                }
+                if !k.is_empty() {
+                    k.push_str("::");
+                }
+                k.push_str(&f.name);
+                k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn free_fns_and_modules() {
+        let p = parse_src(
+            "fn a() {}\nmod m {\n fn b() { let x = 1; }\n mod n { fn c() {} }\n}\nfn d() {}\n",
+        );
+        assert_eq!(fn_keys(&p), vec!["a", "m::b", "m::n::c", "d"]);
+        assert_eq!(p.fns[0].line, 1);
+        assert_eq!(p.fns[1].line, 3);
+    }
+
+    #[test]
+    fn impl_blocks_attach_self_types() {
+        let src = "struct S;\nimpl S { fn m(&self) {} }\nimpl<T: Clone> Wrap<T> { fn w(&self) {} }\nimpl Trait for S { fn t(&self) {} }\nimpl Router for &mut Detour<'_> { fn n(&self) {} }\n";
+        let p = parse_src(src);
+        assert_eq!(fn_keys(&p), vec!["S::m", "Wrap::w", "S::t", "Detour::n"]);
+    }
+
+    #[test]
+    fn trait_default_methods_are_captured() {
+        let src = "trait R: Send { fn decl(&self);\n fn with_default(&self) { self.decl() } }\n";
+        let p = parse_src(src);
+        assert_eq!(fn_keys(&p), vec!["R::with_default"]);
+    }
+
+    #[test]
+    fn fn_bodies_have_token_ranges() {
+        let src = "fn f(x: u32) -> u32 { helper(x) }\nfn helper(x: u32) -> u32 { x }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        let (a, b) = p.fns[0].body;
+        assert!(a < b, "body range must be non-empty");
+        assert_eq!(p.fns[0].end_line, 1);
+    }
+
+    #[test]
+    fn nested_fns_stay_in_the_parent_body() {
+        let src = "fn outer() { fn inner() {} inner(); }\n";
+        let p = parse_src(src);
+        assert_eq!(fn_keys(&p), vec!["outer"]);
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases() {
+        let src = "use crate::rng::node_stream;\nuse std::collections::{HashMap, HashSet as FastSet};\nuse ipg_core::graph::{self, Csr};\nuse a::b::*;\n";
+        let p = parse_src(src);
+        let get = |alias: &str| {
+            p.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .map(|u| u.path.join("::"))
+        };
+        assert_eq!(
+            get("node_stream").as_deref(),
+            Some("crate::rng::node_stream")
+        );
+        assert_eq!(get("HashMap").as_deref(), Some("std::collections::HashMap"));
+        assert_eq!(get("FastSet").as_deref(), Some("std::collections::HashSet"));
+        assert_eq!(get("Csr").as_deref(), Some("ipg_core::graph::Csr"));
+        assert_eq!(get("graph").as_deref(), Some("ipg_core::graph"));
+    }
+
+    #[test]
+    fn macro_rules_and_attributes_are_skipped() {
+        let src = "#[cfg(test)]\nmacro_rules! gen { () => { fn ghost() {} }; }\n#[derive(Debug)]\nstruct S;\nfn real() {}\n";
+        let p = parse_src(src);
+        assert_eq!(fn_keys(&p), vec!["real"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn takes(f: fn(u32) -> u32) -> u32 { f(1) }\n";
+        let p = parse_src(src);
+        assert_eq!(fn_keys(&p), vec!["takes"]);
+    }
+
+    #[test]
+    fn where_clauses_and_generics_do_not_confuse_the_scanner() {
+        let src = "impl<R> Simulator<R> where R: Router + ?Sized {\n pub fn run<F: Fn(u32) -> u32>(&mut self, f: F) -> u32 { f(0) }\n}\n";
+        let p = parse_src(src);
+        assert_eq!(fn_keys(&p), vec!["Simulator::run"]);
+    }
+}

@@ -1,0 +1,584 @@
+//! Graph-level rules: DET100 (determinism reachability), ALLOC001
+//! (cycle-loop allocation discipline), LAYER001 (crate layering).
+//!
+//! DET100 is the structural generalization of the token rules
+//! DET003/DET004: instead of watching two files by name, it walks the
+//! [`crate::callgraph`] from the engine cycle entry points
+//! (`Simulator::run*`, `WormholeSim::run*`/`execute`, the phase A/B
+//! bodies) and flags any *reachable* function whose body touches a
+//! determinism sink — wall clocks, default-hasher collections, ad-hoc
+//! RNG construction outside `ipg-sim`'s `rng` module, or fs/net I/O.
+//! Each finding prints the offending call chain so the reader can see
+//! how the cycle loop reaches the sink.
+//!
+//! The sink tables below are shared with the token rules in
+//! [`crate::rules`] (DET003 ← [`CLOCK_SINKS`], DET004 ← [`RNG_SINKS`]),
+//! so the file-scoped fast paths and the reachability pass can never
+//! disagree about what counts as a sink.
+//!
+//! Boundary crates ([`BOUNDARY_CRATES`]) are not traversed: `ipg-obs` is
+//! the sanctioned home for clocks and I/O, and the tool/bin crates can
+//! never sit on a cycle path.
+
+use crate::callgraph::{FileUnit, Graph};
+use crate::lexer::{Tok, TokKind};
+use crate::parser::FnDef;
+use crate::rules::{FileKind, Finding, Severity};
+use std::collections::VecDeque;
+
+/// Wall-clock / host-introspection constructors. Shared with DET003.
+pub const CLOCK_SINKS: &[&str] = &["Instant", "SystemTime", "available_parallelism"];
+
+/// Iteration-order-unstable std collections and their hasher types.
+pub const HASH_SINKS: &[&str] = &["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
+/// Ad-hoc RNG construction. Shared with DET004. Only `ipg-sim`'s `rng`
+/// module (the counter-based per-node/per-edge stream factory) may
+/// construct generators.
+pub const RNG_SINKS: &[&str] = &[
+    "SmallRng",
+    "SeedableRng",
+    "seed_from_u64",
+    "thread_rng",
+    "from_entropy",
+];
+
+/// Filesystem / network handle types.
+pub const IO_SINKS: &[&str] = &[
+    "File",
+    "OpenOptions",
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+    "UnixStream",
+    "stdin",
+];
+
+/// Crates the reachability traversal stops at. `ipg-obs` is the
+/// sanctioned clock/telemetry boundary (its API is deterministic from
+/// the engine's point of view); the tool and bin crates cannot sit on a
+/// cycle path. LAYER001 still polices what those crates may contain.
+pub const BOUNDARY_CRATES: &[&str] = &["ipg-obs", "ipg-cli", "ipg-bench", "ipg-analyze"];
+
+/// Crates allowed to perform I/O (LAYER001). Everything else —
+/// `ipg-core`, `ipg-sim`, … — must stay fs/net-free in library code.
+pub const IO_ALLOWED_CRATES: &[&str] = &["ipg-cli", "ipg-obs", "ipg-bench", "ipg-analyze"];
+
+/// The pure kernel crate: additionally barred from `std::time` and from
+/// referencing the observability / CLI layers at all.
+pub const PURE_CRATE: &str = "ipg-core";
+
+/// Is `f` a DET100 cycle entry point? The engines live in
+/// `ipg-sim/src/{engine,wormhole}.rs`; everything named `run*` (the
+/// public drivers), `phase_*` (the per-shard cycle bodies), or
+/// `execute` (the wormhole main loop) seeds the traversal.
+pub fn det100_entry(unit: &FileUnit, f: &FnDef) -> bool {
+    unit.crate_name == "ipg-sim"
+        && matches!(unit.file_name(), "engine.rs" | "wormhole.rs")
+        && (f.name.starts_with("run") || f.name.starts_with("phase_") || f.name == "execute")
+}
+
+/// Is `f` an ALLOC001 entry point? Tighter than DET100: the `run*`
+/// drivers legitimately allocate during setup, so only the per-cycle
+/// bodies — `phase_*` in `engine.rs`, `inject`/`eject`/`step_link` in
+/// `wormhole.rs` — and everything they reach are held to the
+/// no-steady-state-allocation rule.
+pub fn alloc_entry(unit: &FileUnit, f: &FnDef) -> bool {
+    if unit.crate_name != "ipg-sim" {
+        return false;
+    }
+    match unit.file_name() {
+        "engine.rs" => f.name.starts_with("phase_"),
+        "wormhole.rs" => matches!(f.name.as_str(), "inject" | "eject" | "step_link"),
+        _ => false,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SinkKind {
+    Clock,
+    Hash,
+    Rng,
+    Io,
+}
+
+impl SinkKind {
+    fn describe(self) -> &'static str {
+        match self {
+            SinkKind::Clock => "wall-clock",
+            SinkKind::Hash => "default-hasher",
+            SinkKind::Rng => "ad-hoc RNG",
+            SinkKind::Io => "I/O",
+        }
+    }
+}
+
+struct SinkHit {
+    line: u32,
+    ident: String,
+    kind: SinkKind,
+}
+
+/// Does `ipg-sim`'s `rng` module own this file? Its whole purpose is
+/// constructing the sanctioned counter-based streams, so RNG sinks are
+/// exempt there (clock/hash/IO sinks are not).
+fn is_rng_module(unit: &FileUnit) -> bool {
+    unit.crate_name == "ipg-sim" && unit.module == ["rng"]
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+}
+
+/// `fs` / `net` / `time` only count as sinks when used as a path
+/// segment (`fs::write`, `std::net::…`) — a local variable named `fs`
+/// should not trip the rule.
+fn is_path_segment(toks: &[Tok], i: usize) -> bool {
+    let after = punct_at(toks, i + 1, ':') && punct_at(toks, i + 2, ':');
+    let before = i >= 3
+        && punct_at(toks, i - 1, ':')
+        && punct_at(toks, i - 2, ':')
+        && ident_at(toks, i - 3) == Some("std");
+    after || before
+}
+
+fn scan_sinks(unit: &FileUnit, body: (usize, usize)) -> Vec<SinkHit> {
+    let toks = &unit.tokens;
+    let rng_exempt = is_rng_module(unit);
+    let mut out = Vec::new();
+    for i in body.0..body.1.min(toks.len()) {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        let kind = if CLOCK_SINKS.contains(&name) {
+            SinkKind::Clock
+        } else if HASH_SINKS.contains(&name) {
+            SinkKind::Hash
+        } else if RNG_SINKS.contains(&name) {
+            if rng_exempt {
+                continue;
+            }
+            SinkKind::Rng
+        } else if IO_SINKS.contains(&name)
+            || (matches!(name, "fs" | "net") && is_path_segment(toks, i))
+        {
+            SinkKind::Io
+        } else {
+            continue;
+        };
+        out.push(SinkHit {
+            line: toks[i].line,
+            ident: name.to_string(),
+            kind,
+        });
+    }
+    out
+}
+
+fn scan_allocs(unit: &FileUnit, body: (usize, usize)) -> Vec<SinkHit> {
+    let toks = &unit.tokens;
+    let mut out = Vec::new();
+    for i in body.0..body.1.min(toks.len()) {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        let ident = match name {
+            "Vec" | "Box"
+                if punct_at(toks, i + 1, ':')
+                    && punct_at(toks, i + 2, ':')
+                    && ident_at(toks, i + 3) == Some("new") =>
+            {
+                format!("{name}::new")
+            }
+            "vec" | "format" if punct_at(toks, i + 1, '!') => format!("{name}!"),
+            "collect" if i >= 1 && punct_at(toks, i - 1, '.') => "collect".to_string(),
+            _ => continue,
+        };
+        out.push(SinkHit {
+            line: toks[i].line,
+            ident,
+            kind: SinkKind::Io, // kind unused for allocs
+        });
+    }
+    out
+}
+
+/// Multi-source BFS. Returns, per node, `Some((entry, parent))` when
+/// reachable — `parent` is `None` for the entry itself, else the
+/// predecessor on the discovery path. Entries are seeded in id order and
+/// edges are sorted, so discovery (and therefore every printed chain)
+/// is deterministic.
+fn reach_from(graph: &Graph, entries: &[usize]) -> Vec<Option<(usize, Option<usize>)>> {
+    let mut state: Vec<Option<(usize, Option<usize>)>> = vec![None; graph.nodes.len()];
+    let mut queue = VecDeque::new();
+    for &e in entries {
+        if state[e].is_none() {
+            state[e] = Some((e, None));
+            queue.push_back(e);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let entry = state[u].unwrap().0;
+        for &(v, _) in &graph.edges[u] {
+            if state[v].is_none() {
+                state[v] = Some((entry, Some(u)));
+                queue.push_back(v);
+            }
+        }
+    }
+    state
+}
+
+/// Render the discovery chain `entry -> … -> node` as display keys.
+fn chain(graph: &Graph, state: &[Option<(usize, Option<usize>)>], node: usize) -> String {
+    let mut keys = Vec::new();
+    let mut cur = node;
+    loop {
+        keys.push(graph.nodes[cur].key.clone());
+        match state[cur] {
+            Some((_, Some(parent))) => cur = parent,
+            _ => break,
+        }
+    }
+    keys.reverse();
+    keys.join(" -> ")
+}
+
+/// DET100: no determinism sink reachable from a cycle entry point.
+pub fn det100(files: &[FileUnit], graph: &Graph) -> Vec<Finding> {
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&id| {
+            let n = &graph.nodes[id];
+            det100_entry(&files[n.file], &n.def)
+        })
+        .collect();
+    let state = reach_from(graph, &entries);
+    let mut out = Vec::new();
+    for (id, st) in state.iter().enumerate() {
+        if st.is_none() {
+            continue;
+        }
+        let n = &graph.nodes[id];
+        let unit = &files[n.file];
+        for hit in scan_sinks(unit, n.def.body) {
+            out.push(Finding {
+                rule: "DET100",
+                severity: Severity::Error,
+                path: unit.rel_path.clone(),
+                line: hit.line,
+                message: format!(
+                    "{} sink `{}` reachable from cycle entry: {}",
+                    hit.kind.describe(),
+                    hit.ident,
+                    chain(graph, &state, id),
+                ),
+                snippet: unit.snippet(hit.line),
+            });
+        }
+    }
+    out
+}
+
+/// ALLOC001: no `Vec::new` / `Box::new` / `vec!` / `format!` /
+/// `.collect()` in functions on a cycle-loop path.
+pub fn alloc001(files: &[FileUnit], graph: &Graph) -> Vec<Finding> {
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&id| {
+            let n = &graph.nodes[id];
+            alloc_entry(&files[n.file], &n.def)
+        })
+        .collect();
+    let state = reach_from(graph, &entries);
+    let mut out = Vec::new();
+    for (id, st) in state.iter().enumerate() {
+        if st.is_none() {
+            continue;
+        }
+        let n = &graph.nodes[id];
+        let unit = &files[n.file];
+        for hit in scan_allocs(unit, n.def.body) {
+            out.push(Finding {
+                rule: "ALLOC001",
+                severity: Severity::Error,
+                path: unit.rel_path.clone(),
+                line: hit.line,
+                message: format!(
+                    "allocation `{}` on cycle-loop path: {}",
+                    hit.ident,
+                    chain(graph, &state, id),
+                ),
+                snippet: unit.snippet(hit.line),
+            });
+        }
+    }
+    out
+}
+
+/// A workspace-internal dependency edge read from a member `Cargo.toml`
+/// (dev-dependencies excluded — tests may depend on anything).
+pub struct ManifestDep {
+    pub crate_name: String,
+    pub dep: String,
+    /// Workspace-relative path of the manifest.
+    pub rel_path: String,
+    pub line: u32,
+    pub snippet: String,
+}
+
+/// LAYER001: crate layering. `ipg-core` stays pure (no `std::{fs,net,
+/// time}`, no references to `ipg-obs`/`ipg-cli` in source or manifest);
+/// only the crates in [`IO_ALLOWED_CRATES`] may touch fs/net at all.
+pub fn layer001(files: &[FileUnit], manifest_deps: &[ManifestDep]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for unit in files {
+        if unit.rel_path.starts_with("vendor/")
+            || matches!(unit.kind, FileKind::Test | FileKind::Bench)
+        {
+            continue;
+        }
+        let io_allowed = IO_ALLOWED_CRATES.contains(&unit.crate_name.as_str());
+        let pure = unit.crate_name == PURE_CRATE;
+        if io_allowed && !pure {
+            continue;
+        }
+        let toks = &unit.tokens;
+        let mut flagged_lines: Vec<u32> = Vec::new();
+        for i in 0..toks.len() {
+            let Some(name) = ident_at(toks, i) else {
+                continue;
+            };
+            let line = toks[i].line;
+            if unit.in_test(line) || flagged_lines.contains(&line) {
+                continue;
+            }
+            let message = if !io_allowed
+                && (IO_SINKS.contains(&name)
+                    || (matches!(name, "fs" | "net") && is_path_segment(toks, i)))
+            {
+                format!(
+                    "layering: I/O (`{name}`) in `{}` — only {} may touch fs/net",
+                    unit.crate_name,
+                    IO_ALLOWED_CRATES.join("/"),
+                )
+            } else if pure && name == "time" && is_path_segment(toks, i) {
+                format!("layering: `std::time` in `{PURE_CRATE}` — clocks live in ipg-obs")
+            } else if pure && matches!(name, "ipg_obs" | "ipg_cli") {
+                format!(
+                    "layering: `{PURE_CRATE}` must not reference `{name}` — the kernel crate sits below the observability/CLI layers"
+                )
+            } else {
+                continue;
+            };
+            flagged_lines.push(line);
+            out.push(Finding {
+                rule: "LAYER001",
+                severity: Severity::Error,
+                path: unit.rel_path.clone(),
+                line,
+                message,
+                snippet: unit.snippet(line),
+            });
+        }
+    }
+    for dep in manifest_deps {
+        if dep.crate_name == PURE_CRATE && matches!(dep.dep.as_str(), "ipg-obs" | "ipg-cli") {
+            out.push(Finding {
+                rule: "LAYER001",
+                severity: Severity::Error,
+                path: dep.rel_path.clone(),
+                line: dep.line,
+                message: format!(
+                    "layering: `{PURE_CRATE}` declares a dependency on `{}` in its manifest",
+                    dep.dep
+                ),
+                snippet: dep.snippet.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{self, FileUnit};
+    use crate::lexer::lex;
+    use crate::parser;
+    use crate::rules;
+    use std::collections::BTreeSet;
+
+    fn unit(crate_name: &str, rel_path: &str, module: &[&str], src: &str) -> FileUnit {
+        let lexed = lex(src);
+        let parsed = parser::parse(&lexed);
+        let test_ranges = rules::test_ranges(&lexed);
+        FileUnit {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            kind: FileKind::Lib,
+            module: module.iter().map(|s| s.to_string()).collect(),
+            tokens: lexed.tokens,
+            parsed,
+            test_ranges,
+            lines: src.lines().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn graph_over(files: &[FileUnit]) -> callgraph::Graph {
+        let crates: BTreeSet<String> = files.iter().map(|u| u.crate_name.clone()).collect();
+        callgraph::build(files, &crates)
+    }
+
+    #[test]
+    fn det100_prints_the_full_call_chain() {
+        let sim = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            &["engine"],
+            "pub struct Simulator;\nimpl Simulator {\n pub fn run(&self) { helper(); }\n}\npub fn helper() { ipg_core::stamp(); }\n",
+        );
+        let core = unit(
+            "ipg-core",
+            "crates/ipg-core/src/lib.rs",
+            &[],
+            "pub fn stamp() -> u64 {\n let t = std::time::SystemTime::now();\n 0\n}\n",
+        );
+        let findings = {
+            let files = [sim, core];
+            det100(&files, &graph_over(&files))
+        };
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.rule, "DET100");
+        assert_eq!(f.path, "crates/ipg-core/src/lib.rs");
+        assert_eq!(f.line, 2);
+        assert!(
+            f.message.contains("Simulator::run -> helper -> stamp"),
+            "chain missing from message: {}",
+            f.message
+        );
+        assert!(f.message.contains("`SystemTime`"), "{}", f.message);
+    }
+
+    #[test]
+    fn det100_ignores_unreachable_sinks_and_the_rng_module() {
+        let sim = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            &["engine"],
+            "pub struct Simulator;\nimpl Simulator {\n pub fn run(&self) { crate::rng::node_stream(1, 2); }\n}\npub fn cold_path() { let t = std::time::Instant::now(); }\n",
+        );
+        let rng = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/rng.rs",
+            &["rng"],
+            "pub fn node_stream(seed: u64, node: u32) -> u64 { seed_from_u64(seed ^ node as u64) }\nfn seed_from_u64(x: u64) -> u64 { x }\n",
+        );
+        let files = [sim, rng];
+        let findings = det100(&files, &graph_over(&files));
+        assert!(
+            findings.is_empty(),
+            "rng module must be exempt and cold_path unreachable: {:?}",
+            findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn alloc001_flags_cycle_bodies_but_not_run_setup() {
+        let sim = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            &["engine"],
+            "pub struct Shard;\nimpl Shard {\n pub fn phase_a(&mut self) { let v: Vec<u32> = Vec::new(); scratch(); }\n}\npub fn run() { let setup = Vec::new(); }\npub fn scratch() { let s = format!(\"x\"); }\n",
+        );
+        let files = [sim];
+        let findings = alloc001(&files, &graph_over(&files));
+        let idents: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(idents, ["ALLOC001", "ALLOC001"]);
+        assert!(
+            findings[0].message.contains("`Vec::new`"),
+            "{}",
+            findings[0].message
+        );
+        assert!(
+            findings[1].message.contains("`format!`"),
+            "{}",
+            findings[1].message
+        );
+        assert!(
+            findings[1].message.contains("Shard::phase_a -> scratch"),
+            "{}",
+            findings[1].message
+        );
+        assert!(
+            !findings.iter().any(|f| f.line == 5),
+            "run() setup allocation must not be flagged"
+        );
+    }
+
+    #[test]
+    fn layer001_polices_io_and_core_purity() {
+        let core = unit(
+            "ipg-core",
+            "crates/ipg-core/src/graph.rs",
+            &["graph"],
+            "pub fn dump() { let _ = std::fs::read(\"x\"); }\npub fn t() { let _ = std::time::Duration::ZERO; }\n",
+        );
+        let sim = unit(
+            "ipg-sim",
+            "crates/ipg-sim/src/engine.rs",
+            &["engine"],
+            "pub fn snapshot() { let f = std::fs::File::create(\"x\"); }\n",
+        );
+        let obs = unit(
+            "ipg-obs",
+            "crates/ipg-obs/src/lib.rs",
+            &[],
+            "pub fn sink() { let f = std::fs::File::create(\"x\"); }\n",
+        );
+        let files = [core, sim, obs];
+        let findings = layer001(&files, &[]);
+        let got: Vec<(&str, u32)> = findings.iter().map(|f| (f.path.as_str(), f.line)).collect();
+        assert_eq!(
+            got,
+            [
+                ("crates/ipg-core/src/graph.rs", 1),
+                ("crates/ipg-core/src/graph.rs", 2),
+                ("crates/ipg-sim/src/engine.rs", 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn layer001_flags_manifest_deps() {
+        let dep = ManifestDep {
+            crate_name: "ipg-core".to_string(),
+            dep: "ipg-obs".to_string(),
+            rel_path: "crates/ipg-core/Cargo.toml".to_string(),
+            line: 9,
+            snippet: "ipg-obs = { path = \"../ipg-obs\" }".to_string(),
+        };
+        let findings = layer001(&[], &[dep]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "LAYER001");
+        assert_eq!(findings[0].path, "crates/ipg-core/Cargo.toml");
+    }
+
+    #[test]
+    fn test_only_io_is_exempt_from_layering() {
+        let core = unit(
+            "ipg-core",
+            "crates/ipg-core/src/codec.rs",
+            &["codec"],
+            "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n use std::fs;\n fn t() { let _ = fs::read(\"x\"); }\n}\n",
+        );
+        let files = [core];
+        assert!(layer001(&files, &[]).is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 //! byte-identical reports, which `crates/ipg-analyze/tests/golden.rs`
 //! asserts.
 
-use crate::baseline::quote;
+use crate::baseline::{fingerprint, quote};
 use crate::driver::Outcome;
 use crate::rules::Finding;
 
@@ -30,6 +30,18 @@ pub fn human(o: &Outcome) -> String {
             e.path, e.rule, e.snippet
         ));
     }
+    if o.legacy_baseline > 0 {
+        out.push_str(&format!(
+            "note: {} baseline entr{} in the deprecated pre-fingerprint format; \
+             refresh with --write-baseline\n",
+            o.legacy_baseline,
+            if o.legacy_baseline == 1 {
+                "y is"
+            } else {
+                "ies are"
+            },
+        ));
+    }
     out.push_str(&format!(
         "ipg-analyze: {} new finding{}, {} baselined, {} suppressed, {} stale baseline \
          entr{}, {} files scanned\n",
@@ -46,13 +58,14 @@ pub fn human(o: &Outcome) -> String {
 
 fn finding_json(f: &Finding, status: &str, reason: Option<&str>) -> String {
     let mut line = format!(
-        "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"status\":{}",
+        "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{},\"fingerprint\":{},\"status\":{}",
         quote(f.rule),
         quote(f.severity.as_str()),
         quote(&f.path),
         f.line,
         quote(&f.message),
         quote(&f.snippet),
+        quote(&fingerprint(f.rule, &f.path, &f.snippet)),
         quote(status),
     );
     if let Some(r) = reason {
@@ -83,11 +96,12 @@ pub fn jsonl(o: &Outcome) -> String {
         ));
     }
     out.push_str(&format!(
-        "{{\"summary\":{{\"new\":{},\"baselined\":{},\"suppressed\":{},\"stale\":{},\"files\":{}}}}}\n",
+        "{{\"summary\":{{\"new\":{},\"baselined\":{},\"suppressed\":{},\"stale\":{},\"legacy_baseline\":{},\"files\":{}}}}}\n",
         o.new.len(),
         o.baselined.len(),
         o.suppressed,
         o.stale.len(),
+        o.legacy_baseline,
         o.files,
     ));
     out

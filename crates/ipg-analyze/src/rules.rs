@@ -11,8 +11,19 @@
 //! | DET005   | error    | no raw trace-event plumbing in `ipg-sim` cycle loops (use `ShardTracer`) |
 //! | DET006   | error    | no raw fault-event plumbing in `ipg-sim` cycle loops (consume `FaultPlan`) |
 //! | DET007   | error    | no raw bitset mutation in `ipg-sim` cycle loops (use the `Worklist` API) |
+//! | DET100   | error    | no determinism sink *reachable* from an engine cycle entry point |
+//! | LAYER001 | error    | crate layering: `ipg-core` stays pure; I/O only in the sanctioned crates |
+//! | ALLOC001 | error    | no steady-state allocation in functions on a cycle-loop path     |
 //! | PANIC001 | warning  | no `unwrap`/`expect`/`panic!` in library code of the core crates |
 //! | HYG001   | error    | every suppression carries a `reason="…"`                         |
+//!
+//! DET100/LAYER001/ALLOC001 are *graph rules*: their [`Rule::check`]
+//! bodies are empty and the findings come from [`crate::reach`], which
+//! walks the call graph the driver builds. The token rules DET003/DET004
+//! are file-scoped special cases of DET100 — they share its sink tables
+//! ([`crate::reach::CLOCK_SINKS`] / [`crate::reach::RNG_SINKS`]) so the
+//! fast per-file checks and the reachability pass can never disagree
+//! about what counts as a sink.
 //!
 //! Suppression syntax (same line as the finding or the line above):
 //!
@@ -21,6 +32,7 @@
 //! ```
 
 use crate::lexer::{Comment, Lexed, TokKind};
+use crate::reach;
 
 /// Finding severity. Both levels gate the build when the finding is new;
 /// the split exists so `scripts/bench.sh` can refuse on determinism
@@ -136,6 +148,9 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Det005),
         Box::new(Det006),
         Box::new(Det007),
+        Box::new(Det100),
+        Box::new(Layer001),
+        Box::new(Alloc001),
         Box::new(Panic001),
         Box::new(Hyg001),
     ]
@@ -472,8 +487,6 @@ fn audited(comments: &[Comment], line: u32) -> bool {
 
 struct Det003;
 
-const CLOCK_IDENTS: &[&str] = &["Instant", "SystemTime", "available_parallelism"];
-
 impl Rule for Det003 {
     fn id(&self) -> &'static str {
         "DET003"
@@ -490,7 +503,8 @@ impl Rule for Det003 {
         }
         for t in &ctx.lexed.tokens {
             let TokKind::Ident(s) = &t.kind else { continue };
-            if CLOCK_IDENTS.contains(&s.as_str()) && !ctx.in_test(t.line) {
+            // sink table shared with the DET100 reachability pass
+            if reach::CLOCK_SINKS.contains(&s.as_str()) && !ctx.in_test(t.line) {
                 self.emit(
                     ctx,
                     t.line,
@@ -519,8 +533,6 @@ struct Det004;
 /// stream to shard layout or thread count.
 const SHARDED_MODULES: &[&str] = &["engine.rs", "wormhole.rs"];
 
-const RNG_IDENTS: &[&str] = &["SmallRng", "SeedableRng", "seed_from_u64", "thread_rng"];
-
 impl Rule for Det004 {
     fn id(&self) -> &'static str {
         "DET004"
@@ -537,7 +549,8 @@ impl Rule for Det004 {
         }
         for t in &ctx.lexed.tokens {
             let TokKind::Ident(s) = &t.kind else { continue };
-            if RNG_IDENTS.contains(&s.as_str()) && !ctx.in_test(t.line) {
+            // sink table shared with the DET100 reachability pass
+            if reach::RNG_SINKS.contains(&s.as_str()) && !ctx.in_test(t.line) {
                 self.emit(
                     ctx,
                     t.line,
@@ -693,6 +706,66 @@ impl Rule for Det007 {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DET100 / LAYER001 / ALLOC001 — graph rules
+// ---------------------------------------------------------------------------
+//
+// These three run over the workspace call graph, not file by file, so
+// their findings are produced by the driver via `crate::reach`; the rule
+// types here own the id/severity/docs (for `--list-rules`, `--rules`
+// filtering, and suppression validation).
+
+struct Det100;
+
+impl Rule for Det100 {
+    fn id(&self) -> &'static str {
+        "DET100"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn describe(&self) -> &'static str {
+        "no wall-clock/hash/RNG/I-O sink reachable from an engine cycle entry point (chain printed)"
+    }
+    fn check(&self, _ctx: &FileCtx<'_>, _out: &mut Vec<Finding>) {
+        // handled by the driver's graph passes (crate::reach::det100)
+    }
+}
+
+struct Layer001;
+
+impl Rule for Layer001 {
+    fn id(&self) -> &'static str {
+        "LAYER001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn describe(&self) -> &'static str {
+        "ipg-core stays pure (no std::{fs,net,time}, no ipg-obs/ipg-cli); I/O only in cli/obs/bench"
+    }
+    fn check(&self, _ctx: &FileCtx<'_>, _out: &mut Vec<Finding>) {
+        // handled by the driver's graph passes (crate::reach::layer001)
+    }
+}
+
+struct Alloc001;
+
+impl Rule for Alloc001 {
+    fn id(&self) -> &'static str {
+        "ALLOC001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn describe(&self) -> &'static str {
+        "no Vec::new/Box::new/vec!/format!/.collect() in functions on a cycle-loop path"
+    }
+    fn check(&self, _ctx: &FileCtx<'_>, _out: &mut Vec<Finding>) {
+        // handled by the driver's graph passes (crate::reach::alloc001)
     }
 }
 

@@ -1,0 +1,26 @@
+//! ALLOC001 fixture: a per-cycle body allocating one hop down, a
+//! suppressed grow-once buffer, and setup allocation that is exempt.
+
+pub struct Shard {
+    scratch: Vec<u32>,
+}
+
+impl Shard {
+    pub fn phase_a(&mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        let spill: Vec<u32> = Vec::new();
+        self.scratch.extend(spill);
+    }
+
+    pub fn phase_b(&mut self) {
+        // ipg-analyze: allow(ALLOC001) reason="fixture: grow-once scratch buffer, reused every cycle after"
+        self.scratch = Vec::new();
+    }
+}
+
+pub fn run_setup() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,18 @@
+//! Reached from the engine via `helper` — the clock sits one more hop
+//! down, so DET100 must print the whole chain.
+
+pub fn helper() -> u64 {
+    stamp() + shimmed()
+}
+
+fn stamp() -> u64 {
+    match std::time::SystemTime::now().elapsed() {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+fn shimmed() -> u64 {
+    // ipg-analyze: allow(DET003) reason="fixture: justified clock read" ipg-analyze: allow(DET100) reason="fixture: demonstrating a justified reachable clock"
+    std::time::Instant::now().elapsed().as_secs()
+}

@@ -1,0 +1,11 @@
+//! DET100 fixture: the cycle loop reaches a wall clock two hops away,
+//! in another crate — no clock ident appears in this file at all.
+use ipg_routes::helper;
+
+pub struct Simulator;
+
+impl Simulator {
+    pub fn run(&mut self) -> u64 {
+        helper()
+    }
+}

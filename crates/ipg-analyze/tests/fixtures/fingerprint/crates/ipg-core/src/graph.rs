@@ -1,0 +1,10 @@
+//! Fingerprint fixture. The baseline was written before this file was
+//! reindented; raw-snippet equality would fail on the extra spaces, but
+//! whitespace-normalized fingerprints still match.
+
+use std::collections::HashMap;
+
+pub fn lookup() {
+    let mut m  =  HashMap::new();
+    m.insert(1u32, 2u32);
+}

@@ -1,0 +1,4 @@
+//! The CLI may do I/O: identical handle types, zero findings here.
+fn main() {
+    let _ = std::fs::File::create("out.json");
+}

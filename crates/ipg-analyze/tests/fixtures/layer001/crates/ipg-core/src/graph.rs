@@ -1,0 +1,11 @@
+//! LAYER001 fixture: the kernel crate reaching for fs and the obs layer.
+use ipg_obs::Obs;
+
+pub fn snapshot() {
+    let _ = std::fs::write("graph.bin", [0u8]);
+}
+
+pub fn suppressed_probe() {
+    // ipg-analyze: allow(LAYER001) reason="fixture: demonstrating a grandfathered obs reference"
+    let _ = ipg_obs::VERSION;
+}

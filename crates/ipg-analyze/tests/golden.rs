@@ -19,9 +19,13 @@ const FIXTURES: &[&str] = &[
     "det007",
     "panic001",
     "hyg001",
+    "det100",
+    "layer001",
+    "alloc001",
     "clean",
     "baselined",
     "stale",
+    "fingerprint",
 ];
 
 fn fixture_root(name: &str) -> PathBuf {
@@ -62,9 +66,13 @@ fn fixture_gate_verdicts() {
         ("det007", false),
         ("panic001", false),
         ("hyg001", false),
+        ("det100", false),
+        ("layer001", false),
+        ("alloc001", false),
         ("clean", true),
         ("baselined", true),
         ("stale", false),
+        ("fingerprint", true),
     ] {
         let (_, ok) = run_lib(name);
         assert_eq!(ok, expect_ok, "{name}: unexpected gate verdict");
@@ -136,8 +144,34 @@ fn rules_filter_scopes_the_gate() {
 }
 
 #[test]
+fn det100_fixture_reports_the_full_call_chain() {
+    // The chain crosses a crate boundary: the engine file contains no
+    // clock ident at all, yet the finding names every hop to the sink.
+    let (jsonl, ok) = run_lib("det100");
+    assert!(!ok, "det100 fixture must fail the gate");
+    assert!(
+        jsonl.contains("reachable from cycle entry: Simulator::run -> helper -> stamp"),
+        "DET100 must print the full call chain:\n{jsonl}"
+    );
+}
+
+#[test]
+fn legacy_baseline_entries_still_match_but_are_noted() {
+    // `baselined` carries pre-fingerprint entries: they must keep
+    // excusing their findings (compat reader) while the human report
+    // points at the migration path.
+    let root = fixture_root("baselined").display().to_string();
+    let (code, out) = run_bin(&["--root", &root, "--format", "human"], &[]);
+    assert_eq!(code, 0, "legacy-format entries must still match:\n{out}");
+    assert!(
+        out.contains("deprecated pre-fingerprint format"),
+        "human report must carry the deprecation note:\n{out}"
+    );
+}
+
+#[test]
 fn output_is_byte_identical_across_thread_settings() {
-    for name in ["det001", "panic001"] {
+    for name in ["det001", "det100", "panic001"] {
         let root = fixture_root(name).display().to_string();
         let args = ["--root", root.as_str(), "--format", "json"];
         let (c1, out1) = run_bin(&args, &[("IPG_THREADS", "1")]);
@@ -164,4 +198,17 @@ fn real_workspace_passes_the_gate() {
         outcome.files > 50,
         "workspace walk looks truncated: {report}"
     );
+}
+
+#[test]
+fn real_workspace_output_is_byte_identical_across_thread_settings() {
+    let root = driver::find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the analyzer crate");
+    let root = root.display().to_string();
+    let args = ["--root", root.as_str(), "--format", "json"];
+    let (c1, out1) = run_bin(&args, &[("IPG_THREADS", "1")]);
+    let (c2, out2) = run_bin(&args, &[("IPG_THREADS", "2")]);
+    let (c4, out4) = run_bin(&args, &[("IPG_THREADS", "4")]);
+    assert_eq!((c1, &out1), (c2, &out2), "IPG_THREADS=1 vs 2 diverged");
+    assert_eq!((c1, &out1), (c4, &out4), "IPG_THREADS=1 vs 4 diverged");
 }

@@ -1,0 +1,170 @@
+//! Property battery for the hand-rolled lexer: adversarial string /
+//! raw-string / comment soup must never panic, never leak literal or
+//! comment contents as identifiers, and keep line numbers exact. The
+//! canary word `LEAKME` only ever appears *inside* literals and
+//! comments, so seeing it as an `Ident` is proof the lexer lost track
+//! of where a literal ends.
+
+use ipg_analyze::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+const CANARY: &str = "LEAKME";
+
+/// Strategy: interior text for a literal, built from the characters
+/// that break naive string scanning — quotes, hash runs, backslashes,
+/// newlines, comment openers, and the canary word.
+fn interior() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..9, 0..14).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|p| match p {
+                0 => "\"",
+                1 => "#",
+                2 => "\"##",
+                3 => "\n",
+                4 => CANARY,
+                5 => "//",
+                6 => "/*",
+                7 => "'x",
+                _ => "z9 ",
+            })
+            .collect()
+    })
+}
+
+/// Hashes needed to safely delimit `interior` as a raw string: one more
+/// than the longest `#`-run following any `"` inside it.
+fn safe_hashes(interior: &str) -> usize {
+    let bytes = interior.as_bytes();
+    let mut worst = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'"' {
+            let run = bytes[i + 1..].iter().take_while(|&&c| c == b'#').count();
+            worst = worst.max(run + 1);
+        }
+    }
+    worst
+}
+
+fn idents(src: &str) -> Vec<(String, u32)> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.kind {
+            TokKind::Ident(s) => Some((s, t.line)),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn raw_strings_stay_opaque_at_any_hash_depth(
+        inner in interior(),
+        extra in 0usize..3,
+        prefix in 0usize..3,
+    ) {
+        let hashes = "#".repeat(safe_hashes(&inner) + extra);
+        let prefix = ["r", "br", "cr"][prefix];
+        let src = format!("let a = {prefix}{hashes}\"{inner}\"{hashes};\nAFTER\n");
+        let ids = idents(&src);
+        prop_assert!(
+            ids.iter().all(|(s, _)| s != CANARY),
+            "literal contents leaked as idents in {src:?}: {ids:?}"
+        );
+        let after: Vec<_> = ids.iter().filter(|(s, _)| s == "AFTER").collect();
+        prop_assert_eq!(after.len(), 1, "lost track after literal in {:?}", src);
+        // the literal spans its embedded newlines; AFTER sits right below
+        let expect = 2 + inner.matches('\n').count() as u32;
+        prop_assert_eq!(after[0].1, expect, "wrong line in {:?}", src);
+    }
+
+    #[test]
+    fn escaped_strings_stay_opaque(inner in interior(), byte in 0usize..2) {
+        // embed the interior in a normal string, escaping what must be
+        let escaped = inner.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+        let prefix = ["", "b"][byte];
+        let src = format!("let a = {prefix}\"{escaped}\";\nAFTER\n");
+        let ids = idents(&src);
+        prop_assert!(ids.iter().all(|(s, _)| s != CANARY), "{src:?} leaked: {ids:?}");
+        prop_assert!(
+            ids.iter().any(|(s, l)| s == "AFTER" && *l == 2),
+            "{src:?} lost AFTER: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn comments_swallow_everything(inner in interior(), depth in 1usize..4) {
+        // block comments nest in Rust; unbalanced closers inside the
+        // interior would end the comment early, so strip them
+        let inner = inner.replace("*/", "").replace("/*", "");
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("{open} {inner} {close}\nAFTER // {CANARY} tail\n");
+        let lexed = lex(&src);
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        prop_assert!(ids.iter().all(|(s, _)| s != CANARY), "{src:?} leaked: {ids:?}");
+        let expect = 2 + inner.matches('\n').count() as u32;
+        prop_assert!(
+            ids.iter().any(|(s, l)| s == "AFTER" && *l == expect),
+            "{src:?} lost AFTER at {expect}: {ids:?}"
+        );
+        // the line comment's text must be preserved for suppression parsing
+        prop_assert!(
+            lexed.comments.iter().any(|c| c.text.contains(CANARY)),
+            "{src:?} dropped comment text"
+        );
+    }
+
+    #[test]
+    fn soup_never_panics_and_lines_stay_ordered(
+        picks in proptest::collection::vec(0u8..12, 0..40),
+    ) {
+        // raw soup, including unterminated openers — the lexer must
+        // return (possibly swallowing the tail) without panicking
+        let src: String = picks
+            .iter()
+            .map(|p| match p {
+                0 => "\"",
+                1 => "r#\"",
+                2 => "br\"",
+                3 => "/*",
+                4 => "*/",
+                5 => "//x",
+                6 => "\n",
+                7 => "'a",
+                8 => "'b'",
+                9 => "#",
+                10 => "ident ",
+                _ => "1.5e3 ",
+            })
+            .collect();
+        let lexed = lex(&src);
+        let max_line = src.lines().count().max(1) as u32;
+        let mut prev = 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= prev, "line numbers regressed in {src:?}");
+            prop_assert!(t.line <= max_line, "line {} > {max_line} in {src:?}", t.line);
+            prev = t.line;
+        }
+    }
+
+    #[test]
+    fn backslash_newline_continuations_count_lines(n in 1usize..5) {
+        let cont = "\\\n".repeat(n);
+        let src = format!("let s = \"a{cont}b\";\nAFTER\n");
+        let ids = idents(&src);
+        let expect = 2 + n as u32;
+        prop_assert!(
+            ids.iter().any(|(s, l)| s == "AFTER" && *l == expect),
+            "continuation lines miscounted in {src:?}: {ids:?}"
+        );
+    }
+}

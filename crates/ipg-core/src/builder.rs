@@ -7,6 +7,7 @@ use crate::graph::Csr;
 use crate::label::Label;
 use crate::spec::IpGraphSpec;
 use crate::util::FxHashMap;
+// ipg-analyze: allow(LAYER001) reason="grandfathered: generation-time instrumentation flows through Obs, which is a deterministic no-op when disabled; extracting a core-local probe trait is tracked in ROADMAP"
 use ipg_obs::Obs;
 use rayon::prelude::*;
 

@@ -53,11 +53,18 @@ pub fn schedule_over_perms(perms: &[Perm], l: usize, target: Option<&Perm>) -> O
 /// Lexicographic rank of a block arrangement — the flat-state row index.
 #[inline]
 fn arrangement_rank(p: &Perm) -> usize {
+    arrangement_rank_img(p.image())
+}
+
+/// [`arrangement_rank`] over a raw image slice, for callers that compose
+/// permutations into stack buffers instead of allocating a [`Perm`].
+#[inline]
+fn arrangement_rank_img(image: &[u16]) -> usize {
     let mut buf = [0u8; FLAT_SCHEDULE_MAX_L];
-    for (o, &v) in buf.iter_mut().zip(p.image().iter()) {
+    for (o, &v) in buf.iter_mut().zip(image.iter()) {
         *o = v as u8;
     }
-    rank::multiset_rank(&buf[..p.len()]) as usize
+    rank::multiset_rank(&buf[..image.len()]) as usize
 }
 
 fn schedule_flat(perms: &[Perm], l: usize, target: Option<&Perm>, full: u32) -> Option<Vec<usize>> {
@@ -500,16 +507,23 @@ impl ShortestTupleRouter {
     /// Distance between decoded endpoints (`DIST_INF` when unreachable).
     fn dist_parts(&self, uo: u32, ut: &[u32], do_: u32, dt: &[u32]) -> u32 {
         if self.tn.order_count() > 1 {
-            // the product is forced: σ_u.then(π) = σ_d
-            let beta = self
-                .tn
-                .order_perm(uo)
-                .inverse()
-                .then(self.tn.order_perm(do_));
-            let rank = arrangement_rank(&beta) as u32;
+            // The product is forced: σ_u.then(π) = σ_d. Compose
+            // β = σ_u⁻¹∘σ_d and its inverse in stack buffers — this runs
+            // once per neighbor per hop, so it must not allocate.
+            let su = self.tn.order_perm(uo).image();
+            let sd = self.tn.order_perm(do_).image();
+            let mut inv_u = [0u16; FLAT_SCHEDULE_MAX_L];
+            for (j, &p) in su.iter().enumerate() {
+                inv_u[p as usize] = j as u16;
+            }
+            let mut beta = [0u16; FLAT_SCHEDULE_MAX_L];
+            for (b, &p) in beta.iter_mut().zip(sd.iter()) {
+                *b = inv_u[p as usize];
+            }
+            let rank = arrangement_rank_img(&beta[..sd.len()]) as u32;
             let mut inv = [0u8; FLAT_SCHEDULE_MAX_L];
-            for (o, &v) in inv.iter_mut().zip(beta.inverse().image().iter()) {
-                *o = v as u8;
+            for (i, &b) in beta[..sd.len()].iter().enumerate() {
+                inv[b as usize] = i as u8;
             }
             self.eval(rank, &inv, ut, dt)
         } else {

@@ -534,6 +534,7 @@ impl Shard {
                 self.link_dead[li] = true;
                 let owner =
                     self.base + (self.link_of.partition_point(|&o| o as usize <= li) - 1) as u32;
+                // ipg-analyze: allow(ALLOC001) reason="fault application runs once per injected fault event, not per cycle; orphan list is bounded by the dead link's queue"
                 let mut orphans = Vec::new();
                 while self.links.qhead[li] != NIL {
                     let p = self.fifo_pop(li);

@@ -721,6 +721,12 @@ impl<R: Router> Run<'_, R> {
     fn purge(&mut self, mut doomed: Vec<u32>) {
         doomed.sort_unstable();
         doomed.dedup();
+        self.purge_sorted(&doomed);
+    }
+
+    /// [`purge`](Self::purge) over an already sorted, deduplicated slice —
+    /// the cycle-loop caller passes a single packet without allocating.
+    fn purge_sorted(&mut self, doomed: &[u32]) {
         if doomed.is_empty() {
             return;
         }
@@ -924,7 +930,7 @@ impl<R: Router> Run<'_, R> {
                 let Some(hop) = self.route(u, dst) else {
                     // mid-flight packet with no usable route left: destroy
                     // it rather than let its flits wedge the channel
-                    self.purge(vec![pkt]);
+                    self.purge_sorted(&[pkt]);
                     continue;
                 };
                 if self.sim.link_toward(u, hop) != link || self.want_vc(hops) != out_vc {
@@ -1075,7 +1081,10 @@ impl<R: Router> Run<'_, R> {
             } else if buffered > 0 {
                 idle += 1;
                 if idle >= self.cfg.deadlock_threshold {
-                    let stuck: std::collections::HashSet<u32> = (0..self.bufs.len.len())
+                    // Terminal path: count distinct wedged packets with a
+                    // sort+dedup rather than a hash set — the count (and
+                    // any future listing of it) stays seed-deterministic.
+                    let mut stuck: Vec<u32> = (0..self.bufs.len.len())
                         .flat_map(|vc| {
                             let head = self.bufs.head[vc] as usize;
                             let len = self.bufs.len(vc);
@@ -1084,6 +1093,8 @@ impl<R: Router> Run<'_, R> {
                             (0..len).map(move |i| flits[vc * depth + (head + i) % depth].pkt)
                         })
                         .collect();
+                    stuck.sort_unstable();
+                    stuck.dedup();
                     return WormholeOutcome::Deadlocked {
                         at_cycle: cycle,
                         stuck_packets: stuck.len(),

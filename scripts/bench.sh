@@ -8,11 +8,12 @@ cd "$(dirname "$0")/.."
 # Pin the pool so interned-build parallelism doesn't vary run to run.
 export IPG_THREADS="${IPG_THREADS:-4}"
 
-# Refuse to benchmark code with open determinism findings: numbers from a
-# nondeterministic build are not comparable run to run.
-echo "== ipg-analyze (DET rules) =="
-if ! cargo run -q -p ipg-analyze -- --rules DET001,DET002,DET003,DET004,DET005,DET006,DET007 --format human; then
-    echo "bench.sh: refusing to benchmark with open DET-class findings" >&2
+# Refuse to benchmark code with open determinism, layering, or cycle-loop
+# allocation findings: numbers from a nondeterministic build are not
+# comparable run to run, and steady-state allocation skews hot-path medians.
+echo "== ipg-analyze (DET/LAYER/ALLOC rules) =="
+if ! cargo run -q -p ipg-analyze --     --rules DET001,DET002,DET003,DET004,DET005,DET006,DET007,DET100,LAYER001,ALLOC001     --format human; then
+    echo "bench.sh: refusing to benchmark with open DET/LAYER/ALLOC findings" >&2
     exit 1
 fi
 

@@ -3,34 +3,55 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
+# Stage bookkeeping: `stage <name>` closes the previous stage and opens
+# the next; the per-stage wall times print in a summary at the end.
+stage_names=()
+stage_secs=()
+stage_cur=""
+stage_t0=0
+stage() {
+    local now; now=$(date +%s)
+    if [ -n "$stage_cur" ]; then
+        stage_names+=("$stage_cur")
+        stage_secs+=($((now - stage_t0)))
+    fi
+    stage_cur="$1"
+    stage_t0=$now
+    echo "== $1 =="
+}
+
+stage "cargo fmt --check"
 cargo fmt --all --check
 
-echo "== ipg-analyze =="
+stage "ipg-analyze (workspace gate)"
 cargo run -q -p ipg-analyze -- --format human
 
-echo "== cargo clippy --workspace -D warnings =="
+stage "ipg-analyze (self-lint, no baseline)"
+# The analyzer must hold itself to its own rules with nothing excused.
+cargo run -q -p ipg-analyze -- --member ipg-analyze --no-baseline --format human
+
+stage "cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo build --release =="
+stage "cargo build --release"
 cargo build --release
 
-echo "== cargo test (pool auto-sized) =="
+stage "cargo test (pool auto-sized)"
 cargo test -q
 
-echo "== cargo test (IPG_THREADS=1, sequential pool) =="
+stage "cargo test (IPG_THREADS=1, sequential pool)"
 IPG_THREADS=1 cargo test -q
 
-echo "== property tests, 256 cases =="
+stage "property tests, 256 cases"
 PROPTEST_CASES=256 cargo test -q --release --test proptests
 
-echo "== benches compile =="
+stage "benches compile"
 cargo bench --workspace --no-run
 
-echo "== codec property pass =="
+stage "codec property pass"
 PROPTEST_CASES=64 cargo test -q --release --test proptests codec
 
-echo "== sim determinism (IPG_THREADS=1/2/4 byte-compare) =="
+stage "sim determinism (IPG_THREADS=1/2/4 byte-compare)"
 # The deterministic record families (stdout; manifest window/metrics
 # records) must not depend on the worker count. Spans/rates/meta carry
 # wall-clock data, so only the deterministic families are compared.
@@ -57,7 +78,7 @@ for t in 2 4; do
 done
 echo "   byte-identical for IPG_THREADS=1/2/4 (stdout, manifest records, trace)"
 
-echo "== fault-mode determinism (IPG_THREADS=1/2/4 byte-compare) =="
+stage "fault-mode determinism (IPG_THREADS=1/2/4 byte-compare)"
 # Same byte-identity with a fault campaign active: scripted kills and
 # rate-drawn kills (expanded at compile time from node/edge streams)
 # must not make any deterministic output depend on the worker count.
@@ -83,7 +104,7 @@ for spec in "script:link@600:0-1+node@1200:5" "rate:links=0.05,nodes=0.01,at=800
 done
 echo "   byte-identical for IPG_THREADS=1/2/4 (scripted and rate-based faults)"
 
-echo "== sparse-vs-dense determinism (IPG_DENSE_ENGINE byte-compare) =="
+stage "sparse-vs-dense determinism (IPG_DENSE_ENGINE byte-compare)"
 # The sparse worklist kernel (default) must be byte-identical to the
 # dense oracle (IPG_DENSE_ENGINE=1) — stdout, manifest records, AND the
 # full trace file — with a fault campaign active, at every worker count.
@@ -111,7 +132,7 @@ for t in 1 2 4; do
 done
 echo "   sparse kernel byte-identical to the dense oracle (faults + tracing, IPG_THREADS=1/2/4)"
 
-echo "== trace on/off determinism (manifest byte-compare) =="
+stage "trace on/off determinism (manifest byte-compare)"
 # Attaching the flight recorder must not perturb the simulation: the
 # deterministic manifest families and stdout (minus the trace: line)
 # match a traced run against an untraced one.
@@ -132,4 +153,11 @@ cmp "$simdir/off/records.txt" "$simdir/on/records.txt" \
     || { echo "check.sh: --trace changed manifest records" >&2; exit 1; }
 echo "   tracing is invisible to the deterministic families"
 
+now=$(date +%s)
+stage_names+=("$stage_cur")
+stage_secs+=($((now - stage_t0)))
 echo "all checks passed"
+echo "-- stage wall times --"
+for i in "${!stage_names[@]}"; do
+    printf '%5ss  %s\n' "${stage_secs[$i]}" "${stage_names[$i]}"
+done
