@@ -11,6 +11,7 @@
 //! | DET005   | error    | no raw trace-event plumbing in `ipg-sim` cycle loops (use `ShardTracer`) |
 //! | DET006   | error    | no raw fault-event plumbing in `ipg-sim` cycle loops (consume `FaultPlan`) |
 //! | DET007   | error    | no raw bitset mutation in `ipg-sim` cycle loops (use the `Worklist` API) |
+//! | DET008   | error    | no raw socket/byte I/O in the dist coordinator/worker (all traffic via `dist::frame`) |
 //! | DET100   | error    | no determinism sink *reachable* from an engine cycle entry point |
 //! | LAYER001 | error    | crate layering: `ipg-core` stays pure; I/O only in the sanctioned crates |
 //! | ALLOC001 | error    | no steady-state allocation in functions on a cycle-loop path     |
@@ -148,6 +149,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Det005),
         Box::new(Det006),
         Box::new(Det007),
+        Box::new(Det008),
         Box::new(Det100),
         Box::new(Layer001),
         Box::new(Alloc001),
@@ -710,6 +712,70 @@ impl Rule for Det007 {
 }
 
 // ---------------------------------------------------------------------------
+// DET008 — raw I/O in the multi-process coordinator/worker protocol
+// ---------------------------------------------------------------------------
+
+struct Det008;
+
+/// Identifiers that mean a dist protocol file is doing its own byte
+/// plumbing. The coordinator/worker cycle paths must move every byte
+/// through `dist::frame` (`FrameIo::frame_send` / `frame_recv`): the
+/// codec owns the length-prefix/checksum discipline and the
+/// read-all-then-write-all deadlock argument, and an ad-hoc
+/// `write_all`/`to_le_bytes` site can ship unversioned, unchecksummed
+/// bytes whose layout silently drifts from the frame tables in
+/// DESIGN.md §15. `frame.rs` itself is the sanctioned home.
+const DIST_RAW_IO_IDENTS: &[&str] = &[
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "flush",
+    "to_le_bytes",
+    "from_le_bytes",
+    "to_be_bytes",
+    "from_be_bytes",
+    "UnixStream",
+    "stdin",
+];
+
+impl Rule for Det008 {
+    fn id(&self) -> &'static str {
+        "DET008"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn describe(&self) -> &'static str {
+        "no raw socket/byte I/O in ipg-sim dist protocol files (all traffic via dist::frame)"
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if ctx.crate_name != "ipg-sim"
+            || !ctx.rel_path.starts_with("crates/ipg-sim/src/dist/")
+            || ctx.file_name() == "frame.rs"
+        {
+            return;
+        }
+        for t in &ctx.lexed.tokens {
+            let TokKind::Ident(s) = &t.kind else { continue };
+            if DIST_RAW_IO_IDENTS.contains(&s.as_str()) && !ctx.in_test(t.line) {
+                self.emit(
+                    ctx,
+                    t.line,
+                    format!(
+                        "raw I/O primitive `{s}` in a dist protocol file; every byte \
+                         crossing the process boundary must go through the \
+                         `dist::frame` codec (`FrameIo::frame_send` / `frame_recv`) \
+                         so it is length-prefixed, versioned and checksummed \
+                         (DESIGN.md §15)"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // DET100 / LAYER001 / ALLOC001 — graph rules
 // ---------------------------------------------------------------------------
 //
@@ -1066,6 +1132,58 @@ mod tests {
             test_only,
             "ipg-sim",
             "crates/ipg-sim/src/wormhole.rs",
+            FileKind::Lib
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn det008_scopes_to_dist_protocol_files() {
+        let src = "use std::os::unix::net::UnixStream;\nfn f(s: &mut UnixStream, v: u32) { s.write_all(&v.to_le_bytes()).unwrap(); }\n";
+        let hot = run_on(
+            src,
+            "ipg-sim",
+            "crates/ipg-sim/src/dist/coordinator.rs",
+            FileKind::Lib,
+        );
+        assert!(
+            hot.iter().filter(|f| f.rule == "DET008").count() >= 4,
+            "{hot:?}"
+        );
+        let hot = run_on(
+            src,
+            "ipg-sim",
+            "crates/ipg-sim/src/dist/worker.rs",
+            FileKind::Lib,
+        );
+        assert!(hot.iter().any(|f| f.rule == "DET008"), "{hot:?}");
+        // frame.rs is the sanctioned home of the codec
+        let home = run_on(
+            src,
+            "ipg-sim",
+            "crates/ipg-sim/src/dist/frame.rs",
+            FileKind::Lib,
+        );
+        assert!(home.iter().all(|f| f.rule != "DET008"), "{home:?}");
+        // the same idents outside the dist module are not this rule's business
+        let outside = run_on(src, "ipg-cli", "crates/ipg-cli/src/main.rs", FileKind::Bin);
+        assert!(outside.iter().all(|f| f.rule != "DET008"), "{outside:?}");
+        // the frame-level API does not trip the rule
+        let ok = "use super::frame::FrameIo;\nfn f(io: &mut FrameIo) { io.note_cycle(3); }\n";
+        assert!(run_on(
+            ok,
+            "ipg-sim",
+            "crates/ipg-sim/src/dist/worker.rs",
+            FileKind::Lib
+        )
+        .is_empty());
+        // test code inside the module is exempt
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n fn f(v: u32) -> [u8; 4] { v.to_le_bytes() }\n}\n";
+        assert!(run_on(
+            test_only,
+            "ipg-sim",
+            "crates/ipg-sim/src/dist/coordinator.rs",
             FileKind::Lib
         )
         .is_empty());

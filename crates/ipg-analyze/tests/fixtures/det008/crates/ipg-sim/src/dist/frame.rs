@@ -1,0 +1,4 @@
+//! The sanctioned codec home: the same primitives are fine here.
+pub fn seal_len(v: u32) -> [u8; 4] {
+    v.to_le_bytes()
+}

@@ -1,0 +1,18 @@
+//! DET008 fixture: raw byte plumbing in a dist protocol file.
+use std::os::unix::net::UnixStream;
+
+pub fn ship_by_hand(sock: &mut UnixStream, cycle: u32) {
+    let _ = sock.write_all(&cycle.to_le_bytes());
+}
+
+pub fn suppressed_probe(v: u32) -> [u8; 4] {
+    // ipg-analyze: allow(DET008) reason="fixture: demonstrating a justified one-off encoding"
+    v.to_be_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(v: u32) -> [u8; 4] {
+        v.to_le_bytes()
+    }
+}

@@ -17,6 +17,7 @@ const FIXTURES: &[&str] = &[
     "det005",
     "det006",
     "det007",
+    "det008",
     "panic001",
     "hyg001",
     "det100",
@@ -64,6 +65,7 @@ fn fixture_gate_verdicts() {
         ("det005", false),
         ("det006", false),
         ("det007", false),
+        ("det008", false),
         ("panic001", false),
         ("hyg001", false),
         ("det100", false),

@@ -30,6 +30,17 @@
 //!    is reported as insignificant rather than as a real cost. The
 //!    `within_budget` flag is the ≤ 5% commitment from DESIGN.md §11.
 //!
+//! 5. *multi-process sharding* — the beyond-table CN(5,Q4) schedule run
+//!    through `dist::run_dist` at 1/2/4 workers (delivered counts must
+//!    match the in-process run), then CN(2,Q11) at 2^22 nodes — past
+//!    the in-process CLI cap — both distributed and in-process, so the
+//!    per-worker vs single-process peak-RSS split is on record. On a
+//!    1-core host the win is the *memory ceiling*, not cycles/sec: see
+//!    EXPERIMENTS.md. RSS readings come from `VmHWM`, a monotone
+//!    per-process high-water mark, so harness-side snapshots are
+//!    ordered smallest-arm-first and each bounds everything before it;
+//!    worker processes are fresh per run and their readings are exact.
+//!
 //! All timing goes through `Obs` spans (`Span::elapsed_secs`) — the
 //! DET003 lint keeps raw `Instant` reads out of this crate.
 
@@ -38,6 +49,7 @@ use ipg_core::graph::Csr;
 use ipg_core::tuple_routing::ShortestTupleRouter;
 use ipg_networks::{classic, hier};
 use ipg_obs::{Obs, TraceConfig};
+use ipg_sim::dist::{run_dist, worker_main, DistConfig, WorkerSetup};
 use ipg_sim::engine::{SimConfig, Simulator};
 use ipg_sim::table::RoutingTable;
 use ipg_sim::Router;
@@ -129,6 +141,58 @@ struct TraceOverheadCase {
 }
 
 #[derive(Serialize)]
+struct DistArm {
+    workers: u32,
+    run_secs: f64,
+    cycles_per_sec: f64,
+    /// Distributed delivered count equals the in-process run's.
+    delivered_match: bool,
+    /// Each worker process's `VmHWM` in KiB (fresh process per run,
+    /// so these are exact, not watermarked by earlier arms).
+    worker_rss_kb: Vec<u64>,
+    frames: u64,
+    frame_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct DistBeyondCase {
+    network: String,
+    nodes: usize,
+    cycles: u32,
+    injection_rate: f64,
+    workers: u32,
+    delivered: u64,
+    /// The distributed run and the in-process run of the same network
+    /// delivered identical packet counts.
+    delivered_match: bool,
+    dist_run_secs: f64,
+    inproc_run_secs: f64,
+    /// Harness `VmHWM` right after the distributed run: the
+    /// coordinator-side peak (graph + transient link frames, no shard
+    /// state). Monotone — also bounds the earlier, smaller arms.
+    coordinator_rss_kb: u64,
+    /// Harness `VmHWM` after the in-process run of the same network:
+    /// the single-process peak the worker split is measured against.
+    single_process_rss_kb: u64,
+    /// Per-worker `VmHWM` — the headline: each worker holds a shard
+    /// range and a codec router, never the graph or the full wheel.
+    worker_rss_kb: Vec<u64>,
+}
+
+#[derive(Serialize)]
+struct DistCase {
+    network: String,
+    nodes: usize,
+    cycles: u32,
+    injection_rate: f64,
+    /// In-process steady-state baseline on the same schedule (the
+    /// beyond-table codec arm).
+    inproc_cycles_per_sec: f64,
+    arms: Vec<DistArm>,
+    beyond: DistBeyondCase,
+}
+
+#[derive(Serialize)]
 struct SimBench {
     bench: &'static str,
     ipg_threads: usize,
@@ -136,6 +200,35 @@ struct SimBench {
     beyond_table: BeyondTableCase,
     sparse_vs_dense: SparseVsDenseCase,
     trace_overhead: TraceOverheadCase,
+    dist: DistCase,
+}
+
+/// Build the router for one of the fixed bench networks inside a worker
+/// process. Tags instead of CLI specs: ipg-bench sits below ipg-cli and
+/// cannot use its parser.
+fn bench_router(ws: &WorkerSetup) -> Result<Box<dyn Router>, String> {
+    let tn = match ws.netspec.as_str() {
+        "bench:cn5q4" => hier::complete_cn(5, classic::hypercube(4), "Q4"),
+        "bench:cn2q11" => hier::complete_cn(2, classic::hypercube(11), "Q11"),
+        other => return Err(format!("unknown bench netspec `{other}`")),
+    };
+    Ok(Box::new(
+        ShortestTupleRouter::new(tn).map_err(|e| e.to_string())?,
+    ))
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM` — a monotone
+/// per-process high-water mark). 0 where procfs is unavailable.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
 }
 
 fn cfg(rate: f64, warmup: u32, measure: u32, drain: u32) -> SimConfig {
@@ -186,6 +279,16 @@ fn time_backend<R: Router>(
 }
 
 fn main() {
+    // Hidden worker mode: the dist coordinator re-execs this binary with
+    // `__dist-worker`, so the bench is self-contained — no ipg install.
+    if std::env::args().nth(1).as_deref() == Some("__dist-worker") {
+        if let Err(e) = worker_main(bench_router, vm_hwm_kb) {
+            eprintln!("sim_bench dist worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let common_cfg = cfg(0.02, 200, 800, 500);
     let big_cfg = cfg(0.002, 20, 60, 60);
     let rep = report::start(
@@ -368,6 +471,116 @@ fn main() {
         delivered_match: delivered_off == delivered_on,
     };
 
+    // -- multi-process sharding on the beyond-table schedule --------------
+    let worker_argv = vec![
+        std::env::current_exe()
+            .expect("current_exe must resolve to spawn workers")
+            .display()
+            .to_string(),
+        "__dist-worker".to_string(),
+    ];
+    let dist_dc = |netspec: &str, workers: u32| DistConfig {
+        workers,
+        worker_argv: worker_argv.clone(),
+        netspec: netspec.to_string(),
+        window: 0,
+        trace: None,
+        read_timeout: std::time::Duration::from_secs(600),
+    };
+    let mut arms = Vec::new();
+    for workers in [1u32, 2, 4] {
+        eprintln!(
+            "dist config: {} ({} nodes), {} workers",
+            beyond.network, n_big, workers
+        );
+        let span = rep.obs().span(&format!("dist/w{workers}"));
+        let run = run_dist(
+            &g_big,
+            |v| class_big[v as usize],
+            &big_cfg,
+            None,
+            &Obs::disabled(),
+            &dist_dc("bench:cn5q4", workers),
+        )
+        .expect("distributed run on the beyond-table network");
+        let run_secs = span.elapsed_secs().unwrap_or(0.0).max(1e-9);
+        drop(span);
+        assert_eq!(
+            run.result.delivered, delivered_big,
+            "distributed run diverged from the in-process engine at {workers} workers"
+        );
+        arms.push(DistArm {
+            workers,
+            run_secs,
+            cycles_per_sec: cycles_big / run_secs,
+            delivered_match: run.result.delivered == delivered_big,
+            worker_rss_kb: run.workers.iter().map(|w| w.rss_kb).collect(),
+            frames: run.workers.iter().map(|w| w.frames).sum(),
+            frame_bytes: run.workers.iter().map(|w| w.frame_bytes).sum(),
+        });
+    }
+
+    // -- beyond a single process: 2^22 nodes, past the in-process CLI cap --
+    // Dist first, then in-process: VmHWM is monotone, so the later (larger)
+    // in-process run cannot contaminate the coordinator-side snapshot.
+    let huge = hier::complete_cn(2, classic::hypercube(11), "Q11");
+    let n_huge = huge.node_count();
+    eprintln!(
+        "dist beyond config: {} ({} nodes), 4 workers",
+        huge.name, n_huge
+    );
+    let g_huge = huge.build();
+    let (class_huge, _) = huge.nucleus_partition();
+    let span = rep.obs().span("dist/beyond/dist");
+    let run_huge = run_dist(
+        &g_huge,
+        |v| class_huge[v as usize],
+        &big_cfg,
+        None,
+        &Obs::disabled(),
+        &dist_dc("bench:cn2q11", 4),
+    )
+    .expect("distributed run on the 2^22-node network");
+    let dist_secs = span.elapsed_secs().unwrap_or(0.0).max(1e-9);
+    drop(span);
+    let coordinator_rss_kb = vm_hwm_kb();
+    let router_huge =
+        ShortestTupleRouter::new(huge.clone()).expect("l=2 is within the codec router bound");
+    let mut sim_huge =
+        Simulator::with_router(router_huge, &g_huge, |v| class_huge[v as usize], &big_cfg);
+    let span = rep.obs().span("dist/beyond/inproc");
+    let r_huge = sim_huge.run(&big_cfg);
+    let inproc_secs = span.elapsed_secs().unwrap_or(0.0).max(1e-9);
+    drop(span);
+    let single_process_rss_kb = vm_hwm_kb();
+    assert_eq!(
+        run_huge.result.delivered, r_huge.delivered,
+        "distributed run diverged from the in-process engine on {}",
+        huge.name
+    );
+    let dist = DistCase {
+        network: beyond.network.clone(),
+        nodes: n_big as usize,
+        cycles: total_cycles(&big_cfg),
+        injection_rate: big_cfg.injection_rate,
+        inproc_cycles_per_sec: beyond.codec.cycles_per_sec,
+        arms,
+        beyond: DistBeyondCase {
+            network: huge.name.clone(),
+            nodes: n_huge,
+            cycles: total_cycles(&big_cfg),
+            injection_rate: big_cfg.injection_rate,
+            workers: run_huge.workers.len() as u32,
+            delivered: run_huge.result.delivered,
+            delivered_match: run_huge.result.delivered == r_huge.delivered,
+            dist_run_secs: dist_secs,
+            inproc_run_secs: inproc_secs,
+            coordinator_rss_kb,
+            single_process_rss_kb,
+            worker_rss_kb: run_huge.workers.iter().map(|w| w.rss_kb).collect(),
+        },
+    };
+
     let out = SimBench {
         bench: "sim_bench",
         ipg_threads: rayon::current_num_threads(),
@@ -375,6 +588,7 @@ fn main() {
         beyond_table: beyond,
         sparse_vs_dense,
         trace_overhead,
+        dist,
     };
 
     println!("== Simulation engine: table vs table-free routing ==");
@@ -447,6 +661,32 @@ fn main() {
         out.trace_overhead.trace_events,
         out.trace_overhead.dropped_events,
         out.trace_overhead.delivered_match
+    );
+    for arm in &out.dist.arms {
+        println!(
+            "  dist {} @ {} worker(s): {:.1} cycles/s (in-process {:.1}), delivered_match={}, \
+             worker VmHWM {:?} KiB, {} frames / {} bytes",
+            out.dist.network,
+            arm.workers,
+            arm.cycles_per_sec,
+            out.dist.inproc_cycles_per_sec,
+            arm.delivered_match,
+            arm.worker_rss_kb,
+            arm.frames,
+            arm.frame_bytes
+        );
+    }
+    let b = &out.dist.beyond;
+    println!(
+        "  dist beyond the in-process cap: {} ({} nodes) @ {} workers: delivered_match={}; \
+         single-process VmHWM {} KiB vs per-worker {:?} KiB (coordinator {} KiB)",
+        b.network,
+        b.nodes,
+        b.workers,
+        b.delivered_match,
+        b.single_process_rss_kb,
+        b.worker_rss_kb,
+        b.coordinator_rss_kb
     );
 
     rep.json("BENCH_sim", &out);

@@ -27,6 +27,10 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
+        // Hidden mode: `simulate --workers N` re-executes this binary as
+        // `ipg worker` for each shard-range process (stdin carries the
+        // coordinator socket — never invoked by hand).
+        Some("worker") => cmd_dist_worker(),
         Some("info") => with_network(&args, 1, cmd_info),
         Some("compare") => cmd_compare(&args[1..]),
         Some("dot") => with_network(&args, 1, cmd_dot),
@@ -82,6 +86,10 @@ fn print_help() {
     );
     println!("      --trace <path>             write a flight-recorder trace (JSON lines)");
     println!("      --trace-interval <cycles>  trace sampling interval (default 64)");
+    println!("      --workers <n>              run across n OS processes (packet engine");
+    println!("                                 only); results are byte-identical to the");
+    println!("                                 in-process run, per-worker memory is");
+    println!("                                 bounded by its shard range");
     println!("  trace summary <t.jsonl>        summarize a trace (--top <n> hottest links)");
     println!("  trace chrome <t.jsonl> <out>   convert to Chrome/Perfetto trace JSON");
     println!("  layout <network>               bisection width + grid-layout wirelength");
@@ -296,6 +304,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut flits: u32 = 4;
     let mut policy = VcPolicy::HopIndexed;
     let mut faults_arg: Option<String> = None;
+    let mut workers: Option<u32> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -347,10 +356,29 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                         .clone(),
                 );
             }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a process count")?;
+                let w: u32 = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+                if w == 0 {
+                    return Err("--workers must be ≥ 1".into());
+                }
+                workers = Some(w);
+            }
             _ => positional.push(a),
         }
     }
-    let net = parse(positional.first().ok_or("simulate needs a network")?)?;
+    if workers.is_some() && wormhole {
+        return Err("--workers applies to the packet engine only, not --wormhole".into());
+    }
+    let netspec = positional.first().ok_or("simulate needs a network")?;
+    // The multi-process path admits larger networks: workers route by
+    // tuple codec without materializing the graph, so the memory bound
+    // is per shard range, not per network.
+    let net = if workers.is_some() {
+        spec::parse_with_cap(netspec, spec::DIST_MAX_NODES)?
+    } else {
+        parse(netspec)?
+    };
     let rate: f64 = positional
         .get(1)
         .map(|s| s.parse().map_err(|_| format!("bad rate `{s}`")))
@@ -483,9 +511,50 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
         write_trace(trace, trace_path.as_deref())?;
     } else {
-        let mut sim = Simulator::with_router(router, &net.graph, |v| module[v as usize], &cfg);
-        sim.set_fault_plan(fault_plan);
-        let (r, trace) = sim.run_traced(&cfg, &obs, obs_interval, trace_cfg.as_ref());
+        // Both engines print through the same block below: a distributed
+        // run's stdout, manifest, and trace are byte-compatible with the
+        // in-process engine's (the manifest gains `dist` records — the
+        // per-worker RSS/frame gauges — which sit outside the
+        // deterministic record family).
+        let (r, trace) = match workers {
+            Some(w) => {
+                drop(router); // coordinator never routes; workers rebuild their own
+                let exe = std::env::current_exe()
+                    .map_err(|e| format!("cannot locate the worker binary: {e}"))?;
+                let exe = exe
+                    .to_str()
+                    .ok_or("worker binary path is not valid UTF-8")?
+                    .to_string();
+                let timeout = std::env::var("IPG_DIST_TIMEOUT")
+                    .ok()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(120);
+                let dc = ipg_sim::dist::DistConfig {
+                    workers: w,
+                    worker_argv: vec![exe, "worker".into()],
+                    netspec: (*netspec).clone(),
+                    window: obs_interval,
+                    trace: trace_cfg.clone(),
+                    read_timeout: std::time::Duration::from_secs(timeout.max(1)),
+                };
+                let run = ipg_sim::dist::run_dist(
+                    &net.graph,
+                    |v| module[v as usize],
+                    &cfg,
+                    fault_plan.as_ref(),
+                    &obs,
+                    &dc,
+                )
+                .map_err(|e| e.to_string())?;
+                (run.result, run.trace)
+            }
+            None => {
+                let mut sim =
+                    Simulator::with_router(router, &net.graph, |v| module[v as usize], &cfg);
+                sim.set_fault_plan(fault_plan);
+                sim.run_traced(&cfg, &obs, obs_interval, trace_cfg.as_ref())
+            }
+        };
         obs.finish();
         println!("injected:   {}", r.injected);
         println!(
@@ -511,6 +580,66 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         println!("manifest:   {}", p.display());
     }
     Ok(())
+}
+
+/// The hidden `ipg worker` mode: adopt the coordinator socket from
+/// stdin and run the worker half of the distributed cycle protocol.
+fn cmd_dist_worker() -> Result<(), String> {
+    ipg_sim::dist::worker_main(build_worker_router, vm_hwm_kb).map_err(|e| e.to_string())
+}
+
+/// Rebuild this worker's router from the shipped netspec. The router
+/// choice mirrors `cmd_simulate` exactly — same codec-eligibility rule,
+/// same detour wrapper under faults — so per-hop decisions are
+/// byte-identical to the in-process run. Codec-eligible fault-free
+/// networks never materialize the graph: per-worker memory stays
+/// bounded by the shard range, which is what lets `--workers` clear the
+/// in-process node cap.
+fn build_worker_router(ws: &ipg_sim::dist::WorkerSetup) -> Result<Box<dyn Router>, String> {
+    let probe = spec::parse_worker(&ws.netspec, spec::DIST_MAX_NODES, false)?;
+    let codec_eligible = probe
+        .tuple
+        .as_ref()
+        .is_some_and(|tn| tn.l <= SHORTEST_ROUTER_MAX_L);
+    if codec_eligible && !ws.faulted {
+        let tn = probe.tuple.ok_or("codec routing without a tuple form")?;
+        return Ok(Box::new(
+            ShortestTupleRouter::new(tn).map_err(|e| e.to_string())?,
+        ));
+    }
+    // Fault-aware or table-routed: the graph is needed after all.
+    let wn = match probe.graph {
+        Some(_) => probe,
+        None => spec::parse_worker(&ws.netspec, spec::DIST_MAX_NODES, true)?,
+    };
+    let g = wn.graph.ok_or("worker could not rebuild the graph")?;
+    let base: Box<dyn Router> = if codec_eligible {
+        let tn = wn.tuple.ok_or("codec routing without a tuple form")?;
+        Box::new(ShortestTupleRouter::new(tn).map_err(|e| e.to_string())?)
+    } else {
+        Box::new(RoutingTable::new(&g))
+    };
+    if ws.faulted {
+        Ok(Box::new(
+            DetourRouter::new(base, g).map_err(|e| e.to_string())?,
+        ))
+    } else {
+        Ok(base)
+    }
+}
+
+/// Peak resident set size of this process in KiB, from the kernel's
+/// `VmHWM` high-water mark. Returns 0 where procfs is unavailable.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
 }
 
 /// Write a collected flight-recorder trace as JSON lines and report it.

@@ -30,6 +30,12 @@ use ipg_networks::{classic, hier, ipdefs};
 /// materialize the graph.
 const MAX_NODES: usize = 1 << 22;
 
+/// Ceiling for the multi-process simulation path (`--workers`): workers
+/// route super-IP families by tuple codec without materializing the
+/// graph, so per-process memory is bounded by a shard range, not the
+/// network — the cap can afford 2^24 (~16.8M nodes).
+pub const DIST_MAX_NODES: usize = 1 << 24;
+
 /// Check `v` against an inclusive range with a contextual error message.
 fn in_range(ctx: &str, what: &str, v: usize, lo: usize, hi: usize) -> Result<usize, String> {
     if v >= lo && v <= hi {
@@ -41,24 +47,24 @@ fn in_range(ctx: &str, what: &str, v: usize, lo: usize, hi: usize) -> Result<usi
     }
 }
 
-/// `base^exp` with overflow checking, refusing results past [`MAX_NODES`].
-fn sized_pow(ctx: &str, base: usize, exp: usize) -> Result<usize, String> {
+/// `base^exp` with overflow checking, refusing results past `cap`.
+fn sized_pow(ctx: &str, base: usize, exp: usize, cap: usize) -> Result<usize, String> {
     let mut acc = 1usize;
     for _ in 0..exp {
         acc = acc
             .checked_mul(base)
-            .filter(|&n| n <= MAX_NODES)
-            .ok_or_else(|| format!("{ctx}: {base}^{exp} nodes exceeds the {MAX_NODES}-node cap"))?;
+            .filter(|&n| n <= cap)
+            .ok_or_else(|| format!("{ctx}: {base}^{exp} nodes exceeds the {cap}-node cap"))?;
     }
     Ok(acc)
 }
 
-/// `n!` with overflow checking, refusing results past [`MAX_NODES`].
-fn sized_factorial(ctx: &str, n: usize) -> Result<usize, String> {
+/// `n!` with overflow checking, refusing results past `cap`.
+fn sized_factorial(ctx: &str, n: usize, cap: usize) -> Result<usize, String> {
     (1..=n).try_fold(1usize, |acc, k| {
         acc.checked_mul(k)
-            .filter(|&m| m <= MAX_NODES)
-            .ok_or_else(|| format!("{ctx}: {n}! nodes exceeds the {MAX_NODES}-node cap"))
+            .filter(|&m| m <= cap)
+            .ok_or_else(|| format!("{ctx}: {n}! nodes exceeds the {cap}-node cap"))
     })
 }
 
@@ -77,8 +83,69 @@ pub struct ParsedNetwork {
     pub tuple: Option<TupleNetwork>,
 }
 
+/// A parse result that has not committed to materializing the graph:
+/// either a classic family (whose graph was built eagerly — they are
+/// cheap and have no tuple form) or a super-IP tuple network whose CSR
+/// can be built on demand. Letting callers skip `tn.build()` is what
+/// keeps distributed workers' memory bounded by their shard range.
+enum Parsed {
+    Graph(ParsedNetwork),
+    Tuple {
+        tn: TupleNetwork,
+        /// Display-name override (`hcn` renames its HSN tuple form).
+        name: Option<String>,
+    },
+}
+
 /// Parse errors carry a human-readable message.
 pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
+    parse_with_cap(input, MAX_NODES)
+}
+
+/// [`parse`] with an explicit node-count ceiling — the multi-process
+/// path passes [`DIST_MAX_NODES`].
+pub fn parse_with_cap(input: &str, cap: usize) -> Result<ParsedNetwork, String> {
+    match parse_capped(input, cap)? {
+        Parsed::Graph(p) => Ok(p),
+        Parsed::Tuple { tn, name } => {
+            let graph = tn.build();
+            let (class, count) = tn.nucleus_partition();
+            Ok(ParsedNetwork {
+                name: name.unwrap_or_else(|| tn.name.clone()),
+                graph,
+                partition: Some(Partition::new(class, count)),
+                tuple: Some(tn),
+            })
+        }
+    }
+}
+
+/// What a distributed worker needs to rebuild its router: the tuple
+/// form always (when one exists), the graph only when `graph_needed`.
+/// Codec-routable fault-free runs pass `graph_needed = false` and never
+/// materialize the CSR — the distributed memory win.
+pub struct WorkerNetwork {
+    /// The full graph, when requested or when the family has no tuple form.
+    pub graph: Option<Csr>,
+    /// The tuple form, for codec routing.
+    pub tuple: Option<TupleNetwork>,
+}
+
+/// Parse for a worker process (see [`WorkerNetwork`]).
+pub fn parse_worker(input: &str, cap: usize, graph_needed: bool) -> Result<WorkerNetwork, String> {
+    match parse_capped(input, cap)? {
+        Parsed::Graph(p) => Ok(WorkerNetwork {
+            graph: Some(p.graph),
+            tuple: None,
+        }),
+        Parsed::Tuple { tn, .. } => Ok(WorkerNetwork {
+            graph: graph_needed.then(|| tn.build()),
+            tuple: Some(tn),
+        }),
+    }
+}
+
+fn parse_capped(input: &str, cap: usize) -> Result<Parsed, String> {
     let (family, rest) = match input.split_once(':') {
         Some((f, r)) => (f, r),
         None => (input, ""),
@@ -110,12 +177,12 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
     };
 
     let simple = |name: String, graph: Csr, partition: Option<Partition>| {
-        Ok(ParsedNetwork {
+        Ok(Parsed::Graph(ParsedNetwork {
             name,
             graph,
             partition,
             tuple: None,
-        })
+        }))
     };
 
     match family {
@@ -137,7 +204,7 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
         "kary" => {
             let k = in_range(family, "radix", need(0, "radix")?, 2, MAX_NODES)?;
             let n = in_range(family, "dimension count", need(1, "dimensions")?, 1, 22)?;
-            sized_pow(family, k, n)?;
+            sized_pow(family, k, n, cap)?;
             simple(format!("{k}-ary {n}-cube"), classic::kary_ncube(k, n), None)
         }
         "ring" => {
@@ -218,7 +285,7 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
                 9,
             )?;
             // MS(l,n) lives on (l·n+1)! permutations; keep that materializable.
-            sized_factorial(family, l * n + 1)?;
+            sized_factorial(family, l * n + 1, cap)?;
             let ip = ipdefs::macro_star_ip(l, n)
                 .generate()
                 .map_err(|e| e.to_string())?;
@@ -226,26 +293,16 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
         }
         "hcn" => {
             let n = in_range(family, "dimension", need(0, "a dimension")?, 1, 11)?;
-            let tn = hier::hsn(2, classic::hypercube(n), &format!("Q{n}"));
-            let graph = tn.build();
-            let (class, count) = tn.nucleus_partition();
-            Ok(ParsedNetwork {
-                name: format!("HCN({n},{n})"),
-                graph,
-                partition: Some(Partition::new(class, count)),
-                tuple: Some(tn),
+            Ok(Parsed::Tuple {
+                tn: hier::hsn(2, classic::hypercube(n), &format!("Q{n}")),
+                name: Some(format!("HCN({n},{n})")),
             })
         }
         "hfn" => {
             let n = in_range(family, "dimension", need(0, "a dimension")?, 1, 11)?;
-            let tn = hier::hfn(n);
-            let graph = tn.build();
-            let (class, count) = tn.nucleus_partition();
-            Ok(ParsedNetwork {
-                name: tn.name.clone(),
-                graph,
-                partition: Some(Partition::new(class, count)),
-                tuple: Some(tn),
+            Ok(Parsed::Tuple {
+                tn: hier::hfn(n),
+                name: None,
             })
         }
         "hhn" => {
@@ -255,13 +312,13 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
         "rcc" => {
             let l = in_range(family, "l", int_kv("l")?.ok_or("rcc needs l=..")?, 1, 22)?;
             let m = in_range(family, "m", int_kv("m")?.ok_or("rcc needs m=..")?, 2, 2048)?;
-            sized_pow(family, m, l)?;
+            sized_pow(family, m, l, cap)?;
             tuple_network(hier::rcc(l, m))
         }
         "hse" => {
             let l = in_range(family, "l", int_kv("l")?.ok_or("hse needs l=..")?, 1, 22)?;
             let n = in_range(family, "n", int_kv("n")?.ok_or("hse needs n=..")?, 2, 22)?;
-            sized_pow(family, 1usize << n, l)?;
+            sized_pow(family, 1usize << n, l, cap)?;
             tuple_network(hier::hse(l, n))
         }
         "cpn" => {
@@ -277,15 +334,13 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
                 22,
             )?;
             let (nucleus, nname) = parse_nucleus(kv("nucleus").unwrap_or("Q2"))?;
-            let size = sized_pow(family, nucleus.node_count(), l)?;
+            let size = sized_pow(family, nucleus.node_count(), l, cap)?;
             if flag("symmetric") {
                 // the symmetric closure multiplies the address space by l!
-                sized_factorial(family, l).and_then(|f| {
-                    f.checked_mul(size)
-                        .filter(|&n| n <= MAX_NODES)
-                        .ok_or_else(|| {
-                            format!("{family}: symmetric closure exceeds the {MAX_NODES}-node cap")
-                        })
+                sized_factorial(family, l, cap).and_then(|f| {
+                    f.checked_mul(size).filter(|&n| n <= cap).ok_or_else(|| {
+                        format!("{family}: symmetric closure exceeds the {cap}-node cap")
+                    })
                 })?;
             }
             let mut tn = match family {
@@ -305,15 +360,8 @@ pub fn parse(input: &str) -> Result<ParsedNetwork, String> {
     }
 }
 
-fn tuple_network(tn: TupleNetwork) -> Result<ParsedNetwork, String> {
-    let graph = tn.build();
-    let (class, count) = tn.nucleus_partition();
-    Ok(ParsedNetwork {
-        name: tn.name.clone(),
-        graph,
-        partition: Some(Partition::new(class, count)),
-        tuple: Some(tn),
-    })
+fn tuple_network(tn: TupleNetwork) -> Result<Parsed, String> {
+    Ok(Parsed::Tuple { tn, name: None })
 }
 
 /// Parse a nucleus name: `Q4`, `FQ3`, `K8`, `S4`, `P`, `C6`, `GH3x4`.
@@ -502,6 +550,47 @@ mod tests {
         assert!(parse("hsn:l=2,nucleus=Qx")
             .unwrap_err()
             .contains("bad nucleus"));
+    }
+
+    #[test]
+    fn dist_cap_admits_larger_super_ip_networks() {
+        // 2^24 nodes: over the in-process cap, exactly at the dist cap.
+        let spec = "cn:l=2,nucleus=Q12";
+        let e = parse(spec).unwrap_err();
+        assert!(e.contains("node cap"), "{e}");
+        let w = parse_worker(spec, DIST_MAX_NODES, false).unwrap();
+        assert!(w.graph.is_none());
+        assert_eq!(
+            w.tuple.unwrap().node_count(),
+            DIST_MAX_NODES,
+            "CN(2,Q12) should sit exactly at the dist cap"
+        );
+    }
+
+    #[test]
+    fn worker_parse_skips_graph_materialization_on_demand() {
+        let lazy = parse_worker("hsn:l=3,nucleus=Q2", MAX_NODES, false).unwrap();
+        assert!(lazy.graph.is_none());
+        assert!(lazy.tuple.is_some());
+
+        let eager = parse_worker("hsn:l=3,nucleus=Q2", MAX_NODES, true).unwrap();
+        assert_eq!(eager.graph.unwrap().node_count(), 64);
+
+        // Classic families have no tuple form: graph comes back regardless.
+        let classic = parse_worker("hypercube:6", MAX_NODES, false).unwrap();
+        assert_eq!(classic.graph.unwrap().node_count(), 64);
+        assert!(classic.tuple.is_none());
+    }
+
+    #[test]
+    fn parse_with_cap_matches_parse_at_the_default_cap() {
+        for spec in ["hcn:3", "hfn:2", "hsn:l=3,nucleus=Q2", "torus:8"] {
+            let a = parse(spec).unwrap();
+            let b = parse_with_cap(spec, MAX_NODES).unwrap();
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.graph.node_count(), b.graph.node_count());
+            assert_eq!(a.tuple.is_some(), b.tuple.is_some());
+        }
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Multi-process determinism regression: `simulate --workers N` must
+//! produce byte-identical results to the in-process engine for every
+//! worker count — same stdout, same trace file, same deterministic
+//! manifest records (`window` + `metrics`; the `dist` family is the
+//! per-worker RSS/frame telemetry and exists only in distributed runs).
+//!
+//! The network under test is `ring-cn:l=3,nucleus=Q3` (512 nodes — four
+//! engine shards), so 2- and 4-worker runs genuinely split the shard
+//! range and exercise the cross-worker frame protocol.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_ipg(dir: &Path, envs: &[(&str, &str)], args: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ipg"));
+    cmd.current_dir(dir);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.args(args).output().expect("spawn ipg")
+}
+
+/// The deterministic record family of a manifest, sorted (the engine's
+/// record order inside a window is stable, but sorting keeps the
+/// comparison independent of it, matching `tests/determinism.rs`).
+fn deterministic_records(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("read manifest");
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with("{\"record\":\"window\"") || l.starts_with("{\"record\":\"metrics\"")
+        })
+        .map(str::to_string)
+        .collect();
+    assert!(
+        !lines.is_empty(),
+        "no deterministic records in {}",
+        path.display()
+    );
+    lines.sort();
+    lines
+}
+
+/// Run `simulate <extra..>` in-process and with `--workers 1/2/4`;
+/// stdout, the trace file, and the deterministic manifest records must
+/// be byte-identical across all four runs.
+fn assert_dist_matches_in_process(tag: &str, extra: &[&str]) {
+    let dir = std::env::temp_dir().join(format!("ipg-dist-{tag}-{}", std::process::id()));
+    let base: Vec<&str> = {
+        let mut v = vec!["simulate"];
+        v.extend_from_slice(extra);
+        v.extend_from_slice(&[
+            "--obs",
+            "run.manifest.jsonl",
+            "--obs-interval",
+            "500",
+            "--trace",
+            "run.trace.jsonl",
+            "--trace-interval",
+            "128",
+        ]);
+        v
+    };
+    let mut baseline: Option<(Vec<u8>, Vec<u8>, Vec<String>)> = None;
+    for workers in ["inproc", "1", "2", "4"] {
+        let d = dir.join(format!("w{workers}"));
+        std::fs::create_dir_all(&d).expect("create temp dir");
+        let mut args = base.clone();
+        if workers != "inproc" {
+            args.extend_from_slice(&["--workers", workers]);
+        }
+        let out = run_ipg(&d, &[], &args);
+        assert!(
+            out.status.success(),
+            "ipg {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let trace = std::fs::read(d.join("run.trace.jsonl")).expect("read trace");
+        assert!(!trace.is_empty(), "trace file must not be empty");
+        let records = deterministic_records(&d.join("run.manifest.jsonl"));
+        match &baseline {
+            None => baseline = Some((out.stdout, trace, records)),
+            Some((out1, trace1, records1)) => {
+                assert_eq!(
+                    out1, &out.stdout,
+                    "{tag}: stdout differs between in-process and --workers {workers}"
+                );
+                assert_eq!(
+                    trace1, &trace,
+                    "{tag}: trace file differs between in-process and --workers {workers}"
+                );
+                assert_eq!(
+                    records1, &records,
+                    "{tag}: manifest records differ between in-process and --workers {workers}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dist_run_is_byte_identical_to_in_process() {
+    assert_dist_matches_in_process("plain", &["ring-cn:l=3,nucleus=Q3", "0.02"]);
+}
+
+#[test]
+fn dist_faulted_run_is_byte_identical_to_in_process() {
+    // A scripted + rate fault campaign: detour routing, mid-run link and
+    // node kills, and unreachable-packet drops must all merge across the
+    // process boundary exactly as they do across threads.
+    assert_dist_matches_in_process(
+        "faults",
+        &[
+            "ring-cn:l=3,nucleus=Q3",
+            "0.02",
+            "--faults",
+            "script:link@600:0-1+node@800:5;rate:links=0.05,at=1000",
+        ],
+    );
+}
+
+#[test]
+fn dist_worker_count_is_clamped_to_the_shard_count() {
+    // 64 nodes — a single engine shard. `--workers 4` must degrade to
+    // one worker and still match the in-process run byte-for-byte.
+    assert_dist_matches_in_process("clamp", &["hsn:l=2,nucleus=Q2", "0.02"]);
+}
+
+#[test]
+fn dead_worker_yields_a_contextual_error_not_a_hang() {
+    let dir = std::env::temp_dir().join(format!("ipg-dist-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    // Worker 1 exits at cycle 700 (mid-warmup). The coordinator must
+    // fail promptly — the EOF is immediate; the deadline is a backstop,
+    // not the mechanism — naming the worker in its error.
+    let out = run_ipg(
+        &dir,
+        &[("IPG_DIST_TEST_EXIT", "1:700"), ("IPG_DIST_TIMEOUT", "10")],
+        &[
+            "simulate",
+            "ring-cn:l=3,nucleus=Q3",
+            "0.02",
+            "--workers",
+            "2",
+        ],
+    );
+    assert!(
+        !out.status.success(),
+        "a run with a dead worker must not report success"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("worker 1"),
+        "error must name the dead worker: {err}"
+    );
+    assert!(err.contains("cycle"), "error must name the cycle: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dist_clears_the_in_process_node_cap() {
+    // `cn:l=2,nucleus=Q12` is 2^24 nodes — over the in-process cap. The
+    // full run is bench territory; here it must at least get past
+    // parsing under --workers and be rejected without it.
+    let dir = std::env::temp_dir().join(format!("ipg-dist-cap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let out = run_ipg(&dir, &[], &["simulate", "cn:l=2,nucleus=Q12", "0.02"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("node cap"),
+        "in-process parse must reject 2^24 nodes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,10 +5,9 @@
 use crate::error::{IpgError, Result};
 use crate::graph::Csr;
 use crate::label::Label;
+use crate::probe::{BuildProbe, NoProbe};
 use crate::spec::IpGraphSpec;
 use crate::util::FxHashMap;
-// ipg-analyze: allow(LAYER001) reason="grandfathered: generation-time instrumentation flows through Obs, which is a deterministic no-op when disabled; extracting a core-local probe trait is tracked in ROADMAP"
-use ipg_obs::Obs;
 use rayon::prelude::*;
 
 /// Options controlling generation.
@@ -48,12 +47,16 @@ impl IpGraph {
     /// Run the breadth-first closure. Nodes are numbered in BFS order from
     /// the seed (node 0 is the seed).
     pub fn generate(spec: IpGraphSpec, opts: BuildOptions) -> Result<Self> {
-        Self::generate_instrumented(spec, opts, &Obs::disabled())
+        Self::generate_instrumented(spec, opts, &NoProbe)
     }
 
-    /// [`IpGraph::generate`] with observability: an `ip_generate` span,
-    /// node/arc/dedup counters, a BFS frontier-size histogram, and
-    /// nodes/arcs-per-second `rate` records.
+    /// [`IpGraph::generate`] reporting progress through a
+    /// [`BuildProbe`]: per-level BFS frontier sizes plus final
+    /// node/arc/dedup totals. The shipped `ipg-obs` implementation maps
+    /// these onto an `ip_generate` span, node/arc/dedup counters, a
+    /// frontier-size histogram, and nodes/arcs-per-second `rate`
+    /// records; elapsed time is measured inside the probe, so this
+    /// crate stays clock-free.
     ///
     /// The closure is level-synchronous: each BFS frontier is expanded in
     /// parallel (per-frontier-node generator application — the pure,
@@ -61,11 +64,12 @@ impl IpGraph {
     /// ranked *sequentially in (node, generator) order*. Node ids therefore
     /// come out in exactly the BFS discovery order of the old one-node-at-a-
     /// time loop, for any `IPG_THREADS` value.
-    pub fn generate_instrumented(spec: IpGraphSpec, opts: BuildOptions, obs: &Obs) -> Result<Self> {
-        let span = obs.span("ip_generate");
-        let track = obs.enabled();
-        let h_frontier = obs.histogram("core.bfs_frontier");
-        let c_dedup = obs.counter("core.dedup_hits");
+    pub fn generate_instrumented(
+        spec: IpGraphSpec,
+        opts: BuildOptions,
+        probe: &dyn BuildProbe,
+    ) -> Result<Self> {
+        let mut dedup_hits = 0u64;
 
         let g = spec.generators.len();
         let k = spec.seed.len();
@@ -75,7 +79,7 @@ impl IpGraph {
 
         index.insert(spec.seed.clone(), 0);
         labels.push(spec.seed.clone());
-        h_frontier.observe(1); // depth-0 frontier: the seed
+        probe.on_frontier(1); // depth-0 frontier: the seed
 
         // Frontier of the current level: nodes [level_start, level_end).
         let mut level_start = 0usize;
@@ -103,7 +107,7 @@ impl IpGraph {
                     let buf = &cand[i * k..(i + 1) * k];
                     let id = match index.get(buf) {
                         Some(&id) => {
-                            c_dedup.incr();
+                            dedup_hits += 1;
                             id
                         }
                         None => {
@@ -124,21 +128,16 @@ impl IpGraph {
             }
             level_start = level_end;
             level_end = labels.len();
-            if track && level_end > level_start {
-                h_frontier.observe((level_end - level_start) as u64);
+            if level_end > level_start {
+                probe.on_frontier((level_end - level_start) as u64);
             }
         }
         debug_assert_eq!(arcs.len(), labels.len() * g);
-        obs.counter("core.nodes").add(labels.len() as u64);
-        obs.counter("core.arcs").add(arcs.len() as u64);
-        // Wall-clock comes from the span timer, not a direct Instant read:
-        // ipg-core stays clock-free (DET003) and rates live in the
-        // nondeterministic record family alongside the span itself.
-        if let Some(secs) = span.elapsed_secs() {
-            obs.emit_rate("core.nodes_per_sec", labels.len() as u64, secs);
-            obs.emit_rate("core.arcs_per_sec", arcs.len() as u64, secs);
-        }
-        drop(span);
+        // Wall-clock never enters this crate: the probe implementation
+        // owns the span timer and derives nodes/arcs-per-second rates
+        // itself (ipg-obs `ObsBuildProbe`), so ipg-core stays clock-free
+        // (DET003/LAYER001).
+        probe.on_finish(labels.len() as u64, arcs.len() as u64, dedup_hits);
         Ok(IpGraph {
             spec,
             labels,

@@ -41,6 +41,19 @@ pub enum IpgError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A distributed simulation component failed (frame protocol
+    /// violation, worker death, transport error).
+    Dist {
+        /// Worker index the failure is attributed to (`u32::MAX` when
+        /// it is not attributable to one worker).
+        worker: u32,
+        /// Simulation cycle at the time of failure (`u64::MAX` before
+        /// the cycle loop starts).
+        cycle: u64,
+        /// Human-readable context: what was expected, what was seen,
+        /// the last frame successfully processed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for IpgError {
@@ -67,6 +80,23 @@ impl fmt::Display for IpgError {
                 write!(f, "node {to} is unreachable from node {from}")
             }
             IpgError::InvalidSpec { reason } => write!(f, "invalid super-IP spec: {reason}"),
+            IpgError::Dist {
+                worker,
+                cycle,
+                detail,
+            } => {
+                write!(f, "distributed simulation failed")?;
+                if *worker != u32::MAX {
+                    write!(f, " (worker {worker}")?;
+                    if *cycle != u64::MAX {
+                        write!(f, ", cycle {cycle}")?;
+                    }
+                    write!(f, ")")?;
+                } else if *cycle != u64::MAX {
+                    write!(f, " (cycle {cycle})")?;
+                }
+                write!(f, ": {detail}")
+            }
         }
     }
 }

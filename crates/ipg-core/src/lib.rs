@@ -18,6 +18,8 @@
 //! - [`spec`] — [`IpGraphSpec`]: seed + named generators.
 //! - [`builder`] — breadth-first closure of the seed under the generators,
 //!   producing an [`IpGraph`] (the state-transition graph of the game).
+//! - [`probe`] — clock-free instrumentation hooks for the builder
+//!   ([`BuildProbe`]); the observability impl lives in `ipg-obs`.
 //! - [`graph`] — compact CSR graphs shared by every crate in the workspace.
 //! - [`algo`] — BFS, diameters, average distances, 0/1-weighted BFS,
 //!   connectivity; all-pairs sweeps are parallelized with rayon.
@@ -62,6 +64,7 @@ pub mod fault;
 pub mod graph;
 pub mod label;
 pub mod perm;
+pub mod probe;
 pub mod rank;
 pub mod routing;
 pub mod solve;
@@ -78,6 +81,7 @@ pub use fault::FaultView;
 pub use graph::Csr;
 pub use label::Label;
 pub use perm::Perm;
+pub use probe::{BuildProbe, NoProbe};
 pub use spec::{Generator, IpGraphSpec};
 pub use superip::{NucleusSpec, SeedKind, SuperGen, SuperIpSpec, TupleNetwork};
 

@@ -1,0 +1,74 @@
+//! Generation-time instrumentation hooks, kept clock-free.
+//!
+//! [`crate::builder::IpGraph::generate_instrumented`] reports progress
+//! through this trait instead of talking to an observability layer
+//! directly, so `ipg-core` stays pure (no clocks, no I/O, no dependency
+//! on `ipg-obs` — the LAYER001 contract with nothing excused). The
+//! shipped implementation lives in `ipg-obs` (`ObsBuildProbe`), which
+//! owns the span timer: elapsed time is measured entirely inside the
+//! impl, never observed by the builder.
+
+/// Observer of one breadth-first generation run.
+///
+/// All methods take `&self` so a probe can be passed as `&dyn
+/// BuildProbe` through call chains that are not otherwise mutable;
+/// implementations use interior mutability (atomics, a mutex around a
+/// span) where they need state.
+pub trait BuildProbe {
+    /// A BFS level completed with `size` newly discovered nodes. The
+    /// first call reports the depth-0 frontier (the seed itself, `1`).
+    fn on_frontier(&self, size: u64);
+
+    /// Generation finished: final node/arc totals plus the number of
+    /// candidate labels that deduplicated onto an existing node.
+    fn on_finish(&self, nodes: u64, arcs: u64, dedup_hits: u64);
+}
+
+/// The do-nothing probe used by the uninstrumented build path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProbe;
+
+impl BuildProbe for NoProbe {
+    fn on_frontier(&self, _size: u64) {}
+    fn on_finish(&self, _nodes: u64, _arcs: u64, _dedup_hits: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountingProbe {
+        frontiers: AtomicU64,
+        finishes: AtomicU64,
+    }
+
+    impl BuildProbe for CountingProbe {
+        fn on_frontier(&self, size: u64) {
+            self.frontiers.fetch_add(size, Ordering::Relaxed);
+        }
+        fn on_finish(&self, nodes: u64, _arcs: u64, _dedup_hits: u64) {
+            self.finishes.fetch_add(nodes, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn frontier_sizes_sum_to_node_count() {
+        let probe = CountingProbe::default();
+        let ip = crate::spec::IpGraphSpec::star(5)
+            .generate_instrumented(&probe)
+            .unwrap();
+        assert_eq!(probe.frontiers.load(Ordering::Relaxed), 120);
+        assert_eq!(ip.node_count(), 120);
+        assert_eq!(probe.finishes.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn no_probe_is_a_no_op() {
+        let ip = crate::spec::IpGraphSpec::star(4)
+            .generate_instrumented(&NoProbe)
+            .unwrap();
+        assert_eq!(ip.node_count(), 24);
+    }
+}

@@ -99,11 +99,10 @@ impl IpGraphSpec {
         IpGraph::generate(self.clone(), opts)
     }
 
-    /// Generate with observability (see
-    /// [`IpGraph::generate_instrumented`]).
-    // ipg-analyze: allow(LAYER001) reason="grandfathered instrumented-build entry point; see builder.rs for the planned probe-trait extraction"
-    pub fn generate_instrumented(&self, obs: &ipg_obs::Obs) -> Result<IpGraph> {
-        IpGraph::generate_instrumented(self.clone(), BuildOptions::default(), obs)
+    /// Generate, reporting progress through a [`crate::probe::BuildProbe`]
+    /// (see [`IpGraph::generate_instrumented`]).
+    pub fn generate_instrumented(&self, probe: &dyn crate::probe::BuildProbe) -> Result<IpGraph> {
+        IpGraph::generate_instrumented(self.clone(), BuildOptions::default(), probe)
     }
 
     /// The star graph `S_n` spec: seed `1 2 … n`, generators `(1,i)` for

@@ -30,6 +30,38 @@ struct Cells {
 #[derive(Clone, Default)]
 pub struct Histogram(Option<Arc<Cells>>);
 
+/// Cumulative state of one histogram at a point in time, in sparse
+/// bucket form — see [`Histogram::snapshot`] / [`Histogram::merge_delta`].
+///
+/// `min` is `u64::MAX` while `count == 0` (the untouched sentinel);
+/// consumers must gate min-folding on `count > 0`, as `merge_delta`
+/// does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// `(bucket_index, count)` pairs for every nonzero bucket, ascending.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
 fn bucket_of(v: u64) -> usize {
     if v < LINEAR {
         v as usize
@@ -144,6 +176,71 @@ impl Histogram {
             }
         }
         c.max.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative state capture for cross-process aggregation: the
+    /// sparse nonzero buckets plus count/sum/min/max.
+    ///
+    /// Used by the distributed simulation path: each worker ships
+    /// cumulative snapshots of its histograms at window boundaries and
+    /// the coordinator folds per-worker deltas into its own registry
+    /// with [`Histogram::merge_delta`], so the merged histogram sees
+    /// exactly the union of all workers' observations.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let Some(c) = &self.0 else {
+            return HistSnapshot::default();
+        };
+        let mut buckets = Vec::new();
+        for (i, b) in c.buckets.iter().enumerate() {
+            let v = b.load(Ordering::Relaxed);
+            if v != 0 {
+                buckets.push((i as u32, v));
+            }
+        }
+        HistSnapshot {
+            buckets,
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+            min: c.min.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold the delta between two cumulative snapshots of one remote
+    /// histogram into this one. `prev` must be an earlier snapshot of
+    /// the same histogram as `cur` (or `HistSnapshot::default()` for
+    /// the first window). Bucket counts, count, and sum are
+    /// delta-added; min/max fold the remote cumulative extremes
+    /// directly (an empty `cur` — count 0 — leaves min untouched, since
+    /// its `u64::MAX` sentinel must not be folded in).
+    pub fn merge_delta(&self, prev: &HistSnapshot, cur: &HistSnapshot) {
+        let Some(c) = &self.0 else { return };
+        let mut p = prev.buckets.iter().peekable();
+        for &(i, v) in &cur.buckets {
+            let mut before = 0;
+            while let Some(&&(pi, pv)) = p.peek() {
+                if pi < i {
+                    p.next();
+                } else {
+                    if pi == i {
+                        before = pv;
+                    }
+                    break;
+                }
+            }
+            let delta = v.saturating_sub(before);
+            if delta > 0 && (i as usize) < BUCKETS {
+                c.buckets[i as usize].fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+        c.count
+            .fetch_add(cur.count.saturating_sub(prev.count), Ordering::Relaxed);
+        c.sum
+            .fetch_add(cur.sum.saturating_sub(prev.sum), Ordering::Relaxed);
+        if cur.count > 0 {
+            c.min.fetch_min(cur.min, Ordering::Relaxed);
+            c.max.fetch_max(cur.max, Ordering::Relaxed);
+        }
     }
 
     /// Deterministic JSON summary: count, sum, min, max, mean, p50, p95,
@@ -280,6 +377,67 @@ mod tests {
         }
         assert_eq!(h.min(), 77);
         assert_eq!(h.max(), 77);
+    }
+
+    #[test]
+    fn snapshot_delta_merge_equals_direct_observation() {
+        // Simulate two workers observing disjoint streams across two
+        // "windows", with the coordinator folding cumulative-snapshot
+        // deltas. The merged histogram must match one that saw every
+        // observation directly.
+        let w1 = Histogram::active();
+        let w2 = Histogram::active();
+        let direct = Histogram::active();
+        let merged = Histogram::active();
+        let mut prev1 = HistSnapshot::default();
+        let mut prev2 = HistSnapshot::default();
+
+        // window 1
+        for v in [1u64, 5, 100] {
+            w1.observe(v);
+            direct.observe(v);
+        }
+        for v in [63u64, 64, 9999] {
+            w2.observe(v);
+            direct.observe(v);
+        }
+        let (s1, s2) = (w1.snapshot(), w2.snapshot());
+        merged.merge_delta(&prev1, &s1);
+        merged.merge_delta(&prev2, &s2);
+        (prev1, prev2) = (s1, s2);
+
+        // window 2
+        for v in [2u64, 1_000_000] {
+            w1.observe(v);
+            direct.observe(v);
+        }
+        w2.observe(0);
+        direct.observe(0);
+        merged.merge_delta(&prev1, &w1.snapshot());
+        merged.merge_delta(&prev2, &w2.snapshot());
+
+        assert_eq!(merged.summary_json(), direct.summary_json());
+        assert_eq!(merged.count(), 9);
+        assert_eq!(merged.min(), 0);
+        assert_eq!(merged.max(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_snapshot_merge_keeps_min_sentinel_out() {
+        let merged = Histogram::active();
+        let empty = HistSnapshot::default();
+        merged.merge_delta(&HistSnapshot::default(), &empty);
+        assert_eq!(merged.count(), 0);
+        assert_eq!(merged.min(), 0); // not poisoned by the u64::MAX sentinel
+        merged.observe(7);
+        assert_eq!(merged.min(), 7);
+    }
+
+    #[test]
+    fn snapshot_of_disabled_histogram_is_default() {
+        assert_eq!(Histogram::noop().snapshot(), HistSnapshot::default());
+        // and merging into a noop handle is a no-op, not a panic
+        Histogram::noop().merge_delta(&HistSnapshot::default(), &HistSnapshot::default());
     }
 
     #[test]

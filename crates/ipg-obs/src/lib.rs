@@ -34,10 +34,12 @@ use std::time::Instant;
 
 mod hist;
 mod json;
+pub mod probe;
 mod recorder;
 pub mod trace;
 
-pub use hist::Histogram;
+pub use hist::{HistSnapshot, Histogram};
+pub use probe::ObsBuildProbe;
 pub use recorder::{JsonlRecorder, MemRecorder, NullRecorder, Recorder};
 pub use trace::{ShardTracer, Trace, TraceConfig, TraceSummary, ENGINE_TRACK};
 
@@ -147,6 +149,17 @@ enum Metric {
     Counter(Arc<AtomicU64>),
     Gauge(Arc<AtomicU64>),
     Histogram(Histogram),
+}
+
+/// One metric's cumulative value as captured by [`Obs::snapshot_metrics`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricSnapshot {
+    /// Monotone counter value.
+    Counter(u64),
+    /// High-water gauge value.
+    Gauge(u64),
+    /// Full histogram state.
+    Hist(HistSnapshot),
 }
 
 struct Inner {
@@ -327,6 +340,43 @@ impl Obs {
             json::float(speedup),
         );
         inner.sink.lock().unwrap().record(&line);
+    }
+
+    /// Emit a `dist` record: per-worker resource figures from a
+    /// multi-process simulation run (peak RSS, frame traffic). Like
+    /// `span`/`rate`/`scaling`, dist records are host-dependent and
+    /// live in the nondeterministic family — they never appear in
+    /// `window`/`metrics` records or trace files, so those stay
+    /// byte-identical across worker counts.
+    pub fn emit_dist(&self, worker: u32, rss_kb: u64, frames: u64, frame_bytes: u64) {
+        let Some(inner) = &self.inner else { return };
+        let line = format!(
+            "{{\"record\":\"dist\",\"worker\":{worker},\"rss_kb\":{rss_kb},\"frames\":{frames},\"frame_bytes\":{frame_bytes}}}",
+        );
+        inner.sink.lock().unwrap().record(&line);
+    }
+
+    /// Cumulative capture of every registered metric, for cross-process
+    /// aggregation: the distributed worker ships these at window
+    /// boundaries and the coordinator folds per-worker deltas into its
+    /// own registry (counters delta-added, gauges max-folded,
+    /// histograms via [`Histogram::merge_delta`]). Names come back in
+    /// sorted (registry) order.
+    pub fn snapshot_metrics(&self) -> Vec<(String, MetricSnapshot)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let m = inner.metrics.lock().unwrap();
+        m.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.load(Ordering::Relaxed)),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.load(Ordering::Relaxed)),
+                    Metric::Histogram(h) => MetricSnapshot::Hist(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
     }
 
     /// Emit a `window` record: a deterministic snapshot of all metrics

@@ -1,0 +1,107 @@
+//! The observability-backed [`BuildProbe`]: maps the clock-free hooks
+//! that `ipg-core`'s builder fires onto an [`Obs`] session.
+//!
+//! This is the impl half of the LAYER001 split: `ipg-core` defines the
+//! trait and never sees a clock, while this type owns the `ip_generate`
+//! span timer and derives the wall-clock `rate` records from it. The
+//! mapping is byte-compatible with the old in-crate instrumentation —
+//! the same counter names (`core.nodes`, `core.arcs`,
+//! `core.dedup_hits`), the same `core.bfs_frontier` histogram fed the
+//! same observation sequence, and rates emitted only at finish — so
+//! manifests produced through it are unchanged.
+
+use crate::{Histogram, Obs, Span};
+use ipg_core::BuildProbe;
+use std::sync::Mutex;
+
+/// [`BuildProbe`] implementation recording into an [`Obs`] session.
+///
+/// Construct it immediately before calling
+/// `IpGraph::generate_instrumented`: the `ip_generate` span opens at
+/// construction and closes (emitting its `span` record plus the
+/// nodes/arcs-per-second `rate` records) when the builder calls
+/// `on_finish`.
+pub struct ObsBuildProbe {
+    obs: Obs,
+    frontier: Histogram,
+    span: Mutex<Option<Span>>,
+}
+
+impl ObsBuildProbe {
+    /// Open the `ip_generate` span on `obs` and return the probe.
+    pub fn new(obs: &Obs) -> ObsBuildProbe {
+        ObsBuildProbe {
+            obs: obs.clone(),
+            frontier: obs.histogram("core.bfs_frontier"),
+            span: Mutex::new(Some(obs.span("ip_generate"))),
+        }
+    }
+}
+
+impl BuildProbe for ObsBuildProbe {
+    fn on_frontier(&self, size: u64) {
+        self.frontier.observe(size);
+    }
+
+    fn on_finish(&self, nodes: u64, arcs: u64, dedup_hits: u64) {
+        self.obs.counter("core.nodes").add(nodes);
+        self.obs.counter("core.arcs").add(arcs);
+        self.obs.counter("core.dedup_hits").add(dedup_hits);
+        let span = self.span.lock().ok().and_then(|mut s| s.take());
+        if let Some(span) = span {
+            if let Some(secs) = span.elapsed_secs() {
+                self.obs.emit_rate("core.nodes_per_sec", nodes, secs);
+                self.obs.emit_rate("core.arcs_per_sec", arcs, secs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_probe_is_inert() {
+        let obs = Obs::disabled();
+        let probe = ObsBuildProbe::new(&obs);
+        probe.on_frontier(3);
+        probe.on_finish(10, 20, 5);
+        assert_eq!(obs.metrics_json(), "");
+    }
+
+    #[test]
+    fn finish_emits_counters_and_rates() {
+        let (obs, mem) = Obs::in_memory();
+        let probe = ObsBuildProbe::new(&obs);
+        probe.on_frontier(1);
+        probe.on_frontier(4);
+        probe.on_finish(5, 20, 3);
+        obs.finish();
+        let text = mem.contents();
+        assert!(text.contains("\"core.nodes\":5"), "{text}");
+        assert!(text.contains("\"core.arcs\":20"));
+        assert!(text.contains("\"core.dedup_hits\":3"));
+        assert!(text.contains("\"core.bfs_frontier\""));
+        assert!(text.contains("\"name\":\"core.nodes_per_sec\""));
+        assert!(text.contains("\"name\":\"core.arcs_per_sec\""));
+        assert!(text.contains("\"path\":\"ip_generate\""));
+    }
+
+    #[test]
+    fn probe_drives_a_real_generation() {
+        let (obs, mem) = Obs::in_memory();
+        let probe = ObsBuildProbe::new(&obs);
+        let ip = ipg_core::IpGraphSpec::star(5)
+            .generate_instrumented(&probe)
+            .unwrap();
+        assert_eq!(ip.node_count(), 120);
+        obs.finish();
+        let text = mem.contents();
+        assert!(text.contains("\"core.nodes\":120"), "{text}");
+        // 120 nodes * 4 generators = 480 arcs
+        assert!(text.contains("\"core.arcs\":480"));
+        // frontier sizes sum to the node count
+        assert!(text.contains("\"core.bfs_frontier\""));
+    }
+}

@@ -1,0 +1,23 @@
+//! Multi-process sharded simulation: a coordinator that forks worker
+//! processes and merges their cycle frames into results byte-identical
+//! to the in-process engine (DESIGN.md §15).
+//!
+//! Layering inside this module is strict:
+//!
+//! * [`frame`] — the wire codec and the only code allowed to touch
+//!   sockets, file descriptors, or raw bytes;
+//! * [`coordinator`] / [`worker`] — protocol logic in terms of typed
+//!   frames only (lint DET008 rejects raw I/O here).
+//!
+//! Determinism rests on the same invariant as the threaded engine:
+//! shard layout and merge order are pure functions of the node count.
+//! Worker count only changes *which process* executes a shard, never
+//! the order its messages merge in — see DESIGN.md §15 for the
+//! argument.
+
+mod coordinator;
+mod frame;
+mod worker;
+
+pub use coordinator::{run_dist, DistConfig, DistRun, DistWorkerStats};
+pub use worker::{worker_main, WorkerSetup};

@@ -117,7 +117,7 @@ pub enum Switching {
 }
 
 /// Simulation parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Packets injected per node per cycle (Bernoulli probability).
     pub injection_rate: f64,
@@ -207,19 +207,21 @@ const MAX_SHARDS: usize = 64;
 const NIL: u32 = u32::MAX;
 
 /// A packet in motion between shards: launched in Phase A, merged into the
-/// destination shard's arrival wheel, consumed in Phase B.
-#[derive(Clone, Copy)]
-struct Msg {
+/// destination shard's arrival wheel, consumed in Phase B. Crate-visible
+/// because the distributed worker ships these between processes (encoded
+/// by `dist::frame`) with exactly the in-process merge semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Msg {
     /// Node the packet is arriving at.
-    to: u32,
+    pub(crate) to: u32,
     /// Final destination.
-    dst: u32,
+    pub(crate) dst: u32,
     /// Injection cycle.
-    born: u32,
+    pub(crate) born: u32,
     /// Injected during the measurement window?
-    tagged: bool,
+    pub(crate) tagged: bool,
     /// Arrival wheel slot (precomputed from launch cycle + head advance).
-    slot: u32,
+    pub(crate) slot: u32,
 }
 
 /// Slab pool of queued packets, struct-of-arrays. Link FIFOs are intrusive
@@ -277,7 +279,7 @@ impl Pool {
 
 /// Per-link state, struct-of-arrays over the links owned by one shard.
 #[derive(Default)]
-struct Links {
+pub(crate) struct Links {
     to: Vec<u32>,
     interval: Vec<u32>,
     next_free: Vec<u64>,
@@ -291,13 +293,20 @@ impl Links {
         self.to.len()
     }
 
-    fn push(&mut self, to: u32, interval: u32) {
-        self.to.push(to);
-        self.interval.push(interval);
-        self.next_free.push(0);
-        self.qhead.push(NIL);
-        self.qtail.push(NIL);
-        self.qlen.push(0);
+    /// Rebuild link state from bare `to`/`interval` arrays, e.g. ones a
+    /// distributed worker received over the frame protocol. Queues start
+    /// empty, exactly as after a sequence of [`Links::push`] calls.
+    pub(crate) fn from_arrays(to: Vec<u32>, interval: Vec<u32>) -> Links {
+        debug_assert_eq!(to.len(), interval.len());
+        let nl = to.len();
+        Links {
+            to,
+            interval,
+            next_free: vec![0; nl],
+            qhead: vec![NIL; nl],
+            qtail: vec![NIL; nl],
+            qlen: vec![0; nl],
+        }
     }
 
     #[inline]
@@ -335,11 +344,13 @@ struct ShardStats {
 
 /// One contiguous node range with everything its cycle work touches:
 /// link FIFOs, packet pool, per-node RNG streams, outbox, arrival wheel.
-struct Shard {
+/// Crate-visible so the distributed worker (`dist::worker`) can drive
+/// the same phase-A/merge/phase-B machinery over its local shard range.
+pub(crate) struct Shard {
     /// First global node id.
-    base: u32,
+    pub(crate) base: u32,
     /// Nodes in this shard.
-    node_count: u32,
+    pub(crate) node_count: u32,
     /// Per-node offsets into `links` (length `node_count + 1`).
     link_of: Vec<u32>,
     /// Local node index owning each link (the inverse of `link_of`).
@@ -365,7 +376,7 @@ struct Shard {
     tagged_queued: u64,
     wheel_live: u64,
     tagged_wheel: u64,
-    outbox: Vec<Msg>,
+    pub(crate) outbox: Vec<Msg>,
     wheel: Vec<Vec<Msg>>,
     stats: ShardStats,
     link_busy: Vec<u64>,
@@ -379,21 +390,34 @@ struct Shard {
     /// off). Owned by the shard, so tracing in the parallel phases is
     /// lock-free; events carry only computation-derived payloads, so
     /// simulation state and results are untouched (DESIGN.md §11).
-    tracer: Option<ShardTracer>,
+    pub(crate) tracer: Option<ShardTracer>,
 }
 
 /// Delivery-side observability handles shared by every shard in phase B.
 /// Counters and histograms are atomic, so concurrent updates from worker
 /// threads commute and barrier-time values stay deterministic.
-struct DeliveryObs {
+pub(crate) struct DeliveryObs {
     delivered: ipg_obs::Counter,
     unmeasured: ipg_obs::Counter,
     latency: ipg_obs::Histogram,
 }
 
+impl DeliveryObs {
+    /// Register (or re-attach to) the delivery metrics on `obs`. Name
+    /// set must stay in lockstep between the in-process engine and the
+    /// distributed worker so merged registries line up.
+    pub(crate) fn attach(obs: &Obs) -> DeliveryObs {
+        DeliveryObs {
+            delivered: obs.counter("engine.delivered_tagged"),
+            unmeasured: obs.counter("engine.delivered_unmeasured"),
+            latency: obs.histogram("engine.latency_cycles"),
+        }
+    }
+}
+
 /// Parameters of one run, copied into every shard closure.
 #[derive(Clone, Copy)]
-struct RunParams {
+pub(crate) struct RunParams {
     n: u32,
     injection_rate: f64,
     /// `rng::bernoulli_threshold(injection_rate)`, precomputed once: the
@@ -404,16 +428,262 @@ struct RunParams {
     store_forward: bool,
     tag_lo: u32,
     tag_hi: u32,
-    wheel_len: u32,
+    pub(crate) wheel_len: u32,
     tail_penalty: u32,
-    total_cycles: u32,
+    pub(crate) total_cycles: u32,
     /// Dense-oracle mode: iterate every node and link as the pre-sparse
     /// engine did. Byte-identical to the sparse path by construction;
     /// kept as the equality oracle (`IPG_DENSE_ENGINE=1` / `set_dense`).
     dense: bool,
 }
 
+/// Derive one run's [`RunParams`] from the config. `max_interval` must
+/// be the **global** maximum link service interval of the whole network
+/// — a distributed worker receives it from the coordinator rather than
+/// computing it from its local shard range, or wheel geometry (and
+/// therefore arrival timing) would diverge between processes.
+pub(crate) fn cycle_params(n: u32, cfg: &SimConfig, max_interval: u32, dense: bool) -> RunParams {
+    let msg_len = cfg.message_length.max(1);
+    // Arrival wheel: one slot per possible head-advance value. A link
+    // with service interval k serves one message per k·L cycles; the
+    // head advances after k (cut-through) or k·L (store-and-forward)
+    // cycles — slow off-module signaling, §5.4.
+    let wheel_len = max_interval * msg_len + 1;
+    RunParams {
+        n,
+        injection_rate: cfg.injection_rate,
+        inj_threshold: bernoulli_threshold(cfg.injection_rate),
+        traffic: cfg.traffic,
+        msg_len,
+        store_forward: cfg.switching == Switching::StoreForward,
+        tag_lo: cfg.warmup_cycles,
+        tag_hi: cfg.warmup_cycles + cfg.measure_cycles,
+        wheel_len,
+        // Cut-through: the tail catches up with the header once, at
+        // the destination.
+        tail_penalty: match cfg.switching {
+            Switching::StoreForward => 0,
+            Switching::CutThrough => (msg_len - 1) * cfg.on_module_interval,
+        },
+        total_cycles: cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles,
+        dense,
+    }
+}
+
+/// Per-run totals folded from shard stat accumulators. The distributed
+/// worker ships these in its final frame; the coordinator absorbs every
+/// worker's totals and converts the sum to a [`SimResult`] with exactly
+/// the in-process arithmetic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RunTotals {
+    pub(crate) injected: u64,
+    pub(crate) delivered: u64,
+    pub(crate) unmeasured: u64,
+    pub(crate) dropped: u64,
+    pub(crate) latency_sum: u64,
+    pub(crate) max_latency: u32,
+    pub(crate) in_flight: u64,
+}
+
+impl RunTotals {
+    /// Sum the per-shard accumulators (and O(1) in-flight counters).
+    pub(crate) fn fold_shards(shards: &[Shard]) -> RunTotals {
+        let mut t = RunTotals::default();
+        for sh in shards {
+            t.injected += sh.stats.injected;
+            t.delivered += sh.stats.delivered;
+            t.unmeasured += sh.stats.unmeasured;
+            t.dropped += sh.stats.dropped;
+            t.latency_sum += sh.stats.latency_sum;
+            t.max_latency = t.max_latency.max(sh.stats.max_latency);
+            t.in_flight += sh.tagged_in_flight();
+        }
+        t
+    }
+
+    /// Fold another total in (coordinator-side aggregation).
+    pub(crate) fn absorb(&mut self, o: &RunTotals) {
+        self.injected += o.injected;
+        self.delivered += o.delivered;
+        self.unmeasured += o.unmeasured;
+        self.dropped += o.dropped;
+        self.latency_sum += o.latency_sum;
+        self.max_latency = self.max_latency.max(o.max_latency);
+        self.in_flight += o.in_flight;
+    }
+
+    /// The [`SimResult`] these totals describe.
+    pub(crate) fn into_sim_result(
+        self,
+        n: u64,
+        measure_cycles: u32,
+        total_cycles: u32,
+    ) -> SimResult {
+        SimResult {
+            injected: self.injected,
+            delivered: self.delivered,
+            unmeasured_delivered: self.unmeasured,
+            in_flight_at_end: self.in_flight,
+            dropped_unreachable: self.dropped,
+            avg_latency: if self.delivered == 0 {
+                0.0
+            } else {
+                self.latency_sum as f64 / self.delivered as f64
+            },
+            max_latency: self.max_latency,
+            throughput: self.delivered as f64 / (n as f64 * f64::from(measure_cycles)),
+            cycles: total_cycles,
+        }
+    }
+}
+
+/// End-of-run link telemetry: fold per-link busy/high-water figures into
+/// the utilization histograms and gauges, plus the in-flight and link
+/// totals. Shared by the in-process track block and the distributed
+/// worker (whose local registry ships to the coordinator), so metric
+/// names and observation sequences match exactly.
+pub(crate) fn fold_link_telemetry(
+    shards: &[Shard],
+    obs: &Obs,
+    totals: &RunTotals,
+    total_cycles: u32,
+) {
+    obs.counter("engine.in_flight_at_end").add(totals.in_flight);
+    let links_total: usize = shards.iter().map(|s| s.links.len()).sum();
+    obs.counter("engine.links").add(links_total as u64);
+    let h_util = obs.histogram("engine.link_utilization_pct");
+    let g_util = obs.gauge("engine.link_utilization_max_pct");
+    let h_qhw = obs.histogram("engine.queue_depth_high_water");
+    let g_qhw = obs.gauge("engine.queue_depth_max");
+    for sh in shards {
+        for (busy, hw) in sh.link_busy.iter().zip(&sh.queue_hw) {
+            let pct = (busy * 100 / u64::from(total_cycles.max(1))).min(100);
+            h_util.observe(pct);
+            g_util.record_max(pct);
+            h_qhw.observe(u64::from(*hw));
+            g_qhw.record_max(u64::from(*hw));
+        }
+    }
+}
+
 impl Shard {
+    /// Construct a quiescent shard over `[base, base + node_count)` from
+    /// its per-node link offsets and link arrays. `link_owner` is derived
+    /// from `link_of`; all run state starts empty until
+    /// [`Shard::prepare_run`]. Used by both the in-process constructor
+    /// and the distributed worker (which receives `link_of`/links over
+    /// the frame protocol instead of walking a CSR).
+    pub(crate) fn assemble(base: u32, node_count: u32, link_of: Vec<u32>, links: Links) -> Shard {
+        debug_assert_eq!(link_of.len(), node_count as usize + 1);
+        let nl = links.len();
+        let mut link_owner = Vec::with_capacity(nl);
+        for local in 0..node_count as usize {
+            for _ in link_of[local]..link_of[local + 1] {
+                link_owner.push(local as u32);
+            }
+        }
+        debug_assert_eq!(link_owner.len(), nl);
+        Shard {
+            base,
+            node_count,
+            link_of,
+            link_owner,
+            links,
+            pool: Pool {
+                free: NIL,
+                ..Pool::default()
+            },
+            rngs: Vec::new(),
+            sched: InjectionSchedule::default(),
+            active_links: Worklist::new(nl),
+            active_scratch: Vec::new(),
+            node_busy: vec![0u32; node_count as usize],
+            busy_nodes: 0,
+            queued_total: 0,
+            tagged_queued: 0,
+            wheel_live: 0,
+            tagged_wheel: 0,
+            outbox: Vec::new(),
+            wheel: Vec::new(),
+            stats: ShardStats::default(),
+            link_busy: Vec::new(),
+            queue_hw: Vec::new(),
+            faults: ShardFaults::default(),
+            link_dead: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// Reset every piece of run state for a fresh run: FIFOs, pool,
+    /// per-node RNG streams, worklists, occupancy counters, wheel
+    /// geometry, telemetry arrays, the shard's fault slice, and the
+    /// tracer. `track_id` is the tracer's track number — the shard's
+    /// **global** shard index, which equals the local index in-process
+    /// but not in a distributed worker that owns shards `[lo, hi)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn prepare_run(
+        &mut self,
+        seed: u64,
+        wheel_len: u32,
+        track: bool,
+        track_links: bool,
+        plan: Option<&FaultPlan>,
+        trace: Option<&TraceConfig>,
+        track_id: u16,
+    ) {
+        let nl = self.links.len();
+        for li in 0..nl {
+            self.links.next_free[li] = 0;
+            self.links.qhead[li] = NIL;
+            self.links.qtail[li] = NIL;
+            self.links.qlen[li] = 0;
+        }
+        self.pool.reset();
+        self.rngs = (self.base..self.base + self.node_count)
+            .map(|v| node_stream(seed, v))
+            .collect();
+        self.sched.reset();
+        self.active_links.clear();
+        self.active_scratch.clear();
+        self.node_busy.fill(0);
+        self.busy_nodes = 0;
+        self.queued_total = 0;
+        self.tagged_queued = 0;
+        self.wheel_live = 0;
+        self.tagged_wheel = 0;
+        self.outbox.clear();
+        self.wheel.clear();
+        self.wheel.resize_with(wheel_len as usize, Vec::new);
+        self.stats = ShardStats::default();
+        self.link_busy = vec![0u64; if track_links { nl } else { 0 }];
+        self.queue_hw = vec![0u32; if track { nl } else { 0 }];
+        self.link_dead = vec![false; if plan.is_some() { nl } else { 0 }];
+        self.faults = match plan {
+            Some(p) => p.shard_events(self.base, self.node_count, |u, v| {
+                self.link_toward(u, v) as u32
+            }),
+            None => ShardFaults::default(),
+        };
+        self.tracer = trace.map(|tc| {
+            let mut t = ShardTracer::new(track_id, tc);
+            t.init_links(nl);
+            t
+        });
+    }
+
+    /// Append one merged arrival to the wheel, maintaining the occupancy
+    /// counters. The only sanctioned wheel insertion — both the
+    /// in-process merge and the distributed worker's arrival absorption
+    /// go through it, so in-flight accounting can never desync.
+    #[inline]
+    pub(crate) fn wheel_push(&mut self, msg: Msg) {
+        self.wheel[msg.slot as usize].push(msg);
+        self.wheel_live += 1;
+        if msg.tagged {
+            self.tagged_wheel += 1;
+        }
+    }
+
     fn link_toward(&self, u: u32, v: u32) -> usize {
         let local = (u - self.base) as usize;
         let lo = self.link_of[local] as usize;
@@ -627,7 +897,7 @@ impl Shard {
     /// comes off the chunked schedule, service off the active-link
     /// worklist; `pr.dense` re-enables the full scans as the oracle.
     #[allow(clippy::too_many_arguments)]
-    fn phase_a<R: Router + ?Sized>(
+    pub(crate) fn phase_a<R: Router + ?Sized>(
         &mut self,
         cycle: u32,
         pr: &RunParams,
@@ -745,7 +1015,7 @@ impl Shard {
     /// or re-enqueue. Counter/histogram updates are atomic adds, so their
     /// end-of-phase values are independent of shard interleaving.
     #[allow(clippy::too_many_arguments)]
-    fn phase_b<R: Router + ?Sized>(
+    pub(crate) fn phase_b<R: Router + ?Sized>(
         &mut self,
         cycle: u32,
         slot: usize,
@@ -818,7 +1088,7 @@ impl Shard {
     /// Tagged packets still buffered (link FIFOs or the arrival wheel).
     /// O(1): reads the occupancy counters maintained by the fifo helpers
     /// and the wheel merge instead of re-walking every FIFO and slot.
-    fn tagged_in_flight(&self) -> u64 {
+    pub(crate) fn tagged_in_flight(&self) -> u64 {
         self.tagged_queued + self.tagged_wheel
     }
 }
@@ -880,6 +1150,48 @@ pub(crate) fn dense_from_env() -> bool {
     std::env::var_os("IPG_DENSE_ENGINE").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
+/// The deterministic shard layout: `(shard_count, shard_size)` as a pure
+/// function of the node count — never of worker count or host state, so
+/// shard boundaries (and therefore results) are identical in-process and
+/// across any distributed worker split.
+pub(crate) fn shard_layout(n: usize) -> (usize, u32) {
+    let shard_count = (n / SHARD_TARGET_NODES).clamp(1, MAX_SHARDS);
+    let shard_size = n.div_ceil(shard_count).max(1) as u32;
+    (shard_count, shard_size)
+}
+
+/// Flatten one shard's outgoing links from the graph: per-node offsets
+/// plus `(to, interval)` arrays in (node, neighbor) order, exactly the
+/// order the cycle loops service them in. The distributed coordinator
+/// uses this to ship link data to workers so they never materialize the
+/// full CSR.
+pub(crate) fn shard_link_arrays(
+    g: &Csr,
+    module: impl Fn(u32) -> u32,
+    cfg: &SimConfig,
+    base: u32,
+    node_count: u32,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut link_of = Vec::with_capacity(node_count as usize + 1);
+    link_of.push(0u32);
+    let mut to = Vec::new();
+    let mut interval = Vec::new();
+    for u in base..base + node_count {
+        for &v in g.neighbors(u) {
+            let iv = if module(u) == module(v) {
+                cfg.on_module_interval
+            } else {
+                cfg.off_module_interval
+            }
+            .max(1);
+            to.push(v);
+            interval.push(iv);
+        }
+        link_of.push(to.len() as u32);
+    }
+    (link_of, to, interval)
+}
+
 impl Simulator<RoutingTable> {
     /// Build a simulator for graph `g`. `module(u)` gives each node's
     /// module id (used to classify links as on-/off-module).
@@ -906,61 +1218,22 @@ impl<R: Router> Simulator<R> {
     /// queries over exactly `g`'s node-id space.
     pub fn with_router(router: R, g: &Csr, module: impl Fn(u32) -> u32, cfg: &SimConfig) -> Self {
         let n = g.node_count();
-        let shard_count = (n / SHARD_TARGET_NODES).clamp(1, MAX_SHARDS);
-        let shard_size = n.div_ceil(shard_count).max(1) as u32;
+        let (shard_count, shard_size) = shard_layout(n);
         let mut shards = Vec::with_capacity(shard_count);
         let mut max_interval = 1u32;
         let mut base = 0u32;
         while (base as usize) < n {
             let node_count = shard_size.min(n as u32 - base);
-            let mut link_of = Vec::with_capacity(node_count as usize + 1);
-            link_of.push(0u32);
-            let mut links = Links::default();
-            let mut link_owner = Vec::new();
-            for u in base..base + node_count {
-                for &v in g.neighbors(u) {
-                    let interval = if module(u) == module(v) {
-                        cfg.on_module_interval
-                    } else {
-                        cfg.off_module_interval
-                    }
-                    .max(1);
-                    max_interval = max_interval.max(interval);
-                    links.push(v, interval);
-                    link_owner.push(u - base);
-                }
-                link_of.push(links.len() as u32);
+            let (link_of, to, interval) = shard_link_arrays(g, &module, cfg, base, node_count);
+            for &iv in &interval {
+                max_interval = max_interval.max(iv);
             }
-            let nl = links.len();
-            shards.push(Shard {
+            shards.push(Shard::assemble(
                 base,
                 node_count,
                 link_of,
-                link_owner,
-                links,
-                pool: Pool {
-                    free: NIL,
-                    ..Pool::default()
-                },
-                rngs: Vec::new(),
-                sched: InjectionSchedule::default(),
-                active_links: Worklist::new(nl),
-                active_scratch: Vec::new(),
-                node_busy: vec![0u32; node_count as usize],
-                busy_nodes: 0,
-                queued_total: 0,
-                tagged_queued: 0,
-                wheel_live: 0,
-                tagged_wheel: 0,
-                outbox: Vec::new(),
-                wheel: Vec::new(),
-                stats: ShardStats::default(),
-                link_busy: Vec::new(),
-                queue_hw: Vec::new(),
-                faults: ShardFaults::default(),
-                link_dead: Vec::new(),
-                tracer: None,
-            });
+                Links::from_arrays(to, interval),
+            ));
             base += node_count;
         }
         Simulator {
@@ -1088,39 +1361,12 @@ impl<R: Router> Simulator<R> {
         let c_injected = obs.counter("engine.injected_tagged");
         let c_injected_all = obs.counter("engine.injected_total");
         let c_dropped = obs.counter("engine.dropped_unreachable");
-        let dobs = DeliveryObs {
-            delivered: obs.counter("engine.delivered_tagged"),
-            unmeasured: obs.counter("engine.delivered_unmeasured"),
-            latency: obs.histogram("engine.latency_cycles"),
-        };
+        let dobs = DeliveryObs::attach(obs);
         let track = obs.enabled();
 
         let total_cycles = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles;
-        let msg_len = cfg.message_length.max(1);
-        // Arrival wheel: one slot per possible head-advance value. A link
-        // with service interval k serves one message per k·L cycles; the
-        // head advances after k (cut-through) or k·L (store-and-forward)
-        // cycles — slow off-module signaling, §5.4.
-        let wheel_len = self.max_interval * msg_len + 1;
-        let pr = RunParams {
-            n: self.n as u32,
-            injection_rate: cfg.injection_rate,
-            inj_threshold: bernoulli_threshold(cfg.injection_rate),
-            traffic: cfg.traffic,
-            msg_len,
-            store_forward: cfg.switching == Switching::StoreForward,
-            tag_lo: cfg.warmup_cycles,
-            tag_hi: cfg.warmup_cycles + cfg.measure_cycles,
-            wheel_len,
-            // Cut-through: the tail catches up with the header once, at
-            // the destination.
-            tail_penalty: match cfg.switching {
-                Switching::StoreForward => 0,
-                Switching::CutThrough => (msg_len - 1) * cfg.on_module_interval,
-            },
-            total_cycles,
-            dense: self.dense,
-        };
+        let pr = cycle_params(self.n as u32, cfg, self.max_interval, self.dense);
+        let wheel_len = pr.wheel_len;
 
         // Link-busy accounting feeds both the end-of-run utilization
         // histograms (obs) and the sampled link-utilization trace
@@ -1128,44 +1374,15 @@ impl<R: Router> Simulator<R> {
         let track_links = track || trace.is_some();
         let plan = self.plan.as_ref();
         for (si, sh) in self.shards.iter_mut().enumerate() {
-            let nl = sh.links.len();
-            for li in 0..nl {
-                sh.links.next_free[li] = 0;
-                sh.links.qhead[li] = NIL;
-                sh.links.qtail[li] = NIL;
-                sh.links.qlen[li] = 0;
-            }
-            sh.pool.reset();
-            sh.rngs = (sh.base..sh.base + sh.node_count)
-                .map(|v| node_stream(cfg.seed, v))
-                .collect();
-            sh.sched.reset();
-            sh.active_links.clear();
-            sh.active_scratch.clear();
-            sh.node_busy.fill(0);
-            sh.busy_nodes = 0;
-            sh.queued_total = 0;
-            sh.tagged_queued = 0;
-            sh.wheel_live = 0;
-            sh.tagged_wheel = 0;
-            sh.outbox.clear();
-            sh.wheel.clear();
-            sh.wheel.resize_with(wheel_len as usize, Vec::new);
-            sh.stats = ShardStats::default();
-            sh.link_busy = vec![0u64; if track_links { nl } else { 0 }];
-            sh.queue_hw = vec![0u32; if track { nl } else { 0 }];
-            sh.link_dead = vec![false; if plan.is_some() { nl } else { 0 }];
-            sh.faults = match plan {
-                Some(p) => {
-                    p.shard_events(sh.base, sh.node_count, |u, v| sh.link_toward(u, v) as u32)
-                }
-                None => ShardFaults::default(),
-            };
-            sh.tracer = trace.map(|tc| {
-                let mut t = ShardTracer::new(si as u16, tc);
-                t.init_links(nl);
-                t
-            });
+            sh.prepare_run(
+                cfg.seed,
+                wheel_len,
+                track,
+                track_links,
+                plan,
+                trace,
+                si as u16,
+            );
         }
         let mut engine_tracer = trace.map(|tc| ShardTracer::new(ENGINE_TRACK, tc));
 
@@ -1210,12 +1427,7 @@ impl<R: Router> Simulator<R> {
                 let outbox = std::mem::take(&mut self.shards[si].outbox);
                 moved += outbox.len() as u32;
                 for msg in &outbox {
-                    let dst_shard = &mut self.shards[(msg.to / shard_size) as usize];
-                    dst_shard.wheel[msg.slot as usize].push(*msg);
-                    dst_shard.wheel_live += 1;
-                    if msg.tagged {
-                        dst_shard.tagged_wheel += 1;
-                    }
+                    self.shards[(msg.to / shard_size) as usize].wheel_push(*msg);
                 }
                 let mut buf = outbox;
                 buf.clear();
@@ -1237,41 +1449,14 @@ impl<R: Router> Simulator<R> {
         }
         phase_span.take();
 
-        let mut injected = 0u64;
-        let mut delivered = 0u64;
-        let mut unmeasured_delivered = 0u64;
-        let mut dropped_unreachable = 0u64;
-        let mut latency_sum = 0u64;
-        let mut max_latency = 0u32;
-        let mut in_flight_at_end = 0u64;
-        for sh in &self.shards {
-            injected += sh.stats.injected;
-            delivered += sh.stats.delivered;
-            unmeasured_delivered += sh.stats.unmeasured;
-            dropped_unreachable += sh.stats.dropped;
-            latency_sum += sh.stats.latency_sum;
-            max_latency = max_latency.max(sh.stats.max_latency);
-            in_flight_at_end += sh.tagged_in_flight();
-        }
-        debug_assert_eq!(injected, delivered + in_flight_at_end + dropped_unreachable);
+        let totals = RunTotals::fold_shards(&self.shards);
+        debug_assert_eq!(
+            totals.injected,
+            totals.delivered + totals.in_flight + totals.dropped
+        );
 
         if track {
-            obs.counter("engine.in_flight_at_end").add(in_flight_at_end);
-            let links_total: usize = self.shards.iter().map(|s| s.links.len()).sum();
-            obs.counter("engine.links").add(links_total as u64);
-            let h_util = obs.histogram("engine.link_utilization_pct");
-            let g_util = obs.gauge("engine.link_utilization_max_pct");
-            let h_qhw = obs.histogram("engine.queue_depth_high_water");
-            let g_qhw = obs.gauge("engine.queue_depth_max");
-            for sh in &self.shards {
-                for (busy, hw) in sh.link_busy.iter().zip(&sh.queue_hw) {
-                    let pct = (busy * 100 / u64::from(total_cycles.max(1))).min(100);
-                    h_util.observe(pct);
-                    g_util.record_max(pct);
-                    h_qhw.observe(u64::from(*hw));
-                    g_qhw.record_max(u64::from(*hw));
-                }
-            }
+            fold_link_telemetry(&self.shards, obs, &totals, total_cycles);
         }
         drop(run_span);
 
@@ -1287,21 +1472,7 @@ impl<R: Router> Simulator<R> {
             _ => None,
         };
 
-        let result = SimResult {
-            injected,
-            delivered,
-            unmeasured_delivered,
-            in_flight_at_end,
-            dropped_unreachable,
-            avg_latency: if delivered == 0 {
-                0.0
-            } else {
-                latency_sum as f64 / delivered as f64
-            },
-            max_latency,
-            throughput: delivered as f64 / (self.n as f64 * f64::from(cfg.measure_cycles)),
-            cycles: total_cycles,
-        };
+        let result = totals.into_sim_result(self.n as u64, cfg.measure_cycles, total_cycles);
         (result, trace_out)
     }
 }

@@ -279,6 +279,18 @@ impl FaultPlan {
         }
     }
 
+    /// Reassemble a plan from an already-compiled kill list, e.g. one
+    /// shipped over the distributed frame protocol. The events must come
+    /// from [`FaultPlan::events`] of a plan compiled against the same
+    /// graph (canonical, deduplicated, `(cycle, kind)`-sorted); this
+    /// constructor re-sorts defensively but performs no graph
+    /// validation.
+    pub fn from_parts(n: u32, mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_unstable();
+        events.dedup();
+        FaultPlan { n, events }
+    }
+
     /// Node count the plan was compiled against.
     pub fn node_count(&self) -> u32 {
         self.n

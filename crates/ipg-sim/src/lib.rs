@@ -29,6 +29,7 @@
 //! route around it (or into it, for the non-adaptive baseline) through
 //! [`router::DetourRouter`] / [`Router::next_hop_faulted`].
 
+pub mod dist;
 pub mod emulate;
 pub mod engine;
 pub mod fault;

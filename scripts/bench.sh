@@ -12,7 +12,7 @@ export IPG_THREADS="${IPG_THREADS:-4}"
 # allocation findings: numbers from a nondeterministic build are not
 # comparable run to run, and steady-state allocation skews hot-path medians.
 echo "== ipg-analyze (DET/LAYER/ALLOC rules) =="
-if ! cargo run -q -p ipg-analyze --     --rules DET001,DET002,DET003,DET004,DET005,DET006,DET007,DET100,LAYER001,ALLOC001     --format human; then
+if ! cargo run -q -p ipg-analyze --     --rules DET001,DET002,DET003,DET004,DET005,DET006,DET007,DET008,DET100,LAYER001,ALLOC001     --format human; then
     echo "bench.sh: refusing to benchmark with open DET/LAYER/ALLOC findings" >&2
     exit 1
 fi

@@ -132,6 +132,41 @@ for t in 1 2 4; do
 done
 echo "   sparse kernel byte-identical to the dense oracle (faults + tracing, IPG_THREADS=1/2/4)"
 
+stage "dist determinism (--workers 1/2/4 vs in-process byte-compare)"
+# The multi-process engine must be byte-identical to the in-process
+# engine at every worker count: stdout, the deterministic manifest
+# families, and the full trace file. 512 nodes — four engine shards —
+# so 2- and 4-worker runs genuinely split the shard range; a faulted
+# config exercises the cross-process fault/detour plumbing too.
+for spec in "" "script:link@600:0-1+node@1200:5"; do
+    ftag=plain
+    fflags=""
+    if [ -n "$spec" ]; then
+        ftag=faulted
+        fflags="--faults $spec"
+    fi
+    for w in inproc 1 2 4; do
+        wflags=""
+        [ "$w" != inproc ] && wflags="--workers $w"
+        mkdir -p "$simdir/d$ftag$w"
+        (cd "$simdir/d$ftag$w" && "$OLDPWD/target/release/ipg" \
+            simulate ring-cn:l=3,nucleus=Q3 0.02 $fflags \
+            --obs run.manifest.jsonl --obs-interval 500 \
+            --trace run.trace.jsonl --trace-interval 128 $wflags > stdout.txt)
+        grep -E '^\{"record":"(window|metrics)"' "$simdir/d$ftag$w/run.manifest.jsonl" \
+            | sort > "$simdir/d$ftag$w/records.txt"
+    done
+    for w in 1 2 4; do
+        cmp "$simdir/d${ftag}inproc/stdout.txt" "$simdir/d$ftag$w/stdout.txt" \
+            || { echo "check.sh: dist stdout ($ftag) differs for --workers $w" >&2; exit 1; }
+        cmp "$simdir/d${ftag}inproc/records.txt" "$simdir/d$ftag$w/records.txt" \
+            || { echo "check.sh: dist manifest records ($ftag) differ for --workers $w" >&2; exit 1; }
+        cmp "$simdir/d${ftag}inproc/run.trace.jsonl" "$simdir/d$ftag$w/run.trace.jsonl" \
+            || { echo "check.sh: dist trace file ($ftag) differs for --workers $w" >&2; exit 1; }
+    done
+done
+echo "   byte-identical for --workers 1/2/4 vs in-process (plain and faulted)"
+
 stage "trace on/off determinism (manifest byte-compare)"
 # Attaching the flight recorder must not perturb the simulation: the
 # deterministic manifest families and stdout (minus the trace: line)
